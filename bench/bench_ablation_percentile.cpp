@@ -1,0 +1,100 @@
+// Ablation — the aggregation percentile (paper §2/§4: "IQB uses the
+// 95th percentile ... designed to be easily adapted").
+//
+// Re-scores the six-region synthetic country while sweeping the
+// aggregation percentile (50/75/90/95/99), in both orientation modes
+// (orient-to-worst vs literal), and across quantile-method
+// definitions at small sample sizes. Shows how much the "95" and the
+// interpolation rule actually matter per region.
+#include <cstdio>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/datasets/synthetic.hpp"
+
+using namespace iqb;
+
+namespace {
+
+datasets::RecordStore make_country(std::size_t records_per_dataset,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  datasets::RecordStore store;
+  datasets::SyntheticConfig config;
+  config.records_per_dataset = records_per_dataset;
+  for (const auto& profile : datasets::example_region_profiles()) {
+    store.add_all(datasets::generate_region_records(
+        profile, datasets::default_dataset_panel(), config, rng));
+  }
+  return store;
+}
+
+void print_scores_row(const char* label, const core::IqbConfig& config,
+                      const datasets::RecordStore& store) {
+  core::Pipeline pipeline(config);
+  auto output = pipeline.run(store);
+  std::printf("%-24s", label);
+  for (const auto& result : output.results) {
+    std::printf(" %8.3f", result.high.iqb_score);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto store = make_country(500, 99);
+
+  // Column header: region names in map order (alphabetical).
+  core::Pipeline header_probe(core::IqbConfig::paper_defaults());
+  auto probe = header_probe.run(store);
+  std::printf("%-24s", "config");
+  for (const auto& result : probe.results) {
+    std::printf(" %8.8s", result.region.c_str());
+  }
+  std::printf("\n");
+
+  std::printf("--- aggregation percentile sweep (orient-to-worst) ---\n");
+  for (double percentile : {50.0, 75.0, 90.0, 95.0, 99.0}) {
+    core::IqbConfig config = core::IqbConfig::paper_defaults();
+    config.aggregation.percentile = percentile;
+    char label[32];
+    std::snprintf(label, sizeof(label), "p%.0f", percentile);
+    print_scores_row(label, config, store);
+  }
+
+  std::printf("--- literal percentile (no orientation flip) ---\n");
+  for (double percentile : {50.0, 95.0}) {
+    core::IqbConfig config = core::IqbConfig::paper_defaults();
+    config.aggregation.percentile = percentile;
+    config.aggregation.orient_to_worst = false;
+    char label[32];
+    std::snprintf(label, sizeof(label), "p%.0f literal", percentile);
+    print_scores_row(label, config, store);
+  }
+
+  std::printf("--- quantile method at small samples (n=20/dataset, p95) ---\n");
+  const auto small_store = make_country(20, 7);
+  core::Pipeline small_header(core::IqbConfig::paper_defaults());
+  auto small_probe = small_header.run(small_store);
+  std::printf("%-24s", "config");
+  for (const auto& result : small_probe.results) {
+    std::printf(" %8.8s", result.region.c_str());
+  }
+  std::printf("\n");
+  for (auto method :
+       {stats::QuantileMethod::kNearestRank, stats::QuantileMethod::kLinear,
+        stats::QuantileMethod::kHazen, stats::QuantileMethod::kMedianUnbiased,
+        stats::QuantileMethod::kNormalUnbiased}) {
+    core::IqbConfig config = core::IqbConfig::paper_defaults();
+    config.aggregation.method = method;
+    print_scores_row(std::string(stats::quantile_method_name(method)).c_str(),
+                     config, small_store);
+  }
+
+  std::printf(
+      "\nExpected shape: scores fall monotonically as the percentile\n"
+      "tightens (p50 -> p99); the literal (unoriented) p95 inflates\n"
+      "throughput-limited regions; quantile-method choice only matters at\n"
+      "small sample counts.\n");
+  return 0;
+}

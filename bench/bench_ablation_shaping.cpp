@@ -1,0 +1,89 @@
+// Ablation — burst-shaped provisioning vs flat provisioning, per tool.
+//
+// Real ISPs often provision a "100 Mb/s" tier as a faster line plus a
+// token bucket ("speed boost"). Short-transfer tools read the burst;
+// sustained tools read the shaped rate. This bench runs the three
+// simulated dataset tools against the SAME provisioned tier in both
+// configurations and prints each tool's download estimate — the
+// measurement artifact that makes cross-dataset corroboration (paper
+// §2) non-trivial in practice.
+#include <cstdio>
+#include <memory>
+
+#include "iqb/datasets/aggregate.hpp"
+#include "iqb/measurement/adapters.hpp"
+#include "iqb/measurement/campaign.hpp"
+#include "iqb/measurement/cloudflare_style.hpp"
+#include "iqb/measurement/ndt.hpp"
+#include "iqb/measurement/ookla_style.hpp"
+
+using namespace iqb;
+
+namespace {
+
+measurement::SubscriberSpec tier(bool shaped, const std::string& region) {
+  measurement::SubscriberSpec spec;
+  spec.subscriber_id = region + "-sub";
+  spec.region = region;
+  spec.isp = "bench_isp";
+  const double provisioned_down = 100.0;
+  const double provisioned_up = 20.0;
+  auto direction = [shaped](double provisioned) {
+    netsim::LinkSpec link;
+    if (shaped) {
+      link.rate = util::Mbps(provisioned * 5.0);  // fast line...
+      link.shaper.enabled = true;                 // ...shaped to tier
+      link.shaper.sustained_rate = util::Mbps(provisioned);
+      link.shaper.burst_bytes = 10 * 1024 * 1024;
+    } else {
+      link.rate = util::Mbps(provisioned);
+    }
+    link.propagation_delay = util::Seconds(0.01);
+    link.queue = netsim::QueueSpec::drop_tail(512 * 1024);
+    return link;
+  };
+  spec.access_down = direction(provisioned_down);
+  spec.access_up = direction(provisioned_up);
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  measurement::CampaignConfig config;
+  config.seed = 8080;
+  config.tests_per_tool = 3;
+  config.base_time = util::Timestamp::parse("2025-03-01").value();
+  measurement::Campaign campaign(config);
+  campaign.add_client(std::make_shared<measurement::NdtClient>());
+  campaign.add_client(std::make_shared<measurement::OoklaStyleClient>());
+  campaign.add_client(std::make_shared<measurement::CloudflareStyleClient>());
+  campaign.add_subscriber(tier(false, "flat_100m"));
+  campaign.add_subscriber(tier(true, "boosted_100m"));
+
+  std::printf("Running flat vs burst-boosted 100 Mb/s tier x 3 tools...\n");
+  const auto sessions = campaign.run();
+  datasets::RecordStore store;
+  store.add_all(measurement::convert_sessions_default(sessions));
+
+  datasets::AggregationPolicy median;  // medians make the bias obvious
+  median.percentile = 50.0;
+  const auto aggregates = datasets::aggregate(store, median);
+
+  std::printf("\n=== Median download estimate per tool (Mb/s) ===\n");
+  std::printf("%-15s %10s %12s %10s\n", "tier", "ndt", "cloudflare", "ookla");
+  for (const std::string region : {"flat_100m", "boosted_100m"}) {
+    std::printf("%-15s", region.c_str());
+    for (const std::string dataset : {"ndt", "cloudflare", "ookla"}) {
+      auto cell = aggregates.get(region, dataset, datasets::Metric::kDownload);
+      std::printf(" %10.1f", cell.ok() ? cell->value : -1.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: on the flat tier all tools sit near (below) 100;\n"
+      "on the boosted tier the short-transfer ladder (cloudflare) reads\n"
+      "far above the sustained tier while the long-duration tools stay\n"
+      "near it — the same provisioned product, three different numbers.\n");
+  return 0;
+}

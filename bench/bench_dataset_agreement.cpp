@@ -1,0 +1,139 @@
+// Experiment §2 ("the benefit of using multiple datasets is to
+// corroborate the insights of each other") — cross-dataset agreement.
+//
+// Runs the three simulated test tools against the SAME access links
+// across a quality gradient (clean fiber -> lossy DSL), then reports:
+//   1. each tool's download reading per link (the systematic
+//      disagreement: multi-stream > ladder > single-stream),
+//   2. the per-requirement agreement rate of the binary threshold
+//      verdicts S_{u,r,d} across datasets, per link tier,
+//   3. the IQB score with the full panel vs each leave-one-out panel.
+//
+// Expected shape: absolute readings disagree, threshold verdicts
+// mostly agree far from thresholds and diverge near them, and
+// leave-one-dataset-out shifts stay small — the corroboration claim.
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/measurement/adapters.hpp"
+#include "iqb/measurement/campaign.hpp"
+#include "iqb/measurement/cloudflare_style.hpp"
+#include "iqb/measurement/ndt.hpp"
+#include "iqb/measurement/ookla_style.hpp"
+
+using namespace iqb;
+
+namespace {
+
+measurement::SubscriberSpec tier(const std::string& region, double down,
+                                 double up, double delay_s, double loss) {
+  measurement::SubscriberSpec spec;
+  spec.subscriber_id = region + "-sub";
+  spec.region = region;
+  spec.isp = "bench_isp";
+  spec.access_down.rate = util::Mbps(down);
+  spec.access_down.propagation_delay = util::Seconds(delay_s);
+  spec.access_up.rate = util::Mbps(up);
+  spec.access_up.propagation_delay = util::Seconds(delay_s);
+  if (loss > 0.0) {
+    spec.access_down.loss = netsim::LossSpec::bernoulli(loss);
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  measurement::CampaignConfig config;
+  config.seed = 4242;
+  config.tests_per_tool = 3;
+  config.base_time = util::Timestamp::parse("2025-03-01").value();
+  measurement::Campaign campaign(config);
+  campaign.add_client(std::make_shared<measurement::NdtClient>());
+  campaign.add_client(std::make_shared<measurement::OoklaStyleClient>());
+  campaign.add_client(std::make_shared<measurement::CloudflareStyleClient>());
+
+  campaign.add_subscriber(tier("t1_fiber_clean", 500, 400, 0.005, 0.0));
+  campaign.add_subscriber(tier("t2_cable_good", 150, 15, 0.012, 0.0005));
+  campaign.add_subscriber(tier("t3_cable_lossy", 150, 15, 0.012, 0.004));
+  campaign.add_subscriber(tier("t4_dsl_marginal", 25, 3, 0.02, 0.002));
+  campaign.add_subscriber(tier("t5_dsl_bad", 8, 1, 0.03, 0.01));
+
+  std::printf("Running 5 link tiers x 3 tools x 3 tests...\n");
+  const auto sessions = campaign.run();
+  std::printf("%zu sessions (%zu failed)\n\n", sessions.size(),
+              campaign.failed_sessions());
+
+  datasets::RecordStore store;
+  store.add_all(measurement::convert_sessions_default(sessions));
+  const auto aggregates = datasets::aggregate(store);
+
+  // --- 1. absolute readings per tool -------------------------------
+  std::printf("=== Download reading per dataset (p5-of-tests, Mb/s) ===\n");
+  std::printf("%-18s %10s %12s %10s\n", "link tier", "ndt", "cloudflare",
+              "ookla");
+  for (const std::string& region : store.regions()) {
+    std::printf("%-18s", region.c_str());
+    for (const std::string dataset : {"ndt", "cloudflare", "ookla"}) {
+      auto cell = aggregates.get(region, dataset, datasets::Metric::kDownload);
+      std::printf(" %10.1f", cell.ok() ? cell->value : -1.0);
+    }
+    std::printf("\n");
+  }
+
+  // --- 2. binary verdict agreement ----------------------------------
+  const core::IqbConfig iqb_config = core::IqbConfig::paper_defaults();
+  core::Scorer scorer(iqb_config.thresholds, iqb_config.weights);
+  std::printf("\n=== S_{u,r,d} verdict agreement across datasets (high quality) ===\n");
+  std::printf("%-18s %10s %12s\n", "link tier", "unanimous", "split cells");
+  for (const std::string& region : store.regions()) {
+    auto tensor = scorer.binarize(aggregates, region, iqb_config.dataset_panel,
+                                  core::QualityLevel::kHigh);
+    int unanimous = 0, split = 0;
+    for (core::UseCase use_case : core::kAllUseCases) {
+      for (core::Requirement requirement : core::kAllRequirements) {
+        int met = 0, present = 0;
+        for (const std::string& dataset : iqb_config.dataset_panel) {
+          auto verdict = tensor.get(use_case, requirement, dataset);
+          if (!verdict) continue;
+          ++present;
+          if (*verdict) ++met;
+        }
+        if (present < 2) continue;
+        if (met == 0 || met == present) {
+          ++unanimous;
+        } else {
+          ++split;
+        }
+      }
+    }
+    std::printf("%-18s %10d %12d\n", region.c_str(), unanimous, split);
+  }
+
+  // --- 3. leave-one-dataset-out IQB ---------------------------------
+  std::printf("\n=== IQB score (high) with full panel vs leave-one-out ===\n");
+  std::printf("%-18s %8s %10s %14s %10s\n", "link tier", "full", "-ndt",
+              "-cloudflare", "-ookla");
+  for (const std::string& region : store.regions()) {
+    auto full = core::Pipeline(iqb_config).score_region(aggregates, region);
+    std::printf("%-18s %8.3f", region.c_str(),
+                full.ok() ? full->high.iqb_score : -1.0);
+    for (const std::string removed : {"ndt", "cloudflare", "ookla"}) {
+      core::IqbConfig variant = iqb_config;
+      variant.dataset_panel.clear();
+      for (const auto& dataset : iqb_config.dataset_panel) {
+        if (dataset != removed) variant.dataset_panel.push_back(dataset);
+      }
+      auto result = core::Pipeline(variant).score_region(aggregates, region);
+      std::printf(" %10.3f", result.ok() ? result->high.iqb_score : -1.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: readings disagree per tool but tier ordering is\n"
+      "identical in every column; split verdicts concentrate in the\n"
+      "marginal tiers; leave-one-out shifts are small.\n");
+  return 0;
+}

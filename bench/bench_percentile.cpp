@@ -1,0 +1,112 @@
+// Experiment §2 ("IQB uses the 95th percentile of a dataset") — the
+// aggregation primitive. Benchmarks the exact batch percentile against
+// the three streaming estimators (P², GK, t-digest) across sample
+// sizes, and reports each estimator's p95 relative error as a counter
+// so speed and accuracy are visible side by side.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "iqb/stats/bootstrap.hpp"
+#include "iqb/stats/ddsketch.hpp"
+#include "iqb/stats/gk.hpp"
+#include "iqb/stats/p2.hpp"
+#include "iqb/stats/percentile.hpp"
+#include "iqb/stats/tdigest.hpp"
+#include "iqb/util/rng.hpp"
+
+using namespace iqb;
+
+namespace {
+
+std::vector<double> lognormal_sample(std::size_t n) {
+  util::Rng rng(42);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.lognormal(3.0, 1.0));
+  return out;
+}
+
+void BM_ExactPercentile(benchmark::State& state) {
+  const auto sample = lognormal_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto p95 = stats::percentile(sample, 95.0);
+    benchmark::DoNotOptimize(p95);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExactPercentile)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_ExactPercentileMethods(benchmark::State& state) {
+  const auto sample = lognormal_sample(100000);
+  const auto method = static_cast<stats::QuantileMethod>(state.range(0));
+  for (auto _ : state) {
+    auto p95 = stats::percentile(sample, 95.0, method);
+    benchmark::DoNotOptimize(p95);
+  }
+  state.SetLabel(std::string(stats::quantile_method_name(method)));
+}
+BENCHMARK(BM_ExactPercentileMethods)->DenseRange(0, 4);
+
+template <typename MakeSketch, typename Add, typename Query>
+void run_streaming_bench(benchmark::State& state, MakeSketch make, Add add,
+                         Query query) {
+  const auto sample = lognormal_sample(static_cast<std::size_t>(state.range(0)));
+  const double exact = stats::percentile(sample, 95.0).value();
+  double estimate = 0.0;
+  for (auto _ : state) {
+    auto sketch = make();
+    for (double x : sample) add(sketch, x);
+    estimate = query(sketch);
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["p95_rel_error"] =
+      std::abs(estimate - exact) / std::max(exact, 1e-12);
+}
+
+void BM_P2Quantile(benchmark::State& state) {
+  run_streaming_bench(
+      state, [] { return stats::P2Quantile(0.95); },
+      [](stats::P2Quantile& sketch, double x) { sketch.add(x); },
+      [](stats::P2Quantile& sketch) { return sketch.value(); });
+}
+BENCHMARK(BM_P2Quantile)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_GkSketch(benchmark::State& state) {
+  run_streaming_bench(
+      state, [] { return stats::GkSketch(0.005); },
+      [](stats::GkSketch& sketch, double x) { sketch.add(x); },
+      [](stats::GkSketch& sketch) { return sketch.quantile(0.95); });
+}
+BENCHMARK(BM_GkSketch)->Arg(1000)->Arg(100000);
+
+void BM_DdSketch(benchmark::State& state) {
+  run_streaming_bench(
+      state, [] { return stats::DdSketch(0.01); },
+      [](stats::DdSketch& sketch, double x) { sketch.add(x); },
+      [](stats::DdSketch& sketch) { return sketch.quantile(0.95); });
+}
+BENCHMARK(BM_DdSketch)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_TDigest(benchmark::State& state) {
+  run_streaming_bench(
+      state, [] { return stats::TDigest(100.0); },
+      [](stats::TDigest& sketch, double x) { sketch.add(x); },
+      [](stats::TDigest& sketch) { return sketch.quantile(0.95); });
+}
+BENCHMARK(BM_TDigest)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_Bootstrap95Ci(benchmark::State& state) {
+  const auto sample = lognormal_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    util::Rng rng(7);
+    auto ci = stats::bootstrap_percentile_ci(sample, 95.0, rng, 200);
+    benchmark::DoNotOptimize(ci);
+  }
+}
+BENCHMARK(BM_Bootstrap95Ci)->Arg(500)->Arg(5000);
+
+}  // namespace

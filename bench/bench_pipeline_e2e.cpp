@@ -1,0 +1,98 @@
+// Experiment Fig. 1 — the full three-tier pipeline, end to end, with
+// timing per stage.
+//
+// Stage A: packet-level campaign over three regional populations
+//          (high-fidelity datasets tier).
+// Stage B: adapters + record store + 95th percentile aggregation.
+// Stage C: scoring every region at both quality levels.
+//
+// Prints the per-stage wall time, the record/session counts, and the
+// final comparison table — the "one command reproduces the system"
+// artifact for the poster's Fig. 1.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/measurement/adapters.hpp"
+#include "iqb/measurement/campaign.hpp"
+#include "iqb/measurement/cloudflare_style.hpp"
+#include "iqb/measurement/ndt.hpp"
+#include "iqb/measurement/ookla_style.hpp"
+#include "iqb/measurement/population.hpp"
+#include "iqb/report/render.hpp"
+
+using namespace iqb;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t subscribers =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4;
+  const std::size_t tests_per_tool =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 2;
+
+  // --- Stage A: simulated measurement campaign ----------------------
+  auto stage_a_start = Clock::now();
+  measurement::CampaignConfig config;
+  config.seed = 1701;
+  config.tests_per_tool = tests_per_tool;
+  config.base_time = util::Timestamp::parse("2025-03-01").value();
+  measurement::Campaign campaign(config);
+  campaign.add_client(std::make_shared<measurement::NdtClient>());
+  campaign.add_client(std::make_shared<measurement::OoklaStyleClient>());
+  campaign.add_client(std::make_shared<measurement::CloudflareStyleClient>());
+  util::Rng rng(config.seed);
+  std::size_t population = 0;
+  for (const auto& plan : measurement::example_region_plans(subscribers)) {
+    for (auto& subscriber : measurement::generate_population(plan, rng)) {
+      campaign.add_subscriber(std::move(subscriber));
+      ++population;
+    }
+  }
+  const auto sessions = campaign.run();
+  const double stage_a_s = seconds_since(stage_a_start);
+
+  // --- Stage B: adapters + aggregation ------------------------------
+  auto stage_b_start = Clock::now();
+  datasets::RecordStore store;
+  store.add_all(measurement::convert_sessions_default(sessions));
+  const core::IqbConfig iqb_config = core::IqbConfig::paper_defaults();
+  const auto aggregates = datasets::aggregate(store, iqb_config.aggregation);
+  const double stage_b_s = seconds_since(stage_b_start);
+
+  // --- Stage C: scoring ----------------------------------------------
+  auto stage_c_start = Clock::now();
+  core::Pipeline pipeline(iqb_config);
+  core::Pipeline::RunOutput output;
+  output.aggregates = aggregates;
+  for (const std::string& region : store.regions()) {
+    auto result = pipeline.score_region(aggregates, region);
+    if (result.ok()) output.results.push_back(std::move(result).value());
+  }
+  const double stage_c_s = seconds_since(stage_c_start);
+
+  std::printf("=== Fig. 1 pipeline, end to end ===\n");
+  std::printf("population:            %zu subscribers in 3 regions\n", population);
+  std::printf("sessions simulated:    %zu (%zu failed)\n", sessions.size(),
+              campaign.failed_sessions());
+  std::printf("dataset records:       %zu\n", store.size());
+  std::printf("aggregate cells:       %zu\n", aggregates.size());
+  std::printf("regions scored:        %zu\n\n", output.results.size());
+  std::printf("stage A (packet-level campaign): %8.2f s\n", stage_a_s);
+  std::printf("stage B (adapters + aggregation):%8.4f s\n", stage_b_s);
+  std::printf("stage C (IQB scoring):           %8.4f s\n\n", stage_c_s);
+  std::printf("%s\n", report::comparison_table(output.results).c_str());
+  std::printf(
+      "Expected shape: metro > suburban > rural at both quality levels;\n"
+      "scoring cost is negligible next to measurement cost (the same\n"
+      "asymmetry the real IQB deployment would see).\n");
+  return 0;
+}

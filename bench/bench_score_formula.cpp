@@ -1,0 +1,124 @@
+// Experiment eqs. (1)-(5) — the score computation itself.
+//
+// Verifies at runtime that the factored evaluation (eqs. 1, 2, 4) and
+// the collapsed triple sum (eq. 5) agree, then benchmarks both
+// evaluation orders plus the full binarize+score path, at the paper's
+// dimensions (6 use cases x 4 requirements x 3 datasets) and scaled-up
+// panels.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "iqb/core/score.hpp"
+#include "iqb/util/rng.hpp"
+
+using namespace iqb;
+using core::BinaryScoreTensor;
+using core::QualityLevel;
+using core::Scorer;
+
+namespace {
+
+std::vector<std::string> make_panel(std::size_t datasets) {
+  std::vector<std::string> panel;
+  for (std::size_t i = 0; i < datasets; ++i) {
+    panel.push_back("dataset_" + std::to_string(i));
+  }
+  return panel;
+}
+
+BinaryScoreTensor random_tensor(const std::vector<std::string>& panel,
+                                util::Rng& rng) {
+  BinaryScoreTensor tensor;
+  for (core::UseCase use_case : core::kAllUseCases) {
+    for (core::Requirement requirement : core::kAllRequirements) {
+      for (const std::string& dataset : panel) {
+        tensor.set(use_case, requirement, dataset, rng.bernoulli(0.6));
+      }
+    }
+  }
+  return tensor;
+}
+
+void BM_ScoreFactored(benchmark::State& state) {
+  const auto panel = make_panel(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(1);
+  Scorer scorer(core::ThresholdTable::paper_defaults(),
+                core::WeightTable::paper_defaults(panel));
+  const BinaryScoreTensor tensor = random_tensor(panel, rng);
+  for (auto _ : state) {
+    auto breakdown = scorer.score(tensor, QualityLevel::kHigh);
+    benchmark::DoNotOptimize(breakdown);
+  }
+}
+BENCHMARK(BM_ScoreFactored)->Arg(3)->Arg(10)->Arg(30);
+
+void BM_ScoreCollapsed(benchmark::State& state) {
+  const auto panel = make_panel(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(1);
+  Scorer scorer(core::ThresholdTable::paper_defaults(),
+                core::WeightTable::paper_defaults(panel));
+  const BinaryScoreTensor tensor = random_tensor(panel, rng);
+  // Equivalence check before timing: the two must agree to 1e-12.
+  const double factored = scorer.score(tensor, QualityLevel::kHigh)->iqb_score;
+  const double collapsed = scorer.score_collapsed(tensor).value();
+  if (std::abs(factored - collapsed) > 1e-12) {
+    state.SkipWithError("eq.(5) disagrees with eqs.(1,2,4)");
+    return;
+  }
+  for (auto _ : state) {
+    auto score = scorer.score_collapsed(tensor);
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_ScoreCollapsed)->Arg(3)->Arg(10)->Arg(30);
+
+void BM_BinarizeAndScore(benchmark::State& state) {
+  const auto panel = make_panel(3);
+  util::Rng rng(2);
+  Scorer scorer(core::ThresholdTable::paper_defaults(),
+                core::WeightTable::paper_defaults(panel));
+  datasets::AggregateTable aggregates;
+  for (const std::string& dataset : panel) {
+    for (datasets::Metric metric : datasets::kAllMetrics) {
+      datasets::AggregateCell cell;
+      cell.region = "r";
+      cell.dataset = dataset;
+      cell.metric = metric;
+      cell.value = metric == datasets::Metric::kLoss ? rng.uniform(0.0, 0.02)
+                                                     : rng.uniform(5.0, 200.0);
+      cell.sample_count = 100;
+      aggregates.put(cell);
+    }
+  }
+  for (auto _ : state) {
+    auto result =
+        scorer.score_region(aggregates, "r", panel, QualityLevel::kHigh);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BinarizeAndScore);
+
+void BM_ScoreManyRegions(benchmark::State& state) {
+  // Scoring throughput for a country-scale run: state.range(0) regions.
+  const auto panel = make_panel(3);
+  util::Rng rng(3);
+  Scorer scorer(core::ThresholdTable::paper_defaults(),
+                core::WeightTable::paper_defaults(panel));
+  std::vector<BinaryScoreTensor> tensors;
+  for (int i = 0; i < state.range(0); ++i) {
+    tensors.push_back(random_tensor(panel, rng));
+  }
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const auto& tensor : tensors) {
+      total += scorer.score(tensor, QualityLevel::kHigh)->iqb_score;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScoreManyRegions)->Arg(100)->Arg(1000);
+
+}  // namespace

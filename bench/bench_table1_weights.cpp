@@ -1,0 +1,81 @@
+// Experiment Table 1 — regenerate the paper's requirement-weight table
+// and measure how much each published weight matters.
+//
+// Part 1 prints Table 1 from WeightTable::paper_defaults() for a
+// cell-by-cell diff against the paper.
+//
+// Part 2 perturbs each weight by ±1 on a fixed mid-tier synthetic
+// region and reports the IQB score shift — the quantitative answer to
+// "does it matter that gaming/latency is a 5 and audio/upload a 1?".
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "iqb/core/sensitivity.hpp"
+#include "iqb/datasets/synthetic.hpp"
+
+using namespace iqb;
+using core::Requirement;
+using core::UseCase;
+
+int main() {
+  const core::WeightTable table = core::WeightTable::paper_defaults();
+
+  std::printf("=== Table 1: network requirement weights (paper defaults) ===\n");
+  std::printf("%-20s | %-8s | %-6s | %-7s | %-6s\n", "Use case", "Download",
+              "Upload", "Latency", "Loss");
+  std::printf("---------------------+----------+--------+---------+-------\n");
+  for (UseCase use_case : core::kAllUseCases) {
+    std::printf("%-20s | %8d | %6d | %7d | %6d\n",
+                std::string(core::use_case_display_name(use_case)).c_str(),
+                table.requirement_weight(use_case, Requirement::kDownloadThroughput),
+                table.requirement_weight(use_case, Requirement::kUploadThroughput),
+                table.requirement_weight(use_case, Requirement::kLatency),
+                table.requirement_weight(use_case, Requirement::kPacketLoss));
+  }
+
+  // Mid-tier region whose aggregates straddle several thresholds, so
+  // weight changes actually move the score.
+  util::Rng rng(314);
+  datasets::RecordStore store;
+  datasets::RegionProfile profile;
+  profile.region = "mid_tier";
+  profile.median_download_mbps = 90.0;
+  profile.upload_ratio = 0.25;
+  profile.base_latency_ms = 30.0;
+  profile.latency_mu = 2.4;
+  profile.lossy_test_fraction = 0.3;
+  datasets::SyntheticConfig config;
+  config.records_per_dataset = 600;
+  store.add_all(datasets::generate_region_records(
+      profile, datasets::default_dataset_panel(), config, rng));
+
+  core::SensitivityAnalyzer analyzer(core::IqbConfig::paper_defaults(), store);
+  auto report = analyzer.analyze("mid_tier");
+  if (!report.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 report.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\n=== Weight sensitivity on region 'mid_tier' (baseline %.4f) ===\n",
+              report->baseline_score);
+  auto perturbations = report->weight_perturbations;
+  std::sort(perturbations.begin(), perturbations.end(),
+            [](const auto& a, const auto& b) {
+              return std::abs(a.shift) > std::abs(b.shift);
+            });
+  std::printf("%-20s %-22s %-6s %-10s %-10s\n", "use case", "requirement",
+              "delta", "score", "shift");
+  for (const auto& p : perturbations) {
+    std::printf("%-20s %-22s %+d     %.4f    %+.4f\n",
+                std::string(core::use_case_name(p.use_case)).c_str(),
+                std::string(core::requirement_name(p.requirement)).c_str(),
+                p.delta, p.score, p.shift);
+  }
+  std::printf(
+      "\nExpected shape: every |shift| is small (single Table 1 entries are\n"
+      "1 of ~24 weights), and shifts are largest where the requirement's\n"
+      "agreement score differs most from the use case's other requirements.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Decision-maker workflow: score a synthetic country over three
+// months of weekly data, detect per-region trends, analyze
+// responsiveness (working latency / RPM), and write a self-contained
+// HTML report.
+//
+//   $ ./trend_and_report [out.html]
+#include <cstdio>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/core/responsiveness.hpp"
+#include "iqb/core/trend.hpp"
+#include "iqb/datasets/synthetic.hpp"
+#include "iqb/report/html.hpp"
+#include "iqb/report/render.hpp"
+
+using namespace iqb;
+
+int main(int argc, char** argv) {
+  const std::string html_path = argc > 1 ? argv[1] : "iqb_report.html";
+
+  // Build 13 weeks of data. Two regions evolve: the DSL town gets a
+  // fiber build-out (improving); the LTE region degrades under load.
+  util::Rng rng(20250706);
+  datasets::RecordStore store;
+  const auto base = util::Timestamp::parse("2025-01-06").value();
+  for (int week = 0; week < 13; ++week) {
+    for (datasets::RegionProfile profile :
+         datasets::example_region_profiles()) {
+      if (profile.region == "small_town_dsl") {
+        profile.median_download_mbps += 18.0 * week;  // fiber build-out
+        profile.base_latency_ms =
+            std::max(8.0, profile.base_latency_ms - 1.2 * week);
+      } else if (profile.region == "urban_lte") {
+        profile.median_download_mbps =
+            std::max(8.0, profile.median_download_mbps - 4.0 * week);
+        profile.lossy_test_fraction =
+            std::min(1.0, profile.lossy_test_fraction + 0.03 * week);
+      }
+      datasets::SyntheticConfig config;
+      config.records_per_dataset = 60;
+      config.base_time = base + static_cast<std::int64_t>(week) * 7 * 86400;
+      config.spacing_s = 900;
+      store.add_all(datasets::generate_region_records(
+          profile, datasets::default_dataset_panel(), config, rng));
+    }
+  }
+  std::printf("Built %zu records over 13 weeks\n\n", store.size());
+
+  const core::IqbConfig config = core::IqbConfig::paper_defaults();
+
+  // --- current snapshot -----------------------------------------------
+  core::Pipeline pipeline(config);
+  auto snapshot = pipeline.run(store);
+  std::printf("%s\n", report::comparison_table(snapshot.results).c_str());
+
+  // --- trends ----------------------------------------------------------
+  auto trends = core::analyze_trends(store, config);
+  if (trends.ok()) {
+    std::printf("Trends (weekly windows, OLS slope of the high score):\n");
+    for (const auto& trend : *trends) {
+      std::printf("  %-18s %-10s slope %+0.4f/day  (%.3f -> %.3f over %zu weeks)\n",
+                  trend.region.c_str(),
+                  std::string(core::trend_direction_name(trend.direction)).c_str(),
+                  trend.slope_per_day, trend.first_score, trend.last_score,
+                  trend.windows.size());
+    }
+  }
+
+  // --- responsiveness ---------------------------------------------------
+  auto responsiveness = core::analyze_responsiveness(store);
+  if (responsiveness.ok()) {
+    std::printf("\nResponsiveness (working latency, RPM):\n");
+    for (const auto& report : *responsiveness) {
+      std::printf("  %-18s %-9s mean RPM %7.0f", report.region.c_str(),
+                  std::string(core::rpm_rating_name(report.overall)).c_str(),
+                  report.mean_rpm);
+      for (const auto& cell : report.cells) {
+        std::printf("  [%s: %0.0fms load, +%0.0fms bloat]",
+                    cell.dataset.c_str(), cell.working_ms, cell.bufferbloat_ms);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // --- HTML artifact ----------------------------------------------------
+  report::HtmlOptions options;
+  options.title = "IQB quarterly review (synthetic country)";
+  auto written = report::write_html(html_path, snapshot.results, options);
+  if (written.ok()) {
+    std::printf("\nHTML report written to %s\n", html_path.c_str());
+  } else {
+    std::fprintf(stderr, "HTML write failed: %s\n",
+                 written.error().to_string().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,342 @@
+#include "iqb/cli/cli.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <ostream>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/core/sensitivity.hpp"
+#include "iqb/core/trend.hpp"
+#include "iqb/datasets/io.hpp"
+#include "iqb/measurement/adapters.hpp"
+#include "iqb/measurement/campaign.hpp"
+#include "iqb/measurement/cloudflare_style.hpp"
+#include "iqb/measurement/ndt.hpp"
+#include "iqb/measurement/ookla_style.hpp"
+#include "iqb/measurement/population.hpp"
+#include "iqb/report/html.hpp"
+#include "iqb/report/render.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage:\n"
+    "  iqbctl score       --records FILE.csv [--config FILE.json]"
+    " [--by-isp true] [--format text|json|csv|markdown|html] [--out FILE]\n"
+    "  iqbctl aggregate   --records FILE.csv [--config FILE.json]"
+    " [--percentile P]\n"
+    "  iqbctl config      [--out FILE.json]\n"
+    "  iqbctl sensitivity --records FILE.csv --region NAME"
+    " [--config FILE.json]\n"
+    "  iqbctl trend       --records FILE.csv [--config FILE.json]"
+    " [--window-days N]\n"
+    "  iqbctl simulate    [--subscribers N] [--tests N] [--seed S]"
+    " [--out FILE.csv]\n";
+
+util::Result<core::IqbConfig> load_config(const Args& args) {
+  if (auto path = args.get("config")) {
+    return core::IqbConfig::load(*path);
+  }
+  return core::IqbConfig::paper_defaults();
+}
+
+util::Result<datasets::RecordStore> load_records(const Args& args,
+                                                 std::ostream& err) {
+  auto path = args.get("records");
+  if (!path) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "--records is required");
+  }
+  auto records = datasets::read_records_csv(*path);
+  if (!records.ok()) return records.error();
+  datasets::RecordStore store;
+  const std::size_t skipped = store.add_all(std::move(records).value());
+  if (skipped > 0) {
+    err << "warning: skipped " << skipped << " invalid records\n";
+  }
+  if (store.empty()) {
+    return util::make_error(util::ErrorCode::kEmptyInput,
+                            "no usable records in '" + *path + "'");
+  }
+  return store;
+}
+
+/// Send `text` to --out FILE if given, else to `out`.
+int emit(const Args& args, const std::string& text, std::ostream& out,
+         std::ostream& err) {
+  if (auto path = args.get("out")) {
+    std::ofstream file(*path, std::ios::binary);
+    if (!file) {
+      err << "cannot open '" << *path << "' for writing\n";
+      return 2;
+    }
+    file << text;
+    out << "wrote " << *path << "\n";
+    return 0;
+  }
+  out << text;
+  return 0;
+}
+
+int cmd_score(const Args& args, std::ostream& out, std::ostream& err) {
+  auto config = load_config(args);
+  if (!config.ok()) {
+    err << "config error: " << config.error().to_string() << "\n";
+    return 2;
+  }
+  auto store = load_records(args, err);
+  if (!store.ok()) {
+    err << "records error: " << store.error().to_string() << "\n";
+    return 2;
+  }
+  datasets::RecordStore scored_store =
+      args.get("by-isp").value_or("") == "true"
+          ? datasets::rekey_by_region_isp(store.value())
+          : std::move(store).value();
+
+  core::Pipeline pipeline(std::move(config).value());
+  auto output = pipeline.run(scored_store);
+  for (const auto& skipped : output.skipped) {
+    err << "skipped region " << skipped << "\n";
+  }
+  if (output.results.empty()) {
+    err << "no region could be scored\n";
+    return 2;
+  }
+
+  const std::string format = args.get("format").value_or("text");
+  std::string rendered;
+  if (format == "json") {
+    rendered = report::to_json(output.results).dump(2) + "\n";
+  } else if (format == "csv") {
+    rendered = report::to_csv(output.results);
+  } else if (format == "markdown") {
+    rendered = report::comparison_table(output.results);
+  } else if (format == "html") {
+    rendered = report::to_html(output.results);
+  } else if (format == "text") {
+    for (const auto& result : output.results) {
+      rendered += report::scorecard(result) + "\n";
+    }
+  } else {
+    err << "unknown format '" << format << "'\n";
+    return 1;
+  }
+  return emit(args, rendered, out, err);
+}
+
+int cmd_aggregate(const Args& args, std::ostream& out, std::ostream& err) {
+  auto config = load_config(args);
+  if (!config.ok()) {
+    err << "config error: " << config.error().to_string() << "\n";
+    return 2;
+  }
+  auto store = load_records(args, err);
+  if (!store.ok()) {
+    err << "records error: " << store.error().to_string() << "\n";
+    return 2;
+  }
+  datasets::AggregationPolicy policy = config->aggregation;
+  if (auto percentile = args.get("percentile")) {
+    auto value = util::parse_double(*percentile);
+    if (!value.ok() || value.value() < 0.0 || value.value() > 100.0) {
+      err << "bad --percentile '" << *percentile << "'\n";
+      return 1;
+    }
+    policy.percentile = value.value();
+  }
+  auto table = datasets::aggregate(store.value(), policy);
+  if (table.size() == 0) {
+    err << "no aggregable cells\n";
+    return 2;
+  }
+  return emit(args, datasets::aggregates_to_csv(table), out, err);
+}
+
+int cmd_config(const Args& args, std::ostream& out, std::ostream& err) {
+  const core::IqbConfig config = core::IqbConfig::paper_defaults();
+  if (auto path = args.get("out")) {
+    auto saved = config.save(*path);
+    if (!saved.ok()) {
+      err << "save error: " << saved.error().to_string() << "\n";
+      return 2;
+    }
+    out << "wrote " << *path << "\n";
+    return 0;
+  }
+  out << config.to_json().dump(2) << "\n";
+  return 0;
+}
+
+int cmd_sensitivity(const Args& args, std::ostream& out, std::ostream& err) {
+  auto region = args.get("region");
+  if (!region) {
+    err << "--region is required\n";
+    return 1;
+  }
+  auto config = load_config(args);
+  if (!config.ok()) {
+    err << "config error: " << config.error().to_string() << "\n";
+    return 2;
+  }
+  auto store = load_records(args, err);
+  if (!store.ok()) {
+    err << "records error: " << store.error().to_string() << "\n";
+    return 2;
+  }
+  core::SensitivityAnalyzer analyzer(std::move(config).value(), store.value());
+  auto report = analyzer.analyze(*region);
+  if (!report.ok()) {
+    err << "analysis error: " << report.error().to_string() << "\n";
+    return 2;
+  }
+  out << "region " << report->region << " baseline "
+      << util::format_fixed(report->baseline_score, 4) << "\n";
+  out << "\nleave-one-dataset-out:\n";
+  for (const auto& ablation : report->dataset_ablations) {
+    out << "  -" << ablation.removed_dataset << "  "
+        << util::format_fixed(ablation.score, 4) << " ("
+        << (ablation.shift >= 0 ? "+" : "")
+        << util::format_fixed(ablation.shift, 4) << ")\n";
+  }
+  out << "\npercentile sweep:\n";
+  for (const auto& point : report->percentile_sweep) {
+    out << "  p" << util::format_fixed(point.percentile, 0) << "  "
+        << util::format_fixed(point.score, 4) << "\n";
+  }
+  out << "\nweight perturbations (|shift| > 0.001):\n";
+  for (const auto& perturbation : report->weight_perturbations) {
+    if (std::abs(perturbation.shift) <= 0.001) continue;
+    out << "  " << core::use_case_name(perturbation.use_case) << "/"
+        << core::requirement_name(perturbation.requirement) << " "
+        << (perturbation.delta >= 0 ? "+" : "") << perturbation.delta << "  "
+        << util::format_fixed(perturbation.score, 4) << " ("
+        << (perturbation.shift >= 0 ? "+" : "")
+        << util::format_fixed(perturbation.shift, 4) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_trend(const Args& args, std::ostream& out, std::ostream& err) {
+  auto config = load_config(args);
+  if (!config.ok()) {
+    err << "config error: " << config.error().to_string() << "\n";
+    return 2;
+  }
+  auto store = load_records(args, err);
+  if (!store.ok()) {
+    err << "records error: " << store.error().to_string() << "\n";
+    return 2;
+  }
+  core::TrendConfig trend_config;
+  if (auto days = args.get("window-days")) {
+    auto value = util::parse_int(*days);
+    if (!value.ok() || value.value() < 1) {
+      err << "bad --window-days '" << *days << "'\n";
+      return 1;
+    }
+    trend_config.window_seconds = value.value() * 86400;
+  }
+  auto trends =
+      core::analyze_trends(store.value(), config.value(), trend_config);
+  if (!trends.ok()) {
+    err << "trend error: " << trends.error().to_string() << "\n";
+    return 2;
+  }
+  out << "region,windows,first,last,slope_per_day,direction\n";
+  for (const auto& trend : *trends) {
+    out << trend.region << ',' << trend.windows.size() << ','
+        << util::format_fixed(trend.first_score, 4) << ','
+        << util::format_fixed(trend.last_score, 4) << ','
+        << util::format_fixed(trend.slope_per_day, 6) << ','
+        << core::trend_direction_name(trend.direction) << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto subscribers = args.get("subscribers").value_or("4");
+  const auto tests = args.get("tests").value_or("2");
+  const auto seed = args.get("seed").value_or("1");
+  auto n_subs = util::parse_int(subscribers);
+  auto n_tests = util::parse_int(tests);
+  auto n_seed = util::parse_int(seed);
+  if (!n_subs.ok() || !n_tests.ok() || !n_seed.ok() || n_subs.value() < 1 ||
+      n_tests.value() < 1) {
+    err << "bad --subscribers/--tests/--seed\n";
+    return 1;
+  }
+
+  measurement::CampaignConfig config;
+  config.seed = static_cast<std::uint64_t>(n_seed.value());
+  config.tests_per_tool = static_cast<std::size_t>(n_tests.value());
+  config.base_time = util::Timestamp::parse("2025-03-01").value();
+  measurement::Campaign campaign(config);
+  campaign.add_client(std::make_shared<measurement::NdtClient>());
+  campaign.add_client(std::make_shared<measurement::OoklaStyleClient>());
+  campaign.add_client(std::make_shared<measurement::CloudflareStyleClient>());
+  util::Rng rng(config.seed);
+  for (const auto& plan : measurement::example_region_plans(
+           static_cast<std::size_t>(n_subs.value()))) {
+    for (auto& subscriber : measurement::generate_population(plan, rng)) {
+      campaign.add_subscriber(std::move(subscriber));
+    }
+  }
+  err << "simulating " << n_subs.value()
+      << " subscribers x 3 regions x 3 tools x " << n_tests.value()
+      << " tests...\n";
+  const auto sessions = campaign.run();
+  const auto records = measurement::convert_sessions_default(sessions);
+  err << sessions.size() << " sessions -> " << records.size() << " records ("
+      << campaign.failed_sessions() << " failed)\n";
+  return emit(args, datasets::records_to_csv(records), out, err);
+}
+
+}  // namespace
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  auto it = options.find(key);
+  if (it == options.end()) return std::nullopt;
+  return it->second;
+}
+
+ParsedOrError parse_args(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return {std::nullopt, "no command given"};
+  Args args;
+  args.command = tokens[0];
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& key = tokens[i];
+    if (!util::starts_with(key, "--")) {
+      return {std::nullopt, "expected --option, got '" + key + "'"};
+    }
+    if (i + 1 >= tokens.size()) {
+      return {std::nullopt, "missing value for " + key};
+    }
+    args.options[key.substr(2)] = tokens[++i];
+  }
+  return {args, ""};
+}
+
+int run_command(const std::vector<std::string>& tokens, std::ostream& out,
+                std::ostream& err) {
+  auto parsed = parse_args(tokens);
+  if (!parsed.args) {
+    err << parsed.error << "\n" << kUsage;
+    return 1;
+  }
+  const Args& args = *parsed.args;
+  if (args.command == "score") return cmd_score(args, out, err);
+  if (args.command == "aggregate") return cmd_aggregate(args, out, err);
+  if (args.command == "config") return cmd_config(args, out, err);
+  if (args.command == "sensitivity") return cmd_sensitivity(args, out, err);
+  if (args.command == "trend") return cmd_trend(args, out, err);
+  if (args.command == "simulate") return cmd_simulate(args, out, err);
+  err << "unknown command '" << args.command << "'\n" << kUsage;
+  return 1;
+}
+
+}  // namespace iqb::cli

@@ -1,0 +1,46 @@
+// Command implementations behind the iqbctl binary.
+//
+// Kept as a library so the commands are unit-testable: run_command
+// takes argv-style tokens and writes to caller-supplied streams.
+//
+//   iqbctl score       --records F.csv [--config F.json] [--by-isp true]
+//                      [--format text|json|csv|markdown|html] [--out F]
+//   iqbctl aggregate   --records F.csv [--config F.json] [--percentile P]
+//   iqbctl config      [--out F.json]
+//   iqbctl sensitivity --records F.csv --region NAME [--config F.json]
+//   iqbctl trend       --records F.csv [--config F.json] [--window-days N]
+//   iqbctl simulate    [--subscribers N] [--tests N] [--seed S] [--out F.csv]
+//
+// Exit codes: 0 success, 1 usage error, 2 data/config error.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iqb::cli {
+
+/// Parsed command line: the subcommand plus --key value options.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::optional<std::string> get(const std::string& key) const;
+};
+
+/// Parse tokens (argv[1..]); error text explains usage problems.
+/// Exposed for tests.
+struct ParsedOrError {
+  std::optional<Args> args;
+  std::string error;
+};
+ParsedOrError parse_args(const std::vector<std::string>& tokens);
+
+/// Execute a full command line (argv[1..] tokens). Output goes to
+/// `out`, diagnostics to `err`. Returns the process exit code.
+int run_command(const std::vector<std::string>& tokens, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace iqb::cli

@@ -1,0 +1,148 @@
+#include "iqb/core/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace iqb::core {
+
+using util::ErrorCode;
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+using util::make_error;
+using util::Result;
+
+IqbConfig IqbConfig::paper_defaults() {
+  IqbConfig config;
+  config.thresholds = ThresholdTable::paper_defaults();
+  config.weights = WeightTable::paper_defaults(config.dataset_panel);
+  config.aggregation = datasets::AggregationPolicy{};  // p95, linear
+  config.grading = GradeScale{};
+  return config;
+}
+
+Result<void> IqbConfig::validate() const {
+  if (dataset_panel.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "dataset panel must not be empty");
+  }
+  if (!(aggregation.percentile >= 0.0 && aggregation.percentile <= 100.0)) {
+    return make_error(ErrorCode::kOutOfRange,
+                      "aggregation percentile must be in [0,100]");
+  }
+  return thresholds.validate();
+}
+
+JsonValue IqbConfig::to_json() const {
+  JsonObject root;
+  root.emplace("thresholds", thresholds.to_json());
+  root.emplace("weights", weights.to_json());
+  root.emplace("grading", grading.to_json());
+
+  JsonObject aggregation_object;
+  aggregation_object.emplace("percentile", aggregation.percentile);
+  aggregation_object.emplace(
+      "method", std::string(stats::quantile_method_name(aggregation.method)));
+  aggregation_object.emplace("orient_to_worst", aggregation.orient_to_worst);
+  aggregation_object.emplace("min_samples",
+                             static_cast<double>(aggregation.min_samples));
+  root.emplace("aggregation", std::move(aggregation_object));
+
+  JsonArray panel;
+  for (const std::string& dataset : dataset_panel) panel.emplace_back(dataset);
+  root.emplace("dataset_panel", std::move(panel));
+  return root;
+}
+
+Result<IqbConfig> IqbConfig::from_json(const JsonValue& json) {
+  IqbConfig config;
+
+  auto thresholds_json = json.get("thresholds");
+  if (!thresholds_json.ok()) return thresholds_json.error();
+  auto thresholds = ThresholdTable::from_json(thresholds_json.value());
+  if (!thresholds.ok()) return thresholds.error();
+  config.thresholds = std::move(thresholds).value();
+
+  auto weights_json = json.get("weights");
+  if (!weights_json.ok()) return weights_json.error();
+  auto weights = WeightTable::from_json(weights_json.value());
+  if (!weights.ok()) return weights.error();
+  config.weights = std::move(weights).value();
+
+  if (json.contains("grading")) {
+    auto grading_json = json.get("grading");
+    if (!grading_json.ok()) return grading_json.error();
+    auto grading = GradeScale::from_json(grading_json.value());
+    if (!grading.ok()) return grading.error();
+    config.grading = grading.value();
+  }
+
+  if (json.contains("aggregation")) {
+    auto aggregation_json = json.get("aggregation");
+    if (!aggregation_json.ok()) return aggregation_json.error();
+    auto percentile = aggregation_json->get_number("percentile");
+    if (!percentile.ok()) return percentile.error();
+    config.aggregation.percentile = percentile.value();
+    if (aggregation_json->contains("method")) {
+      auto method_name = aggregation_json->get_string("method");
+      if (!method_name.ok()) return method_name.error();
+      auto method = stats::quantile_method_from_name(method_name.value());
+      if (!method.ok()) return method.error();
+      config.aggregation.method = method.value();
+    }
+    if (aggregation_json->contains("orient_to_worst")) {
+      auto orient = aggregation_json->get_bool("orient_to_worst");
+      if (!orient.ok()) return orient.error();
+      config.aggregation.orient_to_worst = orient.value();
+    }
+    if (aggregation_json->contains("min_samples")) {
+      auto min_samples = aggregation_json->get_number("min_samples");
+      if (!min_samples.ok()) return min_samples.error();
+      config.aggregation.min_samples =
+          static_cast<std::size_t>(min_samples.value());
+    }
+  }
+
+  if (json.contains("dataset_panel")) {
+    auto panel = json.get_array("dataset_panel");
+    if (!panel.ok()) return panel.error();
+    config.dataset_panel.clear();
+    for (const JsonValue& entry : panel.value()) {
+      if (!entry.is_string()) {
+        return make_error(ErrorCode::kParseError,
+                          "dataset_panel entries must be strings");
+      }
+      config.dataset_panel.push_back(entry.as_string());
+    }
+  }
+
+  auto valid = config.validate();
+  if (!valid.ok()) return valid.error();
+  return config;
+}
+
+Result<IqbConfig> IqbConfig::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kIoError,
+                      "cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto json = util::parse_json(buffer.str());
+  if (!json.ok()) return json.error();
+  return from_json(json.value());
+}
+
+Result<void> IqbConfig::save(const std::string& path, int indent) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kIoError,
+                      "cannot open '" + path + "' for writing");
+  }
+  out << to_json().dump(indent) << '\n';
+  if (!out) return make_error(ErrorCode::kIoError, "write failed: " + path);
+  return Result<void>::success();
+}
+
+}  // namespace iqb::core

@@ -1,0 +1,46 @@
+// IqbConfig: the complete, serializable configuration of an IQB
+// deployment — thresholds, weights, aggregation policy, dataset panel
+// and grading scale.
+//
+// The paper stresses that "IQB is designed to be easily adapted (e.g.,
+// based on the intended application, or through iterative
+// refinements)"; this type is that adaptation surface. A default
+// config reproduces the published framework exactly; every knob can be
+// overridden via JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iqb/core/grade.hpp"
+#include "iqb/core/thresholds.hpp"
+#include "iqb/core/weights.hpp"
+#include "iqb/datasets/aggregate.hpp"
+
+namespace iqb::core {
+
+struct IqbConfig {
+  ThresholdTable thresholds;
+  WeightTable weights;
+  datasets::AggregationPolicy aggregation;
+  GradeScale grading;
+  /// Datasets consulted when scoring (order is cosmetic).
+  std::vector<std::string> dataset_panel{"ndt", "cloudflare", "ookla"};
+
+  /// The published framework: Fig. 2 thresholds, Table 1 weights,
+  /// 95th-percentile aggregation, three-dataset panel.
+  static IqbConfig paper_defaults();
+
+  /// Sanity checks across members (threshold consistency, at least
+  /// one dataset, valid percentile).
+  util::Result<void> validate() const;
+
+  util::JsonValue to_json() const;
+  static util::Result<IqbConfig> from_json(const util::JsonValue& json);
+
+  /// File convenience wrappers.
+  static util::Result<IqbConfig> load(const std::string& path);
+  util::Result<void> save(const std::string& path, int indent = 2) const;
+};
+
+}  // namespace iqb::core

@@ -1,0 +1,81 @@
+#include "iqb/core/grade.hpp"
+
+#include <cmath>
+
+namespace iqb::core {
+
+using util::ErrorCode;
+using util::JsonObject;
+using util::JsonValue;
+using util::make_error;
+using util::Result;
+
+std::string_view grade_name(Grade grade) noexcept {
+  switch (grade) {
+    case Grade::kA: return "A";
+    case Grade::kB: return "B";
+    case Grade::kC: return "C";
+    case Grade::kD: return "D";
+    case Grade::kE: return "E";
+  }
+  return "?";
+}
+
+Result<GradeScale> GradeScale::with_cuts(double a, double b, double c, double d) {
+  const double cuts[] = {a, b, c, d};
+  for (double cut : cuts) {
+    if (!std::isfinite(cut) || cut <= 0.0 || cut > 1.0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "grade cuts must be in (0, 1]");
+    }
+  }
+  if (!(a > b && b > c && c > d)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "grade cuts must be strictly decreasing (A > B > C > D)");
+  }
+  GradeScale scale;
+  scale.cuts_ = {a, b, c, d};
+  return scale;
+}
+
+Grade GradeScale::grade(double score) const noexcept {
+  if (score >= cuts_[0]) return Grade::kA;
+  if (score >= cuts_[1]) return Grade::kB;
+  if (score >= cuts_[2]) return Grade::kC;
+  if (score >= cuts_[3]) return Grade::kD;
+  return Grade::kE;
+}
+
+double GradeScale::cut(Grade grade) const noexcept {
+  switch (grade) {
+    case Grade::kA: return cuts_[0];
+    case Grade::kB: return cuts_[1];
+    case Grade::kC: return cuts_[2];
+    case Grade::kD: return cuts_[3];
+    case Grade::kE: return 0.0;
+  }
+  return 0.0;
+}
+
+JsonValue GradeScale::to_json() const {
+  JsonObject object;
+  object.emplace("a", cuts_[0]);
+  object.emplace("b", cuts_[1]);
+  object.emplace("c", cuts_[2]);
+  object.emplace("d", cuts_[3]);
+  return object;
+}
+
+Result<GradeScale> GradeScale::from_json(const JsonValue& json) {
+  auto a = json.get_number("a");
+  auto b = json.get_number("b");
+  auto c = json.get_number("c");
+  auto d = json.get_number("d");
+  if (!a.ok()) return a.error();
+  if (!b.ok()) return b.error();
+  if (!c.ok()) return c.error();
+  if (!d.ok()) return d.error();
+  return with_cuts(a.value(), b.value(), c.value(), d.value());
+}
+
+}  // namespace iqb::core

@@ -1,0 +1,50 @@
+// Letter grading of IQB scores.
+//
+// The paper motivates the IQB score by analogy to composite consumer
+// scores — credit scores and the Nutri-Score (§1). This module maps a
+// score in [0,1] to a Nutri-Score-style A-E letter band so reports can
+// present a single glanceable grade. Band cut points are configurable;
+// the defaults place B at "meets most weighted requirements".
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "iqb/util/json.hpp"
+#include "iqb/util/result.hpp"
+
+namespace iqb::core {
+
+enum class Grade { kA, kB, kC, kD, kE };
+
+inline constexpr std::array<Grade, 5> kAllGrades = {
+    Grade::kA, Grade::kB, Grade::kC, Grade::kD, Grade::kE};
+
+std::string_view grade_name(Grade grade) noexcept;
+
+class GradeScale {
+ public:
+  /// Defaults: A >= 0.9, B >= 0.75, C >= 0.55, D >= 0.35, else E.
+  GradeScale() = default;
+
+  /// Custom cut points: grade g is awarded when score >= cuts[g], for
+  /// the first satisfied grade in A..D order. Cuts must be strictly
+  /// decreasing and within (0, 1].
+  static util::Result<GradeScale> with_cuts(double a, double b, double c,
+                                            double d);
+
+  Grade grade(double score) const noexcept;
+
+  double cut(Grade grade) const noexcept;  ///< E returns 0.
+
+  util::JsonValue to_json() const;
+  static util::Result<GradeScale> from_json(const util::JsonValue& json);
+
+  bool operator==(const GradeScale& other) const = default;
+
+ private:
+  std::array<double, 4> cuts_{0.9, 0.75, 0.55, 0.35};  // A, B, C, D
+};
+
+}  // namespace iqb::core

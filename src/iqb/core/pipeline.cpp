@@ -1,0 +1,45 @@
+#include "iqb/core/pipeline.hpp"
+
+#include <algorithm>
+
+namespace iqb::core {
+
+using util::Result;
+
+Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store) const {
+  RunOutput output;
+  output.aggregates = datasets::aggregate(store, config_.aggregation);
+  for (const std::string& region : store.regions()) {
+    auto result = score_region(output.aggregates, region);
+    if (result.ok()) {
+      output.results.push_back(std::move(result).value());
+    } else {
+      output.skipped.push_back(region + ": " + result.error().message);
+    }
+  }
+  return output;
+}
+
+Result<RegionResult> Pipeline::score_region(
+    const datasets::AggregateTable& aggregates, const std::string& region) const {
+  Scorer scorer(config_.thresholds, config_.weights);
+
+  auto high = scorer.score_region(aggregates, region, config_.dataset_panel,
+                                  QualityLevel::kHigh);
+  if (!high.ok()) return high.error();
+  auto minimum = scorer.score_region(aggregates, region, config_.dataset_panel,
+                                     QualityLevel::kMinimum);
+  if (!minimum.ok()) return minimum.error();
+
+  RegionResult result;
+  result.region = region;
+  result.high = std::move(high).value();
+  result.minimum = std::move(minimum).value();
+  result.grade = config_.grading.grade(result.high.iqb_score);
+  for (const auto& cell : aggregates.cells()) {
+    if (cell.region == region) result.aggregates.push_back(cell);
+  }
+  return result;
+}
+
+}  // namespace iqb::core

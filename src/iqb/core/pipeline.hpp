@@ -1,0 +1,53 @@
+// End-to-end pipeline: measurement records -> regional IQB results.
+//
+// This is the library's front door (Fig. 1 as code): give it a record
+// store and a config, get per-region scores at both quality levels,
+// with the full breakdown and a letter grade.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iqb/core/config.hpp"
+#include "iqb/core/score.hpp"
+#include "iqb/datasets/store.hpp"
+
+namespace iqb::core {
+
+/// One region's complete IQB result.
+struct RegionResult {
+  std::string region;
+  ScoreBreakdown high;     ///< Scored against high-quality thresholds.
+  ScoreBreakdown minimum;  ///< Scored against minimum-quality thresholds.
+  Grade grade = Grade::kE; ///< Grade of the high-quality score.
+  /// The aggregates the scores were derived from (for reporting).
+  std::vector<datasets::AggregateCell> aggregates;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(IqbConfig config) : config_(std::move(config)) {}
+
+  const IqbConfig& config() const noexcept { return config_; }
+
+  /// Aggregate the store once and score every region in it.
+  /// Regions that cannot be scored at all are skipped with a warning
+  /// entry in `skipped`.
+  struct RunOutput {
+    std::vector<RegionResult> results;
+    std::vector<std::string> skipped;  ///< region: reason
+    datasets::AggregateTable aggregates;
+  };
+  RunOutput run(const datasets::RecordStore& store) const;
+
+  /// Score one region from a pre-built aggregate table.
+  util::Result<RegionResult> score_region(
+      const datasets::AggregateTable& aggregates,
+      const std::string& region) const;
+
+ private:
+  IqbConfig config_;
+};
+
+}  // namespace iqb::core

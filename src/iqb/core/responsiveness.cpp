@@ -1,0 +1,69 @@
+#include "iqb/core/responsiveness.hpp"
+
+#include <algorithm>
+
+namespace iqb::core {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+std::string_view rpm_rating_name(RpmRating rating) noexcept {
+  switch (rating) {
+    case RpmRating::kPoor: return "poor";
+    case RpmRating::kFair: return "fair";
+    case RpmRating::kGood: return "good";
+    case RpmRating::kExcellent: return "excellent";
+  }
+  return "unknown";
+}
+
+RpmRating classify_rpm(double rpm) noexcept {
+  if (rpm >= 6000.0) return RpmRating::kExcellent;
+  if (rpm >= 2500.0) return RpmRating::kGood;
+  if (rpm >= 1000.0) return RpmRating::kFair;
+  return RpmRating::kPoor;
+}
+
+Result<std::vector<ResponsivenessReport>> analyze_responsiveness(
+    const datasets::RecordStore& store,
+    const datasets::AggregationPolicy& policy) {
+  if (store.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "responsiveness: empty store");
+  }
+  const auto aggregates = datasets::aggregate(store, policy);
+
+  std::vector<ResponsivenessReport> reports;
+  for (const std::string& region : store.regions()) {
+    ResponsivenessReport report;
+    report.region = region;
+    double rpm_weighted = 0.0;
+    double weight_total = 0.0;
+    for (const std::string& dataset : store.dataset_names()) {
+      auto working = aggregates.get(region, dataset,
+                                    datasets::Metric::kLoadedLatency);
+      if (!working.ok() || working->value <= 0.0) continue;
+      ResponsivenessCell cell;
+      cell.dataset = dataset;
+      cell.working_ms = working->value;
+      cell.samples = working->sample_count;
+      auto idle =
+          aggregates.get(region, dataset, datasets::Metric::kLatency);
+      cell.idle_ms = idle.ok() ? idle->value : 0.0;
+      cell.bufferbloat_ms = std::max(0.0, cell.working_ms - cell.idle_ms);
+      cell.rpm = 60000.0 / cell.working_ms;
+      cell.rating = classify_rpm(cell.rpm);
+      rpm_weighted += cell.rpm * static_cast<double>(cell.samples);
+      weight_total += static_cast<double>(cell.samples);
+      report.cells.push_back(std::move(cell));
+    }
+    if (weight_total > 0.0) {
+      report.mean_rpm = rpm_weighted / weight_total;
+      report.overall = classify_rpm(report.mean_rpm);
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace iqb::core

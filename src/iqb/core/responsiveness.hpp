@@ -1,0 +1,58 @@
+// Responsiveness (working latency) analysis — an extension beyond the
+// poster's four requirements.
+//
+// The paper's latency requirement uses idle RTT, but the community
+// increasingly evaluates *working latency*: delay while the link is
+// loaded, where bufferbloat lives. The dataset tier already records
+// loaded_latency per test; this module aggregates it per (region,
+// dataset) and reports:
+//   * working latency (p95-oriented, like the main pipeline),
+//   * bufferbloat delta (working - idle),
+//   * RPM ("round-trips per minute" = 60000 / working_ms), the
+//     responsiveness unit popularized by the IETF IPPM draft and
+//     Apple's networkQuality tool, with its coarse rating bands.
+// It is deliberately additive: the published IQB score is untouched.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iqb/datasets/aggregate.hpp"
+
+namespace iqb::core {
+
+enum class RpmRating { kPoor, kFair, kGood, kExcellent };
+
+std::string_view rpm_rating_name(RpmRating rating) noexcept;
+
+/// Rating bands per the networkQuality convention.
+RpmRating classify_rpm(double rpm) noexcept;
+
+/// One dataset's responsiveness view of a region.
+struct ResponsivenessCell {
+  std::string dataset;
+  double idle_ms = 0.0;
+  double working_ms = 0.0;
+  double bufferbloat_ms = 0.0;  ///< working - idle (>= 0 clamped).
+  double rpm = 0.0;
+  RpmRating rating = RpmRating::kPoor;
+  std::size_t samples = 0;
+};
+
+struct ResponsivenessReport {
+  std::string region;
+  std::vector<ResponsivenessCell> cells;  ///< One per covering dataset.
+  /// Weighted (by sample count) mean RPM across datasets.
+  double mean_rpm = 0.0;
+  RpmRating overall = RpmRating::kPoor;
+};
+
+/// Analyze every region in the store. Datasets lacking loaded-latency
+/// coverage are skipped per region; regions with no coverage at all
+/// yield a report with empty cells. Error only on an empty store.
+util::Result<std::vector<ResponsivenessReport>> analyze_responsiveness(
+    const datasets::RecordStore& store,
+    const datasets::AggregationPolicy& policy = {});
+
+}  // namespace iqb::core

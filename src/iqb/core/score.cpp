@@ -1,0 +1,199 @@
+#include "iqb/core/score.hpp"
+
+#include <algorithm>
+
+namespace iqb::core {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+void BinaryScoreTensor::set(UseCase use_case, Requirement requirement,
+                            const std::string& dataset, bool met) {
+  cells_[{static_cast<int>(use_case), static_cast<int>(requirement), dataset}] =
+      met;
+}
+
+std::optional<bool> BinaryScoreTensor::get(UseCase use_case,
+                                           Requirement requirement,
+                                           const std::string& dataset) const noexcept {
+  auto it = cells_.find(
+      {static_cast<int>(use_case), static_cast<int>(requirement), dataset});
+  if (it == cells_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> BinaryScoreTensor::datasets() const {
+  std::vector<std::string> out;
+  for (const auto& [key, met] : cells_) out.push_back(std::get<2>(key));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+BinaryScoreTensor Scorer::binarize(const datasets::AggregateTable& aggregates,
+                                   const std::string& region,
+                                   const std::vector<std::string>& datasets,
+                                   QualityLevel level) const {
+  BinaryScoreTensor tensor;
+  for (UseCase use_case : kAllUseCases) {
+    for (Requirement requirement : kAllRequirements) {
+      auto threshold = thresholds_.get(use_case, requirement, level);
+      if (!threshold.ok()) continue;  // unconfigured cell
+      const datasets::Metric metric = requirement_metric(requirement);
+      for (const std::string& dataset : datasets) {
+        auto cell = aggregates.get(region, dataset, metric);
+        if (!cell.ok()) continue;  // dataset doesn't cover this metric
+        tensor.set(use_case, requirement, dataset,
+                   threshold->met_by(requirement, cell->value));
+      }
+    }
+  }
+  return tensor;
+}
+
+Result<ScoreBreakdown> Scorer::score(const BinaryScoreTensor& tensor,
+                                     QualityLevel level) const {
+  ScoreBreakdown breakdown;
+  breakdown.level = level;
+  breakdown.binary = tensor;
+  const std::vector<std::string> datasets = tensor.datasets();
+
+  double iqb_numerator = 0.0;
+  double iqb_denominator = 0.0;
+
+  for (UseCase use_case : kAllUseCases) {
+    const int w_u = weights_.use_case_weight(use_case);
+    double use_case_numerator = 0.0;
+    double use_case_denominator = 0.0;
+    bool use_case_has_data = false;
+
+    for (Requirement requirement : kAllRequirements) {
+      const int w_ur = weights_.requirement_weight(use_case, requirement);
+
+      // Eq. (1): requirement agreement score over present datasets.
+      double agreement_numerator = 0.0;
+      double agreement_denominator = 0.0;
+      for (const std::string& dataset : datasets) {
+        auto met = tensor.get(use_case, requirement, dataset);
+        if (!met) continue;
+        const int w_urd = weights_.dataset_weight(use_case, requirement, dataset);
+        agreement_numerator += static_cast<double>(w_urd) * (*met ? 1.0 : 0.0);
+        agreement_denominator += static_cast<double>(w_urd);
+      }
+      if (agreement_denominator <= 0.0) {
+        breakdown.coverage_warnings.push_back(
+            "no dataset covers " + std::string(use_case_name(use_case)) + "/" +
+            std::string(requirement_name(requirement)) +
+            "; requirement dropped");
+        continue;
+      }
+      const double s_ur = agreement_numerator / agreement_denominator;
+      breakdown.requirement_scores[{use_case, requirement}] = s_ur;
+
+      // Eq. (2) accumulation.
+      use_case_numerator += static_cast<double>(w_ur) * s_ur;
+      use_case_denominator += static_cast<double>(w_ur);
+      use_case_has_data = true;
+    }
+
+    if (!use_case_has_data || use_case_denominator <= 0.0) {
+      breakdown.coverage_warnings.push_back(
+          "use case " + std::string(use_case_name(use_case)) +
+          " has no scoreable requirement; dropped");
+      continue;
+    }
+    const double s_u = use_case_numerator / use_case_denominator;
+    breakdown.use_case_scores[use_case] = s_u;
+
+    // Eq. (4) accumulation.
+    iqb_numerator += static_cast<double>(w_u) * s_u;
+    iqb_denominator += static_cast<double>(w_u);
+  }
+
+  if (iqb_denominator <= 0.0) {
+    return make_error(ErrorCode::kEmptyInput,
+                      "no use case could be scored (empty tensor or all "
+                      "weights zero)");
+  }
+  breakdown.iqb_score = iqb_numerator / iqb_denominator;
+  return breakdown;
+}
+
+Result<double> Scorer::score_collapsed(const BinaryScoreTensor& tensor) const {
+  // Eq. (5): one triple sum over normalized weights. Normalizers are
+  // computed over the same "present cells only" sets as score() so the
+  // two evaluations agree exactly in the presence of missing data.
+  const std::vector<std::string> datasets = tensor.datasets();
+
+  // Pass 1: per-(u,r) dataset normalizers and per-u requirement
+  // normalizers, honouring coverage.
+  std::map<std::pair<int, int>, double> dataset_norm;
+  std::map<int, double> requirement_norm;
+  double use_case_norm = 0.0;
+  for (UseCase use_case : kAllUseCases) {
+    bool use_case_has_data = false;
+    for (Requirement requirement : kAllRequirements) {
+      double denom = 0.0;
+      for (const std::string& dataset : datasets) {
+        if (tensor.get(use_case, requirement, dataset)) {
+          denom += static_cast<double>(
+              weights_.dataset_weight(use_case, requirement, dataset));
+        }
+      }
+      if (denom > 0.0) {
+        dataset_norm[{static_cast<int>(use_case), static_cast<int>(requirement)}] =
+            denom;
+        requirement_norm[static_cast<int>(use_case)] +=
+            static_cast<double>(weights_.requirement_weight(use_case, requirement));
+        use_case_has_data = true;
+      }
+    }
+    if (use_case_has_data &&
+        requirement_norm[static_cast<int>(use_case)] > 0.0) {
+      use_case_norm += static_cast<double>(weights_.use_case_weight(use_case));
+    }
+  }
+  if (use_case_norm <= 0.0) {
+    return make_error(ErrorCode::kEmptyInput,
+                      "no use case could be scored (empty tensor or all "
+                      "weights zero)");
+  }
+
+  // Pass 2: the triple sum of eq. (5).
+  double score = 0.0;
+  for (UseCase use_case : kAllUseCases) {
+    auto req_norm_it = requirement_norm.find(static_cast<int>(use_case));
+    if (req_norm_it == requirement_norm.end() || req_norm_it->second <= 0.0) {
+      continue;
+    }
+    const double w_u_norm =
+        static_cast<double>(weights_.use_case_weight(use_case)) / use_case_norm;
+    for (Requirement requirement : kAllRequirements) {
+      auto ds_norm_it = dataset_norm.find(
+          {static_cast<int>(use_case), static_cast<int>(requirement)});
+      if (ds_norm_it == dataset_norm.end()) continue;
+      const double w_ur_norm =
+          static_cast<double>(weights_.requirement_weight(use_case, requirement)) /
+          req_norm_it->second;
+      for (const std::string& dataset : datasets) {
+        auto met = tensor.get(use_case, requirement, dataset);
+        if (!met) continue;
+        const double w_urd_norm =
+            static_cast<double>(
+                weights_.dataset_weight(use_case, requirement, dataset)) /
+            ds_norm_it->second;
+        score += w_u_norm * w_ur_norm * w_urd_norm * (*met ? 1.0 : 0.0);
+      }
+    }
+  }
+  return score;
+}
+
+Result<ScoreBreakdown> Scorer::score_region(
+    const datasets::AggregateTable& aggregates, const std::string& region,
+    const std::vector<std::string>& datasets, QualityLevel level) const {
+  return score(binarize(aggregates, region, datasets, level), level);
+}
+
+}  // namespace iqb::core

@@ -1,0 +1,91 @@
+// The IQB score — paper §3, equations (1)-(5).
+//
+// Pipeline:  binary requirement scores S_{u,r,d}  (threshold checks on
+// aggregated dataset values)  →  requirement agreement scores S_{u,r}
+// (eq. 1)  →  use-case scores S_u (eq. 2/3)  →  S_IQB (eq. 4/5).
+//
+// Missing data policy: real datasets have coverage gaps (Ookla has no
+// loss). A missing S_{u,r,d} simply drops out of eq. (1)'s weighted
+// average — the normalization Σ_d w runs over *present* datasets. If a
+// requirement has no data in any dataset, it likewise drops out of
+// eq. (2); if a use case ends up with no requirements, it drops out of
+// eq. (4). A region with no usable cell at all is an error. Every drop
+// is recorded in ScoreBreakdown::coverage_warnings.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iqb/core/thresholds.hpp"
+#include "iqb/core/weights.hpp"
+#include "iqb/datasets/aggregate.hpp"
+
+namespace iqb::core {
+
+/// The binary score tensor S_{u,r,d} for one region at one quality
+/// level. Cells may be absent (missing data).
+class BinaryScoreTensor {
+ public:
+  void set(UseCase use_case, Requirement requirement, const std::string& dataset,
+           bool met);
+  std::optional<bool> get(UseCase use_case, Requirement requirement,
+                          const std::string& dataset) const noexcept;
+  std::size_t size() const noexcept { return cells_.size(); }
+  std::vector<std::string> datasets() const;
+
+ private:
+  std::map<std::tuple<int, int, std::string>, bool> cells_;
+};
+
+/// Full decomposition of one region's IQB score.
+struct ScoreBreakdown {
+  QualityLevel level = QualityLevel::kHigh;
+  double iqb_score = 0.0;  ///< S_IQB in [0,1].
+  std::map<UseCase, double> use_case_scores;                      ///< S_u.
+  std::map<std::pair<UseCase, Requirement>, double> requirement_scores;  ///< S_{u,r}.
+  BinaryScoreTensor binary;                                       ///< S_{u,r,d}.
+  /// Human-readable notes about dropped cells/requirements/use cases.
+  std::vector<std::string> coverage_warnings;
+};
+
+class Scorer {
+ public:
+  Scorer(ThresholdTable thresholds, WeightTable weights)
+      : thresholds_(std::move(thresholds)), weights_(std::move(weights)) {}
+
+  const ThresholdTable& thresholds() const noexcept { return thresholds_; }
+  const WeightTable& weights() const noexcept { return weights_; }
+
+  /// Build S_{u,r,d} for a region from aggregated dataset values.
+  /// `datasets` lists the datasets to consult (typically the weight
+  /// table's known datasets). Cells without an aggregate are absent.
+  BinaryScoreTensor binarize(const datasets::AggregateTable& aggregates,
+                             const std::string& region,
+                             const std::vector<std::string>& datasets,
+                             QualityLevel level) const;
+
+  /// Score a tensor: the factored evaluation (eqs. 1, 2, 4).
+  /// Error if the tensor contributes no usable cell.
+  util::Result<ScoreBreakdown> score(const BinaryScoreTensor& tensor,
+                                     QualityLevel level) const;
+
+  /// The collapsed single-sum evaluation (eq. 5):
+  /// S_IQB = Σ_u Σ_r Σ_d w'_u w'_{u,r} w'_{u,r,d} S_{u,r,d}.
+  /// Algebraically identical to score().iqb_score; exists so property
+  /// tests can verify the paper's derivation and benches can compare
+  /// the two evaluation orders.
+  util::Result<double> score_collapsed(const BinaryScoreTensor& tensor) const;
+
+  /// Convenience: binarize + score in one step.
+  util::Result<ScoreBreakdown> score_region(
+      const datasets::AggregateTable& aggregates, const std::string& region,
+      const std::vector<std::string>& datasets, QualityLevel level) const;
+
+ private:
+  ThresholdTable thresholds_;
+  WeightTable weights_;
+};
+
+}  // namespace iqb::core

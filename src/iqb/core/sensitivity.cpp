@@ -1,0 +1,116 @@
+#include "iqb/core/sensitivity.hpp"
+
+#include <algorithm>
+
+namespace iqb::core {
+
+using util::Result;
+
+Result<double> SensitivityAnalyzer::score_with(const IqbConfig& config,
+                                               const std::string& region,
+                                               QualityLevel level) const {
+  auto aggregates = datasets::aggregate(store_, config.aggregation);
+  Scorer scorer(config.thresholds, config.weights);
+  auto breakdown =
+      scorer.score_region(aggregates, region, config.dataset_panel, level);
+  if (!breakdown.ok()) return breakdown.error();
+  return breakdown->iqb_score;
+}
+
+Result<SensitivityReport> SensitivityAnalyzer::analyze(
+    const std::string& region, QualityLevel level,
+    std::vector<double> percentiles, std::vector<double> factors) const {
+  SensitivityReport report;
+  report.region = region;
+  report.level = level;
+
+  auto baseline = score_with(config_, region, level);
+  if (!baseline.ok()) return baseline.error();
+  report.baseline_score = baseline.value();
+
+  // --- weight perturbations: ±1 on every Table 1 entry -------------
+  for (UseCase use_case : kAllUseCases) {
+    for (Requirement requirement : kAllRequirements) {
+      const int current = config_.weights.requirement_weight(use_case, requirement);
+      for (int delta : {-1, +1}) {
+        const int next = current + delta;
+        if (next < kMinWeight || next > kMaxWeight) continue;
+        IqbConfig variant = config_;
+        auto set =
+            variant.weights.set_requirement_weight(use_case, requirement, next);
+        if (!set.ok()) continue;
+        auto score = score_with(variant, region, level);
+        if (!score.ok()) continue;
+        WeightPerturbation perturbation;
+        perturbation.use_case = use_case;
+        perturbation.requirement = requirement;
+        perturbation.delta = delta;
+        perturbation.score = score.value();
+        perturbation.shift = score.value() - report.baseline_score;
+        report.weight_perturbations.push_back(perturbation);
+      }
+    }
+  }
+
+  // --- leave-one-dataset-out ----------------------------------------
+  if (config_.dataset_panel.size() > 1) {
+    for (const std::string& removed : config_.dataset_panel) {
+      IqbConfig variant = config_;
+      variant.dataset_panel.clear();
+      for (const std::string& dataset : config_.dataset_panel) {
+        if (dataset != removed) variant.dataset_panel.push_back(dataset);
+      }
+      auto score = score_with(variant, region, level);
+      if (!score.ok()) continue;
+      DatasetAblation ablation;
+      ablation.removed_dataset = removed;
+      ablation.score = score.value();
+      ablation.shift = score.value() - report.baseline_score;
+      report.dataset_ablations.push_back(ablation);
+    }
+  }
+
+  // --- aggregation percentile sweep ----------------------------------
+  for (double percentile : percentiles) {
+    IqbConfig variant = config_;
+    variant.aggregation.percentile = percentile;
+    auto score = score_with(variant, region, level);
+    if (!score.ok()) continue;
+    report.percentile_sweep.push_back({percentile, score.value()});
+  }
+
+  // --- threshold scaling per requirement ------------------------------
+  for (Requirement requirement : kAllRequirements) {
+    for (double factor : factors) {
+      IqbConfig variant = config_;
+      bool applied = true;
+      for (UseCase use_case : kAllUseCases) {
+        for (QualityLevel threshold_level : kAllQualityLevels) {
+          auto threshold =
+              config_.thresholds.get(use_case, requirement, threshold_level);
+          if (!threshold.ok()) continue;
+          double scaled = threshold->value * factor;
+          if (requirement == Requirement::kPacketLoss) {
+            scaled = std::min(scaled, 1.0);
+          }
+          auto set = variant.thresholds.set(use_case, requirement,
+                                            threshold_level, scaled);
+          if (!set.ok()) applied = false;
+        }
+      }
+      if (!applied) continue;
+      auto score = score_with(variant, region, level);
+      if (!score.ok()) continue;
+      ThresholdScalePoint point;
+      point.requirement = requirement;
+      point.factor = factor;
+      point.score = score.value();
+      point.shift = score.value() - report.baseline_score;
+      report.threshold_scaling.push_back(point);
+    }
+  }
+
+  return report;
+}
+
+}  // namespace iqb::core

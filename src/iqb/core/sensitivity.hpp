@@ -1,0 +1,81 @@
+// Sensitivity analysis over the IQB design choices.
+//
+// The paper positions its weights, thresholds and 95th-percentile
+// aggregation as an "initial iteration ... designed to be easily
+// adapted". This module quantifies how much each choice matters for a
+// concrete region:
+//  * weight perturbation    — ±1 on each w_{u,r} (Table 1 entries);
+//  * threshold scaling      — multiply all thresholds of a requirement
+//                             by a factor sweep;
+//  * leave-one-dataset-out  — score with each dataset removed, the
+//                             classic corroboration check;
+//  * percentile sweep       — re-aggregate at different percentiles.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iqb/core/pipeline.hpp"
+
+namespace iqb::core {
+
+struct WeightPerturbation {
+  UseCase use_case = UseCase::kWebBrowsing;
+  Requirement requirement = Requirement::kDownloadThroughput;
+  int delta = 0;           ///< Applied weight change (+1 / -1).
+  double score = 0.0;      ///< IQB score with the change.
+  double shift = 0.0;      ///< score - baseline.
+};
+
+struct DatasetAblation {
+  std::string removed_dataset;
+  double score = 0.0;
+  double shift = 0.0;
+};
+
+struct PercentileSweepPoint {
+  double percentile = 0.0;
+  double score = 0.0;
+};
+
+struct ThresholdScalePoint {
+  Requirement requirement = Requirement::kDownloadThroughput;
+  double factor = 1.0;     ///< Applied to every use case's threshold.
+  double score = 0.0;
+  double shift = 0.0;
+};
+
+struct SensitivityReport {
+  std::string region;
+  QualityLevel level = QualityLevel::kHigh;
+  double baseline_score = 0.0;
+  std::vector<WeightPerturbation> weight_perturbations;
+  std::vector<DatasetAblation> dataset_ablations;
+  std::vector<PercentileSweepPoint> percentile_sweep;
+  std::vector<ThresholdScalePoint> threshold_scaling;
+};
+
+class SensitivityAnalyzer {
+ public:
+  SensitivityAnalyzer(IqbConfig config, const datasets::RecordStore& store)
+      : config_(std::move(config)), store_(store) {}
+
+  /// Full report for one region. percentiles: aggregation levels to
+  /// sweep (default {50,75,90,95,99}); factors: threshold scale
+  /// factors (default {0.5, 0.75, 1.25, 1.5, 2.0}).
+  util::Result<SensitivityReport> analyze(
+      const std::string& region, QualityLevel level = QualityLevel::kHigh,
+      std::vector<double> percentiles = {50, 75, 90, 95, 99},
+      std::vector<double> factors = {0.5, 0.75, 1.25, 1.5, 2.0}) const;
+
+ private:
+  util::Result<double> score_with(const IqbConfig& config,
+                                  const std::string& region,
+                                  QualityLevel level) const;
+
+  IqbConfig config_;
+  const datasets::RecordStore& store_;
+};
+
+}  // namespace iqb::core

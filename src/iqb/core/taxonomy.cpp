@@ -1,0 +1,101 @@
+#include "iqb/core/taxonomy.hpp"
+
+namespace iqb::core {
+
+std::string_view use_case_name(UseCase use_case) noexcept {
+  switch (use_case) {
+    case UseCase::kWebBrowsing: return "web_browsing";
+    case UseCase::kVideoStreaming: return "video_streaming";
+    case UseCase::kVideoConferencing: return "video_conferencing";
+    case UseCase::kAudioStreaming: return "audio_streaming";
+    case UseCase::kOnlineBackup: return "online_backup";
+    case UseCase::kGaming: return "gaming";
+  }
+  return "unknown";
+}
+
+std::string_view use_case_display_name(UseCase use_case) noexcept {
+  switch (use_case) {
+    case UseCase::kWebBrowsing: return "Web Browsing";
+    case UseCase::kVideoStreaming: return "Video Streaming";
+    case UseCase::kVideoConferencing: return "Video Conferencing";
+    case UseCase::kAudioStreaming: return "Audio Streaming";
+    case UseCase::kOnlineBackup: return "Online Backup";
+    case UseCase::kGaming: return "Gaming";
+  }
+  return "Unknown";
+}
+
+util::Result<UseCase> use_case_from_name(std::string_view name) {
+  for (UseCase use_case : kAllUseCases) {
+    if (use_case_name(use_case) == name) return use_case;
+  }
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "unknown use case '" + std::string(name) + "'");
+}
+
+std::string_view requirement_name(Requirement requirement) noexcept {
+  switch (requirement) {
+    case Requirement::kDownloadThroughput: return "download_throughput";
+    case Requirement::kUploadThroughput: return "upload_throughput";
+    case Requirement::kLatency: return "latency";
+    case Requirement::kPacketLoss: return "packet_loss";
+  }
+  return "unknown";
+}
+
+std::string_view requirement_display_name(Requirement requirement) noexcept {
+  switch (requirement) {
+    case Requirement::kDownloadThroughput: return "Download Throughput";
+    case Requirement::kUploadThroughput: return "Upload Throughput";
+    case Requirement::kLatency: return "Latency";
+    case Requirement::kPacketLoss: return "Packet Loss";
+  }
+  return "Unknown";
+}
+
+util::Result<Requirement> requirement_from_name(std::string_view name) {
+  for (Requirement requirement : kAllRequirements) {
+    if (requirement_name(requirement) == name) return requirement;
+  }
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "unknown requirement '" + std::string(name) + "'");
+}
+
+std::string_view quality_level_name(QualityLevel level) noexcept {
+  switch (level) {
+    case QualityLevel::kMinimum: return "minimum";
+    case QualityLevel::kHigh: return "high";
+  }
+  return "unknown";
+}
+
+util::Result<QualityLevel> quality_level_from_name(std::string_view name) {
+  for (QualityLevel level : kAllQualityLevels) {
+    if (quality_level_name(level) == name) return level;
+  }
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "unknown quality level '" + std::string(name) + "'");
+}
+
+datasets::Metric requirement_metric(Requirement requirement) noexcept {
+  switch (requirement) {
+    case Requirement::kDownloadThroughput: return datasets::Metric::kDownload;
+    case Requirement::kUploadThroughput: return datasets::Metric::kUpload;
+    case Requirement::kLatency: return datasets::Metric::kLatency;
+    case Requirement::kPacketLoss: return datasets::Metric::kLoss;
+  }
+  return datasets::Metric::kDownload;
+}
+
+bool requirement_higher_is_better(Requirement requirement) noexcept {
+  switch (requirement) {
+    case Requirement::kDownloadThroughput:
+    case Requirement::kUploadThroughput: return true;
+    case Requirement::kLatency:
+    case Requirement::kPacketLoss: return false;
+  }
+  return true;
+}
+
+}  // namespace iqb::core

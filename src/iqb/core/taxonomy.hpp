@@ -1,0 +1,71 @@
+// The IQB taxonomy: use cases, network requirements, quality levels.
+//
+// Paper §2: six use cases (following Cranor et al.'s consumer
+// broadband label work) and four network requirements measurable from
+// open datasets. String names are stable identifiers used in configs
+// and reports.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "iqb/datasets/record.hpp"
+#include "iqb/util/result.hpp"
+
+namespace iqb::core {
+
+enum class UseCase {
+  kWebBrowsing,
+  kVideoStreaming,
+  kVideoConferencing,
+  kAudioStreaming,
+  kOnlineBackup,
+  kGaming,
+};
+
+inline constexpr std::array<UseCase, 6> kAllUseCases = {
+    UseCase::kWebBrowsing,   UseCase::kVideoStreaming,
+    UseCase::kVideoConferencing, UseCase::kAudioStreaming,
+    UseCase::kOnlineBackup,  UseCase::kGaming,
+};
+
+enum class Requirement {
+  kDownloadThroughput,
+  kUploadThroughput,
+  kLatency,
+  kPacketLoss,
+};
+
+inline constexpr std::array<Requirement, 4> kAllRequirements = {
+    Requirement::kDownloadThroughput,
+    Requirement::kUploadThroughput,
+    Requirement::kLatency,
+    Requirement::kPacketLoss,
+};
+
+/// Fig. 2 defines thresholds at two levels.
+enum class QualityLevel { kMinimum, kHigh };
+
+inline constexpr std::array<QualityLevel, 2> kAllQualityLevels = {
+    QualityLevel::kMinimum, QualityLevel::kHigh};
+
+std::string_view use_case_name(UseCase use_case) noexcept;
+std::string_view use_case_display_name(UseCase use_case) noexcept;
+util::Result<UseCase> use_case_from_name(std::string_view name);
+
+std::string_view requirement_name(Requirement requirement) noexcept;
+std::string_view requirement_display_name(Requirement requirement) noexcept;
+util::Result<Requirement> requirement_from_name(std::string_view name);
+
+std::string_view quality_level_name(QualityLevel level) noexcept;
+util::Result<QualityLevel> quality_level_from_name(std::string_view name);
+
+/// The dataset-tier metric a requirement is evaluated against.
+datasets::Metric requirement_metric(Requirement requirement) noexcept;
+
+/// Comparison direction: true if meeting the requirement means the
+/// measured value must be >= the threshold (throughput), false if it
+/// must be <= (latency, loss).
+bool requirement_higher_is_better(Requirement requirement) noexcept;
+
+}  // namespace iqb::core

@@ -1,0 +1,188 @@
+#include "iqb/core/thresholds.hpp"
+
+#include <cmath>
+
+namespace iqb::core {
+
+using util::ErrorCode;
+using util::JsonObject;
+using util::JsonValue;
+using util::make_error;
+using util::Result;
+
+ThresholdTable ThresholdTable::paper_defaults() {
+  ThresholdTable table;
+  using U = UseCase;
+  using R = Requirement;
+  using L = QualityLevel;
+
+  struct Row {
+    U use_case;
+    double down_min, down_high;
+    double up_min, up_high;
+    double lat_min, lat_high;     // ms
+    double loss_min, loss_high;   // percent (converted below)
+  };
+  // Fig. 2, one row per use case. Loss expressed in percent as
+  // published; converted to fractions when stored.
+  constexpr Row kRows[] = {
+      {U::kWebBrowsing,        10, 100, 10, 10,  100, 50,  1.0, 0.5},
+      {U::kVideoStreaming,     25, 100, 10, 10,  100, 50,  1.0, 0.1},
+      {U::kVideoConferencing,  10, 100, 25, 100, 50,  20,  0.5, 0.1},
+      {U::kAudioStreaming,     10, 50,  10, 50,  100, 50,  1.0, 0.1},
+      {U::kOnlineBackup,       10, 10,  25, 200, 100, 100, 1.0, 0.1},
+      {U::kGaming,             10, 100, 10, 10,  100, 50,  1.0, 0.5},
+  };
+  for (const Row& row : kRows) {
+    // set() cannot fail for these constants; ignore the Results.
+    (void)table.set(row.use_case, R::kDownloadThroughput, L::kMinimum, row.down_min);
+    (void)table.set(row.use_case, R::kDownloadThroughput, L::kHigh, row.down_high);
+    (void)table.set(row.use_case, R::kUploadThroughput, L::kMinimum, row.up_min);
+    (void)table.set(row.use_case, R::kUploadThroughput, L::kHigh, row.up_high);
+    (void)table.set(row.use_case, R::kLatency, L::kMinimum, row.lat_min);
+    (void)table.set(row.use_case, R::kLatency, L::kHigh, row.lat_high);
+    (void)table.set(row.use_case, R::kPacketLoss, L::kMinimum, row.loss_min / 100.0);
+    (void)table.set(row.use_case, R::kPacketLoss, L::kHigh, row.loss_high / 100.0);
+  }
+  return table;
+}
+
+Result<void> ThresholdTable::set(UseCase use_case, Requirement requirement,
+                                 QualityLevel level, double value) {
+  if (!std::isfinite(value) || value < 0.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "threshold must be finite and non-negative");
+  }
+  if (requirement == Requirement::kPacketLoss && value > 1.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "packet loss threshold is a fraction in [0,1], got " +
+                          std::to_string(value));
+  }
+  cells_[Key{static_cast<int>(use_case), static_cast<int>(requirement),
+             static_cast<int>(level)}] = Threshold{value};
+  return Result<void>::success();
+}
+
+Result<Threshold> ThresholdTable::get(UseCase use_case, Requirement requirement,
+                                      QualityLevel level) const {
+  auto it = cells_.find(Key{static_cast<int>(use_case),
+                            static_cast<int>(requirement),
+                            static_cast<int>(level)});
+  if (it == cells_.end()) {
+    return make_error(
+        ErrorCode::kNotFound,
+        "no threshold for " + std::string(use_case_name(use_case)) + "/" +
+            std::string(requirement_name(requirement)) + "/" +
+            std::string(quality_level_name(level)));
+  }
+  return it->second;
+}
+
+bool ThresholdTable::contains(UseCase use_case, Requirement requirement,
+                              QualityLevel level) const noexcept {
+  return cells_.find(Key{static_cast<int>(use_case),
+                         static_cast<int>(requirement),
+                         static_cast<int>(level)}) != cells_.end();
+}
+
+bool ThresholdTable::is_complete() const noexcept {
+  for (UseCase use_case : kAllUseCases) {
+    for (Requirement requirement : kAllRequirements) {
+      for (QualityLevel level : kAllQualityLevels) {
+        if (!contains(use_case, requirement, level)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<void> ThresholdTable::validate() const {
+  for (UseCase use_case : kAllUseCases) {
+    for (Requirement requirement : kAllRequirements) {
+      auto minimum = get(use_case, requirement, QualityLevel::kMinimum);
+      auto high = get(use_case, requirement, QualityLevel::kHigh);
+      if (!minimum.ok() || !high.ok()) continue;  // incomplete is allowed
+      const bool consistent =
+          requirement_higher_is_better(requirement)
+              ? high->value >= minimum->value
+              : high->value <= minimum->value;
+      if (!consistent) {
+        return make_error(
+            ErrorCode::kInvalidArgument,
+            "high-quality threshold for " +
+                std::string(use_case_name(use_case)) + "/" +
+                std::string(requirement_name(requirement)) +
+                " is less demanding than the minimum-quality threshold");
+      }
+    }
+  }
+  return Result<void>::success();
+}
+
+JsonValue ThresholdTable::to_json() const {
+  // Layout: { "web_browsing": { "latency": {"minimum": 100, "high": 50},
+  //                             ... }, ... }
+  JsonObject root;
+  for (UseCase use_case : kAllUseCases) {
+    JsonObject per_use_case;
+    for (Requirement requirement : kAllRequirements) {
+      JsonObject per_requirement;
+      for (QualityLevel level : kAllQualityLevels) {
+        auto threshold = get(use_case, requirement, level);
+        if (threshold.ok()) {
+          per_requirement.emplace(std::string(quality_level_name(level)),
+                                  threshold->value);
+        }
+      }
+      if (!per_requirement.empty()) {
+        per_use_case.emplace(std::string(requirement_name(requirement)),
+                             std::move(per_requirement));
+      }
+    }
+    if (!per_use_case.empty()) {
+      root.emplace(std::string(use_case_name(use_case)),
+                   std::move(per_use_case));
+    }
+  }
+  return root;
+}
+
+Result<ThresholdTable> ThresholdTable::from_json(const JsonValue& json) {
+  if (!json.is_object()) {
+    return make_error(ErrorCode::kParseError,
+                      "threshold table JSON must be an object");
+  }
+  ThresholdTable table;
+  for (const auto& [use_case_key, requirements] : json.as_object()) {
+    auto use_case = use_case_from_name(use_case_key);
+    if (!use_case.ok()) return use_case.error();
+    if (!requirements.is_object()) {
+      return make_error(ErrorCode::kParseError,
+                        "thresholds for '" + use_case_key +
+                            "' must be an object");
+    }
+    for (const auto& [requirement_key, levels] : requirements.as_object()) {
+      auto requirement = requirement_from_name(requirement_key);
+      if (!requirement.ok()) return requirement.error();
+      if (!levels.is_object()) {
+        return make_error(ErrorCode::kParseError,
+                          "threshold levels for '" + requirement_key +
+                              "' must be an object");
+      }
+      for (const auto& [level_key, value] : levels.as_object()) {
+        auto level = quality_level_from_name(level_key);
+        if (!level.ok()) return level.error();
+        if (!value.is_number()) {
+          return make_error(ErrorCode::kParseError,
+                            "threshold value must be a number");
+        }
+        auto set_result = table.set(use_case.value(), requirement.value(),
+                                    level.value(), value.as_number());
+        if (!set_result.ok()) return set_result.error();
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace iqb::core

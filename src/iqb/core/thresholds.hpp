@@ -1,0 +1,78 @@
+// Quality thresholds per (use case, requirement, quality level) —
+// paper Fig. 2.
+//
+// Values are stored in each requirement's canonical unit (Mb/s, ms,
+// loss fraction). Two cells in the published table need interpretation
+// and are documented in DESIGN.md:
+//  * Web Browsing / Gaming upload "Other" at high quality — encoded as
+//    the minimum-quality value (10 Mb/s): the experts did not raise
+//    the upload requirement for high quality.
+//  * Video Streaming download high "50-100 Mb/s" — encoded as the
+//    upper bound, 100 Mb/s (conservative reading: high quality means
+//    multiple simultaneous UHD streams).
+#pragma once
+
+#include <map>
+
+#include "iqb/core/taxonomy.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::core {
+
+/// A threshold in the requirement's canonical unit.
+struct Threshold {
+  double value = 0.0;
+
+  /// True if `measured` (canonical units) satisfies this threshold for
+  /// the given requirement (>= for throughput, <= for latency/loss).
+  bool met_by(Requirement requirement, double measured) const noexcept {
+    return requirement_higher_is_better(requirement) ? measured >= value
+                                                     : measured <= value;
+  }
+
+  bool operator==(const Threshold&) const = default;
+};
+
+class ThresholdTable {
+ public:
+  /// Empty table; use paper_defaults() for Fig. 2.
+  ThresholdTable() = default;
+
+  /// The published Fig. 2 thresholds.
+  static ThresholdTable paper_defaults();
+
+  /// Set/overwrite one cell. Values must be finite and non-negative;
+  /// loss thresholds are fractions in [0,1].
+  util::Result<void> set(UseCase use_case, Requirement requirement,
+                         QualityLevel level, double value);
+
+  /// Lookup; kNotFound if the cell was never set.
+  util::Result<Threshold> get(UseCase use_case, Requirement requirement,
+                              QualityLevel level) const;
+
+  bool contains(UseCase use_case, Requirement requirement,
+                QualityLevel level) const noexcept;
+
+  /// Whether the table has every (use case, requirement, level) cell.
+  bool is_complete() const noexcept;
+
+  /// Internal consistency: for every cell pair, the high-quality
+  /// threshold must be at least as demanding as the minimum-quality
+  /// one (>= for throughput, <= for latency/loss). Returns the first
+  /// violation found, or success.
+  util::Result<void> validate() const;
+
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  /// JSON round-trip, used by IqbConfig.
+  util::JsonValue to_json() const;
+  static util::Result<ThresholdTable> from_json(const util::JsonValue& json);
+
+  bool operator==(const ThresholdTable& other) const = default;
+
+ private:
+  using Key = std::tuple<int, int, int>;  // use case, requirement, level
+  std::map<Key, Threshold> cells_;
+};
+
+}  // namespace iqb::core

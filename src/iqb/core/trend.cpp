@@ -1,0 +1,119 @@
+#include "iqb/core/trend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iqb::core {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+std::string_view trend_direction_name(TrendDirection direction) noexcept {
+  switch (direction) {
+    case TrendDirection::kImproving: return "improving";
+    case TrendDirection::kStable: return "stable";
+    case TrendDirection::kRegressing: return "regressing";
+  }
+  return "unknown";
+}
+
+Result<double> ols_slope(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "ols_slope: need >= 2 paired samples");
+  }
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(x.size());
+  mean_y /= static_cast<double>(x.size());
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    sxx += dx * dx;
+    sxy += dx * (y[i] - mean_y);
+  }
+  if (sxx == 0.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "ols_slope: all x values identical");
+  }
+  return sxy / sxx;
+}
+
+Result<std::vector<RegionTrend>> analyze_trends(
+    const datasets::RecordStore& store, const IqbConfig& config,
+    const TrendConfig& trend_config) {
+  if (store.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "trend analysis: empty store");
+  }
+  if (trend_config.window_seconds <= 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "trend analysis: window_seconds must be positive");
+  }
+
+  // Time extent of the data.
+  util::Timestamp earliest = store.records().front().timestamp;
+  util::Timestamp latest = earliest;
+  for (const auto& record : store.records()) {
+    earliest = std::min(earliest, record.timestamp);
+    latest = std::max(latest, record.timestamp);
+  }
+
+  const Pipeline pipeline(config);
+  std::vector<RegionTrend> trends;
+  for (const std::string& region : store.regions()) {
+    RegionTrend trend;
+    trend.region = region;
+
+    for (util::Timestamp window_start = earliest; window_start <= latest;
+         window_start = window_start + trend_config.window_seconds) {
+      const util::Timestamp window_end =
+          window_start + trend_config.window_seconds;
+      datasets::RecordFilter filter;
+      filter.region = region;
+      filter.from = window_start;
+      filter.to = window_end;
+      datasets::RecordStore window_store(store.query(filter));
+      if (window_store.size() < trend_config.min_records_per_window) continue;
+
+      auto output = pipeline.run(window_store);
+      if (output.results.empty()) continue;
+      WindowScore window;
+      window.window_start = window_start;
+      window.window_end = window_end;
+      window.iqb_high = output.results.front().high.iqb_score;
+      window.iqb_minimum = output.results.front().minimum.iqb_score;
+      window.record_count = window_store.size();
+      trend.windows.push_back(window);
+    }
+
+    if (trend.windows.size() >= 2) {
+      std::vector<double> days, scores;
+      days.reserve(trend.windows.size());
+      scores.reserve(trend.windows.size());
+      for (const WindowScore& window : trend.windows) {
+        days.push_back(
+            static_cast<double>(window.window_start - earliest) / 86400.0);
+        scores.push_back(window.iqb_high);
+      }
+      auto slope = ols_slope(days, scores);
+      if (slope.ok()) {
+        trend.slope_per_day = slope.value();
+        trend.first_score = trend.windows.front().iqb_high;
+        trend.last_score = trend.windows.back().iqb_high;
+        if (trend.slope_per_day > trend_config.stable_slope_per_day) {
+          trend.direction = TrendDirection::kImproving;
+        } else if (trend.slope_per_day < -trend_config.stable_slope_per_day) {
+          trend.direction = TrendDirection::kRegressing;
+        }
+      }
+    }
+    trends.push_back(std::move(trend));
+  }
+  return trends;
+}
+
+}  // namespace iqb::core

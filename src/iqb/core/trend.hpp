@@ -1,0 +1,65 @@
+// Time-windowed IQB scoring and trend detection.
+//
+// The poster frames IQB as a tool to "equip decision-makers with
+// actionable insights"; a single score is a snapshot, but decisions
+// need direction: is a region improving or regressing? This module
+// slices a record store into fixed time windows, scores each window
+// with the standard pipeline, and fits an ordinary-least-squares line
+// through the window scores per region.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/util/timestamp.hpp"
+
+namespace iqb::core {
+
+struct WindowScore {
+  util::Timestamp window_start;
+  util::Timestamp window_end;  ///< Exclusive.
+  double iqb_high = 0.0;
+  double iqb_minimum = 0.0;
+  std::size_t record_count = 0;
+};
+
+enum class TrendDirection { kImproving, kStable, kRegressing };
+
+std::string_view trend_direction_name(TrendDirection direction) noexcept;
+
+struct RegionTrend {
+  std::string region;
+  std::vector<WindowScore> windows;
+  /// OLS slope of the high-quality score in score units per day.
+  double slope_per_day = 0.0;
+  /// First/last window scores, for at-a-glance deltas.
+  double first_score = 0.0;
+  double last_score = 0.0;
+  TrendDirection direction = TrendDirection::kStable;
+};
+
+struct TrendConfig {
+  /// Window width in seconds (default: 7 days).
+  std::int64_t window_seconds = 7 * 86400;
+  /// Windows with fewer records than this are skipped (a window with
+  /// two tests is noise, not signal).
+  std::size_t min_records_per_window = 5;
+  /// |slope| below this (score units per day) counts as kStable.
+  double stable_slope_per_day = 0.002;
+};
+
+/// Score each region per time window and fit the trend. Regions with
+/// fewer than two scoreable windows get an empty trend (direction
+/// kStable, no slope). Error only if the store is empty.
+util::Result<std::vector<RegionTrend>> analyze_trends(
+    const datasets::RecordStore& store, const IqbConfig& config,
+    const TrendConfig& trend_config = {});
+
+/// OLS slope of (x, y) pairs; exposed for testing. Error if n < 2 or
+/// all x identical.
+util::Result<double> ols_slope(std::span<const double> x,
+                               std::span<const double> y);
+
+}  // namespace iqb::core

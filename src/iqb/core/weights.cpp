@@ -1,0 +1,212 @@
+#include "iqb/core/weights.hpp"
+
+#include <algorithm>
+
+#include "iqb/util/strings.hpp"
+
+namespace iqb::core {
+
+using util::ErrorCode;
+using util::JsonObject;
+using util::JsonValue;
+using util::make_error;
+using util::Result;
+
+WeightTable WeightTable::paper_defaults(const std::vector<std::string>& datasets) {
+  WeightTable table;
+  using U = UseCase;
+  using R = Requirement;
+
+  // w_u: the paper publishes no values; default to equal importance.
+  for (UseCase use_case : kAllUseCases) {
+    (void)table.set_use_case_weight(use_case, 1);
+  }
+
+  // w_{u,r}: Table 1 exactly.
+  struct Row {
+    U use_case;
+    int down, up, latency, loss;
+  };
+  constexpr Row kTable1[] = {
+      {U::kWebBrowsing,       3, 2, 4, 4},
+      {U::kVideoStreaming,    4, 2, 4, 4},
+      {U::kAudioStreaming,    4, 1, 3, 4},
+      {U::kVideoConferencing, 4, 4, 4, 4},
+      {U::kOnlineBackup,      4, 4, 2, 4},
+      {U::kGaming,            4, 4, 5, 4},
+  };
+  for (const Row& row : kTable1) {
+    (void)table.set_requirement_weight(row.use_case, R::kDownloadThroughput, row.down);
+    (void)table.set_requirement_weight(row.use_case, R::kUploadThroughput, row.up);
+    (void)table.set_requirement_weight(row.use_case, R::kLatency, row.latency);
+    (void)table.set_requirement_weight(row.use_case, R::kPacketLoss, row.loss);
+  }
+
+  // w_{u,r,d}: equal trust in each dataset by default.
+  for (UseCase use_case : kAllUseCases) {
+    for (Requirement requirement : kAllRequirements) {
+      for (const std::string& dataset : datasets) {
+        (void)table.set_dataset_weight(use_case, requirement, dataset, 1);
+      }
+    }
+  }
+  return table;
+}
+
+Result<void> WeightTable::check_weight(int weight) {
+  if (weight < kMinWeight || weight > kMaxWeight) {
+    return make_error(ErrorCode::kOutOfRange,
+                      "weight must be an integer in [0,5], got " +
+                          std::to_string(weight));
+  }
+  return Result<void>::success();
+}
+
+Result<void> WeightTable::set_use_case_weight(UseCase use_case, int weight) {
+  if (auto check = check_weight(weight); !check.ok()) return check;
+  use_case_weights_[static_cast<int>(use_case)] = weight;
+  return Result<void>::success();
+}
+
+Result<void> WeightTable::set_requirement_weight(UseCase use_case,
+                                                 Requirement requirement,
+                                                 int weight) {
+  if (auto check = check_weight(weight); !check.ok()) return check;
+  requirement_weights_[{static_cast<int>(use_case),
+                        static_cast<int>(requirement)}] = weight;
+  return Result<void>::success();
+}
+
+Result<void> WeightTable::set_dataset_weight(UseCase use_case,
+                                             Requirement requirement,
+                                             const std::string& dataset,
+                                             int weight) {
+  if (auto check = check_weight(weight); !check.ok()) return check;
+  dataset_weights_[{static_cast<int>(use_case), static_cast<int>(requirement),
+                    dataset}] = weight;
+  return Result<void>::success();
+}
+
+int WeightTable::use_case_weight(UseCase use_case) const noexcept {
+  auto it = use_case_weights_.find(static_cast<int>(use_case));
+  return it == use_case_weights_.end() ? 1 : it->second;
+}
+
+int WeightTable::requirement_weight(UseCase use_case,
+                                    Requirement requirement) const noexcept {
+  auto it = requirement_weights_.find(
+      {static_cast<int>(use_case), static_cast<int>(requirement)});
+  return it == requirement_weights_.end() ? 1 : it->second;
+}
+
+int WeightTable::dataset_weight(UseCase use_case, Requirement requirement,
+                                const std::string& dataset) const noexcept {
+  auto it = dataset_weights_.find({static_cast<int>(use_case),
+                                   static_cast<int>(requirement), dataset});
+  return it == dataset_weights_.end() ? 1 : it->second;
+}
+
+std::vector<std::string> WeightTable::known_datasets() const {
+  std::vector<std::string> out;
+  for (const auto& [key, weight] : dataset_weights_) {
+    const std::string& name = std::get<2>(key);
+    if (out.empty() || out.back() != name) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+JsonValue WeightTable::to_json() const {
+  JsonObject use_cases;
+  for (const auto& [use_case, weight] : use_case_weights_) {
+    use_cases.emplace(
+        std::string(use_case_name(static_cast<UseCase>(use_case))), weight);
+  }
+  JsonObject requirements;
+  for (const auto& [key, weight] : requirement_weights_) {
+    const std::string name =
+        std::string(use_case_name(static_cast<UseCase>(key.first))) + "." +
+        std::string(requirement_name(static_cast<Requirement>(key.second)));
+    requirements.emplace(name, weight);
+  }
+  JsonObject datasets;
+  for (const auto& [key, weight] : dataset_weights_) {
+    const std::string name =
+        std::string(use_case_name(static_cast<UseCase>(std::get<0>(key)))) +
+        "." +
+        std::string(requirement_name(static_cast<Requirement>(std::get<1>(key)))) +
+        "." + std::get<2>(key);
+    datasets.emplace(name, weight);
+  }
+  JsonObject root;
+  root.emplace("use_case_weights", std::move(use_cases));
+  root.emplace("requirement_weights", std::move(requirements));
+  root.emplace("dataset_weights", std::move(datasets));
+  return root;
+}
+
+Result<WeightTable> WeightTable::from_json(const JsonValue& json) {
+  WeightTable table;
+  auto use_cases = json.get_object("use_case_weights");
+  if (use_cases.ok()) {
+    for (const auto& [name, value] : use_cases.value()) {
+      auto use_case = use_case_from_name(name);
+      if (!use_case.ok()) return use_case.error();
+      if (!value.is_number()) {
+        return make_error(ErrorCode::kParseError, "weight must be a number");
+      }
+      auto set = table.set_use_case_weight(use_case.value(),
+                                           static_cast<int>(value.as_number()));
+      if (!set.ok()) return set.error();
+    }
+  }
+  auto requirements = json.get_object("requirement_weights");
+  if (requirements.ok()) {
+    for (const auto& [name, value] : requirements.value()) {
+      auto parts = util::split(name, '.');
+      if (parts.size() != 2) {
+        return make_error(ErrorCode::kParseError,
+                          "requirement weight key must be "
+                          "'<use_case>.<requirement>', got '" + name + "'");
+      }
+      auto use_case = use_case_from_name(parts[0]);
+      if (!use_case.ok()) return use_case.error();
+      auto requirement = requirement_from_name(parts[1]);
+      if (!requirement.ok()) return requirement.error();
+      if (!value.is_number()) {
+        return make_error(ErrorCode::kParseError, "weight must be a number");
+      }
+      auto set = table.set_requirement_weight(
+          use_case.value(), requirement.value(),
+          static_cast<int>(value.as_number()));
+      if (!set.ok()) return set.error();
+    }
+  }
+  auto datasets = json.get_object("dataset_weights");
+  if (datasets.ok()) {
+    for (const auto& [name, value] : datasets.value()) {
+      auto parts = util::split(name, '.');
+      if (parts.size() != 3) {
+        return make_error(
+            ErrorCode::kParseError,
+            "dataset weight key must be '<use_case>.<requirement>.<dataset>', "
+            "got '" + name + "'");
+      }
+      auto use_case = use_case_from_name(parts[0]);
+      if (!use_case.ok()) return use_case.error();
+      auto requirement = requirement_from_name(parts[1]);
+      if (!requirement.ok()) return requirement.error();
+      if (!value.is_number()) {
+        return make_error(ErrorCode::kParseError, "weight must be a number");
+      }
+      auto set = table.set_dataset_weight(use_case.value(), requirement.value(),
+                                          parts[2],
+                                          static_cast<int>(value.as_number()));
+      if (!set.ok()) return set.error();
+    }
+  }
+  return table;
+}
+
+}  // namespace iqb::core

@@ -1,0 +1,68 @@
+// The IQB weight hierarchy — paper §3 and Table 1.
+//
+// Three levels of integer weights in [0, 5]:
+//   w_u       — use-case weight in the IQB score (eq. 4). The paper
+//               defines these but publishes no values; the default is
+//               1 for every use case (equal importance), configurable.
+//   w_{u,r}   — requirement weight per use case (eq. 2) — Table 1.
+//   w_{u,r,d} — dataset weight per (use case, requirement) (eq. 1).
+//               No published values; default 1 per dataset.
+// A weight of 0 removes the element from the weighted average (it
+// contributes nothing to numerator or denominator).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iqb/core/taxonomy.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::core {
+
+/// Validated integer weight in [0,5] per the paper.
+constexpr int kMinWeight = 0;
+constexpr int kMaxWeight = 5;
+
+class WeightTable {
+ public:
+  /// Defaults: w_u = 1 everywhere, w_{u,r} = Table 1, and dataset
+  /// weights 1 for each of `datasets` under every (u, r).
+  static WeightTable paper_defaults(
+      const std::vector<std::string>& datasets = {"ndt", "cloudflare",
+                                                  "ookla"});
+
+  /// Empty table (all lookups fall back to the fallback weight 1).
+  WeightTable() = default;
+
+  util::Result<void> set_use_case_weight(UseCase use_case, int weight);
+  util::Result<void> set_requirement_weight(UseCase use_case,
+                                            Requirement requirement, int weight);
+  util::Result<void> set_dataset_weight(UseCase use_case, Requirement requirement,
+                                        const std::string& dataset, int weight);
+
+  /// Lookups return the stored weight, or 1 if never set — so a table
+  /// with only Table 1 filled in behaves as "equal weights elsewhere".
+  int use_case_weight(UseCase use_case) const noexcept;
+  int requirement_weight(UseCase use_case, Requirement requirement) const noexcept;
+  int dataset_weight(UseCase use_case, Requirement requirement,
+                     const std::string& dataset) const noexcept;
+
+  /// Datasets with an explicit weight entry anywhere in the table.
+  std::vector<std::string> known_datasets() const;
+
+  /// JSON round-trip, used by IqbConfig.
+  util::JsonValue to_json() const;
+  static util::Result<WeightTable> from_json(const util::JsonValue& json);
+
+  bool operator==(const WeightTable& other) const = default;
+
+ private:
+  static util::Result<void> check_weight(int weight);
+
+  std::map<int, int> use_case_weights_;
+  std::map<std::pair<int, int>, int> requirement_weights_;
+  std::map<std::tuple<int, int, std::string>, int> dataset_weights_;
+};
+
+}  // namespace iqb::core

@@ -1,0 +1,124 @@
+#include "iqb/datasets/aggregate.hpp"
+
+#include <algorithm>
+
+namespace iqb::datasets {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+void AggregateTable::put(AggregateCell cell) {
+  Key key{cell.region, cell.dataset, static_cast<int>(cell.metric)};
+  cells_.insert_or_assign(std::move(key), std::move(cell));
+}
+
+Result<AggregateCell> AggregateTable::get(const std::string& region,
+                                          const std::string& dataset,
+                                          Metric metric) const {
+  auto it = cells_.find(Key{region, dataset, static_cast<int>(metric)});
+  if (it == cells_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no aggregate for region='" + region + "' dataset='" +
+                          dataset + "' metric='" +
+                          std::string(metric_name(metric)) + "'");
+  }
+  return it->second;
+}
+
+bool AggregateTable::contains(const std::string& region,
+                              const std::string& dataset,
+                              Metric metric) const noexcept {
+  return cells_.find(Key{region, dataset, static_cast<int>(metric)}) !=
+         cells_.end();
+}
+
+std::vector<AggregateCell> AggregateTable::cells() const {
+  std::vector<AggregateCell> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) out.push_back(cell);
+  return out;
+}
+
+std::vector<std::string> AggregateTable::regions() const {
+  std::vector<std::string> out;
+  for (const auto& [key, cell] : cells_) {
+    if (out.empty() || out.back() != cell.region) out.push_back(cell.region);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::string> AggregateTable::datasets() const {
+  std::vector<std::string> out;
+  for (const auto& [key, cell] : cells_) out.push_back(cell.dataset);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void AggregateTable::merge(const AggregateTable& other) {
+  for (const auto& [key, cell] : other.cells_) {
+    cells_.insert_or_assign(key, cell);
+  }
+}
+
+double effective_percentile(const AggregationPolicy& policy,
+                            Metric metric) noexcept {
+  if (policy.orient_to_worst && metric_higher_is_better(metric)) {
+    return 100.0 - policy.percentile;
+  }
+  return policy.percentile;
+}
+
+Result<AggregateCell> aggregate_cell(const RecordStore& store,
+                                     const std::string& region,
+                                     const std::string& dataset, Metric metric,
+                                     const AggregationPolicy& policy) {
+  RecordFilter filter;
+  filter.region = region;
+  filter.dataset = dataset;
+  std::vector<double> values = store.metric_values(metric, filter);
+  if (values.size() < std::max<std::size_t>(policy.min_samples, 1)) {
+    return make_error(ErrorCode::kEmptyInput,
+                      "insufficient samples for region='" + region +
+                          "' dataset='" + dataset + "' metric='" +
+                          std::string(metric_name(metric)) + "'");
+  }
+  const double p = effective_percentile(policy, metric);
+  auto value = stats::percentile(values, p, policy.method);
+  if (!value.ok()) return value.error();
+
+  AggregateCell cell;
+  cell.region = region;
+  cell.dataset = dataset;
+  cell.metric = metric;
+  cell.value = value.value();
+  cell.sample_count = values.size();
+
+  if (policy.bootstrap_resamples > 0) {
+    util::Rng rng(policy.bootstrap_seed);
+    auto ci = stats::bootstrap_percentile_ci(values, p, rng,
+                                             policy.bootstrap_resamples,
+                                             policy.bootstrap_level);
+    if (ci.ok()) cell.ci = ci.value();
+  }
+  return cell;
+}
+
+AggregateTable aggregate(const RecordStore& store,
+                         const AggregationPolicy& policy) {
+  AggregateTable table;
+  for (const std::string& region : store.regions()) {
+    for (const std::string& dataset : store.dataset_names()) {
+      for (Metric metric : kAllMetrics) {
+        auto cell = aggregate_cell(store, region, dataset, metric, policy);
+        if (cell.ok()) table.put(std::move(cell).value());
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace iqb::datasets

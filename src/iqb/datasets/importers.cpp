@@ -1,0 +1,178 @@
+#include "iqb/datasets/importers.hpp"
+
+#include "iqb/util/csv.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::datasets {
+
+using util::CsvTable;
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+Result<double> field_as_double(const CsvTable& table, std::size_t row,
+                               std::size_t column) {
+  auto value = util::parse_double(table.rows[row][column]);
+  if (!value.ok()) {
+    return make_error(ErrorCode::kParseError,
+                      "row " + std::to_string(row) + " column '" +
+                          table.header[column] + "': " +
+                          value.error().message);
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
+                                              const std::string& region_override) {
+  auto table = util::parse_csv(csv_text);
+  if (!table.ok()) return table.error();
+
+  auto quadkey_column = table->column_index("quadkey");
+  auto down_column = table->column_index("avg_d_kbps");
+  auto up_column = table->column_index("avg_u_kbps");
+  auto latency_column = table->column_index("avg_lat_ms");
+  auto tests_column = table->column_index("tests");
+  if (!quadkey_column.ok()) return quadkey_column.error();
+  if (!down_column.ok()) return down_column.error();
+  if (!up_column.ok()) return up_column.error();
+  if (!latency_column.ok()) return latency_column.error();
+  if (!tests_column.ok()) return tests_column.error();
+
+  // When merging tiles into one region, combine as test-weighted means
+  // (the only correct combination of published means).
+  struct Accumulator {
+    double down_kbps_weighted = 0.0;
+    double up_kbps_weighted = 0.0;
+    double latency_weighted = 0.0;
+    double tests = 0.0;
+  };
+  std::map<std::string, Accumulator> regions;
+
+  for (std::size_t row = 0; row < table->rows.size(); ++row) {
+    auto down = field_as_double(*table, row, down_column.value());
+    auto up = field_as_double(*table, row, up_column.value());
+    auto latency = field_as_double(*table, row, latency_column.value());
+    auto tests = field_as_double(*table, row, tests_column.value());
+    if (!down.ok()) return down.error();
+    if (!up.ok()) return up.error();
+    if (!latency.ok()) return latency.error();
+    if (!tests.ok()) return tests.error();
+    if (tests.value() <= 0.0) continue;  // empty tile
+    if (down.value() < 0.0 || up.value() < 0.0 || latency.value() < 0.0) {
+      return make_error(ErrorCode::kParseError,
+                        "row " + std::to_string(row) +
+                            ": negative measurement value");
+    }
+    const std::string region =
+        region_override.empty()
+            ? table->rows[row][quadkey_column.value()]
+            : region_override;
+    Accumulator& acc = regions[region];
+    acc.down_kbps_weighted += down.value() * tests.value();
+    acc.up_kbps_weighted += up.value() * tests.value();
+    acc.latency_weighted += latency.value() * tests.value();
+    acc.tests += tests.value();
+  }
+  if (regions.empty()) {
+    return make_error(ErrorCode::kEmptyInput,
+                      "no tiles with tests > 0 in Ookla CSV");
+  }
+
+  AggregateTable out;
+  for (const auto& [region, acc] : regions) {
+    auto put = [&out, &region, &acc](Metric metric, double value) {
+      AggregateCell cell;
+      cell.region = region;
+      cell.dataset = "ookla";
+      cell.metric = metric;
+      cell.value = value;
+      cell.sample_count = static_cast<std::size_t>(acc.tests);
+      out.put(std::move(cell));
+    };
+    put(Metric::kDownload, acc.down_kbps_weighted / acc.tests / 1000.0);
+    put(Metric::kUpload, acc.up_kbps_weighted / acc.tests / 1000.0);
+    put(Metric::kLatency, acc.latency_weighted / acc.tests);
+  }
+  return out;
+}
+
+Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
+    std::string_view csv_text) {
+  auto table = util::parse_csv(csv_text);
+  if (!table.ok()) return table.error();
+
+  auto date_column = table->column_index("date");
+  auto region_column = table->column_index("client_region");
+  auto asn_column = table->column_index("client_asn_name");
+  auto direction_column = table->column_index("direction");
+  auto throughput_column = table->column_index("throughput_mbps");
+  auto rtt_column = table->column_index("min_rtt_ms");
+  auto loss_column = table->column_index("loss_rate");
+  if (!date_column.ok()) return date_column.error();
+  if (!region_column.ok()) return region_column.error();
+  if (!asn_column.ok()) return asn_column.error();
+  if (!direction_column.ok()) return direction_column.error();
+  if (!throughput_column.ok()) return throughput_column.error();
+  if (!rtt_column.ok()) return rtt_column.error();
+  if (!loss_column.ok()) return loss_column.error();
+
+  std::vector<MeasurementRecord> records;
+  records.reserve(table->rows.size());
+  for (std::size_t row = 0; row < table->rows.size(); ++row) {
+    MeasurementRecord record;
+    record.dataset = "ndt";
+    record.region = table->rows[row][region_column.value()];
+    record.isp = table->rows[row][asn_column.value()];
+    auto timestamp = util::Timestamp::parse(table->rows[row][date_column.value()]);
+    if (!timestamp.ok()) {
+      return make_error(ErrorCode::kParseError,
+                        "row " + std::to_string(row) + ": " +
+                            timestamp.error().message);
+    }
+    record.timestamp = timestamp.value();
+
+    auto throughput = field_as_double(*table, row, throughput_column.value());
+    if (!throughput.ok()) return throughput.error();
+    const std::string direction =
+        util::to_lower(table->rows[row][direction_column.value()]);
+    if (direction == "download") {
+      record.download = util::Mbps(throughput.value());
+      // NDT measures RTT and loss on the download's TCP connection.
+      const std::string rtt_field = table->rows[row][rtt_column.value()];
+      if (!util::trim(rtt_field).empty()) {
+        auto rtt = field_as_double(*table, row, rtt_column.value());
+        if (!rtt.ok()) return rtt.error();
+        record.latency = util::Millis(rtt.value());
+      }
+      const std::string loss_field = table->rows[row][loss_column.value()];
+      if (!util::trim(loss_field).empty()) {
+        auto loss = field_as_double(*table, row, loss_column.value());
+        if (!loss.ok()) return loss.error();
+        record.loss = util::LossRate(loss.value());
+      }
+    } else if (direction == "upload") {
+      record.upload = util::Mbps(throughput.value());
+    } else {
+      return make_error(ErrorCode::kParseError,
+                        "row " + std::to_string(row) +
+                            ": direction must be download|upload, got '" +
+                            direction + "'");
+    }
+    if (!record.is_valid()) {
+      return make_error(ErrorCode::kParseError,
+                        "row " + std::to_string(row) +
+                            ": metric value out of range");
+    }
+    records.push_back(std::move(record));
+  }
+  if (records.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "no rows in NDT CSV");
+  }
+  return records;
+}
+
+}  // namespace iqb::datasets

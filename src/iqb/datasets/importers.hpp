@@ -1,0 +1,52 @@
+// Importers for the public dataset formats the paper cites.
+//
+// Users with access to the real data can feed it straight into the
+// pipeline:
+//
+//  * Ookla "Global Fixed and Mobile Network Performance" open data
+//    (registry.opendata.aws/speedtest-global-performance): quarterly
+//    tiles with PRE-AGGREGATED columns. We accept the documented CSV
+//    schema (quadkey, avg_d_kbps, avg_u_kbps, avg_lat_ms, tests, ...)
+//    and produce AggregateCells directly — matching how the real IQB
+//    must treat Ookla, since raw tests are not published.
+//
+//  * M-Lab NDT "unified views" (measurement_lab.ndt.unified_downloads
+//    / _uploads exported as CSV): per-test rows. We accept a merged
+//    export with the documented column names and produce raw
+//    MeasurementRecords.
+//
+// Both importers validate eagerly and report row-precise errors;
+// ingesting measurement data silently wrong is worse than failing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iqb/datasets/aggregate.hpp"
+#include "iqb/datasets/record.hpp"
+
+namespace iqb::datasets {
+
+/// Ookla open-data tile CSV -> pre-aggregated cells.
+///
+/// Expected header (subset, extra columns ignored):
+///   quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests
+/// Each tile becomes a region (the quadkey, or `region_override` for
+/// all rows if non-empty, letting callers merge tiles into one region).
+/// Values are means, not percentiles — exactly the limitation of the
+/// real feed; they are imported as-is with dataset name "ookla".
+util::Result<AggregateTable> import_ookla_tiles_csv(
+    std::string_view csv_text, const std::string& region_override = "");
+
+/// M-Lab NDT unified-views CSV -> per-test records.
+///
+/// Expected header (subset, extra columns ignored):
+///   date,client_region,client_asn_name,direction,throughput_mbps,
+///   min_rtt_ms,loss_rate
+/// `direction` is "download" or "upload"; each row yields one record
+/// with that single throughput metric filled (plus latency/loss on
+/// download rows, which is where NDT measures them).
+util::Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
+    std::string_view csv_text);
+
+}  // namespace iqb::datasets

@@ -1,0 +1,218 @@
+#include "iqb/datasets/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "iqb/util/strings.hpp"
+
+namespace iqb::datasets {
+
+using util::CsvRow;
+using util::CsvTable;
+using util::ErrorCode;
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+const std::vector<std::string> kRecordHeader = {
+    "dataset",       "region",           "isp",
+    "subscriber_id", "timestamp",        "download_mbps",
+    "upload_mbps",   "latency_ms",       "loaded_latency_ms",
+    "loss_fraction"};
+
+std::string optional_field(const std::optional<double>& v) {
+  return v ? util::format_fixed(*v, 6) : std::string();
+}
+
+Result<std::optional<double>> parse_optional(const std::string& field) {
+  if (util::trim(field).empty()) return std::optional<double>{};
+  auto v = util::parse_double(field);
+  if (!v.ok()) return v.error();
+  return std::optional<double>{v.value()};
+}
+
+}  // namespace
+
+std::string records_to_csv(std::span<const MeasurementRecord> records) {
+  CsvTable table;
+  table.header = kRecordHeader;
+  table.rows.reserve(records.size());
+  for (const auto& record : records) {
+    CsvRow row;
+    row.push_back(record.dataset);
+    row.push_back(record.region);
+    row.push_back(record.isp);
+    row.push_back(record.subscriber_id);
+    row.push_back(record.timestamp.to_iso8601());
+    row.push_back(optional_field(record.value(Metric::kDownload)));
+    row.push_back(optional_field(record.value(Metric::kUpload)));
+    row.push_back(optional_field(record.value(Metric::kLatency)));
+    row.push_back(optional_field(record.value(Metric::kLoadedLatency)));
+    row.push_back(optional_field(record.value(Metric::kLoss)));
+    table.rows.push_back(std::move(row));
+  }
+  return util::write_csv(table);
+}
+
+Result<std::vector<MeasurementRecord>> records_from_csv(
+    std::string_view csv_text) {
+  auto table = util::parse_csv(csv_text);
+  if (!table.ok()) return table.error();
+  if (table->header != kRecordHeader) {
+    return make_error(ErrorCode::kParseError,
+                      "unexpected record CSV header: '" +
+                          util::join(table->header, ",") + "'");
+  }
+  std::vector<MeasurementRecord> records;
+  records.reserve(table->rows.size());
+  for (std::size_t i = 0; i < table->rows.size(); ++i) {
+    const CsvRow& row = table->rows[i];
+    MeasurementRecord record;
+    record.dataset = row[0];
+    record.region = row[1];
+    record.isp = row[2];
+    record.subscriber_id = row[3];
+    auto ts = util::Timestamp::parse(row[4]);
+    if (!ts.ok()) {
+      return make_error(ErrorCode::kParseError,
+                        "row " + std::to_string(i) + ": " +
+                            ts.error().message);
+    }
+    record.timestamp = ts.value();
+
+    const Metric metrics[] = {Metric::kDownload, Metric::kUpload,
+                              Metric::kLatency, Metric::kLoadedLatency,
+                              Metric::kLoss};
+    for (std::size_t m = 0; m < 5; ++m) {
+      auto value = parse_optional(row[5 + m]);
+      if (!value.ok()) {
+        return make_error(ErrorCode::kParseError,
+                          "row " + std::to_string(i) + " column '" +
+                              kRecordHeader[5 + m] + "': " +
+                              value.error().message);
+      }
+      if (value.value()) record.set_value(metrics[m], *value.value());
+    }
+    if (!record.is_valid()) {
+      return make_error(ErrorCode::kParseError,
+                        "row " + std::to_string(i) +
+                            ": metric value out of range");
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string aggregates_to_csv(const AggregateTable& table) {
+  CsvTable out;
+  out.header = {"region", "dataset", "metric",
+                "value",  "samples", "ci_lower", "ci_upper"};
+  for (const AggregateCell& cell : table.cells()) {
+    CsvRow row;
+    row.push_back(cell.region);
+    row.push_back(cell.dataset);
+    row.push_back(std::string(metric_name(cell.metric)));
+    row.push_back(util::format_fixed(cell.value, 6));
+    row.push_back(std::to_string(cell.sample_count));
+    row.push_back(cell.ci ? util::format_fixed(cell.ci->lower, 6) : "");
+    row.push_back(cell.ci ? util::format_fixed(cell.ci->upper, 6) : "");
+    out.rows.push_back(std::move(row));
+  }
+  return util::write_csv(out);
+}
+
+JsonValue aggregates_to_json(const AggregateTable& table) {
+  JsonArray cells;
+  for (const AggregateCell& cell : table.cells()) {
+    JsonObject object;
+    object.emplace("region", cell.region);
+    object.emplace("dataset", cell.dataset);
+    object.emplace("metric", std::string(metric_name(cell.metric)));
+    object.emplace("value", cell.value);
+    object.emplace("samples", static_cast<double>(cell.sample_count));
+    if (cell.ci) {
+      JsonObject ci;
+      ci.emplace("lower", cell.ci->lower);
+      ci.emplace("upper", cell.ci->upper);
+      ci.emplace("level", cell.ci->level);
+      object.emplace("ci", std::move(ci));
+    }
+    cells.push_back(std::move(object));
+  }
+  JsonObject root;
+  root.emplace("aggregates", std::move(cells));
+  return root;
+}
+
+Result<AggregateTable> aggregates_from_json(const JsonValue& json) {
+  auto cells = json.get_array("aggregates");
+  if (!cells.ok()) return cells.error();
+  AggregateTable table;
+  for (const JsonValue& entry : cells.value()) {
+    AggregateCell cell;
+    auto region = entry.get_string("region");
+    auto dataset = entry.get_string("dataset");
+    auto metric_str = entry.get_string("metric");
+    auto value = entry.get_number("value");
+    auto samples = entry.get_number("samples");
+    if (!region.ok()) return region.error();
+    if (!dataset.ok()) return dataset.error();
+    if (!metric_str.ok()) return metric_str.error();
+    if (!value.ok()) return value.error();
+    if (!samples.ok()) return samples.error();
+    auto metric = metric_from_name(metric_str.value());
+    if (!metric.ok()) return metric.error();
+    cell.region = region.value();
+    cell.dataset = dataset.value();
+    cell.metric = metric.value();
+    cell.value = value.value();
+    cell.sample_count = static_cast<std::size_t>(samples.value());
+    if (entry.contains("ci")) {
+      auto ci_object = entry.get("ci");
+      if (ci_object.ok() && ci_object->is_object()) {
+        stats::ConfidenceInterval ci;
+        ci.point = cell.value;
+        auto lower = ci_object->get_number("lower");
+        auto upper = ci_object->get_number("upper");
+        auto level = ci_object->get_number("level");
+        if (lower.ok() && upper.ok()) {
+          ci.lower = lower.value();
+          ci.upper = upper.value();
+          ci.level = level.ok() ? level.value() : 0.95;
+          cell.ci = ci;
+        }
+      }
+    }
+    table.put(std::move(cell));
+  }
+  return table;
+}
+
+Result<void> write_records_csv(const std::string& path,
+                               std::span<const MeasurementRecord> records) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kIoError,
+                      "cannot open '" + path + "' for writing");
+  }
+  out << records_to_csv(records);
+  if (!out) return make_error(ErrorCode::kIoError, "write failed: " + path);
+  return Result<void>::success();
+}
+
+Result<std::vector<MeasurementRecord>> read_records_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kIoError,
+                      "cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return records_from_csv(buffer.str());
+}
+
+}  // namespace iqb::datasets

@@ -1,0 +1,46 @@
+// Serialization of records and aggregates (CSV and JSON).
+//
+// Record CSV schema (one row per test):
+//   dataset,region,isp,subscriber_id,timestamp,
+//   download_mbps,upload_mbps,latency_ms,loaded_latency_ms,loss_fraction
+// Missing metrics are empty fields. This is the interchange format the
+// examples write and the import path a user with real NDT/Cloudflare
+// exports would adapt to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iqb/datasets/aggregate.hpp"
+#include "iqb/datasets/store.hpp"
+#include "iqb/util/csv.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::datasets {
+
+/// Records -> CSV text (with header).
+std::string records_to_csv(std::span<const MeasurementRecord> records);
+
+/// CSV text -> records. Rows with malformed required fields are an
+/// error; empty optional metric fields are simply absent.
+util::Result<std::vector<MeasurementRecord>> records_from_csv(
+    std::string_view csv_text);
+
+/// Aggregate table -> CSV (region,dataset,metric,value,samples,ci_lo,ci_hi).
+std::string aggregates_to_csv(const AggregateTable& table);
+
+/// Aggregate table -> JSON (array of cell objects).
+util::JsonValue aggregates_to_json(const AggregateTable& table);
+
+/// JSON -> aggregate table (the inverse of aggregates_to_json). This
+/// is also the ingestion path for *pre-aggregated* third-party data
+/// such as Ookla's published region aggregates.
+util::Result<AggregateTable> aggregates_from_json(const util::JsonValue& json);
+
+/// File convenience wrappers.
+util::Result<void> write_records_csv(const std::string& path,
+                                     std::span<const MeasurementRecord> records);
+util::Result<std::vector<MeasurementRecord>> read_records_csv(
+    const std::string& path);
+
+}  // namespace iqb::datasets

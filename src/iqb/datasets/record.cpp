@@ -1,0 +1,82 @@
+#include "iqb/datasets/record.hpp"
+
+namespace iqb::datasets {
+
+std::string_view metric_name(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kDownload: return "download";
+    case Metric::kUpload: return "upload";
+    case Metric::kLatency: return "latency";
+    case Metric::kLoadedLatency: return "loaded_latency";
+    case Metric::kLoss: return "loss";
+  }
+  return "unknown";
+}
+
+util::Result<Metric> metric_from_name(std::string_view name) {
+  for (Metric metric : kAllMetrics) {
+    if (metric_name(metric) == name) return metric;
+  }
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "unknown metric '" + std::string(name) + "'");
+}
+
+std::string_view metric_unit(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kDownload:
+    case Metric::kUpload: return "Mb/s";
+    case Metric::kLatency:
+    case Metric::kLoadedLatency: return "ms";
+    case Metric::kLoss: return "fraction";
+  }
+  return "";
+}
+
+bool metric_higher_is_better(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kDownload:
+    case Metric::kUpload: return true;
+    case Metric::kLatency:
+    case Metric::kLoadedLatency:
+    case Metric::kLoss: return false;
+  }
+  return true;
+}
+
+std::optional<double> MeasurementRecord::value(Metric metric) const noexcept {
+  switch (metric) {
+    case Metric::kDownload:
+      return download ? std::optional<double>(download->value()) : std::nullopt;
+    case Metric::kUpload:
+      return upload ? std::optional<double>(upload->value()) : std::nullopt;
+    case Metric::kLatency:
+      return latency ? std::optional<double>(latency->value()) : std::nullopt;
+    case Metric::kLoadedLatency:
+      return loaded_latency ? std::optional<double>(loaded_latency->value())
+                            : std::nullopt;
+    case Metric::kLoss:
+      return loss ? std::optional<double>(loss->fraction()) : std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void MeasurementRecord::set_value(Metric metric, double raw) noexcept {
+  switch (metric) {
+    case Metric::kDownload: download = util::Mbps(raw); break;
+    case Metric::kUpload: upload = util::Mbps(raw); break;
+    case Metric::kLatency: latency = util::Millis(raw); break;
+    case Metric::kLoadedLatency: loaded_latency = util::Millis(raw); break;
+    case Metric::kLoss: loss = util::LossRate(raw); break;
+  }
+}
+
+bool MeasurementRecord::is_valid() const noexcept {
+  if (download && !download->is_valid()) return false;
+  if (upload && !upload->is_valid()) return false;
+  if (latency && !latency->is_valid()) return false;
+  if (loaded_latency && !loaded_latency->is_valid()) return false;
+  if (loss && !loss->is_valid()) return false;
+  return true;
+}
+
+}  // namespace iqb::datasets

@@ -1,0 +1,70 @@
+// Measurement records: the atoms of the IQB datasets tier.
+//
+// A MeasurementRecord is one test by one subscriber as reported by one
+// dataset (M-Lab NDT, Cloudflare, ...). Metrics are optional because
+// real datasets have coverage gaps (Ookla's open data carries no
+// packet loss; a failed upload phase leaves that field empty).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "iqb/util/result.hpp"
+#include "iqb/util/timestamp.hpp"
+#include "iqb/util/units.hpp"
+
+namespace iqb::datasets {
+
+/// The measurable quantities IQB understands. kLatency is the idle
+/// round-trip time; kLoadedLatency (working latency / bufferbloat) is
+/// tracked as an extension metric — the paper's requirement tier uses
+/// kLatency.
+enum class Metric {
+  kDownload,
+  kUpload,
+  kLatency,
+  kLoadedLatency,
+  kLoss,
+};
+
+inline constexpr std::array<Metric, 5> kAllMetrics = {
+    Metric::kDownload, Metric::kUpload, Metric::kLatency,
+    Metric::kLoadedLatency, Metric::kLoss};
+
+std::string_view metric_name(Metric metric) noexcept;
+util::Result<Metric> metric_from_name(std::string_view name);
+
+/// Unit of a metric's raw value as stored in records and aggregates:
+/// Mb/s for throughput, ms for latencies, fraction [0,1] for loss.
+std::string_view metric_unit(Metric metric) noexcept;
+
+/// Whether larger values are better (throughput) or worse (latency,
+/// loss). Drives threshold comparison direction.
+bool metric_higher_is_better(Metric metric) noexcept;
+
+struct MeasurementRecord {
+  std::string dataset;   ///< "ndt" | "cloudflare" | "ookla" | ...
+  std::string region;
+  std::string isp;
+  std::string subscriber_id;
+  util::Timestamp timestamp;
+
+  std::optional<util::Mbps> download;
+  std::optional<util::Mbps> upload;
+  std::optional<util::Millis> latency;
+  std::optional<util::Millis> loaded_latency;
+  std::optional<util::LossRate> loss;
+
+  /// Raw value of a metric in its canonical unit, if present.
+  std::optional<double> value(Metric metric) const noexcept;
+
+  /// Set a metric from its canonical-unit raw value.
+  void set_value(Metric metric, double raw) noexcept;
+
+  /// True if every present metric is finite and in range.
+  bool is_valid() const noexcept;
+};
+
+}  // namespace iqb::datasets

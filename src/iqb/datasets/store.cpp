@@ -1,0 +1,113 @@
+#include "iqb/datasets/store.hpp"
+
+#include <algorithm>
+
+namespace iqb::datasets {
+
+bool RecordFilter::matches(const MeasurementRecord& record) const noexcept {
+  if (dataset && record.dataset != *dataset) return false;
+  if (region && record.region != *region) return false;
+  if (isp && record.isp != *isp) return false;
+  if (from && record.timestamp < *from) return false;
+  if (to && !(record.timestamp < *to)) return false;
+  return true;
+}
+
+util::Result<void> RecordStore::add(MeasurementRecord record) {
+  if (!record.is_valid()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "record has out-of-range metric values");
+  }
+  records_.push_back(std::move(record));
+  return util::Result<void>::success();
+}
+
+std::size_t RecordStore::add_all(std::vector<MeasurementRecord> records) {
+  std::size_t skipped = 0;
+  for (auto& record : records) {
+    if (record.is_valid()) {
+      records_.push_back(std::move(record));
+    } else {
+      ++skipped;
+    }
+  }
+  return skipped;
+}
+
+std::vector<MeasurementRecord> RecordStore::query(
+    const RecordFilter& filter) const {
+  std::vector<MeasurementRecord> out;
+  for (const auto& record : records_) {
+    if (filter.matches(record)) out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<double> RecordStore::metric_values(Metric metric,
+                                               const RecordFilter& filter) const {
+  std::vector<double> out;
+  for (const auto& record : records_) {
+    if (!filter.matches(record)) continue;
+    if (auto v = record.value(metric)) out.push_back(*v);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> distinct(
+    const std::vector<MeasurementRecord>& records,
+    const std::function<const std::string&(const MeasurementRecord&)>& key) {
+  std::set<std::string> seen;
+  for (const auto& record : records) seen.insert(key(record));
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace
+
+std::vector<std::string> RecordStore::regions() const {
+  return distinct(records_,
+                  [](const MeasurementRecord& r) -> const std::string& {
+                    return r.region;
+                  });
+}
+
+std::vector<std::string> RecordStore::dataset_names() const {
+  return distinct(records_,
+                  [](const MeasurementRecord& r) -> const std::string& {
+                    return r.dataset;
+                  });
+}
+
+std::vector<std::string> RecordStore::isps() const {
+  return distinct(records_,
+                  [](const MeasurementRecord& r) -> const std::string& {
+                    return r.isp;
+                  });
+}
+
+std::map<std::string, std::vector<MeasurementRecord>> RecordStore::by_region(
+    const RecordFilter& filter) const {
+  std::map<std::string, std::vector<MeasurementRecord>> groups;
+  for (const auto& record : records_) {
+    if (filter.matches(record)) groups[record.region].push_back(record);
+  }
+  return groups;
+}
+
+void RecordStore::merge(const RecordStore& other) {
+  records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+}
+
+RecordStore rekey_by_region_isp(const RecordStore& store, char separator) {
+  std::vector<MeasurementRecord> rekeyed;
+  rekeyed.reserve(store.size());
+  for (const MeasurementRecord& record : store.records()) {
+    MeasurementRecord copy = record;
+    copy.region = record.region + separator + record.isp;
+    rekeyed.push_back(std::move(copy));
+  }
+  return RecordStore(std::move(rekeyed));
+}
+
+}  // namespace iqb::datasets

@@ -1,0 +1,79 @@
+// In-memory record store with filtering, grouping and column
+// extraction — the query layer between raw measurement records and
+// the aggregation tier.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iqb/datasets/record.hpp"
+
+namespace iqb::datasets {
+
+/// Declarative record filter; empty/unset members match everything.
+struct RecordFilter {
+  std::optional<std::string> dataset;
+  std::optional<std::string> region;
+  std::optional<std::string> isp;
+  std::optional<util::Timestamp> from;  ///< Inclusive.
+  std::optional<util::Timestamp> to;    ///< Exclusive.
+
+  bool matches(const MeasurementRecord& record) const noexcept;
+};
+
+class RecordStore {
+ public:
+  RecordStore() = default;
+  explicit RecordStore(std::vector<MeasurementRecord> records)
+      : records_(std::move(records)) {}
+
+  /// Append one record. Invalid records (non-finite / out-of-range
+  /// metric values) are rejected.
+  util::Result<void> add(MeasurementRecord record);
+
+  /// Append, skipping invalid records; returns how many were skipped.
+  std::size_t add_all(std::vector<MeasurementRecord> records);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  std::span<const MeasurementRecord> records() const noexcept { return records_; }
+
+  /// Records matching a filter (copies; stores are small relative to
+  /// simulation cost, and callers usually aggregate immediately).
+  std::vector<MeasurementRecord> query(const RecordFilter& filter) const;
+
+  /// Present values of one metric across matching records, in
+  /// canonical units. Records missing the metric are skipped.
+  std::vector<double> metric_values(Metric metric,
+                                    const RecordFilter& filter = {}) const;
+
+  /// Distinct values, sorted, for iteration in deterministic order.
+  std::vector<std::string> regions() const;
+  std::vector<std::string> dataset_names() const;
+  std::vector<std::string> isps() const;
+
+  /// Group matching records by region name.
+  std::map<std::string, std::vector<MeasurementRecord>> by_region(
+      const RecordFilter& filter = {}) const;
+
+  /// Merge another store's records into this one.
+  void merge(const RecordStore& other);
+
+  void clear() noexcept { records_.clear(); }
+
+ private:
+  std::vector<MeasurementRecord> records_;
+};
+
+/// Copy of the store with region keys replaced by "region<sep>isp",
+/// so the region-keyed aggregation/scoring pipeline produces per-ISP
+/// results within each region ("which provider is holding this region
+/// back?") without any changes to the scoring tier.
+RecordStore rekey_by_region_isp(const RecordStore& store, char separator = '/');
+
+}  // namespace iqb::datasets

@@ -1,0 +1,143 @@
+#include "iqb/datasets/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iqb::datasets {
+
+std::vector<DatasetBias> default_dataset_panel() {
+  // Factors follow the documented cross-tool pattern: multi-stream
+  // steady-state (ookla) reads highest; single-stream whole-transfer
+  // (ndt) reads lowest; browser-ladder (cloudflare) sits between.
+  return {
+      DatasetBias{"ndt", 0.85, 0.0, 0.10, true},
+      DatasetBias{"cloudflare", 0.95, 2.0, 0.09, true},
+      DatasetBias{"ookla", 1.00, 1.0, 0.07, false},
+  };
+}
+
+std::vector<MeasurementRecord> generate_region_records(
+    const RegionProfile& profile, const std::vector<DatasetBias>& panel,
+    const SyntheticConfig& config, util::Rng& rng) {
+  std::vector<MeasurementRecord> records;
+  records.reserve(panel.size() * config.records_per_dataset);
+
+  const double download_mu = std::log(profile.median_download_mbps);
+  const double upload_mu =
+      std::log(profile.median_download_mbps * profile.upload_ratio);
+
+  std::int64_t sequence = 0;
+  for (const DatasetBias& bias : panel) {
+    for (std::size_t i = 0; i < config.records_per_dataset; ++i) {
+      MeasurementRecord record;
+      record.dataset = bias.dataset;
+      record.region = profile.region;
+      record.isp = profile.isp;
+      record.subscriber_id =
+          profile.region + "-sub-" + std::to_string(i % 50);
+      record.timestamp = config.base_time + sequence * config.spacing_s;
+      ++sequence;
+
+      // Connection-level truth, then the dataset's biased view of it.
+      const double true_down = rng.lognormal(download_mu, profile.download_sigma);
+      const double true_up = rng.lognormal(upload_mu, profile.upload_sigma);
+      const double latency = profile.base_latency_ms +
+                             rng.lognormal(profile.latency_mu,
+                                           profile.latency_sigma);
+
+      const double tool_noise = rng.lognormal(0.0, bias.noise_sigma);
+      record.download =
+          util::Mbps(true_down * bias.throughput_factor * tool_noise);
+      record.upload = util::Mbps(true_up * bias.throughput_factor *
+                                 rng.lognormal(0.0, bias.noise_sigma));
+      record.latency = util::Millis(latency + bias.latency_offset_ms);
+      record.loaded_latency =
+          util::Millis(latency + bias.latency_offset_ms +
+                       rng.lognormal(2.0, 0.8));  // queueing under load
+
+      if (bias.loss_reported) {
+        double loss = 0.0;
+        if (rng.bernoulli(profile.lossy_test_fraction)) {
+          loss = std::min(1.0, rng.lognormal(profile.loss_mu, profile.loss_sigma));
+        }
+        record.loss = util::LossRate(loss);
+      }
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+std::vector<RegionProfile> example_region_profiles() {
+  std::vector<RegionProfile> profiles(6);
+
+  profiles[0].region = "metro_fiber";
+  profiles[0].isp = "cityfiber";
+  profiles[0].median_download_mbps = 600.0;
+  profiles[0].download_sigma = 0.35;
+  profiles[0].upload_ratio = 0.8;       // symmetric-ish fiber
+  profiles[0].base_latency_ms = 6.0;
+  profiles[0].latency_mu = 1.0;
+  profiles[0].latency_sigma = 0.5;
+  profiles[0].lossy_test_fraction = 0.08;
+  profiles[0].loss_mu = -7.0;
+
+  profiles[1].region = "suburban_cable";
+  profiles[1].isp = "cablecorp";
+  profiles[1].median_download_mbps = 250.0;
+  profiles[1].download_sigma = 0.45;
+  profiles[1].upload_ratio = 0.08;      // DOCSIS asymmetry
+  profiles[1].base_latency_ms = 14.0;
+  profiles[1].latency_mu = 1.6;
+  profiles[1].latency_sigma = 0.6;
+  profiles[1].lossy_test_fraction = 0.18;
+  profiles[1].loss_mu = -6.2;
+
+  profiles[2].region = "urban_lte";
+  profiles[2].isp = "mobile_one";
+  profiles[2].median_download_mbps = 70.0;
+  profiles[2].download_sigma = 0.7;
+  profiles[2].upload_ratio = 0.25;
+  profiles[2].base_latency_ms = 28.0;
+  profiles[2].latency_mu = 2.4;
+  profiles[2].latency_sigma = 0.7;
+  profiles[2].lossy_test_fraction = 0.35;
+  profiles[2].loss_mu = -5.5;
+
+  profiles[3].region = "small_town_dsl";
+  profiles[3].isp = "legacy_telecom";
+  profiles[3].median_download_mbps = 22.0;
+  profiles[3].download_sigma = 0.5;
+  profiles[3].upload_ratio = 0.12;
+  profiles[3].base_latency_ms = 24.0;
+  profiles[3].latency_mu = 2.2;
+  profiles[3].latency_sigma = 0.6;
+  profiles[3].lossy_test_fraction = 0.30;
+  profiles[3].loss_mu = -5.8;
+
+  profiles[4].region = "rural_wisp";
+  profiles[4].isp = "hilltop_wireless";
+  profiles[4].median_download_mbps = 30.0;
+  profiles[4].download_sigma = 0.8;
+  profiles[4].upload_ratio = 0.3;
+  profiles[4].base_latency_ms = 35.0;
+  profiles[4].latency_mu = 2.8;
+  profiles[4].latency_sigma = 0.8;
+  profiles[4].lossy_test_fraction = 0.5;
+  profiles[4].loss_mu = -5.0;
+
+  profiles[5].region = "remote_satellite";
+  profiles[5].isp = "geo_sat";
+  profiles[5].median_download_mbps = 45.0;
+  profiles[5].download_sigma = 0.6;
+  profiles[5].upload_ratio = 0.1;
+  profiles[5].base_latency_ms = 480.0;  // GEO round trip
+  profiles[5].latency_mu = 3.0;
+  profiles[5].latency_sigma = 0.5;
+  profiles[5].lossy_test_fraction = 0.6;
+  profiles[5].loss_mu = -4.6;
+
+  return profiles;
+}
+
+}  // namespace iqb::datasets

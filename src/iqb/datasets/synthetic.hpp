@@ -1,0 +1,76 @@
+// Statistical synthetic record generation (no packet simulation).
+//
+// The packet-level campaign (iqb::measurement) is the high-fidelity
+// path; this generator is the fast path: it draws MeasurementRecords
+// directly from parametric distributions fitted to the shapes seen in
+// public data (log-normal throughput, shifted-log-normal latency,
+// zero-inflated loss), with a per-dataset systematic bias reproducing
+// the known cross-tool disagreement (multi-stream tools read higher
+// than single-stream on the same line). Used by scoring-tier tests and
+// benches that need millions of records in milliseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iqb/datasets/record.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::datasets {
+
+/// Distribution profile of one region's connections.
+struct RegionProfile {
+  std::string region;
+  std::string isp = "synthetic_isp";
+
+  /// Median provisioned download rate and dispersion (log-normal
+  /// sigma). Upload is derived via upload_ratio.
+  double median_download_mbps = 100.0;
+  double download_sigma = 0.5;
+  double upload_ratio = 0.2;      ///< Median upload / median download.
+  double upload_sigma = 0.5;
+
+  /// Latency: minimum (geographic) plus log-normal jitter.
+  double base_latency_ms = 15.0;
+  double latency_mu = 1.5;        ///< Log-space mean of the jitter part.
+  double latency_sigma = 0.6;
+
+  /// Loss: fraction of tests with non-negligible loss, and the
+  /// log-normal parameters of loss when present.
+  double lossy_test_fraction = 0.25;
+  double loss_mu = -6.0;          ///< exp(-6) ~ 0.25% typical when lossy.
+  double loss_sigma = 1.0;
+};
+
+/// Per-dataset systematic measurement bias. Multiplicative on
+/// throughput, additive (ms) on latency; loss_reported=false models
+/// datasets that do not publish loss (Ookla open data).
+struct DatasetBias {
+  std::string dataset;
+  double throughput_factor = 1.0;
+  double latency_offset_ms = 0.0;
+  double noise_sigma = 0.08;       ///< Multiplicative log-normal noise.
+  bool loss_reported = true;
+};
+
+/// The default three-dataset panel mirroring the paper's sources.
+std::vector<DatasetBias> default_dataset_panel();
+
+struct SyntheticConfig {
+  std::size_t records_per_dataset = 200;
+  util::Timestamp base_time{};
+  std::int64_t spacing_s = 600;
+};
+
+/// Draw records for one region across a dataset panel. Deterministic
+/// given the rng state.
+std::vector<MeasurementRecord> generate_region_records(
+    const RegionProfile& profile, const std::vector<DatasetBias>& panel,
+    const SyntheticConfig& config, util::Rng& rng);
+
+/// Convenience: a six-region synthetic "country" spanning excellent
+/// fiber metro to a struggling satellite-served remote area. Used by
+/// examples and benches.
+std::vector<RegionProfile> example_region_profiles();
+
+}  // namespace iqb::datasets

@@ -1,0 +1,57 @@
+#include "iqb/measurement/adapters.hpp"
+
+namespace iqb::measurement {
+
+using datasets::MeasurementRecord;
+
+std::vector<MeasurementRecord> DatasetAdapter::convert(
+    std::span<const SessionRecord> sessions) const {
+  std::vector<MeasurementRecord> records;
+  for (const SessionRecord& session : sessions) {
+    if (session.observation.tool != tool_name()) continue;
+    MeasurementRecord record;
+    record.dataset = std::string(dataset_name());
+    record.region = session.region;
+    record.isp = session.isp;
+    record.subscriber_id = session.subscriber_id;
+    record.timestamp = session.timestamp;
+    record.download = session.observation.download;
+    record.upload = session.observation.upload;
+    record.latency = session.observation.idle_latency;
+    record.loaded_latency = session.observation.loaded_latency;
+    record.loss = session.observation.loss;
+    apply_policy(record);
+    if (record.is_valid()) records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void DatasetAdapter::apply_policy(MeasurementRecord&) const {}
+
+void OoklaDatasetAdapter::apply_policy(MeasurementRecord& record) const {
+  // Ookla's open aggregate dataset does not include packet loss.
+  record.loss.reset();
+}
+
+std::vector<MeasurementRecord> convert_sessions(
+    std::span<const SessionRecord> sessions,
+    std::span<const DatasetAdapter* const> adapters) {
+  std::vector<MeasurementRecord> records;
+  for (const DatasetAdapter* adapter : adapters) {
+    auto converted = adapter->convert(sessions);
+    records.insert(records.end(), std::make_move_iterator(converted.begin()),
+                   std::make_move_iterator(converted.end()));
+  }
+  return records;
+}
+
+std::vector<MeasurementRecord> convert_sessions_default(
+    std::span<const SessionRecord> sessions) {
+  const NdtDatasetAdapter ndt;
+  const CloudflareDatasetAdapter cloudflare;
+  const OoklaDatasetAdapter ookla;
+  const DatasetAdapter* panel[] = {&ndt, &cloudflare, &ookla};
+  return convert_sessions(sessions, panel);
+}
+
+}  // namespace iqb::measurement

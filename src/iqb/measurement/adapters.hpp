@@ -1,0 +1,81 @@
+// Dataset adapters: campaign session records -> dataset-tier records.
+//
+// Each adapter models how one real data source exposes measurements:
+//  * NdtDatasetAdapter    — per-test rows, all four metrics (M-Lab
+//    publishes raw NDT tests in BigQuery).
+//  * CloudflareDatasetAdapter — per-test rows; all four metrics
+//    (speed.cloudflare.com measurements + Radar loss estimates).
+//  * OoklaDatasetAdapter  — per-test rows but with loss withheld,
+//    mirroring Ookla's open aggregate data which publishes throughput
+//    and latency only.
+// Adapters also attach the dataset name the IQB weight tables key on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "iqb/datasets/record.hpp"
+#include "iqb/measurement/campaign.hpp"
+
+namespace iqb::measurement {
+
+/// Convert the sessions produced by a given tool into dataset records.
+/// Sessions from other tools are ignored, so one campaign's output can
+/// be fanned out across all adapters.
+class DatasetAdapter {
+ public:
+  virtual ~DatasetAdapter() = default;
+  /// Dataset name emitted on the records ("ndt", "cloudflare", "ookla").
+  virtual std::string_view dataset_name() const noexcept = 0;
+  /// Tool name this adapter consumes ("ndt", "cloudflare_style", ...).
+  virtual std::string_view tool_name() const noexcept = 0;
+
+  std::vector<datasets::MeasurementRecord> convert(
+      std::span<const SessionRecord> sessions) const;
+
+ protected:
+  /// Hook for per-dataset field policy (e.g. withholding loss).
+  virtual void apply_policy(datasets::MeasurementRecord& record) const;
+};
+
+class NdtDatasetAdapter final : public DatasetAdapter {
+ public:
+  std::string_view dataset_name() const noexcept override { return "ndt"; }
+  std::string_view tool_name() const noexcept override { return "ndt"; }
+};
+
+class CloudflareDatasetAdapter final : public DatasetAdapter {
+ public:
+  std::string_view dataset_name() const noexcept override { return "cloudflare"; }
+  std::string_view tool_name() const noexcept override {
+    return "cloudflare_style";
+  }
+};
+
+class OoklaDatasetAdapter final : public DatasetAdapter {
+ public:
+  std::string_view dataset_name() const noexcept override { return "ookla"; }
+  std::string_view tool_name() const noexcept override { return "ookla_style"; }
+
+ protected:
+  void apply_policy(datasets::MeasurementRecord& record) const override;
+};
+
+/// Extension: the responsiveness tool (rpm_style). Not part of the
+/// paper's three-dataset panel; feeds core/responsiveness analyses.
+class RpmDatasetAdapter final : public DatasetAdapter {
+ public:
+  std::string_view dataset_name() const noexcept override { return "rpm"; }
+  std::string_view tool_name() const noexcept override { return "rpm_style"; }
+};
+
+/// Run every adapter over the sessions and collect all records.
+std::vector<datasets::MeasurementRecord> convert_sessions(
+    std::span<const SessionRecord> sessions,
+    std::span<const DatasetAdapter* const> adapters);
+
+/// The standard three-adapter panel.
+std::vector<datasets::MeasurementRecord> convert_sessions_default(
+    std::span<const SessionRecord> sessions);
+
+}  // namespace iqb::measurement

@@ -1,0 +1,92 @@
+// Measurement campaign orchestration.
+//
+// A campaign is the simulated counterpart of "the tests users in a
+// region ran over a month": for every subscriber and every registered
+// tool it executes `tests_per_tool` independent test sessions, each in
+// a fresh, isolated simulation (own Simulator + topology + random
+// streams) so sessions are statistically independent and the whole
+// campaign is reproducible from one seed. Variability across a
+// subscriber's sessions comes from stochastic link loss and background
+// cross-traffic, not from shared mutable state.
+//
+// Topology per session:
+//   server --core link-- isp_router --access link-- client
+// with the access link carrying the subscriber's provisioned rates,
+// base latency, buffering and loss, and optional on/off cross traffic
+// competing on both access directions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iqb/measurement/types.hpp"
+#include "iqb/netsim/crosstraffic.hpp"
+#include "iqb/util/timestamp.hpp"
+
+namespace iqb::measurement {
+
+/// One simulated subscriber line.
+struct SubscriberSpec {
+  std::string subscriber_id;
+  std::string region;
+  std::string isp;
+  netsim::LinkSpec access_down;  ///< isp_router -> client.
+  netsim::LinkSpec access_up;    ///< client -> isp_router.
+  /// Mean fraction of the access-down rate consumed by background
+  /// traffic while a burst is on (0 disables cross traffic).
+  double background_utilization = 0.0;
+};
+
+/// One tool's result for one subscriber session, stamped and tagged —
+/// the raw material the dataset adapters ingest.
+struct SessionRecord {
+  std::string subscriber_id;
+  std::string region;
+  std::string isp;
+  util::Timestamp timestamp;  ///< base_time + simulated session offset.
+  TestObservation observation;
+};
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  util::Timestamp base_time{};        ///< Timestamp of the first session.
+  std::int64_t session_spacing_s = 3600;  ///< Wall-clock gap between sessions.
+  std::size_t tests_per_tool = 4;
+  netsim::LinkSpec core;              ///< server <-> isp_router (both dirs).
+  /// Hard per-session simulation budget; a session that exceeds it is
+  /// recorded as failed rather than hanging the campaign.
+  netsim::SimTime session_time_limit_s = 300.0;
+
+  CampaignConfig() {
+    core.rate = util::Mbps(10000.0);
+    core.propagation_delay = util::Seconds(0.004);
+    core.queue = netsim::QueueSpec::drop_tail(4 * 1024 * 1024);
+  }
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config) : config_(std::move(config)) {}
+
+  /// Register a tool. The campaign shares one client instance across
+  /// sessions (clients are stateless between run() calls).
+  void add_client(std::shared_ptr<MeasurementClient> client);
+
+  void add_subscriber(SubscriberSpec subscriber);
+
+  /// Run every (subscriber, tool, repetition) session. Returns all
+  /// successful session records; failures are logged and skipped.
+  std::vector<SessionRecord> run();
+
+  /// Sessions that failed (no route, time limit, ...), for tests.
+  std::size_t failed_sessions() const noexcept { return failed_sessions_; }
+
+ private:
+  CampaignConfig config_;
+  std::vector<std::shared_ptr<MeasurementClient>> clients_;
+  std::vector<SubscriberSpec> subscribers_;
+  std::size_t failed_sessions_ = 0;
+};
+
+}  // namespace iqb::measurement

@@ -1,0 +1,149 @@
+#include "iqb/measurement/cloudflare_style.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "iqb/stats/percentile.hpp"
+
+namespace iqb::measurement {
+
+using netsim::Path;
+using netsim::TcpConfig;
+using netsim::TcpFlow;
+using netsim::TcpStats;
+using netsim::UdpProbeConfig;
+using netsim::UdpProbeFlow;
+using netsim::UdpProbeStats;
+
+namespace {
+
+struct CloudflareRun {
+  /// Ladder continuation; stored here so transfer completions can
+  /// recurse. Nulled at test completion to break the shared_ptr cycle
+  /// (state -> function -> state).
+  std::function<void(bool)> run_ladder;
+  std::unique_ptr<UdpProbeFlow> ping;
+  std::unique_ptr<UdpProbeFlow> loss_train;
+  std::unique_ptr<UdpProbeFlow> loaded_ping;
+  std::vector<std::unique_ptr<TcpFlow>> transfers;  // all, both directions
+  std::vector<double> download_rates_mbps;
+  std::vector<double> upload_rates_mbps;
+  std::size_t ladder_index = 0;
+  TestObservation observation;
+};
+
+}  // namespace
+
+void CloudflareStyleClient::run(const TestEnvironment& env, ObservationFn done) {
+  auto to_client_r = env.network->path(env.server_node, env.client_node);
+  auto to_server_r = env.network->path(env.client_node, env.server_node);
+  if (!to_client_r.ok()) {
+    done(to_client_r.error());
+    return;
+  }
+  if (!to_server_r.ok()) {
+    done(to_server_r.error());
+    return;
+  }
+  const Path to_client = to_client_r.value();
+  const Path to_server = to_server_r.value();
+
+  auto state = std::make_shared<CloudflareRun>();
+  state->observation.tool = std::string(name());
+  state->observation.started_at = env.sim->now();
+  env.retain(state);
+
+  netsim::Simulator* sim = env.sim;
+  std::uint64_t* flow_ids = env.next_flow_id;
+  const CloudflareStyleConfig config = config_;
+
+  auto percentile_of = [config](const std::vector<double>& rates) {
+    auto p = stats::percentile(rates, config.throughput_percentile);
+    return util::Mbps(p.ok() ? p.value() : 0.0);
+  };
+
+  // ---- phase 4: loss probe train, then finish -----------------------
+  auto start_loss_train = [state, sim, flow_ids, to_client, to_server, config,
+                           done, percentile_of]() mutable {
+    UdpProbeConfig loss;
+    loss.probe_count = config.loss_probe_count;
+    loss.interval_s = config.loss_probe_interval_s;
+    state->loss_train = std::make_unique<UdpProbeFlow>(
+        *sim, to_server, to_client, loss, (*flow_ids)++);
+    state->loss_train->start([state, sim, done,
+                              percentile_of](const UdpProbeStats& stats) mutable {
+      state->run_ladder = nullptr;  // break the state<->closure cycle
+      state->observation.loss = util::LossRate(stats.loss_rate());
+      state->observation.download = percentile_of(state->download_rates_mbps);
+      state->observation.upload = percentile_of(state->upload_rates_mbps);
+      state->observation.finished_at = sim->now();
+      done(state->observation);
+    });
+  };
+
+  // ---- phases 2-3: transfer ladders (download then upload) ----------
+  // Each ladder step is a byte-limited flow measured individually.
+  // Stored in the state so completions can recurse via state->run_ladder.
+  state->run_ladder = [state, sim, flow_ids, to_client, to_server, config,
+                       start_loss_train](bool uploading) mutable {
+    const auto& ladder =
+        uploading ? config.upload_ladder_bytes : config.download_ladder_bytes;
+    if (state->ladder_index >= ladder.size()) {
+      state->ladder_index = 0;
+      if (!uploading) {
+        state->run_ladder(true);  // switch to the upload ladder
+      } else {
+        start_loss_train();
+      }
+      return;
+    }
+    const std::uint64_t bytes = ladder[state->ladder_index];
+    ++state->ladder_index;
+
+    TcpConfig tcp;
+    tcp.algo = config.algo;
+    tcp.max_bytes = bytes;
+    tcp.max_duration_s = config.per_transfer_timeout_s;
+    const Path& data = uploading ? to_server : to_client;
+    const Path& acks = uploading ? to_client : to_server;
+    state->transfers.push_back(std::make_unique<TcpFlow>(
+        *sim, data, acks, tcp, (*flow_ids)++));
+    TcpFlow* flow = state->transfers.back().get();
+    flow->start([state, uploading](const TcpStats& stats) mutable {
+      const double rate = stats.goodput().value();
+      (uploading ? state->upload_rates_mbps : state->download_rates_mbps)
+          .push_back(rate);
+      state->run_ladder(uploading);
+    });
+
+    // Loaded latency: probe during the largest download transfer.
+    if (!uploading && bytes == config.download_ladder_bytes.back()) {
+      UdpProbeConfig loaded;
+      loaded.probe_count = 20;
+      loaded.interval_s = 0.05;
+      state->loaded_ping = std::make_unique<UdpProbeFlow>(
+          *sim, to_server, to_client, loaded, (*flow_ids)++);
+      state->loaded_ping->start([state](const UdpProbeStats& stats) {
+        if (!stats.rtt_samples_ms.empty()) {
+          state->observation.loaded_latency =
+              util::Millis(stats.mean_rtt_ms());
+        }
+      });
+    }
+  };
+
+  // ---- phase 1: idle latency -----------------------------------------
+  UdpProbeConfig ping;
+  ping.probe_count = config.ping_count;
+  ping.interval_s = config.ping_interval_s;
+  state->ping = std::make_unique<UdpProbeFlow>(*sim, to_server, to_client,
+                                               ping, (*flow_ids)++);
+  state->ping->start([state](const UdpProbeStats& stats) mutable {
+    if (!stats.rtt_samples_ms.empty()) {
+      state->observation.idle_latency = util::Millis(stats.min_rtt_ms());
+    }
+    state->run_ladder(false);
+  });
+}
+
+}  // namespace iqb::measurement

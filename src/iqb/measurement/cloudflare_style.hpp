@@ -1,0 +1,50 @@
+// speed.cloudflare.com-style measurement client.
+//
+// Models Cloudflare's browser speed test shape: a ladder of fixed-size
+// HTTP-like transfers (100 kB, 1 MB, 10 MB, 25 MB down; 100 kB, 1 MB,
+// 10 MB up), each measured individually; the reported throughput is
+// the 90th percentile of the per-transfer rates — Cloudflare's own
+// published methodology. Small transfers never leave slow start, so on
+// high-BDP links this client reads *lower* than Ookla-style parallel
+// steady-state tests: a third, genuinely different way of measuring
+// the same wire, which is exactly the disagreement the IQB dataset
+// tier exists to reconcile. Loss comes from a dedicated UDP probe
+// train (Cloudflare Radar publishes packet-loss estimates).
+#pragma once
+
+#include <vector>
+
+#include "iqb/measurement/types.hpp"
+#include "iqb/netsim/tcp.hpp"
+#include "iqb/netsim/udp.hpp"
+
+namespace iqb::measurement {
+
+struct CloudflareStyleConfig {
+  std::vector<std::uint64_t> download_ladder_bytes{100'000, 1'000'000,
+                                                   10'000'000, 25'000'000};
+  std::vector<std::uint64_t> upload_ladder_bytes{100'000, 1'000'000,
+                                                 10'000'000};
+  double throughput_percentile = 90.0;  ///< Over per-transfer rates.
+  std::size_t ping_count = 20;
+  netsim::SimTime ping_interval_s = 0.02;
+  std::size_t loss_probe_count = 100;
+  netsim::SimTime loss_probe_interval_s = 0.02;
+  /// Safety cap per transfer so a dead link cannot hang the test.
+  netsim::SimTime per_transfer_timeout_s = 30.0;
+  netsim::CongestionAlgo algo = netsim::CongestionAlgo::kCubic;
+};
+
+class CloudflareStyleClient final : public MeasurementClient {
+ public:
+  explicit CloudflareStyleClient(CloudflareStyleConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string_view name() const noexcept override { return "cloudflare_style"; }
+  void run(const TestEnvironment& env, ObservationFn done) override;
+
+ private:
+  CloudflareStyleConfig config_;
+};
+
+}  // namespace iqb::measurement

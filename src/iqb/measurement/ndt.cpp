@@ -1,0 +1,73 @@
+#include "iqb/measurement/ndt.hpp"
+
+#include <memory>
+
+namespace iqb::measurement {
+
+using netsim::Path;
+using netsim::TcpConfig;
+using netsim::TcpFlow;
+using netsim::TcpStats;
+using util::Result;
+
+namespace {
+
+/// Per-test state kept alive by the callback chain.
+struct NdtRun {
+  std::unique_ptr<TcpFlow> download_flow;
+  std::unique_ptr<TcpFlow> upload_flow;
+  TestObservation observation;
+};
+
+}  // namespace
+
+void NdtClient::run(const TestEnvironment& env, ObservationFn done) {
+  auto down_fwd = env.network->path(env.server_node, env.client_node);
+  auto down_rev = env.network->path(env.client_node, env.server_node);
+  if (!down_fwd.ok()) {
+    done(down_fwd.error());
+    return;
+  }
+  if (!down_rev.ok()) {
+    done(down_rev.error());
+    return;
+  }
+  const Path to_client = down_fwd.value();
+  const Path to_server = down_rev.value();
+
+  TcpConfig tcp;
+  tcp.algo = config_.algo;
+  tcp.max_duration_s = config_.duration_s;
+
+  auto state = std::make_shared<NdtRun>();
+  state->observation.tool = std::string(name());
+  state->observation.started_at = env.sim->now();
+  env.retain(state);  // keep flows alive for any late in-flight packets
+
+  // Phase 1: download (server -> client).
+  state->download_flow = std::make_unique<TcpFlow>(
+      *env.sim, to_client, to_server, tcp, (*env.next_flow_id)++);
+
+  netsim::Simulator* sim = env.sim;
+  std::uint64_t* flow_ids = env.next_flow_id;
+
+  state->download_flow->start([state, sim, flow_ids, to_client, to_server, tcp,
+                               done](const TcpStats& down) mutable {
+    state->observation.download = down.goodput();
+    state->observation.idle_latency = util::Millis(down.min_rtt_ms);
+    state->observation.loaded_latency = util::Millis(down.smoothed_rtt_ms);
+    state->observation.loss =
+        util::LossRate(std::min(1.0, down.retransmit_rate()));
+
+    // Phase 2: upload (client -> server) — reversed paths.
+    state->upload_flow = std::make_unique<TcpFlow>(*sim, to_server, to_client,
+                                                   tcp, (*flow_ids)++);
+    state->upload_flow->start([state, sim, done](const TcpStats& up) mutable {
+      state->observation.upload = up.goodput();
+      state->observation.finished_at = sim->now();
+      done(state->observation);
+    });
+  });
+}
+
+}  // namespace iqb::measurement

@@ -1,0 +1,33 @@
+// NDT-style measurement client.
+//
+// Models M-Lab's NDT7 protocol shape: a single TCP stream (CUBIC, like
+// the production ndt-server) downloaded for ~10 s, then a single
+// stream uploaded for ~10 s. Metrics mirror what NDT derives from
+// TCP_INFO on the server: throughput is the mean goodput over the
+// whole transfer (no ramp-up discard — a deliberate, documented
+// difference from Ookla), latency is MinRTT, and "loss" is the
+// retransmitted-segment fraction of the download.
+#pragma once
+
+#include "iqb/measurement/types.hpp"
+#include "iqb/netsim/tcp.hpp"
+
+namespace iqb::measurement {
+
+struct NdtConfig {
+  netsim::SimTime duration_s = 10.0;  ///< Per direction.
+  netsim::CongestionAlgo algo = netsim::CongestionAlgo::kCubic;
+};
+
+class NdtClient final : public MeasurementClient {
+ public:
+  explicit NdtClient(NdtConfig config = {}) noexcept : config_(config) {}
+
+  std::string_view name() const noexcept override { return "ndt"; }
+  void run(const TestEnvironment& env, ObservationFn done) override;
+
+ private:
+  NdtConfig config_;
+};
+
+}  // namespace iqb::measurement

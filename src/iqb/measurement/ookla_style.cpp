@@ -1,0 +1,135 @@
+#include "iqb/measurement/ookla_style.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace iqb::measurement {
+
+using netsim::Path;
+using netsim::TcpConfig;
+using netsim::TcpFlow;
+using netsim::TcpStats;
+using netsim::UdpProbeConfig;
+using netsim::UdpProbeFlow;
+using netsim::UdpProbeStats;
+
+namespace {
+
+struct OoklaRun {
+  std::unique_ptr<UdpProbeFlow> ping;
+  std::unique_ptr<UdpProbeFlow> loaded_ping;
+  std::vector<std::unique_ptr<TcpFlow>> download_flows;
+  std::vector<std::unique_ptr<TcpFlow>> upload_flows;
+  std::size_t download_done = 0;
+  std::size_t upload_done = 0;
+  netsim::SimTime download_window_start = 0.0;
+  netsim::SimTime upload_window_start = 0.0;
+  TestObservation observation;
+};
+
+}  // namespace
+
+void OoklaStyleClient::run(const TestEnvironment& env, ObservationFn done) {
+  auto to_client_r = env.network->path(env.server_node, env.client_node);
+  auto to_server_r = env.network->path(env.client_node, env.server_node);
+  if (!to_client_r.ok()) {
+    done(to_client_r.error());
+    return;
+  }
+  if (!to_server_r.ok()) {
+    done(to_server_r.error());
+    return;
+  }
+  const Path to_client = to_client_r.value();
+  const Path to_server = to_server_r.value();
+
+  auto state = std::make_shared<OoklaRun>();
+  state->observation.tool = std::string(name());
+  state->observation.started_at = env.sim->now();
+  env.retain(state);
+
+  netsim::Simulator* sim = env.sim;
+  std::uint64_t* flow_ids = env.next_flow_id;
+  const OoklaStyleConfig config = config_;
+
+  TcpConfig tcp;
+  tcp.algo = config.algo;
+  tcp.max_duration_s = config.duration_s;
+
+  // Phases chain bottom-up: ping -> download (+ loaded pings) -> upload.
+  auto on_upload_flow_done = [state, sim, done](const TcpStats&) mutable {
+    ++state->upload_done;
+    if (state->upload_done < state->upload_flows.size()) return;
+    util::Mbps total(0.0);
+    for (const auto& flow : state->upload_flows) {
+      total += flow->stats().goodput_between(state->upload_window_start,
+                                             sim->now());
+    }
+    state->observation.upload = total;
+    state->observation.finished_at = sim->now();
+    done(state->observation);
+  };
+
+  auto start_upload = [state, sim, flow_ids, to_client, to_server, tcp, config,
+                       on_upload_flow_done]() mutable {
+    state->upload_window_start = sim->now() + config.ramp_discard_s;
+    for (std::size_t i = 0; i < config.parallel_connections; ++i) {
+      state->upload_flows.push_back(std::make_unique<TcpFlow>(
+          *sim, to_server, to_client, tcp, (*flow_ids)++));
+    }
+    for (auto& flow : state->upload_flows) flow->start(on_upload_flow_done);
+  };
+
+  auto on_download_flow_done = [state, sim, start_upload](const TcpStats&) mutable {
+    ++state->download_done;
+    if (state->download_done < state->download_flows.size()) return;
+    util::Mbps total(0.0);
+    for (const auto& flow : state->download_flows) {
+      total += flow->stats().goodput_between(state->download_window_start,
+                                             sim->now());
+    }
+    state->observation.download = total;
+    start_upload();
+  };
+
+  auto start_download = [state, sim, flow_ids, to_client, to_server, tcp,
+                         config, on_download_flow_done]() mutable {
+    state->download_window_start = sim->now() + config.ramp_discard_s;
+    for (std::size_t i = 0; i < config.parallel_connections; ++i) {
+      state->download_flows.push_back(std::make_unique<TcpFlow>(
+          *sim, to_client, to_server, tcp, (*flow_ids)++));
+    }
+    for (auto& flow : state->download_flows) flow->start(on_download_flow_done);
+
+    // Loaded-latency probes ride alongside the download phase.
+    UdpProbeConfig loaded;
+    loaded.interval_s = 0.25;
+    loaded.probe_count =
+        static_cast<std::size_t>(config.duration_s / loaded.interval_s);
+    if (loaded.probe_count > 0) {
+      state->loaded_ping = std::make_unique<UdpProbeFlow>(
+          *sim, to_server, to_client, loaded, (*flow_ids)++);
+      state->loaded_ping->start([state](const UdpProbeStats& stats) {
+        if (!stats.rtt_samples_ms.empty()) {
+          state->observation.loaded_latency = util::Millis(stats.mean_rtt_ms());
+        }
+      });
+    }
+  };
+
+  // Phase 1: idle ping train.
+  UdpProbeConfig ping;
+  ping.probe_count = config.ping_count;
+  ping.interval_s = config.ping_interval_s;
+  state->ping = std::make_unique<UdpProbeFlow>(*sim, to_server, to_client,
+                                               ping, (*flow_ids)++);
+  state->ping->start(
+      [state, start_download](const UdpProbeStats& stats) mutable {
+        if (!stats.rtt_samples_ms.empty()) {
+          state->observation.idle_latency = util::Millis(stats.min_rtt_ms());
+        }
+        start_download();
+      });
+}
+
+}  // namespace iqb::measurement

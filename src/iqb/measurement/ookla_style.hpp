@@ -1,0 +1,41 @@
+// Ookla-Speedtest-style measurement client.
+//
+// Models the protocol shape of Ookla's Speedtest: a short idle ping
+// train first (latency), then several parallel TCP connections in
+// each direction. Throughput is computed over the *steady-state
+// window* (the first ramp_discard_s seconds are discarded), which is
+// why Ookla tends to report higher numbers than single-stream,
+// whole-transfer tools like NDT on the same connection — a
+// disagreement the IQB dataset tier is explicitly designed to absorb.
+// Packet loss is NOT reported: Ookla's open aggregate dataset does
+// not publish it.
+#pragma once
+
+#include "iqb/measurement/types.hpp"
+#include "iqb/netsim/tcp.hpp"
+#include "iqb/netsim/udp.hpp"
+
+namespace iqb::measurement {
+
+struct OoklaStyleConfig {
+  std::size_t parallel_connections = 4;
+  netsim::SimTime duration_s = 15.0;      ///< Per direction.
+  netsim::SimTime ramp_discard_s = 5.0;   ///< Discarded warm-up window.
+  std::size_t ping_count = 10;
+  netsim::SimTime ping_interval_s = 0.05;
+  netsim::CongestionAlgo algo = netsim::CongestionAlgo::kCubic;
+};
+
+class OoklaStyleClient final : public MeasurementClient {
+ public:
+  explicit OoklaStyleClient(OoklaStyleConfig config = {}) noexcept
+      : config_(config) {}
+
+  std::string_view name() const noexcept override { return "ookla_style"; }
+  void run(const TestEnvironment& env, ObservationFn done) override;
+
+ private:
+  OoklaStyleConfig config_;
+};
+
+}  // namespace iqb::measurement

@@ -1,0 +1,138 @@
+#include "iqb/measurement/population.hpp"
+
+#include <cmath>
+
+namespace iqb::measurement {
+
+std::string_view access_technology_name(AccessTechnology tech) noexcept {
+  switch (tech) {
+    case AccessTechnology::kFiber: return "fiber";
+    case AccessTechnology::kCable: return "cable";
+    case AccessTechnology::kDsl: return "dsl";
+    case AccessTechnology::kFixedWireless: return "fixed_wireless";
+    case AccessTechnology::kSatellite: return "satellite";
+  }
+  return "unknown";
+}
+
+TechnologyTraits technology_traits(AccessTechnology tech) noexcept {
+  switch (tech) {
+    case AccessTechnology::kFiber:
+      return {0.8, 0.003, 20.0, netsim::LossSpec::bernoulli(0.00005)};
+    case AccessTechnology::kCable:
+      // DOCSIS: deep buffers (bufferbloat), mild loss, and burst
+      // provisioning (the modem tier bursts ~2x for the first MBs).
+      return {0.08, 0.008, 120.0, netsim::LossSpec::bernoulli(0.0003),
+              2.0, 8 * 1024 * 1024};
+    case AccessTechnology::kDsl:
+      return {0.12, 0.012, 80.0, netsim::LossSpec::bernoulli(0.0008)};
+    case AccessTechnology::kFixedWireless:
+      // Radio: bursty Gilbert-Elliott loss.
+      return {0.3, 0.010, 60.0,
+              netsim::LossSpec::gilbert_elliott(0.002, 0.2, 0.0005, 0.08)};
+    case AccessTechnology::kSatellite:
+      // GEO: ~250 ms one way, bursty loss, big buffers.
+      return {0.1, 0.250, 300.0,
+              netsim::LossSpec::gilbert_elliott(0.001, 0.1, 0.001, 0.05)};
+  }
+  return {0.5, 0.01, 50.0, netsim::LossSpec::none()};
+}
+
+std::vector<SubscriberSpec> generate_population(const RegionPlan& plan,
+                                                util::Rng& rng) {
+  std::vector<SubscriberSpec> population;
+  population.reserve(plan.subscribers);
+
+  std::vector<double> weights;
+  weights.reserve(plan.mix.size());
+  for (const auto& share : plan.mix) weights.push_back(share.share);
+
+  for (std::size_t i = 0; i < plan.subscribers; ++i) {
+    const TechnologyShare& share = plan.mix[rng.weighted_index(weights)];
+    const TechnologyTraits traits = technology_traits(share.technology);
+
+    // Provisioned rate: log-uniform inside the tier's band.
+    const double log_lo = std::log(share.min_download_mbps);
+    const double log_hi = std::log(share.max_download_mbps);
+    const double down_mbps = std::exp(rng.uniform(log_lo, log_hi));
+    const double up_mbps = std::max(1.0, down_mbps * traits.upload_ratio);
+
+    SubscriberSpec subscriber;
+    subscriber.subscriber_id =
+        plan.region + "-" + std::string(access_technology_name(share.technology)) +
+        "-" + std::to_string(i);
+    subscriber.region = plan.region;
+    subscriber.isp = plan.isp;
+
+    auto make_direction = [&traits, &rng](double rate_mbps) {
+      netsim::LinkSpec spec;
+      if (traits.line_rate_factor > 1.0) {
+        // Burst-provisioned tier: fast line shaped to the provisioned
+        // rate once the burst credit is spent.
+        spec.rate = util::Mbps(rate_mbps * traits.line_rate_factor);
+        spec.shaper.enabled = true;
+        spec.shaper.sustained_rate = util::Mbps(rate_mbps);
+        spec.shaper.burst_bytes = traits.burst_bytes;
+      } else {
+        spec.rate = util::Mbps(rate_mbps);
+      }
+      // Jitter the delay a little per subscriber (different loop
+      // lengths / towers).
+      spec.propagation_delay =
+          util::Seconds(traits.one_way_delay_s * rng.uniform(0.8, 1.3));
+      // Buffer sized in time at this direction's sustained rate.
+      const double buffer_bytes =
+          rate_mbps * 1e6 / 8.0 * (traits.buffer_ms / 1e3);
+      spec.queue = netsim::QueueSpec::drop_tail(
+          std::max<std::uint64_t>(static_cast<std::uint64_t>(buffer_bytes),
+                                  16 * 1024));
+      spec.loss = traits.loss;
+      return spec;
+    };
+    subscriber.access_down = make_direction(down_mbps);
+    subscriber.access_up = make_direction(up_mbps);
+    subscriber.background_utilization =
+        std::clamp(rng.normal(plan.mean_background_utilization,
+                              plan.mean_background_utilization / 2.0),
+                   0.0, 0.8);
+    population.push_back(std::move(subscriber));
+  }
+  return population;
+}
+
+std::vector<RegionPlan> example_region_plans(std::size_t subscribers_per_region) {
+  std::vector<RegionPlan> plans(3);
+
+  plans[0].region = "metro";
+  plans[0].isp = "cityfiber";
+  plans[0].subscribers = subscribers_per_region;
+  plans[0].mean_background_utilization = 0.10;
+  plans[0].mix = {
+      {AccessTechnology::kFiber, 0.7, 300.0, 1000.0},
+      {AccessTechnology::kCable, 0.3, 100.0, 500.0},
+  };
+
+  plans[1].region = "suburban";
+  plans[1].isp = "cablecorp";
+  plans[1].subscribers = subscribers_per_region;
+  plans[1].mean_background_utilization = 0.15;
+  plans[1].mix = {
+      {AccessTechnology::kCable, 0.6, 50.0, 300.0},
+      {AccessTechnology::kDsl, 0.3, 10.0, 50.0},
+      {AccessTechnology::kFiber, 0.1, 300.0, 900.0},
+  };
+
+  plans[2].region = "rural";
+  plans[2].isp = "hilltop_wireless";
+  plans[2].subscribers = subscribers_per_region;
+  plans[2].mean_background_utilization = 0.2;
+  plans[2].mix = {
+      {AccessTechnology::kFixedWireless, 0.5, 10.0, 100.0},
+      {AccessTechnology::kDsl, 0.3, 5.0, 25.0},
+      {AccessTechnology::kSatellite, 0.2, 20.0, 100.0},
+  };
+
+  return plans;
+}
+
+}  // namespace iqb::measurement

@@ -1,0 +1,66 @@
+// Subscriber population synthesis for packet-level campaigns.
+//
+// Translates a regional access-technology mix (fiber / cable / DSL /
+// fixed-wireless / satellite) into concrete SubscriberSpecs with
+// realistic per-technology rates, buffering, base latency and loss.
+// This is the high-fidelity counterpart of datasets::RegionProfile:
+// here the distributions parameterize *links*, and the measurements
+// emerge from packet dynamics rather than being drawn directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iqb/measurement/campaign.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::measurement {
+
+enum class AccessTechnology { kFiber, kCable, kDsl, kFixedWireless, kSatellite };
+
+std::string_view access_technology_name(AccessTechnology tech) noexcept;
+
+/// Mix entry: share of subscribers on a technology, with a provisioned
+/// rate range (uniform in log space between min and max).
+struct TechnologyShare {
+  AccessTechnology technology = AccessTechnology::kFiber;
+  double share = 1.0;  ///< Relative weight within the region.
+  double min_download_mbps = 100.0;
+  double max_download_mbps = 1000.0;
+};
+
+struct RegionPlan {
+  std::string region;
+  std::string isp = "sim_isp";
+  std::vector<TechnologyShare> mix;
+  std::size_t subscribers = 10;
+  /// Mean background utilization across subscribers (each subscriber
+  /// draws its own level around this).
+  double mean_background_utilization = 0.15;
+};
+
+/// Technology defaults: upload ratio, base one-way delay, buffer
+/// sizing, loss behaviour and burst provisioning. Exposed so tests
+/// can assert on them.
+struct TechnologyTraits {
+  double upload_ratio;
+  double one_way_delay_s;
+  double buffer_ms;  ///< Buffer depth in milliseconds at the line rate.
+  netsim::LossSpec loss;
+  /// Burst provisioning ("speed boost"): when > 1, the physical line
+  /// runs at provisioned_rate * line_rate_factor with a token bucket
+  /// shaping to the provisioned rate after burst_bytes of credit.
+  double line_rate_factor = 1.0;
+  std::uint64_t burst_bytes = 0;
+};
+TechnologyTraits technology_traits(AccessTechnology tech) noexcept;
+
+/// Draw a concrete subscriber population for a region plan.
+std::vector<SubscriberSpec> generate_population(const RegionPlan& plan,
+                                                util::Rng& rng);
+
+/// A compact three-region demo country used by examples/benches where
+/// full six-region packet simulation would be too slow.
+std::vector<RegionPlan> example_region_plans(std::size_t subscribers_per_region);
+
+}  // namespace iqb::measurement

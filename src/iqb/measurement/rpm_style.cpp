@@ -1,0 +1,127 @@
+#include "iqb/measurement/rpm_style.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace iqb::measurement {
+
+using netsim::Path;
+using netsim::TcpConfig;
+using netsim::TcpFlow;
+using netsim::TcpStats;
+using netsim::UdpProbeConfig;
+using netsim::UdpProbeFlow;
+using netsim::UdpProbeStats;
+
+namespace {
+
+struct RpmRun {
+  std::unique_ptr<UdpProbeFlow> idle_ping;
+  std::unique_ptr<UdpProbeFlow> loaded_ping;
+  std::vector<std::unique_ptr<TcpFlow>> down_flows;
+  std::vector<std::unique_ptr<TcpFlow>> up_flows;
+  std::size_t flows_done = 0;
+  bool probes_done = false;
+  netsim::SimTime load_started_at = 0.0;
+  TestObservation observation;
+};
+
+}  // namespace
+
+void RpmStyleClient::run(const TestEnvironment& env, ObservationFn done) {
+  auto to_client_r = env.network->path(env.server_node, env.client_node);
+  auto to_server_r = env.network->path(env.client_node, env.server_node);
+  if (!to_client_r.ok()) {
+    done(to_client_r.error());
+    return;
+  }
+  if (!to_server_r.ok()) {
+    done(to_server_r.error());
+    return;
+  }
+  const Path to_client = to_client_r.value();
+  const Path to_server = to_server_r.value();
+
+  auto state = std::make_shared<RpmRun>();
+  state->observation.tool = std::string(name());
+  state->observation.started_at = env.sim->now();
+  env.retain(state);
+
+  netsim::Simulator* sim = env.sim;
+  std::uint64_t* flow_ids = env.next_flow_id;
+  const RpmStyleConfig config = config_;
+
+  // Completion requires both: all flows done AND the loaded probe
+  // train finished (they end at roughly the same time).
+  auto maybe_finish = [state, sim, config, done]() mutable {
+    const std::size_t total_flows =
+        state->down_flows.size() + state->up_flows.size();
+    if (state->flows_done < total_flows || !state->probes_done) return;
+    // Saturating throughput: steady-state window after 1/3 ramp.
+    const netsim::SimTime window_start =
+        state->load_started_at + config.duration_s / 3.0;
+    util::Mbps down_total(0.0), up_total(0.0);
+    for (const auto& flow : state->down_flows) {
+      down_total += flow->stats().goodput_between(window_start, sim->now());
+    }
+    for (const auto& flow : state->up_flows) {
+      up_total += flow->stats().goodput_between(window_start, sim->now());
+    }
+    state->observation.download = down_total;
+    state->observation.upload = up_total;
+    state->observation.finished_at = sim->now();
+    done(state->observation);
+  };
+
+  auto start_load = [state, sim, flow_ids, to_client, to_server, config,
+                     maybe_finish]() mutable {
+    state->load_started_at = sim->now();
+    TcpConfig tcp;
+    tcp.algo = config.algo;
+    tcp.max_duration_s = config.duration_s;
+    auto on_flow_done = [state, maybe_finish](const TcpStats&) mutable {
+      ++state->flows_done;
+      maybe_finish();
+    };
+    for (std::size_t i = 0; i < config.parallel_connections; ++i) {
+      state->down_flows.push_back(std::make_unique<TcpFlow>(
+          *sim, to_client, to_server, tcp, (*flow_ids)++));
+      state->up_flows.push_back(std::make_unique<TcpFlow>(
+          *sim, to_server, to_client, tcp, (*flow_ids)++));
+    }
+    for (auto& flow : state->down_flows) flow->start(on_flow_done);
+    for (auto& flow : state->up_flows) flow->start(on_flow_done);
+
+    // The responsiveness probes ride on the fully loaded connection.
+    UdpProbeConfig loaded;
+    loaded.interval_s = config.probe_interval_s;
+    loaded.probe_count = static_cast<std::size_t>(
+        config.duration_s / config.probe_interval_s);
+    state->loaded_ping = std::make_unique<UdpProbeFlow>(
+        *sim, to_server, to_client, loaded, (*flow_ids)++);
+    state->loaded_ping->start(
+        [state, maybe_finish](const UdpProbeStats& stats) mutable {
+          if (!stats.rtt_samples_ms.empty()) {
+            state->observation.loaded_latency =
+                util::Millis(stats.mean_rtt_ms());
+          }
+          state->probes_done = true;
+          maybe_finish();
+        });
+  };
+
+  UdpProbeConfig idle;
+  idle.probe_count = config.idle_ping_count;
+  idle.interval_s = 0.05;
+  state->idle_ping = std::make_unique<UdpProbeFlow>(*sim, to_server, to_client,
+                                                    idle, (*flow_ids)++);
+  state->idle_ping->start(
+      [state, start_load](const UdpProbeStats& stats) mutable {
+        if (!stats.rtt_samples_ms.empty()) {
+          state->observation.idle_latency = util::Millis(stats.min_rtt_ms());
+        }
+        start_load();
+      });
+}
+
+}  // namespace iqb::measurement

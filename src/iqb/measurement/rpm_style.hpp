@@ -1,0 +1,38 @@
+// Responsiveness-test client (networkQuality / RPM style).
+//
+// Models the IETF IPPM "Responsiveness under Working Conditions"
+// methodology: saturate the connection in both directions with
+// parallel TCP flows, then measure RTT with probes *while loaded*.
+// Reports working (loaded) latency as its primary latency signal —
+// the metric the responsiveness extension (core/responsiveness)
+// consumes — plus saturating throughput in both directions. No loss
+// metric (the methodology does not define one).
+#pragma once
+
+#include "iqb/measurement/types.hpp"
+#include "iqb/netsim/tcp.hpp"
+#include "iqb/netsim/udp.hpp"
+
+namespace iqb::measurement {
+
+struct RpmStyleConfig {
+  std::size_t parallel_connections = 4;   ///< Per direction.
+  netsim::SimTime duration_s = 12.0;
+  netsim::SimTime probe_interval_s = 0.1;
+  std::size_t idle_ping_count = 10;
+  netsim::CongestionAlgo algo = netsim::CongestionAlgo::kCubic;
+};
+
+class RpmStyleClient final : public MeasurementClient {
+ public:
+  explicit RpmStyleClient(RpmStyleConfig config = {}) noexcept
+      : config_(config) {}
+
+  std::string_view name() const noexcept override { return "rpm_style"; }
+  void run(const TestEnvironment& env, ObservationFn done) override;
+
+ private:
+  RpmStyleConfig config_;
+};
+
+}  // namespace iqb::measurement

@@ -1,0 +1,69 @@
+// Shared types for measurement clients.
+//
+// A *measurement client* is the simulated analogue of one real-world
+// test tool (M-Lab NDT, Ookla Speedtest, speed.cloudflare.com). Each
+// produces a TestObservation: the tool's own estimate of the four IQB
+// network-requirement metrics, with std::nullopt for metrics the tool
+// genuinely does not report (e.g. Ookla's open aggregate data carries
+// no packet loss), so the aggregation tier must cope with coverage
+// gaps exactly as it must with the real datasets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "iqb/netsim/network.hpp"
+#include "iqb/netsim/sim.hpp"
+#include "iqb/util/result.hpp"
+#include "iqb/util/units.hpp"
+
+namespace iqb::measurement {
+
+/// Everything a client needs to run one test against a server.
+/// Non-owning; the caller keeps the simulator and network alive.
+struct TestEnvironment {
+  netsim::Simulator* sim = nullptr;
+  netsim::Network* network = nullptr;
+  netsim::NodeId client_node = 0;
+  netsim::NodeId server_node = 0;
+  /// Monotonic flow-id allocator shared across concurrent tests.
+  std::uint64_t* next_flow_id = nullptr;
+  /// Keep-alive sink: clients park their per-test state (flows etc.)
+  /// here so in-flight packet callbacks never dangle. The owner must
+  /// hold these until it stops running the simulator. Required.
+  std::function<void(std::shared_ptr<void>)> retain;
+  /// Per-test random stream (probe jitter etc.).
+  util::Rng rng{1};
+};
+
+/// One tool's view of one connection at one point in (simulated) time.
+struct TestObservation {
+  std::string tool;  ///< "ndt" | "ookla_style" | "cloudflare_style" | ...
+  netsim::SimTime started_at = 0.0;
+  netsim::SimTime finished_at = 0.0;
+
+  std::optional<util::Mbps> download;
+  std::optional<util::Mbps> upload;
+  std::optional<util::Millis> idle_latency;
+  std::optional<util::Millis> loaded_latency;
+  std::optional<util::LossRate> loss;
+};
+
+using ObservationFn = std::function<void(util::Result<TestObservation>)>;
+
+/// Interface implemented by each simulated test tool. run() schedules
+/// simulator events and returns immediately; `done` fires in simulated
+/// time when the test completes. A client instance may run many tests
+/// concurrently (each run owns its per-test state).
+class MeasurementClient {
+ public:
+  virtual ~MeasurementClient() = default;
+  virtual std::string_view name() const noexcept = 0;
+  virtual void run(const TestEnvironment& env, ObservationFn done) = 0;
+};
+
+}  // namespace iqb::measurement

@@ -1,0 +1,59 @@
+#include "iqb/netsim/crosstraffic.hpp"
+
+#include <cassert>
+
+namespace iqb::netsim {
+
+CrossTrafficFlow::CrossTrafficFlow(Simulator& sim, Path path,
+                                   CrossTrafficConfig config, util::Rng rng,
+                                   std::uint64_t flow_id)
+    : sim_(sim),
+      path_(std::move(path)),
+      config_(config),
+      rng_(rng),
+      flow_id_(flow_id) {
+  assert(!path_.empty());
+  assert(config_.rate.value() > 0.0);
+}
+
+void CrossTrafficFlow::start() {
+  // Start in a random phase so concurrent subscribers don't pulse in
+  // lockstep.
+  const double initial_delay =
+      rng_.exponential(1.0 / std::max(config_.mean_off_s, 1e-3));
+  sim_.schedule_in(initial_delay, [this] { begin_burst(); });
+}
+
+void CrossTrafficFlow::begin_burst() {
+  if (stopped_ || sim_.now() >= config_.stop_at) return;
+  on_ = true;
+  const double burst = rng_.exponential(1.0 / std::max(config_.mean_on_s, 1e-3));
+  burst_ends_at_ = sim_.now() + burst;
+  send_next();
+}
+
+void CrossTrafficFlow::send_next() {
+  if (stopped_ || sim_.now() >= config_.stop_at) return;
+  if (sim_.now() >= burst_ends_at_) {
+    on_ = false;
+    const double idle =
+        rng_.exponential(1.0 / std::max(config_.mean_off_s, 1e-3));
+    sim_.schedule_in(idle, [this] { begin_burst(); });
+    return;
+  }
+  Packet packet;
+  packet.flow_id = flow_id_;
+  packet.seq = packets_sent_;
+  packet.kind = PacketKind::kData;
+  packet.size_bytes = config_.packet_bytes + kUdpHeaderBytes;
+  packet.sent_at = sim_.now();
+  ++packets_sent_;
+  // Fire-and-forget: cross traffic is not acknowledged.
+  send_along(path_, packet, [](const Packet&) {});
+
+  const double interval = static_cast<double>(packet.size_bytes) * 8.0 /
+                          config_.rate.bits_per_second();
+  sim_.schedule_in(interval, [this] { send_next(); });
+}
+
+}  // namespace iqb::netsim

@@ -1,0 +1,57 @@
+// Background cross-traffic generator.
+//
+// Real access links are rarely idle while a speed test runs: other
+// devices stream, sync and browse. This flow injects an on/off UDP
+// stream (exponentially distributed burst and idle periods) at a
+// configurable fraction of a target rate, giving each simulated
+// subscriber time-varying measurements — which is what makes the 95th
+// percentile aggregation of the IQB datasets tier meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "iqb/netsim/network.hpp"
+#include "iqb/netsim/packet.hpp"
+#include "iqb/netsim/sim.hpp"
+#include "iqb/util/rng.hpp"
+#include "iqb/util/units.hpp"
+
+namespace iqb::netsim {
+
+struct CrossTrafficConfig {
+  util::Mbps rate{10.0};          ///< Sending rate while ON.
+  double mean_on_s = 2.0;         ///< Mean burst duration.
+  double mean_off_s = 2.0;        ///< Mean idle duration.
+  std::uint32_t packet_bytes = 1200;
+  SimTime stop_at = kSimTimeInfinity;  ///< Stop generating after this time.
+};
+
+class CrossTrafficFlow {
+ public:
+  CrossTrafficFlow(Simulator& sim, Path path, CrossTrafficConfig config,
+                   util::Rng rng, std::uint64_t flow_id);
+
+  CrossTrafficFlow(const CrossTrafficFlow&) = delete;
+  CrossTrafficFlow& operator=(const CrossTrafficFlow&) = delete;
+
+  void start();
+  void stop() noexcept { stopped_ = true; }
+
+  std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+
+ private:
+  void begin_burst();
+  void send_next();
+
+  Simulator& sim_;
+  Path path_;
+  CrossTrafficConfig config_;
+  util::Rng rng_;
+  std::uint64_t flow_id_;
+  bool on_ = false;
+  bool stopped_ = false;
+  SimTime burst_ends_at_ = 0.0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace iqb::netsim

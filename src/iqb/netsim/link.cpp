@@ -1,0 +1,106 @@
+#include "iqb/netsim/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace iqb::netsim {
+
+Link::Link(Simulator& sim, Config config, util::Rng rng)
+    : sim_(sim), config_(std::move(config)), rng_(rng) {
+  if (!config_.queue) {
+    config_.queue = std::make_unique<DropTailQueue>(256 * 1024);
+  }
+  if (!config_.loss) {
+    config_.loss = std::make_unique<NoLoss>();
+  }
+  assert(config_.rate.value() > 0.0 && "link rate must be positive");
+  if (config_.shaper.enabled) {
+    assert(config_.shaper.sustained_rate.value() > 0.0);
+    shaper_tokens_ = static_cast<double>(config_.shaper.burst_bytes);
+  }
+}
+
+SimTime Link::take_shaper_tokens(std::uint32_t packet_bytes) noexcept {
+  if (!config_.shaper.enabled) return 0.0;
+  // Refill credit accrued since the last take, capped at the bucket.
+  const double refill_rate =
+      config_.shaper.sustained_rate.bytes_per_second();
+  shaper_tokens_ = std::min(
+      static_cast<double>(config_.shaper.burst_bytes),
+      shaper_tokens_ + (sim_.now() - shaper_refilled_at_) * refill_rate);
+  shaper_refilled_at_ = sim_.now();
+  if (shaper_tokens_ >= packet_bytes) {
+    shaper_tokens_ -= packet_bytes;
+    return 0.0;
+  }
+  // Wait until enough credit accrues, then spend it all.
+  const double deficit = static_cast<double>(packet_bytes) - shaper_tokens_;
+  shaper_tokens_ = 0.0;
+  const double wait = deficit / refill_rate;
+  shaper_refilled_at_ = sim_.now() + wait;
+  return wait;
+}
+
+void Link::set_loss_model(std::unique_ptr<LossModel> loss) {
+  config_.loss = loss ? std::move(loss) : std::make_unique<NoLoss>();
+}
+
+void Link::send(Packet packet, DeliverFn on_deliver, DropFn on_drop) {
+  ++counters_.offered_packets;
+  counters_.offered_bytes += packet.size_bytes;
+
+  if (config_.loss->should_drop(rng_)) {
+    ++counters_.dropped_loss_packets;
+    if (on_drop) on_drop(packet);
+    return;
+  }
+  QueueContext context;
+  context.queued_bytes = queued_bytes_;
+  context.packet_bytes = packet.size_bytes;
+  context.now = sim_.now();
+  context.drain_rate_bps = config_.rate.bits_per_second();
+  if (!config_.queue->admit(context, rng_)) {
+    ++counters_.dropped_queue_packets;
+    if (on_drop) on_drop(packet);
+    return;
+  }
+  queued_bytes_ += packet.size_bytes;
+  queue_.push_back(Pending{std::move(packet), std::move(on_deliver)});
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  assert(!queue_.empty());
+  transmitting_ = true;
+  // Serialization: the head packet occupies the transmitter for
+  // size/rate seconds; afterwards it propagates independently while
+  // the next packet starts serializing (pipelining). A shaper, if
+  // configured, may hold the packet first until tokens accrue.
+  const Pending& head = queue_.front();
+  const double shaper_wait_s = take_shaper_tokens(head.packet.size_bytes);
+  const double serialize_s =
+      static_cast<double>(head.packet.size_bytes) * 8.0 /
+      config_.rate.bits_per_second();
+  sim_.schedule_in(shaper_wait_s + serialize_s, [this] {
+    Pending done = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= done.packet.size_bytes;
+    ++counters_.delivered_packets;
+    counters_.delivered_bytes += done.packet.size_bytes;
+    // Propagation happens off the transmitter; capture by value so the
+    // packet survives until delivery.
+    sim_.schedule_in(config_.propagation_delay.value(),
+                     [packet = std::move(done.packet),
+                      deliver = std::move(done.on_deliver)] {
+                       if (deliver) deliver(packet);
+                     });
+    if (!queue_.empty()) {
+      start_transmission();
+    } else {
+      transmitting_ = false;
+    }
+  });
+}
+
+}  // namespace iqb::netsim

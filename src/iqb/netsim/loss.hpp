@@ -1,0 +1,76 @@
+// Stochastic packet loss models applied at link ingress.
+//
+// Queue overflow (congestion loss) is modelled by the queue
+// discipline; these models capture *non-congestive* loss: radio
+// interference, line noise, faulty equipment. Both classic models are
+// provided: i.i.d. Bernoulli loss and the two-state Gilbert-Elliott
+// chain, which produces the bursty loss patterns real access networks
+// exhibit and which stresses TCP very differently from uniform loss.
+#pragma once
+
+#include <memory>
+
+#include "iqb/util/rng.hpp"
+
+namespace iqb::netsim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True if the packet should be dropped at ingress.
+  virtual bool should_drop(util::Rng& rng) = 0;
+};
+
+/// No stochastic loss (default for clean wired links).
+class NoLoss final : public LossModel {
+ public:
+  bool should_drop(util::Rng&) override { return false; }
+};
+
+/// Independent loss with fixed probability p.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) noexcept : p_(p) {}
+  bool should_drop(util::Rng& rng) override { return rng.bernoulli(p_); }
+  double probability() const noexcept { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Two-state Markov (Gilbert-Elliott) loss. In the Good state packets
+/// drop with probability loss_good (usually ~0); in the Bad state with
+/// loss_bad (high). Transitions g->b with p_gb, b->g with p_bg per
+/// packet. Average loss = pi_b*loss_bad + pi_g*loss_good where
+/// pi_b = p_gb/(p_gb+p_bg).
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_gb, double p_bg, double loss_good,
+                     double loss_bad) noexcept
+      : p_gb_(p_gb), p_bg_(p_bg), loss_good_(loss_good), loss_bad_(loss_bad) {}
+
+  bool should_drop(util::Rng& rng) override {
+    if (bad_) {
+      if (rng.bernoulli(p_bg_)) bad_ = false;
+    } else {
+      if (rng.bernoulli(p_gb_)) bad_ = true;
+    }
+    return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+  }
+
+  /// Stationary mean loss rate of the chain.
+  double mean_loss_rate() const noexcept {
+    const double denom = p_gb_ + p_bg_;
+    if (denom <= 0.0) return loss_good_;
+    const double pi_bad = p_gb_ / denom;
+    return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+  }
+
+  bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+};
+
+}  // namespace iqb::netsim

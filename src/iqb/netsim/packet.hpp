@@ -1,0 +1,54 @@
+// Packet representation shared by links, queues and flows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "iqb/netsim/sim.hpp"
+
+namespace iqb::netsim {
+
+enum class PacketKind : std::uint8_t {
+  kData,      ///< TCP-style data segment.
+  kAck,       ///< TCP-style cumulative acknowledgement.
+  kProbe,     ///< UDP probe (echo request).
+  kProbeEcho, ///< UDP probe reply.
+};
+
+/// A simulated packet. Value type; flows keep whatever bookkeeping
+/// they need keyed by (flow_id, seq) rather than inside the packet.
+struct Packet {
+  std::uint64_t flow_id = 0;
+  std::uint64_t seq = 0;        ///< Segment/probe sequence number.
+  std::uint64_t ack = 0;        ///< Cumulative ACK (kAck only).
+  std::uint32_t size_bytes = 0; ///< On-the-wire size incl. headers.
+  PacketKind kind = PacketKind::kData;
+  SimTime sent_at = 0.0;        ///< Stamped by the sender at first hop.
+  bool retransmit = false;      ///< Karn's rule: exclude from RTT sampling.
+  std::uint64_t echo_seq = 0;   ///< For kProbeEcho: echoed probe seq.
+  /// TCP-timestamp-style echo (RFC 7323): for kAck, the sent_at and
+  /// retransmit flag of the data segment that triggered this ACK, so
+  /// the sender can take exact RTT samples even when the cumulative
+  /// ACK is blocked behind a hole.
+  SimTime echo_sent_at = 0.0;
+  bool echo_retransmit = false;
+
+  /// SACK blocks (RFC 2018): segment ranges [begin, end) received
+  /// above the cumulative ACK. Without these, a burst loss degrades
+  /// NewReno to one repaired hole per RTT — the well-known pathology
+  /// SACK was introduced to fix, and every real stack ships it.
+  struct SackRange {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;  // exclusive
+  };
+  static constexpr int kMaxSackRanges = 4;
+  std::array<SackRange, kMaxSackRanges> sack{};
+  int sack_count = 0;
+};
+
+/// Conventional header sizes used by the flow models.
+constexpr std::uint32_t kTcpHeaderBytes = 40;   // IP + TCP, no options
+constexpr std::uint32_t kUdpHeaderBytes = 28;   // IP + UDP
+constexpr std::uint32_t kDefaultMssBytes = 1448; // 1500 MTU - headers - ts
+
+}  // namespace iqb::netsim

@@ -1,0 +1,92 @@
+#include "iqb/netsim/queue.hpp"
+
+#include <algorithm>
+
+namespace iqb::netsim {
+
+bool RedQueue::admit(const QueueContext& context, util::Rng& rng) {
+  // Physical capacity is always enforced.
+  if (context.queued_bytes + context.packet_bytes > config_.capacity_bytes) {
+    return false;
+  }
+
+  avg_ += config_.ewma_weight * (static_cast<double>(context.queued_bytes) - avg_);
+
+  if (avg_ < static_cast<double>(config_.min_threshold_bytes)) {
+    ++since_last_drop_;
+    return true;
+  }
+  if (avg_ >= static_cast<double>(config_.max_threshold_bytes)) {
+    since_last_drop_ = 0;
+    return false;
+  }
+  // Linear ramp between thresholds, uniformized by the count of
+  // packets since the last drop (Floyd & Jacobson eq. 3).
+  const double span = static_cast<double>(config_.max_threshold_bytes -
+                                          config_.min_threshold_bytes);
+  const double pb = config_.max_drop_probability *
+                    (avg_ - static_cast<double>(config_.min_threshold_bytes)) / span;
+  const double denom = 1.0 - static_cast<double>(since_last_drop_) * pb;
+  const double pa = denom > 0.0 ? pb / denom : 1.0;
+  if (rng.bernoulli(pa)) {
+    since_last_drop_ = 0;
+    return false;
+  }
+  ++since_last_drop_;
+  return true;
+}
+
+void PieQueue::maybe_update(const QueueContext& context) {
+  if (context.now < next_update_at_) return;
+  next_update_at_ = context.now + config_.t_update_s;
+  const double delay_s =
+      context.drain_rate_bps > 0.0
+          ? static_cast<double>(context.queued_bytes) * 8.0 /
+                context.drain_rate_bps
+          : 0.0;
+  // PI control law (RFC 8033 §4.2), with the standard auto-scaling of
+  // gains while the drop probability is small so the controller does
+  // not overshoot from a cold start.
+  double alpha = config_.alpha;
+  double beta = config_.beta;
+  if (drop_probability_ < 0.000001) {
+    alpha /= 2048.0;
+    beta /= 2048.0;
+  } else if (drop_probability_ < 0.00001) {
+    alpha /= 512.0;
+    beta /= 512.0;
+  } else if (drop_probability_ < 0.0001) {
+    alpha /= 128.0;
+    beta /= 128.0;
+  } else if (drop_probability_ < 0.001) {
+    alpha /= 32.0;
+    beta /= 32.0;
+  } else if (drop_probability_ < 0.01) {
+    alpha /= 8.0;
+    beta /= 8.0;
+  } else if (drop_probability_ < 0.1) {
+    alpha /= 2.0;
+    beta /= 2.0;
+  }
+  drop_probability_ += alpha * (delay_s - config_.target_delay_s) +
+                       beta * (delay_s - last_delay_s_);
+  drop_probability_ = std::clamp(drop_probability_, 0.0, 1.0);
+  // Decay toward zero when the queue has fully drained.
+  if (context.queued_bytes == 0 && last_delay_s_ == 0.0) {
+    drop_probability_ *= 0.98;
+  }
+  last_delay_s_ = delay_s;
+}
+
+bool PieQueue::admit(const QueueContext& context, util::Rng& rng) {
+  if (context.queued_bytes + context.packet_bytes > config_.capacity_bytes) {
+    return false;
+  }
+  maybe_update(context);
+  // Never early-drop when the queue is nearly empty (RFC 8033 §4.1
+  // safeguard), so short flows are not punished.
+  if (context.queued_bytes < 2ull * context.packet_bytes) return true;
+  return !rng.bernoulli(drop_probability_);
+}
+
+}  // namespace iqb::netsim

@@ -1,0 +1,116 @@
+// Queue disciplines deciding admission into a link's buffer.
+//
+// DropTail models the fixed FIFO buffers of consumer CPE; RED models
+// classic probabilistic AQM; PIE (RFC 8033) models modern
+// latency-targeting AQM (DOCSIS 3.1 ships it), dropping at enqueue
+// based on the estimated queueing delay. The choice of discipline is
+// what separates a "fast but bloated" link from a "responsive" one in
+// the simulated populations, directly exercising IQB's
+// latency-vs-throughput story.
+#pragma once
+
+#include <cstdint>
+
+#include "iqb/netsim/sim.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::netsim {
+
+/// Everything a discipline may consult when deciding admission.
+struct QueueContext {
+  std::uint64_t queued_bytes = 0;   ///< Bytes already buffered.
+  std::uint32_t packet_bytes = 0;   ///< Size of the arriving packet.
+  SimTime now = 0.0;                ///< Simulation clock.
+  double drain_rate_bps = 0.0;      ///< Link rate draining this queue.
+};
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+  /// Decide whether the arriving packet may enter the queue. Called
+  /// once per enqueue attempt.
+  virtual bool admit(const QueueContext& context, util::Rng& rng) = 0;
+  /// Buffer capacity in bytes (for reporting).
+  virtual std::uint64_t capacity_bytes() const noexcept = 0;
+};
+
+/// FIFO with a hard byte limit.
+class DropTailQueue final : public QueueDiscipline {
+ public:
+  explicit DropTailQueue(std::uint64_t capacity_bytes) noexcept
+      : capacity_(capacity_bytes) {}
+
+  bool admit(const QueueContext& context, util::Rng&) override {
+    return context.queued_bytes + context.packet_bytes <= capacity_;
+  }
+  std::uint64_t capacity_bytes() const noexcept override { return capacity_; }
+
+ private:
+  std::uint64_t capacity_;
+};
+
+/// Random Early Detection (Floyd & Jacobson 1993), byte mode, with an
+/// EWMA of the instantaneous queue. Drops with probability rising
+/// linearly from 0 at min_threshold to max_p at max_threshold; hard
+/// drop above max_threshold or the physical capacity.
+class RedQueue final : public QueueDiscipline {
+ public:
+  struct Config {
+    std::uint64_t capacity_bytes = 256 * 1024;
+    std::uint64_t min_threshold_bytes = 32 * 1024;
+    std::uint64_t max_threshold_bytes = 128 * 1024;
+    double max_drop_probability = 0.1;
+    double ewma_weight = 0.002;  ///< Classic RED w_q.
+  };
+
+  explicit RedQueue(Config config) noexcept : config_(config) {}
+
+  bool admit(const QueueContext& context, util::Rng& rng) override;
+  std::uint64_t capacity_bytes() const noexcept override {
+    return config_.capacity_bytes;
+  }
+
+  double average_queue_bytes() const noexcept { return avg_; }
+
+ private:
+  Config config_;
+  double avg_ = 0.0;
+  // Count of packets admitted since the last drop; RED uses it to
+  // spread drops out (uniformization).
+  std::uint64_t since_last_drop_ = 0;
+};
+
+/// PIE — Proportional Integral controller Enhanced (RFC 8033,
+/// simplified: no burst allowance, no ECN). Estimates queueing delay
+/// as queued_bytes / drain_rate and updates a drop probability every
+/// t_update via the PI control law
+///   p += alpha * (delay - target) + beta * (delay - delay_old).
+class PieQueue final : public QueueDiscipline {
+ public:
+  struct Config {
+    std::uint64_t capacity_bytes = 512 * 1024;
+    double target_delay_s = 0.015;  ///< RFC 8033 default 15 ms.
+    double t_update_s = 0.015;      ///< Probability update interval.
+    double alpha = 0.125;           ///< Integral gain (1/s of delay error).
+    double beta = 1.25;             ///< Proportional gain.
+  };
+
+  explicit PieQueue(Config config) noexcept : config_(config) {}
+
+  bool admit(const QueueContext& context, util::Rng& rng) override;
+  std::uint64_t capacity_bytes() const noexcept override {
+    return config_.capacity_bytes;
+  }
+
+  double drop_probability() const noexcept { return drop_probability_; }
+
+ private:
+  void maybe_update(const QueueContext& context);
+
+  Config config_;
+  double drop_probability_ = 0.0;
+  double last_delay_s_ = 0.0;
+  SimTime next_update_at_ = 0.0;
+};
+
+}  // namespace iqb::netsim

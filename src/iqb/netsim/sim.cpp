@@ -1,0 +1,70 @@
+#include "iqb/netsim/sim.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace iqb::netsim {
+
+TimerId Simulator::schedule_at(SimTime time, Callback callback) {
+  if (time < now_) time = now_;
+  const TimerId id = next_id_++;
+  heap_.push(Event{time, next_seq_++, id});
+  callbacks_.emplace(id, std::move(callback));
+  return id;
+}
+
+TimerId Simulator::schedule_in(SimTime delay, Callback callback) {
+  assert(delay >= 0.0 && "negative delay");
+  return schedule_at(now_ + delay, std::move(callback));
+}
+
+bool Simulator::cancel(TimerId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(ev.id);
+    assert(cb_it != callbacks_.end());
+    Callback cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    assert(ev.time >= now_ && "event queue went backwards");
+    now_ = ev.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(SimTime until) {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    // Peek past cancelled entries without executing.
+    const Event& top = heap_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.time > until) break;
+    if (step()) ++executed;
+  }
+  // If we stopped because of `until`, advance the clock to it so
+  // callers can interleave run() windows with external logic.
+  if (until != kSimTimeInfinity && now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace iqb::netsim

@@ -1,0 +1,86 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with a virtual clock. Determinism is a
+// hard requirement (every IQB experiment must be reproducible), so
+// ties in event time are broken by insertion order and all randomness
+// lives in explicitly seeded Rng instances owned by the components.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace iqb::netsim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+constexpr SimTime kSimTimeInfinity = std::numeric_limits<double>::infinity();
+
+/// Handle for a scheduled event that may be cancelled (e.g. TCP RTO
+/// timers that are re-armed on every ACK).
+using TimerId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule at an absolute time >= now(). Scheduling in the past is
+  /// clamped to now() (a zero-delay event).
+  TimerId schedule_at(SimTime time, Callback callback);
+
+  /// Schedule after a non-negative delay.
+  TimerId schedule_in(SimTime delay, Callback callback);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown
+  /// id is a no-op (returns false).
+  bool cancel(TimerId id);
+
+  /// Run events until the queue empties or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::size_t run(SimTime until = kSimTimeInfinity);
+
+  /// Execute the single next event, if any. Returns false when empty.
+  bool step();
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending() const noexcept { return heap_.size() - cancelled_.size(); }
+
+  /// Total events executed since construction (for benches).
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    TimerId id;
+    // Ordered as a min-heap via operator> in the comparator below.
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventCompare> heap_;
+  // Callbacks stored separately so the heap stays trivially copyable.
+  std::unordered_map<TimerId, Callback> callbacks_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace iqb::netsim

@@ -1,0 +1,87 @@
+#include "iqb/netsim/udp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace iqb::netsim {
+
+double UdpProbeStats::min_rtt_ms() const noexcept {
+  if (rtt_samples_ms.empty()) return 0.0;
+  return *std::min_element(rtt_samples_ms.begin(), rtt_samples_ms.end());
+}
+
+double UdpProbeStats::mean_rtt_ms() const noexcept {
+  if (rtt_samples_ms.empty()) return 0.0;
+  const double sum =
+      std::accumulate(rtt_samples_ms.begin(), rtt_samples_ms.end(), 0.0);
+  return sum / static_cast<double>(rtt_samples_ms.size());
+}
+
+UdpProbeFlow::UdpProbeFlow(Simulator& sim, Path forward_path, Path reverse_path,
+                           UdpProbeConfig config, std::uint64_t flow_id)
+    : sim_(sim),
+      forward_path_(std::move(forward_path)),
+      reverse_path_(std::move(reverse_path)),
+      config_(config),
+      flow_id_(flow_id) {
+  assert(!forward_path_.empty() && !reverse_path_.empty());
+  assert(config_.probe_count > 0);
+}
+
+void UdpProbeFlow::start(CompletionFn on_complete) {
+  assert(!started_ && "UdpProbeFlow::start called twice");
+  started_ = true;
+  on_complete_ = std::move(on_complete);
+  for (std::size_t i = 0; i < config_.probe_count; ++i) {
+    sim_.schedule_in(config_.interval_s * static_cast<double>(i),
+                     [this, i] { send_probe(i); });
+  }
+  // Hard stop: last probe send time + timeout.
+  const SimTime deadline =
+      config_.interval_s * static_cast<double>(config_.probe_count - 1) +
+      config_.timeout_s;
+  sim_.schedule_in(deadline, [this] { finish(); });
+}
+
+void UdpProbeFlow::send_probe(std::uint64_t seq) {
+  if (finished_) return;
+  Packet probe;
+  probe.flow_id = flow_id_;
+  probe.seq = seq;
+  probe.kind = PacketKind::kProbe;
+  probe.size_bytes = config_.payload_bytes + kUdpHeaderBytes;
+  probe.sent_at = sim_.now();
+  ++stats_.sent;
+  send_along(forward_path_, probe,
+             [this](const Packet& arrived) { on_probe_at_far_end(arrived); });
+}
+
+void UdpProbeFlow::on_probe_at_far_end(const Packet& probe) {
+  if (finished_) return;
+  Packet echo;
+  echo.flow_id = flow_id_;
+  echo.kind = PacketKind::kProbeEcho;
+  echo.echo_seq = probe.seq;
+  echo.size_bytes = probe.size_bytes;  // symmetric echo
+  echo.sent_at = probe.sent_at;        // carry the original send stamp
+  send_along(reverse_path_, echo,
+             [this](const Packet& arrived) { on_echo(arrived); });
+}
+
+void UdpProbeFlow::on_echo(const Packet& echo) {
+  if (finished_) return;
+  ++stats_.echoed;
+  stats_.rtt_samples_ms.push_back((sim_.now() - echo.sent_at) * 1e3);
+}
+
+void UdpProbeFlow::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (on_complete_) {
+    CompletionFn cb = std::move(on_complete_);
+    cb(stats_);
+  }
+}
+
+}  // namespace iqb::netsim

@@ -1,0 +1,74 @@
+// UDP probe train: the simulated equivalent of ping / paced loss
+// probes. Sends `probe_count` probes at a fixed interval over the
+// forward path; the far end echoes each probe back over the reverse
+// path; RTT and delivery are recorded per probe. Probes that produce
+// no echo within `timeout_s` after the train ends count as lost
+// (whether the loss hit the probe or its echo — exactly the ambiguity
+// a real prober faces).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "iqb/netsim/network.hpp"
+#include "iqb/netsim/packet.hpp"
+#include "iqb/netsim/sim.hpp"
+#include "iqb/util/units.hpp"
+
+namespace iqb::netsim {
+
+struct UdpProbeConfig {
+  std::size_t probe_count = 20;
+  SimTime interval_s = 0.1;
+  std::uint32_t payload_bytes = 32;
+  SimTime timeout_s = 2.0;  ///< Grace period after the last probe.
+};
+
+struct UdpProbeStats {
+  std::uint64_t sent = 0;
+  std::uint64_t echoed = 0;
+  std::vector<double> rtt_samples_ms;
+
+  double loss_rate() const noexcept {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(sent - echoed) /
+                           static_cast<double>(sent);
+  }
+  double min_rtt_ms() const noexcept;
+  double mean_rtt_ms() const noexcept;
+};
+
+class UdpProbeFlow {
+ public:
+  using CompletionFn = std::function<void(const UdpProbeStats&)>;
+
+  UdpProbeFlow(Simulator& sim, Path forward_path, Path reverse_path,
+               UdpProbeConfig config, std::uint64_t flow_id);
+
+  UdpProbeFlow(const UdpProbeFlow&) = delete;
+  UdpProbeFlow& operator=(const UdpProbeFlow&) = delete;
+
+  void start(CompletionFn on_complete = nullptr);
+
+  bool finished() const noexcept { return finished_; }
+  const UdpProbeStats& stats() const noexcept { return stats_; }
+
+ private:
+  void send_probe(std::uint64_t seq);
+  void on_probe_at_far_end(const Packet& probe);
+  void on_echo(const Packet& echo);
+  void finish();
+
+  Simulator& sim_;
+  Path forward_path_;
+  Path reverse_path_;
+  UdpProbeConfig config_;
+  std::uint64_t flow_id_;
+  UdpProbeStats stats_;
+  CompletionFn on_complete_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace iqb::netsim

@@ -1,0 +1,151 @@
+#include "iqb/report/html.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "iqb/datasets/record.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::report {
+
+namespace {
+
+std::string html_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* grade_color(core::Grade grade) {
+  switch (grade) {
+    case core::Grade::kA: return "#1a7f37";
+    case core::Grade::kB: return "#4c9a2a";
+    case core::Grade::kC: return "#c9a227";
+    case core::Grade::kD: return "#d4690f";
+    case core::Grade::kE: return "#c0392b";
+  }
+  return "#666666";
+}
+
+void render_bar(std::ostringstream& out, const char* label, double value,
+                const char* color) {
+  out << "<div class=\"row\"><span class=\"label\">" << label << "</span>"
+      << "<span class=\"track\"><span class=\"fill\" style=\"width:"
+      << util::format_fixed(value * 100.0, 1) << "%;background:" << color
+      << "\"></span></span><span class=\"value\">"
+      << util::format_fixed(value, 2) << "</span></div>\n";
+}
+
+const char* kStyle = R"(
+  body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+         margin: 2rem auto; max-width: 64rem; color: #1f2328; }
+  h1 { font-weight: 600; }
+  .card { border: 1px solid #d0d7de; border-radius: 8px; padding: 1rem 1.25rem;
+          margin: 1rem 0; }
+  .card h2 { margin: 0 0 .25rem 0; font-size: 1.15rem; display: flex;
+             align-items: center; gap: .6rem; }
+  .grade { display: inline-block; color: white; border-radius: 6px;
+           padding: .1rem .55rem; font-weight: 700; }
+  .headline { color: #57606a; margin: 0 0 .75rem 0; font-size: .92rem; }
+  .row { display: flex; align-items: center; gap: .6rem; margin: .2rem 0; }
+  .label { width: 11rem; font-size: .85rem; color: #57606a; }
+  .track { flex: 1; height: .6rem; background: #eaeef2; border-radius: 4px;
+           overflow: hidden; }
+  .fill { display: block; height: 100%; }
+  .value { width: 3rem; text-align: right; font-variant-numeric: tabular-nums;
+           font-size: .85rem; }
+  table { border-collapse: collapse; margin-top: .75rem; font-size: .82rem; }
+  th, td { border: 1px solid #d8dee4; padding: .2rem .5rem; text-align: right; }
+  th:first-child, td:first-child { text-align: left; }
+  .warn { color: #9a6700; font-size: .82rem; margin-top: .5rem; }
+  footer { color: #8b949e; font-size: .8rem; margin-top: 2rem; }
+)";
+
+}  // namespace
+
+std::string to_html(std::span<const core::RegionResult> results,
+                    const HtmlOptions& options) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+      << "<title>" << html_escape(options.title) << "</title>\n"
+      << "<style>" << kStyle << "</style>\n</head>\n<body>\n"
+      << "<h1>" << html_escape(options.title) << "</h1>\n"
+      << "<p class=\"headline\">Composite Internet quality per region: "
+         "high-quality score, grade, and per-use-case breakdown "
+         "(thresholds and weights per the IQB framework).</p>\n";
+
+  for (const core::RegionResult& result : results) {
+    out << "<div class=\"card\">\n<h2>" << html_escape(result.region)
+        << " <span class=\"grade\" style=\"background:"
+        << grade_color(result.grade) << "\">"
+        << core::grade_name(result.grade) << "</span></h2>\n"
+        << "<p class=\"headline\">IQB score "
+        << util::format_fixed(result.high.iqb_score, 3)
+        << " (high quality) / "
+        << util::format_fixed(result.minimum.iqb_score, 3)
+        << " (minimum quality)</p>\n";
+
+    render_bar(out, "Overall (high)", result.high.iqb_score,
+               grade_color(result.grade));
+    for (core::UseCase use_case : core::kAllUseCases) {
+      auto it = result.high.use_case_scores.find(use_case);
+      if (it == result.high.use_case_scores.end()) continue;
+      render_bar(out,
+                 std::string(core::use_case_display_name(use_case)).c_str(),
+                 it->second, "#0969da");
+    }
+
+    if (options.include_aggregates && !result.aggregates.empty()) {
+      out << "<table>\n<tr><th>dataset</th><th>metric</th><th>value</th>"
+             "<th>unit</th><th>samples</th></tr>\n";
+      for (const auto& cell : result.aggregates) {
+        out << "<tr><td>" << html_escape(cell.dataset) << "</td><td>"
+            << datasets::metric_name(cell.metric) << "</td><td>"
+            << util::format_fixed(cell.value, 3) << "</td><td>"
+            << datasets::metric_unit(cell.metric) << "</td><td>"
+            << cell.sample_count << "</td></tr>\n";
+      }
+      out << "</table>\n";
+    }
+
+    if (options.include_warnings) {
+      for (const std::string& warning : result.high.coverage_warnings) {
+        out << "<p class=\"warn\">&#9888; " << html_escape(warning)
+            << "</p>\n";
+      }
+    }
+    out << "</div>\n";
+  }
+
+  out << "<footer>Generated by the IQB framework reproduction "
+         "(Internet Quality Barometer, IMC 2025 poster).</footer>\n"
+      << "</body>\n</html>\n";
+  return out.str();
+}
+
+util::Result<void> write_html(const std::string& path,
+                              std::span<const core::RegionResult> results,
+                              const HtmlOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "cannot open '" + path + "' for writing");
+  }
+  out << to_html(results, options);
+  if (!out) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "write failed: " + path);
+  }
+  return util::Result<void>::success();
+}
+
+}  // namespace iqb::report

@@ -1,0 +1,34 @@
+// Self-contained HTML report rendering.
+//
+// Produces a single static HTML document (inline CSS, no external
+// assets, no JavaScript) with one card per region: the IQB barometer,
+// grade badge, per-use-case bars at both quality levels, and the
+// aggregate values the scores derive from. Intended as the shareable
+// artifact a policy audience would actually open.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "iqb/core/pipeline.hpp"
+
+namespace iqb::report {
+
+struct HtmlOptions {
+  std::string title = "Internet Quality Barometer";
+  /// Show the per-(dataset, metric) aggregate table under each region.
+  bool include_aggregates = true;
+  /// Show coverage warnings.
+  bool include_warnings = true;
+};
+
+/// Render the full report document.
+std::string to_html(std::span<const core::RegionResult> results,
+                    const HtmlOptions& options = {});
+
+/// Write it to a file.
+util::Result<void> write_html(const std::string& path,
+                              std::span<const core::RegionResult> results,
+                              const HtmlOptions& options = {});
+
+}  // namespace iqb::report

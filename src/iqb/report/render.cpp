@@ -1,0 +1,193 @@
+#include "iqb/report/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "iqb/util/strings.hpp"
+
+namespace iqb::report {
+
+using core::Grade;
+using core::QualityLevel;
+using core::RegionResult;
+using core::Requirement;
+using core::UseCase;
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+std::string barometer(double score, Grade grade, std::size_t width) {
+  const double clamped = std::clamp(score, 0.0, 1.0);
+  const auto filled =
+      static_cast<std::size_t>(std::lround(clamped * static_cast<double>(width)));
+  std::string out = "[";
+  out.append(filled, '#');
+  out.append(width - filled, '.');
+  out += "] " + util::format_fixed(score, 2) + " (" +
+         std::string(core::grade_name(grade)) + ")";
+  return out;
+}
+
+namespace {
+
+std::string bar(double value, std::size_t width = 20) {
+  const double clamped = std::clamp(value, 0.0, 1.0);
+  const auto filled =
+      static_cast<std::size_t>(std::lround(clamped * static_cast<double>(width)));
+  std::string out(filled, '#');
+  out.append(width - filled, '.');
+  return out;
+}
+
+}  // namespace
+
+std::string scorecard(const RegionResult& result) {
+  std::ostringstream out;
+  out << "================================================================\n";
+  out << " IQB Scorecard — region: " << result.region << "\n";
+  out << "================================================================\n";
+  out << " IQB score (high quality):    "
+      << barometer(result.high.iqb_score, result.grade) << "\n";
+  out << " IQB score (minimum quality): "
+      << util::format_fixed(result.minimum.iqb_score, 2) << "\n";
+  out << "----------------------------------------------------------------\n";
+  out << " Use case             high   min    profile(high)\n";
+  for (UseCase use_case : core::kAllUseCases) {
+    auto high_it = result.high.use_case_scores.find(use_case);
+    auto min_it = result.minimum.use_case_scores.find(use_case);
+    out << " " << core::use_case_display_name(use_case);
+    for (std::size_t i = core::use_case_display_name(use_case).size(); i < 21;
+         ++i) {
+      out << ' ';
+    }
+    if (high_it != result.high.use_case_scores.end()) {
+      out << util::format_fixed(high_it->second, 2) << "   ";
+    } else {
+      out << "  -    ";
+    }
+    if (min_it != result.minimum.use_case_scores.end()) {
+      out << util::format_fixed(min_it->second, 2) << "   ";
+    } else {
+      out << "  -    ";
+    }
+    if (high_it != result.high.use_case_scores.end()) {
+      out << bar(high_it->second);
+    }
+    out << "\n";
+  }
+  out << "----------------------------------------------------------------\n";
+  out << " Requirement agreement (high quality)\n";
+  for (const auto& [key, score] : result.high.requirement_scores) {
+    out << "   " << core::use_case_name(key.first) << " / "
+        << core::requirement_name(key.second) << ": "
+        << util::format_fixed(score, 2) << "\n";
+  }
+  if (!result.high.coverage_warnings.empty()) {
+    out << "----------------------------------------------------------------\n";
+    out << " Coverage warnings\n";
+    for (const std::string& warning : result.high.coverage_warnings) {
+      out << "   ! " << warning << "\n";
+    }
+  }
+  out << "================================================================\n";
+  return out.str();
+}
+
+std::string comparison_table(std::span<const RegionResult> results) {
+  std::ostringstream out;
+  out << "| Region | IQB (high) | IQB (min) | Grade |";
+  for (UseCase use_case : core::kAllUseCases) {
+    out << " " << core::use_case_display_name(use_case) << " |";
+  }
+  out << "\n|---|---|---|---|";
+  for (std::size_t i = 0; i < core::kAllUseCases.size(); ++i) out << "---|";
+  out << "\n";
+  for (const RegionResult& result : results) {
+    out << "| " << result.region << " | "
+        << util::format_fixed(result.high.iqb_score, 3) << " | "
+        << util::format_fixed(result.minimum.iqb_score, 3) << " | "
+        << core::grade_name(result.grade) << " |";
+    for (UseCase use_case : core::kAllUseCases) {
+      auto it = result.high.use_case_scores.find(use_case);
+      if (it != result.high.use_case_scores.end()) {
+        out << " " << util::format_fixed(it->second, 2) << " |";
+      } else {
+        out << " - |";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+JsonValue breakdown_to_json(const core::ScoreBreakdown& breakdown) {
+  JsonObject object;
+  object.emplace("level",
+                 std::string(core::quality_level_name(breakdown.level)));
+  object.emplace("iqb_score", breakdown.iqb_score);
+  JsonObject use_cases;
+  for (const auto& [use_case, score] : breakdown.use_case_scores) {
+    use_cases.emplace(std::string(core::use_case_name(use_case)), score);
+  }
+  object.emplace("use_case_scores", std::move(use_cases));
+  JsonObject requirements;
+  for (const auto& [key, score] : breakdown.requirement_scores) {
+    requirements.emplace(std::string(core::use_case_name(key.first)) + "." +
+                             std::string(core::requirement_name(key.second)),
+                         score);
+  }
+  object.emplace("requirement_scores", std::move(requirements));
+  JsonArray warnings;
+  for (const std::string& warning : breakdown.coverage_warnings) {
+    warnings.emplace_back(warning);
+  }
+  object.emplace("coverage_warnings", std::move(warnings));
+  return object;
+}
+
+}  // namespace
+
+JsonValue to_json(std::span<const RegionResult> results) {
+  JsonArray regions;
+  for (const RegionResult& result : results) {
+    JsonObject object;
+    object.emplace("region", result.region);
+    object.emplace("grade", std::string(core::grade_name(result.grade)));
+    object.emplace("high", breakdown_to_json(result.high));
+    object.emplace("minimum", breakdown_to_json(result.minimum));
+    regions.push_back(std::move(object));
+  }
+  JsonObject root;
+  root.emplace("regions", std::move(regions));
+  return root;
+}
+
+std::string to_csv(std::span<const RegionResult> results) {
+  std::ostringstream out;
+  out << "region,use_case,score_high,score_minimum,grade\n";
+  for (const RegionResult& result : results) {
+    for (UseCase use_case : core::kAllUseCases) {
+      auto high_it = result.high.use_case_scores.find(use_case);
+      auto min_it = result.minimum.use_case_scores.find(use_case);
+      if (high_it == result.high.use_case_scores.end() &&
+          min_it == result.minimum.use_case_scores.end()) {
+        continue;
+      }
+      out << result.region << ',' << core::use_case_name(use_case) << ',';
+      if (high_it != result.high.use_case_scores.end()) {
+        out << util::format_fixed(high_it->second, 4);
+      }
+      out << ',';
+      if (min_it != result.minimum.use_case_scores.end()) {
+        out << util::format_fixed(min_it->second, 4);
+      }
+      out << ',' << core::grade_name(result.grade) << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace iqb::report

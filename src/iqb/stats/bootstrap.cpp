@@ -1,0 +1,70 @@
+#include "iqb/stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "iqb/stats/percentile.hpp"
+
+namespace iqb::stats {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+Result<ConfidenceInterval> bootstrap_ci(std::span<const double> sample,
+                                        const Statistic& statistic,
+                                        util::Rng& rng, std::size_t resamples,
+                                        double level) {
+  if (sample.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "bootstrap: empty sample");
+  }
+  if (resamples == 0) {
+    return make_error(ErrorCode::kInvalidArgument, "bootstrap: resamples == 0");
+  }
+  if (!(level > 0.0 && level < 1.0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bootstrap: level must be in (0,1)");
+  }
+
+  std::vector<double> resample(sample.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  const auto n = static_cast<std::int64_t>(sample.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& slot : resample) {
+      slot = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    estimates.push_back(statistic(resample));
+  }
+
+  const double alpha = 1.0 - level;
+  auto lo = percentile(estimates, alpha / 2.0 * 100.0);
+  auto hi = percentile(estimates, (1.0 - alpha / 2.0) * 100.0);
+  if (!lo.ok()) return lo.error();
+  if (!hi.ok()) return hi.error();
+
+  ConfidenceInterval ci;
+  ci.point = statistic(sample);
+  ci.lower = lo.value();
+  ci.upper = hi.value();
+  ci.level = level;
+  return ci;
+}
+
+Result<ConfidenceInterval> bootstrap_percentile_ci(std::span<const double> sample,
+                                                   double p, util::Rng& rng,
+                                                   std::size_t resamples,
+                                                   double level) {
+  if (!(p >= 0.0 && p <= 100.0)) {
+    return make_error(ErrorCode::kOutOfRange, "bootstrap: p outside [0,100]");
+  }
+  Statistic stat = [p](std::span<const double> s) {
+    // Sample is non-empty by construction here; fall back to 0 only on
+    // the (unreachable) error path to keep the closure total.
+    auto v = percentile(s, p);
+    return v.ok() ? v.value() : 0.0;
+  };
+  return bootstrap_ci(sample, stat, rng, resamples, level);
+}
+
+}  // namespace iqb::stats

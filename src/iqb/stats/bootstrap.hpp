@@ -1,0 +1,42 @@
+// Bootstrap confidence intervals for aggregate statistics.
+//
+// A region's p95 computed from a finite sample of speed tests is an
+// estimate; the IQB report layer attaches percentile-bootstrap
+// confidence intervals so near-threshold scores can be flagged as
+// statistically fragile (a score that flips inside its CI is noise,
+// not signal).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "iqb/util/result.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::stats {
+
+struct ConfidenceInterval {
+  double point = 0.0;  ///< Statistic on the original sample.
+  double lower = 0.0;  ///< CI lower bound.
+  double upper = 0.0;  ///< CI upper bound.
+  double level = 0.95; ///< Nominal coverage.
+};
+
+/// A statistic maps a sample to a scalar (e.g. the p95).
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap: resample with replacement `resamples` times,
+/// take the empirical (alpha/2, 1-alpha/2) quantiles of the statistic.
+/// Error on an empty sample or resamples == 0.
+util::Result<ConfidenceInterval> bootstrap_ci(std::span<const double> sample,
+                                              const Statistic& statistic,
+                                              util::Rng& rng,
+                                              std::size_t resamples = 1000,
+                                              double level = 0.95);
+
+/// Convenience wrapper for a percentile statistic (IQB's p95 default).
+util::Result<ConfidenceInterval> bootstrap_percentile_ci(
+    std::span<const double> sample, double p, util::Rng& rng,
+    std::size_t resamples = 1000, double level = 0.95);
+
+}  // namespace iqb::stats

@@ -1,0 +1,73 @@
+#include "iqb/stats/ddsketch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iqb::stats {
+
+DdSketch::DdSketch(double alpha, std::size_t max_buckets)
+    : alpha_(std::clamp(alpha, 1e-4, 0.3)),
+      gamma_((1.0 + alpha_) / (1.0 - alpha_)),
+      log_gamma_(std::log(gamma_)),
+      max_buckets_(std::max<std::size_t>(max_buckets, 16)) {}
+
+int DdSketch::bucket_index(double x) const noexcept {
+  // Bucket i covers (gamma^(i-1), gamma^i]; ceil(log_gamma(x)).
+  return static_cast<int>(std::ceil(std::log(x) / log_gamma_));
+}
+
+double DdSketch::bucket_value(int index) const noexcept {
+  // Midpoint estimate: 2*gamma^i / (gamma + 1) is the standard
+  // representative value with bounded relative error.
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void DdSketch::add(double x) {
+  if (!(x >= 0.0) || !std::isfinite(x)) return;  // rejects NaN too
+  ++total_;
+  if (x == 0.0) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[bucket_index(x)];
+  collapse_if_needed();
+}
+
+void DdSketch::collapse_if_needed() {
+  // Collapse the two lowest buckets together until within budget.
+  while (buckets_.size() > max_buckets_) {
+    auto lowest = buckets_.begin();
+    auto second = std::next(lowest);
+    second->second += lowest->second;
+    buckets_.erase(lowest);
+  }
+}
+
+double DdSketch::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_ - 1);
+  if (target < static_cast<double>(zero_count_)) return 0.0;
+  std::uint64_t cumulative = zero_count_;
+  for (const auto& [index, count] : buckets_) {
+    cumulative += count;
+    if (static_cast<double>(cumulative) > target) {
+      return bucket_value(index);
+    }
+  }
+  return buckets_.empty() ? 0.0 : bucket_value(buckets_.rbegin()->first);
+}
+
+void DdSketch::merge(const DdSketch& other) {
+  assert(std::abs(alpha_ - other.alpha_) < 1e-12 &&
+         "DDSketch merge requires identical alpha");
+  zero_count_ += other.zero_count_;
+  total_ += other.total_;
+  for (const auto& [index, count] : other.buckets_) {
+    buckets_[index] += count;
+  }
+  collapse_if_needed();
+}
+
+}  // namespace iqb::stats

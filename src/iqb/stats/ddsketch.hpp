@@ -1,0 +1,58 @@
+// DDSketch — quantile sketch with relative-error guarantees
+// (Masson, Rim & Lee, VLDB 2019).
+//
+// GK bounds *rank* error; DDSketch bounds *value* error: the returned
+// quantile is within a factor (1±alpha) of the true value. That is
+// the right guarantee for latency data spanning decades (5 ms fiber
+// to 600 ms satellite): a fixed rank error can be a huge value error
+// in the tail, while DDSketch's logarithmic buckets keep p95/p99
+// accurate to alpha everywhere. Used as an alternative aggregation
+// backend and compared against the others in bench_percentile.
+//
+// This implementation covers positive values with logarithmic
+// buckets, an explicit zero bucket, and collapse of the lowest
+// buckets when a maximum bucket budget is exceeded (the standard
+// memory bound, biasing only the low quantiles).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace iqb::stats {
+
+class DdSketch {
+ public:
+  /// alpha: relative accuracy, e.g. 0.01 -> quantiles within ±1%.
+  /// max_buckets bounds memory; lowest buckets collapse when exceeded.
+  explicit DdSketch(double alpha = 0.01, std::size_t max_buckets = 2048);
+
+  /// Add a sample. Negative values are rejected (latency/throughput/
+  /// loss are non-negative); zeros go to a dedicated bucket.
+  void add(double x);
+
+  /// Quantile estimate, q in [0,1]. Returns 0 for an empty sketch.
+  double quantile(double q) const noexcept;
+
+  /// Merge another sketch with the same alpha (asserted).
+  void merge(const DdSketch& other);
+
+  std::size_t count() const noexcept { return total_; }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  double alpha() const noexcept { return alpha_; }
+  double relative_accuracy() const noexcept { return alpha_; }
+
+ private:
+  int bucket_index(double x) const noexcept;
+  double bucket_value(int index) const noexcept;
+  void collapse_if_needed();
+
+  double alpha_;
+  double gamma_;      ///< (1 + alpha) / (1 - alpha).
+  double log_gamma_;
+  std::size_t max_buckets_;
+  std::map<int, std::uint64_t> buckets_;  ///< index -> count, sorted.
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace iqb::stats

@@ -1,0 +1,135 @@
+#include "iqb/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "iqb/stats/percentile.hpp"
+
+namespace iqb::stats {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+Result<Summary> summarize(std::span<const double> sample) {
+  if (sample.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "summarize: empty sample");
+  }
+  OnlineStats acc;
+  double sum = 0.0;
+  for (double x : sample) {
+    acc.add(x);
+    sum += x;
+  }
+  Summary s;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.variance = acc.variance();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.sum = sum;
+  return s;
+}
+
+Result<double> mean(std::span<const double> sample) {
+  if (sample.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "mean: empty sample");
+  }
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  return sum / static_cast<double>(sample.size());
+}
+
+Result<double> variance(std::span<const double> sample) {
+  if (sample.size() < 2) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "variance: need at least 2 samples");
+  }
+  OnlineStats acc;
+  for (double x : sample) acc.add(x);
+  return acc.variance();
+}
+
+Result<double> median_absolute_deviation(std::span<const double> sample) {
+  if (sample.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "mad: empty sample");
+  }
+  auto med = percentile(sample, 50.0);
+  if (!med.ok()) return med.error();
+  std::vector<double> deviations;
+  deviations.reserve(sample.size());
+  for (double x : sample) deviations.push_back(std::abs(x - med.value()));
+  return percentile(deviations, 50.0);
+}
+
+Result<double> pearson_correlation(std::span<const double> x,
+                                   std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "pearson: length mismatch");
+  }
+  if (x.size() < 2) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "pearson: need at least 2 samples");
+  }
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(x.size());
+  my /= static_cast<double>(x.size());
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "pearson: zero variance sample");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  std::size_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double OnlineStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace iqb::stats

@@ -1,0 +1,89 @@
+// Descriptive statistics over measurement samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::stats {
+
+/// Summary of a sample: central tendency, spread and extremes.
+/// Produced in one pass (Welford for variance) by summarize().
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Unbiased (n-1) sample variance; 0 for n<2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// One-pass summary. Error on an empty sample.
+util::Result<Summary> summarize(std::span<const double> sample);
+
+/// Arithmetic mean; error on empty input.
+util::Result<double> mean(std::span<const double> sample);
+
+/// Unbiased sample variance; error for n < 2.
+util::Result<double> variance(std::span<const double> sample);
+
+/// Median absolute deviation (robust spread). Error on empty input.
+util::Result<double> median_absolute_deviation(std::span<const double> sample);
+
+/// Pearson correlation of two equal-length samples; error on length
+/// mismatch, n < 2, or zero variance in either sample.
+util::Result<double> pearson_correlation(std::span<const double> x,
+                                         std::span<const double> y);
+
+/// Online (streaming) mean/variance accumulator — Welford's algorithm.
+/// Numerically stable for long measurement streams.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator (parallel streams, Chan et al.).
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for count < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average, used by the TCP model for
+/// smoothed RTT and by clients for rate smoothing.
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of each new observation.
+  explicit Ewma(double alpha) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ += alpha_ * (x - value_);
+    }
+  }
+
+  bool initialized() const noexcept { return initialized_; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace iqb::stats

@@ -1,0 +1,84 @@
+#include "iqb/stats/gk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iqb::stats {
+
+GkSketch::GkSketch(double epsilon) noexcept
+    : epsilon_(std::clamp(epsilon, 1e-6, 0.5)) {}
+
+void GkSketch::add(double x) {
+  // Find insertion point (first tuple with value >= x).
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), x,
+      [](const Tuple& t, double v) { return t.value < v; });
+
+  std::uint64_t delta;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    // New minimum or maximum is known exactly.
+    delta = 0;
+  } else {
+    delta = static_cast<std::uint64_t>(
+        std::floor(2.0 * epsilon_ * static_cast<double>(count_)));
+  }
+  tuples_.insert(it, Tuple{x, 1, delta});
+  ++count_;
+
+  // Compress periodically: every ~1/(2ε) insertions amortizes the
+  // linear scan while keeping space within the GK bound.
+  const auto period = static_cast<std::size_t>(1.0 / (2.0 * epsilon_));
+  if (count_ % std::max<std::size_t>(period, 1) == 0) {
+    compress();
+  }
+}
+
+void GkSketch::compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size());
+  merged.push_back(tuples_.front());
+  // Merge tuple i into its successor when the combined uncertainty
+  // stays within the 2εn band: the successor inherits the merged rank
+  // gap. First and last tuples are kept so min/max stay exact.
+  std::uint64_t pending_g = 0;
+  for (std::size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    Tuple current = tuples_[i];
+    current.g += pending_g;
+    const Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(current.g + next.g + next.delta) <= threshold) {
+      pending_g = current.g;  // fold this tuple's gap into its successor
+    } else {
+      merged.push_back(current);
+      pending_g = 0;
+    }
+  }
+  Tuple last = tuples_.back();
+  last.g += pending_g;
+  merged.push_back(last);
+  tuples_ = std::move(merged);
+}
+
+double GkSketch::quantile(double q) const noexcept {
+  if (tuples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Extremes are tracked exactly (first/last tuples are never merged).
+  if (q == 0.0) return tuples_.front().value;
+  if (q == 1.0) return tuples_.back().value;
+  const double target_rank = q * static_cast<double>(count_);
+  const double slack = std::max(1.0, epsilon_ * static_cast<double>(count_));
+  // Return the last tuple whose maximum possible rank does not exceed
+  // target + slack; its true rank is then within ε·n of the target.
+  double answer = tuples_.front().value;
+  std::uint64_t rank_min = 0;
+  for (const Tuple& t : tuples_) {
+    rank_min += t.g;
+    const double rank_max = static_cast<double>(rank_min + t.delta);
+    if (rank_max > target_rank + slack) return answer;
+    answer = t.value;
+  }
+  return tuples_.back().value;
+}
+
+}  // namespace iqb::stats

@@ -1,0 +1,46 @@
+// Greenwald–Khanna ε-approximate quantile sketch.
+//
+// GK (SIGMOD 2001) answers any quantile query over a stream with rank
+// error at most ε·n using O((1/ε)·log(ε·n)) space. The aggregation
+// tier uses it when a full sample is too large to hold but *all*
+// quantiles (not one fixed q, unlike P²) may be queried afterwards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iqb::stats {
+
+class GkSketch {
+ public:
+  /// epsilon: maximum rank error as a fraction of the stream length,
+  /// e.g. 0.001 keeps the p95 of 1e6 samples within ±1000 ranks.
+  explicit GkSketch(double epsilon) noexcept;
+
+  void add(double x);
+
+  /// Value whose rank is within ε·n of q·n. q in [0,1]. Returns 0 for
+  /// an empty sketch.
+  double quantile(double q) const noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  /// Number of retained tuples (space usage), exposed for benches.
+  std::size_t tuple_count() const noexcept { return tuples_.size(); }
+  double epsilon() const noexcept { return epsilon_; }
+
+ private:
+  struct Tuple {
+    double value;       // observed value
+    std::uint64_t g;    // rank gap to the previous tuple
+    std::uint64_t delta;  // rank uncertainty
+  };
+
+  void compress();
+
+  double epsilon_;
+  std::size_t count_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+};
+
+}  // namespace iqb::stats

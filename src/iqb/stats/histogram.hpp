@@ -1,0 +1,64 @@
+// Fixed-bin histograms with quantile estimation.
+//
+// Two bin layouts are provided: linear (equal-width bins over a fixed
+// range, for latency in ms) and logarithmic (geometric bin edges, for
+// throughput spanning 0.1–10000 Mb/s). Histograms are the cheapest
+// aggregation structure with bounded error determined by bin width,
+// and they render directly into report gauges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::stats {
+
+class Histogram {
+ public:
+  /// Equal-width bins over [lo, hi). Values outside the range land in
+  /// underflow/overflow counters.
+  static util::Result<Histogram> linear(double lo, double hi, std::size_t bins);
+
+  /// Geometric bins over [lo, hi), lo > 0.
+  static util::Result<Histogram> logarithmic(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_n(double x, std::uint64_t n) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin_value(std::size_t i) const noexcept { return counts_[i]; }
+  /// [lower, upper) edges of bin i.
+  double bin_lower(std::size_t i) const noexcept { return edges_[i]; }
+  double bin_upper(std::size_t i) const noexcept { return edges_[i + 1]; }
+
+  /// Quantile estimate via linear interpolation within the containing
+  /// bin. q in [0,1]. Underflow mass is attributed to the range
+  /// minimum, overflow to the maximum. Error on empty histogram.
+  util::Result<double> quantile(double q) const;
+
+  /// Merge a histogram with identical binning; error otherwise.
+  util::Result<void> merge(const Histogram& other);
+
+  /// Simple ASCII rendering (one row per bin), used in examples.
+  std::string to_ascii(std::size_t max_width = 50) const;
+
+ private:
+  Histogram() = default;
+
+  std::size_t bin_index(double x) const noexcept;
+
+  bool log_scale_ = false;
+  std::vector<double> edges_;        // bin_count()+1 monotone edges
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace iqb::stats

@@ -1,0 +1,100 @@
+#include "iqb/stats/p2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iqb::stats {
+
+P2Quantile::P2Quantile(double q) noexcept : q_(std::clamp(q, 1e-9, 1.0 - 1e-9)) {
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    add_initial(x);
+  } else {
+    add_steady(x);
+  }
+  ++count_;
+}
+
+void P2Quantile::add_initial(double x) noexcept {
+  heights_[count_] = x;
+  if (count_ == 4) {
+    std::sort(heights_.begin(), heights_.end());
+  }
+}
+
+void P2Quantile::add_steady(double x) noexcept {
+  // Find the cell k containing x and update extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    for (int i = 1; i < 5; ++i) {
+      if (x < heights_[i]) {
+        k = i - 1;
+        break;
+      }
+    }
+  }
+
+  // Shift positions of markers above the new observation.
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - positions_[i];
+    bool can_move_up = positions_[i + 1] - positions_[i] > 1.0;
+    bool can_move_down = positions_[i - 1] - positions_[i] < -1.0;
+    if ((d >= 1.0 && can_move_up) || (d <= -1.0 && can_move_down)) {
+      double step = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, step);
+      // Fall back to linear if the parabolic estimate is not monotone.
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, step);
+      }
+      positions_[i] += step;
+    }
+  }
+}
+
+double P2Quantile::parabolic(int i, double d) const noexcept {
+  const auto& n = positions_;
+  const auto& h = heights_;
+  return h[i] + d / (n[i + 1] - n[i - 1]) *
+                    ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i]) +
+                     (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const noexcept {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile (nearest rank) over what we have.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<int>(count_));
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q_ * static_cast<double>(count_)));
+    rank = std::max<std::size_t>(rank, 1);
+    return sorted[rank - 1];
+  }
+  return heights_[2];
+}
+
+}  // namespace iqb::stats

@@ -1,0 +1,42 @@
+// P² (P-square) streaming quantile estimator.
+//
+// Jain & Chlamtac (1985): tracks a single quantile with five markers
+// and O(1) memory, no storage of observations. IQB's aggregation tier
+// offers this as the cheapest streaming alternative to exact
+// percentiles when ingesting unbounded measurement feeds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace iqb::stats {
+
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.95 for the IQB default aggregation.
+  explicit P2Quantile(double q) noexcept;
+
+  void add(double x) noexcept;
+
+  /// Current estimate. Before five observations arrive this falls back
+  /// to the exact quantile of what has been seen.
+  double value() const noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double quantile() const noexcept { return q_; }
+
+ private:
+  void add_initial(double x) noexcept;
+  void add_steady(double x) noexcept;
+  double parabolic(int i, double d) const noexcept;
+  double linear(int i, double d) const noexcept;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (values)
+  std::array<double, 5> positions_{};  // actual marker positions (ranks)
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{}; // desired position increments
+};
+
+}  // namespace iqb::stats

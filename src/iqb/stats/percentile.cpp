@@ -1,0 +1,111 @@
+#include "iqb/stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+namespace iqb::stats {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+/// Interpolated order statistic: value at (1-g)*x[j] + g*x[j+1] where
+/// h = j + 1 + g is the 1-based fractional rank.
+double at_fractional_rank(std::span<const double> sorted, double h) noexcept {
+  const auto n = static_cast<double>(sorted.size());
+  if (h <= 1.0) return sorted.front();
+  if (h >= n) return sorted.back();
+  const double floor_h = std::floor(h);
+  const auto j = static_cast<std::size_t>(floor_h) - 1;  // 0-based lower index
+  const double g = h - floor_h;
+  return sorted[j] + g * (sorted[j + 1] - sorted[j]);
+}
+
+}  // namespace
+
+Result<double> percentile_sorted(std::span<const double> sorted, double p,
+                                 QuantileMethod method) {
+  if (sorted.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "percentile: empty sample");
+  }
+  if (!(p >= 0.0 && p <= 100.0)) {
+    return make_error(ErrorCode::kOutOfRange,
+                      "percentile: p must be in [0,100], got " + std::to_string(p));
+  }
+  const double q = p / 100.0;
+  const auto n = static_cast<double>(sorted.size());
+  switch (method) {
+    case QuantileMethod::kNearestRank: {
+      // R-1: smallest x such that F(x) >= q. ceil(n*q), clamped to >= 1.
+      const double rank = std::max(1.0, std::ceil(n * q));
+      return sorted[static_cast<std::size_t>(rank) - 1];
+    }
+    case QuantileMethod::kLinear:
+      return at_fractional_rank(sorted, (n - 1.0) * q + 1.0);          // R-7
+    case QuantileMethod::kHazen:
+      return at_fractional_rank(sorted, n * q + 0.5);                  // R-5
+    case QuantileMethod::kMedianUnbiased:
+      return at_fractional_rank(sorted, (n + 1.0 / 3.0) * q + 1.0 / 3.0);  // R-8
+    case QuantileMethod::kNormalUnbiased:
+      return at_fractional_rank(sorted, (n + 0.25) * q + 0.375);       // R-9
+  }
+  return make_error(ErrorCode::kInvalidArgument, "unknown quantile method");
+}
+
+Result<double> percentile(std::span<const double> sample, double p,
+                          QuantileMethod method) {
+  if (sample.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "percentile: empty sample");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p, method);
+}
+
+Result<std::vector<double>> percentiles(std::span<const double> sample,
+                                        std::span<const double> ps,
+                                        QuantileMethod method) {
+  if (sample.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "percentiles: empty sample");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) {
+    auto v = percentile_sorted(sorted, p, method);
+    if (!v.ok()) return v.error();
+    out.push_back(v.value());
+  }
+  return out;
+}
+
+Result<double> median(std::span<const double> sample) {
+  return percentile(sample, 50.0, QuantileMethod::kLinear);
+}
+
+Result<QuantileMethod> quantile_method_from_name(std::string_view name) {
+  if (name == "nearest_rank") return QuantileMethod::kNearestRank;
+  if (name == "linear") return QuantileMethod::kLinear;
+  if (name == "hazen") return QuantileMethod::kHazen;
+  if (name == "median_unbiased") return QuantileMethod::kMedianUnbiased;
+  if (name == "normal_unbiased") return QuantileMethod::kNormalUnbiased;
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown quantile method '" + std::string(name) + "'");
+}
+
+std::string_view quantile_method_name(QuantileMethod method) noexcept {
+  switch (method) {
+    case QuantileMethod::kNearestRank: return "nearest_rank";
+    case QuantileMethod::kLinear: return "linear";
+    case QuantileMethod::kHazen: return "hazen";
+    case QuantileMethod::kMedianUnbiased: return "median_unbiased";
+    case QuantileMethod::kNormalUnbiased: return "normal_unbiased";
+  }
+  return "unknown";
+}
+
+}  // namespace iqb::stats

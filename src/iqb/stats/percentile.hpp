@@ -1,0 +1,51 @@
+// Batch percentile / quantile computation.
+//
+// IQB's aggregation rule is "take the 95th percentile of the dataset's
+// measurements for the region" (paper §2). Percentile is not a single
+// well-defined function on finite samples: different systems (numpy,
+// R, BigQuery — which M-Lab uses for NDT aggregation) use different
+// interpolation rules that disagree on small samples. We implement the
+// common definitions from Hyndman & Fan (1996) so the aggregation tier
+// can be configured to match any upstream and so the ablation bench
+// can quantify how much the choice matters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::stats {
+
+/// Quantile estimator definitions, numbered per Hyndman & Fan.
+enum class QuantileMethod {
+  kNearestRank,     ///< R-1: inverse empirical CDF (no interpolation).
+  kLinear,          ///< R-7: numpy/Excel default, linear between order stats.
+  kHazen,           ///< R-5: midpoint plotting positions (hydrology).
+  kMedianUnbiased,  ///< R-8: approximately median-unbiased, recommended by H&F.
+  kNormalUnbiased,  ///< R-9: approximately unbiased for normal samples.
+};
+
+/// Percentile p in [0, 100] of an unsorted sample (copies + sorts).
+/// Error on empty input or p outside [0, 100].
+util::Result<double> percentile(std::span<const double> sample, double p,
+                                QuantileMethod method = QuantileMethod::kLinear);
+
+/// Percentile of an already-sorted (ascending) sample; no copy.
+util::Result<double> percentile_sorted(std::span<const double> sorted, double p,
+                                       QuantileMethod method = QuantileMethod::kLinear);
+
+/// Multiple percentiles in one sort. ps values in [0, 100].
+util::Result<std::vector<double>> percentiles(std::span<const double> sample,
+                                              std::span<const double> ps,
+                                              QuantileMethod method = QuantileMethod::kLinear);
+
+/// Exact median convenience wrapper (R-7).
+util::Result<double> median(std::span<const double> sample);
+
+/// Parse/format the method name ("linear", "nearest_rank", ...),
+/// used by IqbConfig.
+util::Result<QuantileMethod> quantile_method_from_name(std::string_view name);
+std::string_view quantile_method_name(QuantileMethod method) noexcept;
+
+}  // namespace iqb::stats

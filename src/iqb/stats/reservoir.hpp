@@ -1,0 +1,50 @@
+// Reservoir sampling (Vitter's algorithm R).
+//
+// Keeps a uniform random sample of fixed size k from a stream of
+// unknown length. The dataset layer uses it to bound memory when a
+// simulated measurement campaign produces more records than the
+// aggregation tier wants to retain per (region, dataset) cell.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "iqb/util/rng.hpp"
+
+namespace iqb::stats {
+
+template <typename T>
+class Reservoir {
+ public:
+  /// capacity k > 0: maximum retained sample size.
+  explicit Reservoir(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    items_.reserve(capacity_);
+  }
+
+  /// Offer one stream element.
+  void add(const T& item, util::Rng& rng) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(item);
+      return;
+    }
+    // Replace a random slot with probability k/seen.
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+    if (j < capacity_) items_[j] = item;
+  }
+
+  /// Number of elements offered so far (not retained).
+  std::size_t seen() const noexcept { return seen_; }
+  std::size_t size() const noexcept { return items_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::span<const T> sample() const noexcept { return items_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace iqb::stats

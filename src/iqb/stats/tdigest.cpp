@@ -1,0 +1,168 @@
+#include "iqb/stats/tdigest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace iqb::stats {
+
+namespace {
+
+/// k1 scale function and inverse: k(q) = δ/(2π)·asin(2q-1). Centroid
+/// size limits derive from the steepness of k near the boundaries.
+double k_scale(double q, double compression) noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  return compression / (2.0 * std::numbers::pi) * std::asin(2.0 * q - 1.0);
+}
+
+}  // namespace
+
+TDigest::TDigest(double compression)
+    : compression_(std::max(20.0, compression)) {
+  buffer_.reserve(static_cast<std::size_t>(compression_) * 4);
+}
+
+void TDigest::add(double x, double weight) {
+  if (weight <= 0.0 || !std::isfinite(x)) return;
+  if (total_weight_ + buffered_weight_ <= 0.0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  // Weighted points enter the buffer as repeated entries only for
+  // integer weights of 1; general weights go through a tiny shim that
+  // flushes first and appends a centroid directly.
+  if (weight == 1.0) {
+    buffer_.push_back(x);
+    buffered_weight_ += 1.0;
+    if (buffer_.size() >= buffer_.capacity()) flush();
+  } else {
+    flush();
+    centroids_.push_back({x, weight});
+    total_weight_ += weight;
+    std::sort(centroids_.begin(), centroids_.end(),
+              [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+  }
+}
+
+void TDigest::merge(const TDigest& other) {
+  other.flush();
+  for (const Centroid& c : other.centroids_) {
+    if (c.weight > 0.0) {
+      if (total_weight_ + buffered_weight_ <= 0.0) {
+        min_ = other.min_;
+        max_ = other.max_;
+      } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+      }
+      flush();
+      centroids_.push_back(c);
+      total_weight_ += c.weight;
+    }
+  }
+  std::sort(centroids_.begin(), centroids_.end(),
+            [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+  flush();
+}
+
+void TDigest::flush() const {
+  if (buffer_.empty() && centroids_.size() <= static_cast<std::size_t>(compression_)) {
+    return;
+  }
+  // Combine existing centroids and buffered points, sort, then merge
+  // greedily under the k-scale size limit.
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + buffer_.size());
+  for (const Centroid& c : centroids_) all.push_back(c);
+  for (double x : buffer_) all.push_back({x, 1.0});
+  buffer_.clear();
+  total_weight_ += buffered_weight_;
+  buffered_weight_ = 0.0;
+  if (all.empty()) {
+    centroids_.clear();
+    return;
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+
+  std::vector<Centroid> merged;
+  merged.reserve(static_cast<std::size_t>(compression_) + 8);
+  double weight_so_far = 0.0;
+  double k_lower = k_scale(0.0, compression_);
+  Centroid current = all.front();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const Centroid& next = all[i];
+    double proposed_weight = current.weight + next.weight;
+    double q_upper = (weight_so_far + proposed_weight) / total_weight_;
+    if (k_scale(q_upper, compression_) - k_lower <= 1.0) {
+      // Absorb next into current (weighted mean update).
+      current.mean = (current.mean * current.weight + next.mean * next.weight) /
+                     proposed_weight;
+      current.weight = proposed_weight;
+    } else {
+      merged.push_back(current);
+      weight_so_far += current.weight;
+      k_lower = k_scale(weight_so_far / total_weight_, compression_);
+      current = next;
+    }
+  }
+  merged.push_back(current);
+  centroids_ = std::move(merged);
+}
+
+double TDigest::quantile(double q) const {
+  flush();
+  if (centroids_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (centroids_.size() == 1) return centroids_.front().mean;
+  const double target = q * total_weight_;
+
+  // Walk centroids treating each as centred at its cumulative midpoint;
+  // interpolate between adjacent midpoints.
+  double cumulative = 0.0;
+  double prev_mid = 0.0;
+  double prev_mean = min_;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const double mid = cumulative + centroids_[i].weight / 2.0;
+    if (target < mid) {
+      if (mid == prev_mid) return centroids_[i].mean;
+      const double t = (target - prev_mid) / (mid - prev_mid);
+      return prev_mean + t * (centroids_[i].mean - prev_mean);
+    }
+    cumulative += centroids_[i].weight;
+    prev_mid = mid;
+    prev_mean = centroids_[i].mean;
+  }
+  return max_;
+}
+
+double TDigest::cdf(double x) const {
+  flush();
+  if (centroids_.empty()) return 0.0;
+  if (x <= min_) return 0.0;
+  if (x >= max_) return 1.0;
+  double cumulative = 0.0;
+  double prev_mid = 0.0;
+  double prev_mean = min_;
+  for (const Centroid& c : centroids_) {
+    const double mid = cumulative + c.weight / 2.0;
+    if (x < c.mean) {
+      const double span = c.mean - prev_mean;
+      const double t = span > 0.0 ? (x - prev_mean) / span : 0.0;
+      return (prev_mid + t * (mid - prev_mid)) / total_weight_;
+    }
+    cumulative += c.weight;
+    prev_mid = mid;
+    prev_mean = c.mean;
+  }
+  return 1.0;
+}
+
+std::size_t TDigest::centroid_count() const {
+  flush();
+  return centroids_.size();
+}
+
+}  // namespace iqb::stats

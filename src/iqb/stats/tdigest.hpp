@@ -1,0 +1,55 @@
+// t-digest: mergeable quantile sketch with relative accuracy at the
+// tails (Dunning & Ertl). IQB aggregates at the 95th percentile, i.e.
+// deep in the tail where t-digest's k-scale clustering shines: tail
+// centroids hold few points, so p95/p99 come back nearly exact while
+// the body of the distribution is compressed aggressively.
+//
+// This implementation uses the merging variant: incoming points are
+// buffered and periodically merged into the centroid list with the
+// k1 scale function.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iqb::stats {
+
+class TDigest {
+ public:
+  /// compression delta (~100 gives ≲0.5% rank error at the tails).
+  explicit TDigest(double compression = 100.0);
+
+  void add(double x, double weight = 1.0);
+
+  /// Merge another digest into this one (used to combine per-region
+  /// shards). Both remain valid; this absorbs other's centroids.
+  void merge(const TDigest& other);
+
+  /// Quantile estimate, q in [0,1]. Returns 0 for an empty digest.
+  double quantile(double q) const;
+
+  /// Approximate CDF: fraction of mass at or below x.
+  double cdf(double x) const;
+
+  std::size_t count() const noexcept { return static_cast<std::size_t>(total_weight_); }
+  std::size_t centroid_count() const;  ///< Space usage, for benches.
+  double compression() const noexcept { return compression_; }
+
+ private:
+  struct Centroid {
+    double mean;
+    double weight;
+  };
+
+  void flush() const;  // merge buffer_ into centroids_ (logically const)
+
+  double compression_;
+  mutable std::vector<Centroid> centroids_;  // sorted by mean after flush
+  mutable std::vector<double> buffer_;
+  mutable double total_weight_ = 0.0;
+  mutable double buffered_weight_ = 0.0;
+  mutable double min_ = 0.0;
+  mutable double max_ = 0.0;
+};
+
+}  // namespace iqb::stats

@@ -1,0 +1,203 @@
+#include "iqb/util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace iqb::util {
+
+namespace {
+
+/// State machine over the raw text. Handles quoted fields spanning
+/// embedded newlines, which line-by-line splitting cannot.
+class CsvParser {
+ public:
+  explicit CsvParser(std::string_view text) : text_(text) {}
+
+  Result<std::vector<CsvRow>> parse_all() {
+    std::vector<CsvRow> rows;
+    while (pos_ < text_.size()) {
+      auto row = parse_row();
+      if (!row.ok()) return row.error();
+      rows.push_back(std::move(row).value());
+    }
+    return rows;
+  }
+
+ private:
+  Result<CsvRow> parse_row() {
+    CsvRow row;
+    while (true) {
+      auto field = parse_field();
+      if (!field.ok()) return field.error();
+      row.push_back(std::move(field).value());
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '\r') {
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+        break;
+      }
+      if (c == '\n') {
+        ++pos_;
+        break;
+      }
+      return make_error(ErrorCode::kParseError,
+                        "unexpected character after CSV field at offset " +
+                            std::to_string(pos_));
+    }
+    return row;
+  }
+
+  Result<std::string> parse_field() {
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      return parse_quoted_field();
+    }
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ',' || c == '\n' || c == '\r') break;
+      if (c == '"') {
+        return make_error(ErrorCode::kParseError,
+                          "bare quote inside unquoted CSV field at offset " +
+                              std::to_string(pos_));
+      }
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> parse_quoted_field() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return make_error(ErrorCode::kParseError, "unterminated quoted CSV field");
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        if (pos_ < text_.size() && text_[pos_] == '"') {
+          out.push_back('"');
+          ++pos_;
+        } else {
+          break;  // closing quote
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool all_whitespace(std::string_view text) noexcept {
+  for (char c : text) {
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::size_t> CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return make_error(ErrorCode::kNotFound,
+                    "CSV column '" + std::string(name) + "' not found");
+}
+
+Result<CsvTable> parse_csv(std::string_view text) {
+  if (all_whitespace(text)) {
+    return make_error(ErrorCode::kEmptyInput, "empty CSV document");
+  }
+  CsvParser parser(text);
+  auto rows = parser.parse_all();
+  if (!rows.ok()) return rows.error();
+  auto all = std::move(rows).value();
+  if (all.empty()) {
+    return make_error(ErrorCode::kEmptyInput, "empty CSV document");
+  }
+  CsvTable table;
+  table.header = std::move(all.front());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    // A sole empty trailing field comes from a trailing newline; skip.
+    if (all[i].size() == 1 && all[i][0].empty() && i == all.size() - 1) continue;
+    if (all[i].size() != table.header.size()) {
+      return make_error(ErrorCode::kParseError,
+                        "CSV row " + std::to_string(i) + " has " +
+                            std::to_string(all[i].size()) + " fields, expected " +
+                            std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(all[i]));
+  }
+  return table;
+}
+
+Result<CsvRow> parse_csv_line(std::string_view line) {
+  CsvParser parser(line);
+  auto rows = parser.parse_all();
+  if (!rows.ok()) return rows.error();
+  if (rows.value().size() != 1) {
+    return make_error(ErrorCode::kParseError, "expected exactly one CSV row");
+  }
+  return std::move(rows).value().front();
+}
+
+std::string csv_quote(std::string_view field) {
+  bool needs_quote = field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string write_csv(const CsvTable& table) {
+  std::string out;
+  auto write_row = [&out](const CsvRow& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += csv_quote(row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+Result<CsvTable> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kIoError, "cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+Result<void> write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot open '" + path + "' for writing");
+  }
+  out << write_csv(table);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "write to '" + path + "' failed");
+  }
+  return Result<void>::success();
+}
+
+}  // namespace iqb::util

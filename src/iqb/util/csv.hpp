@@ -1,0 +1,50 @@
+// RFC 4180-style CSV reading and writing.
+//
+// Dataset import/export (measurement records, Ookla-style aggregate
+// tables) uses CSV. The reader handles quoted fields, embedded commas,
+// embedded quotes ("") and both \n and \r\n line endings; the writer
+// quotes only when necessary.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::util {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// A fully parsed CSV document: a header row plus data rows. All rows
+/// are validated to have the same arity as the header.
+struct CsvTable {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+
+  /// Index of a header column, or error if absent.
+  Result<std::size_t> column_index(std::string_view name) const;
+};
+
+/// Parse CSV text. The first row is the header. Rows whose field count
+/// differs from the header are a parse error (measurement data with
+/// ragged rows indicates corruption, not optionality).
+Result<CsvTable> parse_csv(std::string_view text);
+
+/// Parse a single CSV line into fields (no header logic). Exposed for
+/// streaming ingestion of very large files.
+Result<CsvRow> parse_csv_line(std::string_view line);
+
+/// Serialize rows to CSV text with correct quoting. The header is
+/// written first if non-empty.
+std::string write_csv(const CsvTable& table);
+
+/// Quote a single field if it contains a comma, quote or newline.
+std::string csv_quote(std::string_view field);
+
+/// Read/write helpers that go through the filesystem.
+Result<CsvTable> read_csv_file(const std::string& path);
+Result<void> write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace iqb::util

@@ -1,0 +1,103 @@
+// Minimal self-contained JSON value model, parser and serializer.
+//
+// IQB configurations (thresholds, weights, dataset descriptors) are
+// exchanged as JSON. The library is offline and dependency-free, so we
+// implement the small subset of RFC 8259 we need ourselves: objects,
+// arrays, strings (with \uXXXX escapes, BMP only), numbers, booleans
+// and null. Numbers are stored as double, which is exact for the
+// integer weights (0..5) and thresholds the framework uses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::util {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps serialization deterministic (sorted keys), which we
+/// rely on for config round-trip tests.
+using JsonObject = std::map<std::string, JsonValue>;
+
+enum class JsonType { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// A parsed JSON document node. Value-semantic; arrays/objects own
+/// their children.
+class JsonValue {
+ public:
+  JsonValue() noexcept : type_(JsonType::kNull) {}
+  JsonValue(std::nullptr_t) noexcept : type_(JsonType::kNull) {}      // NOLINT
+  JsonValue(bool b) noexcept : type_(JsonType::kBool), bool_(b) {}    // NOLINT
+  JsonValue(double n) noexcept : type_(JsonType::kNumber), num_(n) {} // NOLINT
+  JsonValue(int n) noexcept : type_(JsonType::kNumber), num_(n) {}    // NOLINT
+  JsonValue(std::int64_t n) noexcept                                  // NOLINT
+      : type_(JsonType::kNumber), num_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : type_(JsonType::kString), str_(s) {}     // NOLINT
+  JsonValue(std::string s) : type_(JsonType::kString), str_(std::move(s)) {}  // NOLINT
+  JsonValue(JsonArray a) : type_(JsonType::kArray), arr_(std::move(a)) {}     // NOLINT
+  JsonValue(JsonObject o) : type_(JsonType::kObject), obj_(std::move(o)) {}   // NOLINT
+
+  JsonType type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == JsonType::kNull; }
+  bool is_bool() const noexcept { return type_ == JsonType::kBool; }
+  bool is_number() const noexcept { return type_ == JsonType::kNumber; }
+  bool is_string() const noexcept { return type_ == JsonType::kString; }
+  bool is_array() const noexcept { return type_ == JsonType::kArray; }
+  bool is_object() const noexcept { return type_ == JsonType::kObject; }
+
+  /// Unchecked accessors — caller must check the type first.
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return num_; }
+  const std::string& as_string() const noexcept { return str_; }
+  const JsonArray& as_array() const noexcept { return arr_; }
+  JsonArray& as_array() noexcept { return arr_; }
+  const JsonObject& as_object() const noexcept { return obj_; }
+  JsonObject& as_object() noexcept { return obj_; }
+
+  /// Checked object lookup; error if this is not an object or the key
+  /// is missing.
+  Result<JsonValue> get(std::string_view key) const;
+
+  /// Checked typed lookups used by config loading.
+  Result<double> get_number(std::string_view key) const;
+  Result<std::string> get_string(std::string_view key) const;
+  Result<bool> get_bool(std::string_view key) const;
+  Result<JsonArray> get_array(std::string_view key) const;
+  Result<JsonObject> get_object(std::string_view key) const;
+
+  /// True if this is an object containing the key.
+  bool contains(std::string_view key) const noexcept;
+
+  /// Serialize. Compact by default; indent > 0 pretty-prints with that
+  /// many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  bool operator==(const JsonValue& other) const noexcept;
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  JsonType type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Parse a complete JSON document. Trailing non-whitespace content is
+/// an error. Depth is limited (default 256) to bound recursion.
+Result<JsonValue> parse_json(std::string_view text, int max_depth = 256);
+
+/// Escape a string per JSON rules (used by the serializer; exposed for
+/// report renderers emitting JSON fragments).
+std::string json_escape(std::string_view s);
+
+}  // namespace iqb::util

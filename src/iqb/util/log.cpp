@@ -1,0 +1,39 @@
+#include "iqb/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace iqb::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, std::string_view message) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[iqb %s] %.*s\n", level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace iqb::util

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs sparingly (campaign progress, config
+// warnings); verbosity is controlled per-process via set_log_level.
+// No global mutable state beyond the level (atomic), no allocation on
+// suppressed messages.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace iqb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a message (appends newline). Thread-safe at the line level.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+/// Stream-style builder used by the IQB_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace iqb::util
+
+/// Usage: IQB_LOG(kInfo) << "campaign " << name << " finished";
+#define IQB_LOG(level)                                                      \
+  if (::iqb::util::log_level() <= ::iqb::util::LogLevel::level)             \
+  ::iqb::util::detail::LogLine(::iqb::util::LogLevel::level)

@@ -1,0 +1,18 @@
+#include "iqb/util/result.hpp"
+
+namespace iqb::util {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kEmptyInput: return "empty_input";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace iqb::util

@@ -1,0 +1,122 @@
+// Lightweight Result<T> error handling.
+//
+// The IQB library avoids exceptions on expected failure paths (bad
+// config files, malformed CSV rows, empty datasets): those are values,
+// not program bugs. Result<T> is a minimal expected-like type carrying
+// either a T or an Error with a code and a human-readable message.
+// Program bugs (violated preconditions) still assert/throw.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace iqb::util {
+
+enum class ErrorCode {
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kOutOfRange,
+  kEmptyInput,
+  kIoError,
+  kInternal,
+};
+
+/// Stable, human-readable name for an error code ("parse_error" etc.).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+};
+
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+/// Either a value of type T or an Error. Inspect with ok(); access the
+/// value with value()/operator* only when ok() is true.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const& {
+    assert(!ok() && "Result::error() called on success");
+    return std::get<Error>(storage_);
+  }
+
+  /// Value if ok, otherwise the provided fallback.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(storage_) : std::move(fallback); }
+
+  /// Apply f to the value if ok; propagate the error otherwise.
+  template <typename F>
+  auto map(F&& f) const& -> Result<decltype(f(std::declval<const T&>()))> {
+    if (ok()) return f(value());
+    return error();
+  }
+
+  /// Like map, but f itself returns a Result (monadic bind).
+  template <typename F>
+  auto and_then(F&& f) const& -> decltype(f(std::declval<const T&>())) {
+    if (ok()) return f(value());
+    return error();
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> specialization: success carries no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  /// Default-constructed Result<void> is success.
+  Result() = default;
+  Result(Error error) : has_error_(true), stored_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result success() { return Result(); }
+
+  bool ok() const noexcept { return !has_error_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const {
+    assert(has_error_);
+    return stored_;
+  }
+
+ private:
+  bool has_error_ = false;
+  Error stored_{};
+};
+
+}  // namespace iqb::util

@@ -1,0 +1,86 @@
+#include "iqb/util/strings.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace iqb::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  const char* ws = " \t\r\n";
+  std::size_t begin = s.find_first_not_of(ws);
+  if (begin == std::string_view::npos) return {};
+  std::size_t end = s.find_last_not_of(ws);
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Result<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return make_error(ErrorCode::kParseError, "empty number");
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return make_error(ErrorCode::kParseError,
+                      "not a number: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<std::int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return make_error(ErrorCode::kParseError, "empty integer");
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return make_error(ErrorCode::kParseError,
+                      "not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace iqb::util

@@ -1,0 +1,37 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::util {
+
+/// Split on a single-character delimiter. Adjacent delimiters produce
+/// empty fields; an empty input yields one empty field (CSV semantics).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Join parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Parse a double with full-string validation (no trailing junk).
+Result<double> parse_double(std::string_view s);
+
+/// Parse a non-negative integer with full-string validation.
+Result<std::int64_t> parse_int(std::string_view s);
+
+/// snprintf-style formatting into std::string.
+std::string format_fixed(double v, int decimals);
+
+}  // namespace iqb::util

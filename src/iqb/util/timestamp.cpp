@@ -1,0 +1,123 @@
+#include "iqb/util/timestamp.hpp"
+
+#include <cstdio>
+
+#include "iqb/util/strings.hpp"
+
+namespace iqb::util {
+
+namespace {
+
+constexpr std::int64_t kSecondsPerDay = 86400;
+
+bool is_leap(int year) noexcept {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) noexcept {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return kDays[month - 1];
+}
+
+// Days from unix epoch (1970-01-01) to year-month-day, proleptic
+// Gregorian. Algorithm from Howard Hinnant's date library notes.
+std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+}  // namespace
+
+Result<Timestamp> Timestamp::from_civil(int year, int month, int day, int hour,
+                                        int minute, int second) {
+  if (month < 1 || month > 12) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "month out of range: " + std::to_string(month));
+  }
+  if (day < 1 || day > days_in_month(year, month)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "day out of range: " + std::to_string(day));
+  }
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 59) {
+    return make_error(ErrorCode::kInvalidArgument, "time-of-day out of range");
+  }
+  std::int64_t days = days_from_civil(year, month, day);
+  return Timestamp(days * kSecondsPerDay + hour * 3600 + minute * 60 + second);
+}
+
+Result<Timestamp> Timestamp::parse(std::string_view iso8601) {
+  std::string_view s = trim(iso8601);
+  if (!s.empty() && (s.back() == 'Z' || s.back() == 'z')) {
+    s.remove_suffix(1);
+  }
+  // Date part: YYYY-MM-DD
+  if (s.size() < 10 || s[4] != '-' || s[7] != '-') {
+    return make_error(ErrorCode::kParseError,
+                      "bad ISO 8601 date: '" + std::string(iso8601) + "'");
+  }
+  auto year = parse_int(s.substr(0, 4));
+  auto month = parse_int(s.substr(5, 2));
+  auto day = parse_int(s.substr(8, 2));
+  if (!year.ok() || !month.ok() || !day.ok()) {
+    return make_error(ErrorCode::kParseError,
+                      "bad ISO 8601 date: '" + std::string(iso8601) + "'");
+  }
+  int hour = 0, minute = 0, second = 0;
+  if (s.size() > 10) {
+    if ((s[10] != 'T' && s[10] != ' ') || s.size() < 19 || s[13] != ':' ||
+        s[16] != ':') {
+      return make_error(ErrorCode::kParseError,
+                        "bad ISO 8601 time: '" + std::string(iso8601) + "'");
+    }
+    auto h = parse_int(s.substr(11, 2));
+    auto mi = parse_int(s.substr(14, 2));
+    auto se = parse_int(s.substr(17, 2));
+    if (!h.ok() || !mi.ok() || !se.ok()) {
+      return make_error(ErrorCode::kParseError,
+                        "bad ISO 8601 time: '" + std::string(iso8601) + "'");
+    }
+    hour = static_cast<int>(h.value());
+    minute = static_cast<int>(mi.value());
+    second = static_cast<int>(se.value());
+  }
+  return from_civil(static_cast<int>(year.value()), static_cast<int>(month.value()),
+                    static_cast<int>(day.value()), hour, minute, second);
+}
+
+std::string Timestamp::to_iso8601() const {
+  std::int64_t days = unix_seconds_ / kSecondsPerDay;
+  std::int64_t tod = unix_seconds_ % kSecondsPerDay;
+  if (tod < 0) {
+    tod += kSecondsPerDay;
+    days -= 1;
+  }
+  int y, m, d;
+  civil_from_days(days, y, m, d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ", y, m, d,
+                static_cast<int>(tod / 3600), static_cast<int>((tod % 3600) / 60),
+                static_cast<int>(tod % 60));
+  return buf;
+}
+
+}  // namespace iqb::util

@@ -1,0 +1,48 @@
+// Calendar timestamps for measurement records.
+//
+// Measurement records carry a UTC timestamp so datasets can be
+// filtered by time window (e.g. "score region X over March 2025").
+// We implement ISO 8601 parse/format over a plain unix-seconds value
+// using civil-time arithmetic (no locale, no timezone database).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::util {
+
+/// UTC timestamp with second resolution, stored as unix seconds.
+class Timestamp {
+ public:
+  constexpr Timestamp() noexcept = default;
+  constexpr explicit Timestamp(std::int64_t unix_seconds) noexcept
+      : unix_seconds_(unix_seconds) {}
+
+  /// Build from civil date/time fields (UTC). Validates ranges.
+  static Result<Timestamp> from_civil(int year, int month, int day, int hour = 0,
+                                      int minute = 0, int second = 0);
+
+  /// Parse "YYYY-MM-DD" or "YYYY-MM-DDTHH:MM:SS" (optional trailing 'Z').
+  static Result<Timestamp> parse(std::string_view iso8601);
+
+  constexpr std::int64_t unix_seconds() const noexcept { return unix_seconds_; }
+
+  /// Format as "YYYY-MM-DDTHH:MM:SSZ".
+  std::string to_iso8601() const;
+
+  constexpr auto operator<=>(const Timestamp&) const noexcept = default;
+
+  constexpr Timestamp operator+(std::int64_t seconds) const noexcept {
+    return Timestamp(unix_seconds_ + seconds);
+  }
+  constexpr std::int64_t operator-(Timestamp other) const noexcept {
+    return unix_seconds_ - other.unix_seconds_;
+  }
+
+ private:
+  std::int64_t unix_seconds_ = 0;
+};
+
+}  // namespace iqb::util

@@ -1,0 +1,41 @@
+#include "iqb/util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace iqb::util {
+
+namespace {
+
+std::string format_double(double v, const char* suffix) {
+  char buf[64];
+  // Two decimals covers the paper's precision (thresholds like 0.5%).
+  std::snprintf(buf, sizeof(buf), "%.2f%s", v, suffix);
+  return buf;
+}
+
+}  // namespace
+
+bool Mbps::is_valid() const noexcept {
+  return std::isfinite(value_) && value_ >= 0.0;
+}
+
+std::string Mbps::to_string() const { return format_double(value_, " Mb/s"); }
+
+bool Millis::is_valid() const noexcept {
+  return std::isfinite(value_) && value_ >= 0.0;
+}
+
+std::string Millis::to_string() const { return format_double(value_, " ms"); }
+
+bool LossRate::is_valid() const noexcept {
+  return std::isfinite(fraction_) && fraction_ >= 0.0 && fraction_ <= 1.0;
+}
+
+std::string LossRate::to_string() const {
+  return format_double(percent(), "%");
+}
+
+std::string Seconds::to_string() const { return format_double(value_, " s"); }
+
+}  // namespace iqb::util

@@ -1,0 +1,177 @@
+// Strong-typed units for network quality metrics.
+//
+// The IQB framework deals in four physical quantities: throughput
+// (megabits per second), latency (milliseconds), packet loss (a
+// fraction in [0,1]) and time. Mixing them up silently (e.g. passing a
+// latency where a throughput is expected) is a classic source of bugs
+// in measurement pipelines, so each gets its own vocabulary type with
+// explicit construction and only the arithmetic that makes sense.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace iqb::util {
+
+/// Throughput in megabits per second. Non-negative by construction is
+/// NOT enforced (deltas may be negative); use is_valid() on inputs.
+class Mbps {
+ public:
+  constexpr Mbps() noexcept = default;
+  constexpr explicit Mbps(double value) noexcept : value_(value) {}
+
+  /// Named constructors for other common wire units.
+  static constexpr Mbps from_kbps(double kbps) noexcept { return Mbps(kbps / 1000.0); }
+  static constexpr Mbps from_gbps(double gbps) noexcept { return Mbps(gbps * 1000.0); }
+  static constexpr Mbps from_bits_per_second(double bps) noexcept {
+    return Mbps(bps / 1e6);
+  }
+  /// Bytes transferred over a duration (seconds) -> average throughput.
+  static constexpr Mbps from_bytes_over_seconds(double bytes, double seconds) noexcept {
+    return seconds > 0.0 ? Mbps(bytes * 8.0 / 1e6 / seconds) : Mbps(0.0);
+  }
+
+  constexpr double value() const noexcept { return value_; }
+  constexpr double kbps() const noexcept { return value_ * 1000.0; }
+  constexpr double bits_per_second() const noexcept { return value_ * 1e6; }
+  constexpr double bytes_per_second() const noexcept { return value_ * 1e6 / 8.0; }
+
+  /// A measurement is valid if it is a finite, non-negative rate.
+  bool is_valid() const noexcept;
+
+  constexpr auto operator<=>(const Mbps&) const noexcept = default;
+  constexpr Mbps operator+(Mbps o) const noexcept { return Mbps(value_ + o.value_); }
+  constexpr Mbps operator-(Mbps o) const noexcept { return Mbps(value_ - o.value_); }
+  constexpr Mbps operator*(double k) const noexcept { return Mbps(value_ * k); }
+  constexpr Mbps operator/(double k) const noexcept { return Mbps(value_ / k); }
+  constexpr double operator/(Mbps o) const noexcept { return value_ / o.value_; }
+  constexpr Mbps& operator+=(Mbps o) noexcept { value_ += o.value_; return *this; }
+  constexpr Mbps& operator-=(Mbps o) noexcept { value_ -= o.value_; return *this; }
+
+  /// Human-readable rendering, e.g. "25.0 Mb/s".
+  std::string to_string() const;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// One-way or round-trip latency in milliseconds.
+class Millis {
+ public:
+  constexpr Millis() noexcept = default;
+  constexpr explicit Millis(double value) noexcept : value_(value) {}
+
+  static constexpr Millis from_seconds(double s) noexcept { return Millis(s * 1e3); }
+  static constexpr Millis from_micros(double us) noexcept { return Millis(us / 1e3); }
+
+  constexpr double value() const noexcept { return value_; }
+  constexpr double seconds() const noexcept { return value_ / 1e3; }
+  constexpr double micros() const noexcept { return value_ * 1e3; }
+
+  bool is_valid() const noexcept;
+
+  constexpr auto operator<=>(const Millis&) const noexcept = default;
+  constexpr Millis operator+(Millis o) const noexcept { return Millis(value_ + o.value_); }
+  constexpr Millis operator-(Millis o) const noexcept { return Millis(value_ - o.value_); }
+  constexpr Millis operator*(double k) const noexcept { return Millis(value_ * k); }
+  constexpr Millis operator/(double k) const noexcept { return Millis(value_ / k); }
+  constexpr Millis& operator+=(Millis o) noexcept { value_ += o.value_; return *this; }
+
+  std::string to_string() const;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Packet loss as a fraction in [0, 1]. The paper's thresholds are
+/// expressed in percent (e.g. "1%"); use from_percent()/percent() at
+/// the presentation boundary and keep fractions internally.
+class LossRate {
+ public:
+  constexpr LossRate() noexcept = default;
+  constexpr explicit LossRate(double fraction) noexcept : fraction_(fraction) {}
+
+  static constexpr LossRate from_percent(double pct) noexcept {
+    return LossRate(pct / 100.0);
+  }
+  static constexpr LossRate from_counts(std::uint64_t lost, std::uint64_t sent) noexcept {
+    return sent > 0 ? LossRate(static_cast<double>(lost) / static_cast<double>(sent))
+                    : LossRate(0.0);
+  }
+
+  constexpr double fraction() const noexcept { return fraction_; }
+  constexpr double percent() const noexcept { return fraction_ * 100.0; }
+
+  /// Valid loss rates are finite fractions in [0, 1].
+  bool is_valid() const noexcept;
+
+  constexpr auto operator<=>(const LossRate&) const noexcept = default;
+
+  std::string to_string() const;
+
+ private:
+  double fraction_ = 0.0;
+};
+
+/// Simulated / measurement time in seconds since an arbitrary epoch.
+/// Used both by the discrete-event simulator clock and as a record
+/// timestamp. Double precision gives sub-microsecond resolution over
+/// multi-year spans, plenty for this domain.
+class Seconds {
+ public:
+  constexpr Seconds() noexcept = default;
+  constexpr explicit Seconds(double value) noexcept : value_(value) {}
+
+  static constexpr Seconds from_millis(double ms) noexcept { return Seconds(ms / 1e3); }
+  static constexpr Seconds from_micros(double us) noexcept { return Seconds(us / 1e6); }
+
+  constexpr double value() const noexcept { return value_; }
+  constexpr Millis to_millis() const noexcept { return Millis(value_ * 1e3); }
+
+  constexpr auto operator<=>(const Seconds&) const noexcept = default;
+  constexpr Seconds operator+(Seconds o) const noexcept { return Seconds(value_ + o.value_); }
+  constexpr Seconds operator-(Seconds o) const noexcept { return Seconds(value_ - o.value_); }
+  constexpr Seconds operator*(double k) const noexcept { return Seconds(value_ * k); }
+  constexpr Seconds& operator+=(Seconds o) noexcept { value_ += o.value_; return *this; }
+
+  std::string to_string() const;
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Mbps operator*(double k, Mbps v) noexcept { return v * k; }
+constexpr Millis operator*(double k, Millis v) noexcept { return v * k; }
+constexpr Seconds operator*(double k, Seconds v) noexcept { return v * k; }
+
+/// User-defined literals for readable test/threshold code:
+///   using namespace iqb::util::literals;  25.0_mbps, 100.0_ms, 1.0_pct
+namespace literals {
+constexpr Mbps operator""_mbps(long double v) noexcept {
+  return Mbps(static_cast<double>(v));
+}
+constexpr Mbps operator""_mbps(unsigned long long v) noexcept {
+  return Mbps(static_cast<double>(v));
+}
+constexpr Millis operator""_ms(long double v) noexcept {
+  return Millis(static_cast<double>(v));
+}
+constexpr Millis operator""_ms(unsigned long long v) noexcept {
+  return Millis(static_cast<double>(v));
+}
+constexpr LossRate operator""_pct(long double v) noexcept {
+  return LossRate::from_percent(static_cast<double>(v));
+}
+constexpr LossRate operator""_pct(unsigned long long v) noexcept {
+  return LossRate::from_percent(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v) noexcept {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(unsigned long long v) noexcept {
+  return Seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace iqb::util

@@ -1,0 +1,223 @@
+#include "iqb/cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/synthetic.hpp"
+
+namespace iqb::cli {
+namespace {
+
+/// Temp records CSV built from the synthetic generator.
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // ctest runs each case in its own process with this fixture's
+    // SetUp/TearDownTestSuite; the path must be per-process or one
+    // process's teardown would delete the file under another.
+    records_path_ =
+        (std::filesystem::temp_directory_path() /
+         ("iqb_cli_test_records_" + std::to_string(getpid()) + ".csv"))
+            .string();
+    util::Rng rng(77);
+    datasets::RecordStore store;
+    datasets::SyntheticConfig config;
+    config.records_per_dataset = 60;
+    config.base_time = util::Timestamp::parse("2025-02-01").value();
+    config.spacing_s = 3600;
+    for (const auto& profile : datasets::example_region_profiles()) {
+      store.add_all(datasets::generate_region_records(
+          profile, datasets::default_dataset_panel(), config, rng));
+    }
+    ASSERT_TRUE(datasets::write_records_csv(records_path_, store.records()).ok());
+  }
+
+  static void TearDownTestSuite() { std::remove(records_path_.c_str()); }
+
+  static int run(const std::vector<std::string>& tokens, std::string* out_text,
+                 std::string* err_text = nullptr) {
+    std::ostringstream out, err;
+    const int code = run_command(tokens, out, err);
+    if (out_text) *out_text = out.str();
+    if (err_text) *err_text = err.str();
+    return code;
+  }
+
+  static std::string records_path_;
+};
+
+std::string CliTest::records_path_;
+
+TEST_F(CliTest, ParseArgsBasics) {
+  auto parsed = parse_args({"score", "--records", "x.csv", "--format", "json"});
+  ASSERT_TRUE(parsed.args.has_value());
+  EXPECT_EQ(parsed.args->command, "score");
+  EXPECT_EQ(parsed.args->get("records").value(), "x.csv");
+  EXPECT_EQ(parsed.args->get("format").value(), "json");
+  EXPECT_FALSE(parsed.args->get("missing").has_value());
+}
+
+TEST_F(CliTest, ParseArgsErrors) {
+  EXPECT_FALSE(parse_args({}).args.has_value());
+  EXPECT_FALSE(parse_args({"score", "oops"}).args.has_value());
+  EXPECT_FALSE(parse_args({"score", "--records"}).args.has_value());
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::string out, err;
+  EXPECT_EQ(run({"frobnicate"}, &out, &err), 1);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, ConfigPrintsPaperDefaults) {
+  std::string out;
+  EXPECT_EQ(run({"config"}, &out), 0);
+  EXPECT_NE(out.find("\"percentile\": 95"), std::string::npos);
+  EXPECT_NE(out.find("gaming.latency"), std::string::npos);
+  EXPECT_TRUE(util::parse_json(out).ok());
+}
+
+TEST_F(CliTest, ConfigWritesFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iqb_cli_config.json").string();
+  std::string out;
+  EXPECT_EQ(run({"config", "--out", path}, &out), 0);
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(CliTest, ScoreMarkdown) {
+  std::string out;
+  EXPECT_EQ(run({"score", "--records", records_path_, "--format", "markdown"},
+                &out),
+            0);
+  EXPECT_NE(out.find("| Region |"), std::string::npos);
+  EXPECT_NE(out.find("metro_fiber"), std::string::npos);
+}
+
+TEST_F(CliTest, ScoreJsonParses) {
+  std::string out;
+  EXPECT_EQ(run({"score", "--records", records_path_, "--format", "json"},
+                &out),
+            0);
+  auto json = util::parse_json(out);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->get_array("regions")->size(), 6u);
+}
+
+TEST_F(CliTest, ScoreHtml) {
+  std::string out;
+  EXPECT_EQ(run({"score", "--records", records_path_, "--format", "html"},
+                &out),
+            0);
+  EXPECT_NE(out.find("<!DOCTYPE html>"), std::string::npos);
+}
+
+TEST_F(CliTest, ScoreByIspSplitsRegions) {
+  std::string out;
+  EXPECT_EQ(run({"score", "--records", records_path_, "--format", "markdown",
+                 "--by-isp", "true"},
+                &out),
+            0);
+  EXPECT_NE(out.find("metro_fiber/cityfiber"), std::string::npos);
+}
+
+TEST_F(CliTest, ScoreUnknownFormatFails) {
+  std::string out, err;
+  EXPECT_EQ(run({"score", "--records", records_path_, "--format", "yaml"},
+                &out, &err),
+            1);
+}
+
+TEST_F(CliTest, ScoreMissingRecordsFails) {
+  std::string out, err;
+  EXPECT_EQ(run({"score"}, &out, &err), 2);
+  EXPECT_NE(err.find("--records is required"), std::string::npos);
+}
+
+TEST_F(CliTest, ScoreNonexistentFileFails) {
+  std::string out, err;
+  EXPECT_EQ(run({"score", "--records", "/no/such/file.csv"}, &out, &err), 2);
+}
+
+TEST_F(CliTest, ScoreOutFileWritten) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iqb_cli_report.html").string();
+  std::string out;
+  EXPECT_EQ(run({"score", "--records", records_path_, "--format", "html",
+                 "--out", path},
+                &out),
+            0);
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("</html>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CliTest, AggregateCsvShape) {
+  std::string out;
+  EXPECT_EQ(run({"aggregate", "--records", records_path_}, &out), 0);
+  EXPECT_NE(out.find("region,dataset,metric,value,samples"), std::string::npos);
+  EXPECT_NE(out.find("metro_fiber,ndt,download"), std::string::npos);
+}
+
+TEST_F(CliTest, AggregateBadPercentileFails) {
+  std::string out, err;
+  EXPECT_EQ(run({"aggregate", "--records", records_path_, "--percentile",
+                 "150"},
+                &out, &err),
+            1);
+}
+
+TEST_F(CliTest, SensitivityRequiresRegion) {
+  std::string out, err;
+  EXPECT_EQ(run({"sensitivity", "--records", records_path_}, &out, &err), 1);
+  EXPECT_NE(err.find("--region is required"), std::string::npos);
+}
+
+TEST_F(CliTest, SensitivityRuns) {
+  std::string out;
+  EXPECT_EQ(run({"sensitivity", "--records", records_path_, "--region",
+                 "suburban_cable"},
+                &out),
+            0);
+  EXPECT_NE(out.find("baseline"), std::string::npos);
+  EXPECT_NE(out.find("leave-one-dataset-out"), std::string::npos);
+  EXPECT_NE(out.find("-ookla"), std::string::npos);
+}
+
+TEST_F(CliTest, TrendRuns) {
+  std::string out;
+  EXPECT_EQ(run({"trend", "--records", records_path_, "--window-days", "3"},
+                &out),
+            0);
+  EXPECT_NE(out.find("region,windows,first,last,slope_per_day,direction"),
+            std::string::npos);
+  EXPECT_NE(out.find("metro_fiber"), std::string::npos);
+}
+
+TEST_F(CliTest, TrendBadWindowFails) {
+  std::string out, err;
+  EXPECT_EQ(run({"trend", "--records", records_path_, "--window-days", "0"},
+                &out, &err),
+            1);
+}
+
+TEST_F(CliTest, SimulateBadArgsFail) {
+  std::string out, err;
+  EXPECT_EQ(run({"simulate", "--subscribers", "zero"}, &out, &err), 1);
+  EXPECT_EQ(run({"simulate", "--tests", "0"}, &out, &err), 1);
+}
+
+}  // namespace
+}  // namespace iqb::cli

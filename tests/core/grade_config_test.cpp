@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "iqb/core/config.hpp"
+#include "iqb/core/grade.hpp"
+
+namespace iqb::core {
+namespace {
+
+TEST(GradeScale, DefaultBands) {
+  const GradeScale scale;
+  EXPECT_EQ(scale.grade(1.0), Grade::kA);
+  EXPECT_EQ(scale.grade(0.9), Grade::kA);
+  EXPECT_EQ(scale.grade(0.89), Grade::kB);
+  EXPECT_EQ(scale.grade(0.75), Grade::kB);
+  EXPECT_EQ(scale.grade(0.6), Grade::kC);
+  EXPECT_EQ(scale.grade(0.4), Grade::kD);
+  EXPECT_EQ(scale.grade(0.1), Grade::kE);
+  EXPECT_EQ(scale.grade(0.0), Grade::kE);
+}
+
+TEST(GradeScale, CutAccessors) {
+  const GradeScale scale;
+  EXPECT_DOUBLE_EQ(scale.cut(Grade::kA), 0.9);
+  EXPECT_DOUBLE_EQ(scale.cut(Grade::kE), 0.0);
+}
+
+TEST(GradeScale, CustomCuts) {
+  auto scale = GradeScale::with_cuts(0.8, 0.6, 0.4, 0.2);
+  ASSERT_TRUE(scale.ok());
+  EXPECT_EQ(scale->grade(0.7), Grade::kB);
+  EXPECT_EQ(scale->grade(0.19), Grade::kE);
+}
+
+TEST(GradeScale, RejectsBadCuts) {
+  EXPECT_FALSE(GradeScale::with_cuts(0.5, 0.6, 0.4, 0.2).ok());  // not decreasing
+  EXPECT_FALSE(GradeScale::with_cuts(0.8, 0.8, 0.4, 0.2).ok());  // not strict
+  EXPECT_FALSE(GradeScale::with_cuts(1.2, 0.6, 0.4, 0.2).ok());  // > 1
+  EXPECT_FALSE(GradeScale::with_cuts(0.8, 0.6, 0.4, 0.0).ok());  // <= 0
+}
+
+TEST(GradeScale, JsonRoundTrip) {
+  auto original = GradeScale::with_cuts(0.85, 0.7, 0.5, 0.3).value();
+  auto restored = GradeScale::from_json(original.to_json());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), original);
+}
+
+TEST(GradeNames, AllDistinct) {
+  for (std::size_t i = 0; i < kAllGrades.size(); ++i) {
+    for (std::size_t j = i + 1; j < kAllGrades.size(); ++j) {
+      EXPECT_NE(grade_name(kAllGrades[i]), grade_name(kAllGrades[j]));
+    }
+  }
+}
+
+TEST(IqbConfig, PaperDefaultsValidate) {
+  const IqbConfig config = IqbConfig::paper_defaults();
+  EXPECT_TRUE(config.validate().ok());
+  EXPECT_EQ(config.dataset_panel,
+            (std::vector<std::string>{"ndt", "cloudflare", "ookla"}));
+  EXPECT_DOUBLE_EQ(config.aggregation.percentile, 95.0);
+  EXPECT_TRUE(config.thresholds.is_complete());
+}
+
+TEST(IqbConfig, JsonRoundTripPreservesEverything) {
+  IqbConfig original = IqbConfig::paper_defaults();
+  original.aggregation.percentile = 90.0;
+  original.aggregation.method = stats::QuantileMethod::kNearestRank;
+  original.aggregation.orient_to_worst = false;
+  original.aggregation.min_samples = 3;
+  original.dataset_panel = {"ndt", "cloudflare"};
+  (void)original.weights.set_use_case_weight(UseCase::kGaming, 4);
+  (void)original.thresholds.set(UseCase::kGaming, Requirement::kLatency,
+                                QualityLevel::kHigh, 30.0);
+
+  auto restored = IqbConfig::from_json(original.to_json());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->thresholds, original.thresholds);
+  EXPECT_EQ(restored->weights, original.weights);
+  EXPECT_EQ(restored->grading, original.grading);
+  EXPECT_EQ(restored->dataset_panel, original.dataset_panel);
+  EXPECT_DOUBLE_EQ(restored->aggregation.percentile, 90.0);
+  EXPECT_EQ(restored->aggregation.method, stats::QuantileMethod::kNearestRank);
+  EXPECT_FALSE(restored->aggregation.orient_to_worst);
+  EXPECT_EQ(restored->aggregation.min_samples, 3u);
+}
+
+TEST(IqbConfig, ValidateRejectsEmptyPanel) {
+  IqbConfig config = IqbConfig::paper_defaults();
+  config.dataset_panel.clear();
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(IqbConfig, ValidateRejectsBadPercentile) {
+  IqbConfig config = IqbConfig::paper_defaults();
+  config.aggregation.percentile = 105.0;
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(IqbConfig, FromJsonRejectsMissingSections) {
+  EXPECT_FALSE(IqbConfig::from_json(util::parse_json("{}").value()).ok());
+  auto thresholds_only = util::parse_json(
+      R"({"thresholds": {"gaming": {"latency": {"high": 50}}}})").value();
+  EXPECT_FALSE(IqbConfig::from_json(thresholds_only).ok());
+}
+
+TEST(IqbConfig, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iqb_config_test.json").string();
+  IqbConfig original = IqbConfig::paper_defaults();
+  ASSERT_TRUE(original.save(path).ok());
+  auto loaded = IqbConfig::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->thresholds, original.thresholds);
+  EXPECT_EQ(loaded->weights, original.weights);
+  std::remove(path.c_str());
+}
+
+TEST(IqbConfig, LoadMissingFileIsIoError) {
+  auto loaded = IqbConfig::load("/nonexistent/iqb.json");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, util::ErrorCode::kIoError);
+}
+
+TEST(IqbConfig, LoadMalformedJsonIsParseError) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iqb_bad_config.json").string();
+  {
+    std::ofstream out(path);
+    out << "{ not json";
+  }
+  auto loaded = IqbConfig::load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, util::ErrorCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace iqb::core

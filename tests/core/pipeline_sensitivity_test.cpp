@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/core/sensitivity.hpp"
+#include "iqb/datasets/synthetic.hpp"
+
+namespace iqb::core {
+namespace {
+
+/// Shared fixture: a two-region synthetic store (one excellent, one
+/// poor) plus the paper-default pipeline.
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(2025);
+    datasets::SyntheticConfig config;
+    config.records_per_dataset = 150;
+
+    datasets::RegionProfile good;
+    good.region = "good_fiber";
+    good.median_download_mbps = 500.0;
+    good.upload_ratio = 0.9;
+    good.base_latency_ms = 5.0;
+    good.lossy_test_fraction = 0.02;
+
+    datasets::RegionProfile bad;
+    bad.region = "bad_dsl";
+    bad.median_download_mbps = 8.0;
+    bad.upload_ratio = 0.1;
+    bad.base_latency_ms = 60.0;
+    bad.latency_mu = 3.0;
+    bad.lossy_test_fraction = 0.7;
+    bad.loss_mu = -4.0;
+
+    auto panel = datasets::default_dataset_panel();
+    store_.add_all(
+        datasets::generate_region_records(good, panel, config, rng));
+    store_.add_all(datasets::generate_region_records(bad, panel, config, rng));
+  }
+
+  datasets::RecordStore store_;
+};
+
+TEST_F(PipelineTest, ScoresEveryRegion) {
+  Pipeline pipeline(IqbConfig::paper_defaults());
+  auto output = pipeline.run(store_);
+  ASSERT_EQ(output.results.size(), 2u);
+  EXPECT_TRUE(output.skipped.empty());
+  EXPECT_GT(output.aggregates.size(), 0u);
+}
+
+TEST_F(PipelineTest, GoodRegionOutscoresBadRegion) {
+  Pipeline pipeline(IqbConfig::paper_defaults());
+  auto output = pipeline.run(store_);
+  ASSERT_EQ(output.results.size(), 2u);
+  const RegionResult* good = nullptr;
+  const RegionResult* bad = nullptr;
+  for (const auto& result : output.results) {
+    (result.region == "good_fiber" ? good : bad) = &result;
+  }
+  ASSERT_NE(good, nullptr);
+  ASSERT_NE(bad, nullptr);
+  EXPECT_GT(good->high.iqb_score, bad->high.iqb_score + 0.3);
+  EXPECT_GT(good->minimum.iqb_score, bad->minimum.iqb_score);
+  EXPECT_LT(static_cast<int>(good->grade), static_cast<int>(bad->grade));
+}
+
+TEST_F(PipelineTest, MinimumAtLeastHighEverywhere) {
+  Pipeline pipeline(IqbConfig::paper_defaults());
+  auto output = pipeline.run(store_);
+  for (const auto& result : output.results) {
+    EXPECT_GE(result.minimum.iqb_score, result.high.iqb_score - 1e-12)
+        << result.region;
+  }
+}
+
+TEST_F(PipelineTest, OoklaLossGapProducesCoverageHandling) {
+  Pipeline pipeline(IqbConfig::paper_defaults());
+  auto output = pipeline.run(store_);
+  for (const auto& result : output.results) {
+    // Ookla publishes no loss, so loss cells exist only for ndt and
+    // cloudflare — but loss requirements must still be scored.
+    for (Requirement requirement : kAllRequirements) {
+      EXPECT_TRUE(result.high.requirement_scores.count(
+          {UseCase::kGaming, requirement}))
+          << requirement_name(requirement);
+    }
+    EXPECT_FALSE(
+        output.aggregates.contains(result.region, "ookla",
+                                   datasets::Metric::kLoss));
+  }
+}
+
+TEST_F(PipelineTest, RegionAggregatesAttached) {
+  Pipeline pipeline(IqbConfig::paper_defaults());
+  auto output = pipeline.run(store_);
+  for (const auto& result : output.results) {
+    EXPECT_FALSE(result.aggregates.empty());
+    for (const auto& cell : result.aggregates) {
+      EXPECT_EQ(cell.region, result.region);
+    }
+  }
+}
+
+TEST_F(PipelineTest, EmptyStoreProducesNothing) {
+  Pipeline pipeline(IqbConfig::paper_defaults());
+  datasets::RecordStore empty;
+  auto output = pipeline.run(empty);
+  EXPECT_TRUE(output.results.empty());
+  EXPECT_TRUE(output.skipped.empty());
+}
+
+TEST_F(PipelineTest, UnknownRegionScoreIsError) {
+  Pipeline pipeline(IqbConfig::paper_defaults());
+  auto output = pipeline.run(store_);
+  EXPECT_FALSE(pipeline.score_region(output.aggregates, "atlantis").ok());
+}
+
+TEST_F(PipelineTest, StricterPercentileNeverRaisesScore) {
+  // Aggregating at a stricter (worse-tail) percentile can only keep or
+  // lower the score of every region.
+  IqbConfig lax = IqbConfig::paper_defaults();
+  lax.aggregation.percentile = 50.0;
+  IqbConfig strict = IqbConfig::paper_defaults();
+  strict.aggregation.percentile = 99.0;
+  auto lax_output = Pipeline(lax).run(store_);
+  auto strict_output = Pipeline(strict).run(store_);
+  ASSERT_EQ(lax_output.results.size(), strict_output.results.size());
+  for (std::size_t i = 0; i < lax_output.results.size(); ++i) {
+    EXPECT_GE(lax_output.results[i].high.iqb_score,
+              strict_output.results[i].high.iqb_score - 1e-12);
+  }
+}
+
+// ---------------- sensitivity ----------------------------------------
+
+TEST_F(PipelineTest, SensitivityBaselineMatchesPipeline) {
+  const IqbConfig config = IqbConfig::paper_defaults();
+  SensitivityAnalyzer analyzer(config, store_);
+  auto report = analyzer.analyze("good_fiber");
+  ASSERT_TRUE(report.ok());
+  auto output = Pipeline(config).run(store_);
+  for (const auto& result : output.results) {
+    if (result.region == "good_fiber") {
+      EXPECT_NEAR(report->baseline_score, result.high.iqb_score, 1e-12);
+    }
+  }
+}
+
+TEST_F(PipelineTest, SensitivityUnknownRegionFails) {
+  SensitivityAnalyzer analyzer(IqbConfig::paper_defaults(), store_);
+  EXPECT_FALSE(analyzer.analyze("atlantis").ok());
+}
+
+TEST_F(PipelineTest, WeightPerturbationsAreBounded) {
+  SensitivityAnalyzer analyzer(IqbConfig::paper_defaults(), store_);
+  auto report = analyzer.analyze("bad_dsl");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->weight_perturbations.empty());
+  for (const auto& perturbation : report->weight_perturbations) {
+    EXPECT_NEAR(perturbation.score, report->baseline_score,
+                0.25)  // ±1 on one weight cannot move a 24-weight sum far
+        << use_case_name(perturbation.use_case) << "/"
+        << requirement_name(perturbation.requirement);
+    EXPECT_NEAR(perturbation.shift,
+                perturbation.score - report->baseline_score, 1e-12);
+  }
+}
+
+TEST_F(PipelineTest, LeaveOneDatasetOutProducesThreeAblations) {
+  SensitivityAnalyzer analyzer(IqbConfig::paper_defaults(), store_);
+  auto report = analyzer.analyze("good_fiber");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->dataset_ablations.size(), 3u);
+  for (const auto& ablation : report->dataset_ablations) {
+    EXPECT_GE(ablation.score, 0.0);
+    EXPECT_LE(ablation.score, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, PercentileSweepIsMonotoneNonIncreasing) {
+  SensitivityAnalyzer analyzer(IqbConfig::paper_defaults(), store_);
+  auto report = analyzer.analyze("bad_dsl");
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->percentile_sweep.size(), 3u);
+  for (std::size_t i = 1; i < report->percentile_sweep.size(); ++i) {
+    EXPECT_LE(report->percentile_sweep[i].score,
+              report->percentile_sweep[i - 1].score + 1e-12);
+  }
+}
+
+TEST_F(PipelineTest, ThresholdScalingMovesScoresInExpectedDirection) {
+  SensitivityAnalyzer analyzer(IqbConfig::paper_defaults(), store_);
+  auto report = analyzer.analyze("bad_dsl");
+  ASSERT_TRUE(report.ok());
+  // Scaling latency thresholds UP (more lenient) must not lower the
+  // score; scaling throughput thresholds UP (more demanding) must not
+  // raise it.
+  for (const auto& point : report->threshold_scaling) {
+    if (point.factor <= 1.0) continue;
+    if (point.requirement == Requirement::kLatency ||
+        point.requirement == Requirement::kPacketLoss) {
+      EXPECT_GE(point.shift, -1e-12)
+          << requirement_name(point.requirement) << " x" << point.factor;
+    } else {
+      EXPECT_LE(point.shift, 1e-12)
+          << requirement_name(point.requirement) << " x" << point.factor;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iqb::core

@@ -1,0 +1,133 @@
+#include "iqb/core/responsiveness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::core {
+namespace {
+
+datasets::MeasurementRecord latency_record(const std::string& region,
+                                           const std::string& dataset,
+                                           double idle_ms, double loaded_ms) {
+  datasets::MeasurementRecord record;
+  record.region = region;
+  record.dataset = dataset;
+  record.latency = util::Millis(idle_ms);
+  record.loaded_latency = util::Millis(loaded_ms);
+  return record;
+}
+
+TEST(ClassifyRpm, Bands) {
+  EXPECT_EQ(classify_rpm(100.0), RpmRating::kPoor);
+  EXPECT_EQ(classify_rpm(999.0), RpmRating::kPoor);
+  EXPECT_EQ(classify_rpm(1000.0), RpmRating::kFair);
+  EXPECT_EQ(classify_rpm(2500.0), RpmRating::kGood);
+  EXPECT_EQ(classify_rpm(6000.0), RpmRating::kExcellent);
+  EXPECT_EQ(classify_rpm(50000.0), RpmRating::kExcellent);
+}
+
+TEST(RpmRatingNames, Distinct) {
+  EXPECT_EQ(rpm_rating_name(RpmRating::kPoor), "poor");
+  EXPECT_EQ(rpm_rating_name(RpmRating::kExcellent), "excellent");
+}
+
+TEST(Responsiveness, EmptyStoreIsError) {
+  datasets::RecordStore empty;
+  EXPECT_FALSE(analyze_responsiveness(empty).ok());
+}
+
+TEST(Responsiveness, ComputesRpmAndBloat) {
+  datasets::RecordStore store;
+  // Uniform 20 ms idle / 60 ms working (RPM = 1000) on ndt.
+  for (int i = 0; i < 20; ++i) {
+    (void)store.add(latency_record("r", "ndt", 20.0, 60.0));
+  }
+  auto reports = analyze_responsiveness(store);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 1u);
+  const ResponsivenessReport& report = (*reports)[0];
+  ASSERT_EQ(report.cells.size(), 1u);
+  const ResponsivenessCell& cell = report.cells[0];
+  EXPECT_DOUBLE_EQ(cell.working_ms, 60.0);
+  EXPECT_DOUBLE_EQ(cell.idle_ms, 20.0);
+  EXPECT_DOUBLE_EQ(cell.bufferbloat_ms, 40.0);
+  EXPECT_NEAR(cell.rpm, 1000.0, 1e-9);
+  EXPECT_EQ(cell.rating, RpmRating::kFair);
+  EXPECT_EQ(report.overall, RpmRating::kFair);
+}
+
+TEST(Responsiveness, SkipsDatasetsWithoutLoadedLatency) {
+  datasets::RecordStore store;
+  (void)store.add(latency_record("r", "ndt", 10.0, 30.0));
+  datasets::MeasurementRecord idle_only;
+  idle_only.region = "r";
+  idle_only.dataset = "ookla";
+  idle_only.latency = util::Millis(12.0);
+  (void)store.add(idle_only);
+  auto reports = analyze_responsiveness(store);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ((*reports)[0].cells.size(), 1u);
+  EXPECT_EQ((*reports)[0].cells[0].dataset, "ndt");
+}
+
+TEST(Responsiveness, NoCoverageYieldsEmptyReport) {
+  datasets::RecordStore store;
+  datasets::MeasurementRecord throughput_only;
+  throughput_only.region = "r";
+  throughput_only.dataset = "ookla";
+  throughput_only.download = util::Mbps(50);
+  (void)store.add(throughput_only);
+  auto reports = analyze_responsiveness(store);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_TRUE((*reports)[0].cells.empty());
+  EXPECT_DOUBLE_EQ((*reports)[0].mean_rpm, 0.0);
+}
+
+TEST(Responsiveness, BloatedRegionRatedWorse) {
+  datasets::RecordStore store;
+  for (int i = 0; i < 10; ++i) {
+    (void)store.add(latency_record("debloated", "ndt", 10.0, 14.0));
+    (void)store.add(latency_record("bloated", "ndt", 10.0, 400.0));
+  }
+  auto reports = analyze_responsiveness(store);
+  ASSERT_TRUE(reports.ok());
+  double bloated_rpm = 0.0, clean_rpm = 0.0;
+  for (const auto& report : *reports) {
+    if (report.region == "bloated") bloated_rpm = report.mean_rpm;
+    if (report.region == "debloated") clean_rpm = report.mean_rpm;
+  }
+  EXPECT_GT(clean_rpm, 4000.0);
+  EXPECT_LT(bloated_rpm, 200.0);
+}
+
+TEST(Responsiveness, MeanRpmWeightedBySamples) {
+  datasets::RecordStore store;
+  // 30 samples at RPM 1000 (60 ms), 10 at RPM 3000 (20 ms).
+  for (int i = 0; i < 30; ++i) {
+    (void)store.add(latency_record("r", "ndt", 5.0, 60.0));
+  }
+  for (int i = 0; i < 10; ++i) {
+    (void)store.add(latency_record("r", "cloudflare", 5.0, 20.0));
+  }
+  auto reports = analyze_responsiveness(store);
+  ASSERT_TRUE(reports.ok());
+  // Weighted mean = (30*1000 + 10*3000) / 40 = 1500.
+  EXPECT_NEAR((*reports)[0].mean_rpm, 1500.0, 1e-9);
+}
+
+TEST(Responsiveness, P95OrientationPicksWorstTail) {
+  datasets::RecordStore store;
+  // 18 fast tests and 2 terrible ones: the p95 working latency (rank
+  // 19.05 of 20 under linear interpolation) lands inside the bad
+  // tail, so the report must be pessimistic rather than mean-like.
+  for (int i = 0; i < 18; ++i) {
+    (void)store.add(latency_record("r", "ndt", 10.0, 20.0));
+  }
+  (void)store.add(latency_record("r", "ndt", 10.0, 500.0));
+  (void)store.add(latency_record("r", "ndt", 10.0, 520.0));
+  auto reports = analyze_responsiveness(store);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_GT((*reports)[0].cells[0].working_ms, 400.0);
+}
+
+}  // namespace
+}  // namespace iqb::core

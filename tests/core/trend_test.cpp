@@ -1,0 +1,133 @@
+#include "iqb/core/trend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iqb/datasets/synthetic.hpp"
+
+namespace iqb::core {
+namespace {
+
+/// Records for one region whose median download rises (or falls)
+/// linearly across `weeks` weekly batches.
+datasets::RecordStore evolving_store(double start_mbps, double weekly_delta,
+                                     int weeks, std::uint64_t seed) {
+  util::Rng rng(seed);
+  datasets::RecordStore store;
+  const auto base = util::Timestamp::parse("2025-01-06").value();
+  for (int week = 0; week < weeks; ++week) {
+    datasets::RegionProfile profile;
+    profile.region = "evolving";
+    profile.median_download_mbps =
+        std::max(1.0, start_mbps + weekly_delta * week);
+    profile.download_sigma = 0.15;  // tight: p5 tracks the median
+    profile.upload_sigma = 0.15;
+    profile.upload_ratio = 0.5;
+    profile.base_latency_ms = 15.0;
+    profile.lossy_test_fraction = 0.05;
+    datasets::SyntheticConfig config;
+    config.records_per_dataset = 40;
+    config.base_time = base + static_cast<std::int64_t>(week) * 7 * 86400;
+    config.spacing_s = 600;  // all records inside the week
+    store.add_all(datasets::generate_region_records(
+        profile, datasets::default_dataset_panel(), config, rng));
+  }
+  return store;
+}
+
+TEST(OlsSlope, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};
+  EXPECT_NEAR(ols_slope(x, y).value(), 2.0, 1e-12);
+}
+
+TEST(OlsSlope, FlatLine) {
+  const std::vector<double> x{0, 1, 2};
+  const std::vector<double> y{4, 4, 4};
+  EXPECT_NEAR(ols_slope(x, y).value(), 0.0, 1e-12);
+}
+
+TEST(OlsSlope, Errors) {
+  const std::vector<double> one{1};
+  const std::vector<double> two{1, 2};
+  const std::vector<double> same_x{3, 3};
+  EXPECT_FALSE(ols_slope(one, one).ok());
+  EXPECT_FALSE(ols_slope(two, one).ok());
+  EXPECT_FALSE(ols_slope(same_x, two).ok());
+}
+
+TEST(TrendAnalysis, EmptyStoreIsError) {
+  datasets::RecordStore empty;
+  EXPECT_FALSE(analyze_trends(empty, IqbConfig::paper_defaults()).ok());
+}
+
+TEST(TrendAnalysis, BadWindowIsError) {
+  auto store = evolving_store(50, 0, 2, 1);
+  TrendConfig trend_config;
+  trend_config.window_seconds = 0;
+  EXPECT_FALSE(
+      analyze_trends(store, IqbConfig::paper_defaults(), trend_config).ok());
+}
+
+TEST(TrendAnalysis, DetectsImprovingRegion) {
+  // 10 -> 10+20*11 = 230 Mb/s over 12 weeks: scores must rise.
+  auto store = evolving_store(10.0, 20.0, 12, 2);
+  auto trends = analyze_trends(store, IqbConfig::paper_defaults());
+  ASSERT_TRUE(trends.ok());
+  ASSERT_EQ(trends->size(), 1u);
+  const RegionTrend& trend = (*trends)[0];
+  EXPECT_GE(trend.windows.size(), 10u);
+  EXPECT_EQ(trend.direction, TrendDirection::kImproving);
+  EXPECT_GT(trend.slope_per_day, 0.0);
+  EXPECT_GT(trend.last_score, trend.first_score);
+}
+
+TEST(TrendAnalysis, DetectsRegressingRegion) {
+  auto store = evolving_store(230.0, -20.0, 12, 3);
+  auto trends = analyze_trends(store, IqbConfig::paper_defaults());
+  ASSERT_TRUE(trends.ok());
+  EXPECT_EQ((*trends)[0].direction, TrendDirection::kRegressing);
+  EXPECT_LT((*trends)[0].slope_per_day, 0.0);
+}
+
+TEST(TrendAnalysis, StableRegionStaysStable) {
+  auto store = evolving_store(80.0, 0.0, 8, 4);
+  TrendConfig trend_config;
+  trend_config.stable_slope_per_day = 0.01;  // generous noise band
+  auto trends =
+      analyze_trends(store, IqbConfig::paper_defaults(), trend_config);
+  ASSERT_TRUE(trends.ok());
+  EXPECT_EQ((*trends)[0].direction, TrendDirection::kStable);
+}
+
+TEST(TrendAnalysis, SparseWindowsSkipped) {
+  auto store = evolving_store(50.0, 5.0, 6, 5);
+  TrendConfig trend_config;
+  trend_config.min_records_per_window = 1000000;  // nothing qualifies
+  auto trends =
+      analyze_trends(store, IqbConfig::paper_defaults(), trend_config);
+  ASSERT_TRUE(trends.ok());
+  EXPECT_TRUE((*trends)[0].windows.empty());
+  EXPECT_EQ((*trends)[0].direction, TrendDirection::kStable);
+}
+
+TEST(TrendAnalysis, WindowBoundariesNonOverlapping) {
+  auto store = evolving_store(40.0, 4.0, 6, 6);
+  auto trends = analyze_trends(store, IqbConfig::paper_defaults());
+  ASSERT_TRUE(trends.ok());
+  const auto& windows = (*trends)[0].windows;
+  ASSERT_GE(windows.size(), 2u);
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_GE(windows[i].window_start.unix_seconds(),
+              windows[i - 1].window_end.unix_seconds() - 1);
+    EXPECT_EQ(windows[i].window_end - windows[i].window_start, 7 * 86400);
+  }
+}
+
+TEST(TrendDirectionNames, Distinct) {
+  EXPECT_EQ(trend_direction_name(TrendDirection::kImproving), "improving");
+  EXPECT_EQ(trend_direction_name(TrendDirection::kStable), "stable");
+  EXPECT_EQ(trend_direction_name(TrendDirection::kRegressing), "regressing");
+}
+
+}  // namespace
+}  // namespace iqb::core

@@ -1,0 +1,130 @@
+#include "iqb/core/weights.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::core {
+namespace {
+
+// ---- Table 1 exact values -------------------------------------------
+
+struct Table1Row {
+  UseCase use_case;
+  int down, up, latency, loss;
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Test, PublishedWeights) {
+  const Table1Row row = GetParam();
+  const WeightTable table = WeightTable::paper_defaults();
+  EXPECT_EQ(table.requirement_weight(row.use_case,
+                                     Requirement::kDownloadThroughput),
+            row.down);
+  EXPECT_EQ(
+      table.requirement_weight(row.use_case, Requirement::kUploadThroughput),
+      row.up);
+  EXPECT_EQ(table.requirement_weight(row.use_case, Requirement::kLatency),
+            row.latency);
+  EXPECT_EQ(table.requirement_weight(row.use_case, Requirement::kPacketLoss),
+            row.loss);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable1, Table1Test,
+    ::testing::Values(Table1Row{UseCase::kWebBrowsing, 3, 2, 4, 4},
+                      Table1Row{UseCase::kVideoStreaming, 4, 2, 4, 4},
+                      Table1Row{UseCase::kAudioStreaming, 4, 1, 3, 4},
+                      Table1Row{UseCase::kVideoConferencing, 4, 4, 4, 4},
+                      Table1Row{UseCase::kOnlineBackup, 4, 4, 2, 4},
+                      Table1Row{UseCase::kGaming, 4, 4, 5, 4}),
+    [](const ::testing::TestParamInfo<Table1Row>& info) {
+      return std::string(use_case_name(info.param.use_case));
+    });
+
+TEST(WeightTable, GamingLatencyIsTheOnlyFive) {
+  // Table 1's sole 5 is gaming/latency — the paper's headline example
+  // of requirement importance differing per use case.
+  const WeightTable table = WeightTable::paper_defaults();
+  int fives = 0;
+  for (UseCase use_case : kAllUseCases) {
+    for (Requirement requirement : kAllRequirements) {
+      if (table.requirement_weight(use_case, requirement) == 5) ++fives;
+    }
+  }
+  EXPECT_EQ(fives, 1);
+  EXPECT_EQ(table.requirement_weight(UseCase::kGaming, Requirement::kLatency), 5);
+}
+
+TEST(WeightTable, DefaultsUseCaseWeightsEqual) {
+  const WeightTable table = WeightTable::paper_defaults();
+  for (UseCase use_case : kAllUseCases) {
+    EXPECT_EQ(table.use_case_weight(use_case), 1);
+  }
+}
+
+TEST(WeightTable, DefaultDatasetWeightsEqual) {
+  const WeightTable table = WeightTable::paper_defaults();
+  for (const char* dataset : {"ndt", "cloudflare", "ookla"}) {
+    EXPECT_EQ(table.dataset_weight(UseCase::kGaming, Requirement::kLatency,
+                                   dataset),
+              1);
+  }
+  EXPECT_EQ(table.known_datasets(),
+            (std::vector<std::string>{"cloudflare", "ndt", "ookla"}));
+}
+
+TEST(WeightTable, UnsetLookupsFallBackToOne) {
+  const WeightTable table;
+  EXPECT_EQ(table.use_case_weight(UseCase::kGaming), 1);
+  EXPECT_EQ(table.requirement_weight(UseCase::kGaming, Requirement::kLatency), 1);
+  EXPECT_EQ(table.dataset_weight(UseCase::kGaming, Requirement::kLatency, "x"), 1);
+}
+
+TEST(WeightTable, RangeValidation) {
+  WeightTable table;
+  EXPECT_FALSE(table.set_use_case_weight(UseCase::kGaming, -1).ok());
+  EXPECT_FALSE(table.set_use_case_weight(UseCase::kGaming, 6).ok());
+  EXPECT_TRUE(table.set_use_case_weight(UseCase::kGaming, 0).ok());
+  EXPECT_TRUE(table.set_use_case_weight(UseCase::kGaming, 5).ok());
+  EXPECT_FALSE(
+      table.set_requirement_weight(UseCase::kGaming, Requirement::kLatency, 7)
+          .ok());
+  EXPECT_FALSE(table
+                   .set_dataset_weight(UseCase::kGaming, Requirement::kLatency,
+                                       "ndt", -2)
+                   .ok());
+}
+
+TEST(WeightTable, JsonRoundTrip) {
+  WeightTable original = WeightTable::paper_defaults();
+  (void)original.set_use_case_weight(UseCase::kGaming, 5);
+  (void)original.set_dataset_weight(UseCase::kWebBrowsing,
+                                    Requirement::kPacketLoss, "cloudflare", 3);
+  auto restored = WeightTable::from_json(original.to_json());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), original);
+}
+
+TEST(WeightTable, JsonRejectsMalformedKeys) {
+  auto bad_requirement_key = util::parse_json(
+      R"({"requirement_weights": {"gaming": 3}})").value();
+  EXPECT_FALSE(WeightTable::from_json(bad_requirement_key).ok());
+  auto bad_dataset_key = util::parse_json(
+      R"({"dataset_weights": {"gaming.latency": 3}})").value();
+  EXPECT_FALSE(WeightTable::from_json(bad_dataset_key).ok());
+  auto bad_use_case = util::parse_json(
+      R"({"use_case_weights": {"flying": 3}})").value();
+  EXPECT_FALSE(WeightTable::from_json(bad_use_case).ok());
+  auto out_of_range = util::parse_json(
+      R"({"use_case_weights": {"gaming": 9}})").value();
+  EXPECT_FALSE(WeightTable::from_json(out_of_range).ok());
+}
+
+TEST(WeightTable, EmptyJsonGivesFallbackTable) {
+  auto table = WeightTable::from_json(util::parse_json("{}").value());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->requirement_weight(UseCase::kGaming, Requirement::kLatency), 1);
+}
+
+}  // namespace
+}  // namespace iqb::core

@@ -1,0 +1,123 @@
+#include "iqb/datasets/importers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::datasets {
+namespace {
+
+constexpr const char* kOoklaCsv =
+    "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests,devices\n"
+    "0231,100000,20000,15,80,12\n"
+    "0232,50000,10000,25,20,5\n"
+    "0233,0,0,0,0,0\n";  // empty tile, skipped
+
+TEST(OoklaImport, PerTileRegions) {
+  auto table = import_ookla_tiles_csv(kOoklaCsv);
+  ASSERT_TRUE(table.ok());
+  // Two non-empty tiles x three metrics.
+  EXPECT_EQ(table->size(), 6u);
+  auto down = table->get("0231", "ookla", Metric::kDownload);
+  ASSERT_TRUE(down.ok());
+  EXPECT_DOUBLE_EQ(down->value, 100.0);  // kbps -> Mb/s
+  EXPECT_EQ(down->sample_count, 80u);
+  EXPECT_DOUBLE_EQ(table->get("0232", "ookla", Metric::kLatency)->value, 25.0);
+}
+
+TEST(OoklaImport, RegionOverrideMergesWeighted) {
+  auto table = import_ookla_tiles_csv(kOoklaCsv, "my_city");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), 3u);
+  auto down = table->get("my_city", "ookla", Metric::kDownload);
+  ASSERT_TRUE(down.ok());
+  // Test-weighted mean: (100000*80 + 50000*20) / 100 / 1000 = 90 Mb/s.
+  EXPECT_DOUBLE_EQ(down->value, 90.0);
+  EXPECT_EQ(down->sample_count, 100u);
+  // Latency: (15*80 + 25*20)/100 = 17 ms.
+  EXPECT_DOUBLE_EQ(table->get("my_city", "ookla", Metric::kLatency)->value,
+                   17.0);
+}
+
+TEST(OoklaImport, NoLossCellsEver) {
+  auto table = import_ookla_tiles_csv(kOoklaCsv, "r");
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->contains("r", "ookla", Metric::kLoss));
+}
+
+TEST(OoklaImport, Errors) {
+  EXPECT_FALSE(import_ookla_tiles_csv("").ok());
+  EXPECT_FALSE(import_ookla_tiles_csv("a,b\n1,2\n").ok());  // wrong columns
+  EXPECT_FALSE(import_ookla_tiles_csv(
+                   "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+                   "0,abc,1,1,1\n")
+                   .ok());  // malformed number
+  EXPECT_FALSE(import_ookla_tiles_csv(
+                   "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+                   "0,-5,1,1,1\n")
+                   .ok());  // negative value
+  // All-empty tiles.
+  EXPECT_FALSE(import_ookla_tiles_csv(
+                   "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+                   "0,1,1,1,0\n")
+                   .ok());
+}
+
+constexpr const char* kNdtCsv =
+    "date,client_region,client_asn_name,direction,throughput_mbps,"
+    "min_rtt_ms,loss_rate,extra\n"
+    "2025-03-01,metro,AS1 FiberCo,download,250.5,12.5,0.001,x\n"
+    "2025-03-01,metro,AS1 FiberCo,upload,180.0,,,x\n"
+    "2025-03-02,rural,AS2 WispNet,download,8.2,45.0,0.02,x\n";
+
+TEST(NdtImport, PerTestRecords) {
+  auto records = import_ndt_unified_csv(kNdtCsv);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  const MeasurementRecord& download = (*records)[0];
+  EXPECT_EQ(download.dataset, "ndt");
+  EXPECT_EQ(download.region, "metro");
+  EXPECT_EQ(download.isp, "AS1 FiberCo");
+  EXPECT_DOUBLE_EQ(download.download->value(), 250.5);
+  EXPECT_DOUBLE_EQ(download.latency->value(), 12.5);
+  EXPECT_DOUBLE_EQ(download.loss->fraction(), 0.001);
+  EXPECT_FALSE(download.upload.has_value());
+
+  const MeasurementRecord& upload = (*records)[1];
+  EXPECT_DOUBLE_EQ(upload.upload->value(), 180.0);
+  EXPECT_FALSE(upload.download.has_value());
+  EXPECT_FALSE(upload.latency.has_value());
+  EXPECT_FALSE(upload.loss.has_value());
+}
+
+TEST(NdtImport, FeedsThePipeline) {
+  auto records = import_ndt_unified_csv(kNdtCsv);
+  ASSERT_TRUE(records.ok());
+  RecordStore store;
+  EXPECT_EQ(store.add_all(std::move(records).value()), 0u);
+  auto table = aggregate(store);
+  EXPECT_TRUE(table.contains("metro", "ndt", Metric::kDownload));
+  EXPECT_TRUE(table.contains("metro", "ndt", Metric::kUpload));
+  EXPECT_TRUE(table.contains("rural", "ndt", Metric::kLoss));
+}
+
+TEST(NdtImport, Errors) {
+  EXPECT_FALSE(import_ndt_unified_csv("").ok());
+  EXPECT_FALSE(import_ndt_unified_csv("a,b\n1,2\n").ok());
+  EXPECT_FALSE(import_ndt_unified_csv(
+                   "date,client_region,client_asn_name,direction,"
+                   "throughput_mbps,min_rtt_ms,loss_rate\n"
+                   "2025-03-01,r,a,sideways,1,,\n")
+                   .ok());  // bad direction
+  EXPECT_FALSE(import_ndt_unified_csv(
+                   "date,client_region,client_asn_name,direction,"
+                   "throughput_mbps,min_rtt_ms,loss_rate\n"
+                   "not-a-date,r,a,download,1,,\n")
+                   .ok());
+  EXPECT_FALSE(import_ndt_unified_csv(
+                   "date,client_region,client_asn_name,direction,"
+                   "throughput_mbps,min_rtt_ms,loss_rate\n"
+                   "2025-03-01,r,a,download,1,,1.7\n")
+                   .ok());  // loss out of range
+}
+
+}  // namespace
+}  // namespace iqb::datasets

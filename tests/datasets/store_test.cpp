@@ -1,0 +1,192 @@
+#include "iqb/datasets/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::datasets {
+namespace {
+
+MeasurementRecord record(const std::string& dataset, const std::string& region,
+                         double download_mbps, const std::string& iso_time =
+                             "2025-03-01T00:00:00Z") {
+  MeasurementRecord r;
+  r.dataset = dataset;
+  r.region = region;
+  r.isp = "isp";
+  r.subscriber_id = "sub";
+  r.timestamp = util::Timestamp::parse(iso_time).value();
+  r.download = util::Mbps(download_mbps);
+  return r;
+}
+
+TEST(MetricEnum, NameRoundTrip) {
+  for (Metric metric : kAllMetrics) {
+    auto parsed = metric_from_name(metric_name(metric));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), metric);
+  }
+  EXPECT_FALSE(metric_from_name("nope").ok());
+}
+
+TEST(MetricEnum, Directions) {
+  EXPECT_TRUE(metric_higher_is_better(Metric::kDownload));
+  EXPECT_TRUE(metric_higher_is_better(Metric::kUpload));
+  EXPECT_FALSE(metric_higher_is_better(Metric::kLatency));
+  EXPECT_FALSE(metric_higher_is_better(Metric::kLoadedLatency));
+  EXPECT_FALSE(metric_higher_is_better(Metric::kLoss));
+}
+
+TEST(MeasurementRecord, ValueAndSetValueRoundTrip) {
+  MeasurementRecord r;
+  for (Metric metric : kAllMetrics) {
+    EXPECT_FALSE(r.value(metric).has_value());
+    r.set_value(metric, metric == Metric::kLoss ? 0.02 : 12.5);
+  }
+  EXPECT_DOUBLE_EQ(*r.value(Metric::kDownload), 12.5);
+  EXPECT_DOUBLE_EQ(*r.value(Metric::kLoss), 0.02);
+  EXPECT_TRUE(r.is_valid());
+}
+
+TEST(MeasurementRecord, InvalidValuesDetected) {
+  MeasurementRecord r = record("d", "r", 10.0);
+  r.loss = util::LossRate(1.5);
+  EXPECT_FALSE(r.is_valid());
+  r.loss.reset();
+  r.download = util::Mbps(-3.0);
+  EXPECT_FALSE(r.is_valid());
+}
+
+TEST(RecordStore, AddRejectsInvalid) {
+  RecordStore store;
+  MeasurementRecord bad = record("d", "r", -1.0);
+  EXPECT_FALSE(store.add(bad).ok());
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.add(record("d", "r", 1.0)).ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RecordStore, AddAllSkipsInvalidAndCounts) {
+  RecordStore store;
+  std::vector<MeasurementRecord> batch{record("d", "r", 1.0),
+                                       record("d", "r", -5.0),
+                                       record("d", "r", 2.0)};
+  EXPECT_EQ(store.add_all(std::move(batch)), 1u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(RecordFilter, MatchesAllDimensions) {
+  MeasurementRecord r = record("ndt", "metro", 10.0, "2025-03-15T12:00:00Z");
+  RecordFilter filter;
+  EXPECT_TRUE(filter.matches(r));  // empty filter matches everything
+  filter.dataset = "ndt";
+  filter.region = "metro";
+  filter.isp = "isp";
+  EXPECT_TRUE(filter.matches(r));
+  filter.isp = "other";
+  EXPECT_FALSE(filter.matches(r));
+}
+
+TEST(RecordFilter, TimeWindowInclusiveExclusive) {
+  MeasurementRecord r = record("d", "r", 1.0, "2025-03-15T00:00:00Z");
+  RecordFilter filter;
+  filter.from = util::Timestamp::parse("2025-03-15").value();
+  filter.to = util::Timestamp::parse("2025-03-16").value();
+  EXPECT_TRUE(filter.matches(r));  // from is inclusive
+  filter.to = util::Timestamp::parse("2025-03-15").value();
+  EXPECT_FALSE(filter.matches(r));  // to is exclusive
+}
+
+TEST(RecordStore, QueryFilters) {
+  RecordStore store;
+  (void)store.add(record("ndt", "metro", 10.0));
+  (void)store.add(record("ndt", "rural", 2.0));
+  (void)store.add(record("ookla", "metro", 12.0));
+  RecordFilter filter;
+  filter.region = "metro";
+  EXPECT_EQ(store.query(filter).size(), 2u);
+  filter.dataset = "ndt";
+  EXPECT_EQ(store.query(filter).size(), 1u);
+}
+
+TEST(RecordStore, MetricValuesSkipsMissing) {
+  RecordStore store;
+  (void)store.add(record("d", "r", 10.0));
+  MeasurementRecord no_download;
+  no_download.dataset = "d";
+  no_download.region = "r";
+  no_download.latency = util::Millis(20);
+  (void)store.add(no_download);
+  EXPECT_EQ(store.metric_values(Metric::kDownload).size(), 1u);
+  EXPECT_EQ(store.metric_values(Metric::kLatency).size(), 1u);
+  EXPECT_TRUE(store.metric_values(Metric::kLoss).empty());
+}
+
+TEST(RecordStore, DistinctsSortedAndDeduplicated) {
+  RecordStore store;
+  (void)store.add(record("zeta", "b_region", 1.0));
+  (void)store.add(record("alpha", "a_region", 1.0));
+  (void)store.add(record("alpha", "b_region", 1.0));
+  EXPECT_EQ(store.dataset_names(), (std::vector<std::string>{"alpha", "zeta"}));
+  EXPECT_EQ(store.regions(),
+            (std::vector<std::string>{"a_region", "b_region"}));
+  EXPECT_EQ(store.isps(), (std::vector<std::string>{"isp"}));
+}
+
+TEST(RecordStore, ByRegionGroups) {
+  RecordStore store;
+  (void)store.add(record("d", "x", 1.0));
+  (void)store.add(record("d", "x", 2.0));
+  (void)store.add(record("d", "y", 3.0));
+  auto groups = store.by_region();
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups["x"].size(), 2u);
+  EXPECT_EQ(groups["y"].size(), 1u);
+}
+
+TEST(RecordStore, MergeCombines) {
+  RecordStore a, b;
+  (void)a.add(record("d", "x", 1.0));
+  (void)b.add(record("d", "y", 2.0));
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 1u);  // source untouched
+}
+
+TEST(RecordStore, ClearEmpties) {
+  RecordStore store;
+  (void)store.add(record("d", "x", 1.0));
+  store.clear();
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(RekeyByRegionIsp, SplitsRegionsPerProvider) {
+  RecordStore store;
+  MeasurementRecord a = record("ndt", "metro", 100.0);
+  a.isp = "alpha_net";
+  MeasurementRecord b = record("ndt", "metro", 5.0);
+  b.isp = "beta_net";
+  (void)store.add(a);
+  (void)store.add(b);
+  RecordStore rekeyed = rekey_by_region_isp(store);
+  EXPECT_EQ(rekeyed.size(), 2u);
+  EXPECT_EQ(rekeyed.regions(),
+            (std::vector<std::string>{"metro/alpha_net", "metro/beta_net"}));
+  // Original store untouched.
+  EXPECT_EQ(store.regions(), (std::vector<std::string>{"metro"}));
+  // Other fields preserved.
+  RecordFilter filter;
+  filter.region = "metro/alpha_net";
+  auto alpha = rekeyed.query(filter);
+  ASSERT_EQ(alpha.size(), 1u);
+  EXPECT_DOUBLE_EQ(alpha[0].download->value(), 100.0);
+  EXPECT_EQ(alpha[0].isp, "alpha_net");
+}
+
+TEST(RekeyByRegionIsp, CustomSeparator) {
+  RecordStore store;
+  (void)store.add(record("ndt", "metro", 10.0));
+  RecordStore rekeyed = rekey_by_region_isp(store, '|');
+  EXPECT_EQ(rekeyed.regions(), (std::vector<std::string>{"metro|isp"}));
+}
+
+}  // namespace
+}  // namespace iqb::datasets

@@ -1,0 +1,182 @@
+// Full-stack integration: packet-level campaign -> dataset adapters ->
+// aggregation -> IQB scores -> reports. This is Fig. 1 of the paper
+// executed end to end on simulated infrastructure.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/core/sensitivity.hpp"
+#include "iqb/datasets/io.hpp"
+#include "iqb/measurement/adapters.hpp"
+#include "iqb/measurement/campaign.hpp"
+#include "iqb/measurement/cloudflare_style.hpp"
+#include "iqb/measurement/ndt.hpp"
+#include "iqb/measurement/ookla_style.hpp"
+#include "iqb/report/render.hpp"
+
+namespace iqb {
+namespace {
+
+measurement::SubscriberSpec subscriber(const std::string& id,
+                                       const std::string& region, double down,
+                                       double up, double delay_s,
+                                       double loss = 0.0) {
+  measurement::SubscriberSpec spec;
+  spec.subscriber_id = id;
+  spec.region = region;
+  spec.isp = region + "_isp";
+  spec.access_down.rate = util::Mbps(down);
+  spec.access_down.propagation_delay = util::Seconds(delay_s);
+  spec.access_up.rate = util::Mbps(up);
+  spec.access_up.propagation_delay = util::Seconds(delay_s);
+  if (loss > 0.0) {
+    spec.access_down.loss = netsim::LossSpec::bernoulli(loss);
+    spec.access_up.loss = netsim::LossSpec::bernoulli(loss);
+  }
+  return spec;
+}
+
+/// One shared campaign for the whole suite (packet simulation is the
+/// expensive part; run it once).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    measurement::CampaignConfig config;
+    config.seed = 99;
+    config.tests_per_tool = 2;
+    config.base_time = util::Timestamp::parse("2025-03-01").value();
+    auto campaign = std::make_unique<measurement::Campaign>(config);
+    campaign->add_client(std::make_shared<measurement::NdtClient>());
+    campaign->add_client(std::make_shared<measurement::OoklaStyleClient>());
+    campaign->add_client(std::make_shared<measurement::CloudflareStyleClient>());
+
+    // Two subscribers per region keeps the suite fast but exercises
+    // multi-subscriber aggregation.
+    campaign->add_subscriber(subscriber("f1", "fiber_town", 500, 400, 0.004));
+    campaign->add_subscriber(subscriber("f2", "fiber_town", 300, 250, 0.005));
+    campaign->add_subscriber(
+        subscriber("d1", "dsl_village", 12, 1.5, 0.02, 0.004));
+    campaign->add_subscriber(
+        subscriber("d2", "dsl_village", 20, 2.5, 0.025, 0.002));
+
+    sessions_ = campaign->run();
+    failed_ = campaign->failed_sessions();
+    records_ = measurement::convert_sessions_default(sessions_);
+    store_ = std::make_unique<datasets::RecordStore>();
+    store_->add_all(records_);
+  }
+
+  static void TearDownTestSuite() { store_.reset(); }
+
+  static std::vector<measurement::SessionRecord> sessions_;
+  static std::vector<datasets::MeasurementRecord> records_;
+  static std::unique_ptr<datasets::RecordStore> store_;
+  static std::size_t failed_;
+};
+
+std::vector<measurement::SessionRecord> EndToEndTest::sessions_;
+std::vector<datasets::MeasurementRecord> EndToEndTest::records_;
+std::unique_ptr<datasets::RecordStore> EndToEndTest::store_;
+std::size_t EndToEndTest::failed_ = 0;
+
+TEST_F(EndToEndTest, AllSessionsSucceeded) {
+  // 4 subscribers x 3 tools x 2 reps.
+  EXPECT_EQ(sessions_.size(), 24u);
+  EXPECT_EQ(failed_, 0u);
+}
+
+TEST_F(EndToEndTest, AdaptersProduceAllThreeDatasets) {
+  EXPECT_EQ(records_.size(), sessions_.size());
+  EXPECT_EQ(store_->dataset_names(),
+            (std::vector<std::string>{"cloudflare", "ndt", "ookla"}));
+  EXPECT_EQ(store_->regions(),
+            (std::vector<std::string>{"dsl_village", "fiber_town"}));
+}
+
+TEST_F(EndToEndTest, MeasurementsReflectProvisioning) {
+  datasets::RecordFilter fiber;
+  fiber.region = "fiber_town";
+  datasets::RecordFilter dsl;
+  dsl.region = "dsl_village";
+  const auto fiber_downloads =
+      store_->metric_values(datasets::Metric::kDownload, fiber);
+  const auto dsl_downloads =
+      store_->metric_values(datasets::Metric::kDownload, dsl);
+  ASSERT_FALSE(fiber_downloads.empty());
+  ASSERT_FALSE(dsl_downloads.empty());
+  for (double v : dsl_downloads) EXPECT_LT(v, 25.0);
+  double fiber_max = 0.0;
+  for (double v : fiber_downloads) fiber_max = std::max(fiber_max, v);
+  EXPECT_GT(fiber_max, 100.0);
+}
+
+TEST_F(EndToEndTest, PipelineSeparatesRegions) {
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+  auto output = pipeline.run(*store_);
+  ASSERT_EQ(output.results.size(), 2u);
+  double fiber_score = 0.0, dsl_score = 0.0;
+  for (const auto& result : output.results) {
+    if (result.region == "fiber_town") fiber_score = result.high.iqb_score;
+    if (result.region == "dsl_village") dsl_score = result.high.iqb_score;
+  }
+  EXPECT_GT(fiber_score, dsl_score + 0.25);
+}
+
+TEST_F(EndToEndTest, CsvRoundTripPreservesScores) {
+  // Export the records, reload them, rescore: identical results.
+  const std::string csv = datasets::records_to_csv(records_);
+  auto reloaded = datasets::records_from_csv(csv);
+  ASSERT_TRUE(reloaded.ok());
+  datasets::RecordStore store2;
+  store2.add_all(std::move(reloaded).value());
+
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+  auto original = pipeline.run(*store_);
+  auto roundtripped = pipeline.run(store2);
+  ASSERT_EQ(original.results.size(), roundtripped.results.size());
+  for (std::size_t i = 0; i < original.results.size(); ++i) {
+    EXPECT_NEAR(original.results[i].high.iqb_score,
+                roundtripped.results[i].high.iqb_score, 1e-6);
+  }
+}
+
+TEST_F(EndToEndTest, ReportsRenderForRealResults) {
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+  auto output = pipeline.run(*store_);
+  const std::string table = report::comparison_table(output.results);
+  EXPECT_NE(table.find("fiber_town"), std::string::npos);
+  EXPECT_NE(table.find("dsl_village"), std::string::npos);
+  for (const auto& result : output.results) {
+    EXPECT_FALSE(report::scorecard(result).empty());
+  }
+  EXPECT_TRUE(util::parse_json(report::to_json(output.results).dump()).ok());
+}
+
+TEST_F(EndToEndTest, SensitivityRunsOnCampaignData) {
+  core::SensitivityAnalyzer analyzer(core::IqbConfig::paper_defaults(),
+                                     *store_);
+  auto report = analyzer.analyze("fiber_town", core::QualityLevel::kHigh,
+                                 {50, 95}, {0.5, 2.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->dataset_ablations.size(), 3u);
+  EXPECT_EQ(report->percentile_sweep.size(), 2u);
+}
+
+TEST_F(EndToEndTest, ToolsDisagreeButCorroborate) {
+  // The three datasets disagree on magnitude (different methods) but
+  // agree on ordering: fiber > dsl for every dataset.
+  auto aggregates = datasets::aggregate(*store_);
+  for (const std::string dataset : {"ndt", "cloudflare", "ookla"}) {
+    auto fiber = aggregates.get("fiber_town", dataset,
+                                datasets::Metric::kDownload);
+    auto dsl =
+        aggregates.get("dsl_village", dataset, datasets::Metric::kDownload);
+    ASSERT_TRUE(fiber.ok()) << dataset;
+    ASSERT_TRUE(dsl.ok()) << dataset;
+    EXPECT_GT(fiber->value, dsl->value) << dataset;
+  }
+}
+
+}  // namespace
+}  // namespace iqb

@@ -1,0 +1,260 @@
+// Measurement client behaviour on controlled topologies: each tool
+// must report sane metrics, and the tools must disagree in the
+// documented directions (the paper's motivation for a multi-dataset
+// panel).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iqb/measurement/cloudflare_style.hpp"
+#include "iqb/measurement/ndt.hpp"
+#include "iqb/measurement/ookla_style.hpp"
+#include "iqb/measurement/rpm_style.hpp"
+
+namespace iqb::measurement {
+namespace {
+
+using netsim::LinkSpec;
+using netsim::LossSpec;
+using netsim::Network;
+using netsim::NodeId;
+using netsim::QueueSpec;
+using netsim::Simulator;
+
+LinkSpec spec(double mbps, double delay_s,
+              std::uint64_t queue = 512 * 1024) {
+  LinkSpec s;
+  s.rate = util::Mbps(mbps);
+  s.propagation_delay = util::Seconds(delay_s);
+  s.queue = QueueSpec::drop_tail(queue);
+  return s;
+}
+
+/// Runs one client against a single-link topology and returns its
+/// observation.
+util::Result<TestObservation> run_client(MeasurementClient& client,
+                                         LinkSpec down, LinkSpec up,
+                                         std::uint64_t seed = 1) {
+  Simulator sim;
+  Network net(sim, seed);
+  const NodeId server = net.add_node("server");
+  const NodeId client_node = net.add_node("client");
+  net.add_duplex_link(server, client_node, down, up);
+
+  std::uint64_t next_flow_id = 1;
+  std::vector<std::shared_ptr<void>> graveyard;
+  TestEnvironment env;
+  env.sim = &sim;
+  env.network = &net;
+  env.client_node = client_node;
+  env.server_node = server;
+  env.next_flow_id = &next_flow_id;
+  env.retain = [&graveyard](std::shared_ptr<void> state) {
+    graveyard.push_back(std::move(state));
+  };
+
+  util::Result<TestObservation> outcome =
+      util::make_error(util::ErrorCode::kInternal, "never completed");
+  client.run(env, [&outcome](util::Result<TestObservation> result) {
+    outcome = std::move(result);
+  });
+  sim.run(300.0);
+  return outcome;
+}
+
+TEST(NdtClient, ReportsAllMetricsOnCleanLink) {
+  NdtClient client;
+  auto obs = run_client(client, spec(100, 0.01), spec(20, 0.01));
+  ASSERT_TRUE(obs.ok());
+  EXPECT_EQ(obs->tool, "ndt");
+  ASSERT_TRUE(obs->download.has_value());
+  ASSERT_TRUE(obs->upload.has_value());
+  ASSERT_TRUE(obs->idle_latency.has_value());
+  ASSERT_TRUE(obs->loss.has_value());
+  EXPECT_GT(obs->download->value(), 60.0);
+  EXPECT_LE(obs->download->value(), 100.0);
+  EXPECT_GT(obs->upload->value(), 12.0);
+  EXPECT_LE(obs->upload->value(), 20.0);
+  EXPECT_GE(obs->idle_latency->value(), 20.0);
+  EXPECT_LT(obs->idle_latency->value(), 30.0);
+  // A handful of congestion retransmits can occur even with no
+  // stochastic loss (CA probing eventually fills the buffer); the
+  // TCP-level loss signal must stay tiny, not exactly zero.
+  EXPECT_LT(obs->loss->fraction(), 0.001);
+}
+
+TEST(NdtClient, SeesLossAsRetransmits) {
+  LinkSpec lossy = spec(100, 0.02);
+  lossy.loss = LossSpec::bernoulli(0.01);
+  NdtClient client;
+  auto obs = run_client(client, lossy, spec(100, 0.02));
+  ASSERT_TRUE(obs.ok());
+  EXPECT_GT(obs->loss->fraction(), 0.002);
+  // Loss also caps single-stream throughput well below the line rate.
+  EXPECT_LT(obs->download->value(), 60.0);
+}
+
+TEST(NdtClient, FailsGracefullyWithoutRoute) {
+  Simulator sim;
+  Network net(sim, 1);
+  net.add_node("server");
+  net.add_node("client");  // no link
+  std::uint64_t next_flow_id = 1;
+  std::vector<std::shared_ptr<void>> graveyard;
+  TestEnvironment env;
+  env.sim = &sim;
+  env.network = &net;
+  env.client_node = 1;
+  env.server_node = 0;
+  env.next_flow_id = &next_flow_id;
+  env.retain = [&graveyard](std::shared_ptr<void> s) {
+    graveyard.push_back(std::move(s));
+  };
+  NdtClient client;
+  bool called = false;
+  client.run(env, [&](util::Result<TestObservation> result) {
+    called = true;
+    EXPECT_FALSE(result.ok());
+  });
+  sim.run(10.0);
+  EXPECT_TRUE(called);
+}
+
+TEST(OoklaStyleClient, ReportsThroughputLatencyButNoLoss) {
+  OoklaStyleClient client;
+  auto obs = run_client(client, spec(100, 0.01), spec(20, 0.01));
+  ASSERT_TRUE(obs.ok());
+  EXPECT_EQ(obs->tool, "ookla_style");
+  EXPECT_TRUE(obs->download.has_value());
+  EXPECT_TRUE(obs->upload.has_value());
+  EXPECT_TRUE(obs->idle_latency.has_value());
+  EXPECT_TRUE(obs->loaded_latency.has_value());
+  EXPECT_FALSE(obs->loss.has_value()) << "Ookla open data carries no loss";
+}
+
+TEST(OoklaStyleClient, MultiStreamBeatsSingleStreamUnderLoss) {
+  LinkSpec lossy = spec(100, 0.02);
+  lossy.loss = LossSpec::bernoulli(0.005);
+  NdtClient ndt;
+  OoklaStyleClient ookla;
+  auto ndt_obs = run_client(ndt, lossy, spec(100, 0.02), 5);
+  auto ookla_obs = run_client(ookla, lossy, spec(100, 0.02), 5);
+  ASSERT_TRUE(ndt_obs.ok());
+  ASSERT_TRUE(ookla_obs.ok());
+  // 4 parallel streams recover independently: materially higher read.
+  EXPECT_GT(ookla_obs->download->value(), ndt_obs->download->value() * 1.3);
+}
+
+TEST(OoklaStyleClient, LoadedLatencyExceedsIdleOnBloatedLink) {
+  LinkSpec bloated = spec(20, 0.01, 1024 * 1024);
+  OoklaStyleClient client;
+  auto obs = run_client(client, bloated, spec(20, 0.01, 1024 * 1024));
+  ASSERT_TRUE(obs.ok());
+  ASSERT_TRUE(obs->loaded_latency.has_value());
+  EXPECT_GT(obs->loaded_latency->value(), obs->idle_latency->value() * 1.5);
+}
+
+TEST(CloudflareStyleClient, ReportsFullPanel) {
+  CloudflareStyleClient client;
+  auto obs = run_client(client, spec(100, 0.01), spec(20, 0.01));
+  ASSERT_TRUE(obs.ok());
+  EXPECT_EQ(obs->tool, "cloudflare_style");
+  EXPECT_TRUE(obs->download.has_value());
+  EXPECT_TRUE(obs->upload.has_value());
+  EXPECT_TRUE(obs->idle_latency.has_value());
+  EXPECT_TRUE(obs->loss.has_value());
+  EXPECT_GT(obs->download->value(), 30.0);
+  EXPECT_LE(obs->download->value(), 100.0);
+}
+
+TEST(CloudflareStyleClient, SmallTransfersUnderreadOnHighBdpPath) {
+  // 500 Mb/s with 60 ms RTT: the ladder's small transfers end inside
+  // slow start, so the p90-of-transfers estimate sits well below the
+  // provisioned rate, and below a steady-state parallel test.
+  LinkSpec fat = spec(500, 0.03, 4 * 1024 * 1024);
+  CloudflareStyleClient cloudflare;
+  OoklaStyleClient ookla;
+  auto cf_obs = run_client(cloudflare, fat, spec(100, 0.03), 6);
+  auto ookla_obs = run_client(ookla, fat, spec(100, 0.03), 6);
+  ASSERT_TRUE(cf_obs.ok());
+  ASSERT_TRUE(ookla_obs.ok());
+  EXPECT_LT(cf_obs->download->value(), ookla_obs->download->value());
+  EXPECT_LT(cf_obs->download->value(), 450.0);
+}
+
+TEST(CloudflareStyleClient, CustomLadder) {
+  CloudflareStyleConfig config;
+  config.download_ladder_bytes = {50'000, 200'000};
+  config.upload_ladder_bytes = {50'000};
+  config.loss_probe_count = 20;
+  CloudflareStyleClient client(config);
+  auto obs = run_client(client, spec(50, 0.01), spec(10, 0.01));
+  ASSERT_TRUE(obs.ok());
+  EXPECT_TRUE(obs->download.has_value());
+  EXPECT_TRUE(obs->upload.has_value());
+}
+
+TEST(RpmStyleClient, ReportsLoadedLatencyAndBidirectionalThroughput) {
+  RpmStyleClient client;
+  auto obs = run_client(client, spec(100, 0.01, 1024 * 1024),
+                        spec(20, 0.01, 512 * 1024));
+  ASSERT_TRUE(obs.ok());
+  EXPECT_EQ(obs->tool, "rpm_style");
+  ASSERT_TRUE(obs->idle_latency.has_value());
+  ASSERT_TRUE(obs->loaded_latency.has_value());
+  ASSERT_TRUE(obs->download.has_value());
+  ASSERT_TRUE(obs->upload.has_value());
+  EXPECT_FALSE(obs->loss.has_value());
+  // Under bidirectional saturation into deep buffers, working latency
+  // must exceed idle latency substantially.
+  EXPECT_GT(obs->loaded_latency->value(), obs->idle_latency->value() * 1.5);
+  // Bidirectional saturation throttles the download hard: its ACKs
+  // queue behind the saturating uploads (asymmetric-path ACK
+  // congestion, a real effect on DOCSIS-like tiers). Both directions
+  // must still show sustained progress.
+  EXPECT_GT(obs->download->value(), 3.0);
+  EXPECT_GT(obs->upload->value(), 8.0);
+}
+
+TEST(RpmStyleClient, DebloatedLinkScoresBetterRpm) {
+  // PIE at the bottleneck keeps working latency near target; a deep
+  // DropTail buffer does not. The RPM tool must see the difference.
+  auto loaded_ms = [](netsim::QueueSpec queue) {
+    RpmStyleClient client;
+    LinkSpec down;
+    down.rate = util::Mbps(50);
+    down.propagation_delay = util::Seconds(0.01);
+    down.queue = queue;  // AQM (or not) on both directions
+    LinkSpec up;
+    up.rate = util::Mbps(20);
+    up.propagation_delay = util::Seconds(0.01);
+    up.queue = queue;
+    auto obs = run_client(client, down, up, 9);
+    return obs.ok() && obs->loaded_latency ? obs->loaded_latency->value()
+                                           : -1.0;
+  };
+  netsim::PieQueue::Config pie;
+  pie.capacity_bytes = 1024 * 1024;
+  const double with_pie = loaded_ms(netsim::QueueSpec::pie(pie));
+  const double with_droptail =
+      loaded_ms(netsim::QueueSpec::drop_tail(1024 * 1024));
+  ASSERT_GT(with_pie, 0.0);
+  ASSERT_GT(with_droptail, 0.0);
+  EXPECT_LT(with_pie, with_droptail / 2.0);
+}
+
+TEST(AllClients, ObservationTimesAreOrdered) {
+  NdtClient ndt;
+  OoklaStyleClient ookla;
+  CloudflareStyleClient cloudflare;
+  RpmStyleClient rpm;
+  MeasurementClient* clients[] = {&ndt, &ookla, &cloudflare, &rpm};
+  for (MeasurementClient* client : clients) {
+    auto obs = run_client(*client, spec(50, 0.01), spec(10, 0.01));
+    ASSERT_TRUE(obs.ok()) << client->name();
+    EXPECT_GT(obs->finished_at, obs->started_at) << client->name();
+  }
+}
+
+}  // namespace
+}  // namespace iqb::measurement

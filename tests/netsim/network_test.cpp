@@ -1,0 +1,211 @@
+#include "iqb/netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::netsim {
+namespace {
+
+LinkSpec spec(double mbps, double delay_s) {
+  LinkSpec s;
+  s.rate = util::Mbps(mbps);
+  s.propagation_delay = util::Seconds(delay_s);
+  return s;
+}
+
+TEST(LossSpec, MeanRates) {
+  EXPECT_DOUBLE_EQ(LossSpec::none().mean_loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(LossSpec::bernoulli(0.02).mean_loss_rate(), 0.02);
+  // pi_bad = 0.01/(0.01+0.09) = 0.1; mean = 0.1*0.5 + 0.9*0.0 = 0.05.
+  const LossSpec ge = LossSpec::gilbert_elliott(0.01, 0.09, 0.0, 0.5);
+  EXPECT_NEAR(ge.mean_loss_rate(), 0.05, 1e-12);
+}
+
+TEST(LossSpec, InstantiateKinds) {
+  util::Rng rng(1);
+  auto none = LossSpec::none().instantiate();
+  EXPECT_FALSE(none->should_drop(rng));
+  auto certain = LossSpec::bernoulli(1.0).instantiate();
+  EXPECT_TRUE(certain->should_drop(rng));
+}
+
+TEST(Network, FindNodeByName) {
+  Simulator sim;
+  Network net(sim, 1);
+  net.add_node("alpha");
+  const NodeId beta = net.add_node("beta");
+  EXPECT_EQ(net.find_node("beta").value(), beta);
+  EXPECT_FALSE(net.find_node("gamma").ok());
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.node_name(beta), "beta");
+}
+
+TEST(Network, PathOverSingleLink) {
+  Simulator sim;
+  Network net(sim, 2);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  auto [forward, reverse] = net.add_duplex_link(a, b, spec(10, 0.01), spec(5, 0.02));
+  auto path_ab = net.path(a, b);
+  ASSERT_TRUE(path_ab.ok());
+  ASSERT_EQ(path_ab->size(), 1u);
+  EXPECT_EQ((*path_ab)[0], forward);
+  auto path_ba = net.path(b, a);
+  ASSERT_TRUE(path_ba.ok());
+  EXPECT_EQ((*path_ba)[0], reverse);
+}
+
+TEST(Network, MultiHopShortestPath) {
+  Simulator sim;
+  Network net(sim, 3);
+  // a - b - c with a direct a - c shortcut: path a->c must take the
+  // one-hop shortcut.
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  net.add_duplex_link(a, b, spec(10, 0.01), spec(10, 0.01));
+  net.add_duplex_link(b, c, spec(10, 0.01), spec(10, 0.01));
+  auto [shortcut, _] = net.add_duplex_link(a, c, spec(10, 0.01), spec(10, 0.01));
+  auto path = net.path(a, c);
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_EQ((*path)[0], shortcut);
+}
+
+TEST(Network, ThreeHopChain) {
+  Simulator sim;
+  Network net(sim, 4);
+  const NodeId n0 = net.add_node("n0");
+  const NodeId n1 = net.add_node("n1");
+  const NodeId n2 = net.add_node("n2");
+  const NodeId n3 = net.add_node("n3");
+  net.add_duplex_link(n0, n1, spec(10, 0.01), spec(10, 0.01));
+  net.add_duplex_link(n1, n2, spec(10, 0.01), spec(10, 0.01));
+  net.add_duplex_link(n2, n3, spec(10, 0.01), spec(10, 0.01));
+  auto path = net.path(n0, n3);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 3u);
+}
+
+TEST(Network, NoRouteIsError) {
+  Simulator sim;
+  Network net(sim, 5);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  auto path = net.path(a, b);
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, util::ErrorCode::kNotFound);
+}
+
+TEST(Network, SelfPathIsError) {
+  Simulator sim;
+  Network net(sim, 6);
+  const NodeId a = net.add_node("a");
+  EXPECT_FALSE(net.path(a, a).ok());
+}
+
+TEST(Network, InvalidNodeIdIsError) {
+  Simulator sim;
+  Network net(sim, 7);
+  net.add_node("a");
+  EXPECT_FALSE(net.path(0, 99).ok());
+}
+
+TEST(Network, SendAlongMultiHopAccumulatesDelay) {
+  Simulator sim;
+  Network net(sim, 8);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  net.add_duplex_link(a, b, spec(8, 0.01), spec(8, 0.01));
+  net.add_duplex_link(b, c, spec(8, 0.02), spec(8, 0.02));
+  auto path = net.path(a, c).value();
+
+  Packet packet;
+  packet.size_bytes = 1000;  // 1 ms serialization per hop at 8 Mb/s
+  double delivered_at = -1.0;
+  send_along(path, packet, [&](const Packet&) { delivered_at = sim.now(); });
+  sim.run();
+  // 2 hops: (1ms + 10ms) + (1ms + 20ms) = 32 ms.
+  EXPECT_NEAR(delivered_at, 0.032, 1e-9);
+}
+
+TEST(Network, SendAlongDropReportsOnce) {
+  Simulator sim;
+  Network net(sim, 9);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  LinkSpec lossy = spec(10, 0.001);
+  lossy.loss = LossSpec::bernoulli(1.0);  // always drops
+  net.add_duplex_link(a, b, spec(10, 0.001), spec(10, 0.001));
+  net.add_duplex_link(b, c, lossy, lossy);
+  auto path = net.path(a, c).value();
+
+  int delivered = 0, dropped = 0;
+  Packet packet;
+  packet.size_bytes = 100;
+  send_along(path, packet, [&](const Packet&) { ++delivered; },
+             [&](const Packet&) { ++dropped; });
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(dropped, 1);
+}
+
+TEST(Network, PathHelpers) {
+  Simulator sim;
+  Network net(sim, 10);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  net.add_duplex_link(a, b, spec(100, 0.005), spec(100, 0.005));
+  net.add_duplex_link(b, c, spec(20, 0.010), spec(20, 0.010));
+  auto path = net.path(a, c).value();
+  EXPECT_DOUBLE_EQ(bottleneck_rate(path).value(), 20.0);
+  // 1500B: 0.12ms at 100Mb/s + 0.6ms at 20Mb/s + 15ms propagation.
+  EXPECT_NEAR(base_one_way_delay(path, 1500).value(),
+              0.005 + 0.010 + 1500 * 8.0 / 100e6 + 1500 * 8.0 / 20e6, 1e-9);
+}
+
+TEST(Network, DefaultLinkNamesFromNodes) {
+  Simulator sim;
+  Network net(sim, 11);
+  const NodeId a = net.add_node("client");
+  const NodeId b = net.add_node("server");
+  auto [forward, reverse] = net.add_duplex_link(a, b, spec(10, 0.01), spec(10, 0.01));
+  EXPECT_EQ(forward->name(), "client->server");
+  EXPECT_EQ(reverse->name(), "server->client");
+}
+
+TEST(Network, LinksEnumeration) {
+  Simulator sim;
+  Network net(sim, 12);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.add_duplex_link(a, b, spec(10, 0.01), spec(10, 0.01));
+  EXPECT_EQ(net.links().size(), 2u);
+}
+
+TEST(Network, DeterministicLossAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    Network net(sim, 777);
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    LinkSpec lossy = spec(10, 0.001);
+    lossy.loss = LossSpec::bernoulli(0.3);
+    net.add_duplex_link(a, b, lossy, lossy);
+    auto path = net.path(a, b).value();
+    int delivered = 0;
+    for (int i = 0; i < 500; ++i) {
+      Packet packet;
+      packet.size_bytes = 100;
+      send_along(path, packet, [&](const Packet&) { ++delivered; });
+    }
+    sim.run();
+    return delivered;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace iqb::netsim

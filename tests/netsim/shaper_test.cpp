@@ -1,0 +1,142 @@
+// Token-bucket shaper: burst credit at line rate, sustained rate after.
+#include <gtest/gtest.h>
+
+#include "iqb/netsim/network.hpp"
+#include "iqb/netsim/tcp.hpp"
+
+namespace iqb::netsim {
+namespace {
+
+Link::Config shaped_config(double line_mbps, double sustained_mbps,
+                           std::uint64_t burst_bytes) {
+  Link::Config config;
+  config.rate = util::Mbps(line_mbps);
+  config.propagation_delay = util::Seconds(0.0);
+  config.queue = std::make_unique<DropTailQueue>(64ull * 1024 * 1024);
+  config.shaper.enabled = true;
+  config.shaper.sustained_rate = util::Mbps(sustained_mbps);
+  config.shaper.burst_bytes = burst_bytes;
+  return config;
+}
+
+Packet packet_of(std::uint32_t bytes) {
+  Packet p;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Shaper, BurstPassesAtLineRate) {
+  Simulator sim;
+  // 1 Gb/s line shaped to 10 Mb/s with 100 kB of burst credit.
+  Link link(sim, shaped_config(1000, 10, 100 * 1024), util::Rng(1));
+  double last_delivery = 0.0;
+  // 64 kB fits entirely in the burst: delivery at ~line rate.
+  for (int i = 0; i < 64; ++i) {
+    link.send(packet_of(1024), [&](const Packet&) { last_delivery = sim.now(); });
+  }
+  sim.run();
+  // 64 kB at 1 Gb/s = 0.52 ms; at 10 Mb/s it would be 52 ms.
+  EXPECT_LT(last_delivery, 0.002);
+}
+
+TEST(Shaper, SustainedRateAfterBurstExhausted) {
+  Simulator sim;
+  Link link(sim, shaped_config(1000, 10, 50 * 1024), util::Rng(1));
+  double last_delivery = 0.0;
+  // 1.25 MB total: 50 kB of credit, the remaining 1.2 MB drains at
+  // 10 Mb/s -> ~0.96 s.
+  const int packets = 1250;
+  for (int i = 0; i < packets; ++i) {
+    link.send(packet_of(1000), [&](const Packet&) { last_delivery = sim.now(); });
+  }
+  sim.run();
+  EXPECT_GT(last_delivery, 0.8);
+  EXPECT_LT(last_delivery, 1.2);
+}
+
+TEST(Shaper, CreditRefillsDuringIdle) {
+  Simulator sim;
+  Link link(sim, shaped_config(1000, 80, 100 * 1024), util::Rng(1));
+  // Exhaust the bucket.
+  for (int i = 0; i < 100; ++i) {
+    link.send(packet_of(1024), [](const Packet&) {});
+  }
+  sim.run();
+  const double drained_at = sim.now();
+  // Idle for 5 s: 80 Mb/s * 5 s = 50 MB >> bucket; credit refills to
+  // the 100 kB cap. The next 64 kB burst then flies at line rate.
+  double last_delivery = 0.0;
+  sim.schedule_at(drained_at + 5.0, [&] {
+    for (int i = 0; i < 64; ++i) {
+      link.send(packet_of(1024),
+                [&](const Packet&) { last_delivery = sim.now(); });
+    }
+  });
+  sim.run();
+  EXPECT_LT(last_delivery - (drained_at + 5.0), 0.002);
+}
+
+TEST(Shaper, DisabledShaperIsPureLineRate) {
+  Simulator sim;
+  Link::Config config;
+  config.rate = util::Mbps(8);
+  config.propagation_delay = util::Seconds(0.0);
+  config.queue = std::make_unique<DropTailQueue>(1 << 20);
+  // shaper.enabled defaults to false.
+  Link link(sim, std::move(config), util::Rng(1));
+  double delivered_at = 0.0;
+  link.send(packet_of(1000), [&](const Packet&) { delivered_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(delivered_at, 0.001, 1e-9);
+}
+
+TEST(Shaper, ShortTransferOverreadsVersusSustained) {
+  // The measurement artifact the shaper exists to reproduce: on a
+  // "100 Mb/s" tier provisioned as 1 Gb/s + token bucket, a 1 MB
+  // byte-limited transfer (Cloudflare-ladder style) reads far above
+  // the sustained rate, while a 10 s duration test reads ~sustained.
+  auto run_transfer = [](bool shaped, std::uint64_t max_bytes,
+                         double duration) {
+    Simulator sim;
+    Network net(sim, 5);
+    const NodeId server = net.add_node("server");
+    const NodeId client = net.add_node("client");
+    LinkSpec down;
+    down.propagation_delay = util::Seconds(0.01);
+    down.queue = QueueSpec::drop_tail(4 * 1024 * 1024);
+    if (shaped) {
+      down.rate = util::Mbps(1000);
+      down.shaper.enabled = true;
+      down.shaper.sustained_rate = util::Mbps(100);
+      down.shaper.burst_bytes = 8 * 1024 * 1024;
+    } else {
+      down.rate = util::Mbps(100);  // flat tier, no burst
+    }
+    LinkSpec up;
+    up.rate = util::Mbps(100);
+    up.propagation_delay = util::Seconds(0.01);
+    net.add_duplex_link(server, client, down, up);
+    TcpConfig tcp;
+    tcp.max_bytes = max_bytes;
+    tcp.max_duration_s = duration;
+    TcpFlow flow(sim, net.path(server, client).value(),
+                 net.path(client, server).value(), tcp, 1);
+    flow.start();
+    sim.run(60.0);
+    return flow.stats().goodput().value();
+  };
+  // 4 MB byte-limited transfer (Cloudflare-ladder style):
+  const double short_shaped = run_transfer(true, 4'000'000, 0.0);
+  const double short_flat = run_transfer(false, 4'000'000, 0.0);
+  // 10 s sustained test (NDT/Ookla style):
+  const double sustained_shaped = run_transfer(true, 0, 10.0);
+  // In-burst, the shaped tier serves the short transfer at up to the
+  // 1 Gb/s line rate: it must read clearly above the flat tier.
+  EXPECT_GT(short_shaped, short_flat * 1.5);
+  // The sustained test sees roughly the provisioned 100 Mb/s.
+  EXPECT_LT(sustained_shaped, 140.0);
+  EXPECT_GT(sustained_shaped, 70.0);
+}
+
+}  // namespace
+}  // namespace iqb::netsim

@@ -1,0 +1,266 @@
+#include "iqb/netsim/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iqb/netsim/network.hpp"
+
+namespace iqb::netsim {
+namespace {
+
+struct World {
+  Simulator sim;
+  Network net{sim, 42};
+  Path data;
+  Path acks;
+
+  World(LinkSpec down, LinkSpec up, std::uint64_t seed = 42)
+      : net(sim, seed) {
+    const NodeId server = net.add_node("server");
+    const NodeId client = net.add_node("client");
+    net.add_duplex_link(server, client, down, up);
+    data = net.path(server, client).value();
+    acks = net.path(client, server).value();
+  }
+};
+
+LinkSpec spec(double mbps, double delay_s,
+              std::uint64_t queue = 256 * 1024) {
+  LinkSpec s;
+  s.rate = util::Mbps(mbps);
+  s.propagation_delay = util::Seconds(delay_s);
+  s.queue = QueueSpec::drop_tail(queue);
+  return s;
+}
+
+TEST(TcpFlow, TransfersExactByteCount) {
+  World world(spec(100, 0.005), spec(100, 0.005));
+  TcpConfig config;
+  config.max_bytes = 500'000;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  bool completed = false;
+  flow.start([&](const TcpStats& stats) {
+    completed = true;
+    EXPECT_GE(stats.bytes_acked, 500'000u);
+  });
+  world.sim.run(60.0);
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(flow.finished());
+}
+
+TEST(TcpFlow, DurationModeStopsOnDeadline) {
+  World world(spec(50, 0.01), spec(50, 0.01));
+  TcpConfig config;
+  config.max_duration_s = 2.0;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  double finished_at = -1.0;
+  flow.start([&](const TcpStats& stats) { finished_at = stats.finished_at; });
+  world.sim.run(30.0);
+  EXPECT_NEAR(finished_at, 2.0, 1e-9);
+}
+
+TEST(TcpFlow, GoodputApproachesCleanLinkRate) {
+  World world(spec(100, 0.01), spec(100, 0.01));
+  TcpConfig config;
+  config.max_duration_s = 10.0;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  flow.start();
+  world.sim.run(30.0);
+  // Payload efficiency is mss/(mss+40) ~ 97%; ramp-up costs a bit more.
+  EXPECT_GT(flow.stats().goodput().value(), 80.0);
+  EXPECT_LT(flow.stats().goodput().value(), 100.0);
+}
+
+TEST(TcpFlow, ThroughputCappedByBottleneck) {
+  World world(spec(10, 0.01), spec(10, 0.01));
+  TcpConfig config;
+  config.max_duration_s = 10.0;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  flow.start();
+  world.sim.run(30.0);
+  EXPECT_LE(flow.stats().goodput().value(), 10.0);
+  EXPECT_GT(flow.stats().goodput().value(), 7.0);
+}
+
+TEST(TcpFlow, MinRttReflectsPathDelay) {
+  World world(spec(100, 0.02), spec(100, 0.02));
+  TcpConfig config;
+  config.max_duration_s = 5.0;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  flow.start();
+  world.sim.run(30.0);
+  // Two-way propagation 40 ms plus serialization.
+  EXPECT_GE(flow.stats().min_rtt_ms, 40.0);
+  EXPECT_LT(flow.stats().min_rtt_ms, 45.0);
+}
+
+TEST(TcpFlow, RandomLossReducesGoodputAndCausesRetransmits) {
+  LinkSpec lossy = spec(100, 0.02);
+  lossy.loss = LossSpec::bernoulli(0.01);
+  World clean_world(spec(100, 0.02), spec(100, 0.02));
+  World lossy_world(lossy, spec(100, 0.02));
+
+  TcpConfig config;
+  config.max_duration_s = 8.0;
+  TcpFlow clean(clean_world.sim, clean_world.data, clean_world.acks, config, 1);
+  TcpFlow dirty(lossy_world.sim, lossy_world.data, lossy_world.acks, config, 1);
+  clean.start();
+  dirty.start();
+  clean_world.sim.run(30.0);
+  lossy_world.sim.run(30.0);
+
+  EXPECT_LT(dirty.stats().goodput().value(),
+            clean.stats().goodput().value() / 2.0);
+  EXPECT_GT(dirty.stats().segments_retransmitted, 0u);
+  EXPECT_GT(dirty.stats().retransmit_rate(), 0.003);
+  EXPECT_EQ(clean.stats().segments_retransmitted, 0u);
+}
+
+TEST(TcpFlow, CubicOutperformsRenoOnLongFatPipe) {
+  LinkSpec lossy = spec(200, 0.04);
+  lossy.loss = LossSpec::bernoulli(0.0003);
+  auto run = [&](CongestionAlgo algo) {
+    World world(lossy, spec(200, 0.04), 99);
+    TcpConfig config;
+    config.algo = algo;
+    config.max_duration_s = 15.0;
+    TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+    flow.start();
+    world.sim.run(60.0);
+    return flow.stats().goodput().value();
+  };
+  const double reno = run(CongestionAlgo::kReno);
+  const double cubic = run(CongestionAlgo::kCubic);
+  EXPECT_GT(cubic, reno);
+}
+
+TEST(TcpFlow, BufferbloatInflatesSmoothedRtt) {
+  // Deep buffer at the bottleneck: loss-based probing steadily fills
+  // it, so RTT under load far exceeds minRTT.
+  LinkSpec bloated = spec(20, 0.01, 1024 * 1024);
+  World world(bloated, spec(20, 0.01));
+  TcpConfig config;
+  config.max_duration_s = 15.0;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  flow.start();
+  world.sim.run(60.0);
+  EXPECT_GT(flow.stats().smoothed_rtt_ms, flow.stats().min_rtt_ms * 3.0);
+}
+
+TEST(TcpFlow, HystartAvoidsSlowStartLossBurst) {
+  // HyStart's job: exit slow start on delay increase, before the
+  // exponential overshoot blows the buffer. Without it the flow takes
+  // a large synchronized loss burst (a batch of retransmissions).
+  LinkSpec bloated = spec(20, 0.01, 1024 * 1024);
+  auto retransmits = [&](bool hystart) {
+    World world(bloated, spec(20, 0.01), 7);
+    TcpConfig config;
+    config.max_duration_s = 8.0;
+    config.hystart = hystart;
+    TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+    flow.start();
+    world.sim.run(30.0);
+    return flow.stats().segments_retransmitted;
+  };
+  const auto with_hystart = retransmits(true);
+  const auto without_hystart = retransmits(false);
+  EXPECT_LT(with_hystart, without_hystart / 2 + 1);
+  EXPECT_GT(without_hystart, 50u);
+}
+
+TEST(TcpFlow, SevereLossTriggersTimeouts) {
+  LinkSpec terrible = spec(10, 0.05);
+  terrible.loss = LossSpec::bernoulli(0.15);
+  World world(terrible, spec(10, 0.05));
+  TcpConfig config;
+  config.max_duration_s = 10.0;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  flow.start();
+  world.sim.run(60.0);
+  EXPECT_GT(flow.stats().timeouts, 0u);
+  EXPECT_GT(flow.stats().bytes_acked, 0u);  // still makes progress
+}
+
+TEST(TcpFlow, ThroughputSamplesMonotone) {
+  World world(spec(50, 0.01), spec(50, 0.01));
+  TcpConfig config;
+  config.max_duration_s = 3.0;
+  config.sample_interval_s = 0.1;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  flow.start();
+  world.sim.run(30.0);
+  const auto& samples = flow.stats().throughput_samples;
+  ASSERT_GT(samples.size(), 10u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].time, samples[i - 1].time);
+    EXPECT_GE(samples[i].bytes_acked, samples[i - 1].bytes_acked);
+  }
+}
+
+TEST(TcpFlow, GoodputBetweenWindowExcludesRampUp) {
+  World world(spec(100, 0.03), spec(100, 0.03));
+  TcpConfig config;
+  config.max_duration_s = 10.0;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  flow.start();
+  world.sim.run(30.0);
+  const double steady = flow.stats().goodput_between(5.0, 10.0).value();
+  const double overall = flow.stats().goodput().value();
+  EXPECT_GE(steady, overall);
+}
+
+TEST(TcpFlow, GoodputBetweenDegenerateWindows) {
+  World world(spec(10, 0.01), spec(10, 0.01));
+  TcpConfig config;
+  config.max_duration_s = 1.0;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  flow.start();
+  world.sim.run(30.0);
+  EXPECT_DOUBLE_EQ(flow.stats().goodput_between(2.0, 1.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(flow.stats().goodput_between(5.0, 6.0).value(), 0.0);
+}
+
+TEST(TcpFlow, LossyAckPathStillCompletes) {
+  LinkSpec lossy_acks = spec(100, 0.01);
+  lossy_acks.loss = LossSpec::bernoulli(0.05);
+  World world(spec(100, 0.01), lossy_acks);
+  TcpConfig config;
+  config.max_bytes = 200'000;
+  TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+  bool completed = false;
+  flow.start([&](const TcpStats&) { completed = true; });
+  world.sim.run(60.0);
+  EXPECT_TRUE(completed);
+}
+
+TEST(TcpFlow, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    LinkSpec lossy = spec(50, 0.02);
+    lossy.loss = LossSpec::bernoulli(0.005);
+    World world(lossy, spec(50, 0.02), 1234);
+    TcpConfig config;
+    config.max_duration_s = 5.0;
+    TcpFlow flow(world.sim, world.data, world.acks, config, 1);
+    flow.start();
+    world.sim.run(30.0);
+    return flow.stats().bytes_acked;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TcpFlow, TwoFlowsShareBottleneckRoughlyFairly) {
+  World world(spec(50, 0.01), spec(50, 0.01));
+  TcpConfig config;
+  config.max_duration_s = 20.0;
+  TcpFlow flow_a(world.sim, world.data, world.acks, config, 1);
+  TcpFlow flow_b(world.sim, world.data, world.acks, config, 2);
+  flow_a.start();
+  flow_b.start();
+  world.sim.run(60.0);
+  const double a = flow_a.stats().goodput().value();
+  const double b = flow_b.stats().goodput().value();
+  EXPECT_GT(a + b, 35.0);          // the pair saturates the link
+  EXPECT_LT(std::abs(a - b) / (a + b), 0.4);  // neither starves
+}
+
+}  // namespace
+}  // namespace iqb::netsim

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "iqb/netsim/crosstraffic.hpp"
+#include "iqb/netsim/network.hpp"
+#include "iqb/netsim/udp.hpp"
+
+namespace iqb::netsim {
+namespace {
+
+LinkSpec spec(double mbps, double delay_s) {
+  LinkSpec s;
+  s.rate = util::Mbps(mbps);
+  s.propagation_delay = util::Seconds(delay_s);
+  return s;
+}
+
+struct ProbeWorld {
+  Simulator sim;
+  Network net;
+  Path forward;
+  Path reverse;
+
+  explicit ProbeWorld(LinkSpec down, LinkSpec up, std::uint64_t seed = 1)
+      : net(sim, seed) {
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    net.add_duplex_link(a, b, down, up);
+    forward = net.path(a, b).value();
+    reverse = net.path(b, a).value();
+  }
+};
+
+TEST(UdpProbeFlow, AllEchoedOnCleanLink) {
+  ProbeWorld world(spec(100, 0.015), spec(100, 0.015));
+  UdpProbeConfig config;
+  config.probe_count = 50;
+  config.interval_s = 0.02;
+  UdpProbeFlow probe(world.sim, world.forward, world.reverse, config, 1);
+  bool completed = false;
+  probe.start([&](const UdpProbeStats& stats) {
+    completed = true;
+    EXPECT_EQ(stats.sent, 50u);
+    EXPECT_EQ(stats.echoed, 50u);
+    EXPECT_DOUBLE_EQ(stats.loss_rate(), 0.0);
+  });
+  world.sim.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(UdpProbeFlow, RttMatchesPathDelay) {
+  ProbeWorld world(spec(100, 0.025), spec(100, 0.025));
+  UdpProbeConfig config;
+  config.probe_count = 10;
+  UdpProbeFlow probe(world.sim, world.forward, world.reverse, config, 1);
+  probe.start();
+  world.sim.run();
+  EXPECT_NEAR(probe.stats().min_rtt_ms(), 50.0, 1.0);
+  EXPECT_NEAR(probe.stats().mean_rtt_ms(), 50.0, 1.0);
+}
+
+TEST(UdpProbeFlow, LossCountedFromMissingEchoes) {
+  LinkSpec lossy = spec(100, 0.01);
+  lossy.loss = LossSpec::bernoulli(0.2);
+  ProbeWorld world(lossy, spec(100, 0.01), 7);
+  UdpProbeConfig config;
+  config.probe_count = 2000;
+  config.interval_s = 0.001;
+  UdpProbeFlow probe(world.sim, world.forward, world.reverse, config, 1);
+  probe.start();
+  world.sim.run();
+  EXPECT_EQ(probe.stats().sent, 2000u);
+  EXPECT_NEAR(probe.stats().loss_rate(), 0.2, 0.03);
+}
+
+TEST(UdpProbeFlow, BidirectionalLossCompounds) {
+  LinkSpec lossy = spec(100, 0.01);
+  lossy.loss = LossSpec::bernoulli(0.1);
+  ProbeWorld world(lossy, lossy, 8);
+  UdpProbeConfig config;
+  config.probe_count = 3000;
+  config.interval_s = 0.001;
+  UdpProbeFlow probe(world.sim, world.forward, world.reverse, config, 1);
+  probe.start();
+  world.sim.run();
+  // 1 - 0.9^2 = 0.19.
+  EXPECT_NEAR(probe.stats().loss_rate(), 0.19, 0.025);
+}
+
+TEST(UdpProbeFlow, EmptyStatsSafe) {
+  UdpProbeStats stats;
+  EXPECT_DOUBLE_EQ(stats.loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min_rtt_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_rtt_ms(), 0.0);
+}
+
+TEST(UdpProbeFlow, FinishesEvenIfEverythingLost) {
+  LinkSpec dead = spec(100, 0.01);
+  dead.loss = LossSpec::bernoulli(1.0);
+  ProbeWorld world(dead, spec(100, 0.01), 9);
+  UdpProbeConfig config;
+  config.probe_count = 10;
+  config.interval_s = 0.01;
+  config.timeout_s = 0.5;
+  UdpProbeFlow probe(world.sim, world.forward, world.reverse, config, 1);
+  bool completed = false;
+  probe.start([&](const UdpProbeStats& stats) {
+    completed = true;
+    EXPECT_DOUBLE_EQ(stats.loss_rate(), 1.0);
+  });
+  world.sim.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(CrossTraffic, GeneratesApproximateDutyCycleLoad) {
+  ProbeWorld world(spec(100, 0.005), spec(100, 0.005));
+  CrossTrafficConfig config;
+  config.rate = util::Mbps(50);
+  config.mean_on_s = 1.0;
+  config.mean_off_s = 1.0;
+  config.stop_at = 20.0;
+  CrossTrafficFlow traffic(world.sim, world.forward, config, util::Rng(3), 9);
+  traffic.start();
+  world.sim.run(25.0);
+  // 50% duty cycle at 50 Mb/s over 20 s -> ~500 Mb -> ~51k packets of
+  // 1228 B. Accept a broad band (stochastic on/off).
+  EXPECT_GT(traffic.packets_sent(), 20000u);
+  EXPECT_LT(traffic.packets_sent(), 90000u);
+}
+
+TEST(CrossTraffic, StopsWhenAsked) {
+  ProbeWorld world(spec(100, 0.005), spec(100, 0.005));
+  CrossTrafficConfig config;
+  config.rate = util::Mbps(10);
+  CrossTrafficFlow traffic(world.sim, world.forward, config, util::Rng(4), 9);
+  traffic.start();
+  world.sim.run(2.0);
+  traffic.stop();
+  const std::uint64_t at_stop = traffic.packets_sent();
+  world.sim.run(10.0);
+  EXPECT_EQ(traffic.packets_sent(), at_stop);
+}
+
+TEST(CrossTraffic, InflatesProbeLatency) {
+  // Probes across a 10 Mb/s link with heavy cross traffic should see
+  // queueing delay; without it, none.
+  auto mean_rtt = [](bool with_traffic) {
+    ProbeWorld world(spec(10, 0.01), spec(10, 0.01), 11);
+    CrossTrafficConfig traffic_config;
+    // Bursts above the 10 Mb/s line rate: each ~0.2 s burst queues
+    // ~250 kB (~200 ms at line rate), which probes must wait behind.
+    traffic_config.rate = util::Mbps(20.0);
+    traffic_config.mean_on_s = 0.2;
+    traffic_config.mean_off_s = 0.2;
+    // Bound the generator: without stop_at an unbounded sim.run()
+    // would never drain the event queue.
+    traffic_config.stop_at = 10.0;
+    CrossTrafficFlow traffic(world.sim, world.forward, traffic_config,
+                             util::Rng(5), 9);
+    if (with_traffic) traffic.start();
+    UdpProbeConfig probe_config;
+    probe_config.probe_count = 100;
+    probe_config.interval_s = 0.05;
+    UdpProbeFlow probe(world.sim, world.forward, world.reverse, probe_config, 1);
+    probe.start();
+    world.sim.run(12.0);
+    return probe.stats().mean_rtt_ms();
+  };
+  EXPECT_GT(mean_rtt(true), mean_rtt(false) + 5.0);
+}
+
+}  // namespace
+}  // namespace iqb::netsim

@@ -1,0 +1,93 @@
+#include "iqb/report/html.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace iqb::report {
+namespace {
+
+core::RegionResult sample(const std::string& region, double score) {
+  core::RegionResult result;
+  result.region = region;
+  result.high.iqb_score = score;
+  result.minimum.iqb_score = std::min(1.0, score + 0.2);
+  for (core::UseCase use_case : core::kAllUseCases) {
+    result.high.use_case_scores[use_case] = score;
+  }
+  result.grade = core::GradeScale().grade(score);
+  datasets::AggregateCell cell;
+  cell.region = region;
+  cell.dataset = "ndt";
+  cell.metric = datasets::Metric::kDownload;
+  cell.value = 42.5;
+  cell.sample_count = 12;
+  result.aggregates.push_back(cell);
+  return result;
+}
+
+TEST(HtmlReport, ContainsRegionsAndScores) {
+  std::vector<core::RegionResult> results{sample("metro & co", 0.92),
+                                          sample("rural", 0.18)};
+  const std::string html = to_html(results);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("metro &amp; co"), std::string::npos);  // escaped
+  EXPECT_NE(html.find("rural"), std::string::npos);
+  EXPECT_NE(html.find("0.920"), std::string::npos);
+  EXPECT_NE(html.find(">A<"), std::string::npos);
+  EXPECT_NE(html.find(">E<"), std::string::npos);
+}
+
+TEST(HtmlReport, UseCaseBarsRendered) {
+  std::vector<core::RegionResult> results{sample("r", 0.5)};
+  const std::string html = to_html(results);
+  EXPECT_NE(html.find("Web Browsing"), std::string::npos);
+  EXPECT_NE(html.find("Gaming"), std::string::npos);
+  EXPECT_NE(html.find("width:50.0%"), std::string::npos);
+}
+
+TEST(HtmlReport, AggregateTableToggle) {
+  std::vector<core::RegionResult> results{sample("r", 0.5)};
+  HtmlOptions with;
+  HtmlOptions without;
+  without.include_aggregates = false;
+  EXPECT_NE(to_html(results, with).find("<table>"), std::string::npos);
+  EXPECT_EQ(to_html(results, without).find("<table>"), std::string::npos);
+}
+
+TEST(HtmlReport, WarningsRendered) {
+  core::RegionResult result = sample("r", 0.5);
+  result.high.coverage_warnings.push_back("no dataset covers <loss>");
+  const std::string html =
+      to_html(std::vector<core::RegionResult>{result});
+  EXPECT_NE(html.find("no dataset covers &lt;loss&gt;"), std::string::npos);
+}
+
+TEST(HtmlReport, CustomTitleEscaped) {
+  HtmlOptions options;
+  options.title = "Q1 <report>";
+  const std::string html = to_html({}, options);
+  EXPECT_NE(html.find("<title>Q1 &lt;report&gt;</title>"), std::string::npos);
+}
+
+TEST(HtmlReport, WriteToFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iqb_report_test.html").string();
+  std::vector<core::RegionResult> results{sample("r", 0.7)};
+  ASSERT_TRUE(write_html(path, results).ok());
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("</html>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(HtmlReport, WriteToBadPathFails) {
+  EXPECT_FALSE(write_html("/nonexistent/dir/report.html", {}).ok());
+}
+
+}  // namespace
+}  // namespace iqb::report

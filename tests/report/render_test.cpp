@@ -1,0 +1,110 @@
+#include "iqb/report/render.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::report {
+namespace {
+
+core::RegionResult sample_result(const std::string& region, double high_score,
+                                 double min_score) {
+  core::RegionResult result;
+  result.region = region;
+  result.high.level = core::QualityLevel::kHigh;
+  result.high.iqb_score = high_score;
+  result.minimum.level = core::QualityLevel::kMinimum;
+  result.minimum.iqb_score = min_score;
+  for (core::UseCase use_case : core::kAllUseCases) {
+    result.high.use_case_scores[use_case] = high_score;
+    result.minimum.use_case_scores[use_case] = min_score;
+  }
+  result.high.requirement_scores[{core::UseCase::kGaming,
+                                  core::Requirement::kLatency}] = high_score;
+  result.grade = core::GradeScale().grade(high_score);
+  return result;
+}
+
+TEST(Barometer, FillProportionalToScore) {
+  const std::string full = barometer(1.0, core::Grade::kA, 10);
+  const std::string empty = barometer(0.0, core::Grade::kE, 10);
+  const std::string half = barometer(0.5, core::Grade::kC, 10);
+  EXPECT_NE(full.find("##########"), std::string::npos);
+  EXPECT_NE(empty.find(".........."), std::string::npos);
+  EXPECT_NE(half.find("#####....."), std::string::npos);
+  EXPECT_NE(full.find("(A)"), std::string::npos);
+}
+
+TEST(Barometer, ClampsOutOfRangeScores) {
+  EXPECT_NE(barometer(1.7, core::Grade::kA, 10).find("##########"),
+            std::string::npos);
+  EXPECT_NE(barometer(-0.3, core::Grade::kE, 10).find(".........."),
+            std::string::npos);
+}
+
+TEST(Scorecard, ContainsKeySections) {
+  const std::string card = scorecard(sample_result("metro", 0.92, 1.0));
+  EXPECT_NE(card.find("metro"), std::string::npos);
+  EXPECT_NE(card.find("IQB score (high quality)"), std::string::npos);
+  EXPECT_NE(card.find("IQB score (minimum quality)"), std::string::npos);
+  EXPECT_NE(card.find("Web Browsing"), std::string::npos);
+  EXPECT_NE(card.find("Gaming"), std::string::npos);
+  EXPECT_NE(card.find("(A)"), std::string::npos);
+  EXPECT_NE(card.find("gaming / latency"), std::string::npos);
+}
+
+TEST(Scorecard, WarningsRendered) {
+  core::RegionResult result = sample_result("rural", 0.2, 0.4);
+  result.high.coverage_warnings.push_back("no dataset covers gaming/latency");
+  const std::string card = scorecard(result);
+  EXPECT_NE(card.find("Coverage warnings"), std::string::npos);
+  EXPECT_NE(card.find("no dataset covers gaming/latency"), std::string::npos);
+}
+
+TEST(ComparisonTable, OneRowPerRegion) {
+  std::vector<core::RegionResult> results{sample_result("alpha", 0.9, 1.0),
+                                          sample_result("beta", 0.3, 0.6)};
+  const std::string table = comparison_table(results);
+  EXPECT_NE(table.find("| alpha |"), std::string::npos);
+  EXPECT_NE(table.find("| beta |"), std::string::npos);
+  EXPECT_NE(table.find("0.900"), std::string::npos);
+  EXPECT_NE(table.find("| Region |"), std::string::npos);
+  // Header + separator + 2 data rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+}
+
+TEST(ToJson, StructureAndValues) {
+  std::vector<core::RegionResult> results{sample_result("gamma", 0.5, 0.8)};
+  const util::JsonValue json = to_json(results);
+  auto regions = json.get_array("regions");
+  ASSERT_TRUE(regions.ok());
+  ASSERT_EQ(regions->size(), 1u);
+  const util::JsonValue& entry = (*regions)[0];
+  EXPECT_EQ(entry.get_string("region").value(), "gamma");
+  auto high = entry.get("high");
+  ASSERT_TRUE(high.ok());
+  EXPECT_DOUBLE_EQ(high->get_number("iqb_score").value(), 0.5);
+  EXPECT_EQ(high->get_string("level").value(), "high");
+  // Output must be parseable JSON.
+  EXPECT_TRUE(util::parse_json(json.dump(2)).ok());
+}
+
+TEST(ToCsv, OneRowPerRegionUseCase) {
+  std::vector<core::RegionResult> results{sample_result("delta", 0.5, 0.8)};
+  const std::string csv = to_csv(results);
+  EXPECT_NE(csv.find("region,use_case,score_high,score_minimum,grade"),
+            std::string::npos);
+  EXPECT_NE(csv.find("delta,gaming,0.5000,0.8000,"), std::string::npos);
+  // Header + 6 use cases.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+}
+
+TEST(ToCsv, SkipsUseCasesWithoutScores) {
+  core::RegionResult sparse;
+  sparse.region = "sparse";
+  sparse.high.iqb_score = 0.5;
+  sparse.high.use_case_scores[core::UseCase::kGaming] = 0.5;
+  const std::string csv = to_csv(std::vector<core::RegionResult>{sparse});
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + gaming
+}
+
+}  // namespace
+}  // namespace iqb::report

@@ -1,0 +1,128 @@
+#include "iqb/stats/ddsketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "iqb/stats/percentile.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::stats {
+namespace {
+
+TEST(DdSketch, EmptyReturnsZero) {
+  DdSketch sketch;
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.count(), 0u);
+}
+
+TEST(DdSketch, SingleValueWithinRelativeError) {
+  DdSketch sketch(0.01);
+  sketch.add(123.0);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_NEAR(sketch.quantile(q), 123.0, 123.0 * 0.011);
+  }
+}
+
+TEST(DdSketch, RejectsInvalidValues) {
+  DdSketch sketch;
+  sketch.add(-5.0);
+  sketch.add(std::nan(""));
+  sketch.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(sketch.count(), 0u);
+}
+
+TEST(DdSketch, ZerosHandled) {
+  DdSketch sketch;
+  for (int i = 0; i < 90; ++i) sketch.add(0.0);
+  for (int i = 0; i < 10; ++i) sketch.add(100.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_NEAR(sketch.quantile(0.99), 100.0, 2.0);
+}
+
+TEST(DdSketch, RelativeErrorGuaranteeOnWideRange) {
+  // Latency-like data spanning 4 decades: every quantile must come
+  // back within the relative accuracy bound.
+  const double alpha = 0.02;
+  DdSketch sketch(alpha);
+  util::Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(0.0, 4.0));  // 1 .. 10^4
+    sample.push_back(x);
+    sketch.add(x);
+  }
+  std::sort(sample.begin(), sample.end());
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double exact =
+        sample[static_cast<std::size_t>(q * (sample.size() - 1))];
+    const double estimate = sketch.quantile(q);
+    EXPECT_NEAR(estimate / exact, 1.0, 2.5 * alpha) << "q=" << q;
+  }
+}
+
+TEST(DdSketch, TailValueErrorBeatsFixedRankError) {
+  // On a heavy-tailed distribution, DDSketch's p99 relative error is
+  // bounded even where the density is thin.
+  DdSketch sketch(0.01);
+  util::Rng rng(2);
+  std::vector<double> sample;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.pareto(1.0, 1.1);
+    sample.push_back(x);
+    sketch.add(x);
+  }
+  const double exact = percentile(sample, 99.0).value();
+  EXPECT_NEAR(sketch.quantile(0.99) / exact, 1.0, 0.05);
+}
+
+TEST(DdSketch, QuantileMonotoneInQ) {
+  DdSketch sketch;
+  util::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) sketch.add(rng.lognormal(2.0, 1.0));
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = sketch.quantile(q);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(DdSketch, MergeMatchesCombinedStream) {
+  util::Rng rng(4);
+  DdSketch left(0.01), right(0.01), combined(0.01);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(3.0, 0.8);
+    combined.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_NEAR(left.quantile(q) / combined.quantile(q), 1.0, 0.001)
+        << "q=" << q;
+  }
+}
+
+TEST(DdSketch, BucketBudgetEnforcedByCollapse) {
+  DdSketch sketch(0.01, 64);
+  util::Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    sketch.add(std::pow(10.0, rng.uniform(-3.0, 6.0)));  // 9 decades
+  }
+  EXPECT_LE(sketch.bucket_count(), 64u);
+  // Collapse biases only the LOW quantiles; the p95 must stay sound.
+  // p95 of a log-uniform over [1e-3, 1e6]: 10^( -3 + 0.95*9 ) = 10^5.55.
+  EXPECT_NEAR(std::log10(sketch.quantile(0.95)), 5.55, 0.1);
+}
+
+TEST(DdSketch, CountTracksAdds) {
+  DdSketch sketch;
+  for (int i = 1; i <= 42; ++i) sketch.add(static_cast<double>(i));
+  EXPECT_EQ(sketch.count(), 42u);
+}
+
+}  // namespace
+}  // namespace iqb::stats

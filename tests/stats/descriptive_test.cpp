@@ -1,0 +1,141 @@
+#include "iqb/stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "iqb/util/rng.hpp"
+
+namespace iqb::stats {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+  std::vector<double> sample{2, 4, 4, 4, 5, 5, 7, 9};
+  auto s = summarize(sample);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->count, 8u);
+  EXPECT_DOUBLE_EQ(s->mean, 5.0);
+  EXPECT_DOUBLE_EQ(s->min, 2.0);
+  EXPECT_DOUBLE_EQ(s->max, 9.0);
+  EXPECT_DOUBLE_EQ(s->sum, 40.0);
+  // Sample variance (n-1): sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s->variance, 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s->stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summarize, EmptyIsError) {
+  std::vector<double> empty;
+  EXPECT_FALSE(summarize(empty).ok());
+  EXPECT_FALSE(mean(empty).ok());
+}
+
+TEST(Variance, RequiresTwoSamples) {
+  std::vector<double> one{1.0};
+  EXPECT_FALSE(variance(one).ok());
+  std::vector<double> two{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(variance(two).value(), 2.0);
+}
+
+TEST(Mad, RobustToOutliers) {
+  std::vector<double> sample{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(median_absolute_deviation(sample).value(), 1.0);
+  std::vector<double> with_outlier{1, 2, 3, 4, 1000};
+  // MAD barely moves while the stddev explodes.
+  EXPECT_LE(median_absolute_deviation(with_outlier).value(), 2.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(x, y).value(), 1.0, 1e-12);
+  std::vector<double> inverted{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, inverted).value(), -1.0, 1e-12);
+}
+
+TEST(Pearson, ErrorCases) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> short_y{1, 2};
+  EXPECT_FALSE(pearson_correlation(x, short_y).ok());
+  std::vector<double> constant{5, 5, 5};
+  EXPECT_FALSE(pearson_correlation(x, constant).ok());
+  std::vector<double> one_x{1};
+  std::vector<double> one_y{2};
+  EXPECT_FALSE(pearson_correlation(one_x, one_y).ok());
+}
+
+TEST(OnlineStats, MatchesBatch) {
+  util::Rng rng(20);
+  std::vector<double> sample;
+  OnlineStats online;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.lognormal(1.0, 0.5);
+    sample.push_back(x);
+    online.add(x);
+  }
+  auto batch = summarize(sample).value();
+  EXPECT_EQ(online.count(), batch.count);
+  EXPECT_NEAR(online.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(online.variance(), batch.variance, 1e-6);
+  EXPECT_DOUBLE_EQ(online.min(), batch.min);
+  EXPECT_DOUBLE_EQ(online.max(), batch.max);
+}
+
+TEST(OnlineStats, MergeEqualsSingleStream) {
+  util::Rng rng(21);
+  OnlineStats combined, left, right;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    combined.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-6);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(OnlineStats, VarianceZeroBelowTwoSamples) {
+  OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Ewma, FirstValueInitializes) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.initialized());
+  ewma.add(10.0);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma ewma(0.25);
+  ewma.add(0.0);
+  for (int i = 0; i < 100; ++i) ewma.add(8.0);
+  EXPECT_NEAR(ewma.value(), 8.0, 1e-9);
+}
+
+TEST(Ewma, SmoothsSteps) {
+  Ewma ewma(0.5);
+  ewma.add(0.0);
+  ewma.add(10.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 5.0);
+  ewma.add(10.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 7.5);
+}
+
+}  // namespace
+}  // namespace iqb::stats

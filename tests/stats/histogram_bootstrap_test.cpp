@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "iqb/stats/bootstrap.hpp"
+#include "iqb/stats/histogram.hpp"
+#include "iqb/stats/percentile.hpp"
+#include "iqb/stats/reservoir.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::stats {
+namespace {
+
+// ---------------- Histogram -----------------------------------------
+
+TEST(Histogram, LinearConstruction) {
+  auto h = Histogram::linear(0.0, 100.0, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->bin_count(), 10u);
+  EXPECT_DOUBLE_EQ(h->bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h->bin_upper(9), 100.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_FALSE(Histogram::linear(10.0, 10.0, 5).ok());
+  EXPECT_FALSE(Histogram::linear(10.0, 5.0, 5).ok());
+  EXPECT_FALSE(Histogram::linear(0.0, 1.0, 0).ok());
+  EXPECT_FALSE(Histogram::logarithmic(0.0, 10.0, 5).ok());  // lo must be > 0
+  EXPECT_FALSE(Histogram::logarithmic(-1.0, 10.0, 5).ok());
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  auto h = Histogram::linear(0.0, 10.0, 10).value();
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.7);
+  h.add(9.99);
+  EXPECT_EQ(h.bin_value(0), 1u);
+  EXPECT_EQ(h.bin_value(5), 2u);
+  EXPECT_EQ(h.bin_value(9), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  auto h = Histogram::linear(0.0, 10.0, 10).value();
+  h.add(-1.0);
+  h.add(10.0);  // upper edge is exclusive
+  h.add(1e9);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.underflow(), 2u);  // -1 and NaN
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, LogBinsGeometric) {
+  auto h = Histogram::logarithmic(1.0, 1000.0, 3).value();
+  EXPECT_NEAR(h.bin_upper(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_upper(1), 100.0, 1e-9);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(h.bin_value(i), 1u);
+}
+
+TEST(Histogram, QuantileApproximatesExact) {
+  auto h = Histogram::linear(0.0, 100.0, 1000).value();
+  util::Rng rng(30);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    sample.push_back(x);
+    h.add(x);
+  }
+  const double exact = percentile(sample, 95.0).value();
+  EXPECT_NEAR(h.quantile(0.95).value(), exact, 0.5);
+}
+
+TEST(Histogram, QuantileOnEmptyIsError) {
+  auto h = Histogram::linear(0.0, 1.0, 4).value();
+  EXPECT_FALSE(h.quantile(0.5).ok());
+}
+
+TEST(Histogram, MergeCompatible) {
+  auto a = Histogram::linear(0.0, 10.0, 10).value();
+  auto b = Histogram::linear(0.0, 10.0, 10).value();
+  a.add(1.0);
+  b.add(1.5);
+  b.add(9.5);
+  ASSERT_TRUE(a.merge(b).ok());
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bin_value(1), 2u);
+}
+
+TEST(Histogram, MergeIncompatibleFails) {
+  auto a = Histogram::linear(0.0, 10.0, 10).value();
+  auto b = Histogram::linear(0.0, 10.0, 20).value();
+  EXPECT_FALSE(a.merge(b).ok());
+  auto c = Histogram::logarithmic(1.0, 10.0, 10).value();
+  EXPECT_FALSE(a.merge(c).ok());
+}
+
+TEST(Histogram, AsciiRenderingContainsBars) {
+  auto h = Histogram::linear(0.0, 2.0, 2).value();
+  h.add_n(0.5, 10);
+  h.add(1.5);
+  const std::string art = h.to_ascii(20);
+  EXPECT_NE(art.find("####################"), std::string::npos);
+  EXPECT_NE(art.find(" 10"), std::string::npos);
+}
+
+// ---------------- Bootstrap ------------------------------------------
+
+TEST(Bootstrap, ErrorsOnBadInput) {
+  util::Rng rng(40);
+  std::vector<double> empty;
+  std::vector<double> sample{1, 2, 3};
+  Statistic stat = [](std::span<const double> s) { return s[0]; };
+  EXPECT_FALSE(bootstrap_ci(empty, stat, rng).ok());
+  EXPECT_FALSE(bootstrap_ci(sample, stat, rng, 0).ok());
+  EXPECT_FALSE(bootstrap_ci(sample, stat, rng, 100, 0.0).ok());
+  EXPECT_FALSE(bootstrap_ci(sample, stat, rng, 100, 1.0).ok());
+  EXPECT_FALSE(bootstrap_percentile_ci(sample, 101.0, rng).ok());
+}
+
+TEST(Bootstrap, CiBracketsPointEstimate) {
+  util::Rng rng(41);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.lognormal(2.0, 0.6));
+  auto ci = bootstrap_percentile_ci(sample, 95.0, rng, 500);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LE(ci->lower, ci->point);
+  EXPECT_GE(ci->upper, ci->point);
+  EXPECT_LT(ci->lower, ci->upper);
+}
+
+TEST(Bootstrap, TighterWithMoreData) {
+  util::Rng rng(42);
+  auto draw = [&rng](std::size_t n) {
+    std::vector<double> s;
+    for (std::size_t i = 0; i < n; ++i) s.push_back(rng.normal(10, 2));
+    return s;
+  };
+  auto small = draw(50);
+  auto large = draw(5000);
+  util::Rng rng_a(43), rng_b(43);
+  const double small_width =
+      bootstrap_percentile_ci(small, 50.0, rng_a, 400)->upper -
+      bootstrap_percentile_ci(small, 50.0, rng_b, 400)->lower;
+  util::Rng rng_c(44), rng_d(44);
+  const double large_width =
+      bootstrap_percentile_ci(large, 50.0, rng_c, 400)->upper -
+      bootstrap_percentile_ci(large, 50.0, rng_d, 400)->lower;
+  EXPECT_LT(large_width, small_width);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  std::vector<double> sample{1, 5, 2, 8, 3, 9, 4, 7, 6, 10};
+  util::Rng rng_a(99), rng_b(99);
+  auto a = bootstrap_percentile_ci(sample, 75.0, rng_a, 200);
+  auto b = bootstrap_percentile_ci(sample, 75.0, rng_b, 200);
+  EXPECT_DOUBLE_EQ(a->lower, b->lower);
+  EXPECT_DOUBLE_EQ(a->upper, b->upper);
+}
+
+// ---------------- Reservoir ------------------------------------------
+
+TEST(Reservoir, KeepsEverythingBelowCapacity) {
+  Reservoir<int> reservoir(10);
+  util::Rng rng(50);
+  for (int i = 0; i < 5; ++i) reservoir.add(i, rng);
+  EXPECT_EQ(reservoir.size(), 5u);
+  EXPECT_EQ(reservoir.seen(), 5u);
+}
+
+TEST(Reservoir, CapsAtCapacity) {
+  Reservoir<int> reservoir(10);
+  util::Rng rng(51);
+  for (int i = 0; i < 1000; ++i) reservoir.add(i, rng);
+  EXPECT_EQ(reservoir.size(), 10u);
+  EXPECT_EQ(reservoir.seen(), 1000u);
+}
+
+TEST(Reservoir, ApproximatelyUniform) {
+  // Each element of a 1000-long stream should land in a 100-slot
+  // reservoir with probability ~0.1; check the first-decile rate over
+  // many trials.
+  util::Rng rng(52);
+  int early_hits = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    Reservoir<int> reservoir(100);
+    for (int i = 0; i < 1000; ++i) reservoir.add(i, rng);
+    for (int kept : reservoir.sample()) {
+      if (kept < 100) ++early_hits;
+    }
+  }
+  const double rate =
+      static_cast<double>(early_hits) / (trials * 100.0);
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(Reservoir, ZeroCapacityClampedToOne) {
+  Reservoir<int> reservoir(0);
+  util::Rng rng(53);
+  reservoir.add(7, rng);
+  EXPECT_EQ(reservoir.capacity(), 1u);
+  EXPECT_EQ(reservoir.size(), 1u);
+}
+
+}  // namespace
+}  // namespace iqb::stats

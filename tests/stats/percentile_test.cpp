@@ -1,0 +1,172 @@
+#include "iqb/stats/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "iqb/util/rng.hpp"
+
+namespace iqb::stats {
+namespace {
+
+TEST(Percentile, EmptyIsError) {
+  std::vector<double> empty;
+  auto r = percentile(empty, 95.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, util::ErrorCode::kEmptyInput);
+}
+
+TEST(Percentile, OutOfRangePIsError) {
+  std::vector<double> sample{1.0, 2.0};
+  EXPECT_FALSE(percentile(sample, -1.0).ok());
+  EXPECT_FALSE(percentile(sample, 100.5).ok());
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> sample{7.0};
+  for (double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(sample, p).value(), 7.0);
+  }
+}
+
+TEST(Percentile, ExtremesHitMinAndMax) {
+  std::vector<double> sample{5.0, 1.0, 3.0, 2.0, 4.0};
+  for (QuantileMethod method :
+       {QuantileMethod::kNearestRank, QuantileMethod::kLinear,
+        QuantileMethod::kHazen, QuantileMethod::kMedianUnbiased,
+        QuantileMethod::kNormalUnbiased}) {
+    EXPECT_DOUBLE_EQ(percentile(sample, 0.0, method).value(), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 100.0, method).value(), 5.0);
+  }
+}
+
+TEST(Percentile, LinearMatchesNumpyDefault) {
+  // numpy.percentile([1..5], 95) == 4.8 (linear / R-7).
+  std::vector<double> sample{1, 2, 3, 4, 5};
+  EXPECT_NEAR(percentile(sample, 95.0, QuantileMethod::kLinear).value(), 4.8,
+              1e-12);
+  // numpy.percentile([1..4], 75) == 3.25.
+  std::vector<double> four{1, 2, 3, 4};
+  EXPECT_NEAR(percentile(four, 75.0, QuantileMethod::kLinear).value(), 3.25,
+              1e-12);
+}
+
+TEST(Percentile, NearestRankDefinition) {
+  std::vector<double> sample{10, 20, 30, 40, 50};
+  // ceil(0.95*5)=5 -> 50; ceil(0.5*5)=3 -> 30; ceil(0.01*5)=1 -> 10.
+  EXPECT_DOUBLE_EQ(
+      percentile(sample, 95.0, QuantileMethod::kNearestRank).value(), 50.0);
+  EXPECT_DOUBLE_EQ(
+      percentile(sample, 50.0, QuantileMethod::kNearestRank).value(), 30.0);
+  EXPECT_DOUBLE_EQ(
+      percentile(sample, 1.0, QuantileMethod::kNearestRank).value(), 10.0);
+}
+
+TEST(Percentile, MethodsAgreeOnMediansOfOddSamples) {
+  std::vector<double> sample{1, 2, 3, 4, 5, 6, 7};
+  for (QuantileMethod method :
+       {QuantileMethod::kLinear, QuantileMethod::kHazen,
+        QuantileMethod::kMedianUnbiased, QuantileMethod::kNormalUnbiased}) {
+    EXPECT_DOUBLE_EQ(percentile(sample, 50.0, method).value(), 4.0);
+  }
+}
+
+TEST(Percentile, MethodsDisagreeOnSmallSampleTail) {
+  // This is exactly why the method is configurable: small samples give
+  // different p95 under different definitions.
+  std::vector<double> sample{1, 2, 3, 4};
+  const double linear =
+      percentile(sample, 95.0, QuantileMethod::kLinear).value();
+  const double nearest =
+      percentile(sample, 95.0, QuantileMethod::kNearestRank).value();
+  EXPECT_NE(linear, nearest);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  std::vector<double> sample{9, 1, 8, 2, 7, 3, 6, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(sample, 50.0).value(), 5.0);
+}
+
+TEST(Percentile, SortedVariantSkipsCopy) {
+  std::vector<double> sorted{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50.0).value(), 3.0);
+}
+
+TEST(Percentiles, BatchMatchesIndividual) {
+  util::Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.lognormal(3.0, 1.0));
+  const std::vector<double> ps{5, 25, 50, 75, 95};
+  auto batch = percentiles(sample, ps);
+  ASSERT_TRUE(batch.ok());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*batch)[i], percentile(sample, ps[i]).value());
+  }
+}
+
+TEST(Percentile, MonotoneInP) {
+  util::Rng rng(4);
+  std::vector<double> sample;
+  for (int i = 0; i < 300; ++i) sample.push_back(rng.normal(0.0, 1.0));
+  double prev = percentile(sample, 0.0).value();
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double current = percentile(sample, p).value();
+    EXPECT_GE(current, prev);
+    prev = current;
+  }
+}
+
+TEST(Percentile, DuplicatedValues) {
+  std::vector<double> sample(100, 3.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 95.0).value(), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 5.0).value(), 3.0);
+}
+
+TEST(Median, Wrapper) {
+  std::vector<double> sample{3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(sample).value(), 2.0);
+}
+
+TEST(QuantileMethodNames, RoundTrip) {
+  for (QuantileMethod method :
+       {QuantileMethod::kNearestRank, QuantileMethod::kLinear,
+        QuantileMethod::kHazen, QuantileMethod::kMedianUnbiased,
+        QuantileMethod::kNormalUnbiased}) {
+    auto parsed = quantile_method_from_name(quantile_method_name(method));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), method);
+  }
+  EXPECT_FALSE(quantile_method_from_name("bogus").ok());
+}
+
+/// Property sweep: every method returns a value inside [min, max] and
+/// respects monotonicity for p in {1..99}, across sample sizes.
+class PercentilePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PercentilePropertyTest, WithinBoundsAndMonotone) {
+  const auto [size, method_index] = GetParam();
+  const auto method = static_cast<QuantileMethod>(method_index);
+  util::Rng rng(static_cast<std::uint64_t>(size * 10 + method_index));
+  std::vector<double> sample;
+  for (int i = 0; i < size; ++i) sample.push_back(rng.pareto(1.0, 1.5));
+  const double lo = *std::min_element(sample.begin(), sample.end());
+  const double hi = *std::max_element(sample.begin(), sample.end());
+  double prev = lo;
+  for (int p = 1; p < 100; p += 7) {
+    const double v = percentile(sample, static_cast<double>(p), method).value();
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndMethods, PercentilePropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 17, 100, 1000),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace iqb::stats

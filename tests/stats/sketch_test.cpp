@@ -1,0 +1,238 @@
+// Streaming quantile estimators (P², GK, t-digest) validated against
+// exact percentiles on common distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "iqb/stats/gk.hpp"
+#include "iqb/stats/p2.hpp"
+#include "iqb/stats/percentile.hpp"
+#include "iqb/stats/tdigest.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::stats {
+namespace {
+
+std::vector<double> lognormal_sample(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.lognormal(3.0, 1.0));
+  return out;
+}
+
+double exact_rank_error(const std::vector<double>& sorted, double estimate,
+                        double q) {
+  const auto rank = static_cast<double>(
+      std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+      sorted.begin());
+  return std::abs(rank / static_cast<double>(sorted.size()) - q);
+}
+
+// ---------------- P² -----------------------------------------------
+
+TEST(P2Quantile, SmallSampleFallsBackToExact) {
+  P2Quantile p2(0.5);
+  p2.add(3.0);
+  p2.add(1.0);
+  p2.add(2.0);
+  // Nearest-rank median of {1,2,3} is 2.
+  EXPECT_DOUBLE_EQ(p2.value(), 2.0);
+}
+
+TEST(P2Quantile, EmptyReturnsZero) {
+  P2Quantile p2(0.95);
+  EXPECT_DOUBLE_EQ(p2.value(), 0.0);
+  EXPECT_EQ(p2.count(), 0u);
+}
+
+TEST(P2Quantile, TracksMedianOfUniform) {
+  P2Quantile p2(0.5);
+  util::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) p2.add(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(p2.value(), 5.0, 0.15);
+}
+
+TEST(P2Quantile, TracksP95OfLognormal) {
+  auto sample = lognormal_sample(100000, 2);
+  P2Quantile p2(0.95);
+  for (double x : sample) p2.add(x);
+  std::sort(sample.begin(), sample.end());
+  // P² on heavy-tailed data: accept 1.5% rank error.
+  EXPECT_LT(exact_rank_error(sample, p2.value(), 0.95), 0.015);
+}
+
+TEST(P2Quantile, MonotoneStreamStaysOrdered) {
+  P2Quantile p2(0.9);
+  for (int i = 1; i <= 1000; ++i) p2.add(static_cast<double>(i));
+  EXPECT_NEAR(p2.value(), 900.0, 20.0);
+}
+
+// ---------------- GK ------------------------------------------------
+
+TEST(GkSketch, EmptyReturnsZero) {
+  GkSketch sketch(0.01);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(GkSketch, ExactOnTinyStreams) {
+  GkSketch sketch(0.01);
+  for (double x : {5.0, 1.0, 3.0}) sketch.add(x);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 5.0);
+}
+
+TEST(GkSketch, RankErrorWithinEpsilon) {
+  const double epsilon = 0.01;
+  auto sample = lognormal_sample(50000, 3);
+  GkSketch sketch(epsilon);
+  for (double x : sample) sketch.add(x);
+  std::sort(sample.begin(), sample.end());
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    // Allow 2x epsilon: one epsilon from the sketch guarantee plus
+    // discretization slack on ties.
+    EXPECT_LT(exact_rank_error(sample, sketch.quantile(q), q), 2.0 * epsilon)
+        << "q=" << q;
+  }
+}
+
+TEST(GkSketch, SpaceStaysSublinear) {
+  GkSketch sketch(0.01);
+  util::Rng rng(4);
+  for (int i = 0; i < 100000; ++i) sketch.add(rng.next_double());
+  EXPECT_EQ(sketch.count(), 100000u);
+  // 1/(2*0.01) * log2(0.01*1e5) ~ 500; give generous headroom but far
+  // below n.
+  EXPECT_LT(sketch.tuple_count(), 5000u);
+}
+
+TEST(GkSketch, MinMaxPreserved) {
+  GkSketch sketch(0.05);
+  util::Rng rng(5);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.normal(0, 100);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    sketch.add(x);
+  }
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), lo);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), hi);
+}
+
+// ---------------- t-digest ------------------------------------------
+
+TEST(TDigest, EmptyReturnsZero) {
+  TDigest digest;
+  EXPECT_DOUBLE_EQ(digest.quantile(0.5), 0.0);
+  EXPECT_EQ(digest.count(), 0u);
+}
+
+TEST(TDigest, SingleValue) {
+  TDigest digest;
+  digest.add(42.0);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(digest.quantile(q), 42.0);
+  }
+}
+
+TEST(TDigest, TailAccuracyOnLognormal) {
+  auto sample = lognormal_sample(100000, 6);
+  TDigest digest(100.0);
+  for (double x : sample) digest.add(x);
+  std::sort(sample.begin(), sample.end());
+  for (double q : {0.9, 0.95, 0.99, 0.999}) {
+    EXPECT_LT(exact_rank_error(sample, digest.quantile(q), q), 0.005)
+        << "q=" << q;
+  }
+}
+
+TEST(TDigest, CompressionBoundsCentroids) {
+  TDigest digest(100.0);
+  util::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) digest.add(rng.normal(0, 1));
+  EXPECT_EQ(digest.count(), 100000u);
+  EXPECT_LT(digest.centroid_count(), 200u);
+}
+
+TEST(TDigest, MergePreservesQuantiles) {
+  util::Rng rng(8);
+  TDigest left(100.0), right(100.0), combined(100.0);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.lognormal(2.0, 0.8);
+    all.push_back(x);
+    combined.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), 20000u);
+  std::sort(all.begin(), all.end());
+  for (double q : {0.5, 0.95}) {
+    EXPECT_LT(exact_rank_error(all, left.quantile(q), q), 0.01) << "q=" << q;
+  }
+}
+
+TEST(TDigest, CdfIsMonotoneAndBounded) {
+  TDigest digest;
+  util::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) digest.add(rng.normal(50, 10));
+  double prev = 0.0;
+  for (double x = 0.0; x <= 100.0; x += 5.0) {
+    const double c = digest.cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(digest.cdf(-1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(digest.cdf(1000.0), 1.0);
+}
+
+TEST(TDigest, QuantileMonotoneInQ) {
+  TDigest digest;
+  util::Rng rng(10);
+  for (int i = 0; i < 50000; ++i) digest.add(rng.pareto(1.0, 1.2));
+  double prev = digest.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = digest.quantile(q);
+    EXPECT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+}
+
+TEST(TDigest, WeightedAdd) {
+  TDigest digest;
+  digest.add(1.0, 99.0);
+  digest.add(100.0, 1.0);
+  // 99% of the mass sits at 1.0: quantiles below the first centroid's
+  // cumulative midpoint (q < 0.495) are exactly 1.0, and the median
+  // interpolates only slightly above it.
+  EXPECT_NEAR(digest.quantile(0.3), 1.0, 1e-9);
+  EXPECT_LT(digest.quantile(0.5), 3.0);
+  EXPECT_NEAR(digest.quantile(0.999), 100.0, 5.0);
+  EXPECT_EQ(digest.count(), 100u);
+}
+
+/// Cross-estimator agreement: all three streaming estimators land
+/// near the exact p95 on the same stream.
+TEST(StreamingEstimators, AgreeOnP95) {
+  auto sample = lognormal_sample(50000, 11);
+  P2Quantile p2(0.95);
+  GkSketch gk(0.005);
+  TDigest digest;
+  for (double x : sample) {
+    p2.add(x);
+    gk.add(x);
+    digest.add(x);
+  }
+  const double exact = percentile(sample, 95.0).value();
+  EXPECT_NEAR(p2.value() / exact, 1.0, 0.1);
+  EXPECT_NEAR(gk.quantile(0.95) / exact, 1.0, 0.05);
+  EXPECT_NEAR(digest.quantile(0.95) / exact, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace iqb::stats

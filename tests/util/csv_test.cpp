@@ -1,0 +1,129 @@
+#include "iqb/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace iqb::util {
+namespace {
+
+TEST(CsvParse, SimpleTable) {
+  auto table = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (CsvRow{"a", "b", "c"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0], (CsvRow{"1", "2", "3"}));
+  EXPECT_EQ(table->rows[1], (CsvRow{"4", "5", "6"}));
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  auto table = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (CsvRow{"1", "2"}));
+}
+
+TEST(CsvParse, NoTrailingNewline) {
+  auto table = parse_csv("a,b\n1,2");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0], (CsvRow{"1", "2"}));
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  auto table = parse_csv("name,notes\nx,\"a, b\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "a, b");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  auto table = parse_csv("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParse, QuotedFieldWithNewline) {
+  auto table = parse_csv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, EmptyFields) {
+  auto table = parse_csv("a,b,c\n,,\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (CsvRow{"", "", ""}));
+}
+
+TEST(CsvParse, RaggedRowIsError) {
+  auto table = parse_csv("a,b\n1,2,3\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.error().code, ErrorCode::kParseError);
+}
+
+TEST(CsvParse, EmptyDocumentIsError) {
+  EXPECT_FALSE(parse_csv("").ok());
+  EXPECT_FALSE(parse_csv("   \n  ").ok());
+  EXPECT_EQ(parse_csv("").error().code, ErrorCode::kEmptyInput);
+}
+
+TEST(CsvParse, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(parse_csv("a\n\"oops\n").ok());
+}
+
+TEST(CsvParse, BareQuoteInsideUnquotedFieldIsError) {
+  EXPECT_FALSE(parse_csv("a\nfo\"o\n").ok());
+}
+
+TEST(CsvParseLine, SingleRow) {
+  auto row = parse_csv_line("x,\"y,z\",w");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"x", "y,z", "w"}));
+}
+
+TEST(CsvQuote, OnlyWhenNeeded) {
+  EXPECT_EQ(csv_quote("plain"), "plain");
+  EXPECT_EQ(csv_quote("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_quote("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_quote("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(CsvWrite, RoundTrip) {
+  CsvTable table;
+  table.header = {"region", "notes"};
+  table.rows = {{"metro", "all good"},
+                {"rural", "flaky, maybe \"wet tree\" issue"},
+                {"", ""}};
+  auto reparsed = parse_csv(write_csv(table));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header, table.header);
+  EXPECT_EQ(reparsed->rows, table.rows);
+}
+
+TEST(CsvColumnIndex, FindsAndFails) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  EXPECT_EQ(table.column_index("y").value(), 1u);
+  EXPECT_FALSE(table.column_index("z").ok());
+}
+
+TEST(CsvFiles, WriteThenRead) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iqb_csv_test.csv").string();
+  CsvTable table;
+  table.header = {"a"};
+  table.rows = {{"1"}, {"2"}};
+  ASSERT_TRUE(write_csv_file(path, table).ok());
+  auto loaded = read_csv_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFiles, MissingFileIsIoError) {
+  auto loaded = read_csv_file("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace iqb::util

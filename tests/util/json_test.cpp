@@ -1,0 +1,164 @@
+#include "iqb/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_EQ(parse_json("true")->as_bool(), true);
+  EXPECT_EQ(parse_json("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5")->as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3")->as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_json("2.5E-2")->as_number(), 0.025);
+  EXPECT_EQ(parse_json("\"hello\"")->as_string(), "hello");
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  auto v = parse_json("  \n\t {\"a\" : 1 , \"b\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->get_number("a").value(), 1.0);
+  EXPECT_EQ(v->get_array("b")->size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  auto v = parse_json(R"({"outer": {"inner": [1, {"deep": true}]}})");
+  ASSERT_TRUE(v.ok());
+  auto outer = v->get_object("outer");
+  ASSERT_TRUE(outer.ok());
+  const JsonValue inner = outer->at("inner");
+  ASSERT_TRUE(inner.is_array());
+  EXPECT_TRUE(inner.as_array()[1].get_bool("deep").value());
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto v = parse_json(R"("a\"b\\c\/d\ne\tfA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "a\"b\\c/d\ne\tfA");
+}
+
+TEST(JsonParse, UnicodeEscapeMultibyte) {
+  // é (e-acute) -> two UTF-8 bytes; € (euro sign) -> three.
+  EXPECT_EQ(parse_json("\"\\u00e9\"")->as_string(), "\xC3\xA9");
+  EXPECT_EQ(parse_json("\"\\u20AC\"")->as_string(), "\xE2\x82\xAC");
+  // Raw multibyte UTF-8 passes through untouched.
+  EXPECT_EQ(parse_json("\"\xC3\xA9\"")->as_string(), "\xC3\xA9");
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(parse_json("").ok());
+  EXPECT_FALSE(parse_json("{").ok());
+  EXPECT_FALSE(parse_json("[1,]").ok());
+  EXPECT_FALSE(parse_json("{\"a\":}").ok());
+  EXPECT_FALSE(parse_json("\"unterminated").ok());
+  EXPECT_FALSE(parse_json("tru").ok());
+  EXPECT_FALSE(parse_json("1 2").ok());       // trailing content
+  EXPECT_FALSE(parse_json("{\"a\" 1}").ok()); // missing colon
+  EXPECT_FALSE(parse_json("\"bad\\q\"").ok());
+  EXPECT_FALSE(parse_json("\"\\u00g1\"").ok());
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 50; ++i) deep += "[";
+  for (int i = 0; i < 50; ++i) deep += "]";
+  EXPECT_TRUE(parse_json(deep, 64).ok());
+  EXPECT_FALSE(parse_json(deep, 10).ok());
+}
+
+TEST(JsonParse, ControlCharacterRejected) {
+  std::string with_control = "\"a\x01b\"";
+  EXPECT_FALSE(parse_json(with_control).ok());
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string text =
+      R"({"arr":[1,2.5,"s"],"nested":{"k":null},"t":true})";
+  auto parsed = parse_json(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->dump(), text);
+}
+
+TEST(JsonDump, IntegersRenderWithoutDecimalPoint) {
+  JsonObject object;
+  object.emplace("w", 5);
+  EXPECT_EQ(JsonValue(std::move(object)).dump(), R"({"w":5})");
+}
+
+TEST(JsonDump, PrettyPrint) {
+  auto v = parse_json(R"({"a":1})");
+  EXPECT_EQ(v->dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonDump, EscapesSpecials) {
+  JsonValue v(std::string("line\nbreak\t\"q\" \\"));
+  auto reparsed = parse_json(v.dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->as_string(), v.as_string());
+}
+
+TEST(JsonDump, DeterministicKeyOrder) {
+  auto a = parse_json(R"({"zeta":1,"alpha":2})");
+  auto b = parse_json(R"({"alpha":2,"zeta":1})");
+  EXPECT_EQ(a->dump(), b->dump());
+}
+
+TEST(JsonAccessors, TypedGetters) {
+  auto v = parse_json(R"({"n":1.5,"s":"x","b":false,"a":[],"o":{}})").value();
+  EXPECT_DOUBLE_EQ(v.get_number("n").value(), 1.5);
+  EXPECT_EQ(v.get_string("s").value(), "x");
+  EXPECT_FALSE(v.get_bool("b").value());
+  EXPECT_TRUE(v.get_array("a")->empty());
+  EXPECT_TRUE(v.get_object("o")->empty());
+}
+
+TEST(JsonAccessors, TypeMismatchErrors) {
+  auto v = parse_json(R"({"n":"not a number"})").value();
+  EXPECT_FALSE(v.get_number("n").ok());
+  EXPECT_FALSE(v.get_bool("n").ok());
+  EXPECT_FALSE(v.get_array("n").ok());
+}
+
+TEST(JsonAccessors, MissingKeyIsNotFound) {
+  auto v = parse_json("{}").value();
+  auto missing = v.get("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kNotFound);
+  EXPECT_FALSE(v.contains("nope"));
+}
+
+TEST(JsonAccessors, GetOnNonObjectErrors) {
+  JsonValue v(3.0);
+  EXPECT_FALSE(v.get("k").ok());
+  EXPECT_FALSE(v.contains("k"));
+}
+
+TEST(JsonEquality, DeepCompare) {
+  auto a = parse_json(R"({"x":[1,2,{"y":true}]})").value();
+  auto b = parse_json(R"({"x":[1,2,{"y":true}]})").value();
+  auto c = parse_json(R"({"x":[1,2,{"y":false}]})").value();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(JsonRoundTrip, LargeDocumentSurvives) {
+  JsonArray items;
+  for (int i = 0; i < 500; ++i) {
+    JsonObject object;
+    object.emplace("index", i);
+    object.emplace("name", "item-" + std::to_string(i));
+    object.emplace("flag", i % 2 == 0);
+    items.push_back(std::move(object));
+  }
+  JsonObject root;
+  root.emplace("items", std::move(items));
+  const JsonValue original{std::move(root)};
+  auto reparsed = parse_json(original.dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value(), original);
+}
+
+}  // namespace
+}  // namespace iqb::util

@@ -1,0 +1,96 @@
+#include "iqb/util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace iqb::util {
+namespace {
+
+Result<int> parse_even(int x) {
+  if (x % 2 != 0) {
+    return make_error(ErrorCode::kInvalidArgument, "odd input");
+  }
+  return x;
+}
+
+TEST(Result, SuccessHoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, ErrorHoldsCodeAndMessage) {
+  Result<int> r = make_error(ErrorCode::kNotFound, "missing thing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing thing");
+  EXPECT_EQ(r.error().to_string(), "not_found: missing thing");
+}
+
+TEST(Result, ValueOr) {
+  Result<int> ok = 7;
+  Result<int> bad = make_error(ErrorCode::kInternal, "x");
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MapTransformsSuccess) {
+  Result<int> r = 21;
+  auto doubled = r.map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+}
+
+TEST(Result, MapPropagatesError) {
+  Result<int> r = make_error(ErrorCode::kParseError, "bad");
+  auto mapped = r.map([](int v) { return v * 2; });
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.error().code, ErrorCode::kParseError);
+}
+
+TEST(Result, AndThenChains) {
+  auto chained = parse_even(4).and_then([](int v) { return parse_even(v + 2); });
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(chained.value(), 6);
+
+  auto failed = parse_even(4).and_then([](int v) { return parse_even(v + 1); });
+  EXPECT_FALSE(failed.ok());
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(ResultVoid, DefaultIsSuccess) {
+  Result<void> r;
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(Result<void>::success().ok());
+}
+
+TEST(ResultVoid, ErrorState) {
+  Result<void> r = make_error(ErrorCode::kIoError, "disk on fire");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kIoError);
+}
+
+TEST(ErrorCodeNames, AllDistinct) {
+  const ErrorCode codes[] = {
+      ErrorCode::kInvalidArgument, ErrorCode::kParseError,
+      ErrorCode::kNotFound,        ErrorCode::kOutOfRange,
+      ErrorCode::kEmptyInput,      ErrorCode::kIoError,
+      ErrorCode::kInternal};
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_NE(error_code_name(codes[i]), error_code_name(codes[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iqb::util

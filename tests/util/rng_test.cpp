@@ -1,0 +1,170 @@
+#include "iqb/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace iqb::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, CopyForksIdenticalStream) {
+  Rng a(77);
+  a.next_u64();
+  Rng b = a;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  // Each value should appear within 10% of the expected 10000.
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(12);
+  std::vector<double> samples;
+  for (int i = 0; i < 50001; ++i) samples.push_back(rng.lognormal(2.0, 0.7));
+  std::nth_element(samples.begin(), samples.begin() + 25000, samples.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(samples[25000], std::exp(2.0), 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);  // mean = 1/lambda
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+  }
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(15);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);  // zero weight never chosen
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  // Same stream id from the same state is reproducible...
+  Rng parent_again(42);
+  Rng child1_again = parent_again.fork(1);
+  EXPECT_EQ(child1.next_u64(), child1_again.next_u64());
+  // ...and different ids diverge.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng rng(0);
+  // Must not be stuck at zero.
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) {
+    if (rng.next_u64() != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace iqb::util

@@ -1,0 +1,75 @@
+#include "iqb/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::util {
+namespace {
+
+TEST(Split, BasicAndEdgeCases) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("single", ','), (std::vector<std::string>{"single"}));
+  EXPECT_EQ(split("trail,", ','), (std::vector<std::string>{"trail", ""}));
+}
+
+TEST(Trim, StripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n y z \n"), "y z");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123 Case!"), "mixed 123 case!");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StartsEndsWith, Behaviour) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(ParseDouble, ValidInputs) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("  -1e3 ").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("0").value(), 0.0);
+}
+
+TEST(ParseDouble, InvalidInputs) {
+  EXPECT_FALSE(parse_double("").ok());
+  EXPECT_FALSE(parse_double("abc").ok());
+  EXPECT_FALSE(parse_double("1.5x").ok());
+  EXPECT_FALSE(parse_double("1.5 2.5").ok());
+}
+
+TEST(ParseInt, ValidInputs) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int(" -7 ").value(), -7);
+}
+
+TEST(ParseInt, InvalidInputs) {
+  EXPECT_FALSE(parse_int("").ok());
+  EXPECT_FALSE(parse_int("3.5").ok());
+  EXPECT_FALSE(parse_int("12a").ok());
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace iqb::util

@@ -1,0 +1,92 @@
+#include "iqb/util/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iqb::util {
+namespace {
+
+TEST(Timestamp, EpochIsZero) {
+  auto ts = Timestamp::from_civil(1970, 1, 1);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->unix_seconds(), 0);
+}
+
+TEST(Timestamp, KnownDate) {
+  // 2025-03-01T00:00:00Z == 1740787200 (verified against `date -u`).
+  auto ts = Timestamp::from_civil(2025, 3, 1);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->unix_seconds(), 1740787200);
+}
+
+TEST(Timestamp, TimeOfDayComponents) {
+  auto ts = Timestamp::from_civil(2025, 3, 1, 13, 45, 30);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->unix_seconds(), 1740787200 + 13 * 3600 + 45 * 60 + 30);
+}
+
+TEST(Timestamp, LeapYearHandling) {
+  EXPECT_TRUE(Timestamp::from_civil(2024, 2, 29).ok());   // leap
+  EXPECT_FALSE(Timestamp::from_civil(2025, 2, 29).ok());  // not leap
+  EXPECT_TRUE(Timestamp::from_civil(2000, 2, 29).ok());   // /400 rule
+  EXPECT_FALSE(Timestamp::from_civil(1900, 2, 29).ok());  // /100 rule
+}
+
+TEST(Timestamp, RangeValidation) {
+  EXPECT_FALSE(Timestamp::from_civil(2025, 0, 1).ok());
+  EXPECT_FALSE(Timestamp::from_civil(2025, 13, 1).ok());
+  EXPECT_FALSE(Timestamp::from_civil(2025, 4, 31).ok());
+  EXPECT_FALSE(Timestamp::from_civil(2025, 1, 1, 24, 0, 0).ok());
+  EXPECT_FALSE(Timestamp::from_civil(2025, 1, 1, 0, 60, 0).ok());
+  EXPECT_FALSE(Timestamp::from_civil(2025, 1, 1, 0, 0, 60).ok());
+}
+
+TEST(Timestamp, Iso8601RoundTrip) {
+  const std::string text = "2025-07-06T08:30:00Z";
+  auto ts = Timestamp::parse(text);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->to_iso8601(), text);
+}
+
+TEST(Timestamp, ParseDateOnly) {
+  auto ts = Timestamp::parse("2025-01-15");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->to_iso8601(), "2025-01-15T00:00:00Z");
+}
+
+TEST(Timestamp, ParseWithSpaceSeparator) {
+  auto ts = Timestamp::parse("2025-01-15 06:07:08");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->to_iso8601(), "2025-01-15T06:07:08Z");
+}
+
+TEST(Timestamp, ParseRejectsGarbage) {
+  EXPECT_FALSE(Timestamp::parse("").ok());
+  EXPECT_FALSE(Timestamp::parse("not a date").ok());
+  EXPECT_FALSE(Timestamp::parse("2025/01/15").ok());
+  EXPECT_FALSE(Timestamp::parse("2025-1-15").ok());
+  EXPECT_FALSE(Timestamp::parse("2025-01-15T10:30").ok());  // truncated time
+}
+
+TEST(Timestamp, ArithmeticAndOrdering) {
+  auto a = Timestamp::parse("2025-01-15").value();
+  auto b = a + 86400;
+  EXPECT_EQ(b.to_iso8601(), "2025-01-16T00:00:00Z");
+  EXPECT_EQ(b - a, 86400);
+  EXPECT_LT(a, b);
+}
+
+TEST(Timestamp, PreEpochDates) {
+  auto ts = Timestamp::from_civil(1969, 12, 31, 23, 59, 59);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->unix_seconds(), -1);
+  EXPECT_EQ(ts->to_iso8601(), "1969-12-31T23:59:59Z");
+}
+
+TEST(Timestamp, FarFutureRoundTrip) {
+  auto ts = Timestamp::from_civil(2100, 12, 31, 23, 59, 59);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(Timestamp::parse(ts->to_iso8601()).value(), ts.value());
+}
+
+}  // namespace
+}  // namespace iqb::util

@@ -1,0 +1,112 @@
+#include "iqb/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace iqb::util {
+namespace {
+
+using namespace iqb::util::literals;
+
+TEST(Mbps, ConversionsRoundTrip) {
+  const Mbps rate(25.0);
+  EXPECT_DOUBLE_EQ(rate.value(), 25.0);
+  EXPECT_DOUBLE_EQ(rate.kbps(), 25000.0);
+  EXPECT_DOUBLE_EQ(rate.bits_per_second(), 25e6);
+  EXPECT_DOUBLE_EQ(rate.bytes_per_second(), 25e6 / 8.0);
+  EXPECT_EQ(Mbps::from_kbps(25000.0), rate);
+  EXPECT_EQ(Mbps::from_gbps(0.025), rate);
+  EXPECT_EQ(Mbps::from_bits_per_second(25e6), rate);
+}
+
+TEST(Mbps, FromBytesOverSeconds) {
+  // 1 MB over 1 s = 8 Mb/s.
+  EXPECT_DOUBLE_EQ(Mbps::from_bytes_over_seconds(1e6, 1.0).value(), 8.0);
+  // Degenerate duration yields zero, not infinity.
+  EXPECT_DOUBLE_EQ(Mbps::from_bytes_over_seconds(1e6, 0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Mbps::from_bytes_over_seconds(1e6, -1.0).value(), 0.0);
+}
+
+TEST(Mbps, Arithmetic) {
+  EXPECT_EQ(Mbps(10) + Mbps(5), Mbps(15));
+  EXPECT_EQ(Mbps(10) - Mbps(5), Mbps(5));
+  EXPECT_EQ(Mbps(10) * 2.0, Mbps(20));
+  EXPECT_EQ(2.0 * Mbps(10), Mbps(20));
+  EXPECT_EQ(Mbps(10) / 2.0, Mbps(5));
+  EXPECT_DOUBLE_EQ(Mbps(10) / Mbps(5), 2.0);
+  Mbps acc(1);
+  acc += Mbps(2);
+  EXPECT_EQ(acc, Mbps(3));
+}
+
+TEST(Mbps, Ordering) {
+  EXPECT_LT(Mbps(1), Mbps(2));
+  EXPECT_GT(Mbps(3), Mbps(2));
+  EXPECT_LE(Mbps(2), Mbps(2));
+}
+
+TEST(Mbps, Validity) {
+  EXPECT_TRUE(Mbps(0.0).is_valid());
+  EXPECT_TRUE(Mbps(100.0).is_valid());
+  EXPECT_FALSE(Mbps(-1.0).is_valid());
+  EXPECT_FALSE(Mbps(std::numeric_limits<double>::quiet_NaN()).is_valid());
+  EXPECT_FALSE(Mbps(std::numeric_limits<double>::infinity()).is_valid());
+}
+
+TEST(Mbps, ToString) { EXPECT_EQ(Mbps(25).to_string(), "25.00 Mb/s"); }
+
+TEST(Millis, Conversions) {
+  EXPECT_EQ(Millis::from_seconds(0.05), Millis(50.0));
+  EXPECT_EQ(Millis::from_micros(5000.0), Millis(5.0));
+  EXPECT_DOUBLE_EQ(Millis(50).seconds(), 0.05);
+  EXPECT_DOUBLE_EQ(Millis(5).micros(), 5000.0);
+}
+
+TEST(Millis, Validity) {
+  EXPECT_TRUE(Millis(0.0).is_valid());
+  EXPECT_FALSE(Millis(-0.5).is_valid());
+  EXPECT_FALSE(Millis(std::numeric_limits<double>::quiet_NaN()).is_valid());
+}
+
+TEST(LossRate, PercentRoundTrip) {
+  const LossRate loss = LossRate::from_percent(1.5);
+  EXPECT_DOUBLE_EQ(loss.fraction(), 0.015);
+  EXPECT_DOUBLE_EQ(loss.percent(), 1.5);
+}
+
+TEST(LossRate, FromCounts) {
+  EXPECT_DOUBLE_EQ(LossRate::from_counts(5, 100).fraction(), 0.05);
+  EXPECT_DOUBLE_EQ(LossRate::from_counts(0, 100).fraction(), 0.0);
+  // No packets sent: loss is zero, not NaN.
+  EXPECT_DOUBLE_EQ(LossRate::from_counts(0, 0).fraction(), 0.0);
+}
+
+TEST(LossRate, Validity) {
+  EXPECT_TRUE(LossRate(0.0).is_valid());
+  EXPECT_TRUE(LossRate(1.0).is_valid());
+  EXPECT_FALSE(LossRate(1.01).is_valid());
+  EXPECT_FALSE(LossRate(-0.01).is_valid());
+}
+
+TEST(LossRate, ToStringIsPercent) {
+  EXPECT_EQ(LossRate(0.005).to_string(), "0.50%");
+}
+
+TEST(Seconds, MillisConversion) {
+  EXPECT_EQ(Seconds::from_millis(1500.0), Seconds(1.5));
+  EXPECT_EQ(Seconds(1.5).to_millis(), Millis(1500.0));
+  EXPECT_EQ(Seconds::from_micros(2'000'000.0), Seconds(2.0));
+}
+
+TEST(Literals, ProduceExpectedValues) {
+  EXPECT_EQ(25.0_mbps, Mbps(25.0));
+  EXPECT_EQ(25_mbps, Mbps(25.0));
+  EXPECT_EQ(100.0_ms, Millis(100.0));
+  EXPECT_EQ(1.0_pct, LossRate(0.01));
+  EXPECT_EQ(10_s, Seconds(10.0));
+}
+
+}  // namespace
+}  // namespace iqb::util

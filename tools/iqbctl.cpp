@@ -1,0 +1,13 @@
+// iqbctl — command-line front end for the IQB framework. All logic
+// lives in iqb::cli (src/iqb/cli/) so it is unit-testable; this file
+// only adapts argv and the standard streams.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "iqb/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  return iqb::cli::run_command(tokens, std::cout, std::cerr);
+}
