@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grading.dir/bench_ablation_grading.cpp.o"
+  "CMakeFiles/bench_ablation_grading.dir/bench_ablation_grading.cpp.o.d"
+  "bench_ablation_grading"
+  "bench_ablation_grading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shaping.dir/bench_ablation_shaping.cpp.o"
+  "CMakeFiles/bench_ablation_shaping.dir/bench_ablation_shaping.cpp.o.d"
+  "bench_ablation_shaping"
+  "bench_ablation_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_agreement.dir/bench_dataset_agreement.cpp.o"
+  "CMakeFiles/bench_dataset_agreement.dir/bench_dataset_agreement.cpp.o.d"
+  "bench_dataset_agreement"
+  "bench_dataset_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_use_case.dir/custom_use_case.cpp.o"
+  "CMakeFiles/custom_use_case.dir/custom_use_case.cpp.o.d"
+  "custom_use_case"
+  "custom_use_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_use_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

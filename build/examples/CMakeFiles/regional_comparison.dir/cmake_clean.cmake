@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_comparison.dir/regional_comparison.cpp.o"
+  "CMakeFiles/regional_comparison.dir/regional_comparison.cpp.o.d"
+  "regional_comparison"
+  "regional_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_and_report.dir/trend_and_report.cpp.o"
+  "CMakeFiles/trend_and_report.dir/trend_and_report.cpp.o.d"
+  "trend_and_report"
+  "trend_and_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_and_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqb_cli.dir/iqb/cli/cli.cpp.o"
+  "CMakeFiles/iqb_cli.dir/iqb/cli/cli.cpp.o.d"
+  "libiqb_cli.a"
+  "libiqb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

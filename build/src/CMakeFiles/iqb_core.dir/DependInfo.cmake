@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iqb/core/config.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/config.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/config.cpp.o.d"
+  "/root/repo/src/iqb/core/grade.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/grade.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/grade.cpp.o.d"
+  "/root/repo/src/iqb/core/pipeline.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/pipeline.cpp.o.d"
+  "/root/repo/src/iqb/core/responsiveness.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/responsiveness.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/responsiveness.cpp.o.d"
+  "/root/repo/src/iqb/core/score.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/score.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/score.cpp.o.d"
+  "/root/repo/src/iqb/core/sensitivity.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/sensitivity.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/sensitivity.cpp.o.d"
+  "/root/repo/src/iqb/core/taxonomy.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/taxonomy.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/taxonomy.cpp.o.d"
+  "/root/repo/src/iqb/core/thresholds.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/thresholds.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/thresholds.cpp.o.d"
+  "/root/repo/src/iqb/core/trend.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/trend.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/trend.cpp.o.d"
+  "/root/repo/src/iqb/core/weights.cpp" "src/CMakeFiles/iqb_core.dir/iqb/core/weights.cpp.o" "gcc" "src/CMakeFiles/iqb_core.dir/iqb/core/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iqb_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqb_core.dir/iqb/core/config.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/config.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/grade.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/grade.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/pipeline.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/pipeline.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/responsiveness.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/responsiveness.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/score.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/score.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/sensitivity.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/sensitivity.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/taxonomy.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/taxonomy.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/thresholds.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/thresholds.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/trend.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/trend.cpp.o.d"
+  "CMakeFiles/iqb_core.dir/iqb/core/weights.cpp.o"
+  "CMakeFiles/iqb_core.dir/iqb/core/weights.cpp.o.d"
+  "libiqb_core.a"
+  "libiqb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

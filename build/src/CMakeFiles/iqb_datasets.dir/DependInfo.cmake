@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iqb/datasets/aggregate.cpp" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/aggregate.cpp.o" "gcc" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/aggregate.cpp.o.d"
+  "/root/repo/src/iqb/datasets/importers.cpp" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/importers.cpp.o" "gcc" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/importers.cpp.o.d"
+  "/root/repo/src/iqb/datasets/io.cpp" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/io.cpp.o" "gcc" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/io.cpp.o.d"
+  "/root/repo/src/iqb/datasets/record.cpp" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/record.cpp.o" "gcc" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/record.cpp.o.d"
+  "/root/repo/src/iqb/datasets/store.cpp" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/store.cpp.o" "gcc" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/store.cpp.o.d"
+  "/root/repo/src/iqb/datasets/synthetic.cpp" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/synthetic.cpp.o" "gcc" "src/CMakeFiles/iqb_datasets.dir/iqb/datasets/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iqb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

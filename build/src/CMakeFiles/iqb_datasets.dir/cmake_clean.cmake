@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/aggregate.cpp.o"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/aggregate.cpp.o.d"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/importers.cpp.o"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/importers.cpp.o.d"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/io.cpp.o"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/io.cpp.o.d"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/record.cpp.o"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/record.cpp.o.d"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/store.cpp.o"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/store.cpp.o.d"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/synthetic.cpp.o"
+  "CMakeFiles/iqb_datasets.dir/iqb/datasets/synthetic.cpp.o.d"
+  "libiqb_datasets.a"
+  "libiqb_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqb_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iqb/measurement/adapters.cpp" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/adapters.cpp.o" "gcc" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/adapters.cpp.o.d"
+  "/root/repo/src/iqb/measurement/campaign.cpp" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/campaign.cpp.o" "gcc" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/campaign.cpp.o.d"
+  "/root/repo/src/iqb/measurement/cloudflare_style.cpp" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/cloudflare_style.cpp.o" "gcc" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/cloudflare_style.cpp.o.d"
+  "/root/repo/src/iqb/measurement/ndt.cpp" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/ndt.cpp.o" "gcc" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/ndt.cpp.o.d"
+  "/root/repo/src/iqb/measurement/ookla_style.cpp" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/ookla_style.cpp.o" "gcc" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/ookla_style.cpp.o.d"
+  "/root/repo/src/iqb/measurement/population.cpp" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/population.cpp.o" "gcc" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/population.cpp.o.d"
+  "/root/repo/src/iqb/measurement/rpm_style.cpp" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/rpm_style.cpp.o" "gcc" "src/CMakeFiles/iqb_measurement.dir/iqb/measurement/rpm_style.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iqb_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

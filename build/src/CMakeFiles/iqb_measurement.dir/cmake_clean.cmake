@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/adapters.cpp.o"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/adapters.cpp.o.d"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/campaign.cpp.o"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/campaign.cpp.o.d"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/cloudflare_style.cpp.o"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/cloudflare_style.cpp.o.d"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/ndt.cpp.o"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/ndt.cpp.o.d"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/ookla_style.cpp.o"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/ookla_style.cpp.o.d"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/population.cpp.o"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/population.cpp.o.d"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/rpm_style.cpp.o"
+  "CMakeFiles/iqb_measurement.dir/iqb/measurement/rpm_style.cpp.o.d"
+  "libiqb_measurement.a"
+  "libiqb_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqb_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iqb/netsim/crosstraffic.cpp" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/crosstraffic.cpp.o" "gcc" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/crosstraffic.cpp.o.d"
+  "/root/repo/src/iqb/netsim/link.cpp" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/link.cpp.o" "gcc" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/link.cpp.o.d"
+  "/root/repo/src/iqb/netsim/network.cpp" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/network.cpp.o" "gcc" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/network.cpp.o.d"
+  "/root/repo/src/iqb/netsim/queue.cpp" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/queue.cpp.o" "gcc" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/queue.cpp.o.d"
+  "/root/repo/src/iqb/netsim/sim.cpp" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/sim.cpp.o" "gcc" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/sim.cpp.o.d"
+  "/root/repo/src/iqb/netsim/tcp.cpp" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/tcp.cpp.o" "gcc" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/tcp.cpp.o.d"
+  "/root/repo/src/iqb/netsim/udp.cpp" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/udp.cpp.o" "gcc" "src/CMakeFiles/iqb_netsim.dir/iqb/netsim/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iqb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/crosstraffic.cpp.o"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/crosstraffic.cpp.o.d"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/link.cpp.o"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/link.cpp.o.d"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/network.cpp.o"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/network.cpp.o.d"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/queue.cpp.o"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/queue.cpp.o.d"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/sim.cpp.o"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/sim.cpp.o.d"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/tcp.cpp.o"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/tcp.cpp.o.d"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/udp.cpp.o"
+  "CMakeFiles/iqb_netsim.dir/iqb/netsim/udp.cpp.o.d"
+  "libiqb_netsim.a"
+  "libiqb_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqb_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

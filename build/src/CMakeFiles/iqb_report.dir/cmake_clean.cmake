@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqb_report.dir/iqb/report/html.cpp.o"
+  "CMakeFiles/iqb_report.dir/iqb/report/html.cpp.o.d"
+  "CMakeFiles/iqb_report.dir/iqb/report/render.cpp.o"
+  "CMakeFiles/iqb_report.dir/iqb/report/render.cpp.o.d"
+  "libiqb_report.a"
+  "libiqb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

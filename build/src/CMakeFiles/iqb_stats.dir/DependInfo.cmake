@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iqb/stats/bootstrap.cpp" "src/CMakeFiles/iqb_stats.dir/iqb/stats/bootstrap.cpp.o" "gcc" "src/CMakeFiles/iqb_stats.dir/iqb/stats/bootstrap.cpp.o.d"
+  "/root/repo/src/iqb/stats/ddsketch.cpp" "src/CMakeFiles/iqb_stats.dir/iqb/stats/ddsketch.cpp.o" "gcc" "src/CMakeFiles/iqb_stats.dir/iqb/stats/ddsketch.cpp.o.d"
+  "/root/repo/src/iqb/stats/descriptive.cpp" "src/CMakeFiles/iqb_stats.dir/iqb/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/iqb_stats.dir/iqb/stats/descriptive.cpp.o.d"
+  "/root/repo/src/iqb/stats/gk.cpp" "src/CMakeFiles/iqb_stats.dir/iqb/stats/gk.cpp.o" "gcc" "src/CMakeFiles/iqb_stats.dir/iqb/stats/gk.cpp.o.d"
+  "/root/repo/src/iqb/stats/histogram.cpp" "src/CMakeFiles/iqb_stats.dir/iqb/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/iqb_stats.dir/iqb/stats/histogram.cpp.o.d"
+  "/root/repo/src/iqb/stats/p2.cpp" "src/CMakeFiles/iqb_stats.dir/iqb/stats/p2.cpp.o" "gcc" "src/CMakeFiles/iqb_stats.dir/iqb/stats/p2.cpp.o.d"
+  "/root/repo/src/iqb/stats/percentile.cpp" "src/CMakeFiles/iqb_stats.dir/iqb/stats/percentile.cpp.o" "gcc" "src/CMakeFiles/iqb_stats.dir/iqb/stats/percentile.cpp.o.d"
+  "/root/repo/src/iqb/stats/tdigest.cpp" "src/CMakeFiles/iqb_stats.dir/iqb/stats/tdigest.cpp.o" "gcc" "src/CMakeFiles/iqb_stats.dir/iqb/stats/tdigest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iqb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqb_stats.dir/iqb/stats/bootstrap.cpp.o"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/bootstrap.cpp.o.d"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/ddsketch.cpp.o"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/ddsketch.cpp.o.d"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/descriptive.cpp.o"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/descriptive.cpp.o.d"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/gk.cpp.o"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/gk.cpp.o.d"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/histogram.cpp.o"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/histogram.cpp.o.d"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/p2.cpp.o"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/p2.cpp.o.d"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/percentile.cpp.o"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/percentile.cpp.o.d"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/tdigest.cpp.o"
+  "CMakeFiles/iqb_stats.dir/iqb/stats/tdigest.cpp.o.d"
+  "libiqb_stats.a"
+  "libiqb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiqb_stats.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iqb/util/csv.cpp" "src/CMakeFiles/iqb_util.dir/iqb/util/csv.cpp.o" "gcc" "src/CMakeFiles/iqb_util.dir/iqb/util/csv.cpp.o.d"
+  "/root/repo/src/iqb/util/json.cpp" "src/CMakeFiles/iqb_util.dir/iqb/util/json.cpp.o" "gcc" "src/CMakeFiles/iqb_util.dir/iqb/util/json.cpp.o.d"
+  "/root/repo/src/iqb/util/log.cpp" "src/CMakeFiles/iqb_util.dir/iqb/util/log.cpp.o" "gcc" "src/CMakeFiles/iqb_util.dir/iqb/util/log.cpp.o.d"
+  "/root/repo/src/iqb/util/result.cpp" "src/CMakeFiles/iqb_util.dir/iqb/util/result.cpp.o" "gcc" "src/CMakeFiles/iqb_util.dir/iqb/util/result.cpp.o.d"
+  "/root/repo/src/iqb/util/rng.cpp" "src/CMakeFiles/iqb_util.dir/iqb/util/rng.cpp.o" "gcc" "src/CMakeFiles/iqb_util.dir/iqb/util/rng.cpp.o.d"
+  "/root/repo/src/iqb/util/strings.cpp" "src/CMakeFiles/iqb_util.dir/iqb/util/strings.cpp.o" "gcc" "src/CMakeFiles/iqb_util.dir/iqb/util/strings.cpp.o.d"
+  "/root/repo/src/iqb/util/timestamp.cpp" "src/CMakeFiles/iqb_util.dir/iqb/util/timestamp.cpp.o" "gcc" "src/CMakeFiles/iqb_util.dir/iqb/util/timestamp.cpp.o.d"
+  "/root/repo/src/iqb/util/units.cpp" "src/CMakeFiles/iqb_util.dir/iqb/util/units.cpp.o" "gcc" "src/CMakeFiles/iqb_util.dir/iqb/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

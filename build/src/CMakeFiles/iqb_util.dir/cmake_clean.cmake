@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqb_util.dir/iqb/util/csv.cpp.o"
+  "CMakeFiles/iqb_util.dir/iqb/util/csv.cpp.o.d"
+  "CMakeFiles/iqb_util.dir/iqb/util/json.cpp.o"
+  "CMakeFiles/iqb_util.dir/iqb/util/json.cpp.o.d"
+  "CMakeFiles/iqb_util.dir/iqb/util/log.cpp.o"
+  "CMakeFiles/iqb_util.dir/iqb/util/log.cpp.o.d"
+  "CMakeFiles/iqb_util.dir/iqb/util/result.cpp.o"
+  "CMakeFiles/iqb_util.dir/iqb/util/result.cpp.o.d"
+  "CMakeFiles/iqb_util.dir/iqb/util/rng.cpp.o"
+  "CMakeFiles/iqb_util.dir/iqb/util/rng.cpp.o.d"
+  "CMakeFiles/iqb_util.dir/iqb/util/strings.cpp.o"
+  "CMakeFiles/iqb_util.dir/iqb/util/strings.cpp.o.d"
+  "CMakeFiles/iqb_util.dir/iqb/util/timestamp.cpp.o"
+  "CMakeFiles/iqb_util.dir/iqb/util/timestamp.cpp.o.d"
+  "CMakeFiles/iqb_util.dir/iqb/util/units.cpp.o"
+  "CMakeFiles/iqb_util.dir/iqb/util/units.cpp.o.d"
+  "libiqb_util.a"
+  "libiqb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/grade_config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/grade_config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pipeline_sensitivity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pipeline_sensitivity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/responsiveness_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/responsiveness_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/score_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/score_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/taxonomy_thresholds_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/taxonomy_thresholds_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trend_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trend_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/weights_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/weights_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

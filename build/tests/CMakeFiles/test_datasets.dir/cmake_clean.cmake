@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasets.dir/datasets/aggregate_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/aggregate_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/importers_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/importers_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/io_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/io_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/store_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/store_test.cpp.o.d"
+  "test_datasets"
+  "test_datasets.pdb"
+  "test_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measurement.dir/measurement/campaign_test.cpp.o"
+  "CMakeFiles/test_measurement.dir/measurement/campaign_test.cpp.o.d"
+  "CMakeFiles/test_measurement.dir/measurement/clients_test.cpp.o"
+  "CMakeFiles/test_measurement.dir/measurement/clients_test.cpp.o.d"
+  "test_measurement"
+  "test_measurement.pdb"
+  "test_measurement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

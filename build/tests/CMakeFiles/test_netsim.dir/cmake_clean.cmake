@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/netsim/link_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/link_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/network_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/network_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/shaper_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/shaper_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/sim_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/sim_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/tcp_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/tcp_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/udp_crosstraffic_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/udp_crosstraffic_test.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+  "test_netsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report.dir/report/html_test.cpp.o"
+  "CMakeFiles/test_report.dir/report/html_test.cpp.o.d"
+  "CMakeFiles/test_report.dir/report/render_test.cpp.o"
+  "CMakeFiles/test_report.dir/report/render_test.cpp.o.d"
+  "test_report"
+  "test_report.pdb"
+  "test_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

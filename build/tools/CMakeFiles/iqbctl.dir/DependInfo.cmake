@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/iqbctl.cpp" "tools/CMakeFiles/iqbctl.dir/iqbctl.cpp.o" "gcc" "tools/CMakeFiles/iqbctl.dir/iqbctl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iqb_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_measurement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iqb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

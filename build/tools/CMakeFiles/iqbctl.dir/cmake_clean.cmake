@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqbctl.dir/iqbctl.cpp.o"
+  "CMakeFiles/iqbctl.dir/iqbctl.cpp.o.d"
+  "iqbctl"
+  "iqbctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqbctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iqbctl.
+# This may be replaced when dependencies are built.
