@@ -54,7 +54,7 @@ int main() {
   if (output.results.empty()) {
     std::fprintf(stderr, "no region could be scored\n");
     for (const auto& reason : output.skipped) {
-      std::fprintf(stderr, "  %s\n", reason.c_str());
+      std::fprintf(stderr, "  %s\n", reason.to_string().c_str());
     }
     return 1;
   }

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", report::scorecard(result).c_str());
   }
   for (const auto& skipped : output.skipped) {
-    std::printf("skipped: %s\n", skipped.c_str());
+    std::printf("skipped: %s\n", skipped.to_string().c_str());
   }
 
   // Machine-readable exports alongside the console report.

@@ -17,6 +17,8 @@
 #include "iqb/measurement/population.hpp"
 #include "iqb/report/html.hpp"
 #include "iqb/report/render.hpp"
+#include "iqb/robust/degradation.hpp"
+#include "iqb/robust/quarantine.hpp"
 #include "iqb/util/strings.hpp"
 
 namespace iqb::cli {
@@ -26,16 +28,19 @@ namespace {
 constexpr const char* kUsage =
     "usage:\n"
     "  iqbctl score       --records FILE.csv [--config FILE.json]"
-    " [--by-isp true] [--format text|json|csv|markdown|html] [--out FILE]\n"
+    " [--by-isp true] [--lenient true]"
+    " [--format text|json|csv|markdown|html] [--out FILE]\n"
     "  iqbctl aggregate   --records FILE.csv [--config FILE.json]"
-    " [--percentile P]\n"
+    " [--percentile P] [--lenient true]\n"
     "  iqbctl config      [--out FILE.json]\n"
     "  iqbctl sensitivity --records FILE.csv --region NAME"
     " [--config FILE.json]\n"
     "  iqbctl trend       --records FILE.csv [--config FILE.json]"
     " [--window-days N]\n"
     "  iqbctl simulate    [--subscribers N] [--tests N] [--seed S]"
-    " [--out FILE.csv]\n";
+    " [--out FILE.csv]\n"
+    "exit codes: 0 ok, 1 usage error, 2 data/config error,"
+    " 3 scored in degraded mode\n";
 
 util::Result<core::IqbConfig> load_config(const Args& args) {
   if (auto path = args.get("config")) {
@@ -44,25 +49,46 @@ util::Result<core::IqbConfig> load_config(const Args& args) {
   return core::IqbConfig::paper_defaults();
 }
 
-util::Result<datasets::RecordStore> load_records(const Args& args,
-                                                 std::ostream& err) {
+/// Records plus the ingest-side health that scoring should know about.
+struct LoadedStore {
+  datasets::RecordStore store;
+  robust::IngestHealth health;
+};
+
+util::Result<LoadedStore> load_records(const Args& args, std::ostream& err) {
   auto path = args.get("records");
   if (!path) {
     return util::make_error(util::ErrorCode::kInvalidArgument,
                             "--records is required");
   }
-  auto records = datasets::read_records_csv(*path);
-  if (!records.ok()) return records.error();
-  datasets::RecordStore store;
-  const std::size_t skipped = store.add_all(std::move(records).value());
+  LoadedStore loaded;
+  std::vector<datasets::MeasurementRecord> records;
+  if (args.get("lenient").value_or("") == "true") {
+    // Fault-tolerant path: malformed rows are quarantined and reported
+    // instead of failing the run; the score carries the consequence.
+    robust::Quarantine quarantine;
+    auto outcome = datasets::load_records_csv(*path, datasets::LoadOptions{},
+                                              nullptr, &quarantine);
+    if (!outcome.ok()) return outcome.error();
+    if (!quarantine.empty()) {
+      err << "warning: " << quarantine.summary() << "\n";
+      loaded.health.rows_quarantined = quarantine.count();
+    }
+    records = std::move(outcome).value().records;
+  } else {
+    auto strict = datasets::read_records_csv(*path);
+    if (!strict.ok()) return strict.error();
+    records = std::move(strict).value();
+  }
+  const std::size_t skipped = loaded.store.add_all(std::move(records));
   if (skipped > 0) {
     err << "warning: skipped " << skipped << " invalid records\n";
   }
-  if (store.empty()) {
+  if (loaded.store.empty()) {
     return util::make_error(util::ErrorCode::kEmptyInput,
                             "no usable records in '" + *path + "'");
   }
-  return store;
+  return loaded;
 }
 
 /// Send `text` to --out FILE if given, else to `out`.
@@ -88,20 +114,21 @@ int cmd_score(const Args& args, std::ostream& out, std::ostream& err) {
     err << "config error: " << config.error().to_string() << "\n";
     return 2;
   }
-  auto store = load_records(args, err);
-  if (!store.ok()) {
-    err << "records error: " << store.error().to_string() << "\n";
+  auto loaded = load_records(args, err);
+  if (!loaded.ok()) {
+    err << "records error: " << loaded.error().to_string() << "\n";
     return 2;
   }
+  const robust::IngestHealth health = loaded->health;
   datasets::RecordStore scored_store =
       args.get("by-isp").value_or("") == "true"
-          ? datasets::rekey_by_region_isp(store.value())
-          : std::move(store).value();
+          ? datasets::rekey_by_region_isp(loaded->store)
+          : std::move(loaded).value().store;
 
   core::Pipeline pipeline(std::move(config).value());
-  auto output = pipeline.run(scored_store);
+  auto output = pipeline.run(scored_store, health);
   for (const auto& skipped : output.skipped) {
-    err << "skipped region " << skipped << "\n";
+    err << "skipped region " << skipped.to_string() << "\n";
   }
   if (output.results.empty()) {
     err << "no region could be scored\n";
@@ -126,7 +153,12 @@ int cmd_score(const Args& args, std::ostream& out, std::ostream& err) {
     err << "unknown format '" << format << "'\n";
     return 1;
   }
-  return emit(args, rendered, out, err);
+  const int code = emit(args, rendered, out, err);
+  if (code == 0 && output.degraded()) {
+    err << "note: scored in degraded mode (see per-region confidence tiers)\n";
+    return 3;
+  }
+  return code;
 }
 
 int cmd_aggregate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -135,9 +167,9 @@ int cmd_aggregate(const Args& args, std::ostream& out, std::ostream& err) {
     err << "config error: " << config.error().to_string() << "\n";
     return 2;
   }
-  auto store = load_records(args, err);
-  if (!store.ok()) {
-    err << "records error: " << store.error().to_string() << "\n";
+  auto loaded = load_records(args, err);
+  if (!loaded.ok()) {
+    err << "records error: " << loaded.error().to_string() << "\n";
     return 2;
   }
   datasets::AggregationPolicy policy = config->aggregation;
@@ -149,7 +181,7 @@ int cmd_aggregate(const Args& args, std::ostream& out, std::ostream& err) {
     }
     policy.percentile = value.value();
   }
-  auto table = datasets::aggregate(store.value(), policy);
+  auto table = datasets::aggregate(loaded->store, policy);
   if (table.size() == 0) {
     err << "no aggregable cells\n";
     return 2;
@@ -183,12 +215,13 @@ int cmd_sensitivity(const Args& args, std::ostream& out, std::ostream& err) {
     err << "config error: " << config.error().to_string() << "\n";
     return 2;
   }
-  auto store = load_records(args, err);
-  if (!store.ok()) {
-    err << "records error: " << store.error().to_string() << "\n";
+  auto loaded = load_records(args, err);
+  if (!loaded.ok()) {
+    err << "records error: " << loaded.error().to_string() << "\n";
     return 2;
   }
-  core::SensitivityAnalyzer analyzer(std::move(config).value(), store.value());
+  core::SensitivityAnalyzer analyzer(std::move(config).value(),
+                                     std::move(loaded).value().store);
   auto report = analyzer.analyze(*region);
   if (!report.ok()) {
     err << "analysis error: " << report.error().to_string() << "\n";
@@ -227,9 +260,9 @@ int cmd_trend(const Args& args, std::ostream& out, std::ostream& err) {
     err << "config error: " << config.error().to_string() << "\n";
     return 2;
   }
-  auto store = load_records(args, err);
-  if (!store.ok()) {
-    err << "records error: " << store.error().to_string() << "\n";
+  auto loaded = load_records(args, err);
+  if (!loaded.ok()) {
+    err << "records error: " << loaded.error().to_string() << "\n";
     return 2;
   }
   core::TrendConfig trend_config;
@@ -242,7 +275,7 @@ int cmd_trend(const Args& args, std::ostream& out, std::ostream& err) {
     trend_config.window_seconds = value.value() * 86400;
   }
   auto trends =
-      core::analyze_trends(store.value(), config.value(), trend_config);
+      core::analyze_trends(loaded->store, config.value(), trend_config);
   if (!trends.ok()) {
     err << "trend error: " << trends.error().to_string() << "\n";
     return 2;

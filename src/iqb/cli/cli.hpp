@@ -4,14 +4,18 @@
 // takes argv-style tokens and writes to caller-supplied streams.
 //
 //   iqbctl score       --records F.csv [--config F.json] [--by-isp true]
+//                      [--lenient true]
 //                      [--format text|json|csv|markdown|html] [--out F]
 //   iqbctl aggregate   --records F.csv [--config F.json] [--percentile P]
+//                      [--lenient true]
 //   iqbctl config      [--out F.json]
 //   iqbctl sensitivity --records F.csv --region NAME [--config F.json]
 //   iqbctl trend       --records F.csv [--config F.json] [--window-days N]
 //   iqbctl simulate    [--subscribers N] [--tests N] [--seed S] [--out F.csv]
 //
-// Exit codes: 0 success, 1 usage error, 2 data/config error.
+// Exit codes: 0 success, 1 usage error, 2 data/config error,
+// 3 scored but in degraded mode (missing datasets, quarantined rows,
+// or open circuit breakers — see the per-region confidence tiers).
 #pragma once
 
 #include <iosfwd>

@@ -129,9 +129,9 @@ Result<IqbConfig> IqbConfig::load(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  auto json = util::parse_json(buffer.str());
-  if (!json.ok()) return json.error();
-  return from_json(json.value());
+  return util::parse_json(buffer.str())
+      .and_then([](const util::JsonValue& json) { return from_json(json); })
+      .with_context("config '" + path + "'");
 }
 
 Result<void> IqbConfig::save(const std::string& path, int indent) const {

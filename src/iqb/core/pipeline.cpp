@@ -6,22 +6,36 @@ namespace iqb::core {
 
 using util::Result;
 
+bool Pipeline::RunOutput::degraded() const noexcept {
+  return std::any_of(results.begin(), results.end(),
+                     [](const RegionResult& result) {
+                       return result.degradation().degraded();
+                     });
+}
+
 Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store) const {
+  return run(store, robust::IngestHealth{});
+}
+
+Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store,
+                                  const robust::IngestHealth& health) const {
   RunOutput output;
   output.aggregates = datasets::aggregate(store, config_.aggregation);
   for (const std::string& region : store.regions()) {
-    auto result = score_region(output.aggregates, region);
+    auto result = score_region(output.aggregates, region, health);
     if (result.ok()) {
       output.results.push_back(std::move(result).value());
     } else {
-      output.skipped.push_back(region + ": " + result.error().message);
+      output.skipped.push_back(
+          {region, result.error().code, result.error().message});
     }
   }
   return output;
 }
 
 Result<RegionResult> Pipeline::score_region(
-    const datasets::AggregateTable& aggregates, const std::string& region) const {
+    const datasets::AggregateTable& aggregates, const std::string& region,
+    const robust::IngestHealth& health) const {
   Scorer scorer(config_.thresholds, config_.weights);
 
   auto high = scorer.score_region(aggregates, region, config_.dataset_panel,
@@ -36,6 +50,12 @@ Result<RegionResult> Pipeline::score_region(
   result.high = std::move(high).value();
   result.minimum = std::move(minimum).value();
   result.grade = config_.grading.grade(result.high.iqb_score);
+  // Degradation accounting: which panel datasets actually contributed
+  // a binary cell at each level, plus whatever the ingest layer saw.
+  result.high.degradation = robust::assess_region(
+      region, config_.dataset_panel, result.high.binary.datasets(), health);
+  result.minimum.degradation = robust::assess_region(
+      region, config_.dataset_panel, result.minimum.binary.datasets(), health);
   for (const auto& cell : aggregates.cells()) {
     if (cell.region == region) result.aggregates.push_back(cell);
   }

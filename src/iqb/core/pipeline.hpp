@@ -23,6 +23,22 @@ struct RegionResult {
   Grade grade = Grade::kE; ///< Grade of the high-quality score.
   /// The aggregates the scores were derived from (for reporting).
   std::vector<datasets::AggregateCell> aggregates;
+
+  /// The region's degradation account (the high-quality breakdown's;
+  /// both levels carry one, they differ only if threshold coverage
+  /// differs by level).
+  const robust::DegradationReport& degradation() const noexcept {
+    return high.degradation;
+  }
+};
+
+/// A region the pipeline could not score at all, machine-readable.
+struct SkippedRegion {
+  std::string region;
+  util::ErrorCode code = util::ErrorCode::kInternal;
+  std::string reason;
+
+  std::string to_string() const { return region + ": " + reason; }
 };
 
 class Pipeline {
@@ -32,19 +48,32 @@ class Pipeline {
   const IqbConfig& config() const noexcept { return config_; }
 
   /// Aggregate the store once and score every region in it.
-  /// Regions that cannot be scored at all are skipped with a warning
-  /// entry in `skipped`.
+  /// Regions that cannot be scored at all are skipped with a
+  /// structured entry in `skipped`.
   struct RunOutput {
     std::vector<RegionResult> results;
-    std::vector<std::string> skipped;  ///< region: reason
+    std::vector<SkippedRegion> skipped;
     datasets::AggregateTable aggregates;
+
+    /// True if any scored region is below confidence tier A.
+    bool degraded() const noexcept;
   };
   RunOutput run(const datasets::RecordStore& store) const;
 
-  /// Score one region from a pre-built aggregate table.
+  /// As run(), folding ingest-side health (quarantined rows, open
+  /// breakers reported by whoever loaded the data) into every
+  /// region's DegradationReport and confidence tier.
+  RunOutput run(const datasets::RecordStore& store,
+                const robust::IngestHealth& health) const;
+
+  /// Score one region from a pre-built aggregate table. When a
+  /// (region, requirement) is covered by fewer datasets than the
+  /// configured panel, the per-dataset weights renormalize over the
+  /// *available* datasets (the paper's eq. 1 normalized-weight form)
+  /// and the result's DegradationReport says so.
   util::Result<RegionResult> score_region(
-      const datasets::AggregateTable& aggregates,
-      const std::string& region) const;
+      const datasets::AggregateTable& aggregates, const std::string& region,
+      const robust::IngestHealth& health = {}) const;
 
  private:
   IqbConfig config_;

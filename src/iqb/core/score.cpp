@@ -196,4 +196,13 @@ Result<ScoreBreakdown> Scorer::score_region(
   return score(binarize(aggregates, region, datasets, level), level);
 }
 
+std::map<std::string, double> Scorer::renormalized_dataset_weights(
+    UseCase use_case, Requirement requirement,
+    const std::vector<std::string>& present_datasets) const {
+  return robust::renormalize_weights(
+      present_datasets, [this, use_case, requirement](const std::string& d) {
+        return weights_.dataset_weight(use_case, requirement, d);
+      });
+}
+
 }  // namespace iqb::core

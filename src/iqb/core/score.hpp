@@ -21,6 +21,7 @@
 #include "iqb/core/thresholds.hpp"
 #include "iqb/core/weights.hpp"
 #include "iqb/datasets/aggregate.hpp"
+#include "iqb/robust/degradation.hpp"
 
 namespace iqb::core {
 
@@ -48,6 +49,10 @@ struct ScoreBreakdown {
   BinaryScoreTensor binary;                                       ///< S_{u,r,d}.
   /// Human-readable notes about dropped cells/requirements/use cases.
   std::vector<std::string> coverage_warnings;
+  /// What was missing when this score was made (filled by the
+  /// pipeline; a healthy full-panel run carries an all-clear tier-A
+  /// report and identical scores).
+  robust::DegradationReport degradation;
 };
 
 class Scorer {
@@ -82,6 +87,15 @@ class Scorer {
   util::Result<ScoreBreakdown> score_region(
       const datasets::AggregateTable& aggregates, const std::string& region,
       const std::vector<std::string>& datasets, QualityLevel level) const;
+
+  /// Eq. (1)'s normalized dataset weights w'_{u,r,d} over the
+  /// *present* datasets, made explicit: the returned weights sum to 1
+  /// (empty map if no present dataset carries positive weight). This
+  /// is exactly the renormalization score() applies implicitly when a
+  /// dataset is missing, exposed for degradation reporting and tests.
+  std::map<std::string, double> renormalized_dataset_weights(
+      UseCase use_case, Requirement requirement,
+      const std::vector<std::string>& present_datasets) const;
 
  private:
   ThresholdTable thresholds_;

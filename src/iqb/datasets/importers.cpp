@@ -1,10 +1,15 @@
 #include "iqb/datasets/importers.hpp"
 
+#include <cmath>
+
 #include "iqb/util/csv.hpp"
 #include "iqb/util/strings.hpp"
 
 namespace iqb::datasets {
 
+using robust::IngestMode;
+using robust::IngestPolicy;
+using robust::Quarantine;
 using util::CsvTable;
 using util::ErrorCode;
 using util::make_error;
@@ -21,13 +26,65 @@ Result<double> field_as_double(const CsvTable& table, std::size_t row,
                           table.header[column] + "': " +
                           value.error().message);
   }
+  // from_chars happily parses "nan"/"inf"; a measurement feed carrying
+  // either is corrupt, not exotic.
+  if (!std::isfinite(value.value())) {
+    return make_error(ErrorCode::kParseError,
+                      "row " + std::to_string(row) + " column '" +
+                          table.header[column] + "': non-finite value '" +
+                          table.rows[row][column] + "'");
+  }
   return value;
+}
+
+/// Reject the whole import (strict) or divert the row (lenient).
+/// Returns true when the caller should abort with `out_error`.
+bool row_fails(const IngestPolicy& policy, Quarantine* quarantine,
+               const char* source, std::size_t row, util::Error error,
+               util::Error* out_error) {
+  if (policy.mode == IngestMode::kStrict) {
+    *out_error = std::move(error);
+    return true;
+  }
+  if (quarantine) quarantine->add(source, row, std::move(error));
+  return false;
+}
+
+/// Post-loop check: a lenient import of a mostly-corrupt feed fails.
+Result<void> check_error_rate(const IngestPolicy& policy,
+                              const Quarantine* quarantine, const char* source,
+                              std::size_t total_rows) {
+  if (policy.mode != IngestMode::kLenient || !quarantine) {
+    return Result<void>::success();
+  }
+  if (quarantine->exceeds(policy, total_rows)) {
+    return make_error(
+        ErrorCode::kParseError,
+        std::string(source) + ": quarantined " +
+            std::to_string(quarantine->count()) + "/" +
+            std::to_string(total_rows) + " rows, above max error rate " +
+            util::format_fixed(policy.max_error_rate, 2));
+  }
+  return Result<void>::success();
 }
 
 }  // namespace
 
 Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
                                               const std::string& region_override) {
+  return import_ookla_tiles_csv(csv_text, region_override,
+                                IngestPolicy::strict());
+}
+
+Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
+                                              const std::string& region_override,
+                                              const IngestPolicy& policy,
+                                              Quarantine* quarantine) {
+  // Quarantine storage local to this call when the caller only wants
+  // the rate check, not the rows.
+  Quarantine local(policy.max_stored);
+  if (policy.mode == IngestMode::kLenient && !quarantine) quarantine = &local;
+
   auto table = util::parse_csv(csv_text);
   if (!table.ok()) return table.error();
 
@@ -57,15 +114,27 @@ Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
     auto up = field_as_double(*table, row, up_column.value());
     auto latency = field_as_double(*table, row, latency_column.value());
     auto tests = field_as_double(*table, row, tests_column.value());
-    if (!down.ok()) return down.error();
-    if (!up.ok()) return up.error();
-    if (!latency.ok()) return latency.error();
-    if (!tests.ok()) return tests.error();
+    util::Error row_error;
+    if (!down.ok() || !up.ok() || !latency.ok() || !tests.ok()) {
+      const util::Error& first = !down.ok()      ? down.error()
+                                 : !up.ok()      ? up.error()
+                                 : !latency.ok() ? latency.error()
+                                                 : tests.error();
+      if (row_fails(policy, quarantine, "ookla_csv", row, first, &row_error)) {
+        return row_error;
+      }
+      continue;
+    }
     if (tests.value() <= 0.0) continue;  // empty tile
     if (down.value() < 0.0 || up.value() < 0.0 || latency.value() < 0.0) {
-      return make_error(ErrorCode::kParseError,
-                        "row " + std::to_string(row) +
-                            ": negative measurement value");
+      if (row_fails(policy, quarantine, "ookla_csv", row,
+                    make_error(ErrorCode::kParseError,
+                               "row " + std::to_string(row) +
+                                   ": negative measurement value"),
+                    &row_error)) {
+        return row_error;
+      }
+      continue;
     }
     const std::string region =
         region_override.empty()
@@ -77,6 +146,9 @@ Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
     acc.latency_weighted += latency.value() * tests.value();
     acc.tests += tests.value();
   }
+  auto rate = check_error_rate(policy, quarantine, "ookla_csv",
+                               table->rows.size());
+  if (!rate.ok()) return rate.error();
   if (regions.empty()) {
     return make_error(ErrorCode::kEmptyInput,
                       "no tiles with tests > 0 in Ookla CSV");
@@ -102,6 +174,15 @@ Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
 
 Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
     std::string_view csv_text) {
+  return import_ndt_unified_csv(csv_text, IngestPolicy::strict());
+}
+
+Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
+    std::string_view csv_text, const IngestPolicy& policy,
+    Quarantine* quarantine) {
+  Quarantine local(policy.max_stored);
+  if (policy.mode == IngestMode::kLenient && !quarantine) quarantine = &local;
+
   auto table = util::parse_csv(csv_text);
   if (!table.ok()) return table.error();
 
@@ -123,20 +204,34 @@ Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
   std::vector<MeasurementRecord> records;
   records.reserve(table->rows.size());
   for (std::size_t row = 0; row < table->rows.size(); ++row) {
+    // Parse the whole row into `record`; the first problem either
+    // aborts (strict) or quarantines the row and moves on (lenient).
+    util::Error row_error;
+    auto reject = [&](util::Error error) {
+      return row_fails(policy, quarantine, "ndt_csv", row, std::move(error),
+                       &row_error);
+    };
+
     MeasurementRecord record;
     record.dataset = "ndt";
     record.region = table->rows[row][region_column.value()];
     record.isp = table->rows[row][asn_column.value()];
     auto timestamp = util::Timestamp::parse(table->rows[row][date_column.value()]);
     if (!timestamp.ok()) {
-      return make_error(ErrorCode::kParseError,
-                        "row " + std::to_string(row) + ": " +
-                            timestamp.error().message);
+      if (reject(make_error(ErrorCode::kParseError,
+                            "row " + std::to_string(row) + ": " +
+                                timestamp.error().message))) {
+        return row_error;
+      }
+      continue;
     }
     record.timestamp = timestamp.value();
 
     auto throughput = field_as_double(*table, row, throughput_column.value());
-    if (!throughput.ok()) return throughput.error();
+    if (!throughput.ok()) {
+      if (reject(throughput.error())) return row_error;
+      continue;
+    }
     const std::string direction =
         util::to_lower(table->rows[row][direction_column.value()]);
     if (direction == "download") {
@@ -145,30 +240,45 @@ Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
       const std::string rtt_field = table->rows[row][rtt_column.value()];
       if (!util::trim(rtt_field).empty()) {
         auto rtt = field_as_double(*table, row, rtt_column.value());
-        if (!rtt.ok()) return rtt.error();
+        if (!rtt.ok()) {
+          if (reject(rtt.error())) return row_error;
+          continue;
+        }
         record.latency = util::Millis(rtt.value());
       }
       const std::string loss_field = table->rows[row][loss_column.value()];
       if (!util::trim(loss_field).empty()) {
         auto loss = field_as_double(*table, row, loss_column.value());
-        if (!loss.ok()) return loss.error();
+        if (!loss.ok()) {
+          if (reject(loss.error())) return row_error;
+          continue;
+        }
         record.loss = util::LossRate(loss.value());
       }
     } else if (direction == "upload") {
       record.upload = util::Mbps(throughput.value());
     } else {
-      return make_error(ErrorCode::kParseError,
-                        "row " + std::to_string(row) +
-                            ": direction must be download|upload, got '" +
-                            direction + "'");
+      if (reject(make_error(ErrorCode::kParseError,
+                            "row " + std::to_string(row) +
+                                ": direction must be download|upload, got '" +
+                                direction + "'"))) {
+        return row_error;
+      }
+      continue;
     }
     if (!record.is_valid()) {
-      return make_error(ErrorCode::kParseError,
-                        "row " + std::to_string(row) +
-                            ": metric value out of range");
+      if (reject(make_error(ErrorCode::kParseError,
+                            "row " + std::to_string(row) +
+                                ": metric value out of range"))) {
+        return row_error;
+      }
+      continue;
     }
     records.push_back(std::move(record));
   }
+  auto rate = check_error_rate(policy, quarantine, "ndt_csv",
+                               table->rows.size());
+  if (!rate.ok()) return rate.error();
   if (records.empty()) {
     return make_error(ErrorCode::kEmptyInput, "no rows in NDT CSV");
   }

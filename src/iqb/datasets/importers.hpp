@@ -17,6 +17,10 @@
 //
 // Both importers validate eagerly and report row-precise errors;
 // ingesting measurement data silently wrong is worse than failing.
+// In lenient mode (robust::IngestPolicy) malformed rows are diverted
+// to a robust::Quarantine with row-precise errors instead of aborting
+// the import; the import still fails if the error *rate* exceeds the
+// policy threshold (a mostly-corrupt feed must not be trusted).
 #pragma once
 
 #include <string>
@@ -24,6 +28,7 @@
 
 #include "iqb/datasets/aggregate.hpp"
 #include "iqb/datasets/record.hpp"
+#include "iqb/robust/quarantine.hpp"
 
 namespace iqb::datasets {
 
@@ -38,6 +43,14 @@ namespace iqb::datasets {
 util::Result<AggregateTable> import_ookla_tiles_csv(
     std::string_view csv_text, const std::string& region_override = "");
 
+/// Policy-aware variant: in lenient mode malformed rows land in
+/// `quarantine` (may be null to only count implicitly) and the import
+/// continues; strict mode behaves exactly like the overload above.
+util::Result<AggregateTable> import_ookla_tiles_csv(
+    std::string_view csv_text, const std::string& region_override,
+    const robust::IngestPolicy& policy,
+    robust::Quarantine* quarantine = nullptr);
+
 /// M-Lab NDT unified-views CSV -> per-test records.
 ///
 /// Expected header (subset, extra columns ignored):
@@ -48,5 +61,10 @@ util::Result<AggregateTable> import_ookla_tiles_csv(
 /// download rows, which is where NDT measures them).
 util::Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
     std::string_view csv_text);
+
+/// Policy-aware variant; see import_ookla_tiles_csv.
+util::Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
+    std::string_view csv_text, const robust::IngestPolicy& policy,
+    robust::Quarantine* quarantine = nullptr);
 
 }  // namespace iqb::datasets

@@ -35,6 +35,41 @@ Result<std::optional<double>> parse_optional(const std::string& field) {
   return std::optional<double>{v.value()};
 }
 
+/// Parse one data row of the record schema; row-precise errors.
+Result<MeasurementRecord> parse_record_row(const CsvRow& row, std::size_t i) {
+  MeasurementRecord record;
+  record.dataset = row[0];
+  record.region = row[1];
+  record.isp = row[2];
+  record.subscriber_id = row[3];
+  auto ts = util::Timestamp::parse(row[4]);
+  if (!ts.ok()) {
+    return make_error(ErrorCode::kParseError,
+                      "row " + std::to_string(i) + ": " + ts.error().message);
+  }
+  record.timestamp = ts.value();
+
+  const Metric metrics[] = {Metric::kDownload, Metric::kUpload,
+                            Metric::kLatency, Metric::kLoadedLatency,
+                            Metric::kLoss};
+  for (std::size_t m = 0; m < 5; ++m) {
+    auto value = parse_optional(row[5 + m]);
+    if (!value.ok()) {
+      return make_error(ErrorCode::kParseError,
+                        "row " + std::to_string(i) + " column '" +
+                            kRecordHeader[5 + m] + "': " +
+                            value.error().message);
+    }
+    if (value.value()) record.set_value(metrics[m], *value.value());
+  }
+  if (!record.is_valid()) {
+    return make_error(ErrorCode::kParseError,
+                      "row " + std::to_string(i) +
+                          ": metric value out of range");
+  }
+  return record;
+}
+
 }  // namespace
 
 std::string records_to_csv(std::span<const MeasurementRecord> records) {
@@ -60,6 +95,16 @@ std::string records_to_csv(std::span<const MeasurementRecord> records) {
 
 Result<std::vector<MeasurementRecord>> records_from_csv(
     std::string_view csv_text) {
+  return records_from_csv(csv_text, robust::IngestPolicy::strict());
+}
+
+Result<std::vector<MeasurementRecord>> records_from_csv(
+    std::string_view csv_text, const robust::IngestPolicy& policy,
+    robust::Quarantine* quarantine) {
+  robust::Quarantine local(policy.max_stored);
+  if (policy.mode == robust::IngestMode::kLenient && !quarantine) {
+    quarantine = &local;
+  }
   auto table = util::parse_csv(csv_text);
   if (!table.ok()) return table.error();
   if (table->header != kRecordHeader) {
@@ -70,41 +115,75 @@ Result<std::vector<MeasurementRecord>> records_from_csv(
   std::vector<MeasurementRecord> records;
   records.reserve(table->rows.size());
   for (std::size_t i = 0; i < table->rows.size(); ++i) {
-    const CsvRow& row = table->rows[i];
-    MeasurementRecord record;
-    record.dataset = row[0];
-    record.region = row[1];
-    record.isp = row[2];
-    record.subscriber_id = row[3];
-    auto ts = util::Timestamp::parse(row[4]);
-    if (!ts.ok()) {
-      return make_error(ErrorCode::kParseError,
-                        "row " + std::to_string(i) + ": " +
-                            ts.error().message);
+    auto record = parse_record_row(table->rows[i], i);
+    if (!record.ok()) {
+      if (policy.mode == robust::IngestMode::kStrict) return record.error();
+      quarantine->add("records_csv", i, record.error());
+      continue;
     }
-    record.timestamp = ts.value();
-
-    const Metric metrics[] = {Metric::kDownload, Metric::kUpload,
-                              Metric::kLatency, Metric::kLoadedLatency,
-                              Metric::kLoss};
-    for (std::size_t m = 0; m < 5; ++m) {
-      auto value = parse_optional(row[5 + m]);
-      if (!value.ok()) {
-        return make_error(ErrorCode::kParseError,
-                          "row " + std::to_string(i) + " column '" +
-                              kRecordHeader[5 + m] + "': " +
-                              value.error().message);
-      }
-      if (value.value()) record.set_value(metrics[m], *value.value());
-    }
-    if (!record.is_valid()) {
-      return make_error(ErrorCode::kParseError,
-                        "row " + std::to_string(i) +
-                            ": metric value out of range");
-    }
-    records.push_back(std::move(record));
+    records.push_back(std::move(record).value());
+  }
+  if (policy.mode == robust::IngestMode::kLenient &&
+      quarantine->exceeds(policy, table->rows.size())) {
+    return make_error(
+        ErrorCode::kParseError,
+        "records_csv: quarantined " + std::to_string(quarantine->count()) +
+            "/" + std::to_string(table->rows.size()) +
+            " rows, above max error rate " +
+            util::format_fixed(policy.max_error_rate, 2));
   }
   return records;
+}
+
+Result<LoadOutcome> load_records(const robust::TextSource& source,
+                                 const std::string& source_name,
+                                 const LoadOptions& options,
+                                 robust::CircuitBreaker* breaker,
+                                 robust::Quarantine* quarantine) {
+  if (breaker && !breaker->allow_request()) {
+    return make_error(ErrorCode::kIoError,
+                      "circuit breaker open for '" + source_name + "'");
+  }
+  robust::RetryStats stats;
+  auto text = robust::run_with_retry(options.retry, source, &stats);
+  if (!text.ok()) {
+    if (breaker) breaker->record_failure();
+    return text.error();
+  }
+
+  robust::Quarantine local(options.ingest.max_stored);
+  robust::Quarantine* sink = quarantine ? quarantine : &local;
+  const std::size_t quarantined_before = sink->count();
+  auto records = records_from_csv(text.value(), options.ingest, sink)
+                     .with_context("loading '" + source_name + "'");
+  if (!records.ok()) {
+    if (breaker) breaker->record_failure();
+    return records.error();
+  }
+  if (breaker) breaker->record_success();
+
+  LoadOutcome outcome;
+  outcome.records = std::move(records).value();
+  outcome.rows_quarantined = sink->count() - quarantined_before;
+  outcome.attempts = stats.attempts;
+  return outcome;
+}
+
+Result<LoadOutcome> load_records_csv(const std::string& path,
+                                     const LoadOptions& options,
+                                     robust::CircuitBreaker* breaker,
+                                     robust::Quarantine* quarantine) {
+  auto source = [&path]() -> Result<std::string> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return make_error(ErrorCode::kIoError,
+                        "cannot open '" + path + "' for reading");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  return load_records(source, path, options, breaker, quarantine);
 }
 
 std::string aggregates_to_csv(const AggregateTable& table) {
@@ -212,7 +291,8 @@ Result<std::vector<MeasurementRecord>> read_records_csv(const std::string& path)
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return records_from_csv(buffer.str());
+  return records_from_csv(buffer.str())
+      .with_context("reading '" + path + "'");
 }
 
 }  // namespace iqb::datasets

@@ -13,6 +13,10 @@
 
 #include "iqb/datasets/aggregate.hpp"
 #include "iqb/datasets/store.hpp"
+#include "iqb/robust/circuit_breaker.hpp"
+#include "iqb/robust/fault_injection.hpp"
+#include "iqb/robust/quarantine.hpp"
+#include "iqb/robust/retry.hpp"
 #include "iqb/util/csv.hpp"
 #include "iqb/util/json.hpp"
 
@@ -25,6 +29,43 @@ std::string records_to_csv(std::span<const MeasurementRecord> records);
 /// error; empty optional metric fields are simply absent.
 util::Result<std::vector<MeasurementRecord>> records_from_csv(
     std::string_view csv_text);
+
+/// Policy-aware variant: lenient mode quarantines malformed rows
+/// (source "records_csv") and keeps importing, failing only when the
+/// policy's max error rate is exceeded. A malformed header is always
+/// fatal — a wrong schema is not row noise.
+util::Result<std::vector<MeasurementRecord>> records_from_csv(
+    std::string_view csv_text, const robust::IngestPolicy& policy,
+    robust::Quarantine* quarantine = nullptr);
+
+/// Fault-tolerant source loading: retry the fetch, consult a circuit
+/// breaker, parse leniently, report what happened.
+struct LoadOptions {
+  robust::RetryPolicy retry;
+  robust::IngestPolicy ingest = robust::IngestPolicy::lenient();
+};
+
+struct LoadOutcome {
+  std::vector<MeasurementRecord> records;
+  std::size_t rows_quarantined = 0;  ///< From this load only.
+  std::size_t attempts = 1;          ///< Fetch attempts consumed.
+};
+
+/// Load record CSV text from an arbitrary source (file read, feed
+/// fetch, fault-injection wrapper) with retry + breaker + lenient
+/// parsing. The breaker, when given, is consulted before the fetch
+/// and fed the outcome; when it is open the load fails fast with
+/// kIoError without touching the source.
+util::Result<LoadOutcome> load_records(
+    const robust::TextSource& source, const std::string& source_name,
+    const LoadOptions& options = {}, robust::CircuitBreaker* breaker = nullptr,
+    robust::Quarantine* quarantine = nullptr);
+
+/// load_records over a file path.
+util::Result<LoadOutcome> load_records_csv(
+    const std::string& path, const LoadOptions& options = {},
+    robust::CircuitBreaker* breaker = nullptr,
+    robust::Quarantine* quarantine = nullptr);
 
 /// Aggregate table -> CSV (region,dataset,metric,value,samples,ci_lo,ci_hi).
 std::string aggregates_to_csv(const AggregateTable& table);

@@ -16,12 +16,14 @@
 // competing on both access directions.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "iqb/measurement/types.hpp"
 #include "iqb/netsim/crosstraffic.hpp"
+#include "iqb/robust/circuit_breaker.hpp"
 #include "iqb/util/timestamp.hpp"
 
 namespace iqb::measurement {
@@ -58,6 +60,19 @@ struct CampaignConfig {
   /// recorded as failed rather than hanging the campaign.
   netsim::SimTime session_time_limit_s = 300.0;
 
+  /// Failed-session retries (0 disables). Each retry re-runs the
+  /// session in a fresh isolated world on a distinct RNG stream, so a
+  /// transient stochastic failure (loss burst, cross-traffic pileup)
+  /// gets another chance while the campaign stays reproducible.
+  std::size_t session_retries = 0;
+
+  /// Per-tool circuit breaker: when enabled and a tool keeps failing,
+  /// its remaining sessions are skipped instead of simulated (a
+  /// persistently broken tool must not burn the whole campaign
+  /// budget). Off by default so existing campaigns are unchanged.
+  bool breaker_enabled = false;
+  robust::CircuitBreakerConfig breaker;
+
   CampaignConfig() {
     core.rate = util::Mbps(10000.0);
     core.propagation_delay = util::Seconds(0.004);
@@ -82,11 +97,29 @@ class Campaign {
   /// Sessions that failed (no route, time limit, ...), for tests.
   std::size_t failed_sessions() const noexcept { return failed_sessions_; }
 
+  /// Retry attempts consumed across the whole run.
+  std::size_t retried_sessions() const noexcept { return retried_sessions_; }
+
+  /// Sessions skipped because a tool's breaker was open.
+  std::size_t breaker_skipped_sessions() const noexcept {
+    return breaker_skipped_;
+  }
+
+  /// Tool name -> breaker state at the end of the last run (empty when
+  /// the breaker is disabled). Tools left open should be reported as
+  /// degraded sources (robust::IngestHealth::open_breakers).
+  const std::map<std::string, robust::BreakerState>& breaker_states() const noexcept {
+    return breaker_states_;
+  }
+
  private:
   CampaignConfig config_;
   std::vector<std::shared_ptr<MeasurementClient>> clients_;
   std::vector<SubscriberSpec> subscribers_;
   std::size_t failed_sessions_ = 0;
+  std::size_t retried_sessions_ = 0;
+  std::size_t breaker_skipped_ = 0;
+  std::map<std::string, robust::BreakerState> breaker_states_;
 };
 
 }  // namespace iqb::measurement

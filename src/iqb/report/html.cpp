@@ -67,6 +67,8 @@ const char* kStyle = R"(
   th, td { border: 1px solid #d8dee4; padding: .2rem .5rem; text-align: right; }
   th:first-child, td:first-child { text-align: left; }
   .warn { color: #9a6700; font-size: .82rem; margin-top: .5rem; }
+  .degraded { color: #c0392b; font-size: .85rem; font-weight: 600;
+              margin-top: .5rem; }
   footer { color: #8b949e; font-size: .8rem; margin-top: 2rem; }
 )";
 
@@ -122,6 +124,23 @@ std::string to_html(std::span<const core::RegionResult> results,
         out << "<p class=\"warn\">&#9888; " << html_escape(warning)
             << "</p>\n";
       }
+    }
+    const auto& degradation = result.degradation();
+    if (degradation.degraded()) {
+      out << "<p class=\"degraded\">&#9888; Degraded mode — confidence tier "
+          << robust::confidence_tier_name(degradation.tier);
+      if (!degradation.missing_datasets.empty()) {
+        out << "; missing: "
+            << html_escape(util::join(degradation.missing_datasets, ", "));
+      }
+      if (degradation.rows_quarantined > 0) {
+        out << "; " << degradation.rows_quarantined << " rows quarantined";
+      }
+      if (!degradation.open_breakers.empty()) {
+        out << "; breakers open: "
+            << html_escape(util::join(degradation.open_breakers, ", "));
+      }
+      out << "</p>\n";
     }
     out << "</div>\n";
   }

@@ -90,6 +90,23 @@ std::string scorecard(const RegionResult& result) {
       out << "   ! " << warning << "\n";
     }
   }
+  const robust::DegradationReport& degradation = result.degradation();
+  if (degradation.degraded()) {
+    out << "----------------------------------------------------------------\n";
+    out << " DEGRADED MODE — confidence tier "
+        << robust::confidence_tier_name(degradation.tier) << "\n";
+    if (!degradation.missing_datasets.empty()) {
+      out << "   missing datasets: "
+          << util::join(degradation.missing_datasets, ", ") << "\n";
+    }
+    if (degradation.rows_quarantined > 0) {
+      out << "   rows quarantined: " << degradation.rows_quarantined << "\n";
+    }
+    if (!degradation.open_breakers.empty()) {
+      out << "   breakers open: "
+          << util::join(degradation.open_breakers, ", ") << "\n";
+    }
+  }
   out << "================================================================\n";
   return out.str();
 }
@@ -145,6 +162,29 @@ JsonValue breakdown_to_json(const core::ScoreBreakdown& breakdown) {
     warnings.emplace_back(warning);
   }
   object.emplace("coverage_warnings", std::move(warnings));
+
+  const robust::DegradationReport& degradation = breakdown.degradation;
+  JsonObject degraded;
+  degraded.emplace("tier", std::string(robust::confidence_tier_name(
+                               degradation.tier)));
+  JsonArray present;
+  for (const std::string& dataset : degradation.present_datasets) {
+    present.emplace_back(dataset);
+  }
+  degraded.emplace("present_datasets", std::move(present));
+  JsonArray missing;
+  for (const std::string& dataset : degradation.missing_datasets) {
+    missing.emplace_back(dataset);
+  }
+  degraded.emplace("missing_datasets", std::move(missing));
+  degraded.emplace("rows_quarantined",
+                   static_cast<double>(degradation.rows_quarantined));
+  JsonArray breakers;
+  for (const std::string& breaker : degradation.open_breakers) {
+    breakers.emplace_back(breaker);
+  }
+  degraded.emplace("open_breakers", std::move(breakers));
+  object.emplace("degradation", std::move(degraded));
   return object;
 }
 

@@ -1,0 +1,92 @@
+#include "iqb/robust/circuit_breaker.hpp"
+
+#include <algorithm>
+
+namespace iqb::robust {
+
+const char* breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::allow_request() {
+  switch (state_) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      ++denied_;
+      if (cooldown_left_ > 0) --cooldown_left_;
+      if (cooldown_left_ == 0) {
+        state_ = BreakerState::kHalfOpen;
+        half_open_streak_ = 0;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++half_open_streak_ >= config_.half_open_successes) {
+      // The source recovered: close with a clean window so the old
+      // failure burst cannot immediately re-trip the breaker.
+      reset();
+    }
+    return;
+  }
+  if (window_.size() < config_.window_size) {
+    window_.push_back(false);
+  } else {
+    window_[window_next_] = false;
+    window_next_ = (window_next_ + 1) % config_.window_size;
+  }
+  window_count_ = window_.size();
+}
+
+void CircuitBreaker::record_failure() {
+  ++total_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    trip();  // probe failed: straight back to open
+    return;
+  }
+  if (window_.size() < config_.window_size) {
+    window_.push_back(true);
+  } else {
+    window_[window_next_] = true;
+    window_next_ = (window_next_ + 1) % config_.window_size;
+  }
+  window_count_ = window_.size();
+  if (window_count_ >= config_.min_samples &&
+      failure_rate() >= config_.failure_threshold) {
+    trip();
+  }
+}
+
+double CircuitBreaker::failure_rate() const noexcept {
+  if (window_.empty()) return 0.0;
+  const auto failures = static_cast<double>(
+      std::count(window_.begin(), window_.end(), true));
+  return failures / static_cast<double>(window_.size());
+}
+
+void CircuitBreaker::reset() {
+  state_ = BreakerState::kClosed;
+  window_.clear();
+  window_next_ = 0;
+  window_count_ = 0;
+  cooldown_left_ = 0;
+  half_open_streak_ = 0;
+}
+
+void CircuitBreaker::trip() {
+  state_ = BreakerState::kOpen;
+  cooldown_left_ = std::max<std::size_t>(config_.cooldown_denials, 1);
+  half_open_streak_ = 0;
+}
+
+}  // namespace iqb::robust

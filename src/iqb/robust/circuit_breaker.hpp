@@ -1,0 +1,76 @@
+// Per-source circuit breaker (closed / open / half-open).
+//
+// A feed that fails persistently should stop being hammered: after the
+// failure rate over a sliding outcome window crosses a threshold the
+// breaker opens and callers skip the source outright, re-probing it
+// with a limited number of half-open trials after a cooldown. The
+// cooldown is counted in *denied requests* rather than wall-clock time
+// so behaviour is deterministic and clock-free — the natural unit in a
+// library whose time is simulated.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace iqb::robust {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Stable name for a state ("closed" / "open" / "half_open").
+const char* breaker_state_name(BreakerState state) noexcept;
+
+struct CircuitBreakerConfig {
+  /// Sliding window of most-recent outcomes considered.
+  std::size_t window_size = 20;
+  /// Outcomes required in the window before the breaker may trip.
+  std::size_t min_samples = 5;
+  /// Failure fraction in [0,1] at which the breaker opens.
+  double failure_threshold = 0.5;
+  /// Denied requests while open before moving to half-open.
+  std::size_t cooldown_denials = 3;
+  /// Consecutive half-open successes required to close again.
+  std::size_t half_open_successes = 2;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  /// Ask permission before hitting the source. In the open state this
+  /// counts down the cooldown and returns false; in half-open it
+  /// admits probe requests.
+  bool allow_request();
+
+  /// Report the outcome of an admitted request.
+  void record_success();
+  void record_failure();
+
+  BreakerState state() const noexcept { return state_; }
+  bool open() const noexcept { return state_ == BreakerState::kOpen; }
+
+  /// Failure fraction over the current window (0 when empty).
+  double failure_rate() const noexcept;
+
+  std::size_t total_failures() const noexcept { return total_failures_; }
+  std::size_t denied_requests() const noexcept { return denied_; }
+
+  /// Forget all history and close the breaker.
+  void reset();
+
+ private:
+  void trip();
+
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::vector<bool> window_;     // ring buffer: true = failure
+  std::size_t window_next_ = 0;  // next slot to overwrite
+  std::size_t window_count_ = 0;
+  std::size_t cooldown_left_ = 0;
+  std::size_t half_open_streak_ = 0;
+  std::size_t total_failures_ = 0;
+  std::size_t denied_ = 0;
+};
+
+}  // namespace iqb::robust

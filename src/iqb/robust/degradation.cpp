@@ -1,0 +1,44 @@
+#include "iqb/robust/degradation.hpp"
+
+#include <iterator>
+
+namespace iqb::robust {
+
+const char* confidence_tier_name(ConfidenceTier tier) noexcept {
+  switch (tier) {
+    case ConfidenceTier::kA: return "A";
+    case ConfidenceTier::kB: return "B";
+    case ConfidenceTier::kC: return "C";
+  }
+  return "?";
+}
+
+ConfidenceTier assess_tier(std::size_t present, std::size_t expected,
+                           bool ingest_faults) noexcept {
+  if (present <= 1) return ConfidenceTier::kC;
+  if (present < expected || ingest_faults) return ConfidenceTier::kB;
+  return ConfidenceTier::kA;
+}
+
+DegradationReport assess_region(const std::string& region,
+                                const std::vector<std::string>& expected,
+                                const std::vector<std::string>& present,
+                                const IngestHealth& health) {
+  DegradationReport report;
+  report.region = region;
+  report.expected_datasets = expected;
+  report.present_datasets = present;
+  std::sort(report.expected_datasets.begin(), report.expected_datasets.end());
+  std::sort(report.present_datasets.begin(), report.present_datasets.end());
+  std::set_difference(
+      report.expected_datasets.begin(), report.expected_datasets.end(),
+      report.present_datasets.begin(), report.present_datasets.end(),
+      std::back_inserter(report.missing_datasets));
+  report.rows_quarantined = health.rows_quarantined;
+  report.open_breakers = health.open_breakers;
+  report.tier = assess_tier(report.present_datasets.size(),
+                            report.expected_datasets.size(), !health.healthy());
+  return report;
+}
+
+}  // namespace iqb::robust

@@ -1,0 +1,93 @@
+// Degraded-mode accounting: what was missing when a score was made.
+//
+// The paper's cross-dataset agreement argument cuts both ways: a score
+// built from three independent datasets deserves more confidence than
+// one built from a single surviving feed. When feeds are late, corrupt
+// or circuit-broken the pipeline still scores every region it can —
+// eq. (1)'s normalized weights run over the *present* datasets — but
+// every such score carries a DegradationReport stating exactly what
+// was missing and a coarse confidence tier:
+//
+//   A — full panel present, nothing quarantined, no breaker open;
+//   B — degraded but still cross-checked (>= 2 datasets present);
+//   C — single-source (or worse): no cross-dataset agreement at all.
+//
+// A fully healthy run is bit-identical to a pre-robustness run; this
+// layer only *annotates*.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iqb::robust {
+
+enum class ConfidenceTier { kA, kB, kC };
+
+/// Stable single-letter name ("A" / "B" / "C").
+const char* confidence_tier_name(ConfidenceTier tier) noexcept;
+
+/// Ingest-side health flowing into scoring: filled by whoever loaded
+/// the data (CLI, campaign, test harness), consumed by the pipeline.
+struct IngestHealth {
+  /// Total rows quarantined across all feeds.
+  std::size_t rows_quarantined = 0;
+  /// Names of sources whose circuit breaker is currently open.
+  std::vector<std::string> open_breakers;
+  /// Sources retried before succeeding (informational).
+  std::size_t sources_retried = 0;
+
+  bool healthy() const noexcept {
+    return rows_quarantined == 0 && open_breakers.empty();
+  }
+};
+
+/// Per-region account of everything that degraded this score.
+struct DegradationReport {
+  std::string region;
+  std::vector<std::string> expected_datasets;
+  std::vector<std::string> present_datasets;
+  std::vector<std::string> missing_datasets;
+  std::size_t rows_quarantined = 0;
+  std::vector<std::string> open_breakers;
+  ConfidenceTier tier = ConfidenceTier::kA;
+
+  bool degraded() const noexcept { return tier != ConfidenceTier::kA; }
+};
+
+/// Tier from dataset presence plus ingest health. `present`/`expected`
+/// count datasets contributing to / configured for the region.
+ConfidenceTier assess_tier(std::size_t present, std::size_t expected,
+                           bool ingest_faults) noexcept;
+
+/// Build the report for one region. `expected` is the configured
+/// dataset panel; `present` the datasets that actually contributed.
+DegradationReport assess_region(const std::string& region,
+                                const std::vector<std::string>& expected,
+                                const std::vector<std::string>& present,
+                                const IngestHealth& health = {});
+
+/// Renormalize weights over the present datasets so they sum to 1 —
+/// eq. (1)'s w'_{u,r,d} made explicit. `weight_of` maps dataset name
+/// to its raw (unnormalized) weight. Datasets with weight <= 0 are
+/// omitted; an all-zero panel yields an empty map.
+template <typename WeightFn>
+std::map<std::string, double> renormalize_weights(
+    const std::vector<std::string>& present, WeightFn&& weight_of) {
+  double total = 0.0;
+  for (const std::string& dataset : present) {
+    const double w = static_cast<double>(weight_of(dataset));
+    if (w > 0.0) total += w;
+  }
+  std::map<std::string, double> out;
+  if (total <= 0.0) return out;
+  for (const std::string& dataset : present) {
+    const double w = static_cast<double>(weight_of(dataset));
+    if (w > 0.0) out[dataset] = w / total;
+  }
+  return out;
+}
+
+}  // namespace iqb::robust

@@ -1,0 +1,91 @@
+#include "iqb/robust/fault_injection.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace iqb::robust {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+Result<std::string> FaultInjector::fetch(const std::string& source_name,
+                                         const TextSource& source) {
+  last_latency_s_ = 0.0;
+  if (spec_.latency_spike_rate > 0.0 &&
+      rng_.bernoulli(spec_.latency_spike_rate)) {
+    ++counters_.latency_spikes;
+    last_latency_s_ = spec_.latency_spike_s;
+  }
+  if (spec_.io_error_rate > 0.0 && rng_.bernoulli(spec_.io_error_rate)) {
+    ++counters_.io_errors;
+    return make_error(ErrorCode::kIoError,
+                      "injected IO error fetching '" + source_name + "'");
+  }
+  auto text = source();
+  if (!text.ok()) return text;
+  std::string payload = std::move(text).value();
+  if (spec_.truncation_rate > 0.0 && !payload.empty() &&
+      rng_.bernoulli(spec_.truncation_rate)) {
+    ++counters_.truncations;
+    const auto cut = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(payload.size()) - 1));
+    payload.resize(cut);
+  }
+  if (spec_.row_corruption_rate > 0.0) {
+    payload = corrupt_csv(payload);
+  }
+  return payload;
+}
+
+TextSource FaultInjector::wrap(std::string source_name, TextSource source) {
+  return [this, name = std::move(source_name),
+          inner = std::move(source)]() { return fetch(name, inner); };
+}
+
+std::string FaultInjector::corrupt_csv(const std::string& text) {
+  static const char* kGarbage[] = {"???", "NaN", "Inf", "-1e999", ""};
+  std::string out;
+  out.reserve(text.size());
+  std::size_t line_start = 0;
+  bool is_header = true;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    const bool last = line_end == std::string::npos;
+    std::string line = text.substr(
+        line_start, last ? std::string::npos : line_end - line_start);
+    if (!is_header && !line.empty() &&
+        rng_.bernoulli(spec_.row_corruption_rate)) {
+      // Replace one comma-delimited field with garbage. Plain split is
+      // enough here: injected corruption doesn't need quote fidelity.
+      std::vector<std::string> fields;
+      std::size_t field_start = 0;
+      while (true) {
+        std::size_t comma = line.find(',', field_start);
+        if (comma == std::string::npos) {
+          fields.push_back(line.substr(field_start));
+          break;
+        }
+        fields.push_back(line.substr(field_start, comma - field_start));
+        field_start = comma + 1;
+      }
+      const auto victim = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(fields.size()) - 1));
+      fields[victim] = kGarbage[rng_.uniform_int(0, 4)];
+      ++counters_.corrupted_rows;
+      line.clear();
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) line += ',';
+        line += fields[i];
+      }
+    }
+    out += line;
+    if (last) break;
+    out += '\n';
+    line_start = line_end + 1;
+    is_header = false;
+  }
+  return out;
+}
+
+}  // namespace iqb::robust

@@ -1,0 +1,82 @@
+// Seeded fault injection for robustness testing.
+//
+// Nothing in a test suite proves fault tolerance unless something can
+// inject faults. FaultInjector wraps a text source (a feed fetch, a
+// file read) and deterministically perturbs it: hard IO errors,
+// truncation mid-byte-stream, per-row CSV corruption, and latency
+// spikes (reported, not slept — time is virtual here). All draws come
+// from a seeded util::Rng, so a failing fault scenario replays
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "iqb/util/result.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::robust {
+
+/// A callable producing the raw text of a feed (file contents, HTTP
+/// body, ...). The unit the injector wraps.
+using TextSource = std::function<util::Result<std::string>()>;
+
+struct FaultSpec {
+  /// Probability a fetch fails outright with kIoError.
+  double io_error_rate = 0.0;
+  /// Probability the returned text is truncated at a random point.
+  double truncation_rate = 0.0;
+  /// Per-data-row probability of corrupting one field (CSV payloads).
+  double row_corruption_rate = 0.0;
+  /// Probability a fetch reports a latency spike.
+  double latency_spike_rate = 0.0;
+  /// Spike magnitude (virtual seconds) when one fires.
+  double latency_spike_s = 10.0;
+
+  /// A spec that never fires (useful as a healthy control).
+  static FaultSpec none() { return {}; }
+};
+
+/// Counters of what actually fired, for assertions.
+struct FaultCounters {
+  std::size_t io_errors = 0;
+  std::size_t truncations = 0;
+  std::size_t corrupted_rows = 0;
+  std::size_t latency_spikes = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, std::uint64_t seed)
+      : spec_(spec), rng_(seed) {}
+
+  /// Fetch through the fault layer: may fail, truncate or corrupt the
+  /// text per the spec. `source_name` labels injected error messages.
+  util::Result<std::string> fetch(const std::string& source_name,
+                                  const TextSource& source);
+
+  /// Wrap a source so every call goes through fetch(). The injector
+  /// must outlive the returned callable.
+  TextSource wrap(std::string source_name, TextSource source);
+
+  /// Corrupt CSV text in place: each data row independently gets one
+  /// field replaced with garbage ("???", "NaN", "Inf", "-1e999" or
+  /// empty) with probability spec.row_corruption_rate. The header is
+  /// never touched.
+  std::string corrupt_csv(const std::string& text);
+
+  /// Virtual delay (seconds) the last fetch would have added; exposed
+  /// so retry/deadline logic can be driven in tests.
+  double last_latency_s() const noexcept { return last_latency_s_; }
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  FaultSpec spec_;
+  util::Rng rng_;
+  FaultCounters counters_;
+  double last_latency_s_ = 0.0;
+};
+
+}  // namespace iqb::robust

@@ -1,0 +1,38 @@
+#include "iqb/robust/quarantine.hpp"
+
+namespace iqb::robust {
+
+void Quarantine::add(std::string source, std::size_t row, util::Error error) {
+  ++count_;
+  if (rows_.size() < max_stored_) {
+    rows_.push_back({std::move(source), row, std::move(error)});
+  }
+}
+
+double Quarantine::error_rate(std::size_t total_rows) const noexcept {
+  if (total_rows == 0) return 0.0;
+  return static_cast<double>(count_) / static_cast<double>(total_rows);
+}
+
+bool Quarantine::exceeds(const IngestPolicy& policy,
+                         std::size_t total_rows) const noexcept {
+  return error_rate(total_rows) > policy.max_error_rate;
+}
+
+std::string Quarantine::summary() const {
+  if (count_ == 0) return "no rows quarantined";
+  std::string out = std::to_string(count_) + " rows quarantined";
+  if (!rows_.empty()) {
+    out += ", first: " + rows_.front().source + " row " +
+           std::to_string(rows_.front().row) + " (" +
+           rows_.front().error.to_string() + ")";
+  }
+  return out;
+}
+
+void Quarantine::clear() noexcept {
+  count_ = 0;
+  rows_.clear();
+}
+
+}  // namespace iqb::robust

@@ -1,0 +1,80 @@
+// Quarantine sink for lenient ingestion.
+//
+// Strict importers abort on the first malformed row — correct for
+// curated exports, fatal for real feeds where a truncated tail or a
+// handful of corrupt rows should not discard a month of measurements.
+// In lenient mode importers push each bad row here (with its row
+// number and a row-precise error) and keep going; the caller then
+// decides whether the error *rate* is still trustworthy via
+// IngestPolicy::max_error_rate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::robust {
+
+/// How importers treat malformed rows.
+enum class IngestMode {
+  kStrict,   ///< First malformed row fails the whole import.
+  kLenient,  ///< Malformed rows are quarantined; import continues.
+};
+
+struct IngestPolicy {
+  IngestMode mode = IngestMode::kStrict;
+  /// Lenient mode only: quarantined / total row fraction above which
+  /// the import is rejected anyway (feed considered corrupt).
+  double max_error_rate = 0.25;
+  /// Cap on *stored* quarantined rows (all are still counted).
+  std::size_t max_stored = 100;
+
+  static IngestPolicy strict() { return {}; }
+  static IngestPolicy lenient(double max_error_rate = 0.25) {
+    IngestPolicy policy;
+    policy.mode = IngestMode::kLenient;
+    policy.max_error_rate = max_error_rate;
+    return policy;
+  }
+};
+
+/// One rejected row.
+struct QuarantinedRow {
+  std::string source;  ///< Importer/feed name ("ndt_csv", "ookla_csv", ...).
+  std::size_t row = 0; ///< 0-based data-row index (excludes the header).
+  util::Error error;
+};
+
+class Quarantine {
+ public:
+  explicit Quarantine(std::size_t max_stored = 100)
+      : max_stored_(max_stored) {}
+
+  void add(std::string source, std::size_t row, util::Error error);
+
+  /// Rows rejected in total (including ones beyond the storage cap).
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  const std::vector<QuarantinedRow>& rows() const noexcept { return rows_; }
+
+  /// Quarantined fraction of `total_rows`; 0 when total_rows == 0.
+  double error_rate(std::size_t total_rows) const noexcept;
+
+  /// True when the quarantined fraction exceeds the policy threshold.
+  bool exceeds(const IngestPolicy& policy, std::size_t total_rows) const noexcept;
+
+  /// One-line human summary ("3 rows quarantined, first: ...").
+  std::string summary() const;
+
+  void clear() noexcept;
+
+ private:
+  std::size_t max_stored_;
+  std::size_t count_ = 0;
+  std::vector<QuarantinedRow> rows_;
+};
+
+}  // namespace iqb::robust

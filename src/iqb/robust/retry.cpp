@@ -1,0 +1,43 @@
+#include "iqb/robust/retry.hpp"
+
+#include <algorithm>
+
+namespace iqb::robust {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+Result<void> RetryPolicy::validate() const {
+  if (max_attempts == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "retry max_attempts must be >= 1");
+  }
+  if (base_delay_s < 0.0 || max_delay_s < base_delay_s) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "retry delays must satisfy 0 <= base <= max");
+  }
+  if (deadline_s < 0.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "retry deadline_s must be >= 0");
+  }
+  return Result<void>::success();
+}
+
+double RetrySchedule::next_delay_s() {
+  if (attempts_ >= policy_.max_attempts) return -1.0;
+  // Decorrelated jitter: sleep = min(cap, uniform(base, prev * 3)).
+  // Spreads synchronized clients apart while still growing roughly
+  // exponentially in expectation.
+  const double upper = std::max(policy_.base_delay_s, previous_delay_s_ * 3.0);
+  double delay = rng_.uniform(policy_.base_delay_s,
+                              std::max(policy_.base_delay_s, upper));
+  delay = std::min(delay, policy_.max_delay_s);
+  if (elapsed_s_ + delay > policy_.deadline_s) return -1.0;
+  previous_delay_s_ = delay;
+  elapsed_s_ += delay;
+  ++attempts_;
+  return delay;
+}
+
+}  // namespace iqb::robust

@@ -1,0 +1,98 @@
+// Deterministic retry with exponential backoff and decorrelated jitter.
+//
+// Dataset feeds (and simulated measurement sessions) fail transiently:
+// a fetch that errors once often succeeds a moment later. RetryPolicy
+// captures the standard remedy — exponential backoff with decorrelated
+// jitter (Brooker, "Exponential Backoff And Jitter") capped by a total
+// deadline — but stays reproducible: jitter draws from an explicitly
+// seeded util::Rng, and "time" is the virtual sum of computed delays,
+// never the wall clock, so tests and simulations replay bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "iqb/util/result.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb::robust {
+
+struct RetryPolicy {
+  /// Total tries including the first one; 1 disables retrying.
+  std::size_t max_attempts = 4;
+  /// First backoff delay (seconds, virtual).
+  double base_delay_s = 0.1;
+  /// Per-delay cap (seconds, virtual).
+  double max_delay_s = 5.0;
+  /// Total virtual-time budget across all backoff delays. Once the
+  /// accumulated delay would exceed it, retrying stops even if
+  /// attempts remain.
+  double deadline_s = 30.0;
+  /// Seed for the decorrelated jitter stream.
+  std::uint64_t seed = 1;
+
+  util::Result<void> validate() const;
+};
+
+/// The delay sequence of one retry episode. Separated from the
+/// execution loop so tests can inspect the schedule directly.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy)
+      : policy_(policy), rng_(policy.seed), previous_delay_s_(policy.base_delay_s) {}
+
+  /// Delay before the next retry, or a negative value when the policy
+  /// is exhausted (attempts or deadline). Advances internal state.
+  double next_delay_s();
+
+  std::size_t attempts_started() const noexcept { return attempts_; }
+  double elapsed_s() const noexcept { return elapsed_s_; }
+
+ private:
+  RetryPolicy policy_;
+  util::Rng rng_;
+  double previous_delay_s_;
+  std::size_t attempts_ = 1;  // the initial attempt is free
+  double elapsed_s_ = 0.0;
+};
+
+/// Outcome statistics of run_with_retry, for degradation reporting.
+struct RetryStats {
+  std::size_t attempts = 0;
+  double total_backoff_s = 0.0;
+  bool exhausted = false;  ///< Gave up with the policy spent.
+};
+
+/// Run `fn` (returning util::Result<T>) until it succeeds or the
+/// policy is exhausted. Returns the first success, or the final error
+/// annotated with the attempt count. `stats`, when non-null, receives
+/// the episode's statistics either way.
+template <typename Fn>
+auto run_with_retry(const RetryPolicy& policy, Fn&& fn,
+                    RetryStats* stats = nullptr)
+    -> decltype(fn()) {
+  RetrySchedule schedule(policy);
+  auto outcome = fn();
+  std::size_t attempts = 1;
+  while (!outcome.ok()) {
+    const double delay = schedule.next_delay_s();
+    if (delay < 0.0) break;
+    outcome = fn();
+    ++attempts;
+  }
+  if (stats) {
+    stats->attempts = attempts;
+    stats->total_backoff_s = schedule.elapsed_s();
+    stats->exhausted = !outcome.ok();
+  }
+  if (!outcome.ok()) {
+    return util::make_error(outcome.error().code,
+                            outcome.error().message + " (after " +
+                                std::to_string(attempts) + " attempts)");
+  }
+  return outcome;
+}
+
+}  // namespace iqb::robust

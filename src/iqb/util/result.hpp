@@ -92,6 +92,20 @@ class [[nodiscard]] Result {
     return error();
   }
 
+  /// Prefix the error message with `context` ("loading X: <original>")
+  /// so robust-layer code can chain provenance without boilerplate.
+  /// Success passes through untouched.
+  Result with_context(std::string_view context) const& {
+    if (ok()) return *this;
+    return Error{error().code,
+                 std::string(context) + ": " + error().message};
+  }
+  Result with_context(std::string_view context) && {
+    if (ok()) return std::move(*this);
+    return Error{error().code,
+                 std::string(context) + ": " + error().message};
+  }
+
  private:
   std::variant<T, Error> storage_;
 };
@@ -112,6 +126,13 @@ class [[nodiscard]] Result<void> {
   const Error& error() const {
     assert(has_error_);
     return stored_;
+  }
+
+  /// See Result<T>::with_context.
+  Result with_context(std::string_view context) const {
+    if (ok()) return *this;
+    return Error{stored_.code,
+                 std::string(context) + ": " + stored_.message};
   }
 
  private:

@@ -219,5 +219,57 @@ TEST_F(CliTest, SimulateBadArgsFail) {
   EXPECT_EQ(run({"simulate", "--tests", "0"}, &out, &err), 1);
 }
 
+/// records_path_'s content plus a handful of corrupt rows, on disk.
+class CliLenientTest : public CliTest {
+ protected:
+  void SetUp() override {
+    dirty_path_ =
+        (std::filesystem::temp_directory_path() /
+         ("iqb_cli_test_dirty_" + std::to_string(getpid()) + ".csv"))
+            .string();
+    std::ifstream in(records_path_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::ofstream out(dirty_path_, std::ios::binary);
+    out << buffer.str();
+    out << "ndt,metro_fiber,isp,s1,not-a-timestamp,100,,,,\n";
+    out << "ndt,metro_fiber,isp,s2,2025-02-01T00:00:00Z,???,,,,\n";
+  }
+
+  void TearDown() override { std::remove(dirty_path_.c_str()); }
+
+  std::string dirty_path_;
+};
+
+TEST_F(CliLenientTest, StrictModeRejectsDirtyFile) {
+  std::string out, err;
+  EXPECT_EQ(run({"score", "--records", dirty_path_}, &out, &err), 2);
+  EXPECT_NE(err.find("records error"), std::string::npos);
+}
+
+TEST_F(CliLenientTest, LenientModeScoresDegradedWithExitCode3) {
+  std::string out, err;
+  EXPECT_EQ(run({"score", "--records", dirty_path_, "--lenient", "true"},
+                &out, &err),
+            3);
+  EXPECT_NE(err.find("rows quarantined"), std::string::npos);
+  EXPECT_NE(err.find("degraded mode"), std::string::npos);
+  // Regions are still scored, and the scorecard says why to distrust.
+  EXPECT_NE(out.find("IQB Scorecard"), std::string::npos);
+  EXPECT_NE(out.find("DEGRADED MODE"), std::string::npos);
+  EXPECT_NE(out.find("confidence tier B"), std::string::npos);
+}
+
+TEST_F(CliLenientTest, CleanFileWithLenientStaysExitZero) {
+  std::string strict_out, lenient_out, err;
+  EXPECT_EQ(run({"score", "--records", records_path_}, &strict_out, &err), 0);
+  EXPECT_EQ(run({"score", "--records", records_path_, "--lenient", "true"},
+                &lenient_out, &err),
+            0);
+  // Healthy data: lenient mode is bit-identical to strict.
+  EXPECT_EQ(strict_out, lenient_out);
+  EXPECT_EQ(lenient_out.find("DEGRADED MODE"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace iqb::cli

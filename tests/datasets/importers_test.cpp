@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "iqb/robust/quarantine.hpp"
+
 namespace iqb::datasets {
 namespace {
+
+using robust::IngestPolicy;
+using robust::Quarantine;
 
 constexpr const char* kOoklaCsv =
     "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests,devices\n"
@@ -117,6 +124,188 @@ TEST(NdtImport, Errors) {
                    "throughput_mbps,min_rtt_ms,loss_rate\n"
                    "2025-03-01,r,a,download,1,,1.7\n")
                    .ok());  // loss out of range
+}
+
+// Table-driven corruption matrix: every corruption shape against both
+// importers in both modes. Strict must reject the file; lenient must
+// either import what is salvageable (quarantining the noise) or, when
+// nothing is salvageable, still fail.
+struct CorruptionCase {
+  const char* name;
+  const char* csv;
+  /// Rows the lenient import should quarantine (0 means the failure is
+  /// structural — header/empty — and lenient fails like strict).
+  std::size_t want_quarantined;
+  /// Usable rows surviving a lenient import (0 -> import still fails).
+  std::size_t want_survivors;
+};
+
+class OoklaCorruptionTest : public ::testing::TestWithParam<CorruptionCase> {};
+
+TEST_P(OoklaCorruptionTest, StrictRejects) {
+  EXPECT_FALSE(import_ookla_tiles_csv(GetParam().csv).ok());
+}
+
+TEST_P(OoklaCorruptionTest, LenientQuarantinesAndSalvages) {
+  const CorruptionCase& c = GetParam();
+  Quarantine quarantine;
+  auto table = import_ookla_tiles_csv(c.csv, "r",
+                                      IngestPolicy::lenient(/*max=*/0.9),
+                                      &quarantine);
+  EXPECT_EQ(quarantine.count(), c.want_quarantined) << c.name;
+  if (c.want_survivors > 0) {
+    ASSERT_TRUE(table.ok()) << c.name << ": " << table.error().to_string();
+    EXPECT_TRUE(table->contains("r", "ookla", Metric::kDownload));
+  } else {
+    EXPECT_FALSE(table.ok()) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corruption, OoklaCorruptionTest,
+    ::testing::Values(
+        CorruptionCase{"empty_file", "", 0, 0},
+        CorruptionCase{"truncated_header", "quadkey,avg_d_kbps,avg_u\n",
+                       0, 0},
+        CorruptionCase{
+            "non_numeric",
+            "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+            "0,???,1,1,1\n"
+            "0,1000,200,10,5\n",
+            1, 1},
+        CorruptionCase{
+            "nan_value",
+            "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+            "0,NaN,1,1,1\n"
+            "0,1000,200,10,5\n",
+            1, 1},
+        CorruptionCase{
+            "inf_value",
+            "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+            "0,1000,Inf,10,5\n"
+            "0,1000,200,10,5\n",
+            1, 1},
+        CorruptionCase{
+            "negative_value",
+            "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+            "0,-5,1,1,1\n"
+            "0,1000,200,10,5\n",
+            1, 1},
+        CorruptionCase{
+            "all_rows_bad",
+            "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+            "0,???,1,1,1\n"
+            "1,also bad,1,1,1\n",
+            2, 0}),
+    [](const ::testing::TestParamInfo<CorruptionCase>& info) {
+      return info.param.name;
+    });
+
+class NdtCorruptionTest : public ::testing::TestWithParam<CorruptionCase> {};
+
+TEST_P(NdtCorruptionTest, StrictRejects) {
+  EXPECT_FALSE(import_ndt_unified_csv(GetParam().csv).ok());
+}
+
+TEST_P(NdtCorruptionTest, LenientQuarantinesAndSalvages) {
+  const CorruptionCase& c = GetParam();
+  Quarantine quarantine;
+  auto records = import_ndt_unified_csv(c.csv, IngestPolicy::lenient(0.9),
+                                        &quarantine);
+  EXPECT_EQ(quarantine.count(), c.want_quarantined) << c.name;
+  if (c.want_survivors > 0) {
+    ASSERT_TRUE(records.ok()) << c.name << ": " << records.error().to_string();
+    EXPECT_EQ(records->size(), c.want_survivors) << c.name;
+  } else {
+    EXPECT_FALSE(records.ok()) << c.name;
+  }
+}
+
+constexpr const char* kNdtHeader =
+    "date,client_region,client_asn_name,direction,throughput_mbps,"
+    "min_rtt_ms,loss_rate\n";
+
+INSTANTIATE_TEST_SUITE_P(
+    Corruption, NdtCorruptionTest,
+    ::testing::Values(
+        CorruptionCase{"empty_file", "", 0, 0},
+        CorruptionCase{"truncated_header", "date,client_region,client_a\n",
+                       0, 0},
+        CorruptionCase{
+            "non_numeric_throughput",
+            "date,client_region,client_asn_name,direction,throughput_mbps,"
+            "min_rtt_ms,loss_rate\n"
+            "2025-03-01,r,a,download,???,,\n"
+            "2025-03-01,r,a,download,100,10,0.01\n",
+            1, 1},
+        CorruptionCase{
+            "nan_rtt",
+            "date,client_region,client_asn_name,direction,throughput_mbps,"
+            "min_rtt_ms,loss_rate\n"
+            "2025-03-01,r,a,download,100,nan,\n"
+            "2025-03-01,r,a,download,100,10,0.01\n",
+            1, 1},
+        CorruptionCase{
+            "inf_throughput",
+            "date,client_region,client_asn_name,direction,throughput_mbps,"
+            "min_rtt_ms,loss_rate\n"
+            "2025-03-01,r,a,upload,inf,,\n"
+            "2025-03-01,r,a,upload,50,,\n",
+            1, 1},
+        CorruptionCase{
+            "bad_date_and_direction",
+            "date,client_region,client_asn_name,direction,throughput_mbps,"
+            "min_rtt_ms,loss_rate\n"
+            "not-a-date,r,a,download,100,,\n"
+            "2025-03-01,r,a,sideways,100,,\n"
+            "2025-03-01,r,a,download,100,10,0.01\n",
+            2, 1},
+        CorruptionCase{
+            "loss_out_of_range",
+            "date,client_region,client_asn_name,direction,throughput_mbps,"
+            "min_rtt_ms,loss_rate\n"
+            "2025-03-01,r,a,download,100,10,1.7\n"
+            "2025-03-01,r,a,download,100,10,0.01\n",
+            1, 1},
+        CorruptionCase{
+            "all_rows_bad",
+            "date,client_region,client_asn_name,direction,throughput_mbps,"
+            "min_rtt_ms,loss_rate\n"
+            "x,r,a,download,1,,\n",
+            1, 0}),
+    [](const ::testing::TestParamInfo<CorruptionCase>& info) {
+      return info.param.name;
+    });
+
+TEST(LenientImport, RejectsWhenErrorRateExceedsPolicy) {
+  // 2 of 3 rows bad = 66% error rate; a 25% ceiling must refuse.
+  const char* csv =
+      "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests\n"
+      "0,???,1,1,1\n"
+      "1,???,1,1,1\n"
+      "2,1000,200,10,5\n";
+  Quarantine quarantine;
+  auto strict_rate = import_ookla_tiles_csv(csv, "r",
+                                            IngestPolicy::lenient(0.25),
+                                            &quarantine);
+  EXPECT_FALSE(strict_rate.ok());
+  EXPECT_EQ(quarantine.count(), 2u);
+  // The same file passes under a permissive ceiling.
+  EXPECT_TRUE(
+      import_ookla_tiles_csv(csv, "r", IngestPolicy::lenient(0.9)).ok());
+}
+
+TEST(LenientImport, UnusedKnobKeepsStrictSemantics) {
+  // A lenient-constructed policy flipped back to strict behaves
+  // exactly like the plain overloads.
+  IngestPolicy policy = IngestPolicy::lenient();
+  policy.mode = robust::IngestMode::kStrict;
+  EXPECT_FALSE(import_ndt_unified_csv(
+                   "date,client_region,client_asn_name,direction,"
+                   "throughput_mbps,min_rtt_ms,loss_rate\n"
+                   "2025-03-01,r,a,download,bad,,\n",
+                   policy)
+                   .ok());
 }
 
 }  // namespace

@@ -1,0 +1,250 @@
+// Fault-tolerance integration: the full ingest -> score path driven
+// through injected faults. Proves the PR's core claim end to end:
+// with one dataset feed 100% failing, every region still gets a
+// score, the score is flagged tier B/C, and eq. (1)'s renormalized
+// weights over the surviving datasets sum to 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/core/score.hpp"
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/synthetic.hpp"
+#include "iqb/robust/circuit_breaker.hpp"
+#include "iqb/robust/degradation.hpp"
+#include "iqb/robust/fault_injection.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb {
+namespace {
+
+using datasets::MeasurementRecord;
+
+/// Synthetic full-panel records for a few regions, deterministic.
+std::vector<MeasurementRecord> panel_records() {
+  const auto panel = datasets::default_dataset_panel();
+  datasets::SyntheticConfig config;
+  config.records_per_dataset = 60;
+  config.base_time = util::Timestamp::parse("2025-03-01").value();
+  util::Rng rng(7);
+  std::vector<MeasurementRecord> all;
+  for (const auto& profile : datasets::example_region_profiles()) {
+    auto records =
+        datasets::generate_region_records(profile, panel, config, rng);
+    all.insert(all.end(), std::make_move_iterator(records.begin()),
+               std::make_move_iterator(records.end()));
+  }
+  return all;
+}
+
+/// The records of one dataset, serialized as a CSV "feed".
+std::string feed_csv(const std::vector<MeasurementRecord>& records,
+                     const std::string& dataset) {
+  std::vector<MeasurementRecord> subset;
+  for (const auto& record : records) {
+    if (record.dataset == dataset) subset.push_back(record);
+  }
+  return datasets::records_to_csv(subset);
+}
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { records_ = new std::vector(panel_records()); }
+  static void TearDownTestSuite() {
+    delete records_;
+    records_ = nullptr;
+  }
+
+  static const std::vector<MeasurementRecord>& records() { return *records_; }
+
+  static std::vector<MeasurementRecord>* records_;
+};
+
+std::vector<MeasurementRecord>* FaultToleranceTest::records_ = nullptr;
+
+TEST_F(FaultToleranceTest, HealthyRunIsTierAAndHealthOverloadIsIdentical) {
+  datasets::RecordStore store;
+  auto copy = records();
+  ASSERT_EQ(store.add_all(std::move(copy)), 0u);
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+  const auto plain = pipeline.run(store);
+  const auto with_health = pipeline.run(store, robust::IngestHealth{});
+  ASSERT_FALSE(plain.results.empty());
+  EXPECT_FALSE(plain.degraded());
+  ASSERT_EQ(plain.results.size(), with_health.results.size());
+  for (std::size_t i = 0; i < plain.results.size(); ++i) {
+    // A healthy run is bit-identical with and without health plumbing.
+    EXPECT_EQ(plain.results[i].high.iqb_score,
+              with_health.results[i].high.iqb_score);
+    EXPECT_EQ(plain.results[i].minimum.iqb_score,
+              with_health.results[i].minimum.iqb_score);
+    EXPECT_EQ(plain.results[i].degradation().tier,
+              robust::ConfidenceTier::kA);
+  }
+}
+
+TEST_F(FaultToleranceTest, DeadFeedStillScoresEveryRegionDegraded) {
+  // Three per-dataset feeds; the ndt one fails on every fetch.
+  robust::FaultSpec dead;
+  dead.io_error_rate = 1.0;
+  robust::FaultInjector injector(dead, 3);
+
+  datasets::LoadOptions options;
+  options.retry.max_attempts = 3;
+  robust::CircuitBreakerConfig breaker_config;
+  breaker_config.window_size = 4;
+  breaker_config.min_samples = 2;
+
+  datasets::RecordStore store;
+  robust::IngestHealth health;
+  std::map<std::string, robust::CircuitBreaker> breakers;
+  for (const std::string dataset : {"ndt", "cloudflare", "ookla"}) {
+    const std::string csv = feed_csv(records(), dataset);
+    robust::TextSource source = [&csv]() -> util::Result<std::string> {
+      return csv;
+    };
+    if (dataset == "ndt") source = injector.wrap("ndt_feed", source);
+    auto [it, inserted] = breakers.try_emplace(dataset, breaker_config);
+    // Hammer the dead feed enough times to trip its breaker.
+    for (int round = 0; round < 3; ++round) {
+      auto outcome =
+          datasets::load_records(source, dataset + "_feed", options,
+                                 &it->second);
+      if (!outcome.ok()) continue;
+      store.add_all(std::move(outcome).value().records);
+      break;
+    }
+    if (it->second.open()) health.open_breakers.push_back(dataset);
+  }
+
+  ASSERT_EQ(health.open_breakers, std::vector<std::string>{"ndt"});
+  EXPECT_GT(injector.counters().io_errors, 0u);
+
+  const core::IqbConfig config = core::IqbConfig::paper_defaults();
+  core::Pipeline pipeline(config);
+  const auto output = pipeline.run(store, health);
+
+  // Every region is still scored — none skipped.
+  EXPECT_TRUE(output.skipped.empty());
+  ASSERT_EQ(output.results.size(),
+            datasets::example_region_profiles().size());
+  EXPECT_TRUE(output.degraded());
+
+  core::Scorer scorer(config.thresholds, config.weights);
+  for (const auto& result : output.results) {
+    const auto& degradation = result.degradation();
+    // Dataset missing + breaker open: tier B at best, C when the
+    // region ended up single-source.
+    EXPECT_NE(degradation.tier, robust::ConfidenceTier::kA);
+    EXPECT_TRUE(std::find(degradation.missing_datasets.begin(),
+                          degradation.missing_datasets.end(),
+                          "ndt") != degradation.missing_datasets.end());
+    EXPECT_EQ(degradation.open_breakers,
+              std::vector<std::string>{"ndt"});
+    EXPECT_GT(result.high.iqb_score, 0.0);
+
+    // Eq. (1): the weights renormalized over the surviving datasets
+    // sum to 1 for every (use case, requirement) that kept any
+    // positively-weighted dataset.
+    for (core::UseCase use_case : core::kAllUseCases) {
+      for (core::Requirement requirement : core::kAllRequirements) {
+        const auto weights = scorer.renormalized_dataset_weights(
+            use_case, requirement, degradation.present_datasets);
+        if (weights.empty()) continue;
+        double total = 0.0;
+        for (const auto& [dataset, weight] : weights) {
+          EXPECT_NE(dataset, "ndt");
+          total += weight;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(FaultToleranceTest, CorruptedFeedQuarantinesAndStillScores) {
+  robust::FaultSpec dirty;
+  dirty.row_corruption_rate = 0.15;
+  robust::FaultInjector injector(dirty, 11);
+
+  const std::string csv = datasets::records_to_csv(records());
+  robust::TextSource source =
+      injector.wrap("records", [&csv]() -> util::Result<std::string> {
+        return csv;
+      });
+
+  robust::Quarantine quarantine;
+  datasets::LoadOptions options;
+  options.ingest = robust::IngestPolicy::lenient(/*max_error_rate=*/0.5);
+  auto outcome =
+      datasets::load_records(source, "records", options, nullptr, &quarantine);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(injector.counters().corrupted_rows, 0u);
+  // Not every corruption is fatal (a garbage optional field may still
+  // parse), but some rows must have been quarantined at 15%.
+  EXPECT_GT(outcome->rows_quarantined, 0u);
+  EXPECT_EQ(outcome->rows_quarantined, quarantine.count());
+  EXPECT_FALSE(outcome->records.empty());
+
+  datasets::RecordStore store;
+  store.add_all(std::move(outcome).value().records);
+  robust::IngestHealth health;
+  health.rows_quarantined = quarantine.count();
+
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+  const auto output = pipeline.run(store, health);
+  ASSERT_FALSE(output.results.empty());
+  EXPECT_TRUE(output.degraded());
+  for (const auto& result : output.results) {
+    EXPECT_EQ(result.degradation().rows_quarantined, quarantine.count());
+  }
+}
+
+TEST_F(FaultToleranceTest, TransientFailureRecoversViaRetry) {
+  const std::string csv = feed_csv(records(), "ndt");
+  int calls = 0;
+  robust::TextSource flaky = [&csv, &calls]() -> util::Result<std::string> {
+    if (++calls < 3) {
+      return util::make_error(util::ErrorCode::kIoError, "flaky feed");
+    }
+    return csv;
+  };
+  datasets::LoadOptions options;
+  options.retry.max_attempts = 4;
+  auto outcome = datasets::load_records(flaky, "ndt_feed", options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->attempts, 3u);
+  EXPECT_FALSE(outcome->records.empty());
+}
+
+TEST_F(FaultToleranceTest, OpenBreakerFailsFastWithoutFetching) {
+  robust::CircuitBreakerConfig config;
+  config.window_size = 4;
+  config.min_samples = 2;
+  config.cooldown_denials = 100;  // stay open for the whole test
+  robust::CircuitBreaker breaker(config);
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_TRUE(breaker.open());
+
+  int calls = 0;
+  robust::TextSource source = [&calls]() -> util::Result<std::string> {
+    ++calls;
+    return std::string("dataset,region,isp,subscriber_id,timestamp,"
+                       "download_mbps,upload_mbps,latency_ms,"
+                       "loaded_latency_ms,loss_fraction\n");
+  };
+  auto outcome = datasets::load_records(source, "feed", {}, &breaker);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, util::ErrorCode::kIoError);
+  EXPECT_NE(outcome.error().message.find("circuit breaker open"),
+            std::string::npos);
+  EXPECT_EQ(calls, 0);  // fail-fast: the source was never touched
+}
+
+}  // namespace
+}  // namespace iqb

@@ -1,0 +1,114 @@
+#include "iqb/robust/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace iqb::robust {
+namespace {
+
+CircuitBreakerConfig small_config() {
+  CircuitBreakerConfig config;
+  config.window_size = 4;
+  config.min_samples = 2;
+  config.failure_threshold = 0.5;
+  config.cooldown_denials = 2;
+  config.half_open_successes = 2;
+  return config;
+}
+
+TEST(CircuitBreaker, StaysClosedBelowMinSamples) {
+  CircuitBreaker breaker(small_config());
+  EXPECT_TRUE(breaker.allow_request());
+  breaker.record_failure();
+  // One failure: 100% failure rate but below min_samples.
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow_request());
+}
+
+TEST(CircuitBreaker, OpensAtFailureThreshold) {
+  CircuitBreaker breaker(small_config());
+  breaker.record_success();
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_TRUE(breaker.open());
+  EXPECT_FALSE(breaker.allow_request());
+  EXPECT_EQ(breaker.total_failures(), 2u);
+}
+
+TEST(CircuitBreaker, CooldownLeadsToHalfOpenProbe) {
+  CircuitBreaker breaker(small_config());
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // Two denials of cooldown...
+  EXPECT_FALSE(breaker.allow_request());
+  EXPECT_FALSE(breaker.allow_request());
+  EXPECT_EQ(breaker.denied_requests(), 2u);
+  // ...then a probe is admitted.
+  EXPECT_TRUE(breaker.allow_request());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenSuccessStreakCloses) {
+  CircuitBreaker breaker(small_config());
+  breaker.record_failure();
+  breaker.record_failure();
+  while (!breaker.allow_request()) {
+  }
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow_request());
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopens) {
+  CircuitBreaker breaker(small_config());
+  breaker.record_failure();
+  breaker.record_failure();
+  while (!breaker.allow_request()) {
+  }
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow_request());
+}
+
+TEST(CircuitBreaker, WindowForgetsOldOutcomes) {
+  CircuitBreakerConfig config = small_config();
+  config.window_size = 2;
+  CircuitBreaker breaker(config);
+  breaker.record_failure();
+  breaker.record_success();
+  // Window now {failure, success} -> rate 0.5 trips (>= threshold)?
+  // Threshold is strict in spirit: refill with successes instead.
+  breaker.reset();
+  breaker.record_failure();
+  breaker.record_success();
+  breaker.record_success();
+  // Failure fell out of the 2-slot window.
+  EXPECT_DOUBLE_EQ(breaker.failure_rate(), 0.0);
+}
+
+TEST(CircuitBreaker, ResetClosesAndClears) {
+  CircuitBreaker breaker(small_config());
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_TRUE(breaker.open());
+  breaker.reset();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(breaker.failure_rate(), 0.0);
+  EXPECT_TRUE(breaker.allow_request());
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_STREQ(breaker_state_name(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kOpen), "open");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace iqb::robust

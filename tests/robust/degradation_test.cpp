@@ -1,0 +1,121 @@
+#include "iqb/robust/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iqb::robust {
+namespace {
+
+TEST(AssessTier, Table) {
+  struct Case {
+    std::size_t present;
+    std::size_t expected;
+    bool faults;
+    ConfidenceTier want;
+  };
+  const Case cases[] = {
+      {3, 3, false, ConfidenceTier::kA},  // full healthy panel
+      {3, 3, true, ConfidenceTier::kB},   // panel fine, ingest dirty
+      {2, 3, false, ConfidenceTier::kB},  // one dataset missing
+      {2, 3, true, ConfidenceTier::kB},
+      {1, 3, false, ConfidenceTier::kC},  // single source
+      {1, 1, false, ConfidenceTier::kC},  // even a full 1-panel is C
+      {0, 3, false, ConfidenceTier::kC},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(assess_tier(c.present, c.expected, c.faults), c.want)
+        << "present=" << c.present << " expected=" << c.expected
+        << " faults=" << c.faults;
+  }
+}
+
+TEST(AssessRegion, ComputesMissingSorted) {
+  const std::vector<std::string> expected = {"ookla", "ndt", "cloudflare"};
+  const std::vector<std::string> present = {"ndt"};
+  const DegradationReport report = assess_region("metro", expected, present);
+  EXPECT_EQ(report.region, "metro");
+  EXPECT_EQ(report.missing_datasets,
+            (std::vector<std::string>{"cloudflare", "ookla"}));
+  EXPECT_EQ(report.tier, ConfidenceTier::kC);
+  EXPECT_TRUE(report.degraded());
+}
+
+TEST(AssessRegion, HealthyIsTierA) {
+  const std::vector<std::string> panel = {"cloudflare", "ndt", "ookla"};
+  const DegradationReport report = assess_region("metro", panel, panel);
+  EXPECT_EQ(report.tier, ConfidenceTier::kA);
+  EXPECT_FALSE(report.degraded());
+  EXPECT_TRUE(report.missing_datasets.empty());
+}
+
+TEST(AssessRegion, IngestHealthPropagates) {
+  const std::vector<std::string> panel = {"cloudflare", "ndt", "ookla"};
+  IngestHealth health;
+  health.rows_quarantined = 4;
+  health.open_breakers = {"ookla_feed"};
+  const DegradationReport report =
+      assess_region("metro", panel, panel, health);
+  EXPECT_EQ(report.rows_quarantined, 4u);
+  EXPECT_EQ(report.open_breakers, std::vector<std::string>{"ookla_feed"});
+  EXPECT_EQ(report.tier, ConfidenceTier::kB);  // full panel, dirty ingest
+  EXPECT_TRUE(report.degraded());
+}
+
+TEST(IngestHealth, Healthy) {
+  EXPECT_TRUE(IngestHealth{}.healthy());
+  IngestHealth dirty;
+  dirty.rows_quarantined = 1;
+  EXPECT_FALSE(dirty.healthy());
+  IngestHealth broken;
+  broken.open_breakers = {"feed"};
+  EXPECT_FALSE(broken.healthy());
+}
+
+TEST(RenormalizeWeights, SumsToOne) {
+  const std::map<std::string, double> raw = {
+      {"ookla", 0.5}, {"ndt", 0.3}, {"cloudflare", 0.2}};
+  auto weight_of = [&raw](const std::string& d) { return raw.at(d); };
+
+  // Full panel: weights unchanged.
+  auto full = renormalize_weights({"ookla", "ndt", "cloudflare"}, weight_of);
+  EXPECT_DOUBLE_EQ(full.at("ookla"), 0.5);
+
+  // Drop ookla: remaining weights rescale and still sum to 1.
+  auto partial = renormalize_weights({"ndt", "cloudflare"}, weight_of);
+  ASSERT_EQ(partial.size(), 2u);
+  EXPECT_DOUBLE_EQ(partial.at("ndt"), 0.6);
+  EXPECT_DOUBLE_EQ(partial.at("cloudflare"), 0.4);
+  double total = 0.0;
+  for (const auto& [name, weight] : partial) total += weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(RenormalizeWeights, DropsNonPositiveWeights) {
+  auto weights = renormalize_weights(
+      {"a", "b", "c"},
+      [](const std::string& d) { return d == "b" ? 0.0 : 1.0; });
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights.at("a"), 0.5);
+  EXPECT_DOUBLE_EQ(weights.at("c"), 0.5);
+}
+
+TEST(RenormalizeWeights, AllZeroPanelIsEmpty) {
+  auto weights =
+      renormalize_weights({"a", "b"}, [](const std::string&) { return 0.0; });
+  EXPECT_TRUE(weights.empty());
+  EXPECT_TRUE(renormalize_weights({}, [](const std::string&) { return 1.0; })
+                  .empty());
+}
+
+TEST(ConfidenceTierName, Stable) {
+  EXPECT_STREQ(confidence_tier_name(ConfidenceTier::kA), "A");
+  EXPECT_STREQ(confidence_tier_name(ConfidenceTier::kB), "B");
+  EXPECT_STREQ(confidence_tier_name(ConfidenceTier::kC), "C");
+}
+
+}  // namespace
+}  // namespace iqb::robust

@@ -1,0 +1,82 @@
+#include "iqb/robust/quarantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace iqb::robust {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+util::Error bad_row(const std::string& what) {
+  return util::make_error(util::ErrorCode::kParseError, what);
+}
+
+TEST(Quarantine, CountsAndStoresRows) {
+  Quarantine quarantine;
+  EXPECT_TRUE(quarantine.empty());
+  quarantine.add("ndt_csv", 3, bad_row("bad number"));
+  quarantine.add("ndt_csv", 7, bad_row("bad date"));
+  EXPECT_FALSE(quarantine.empty());
+  EXPECT_EQ(quarantine.count(), 2u);
+  ASSERT_EQ(quarantine.rows().size(), 2u);
+  EXPECT_EQ(quarantine.rows()[0].source, "ndt_csv");
+  EXPECT_EQ(quarantine.rows()[0].row, 3u);
+  EXPECT_EQ(quarantine.rows()[1].row, 7u);
+}
+
+TEST(Quarantine, StorageCapStillCountsEverything) {
+  Quarantine quarantine(/*max_stored=*/2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    quarantine.add("feed", i, bad_row("x"));
+  }
+  EXPECT_EQ(quarantine.count(), 5u);
+  EXPECT_EQ(quarantine.rows().size(), 2u);  // only the first two stored
+}
+
+TEST(Quarantine, ErrorRate) {
+  Quarantine quarantine;
+  EXPECT_DOUBLE_EQ(quarantine.error_rate(0), 0.0);
+  quarantine.add("feed", 0, bad_row("x"));
+  EXPECT_DOUBLE_EQ(quarantine.error_rate(4), 0.25);
+  EXPECT_DOUBLE_EQ(quarantine.error_rate(0), 0.0);  // degenerate total
+}
+
+TEST(Quarantine, ExceedsIsStrictlyAboveThreshold) {
+  IngestPolicy policy = IngestPolicy::lenient(0.25);
+  Quarantine quarantine;
+  quarantine.add("feed", 0, bad_row("x"));
+  EXPECT_FALSE(quarantine.exceeds(policy, 4));  // exactly 0.25 is allowed
+  EXPECT_TRUE(quarantine.exceeds(policy, 3));   // 0.33 is not
+}
+
+TEST(Quarantine, SummaryNamesFirstOffender) {
+  Quarantine quarantine;
+  EXPECT_EQ(quarantine.summary(), "no rows quarantined");
+  quarantine.add("ookla_csv", 12, bad_row("negative value"));
+  quarantine.add("ookla_csv", 19, bad_row("NaN"));
+  EXPECT_TRUE(contains(quarantine.summary(), "2 rows quarantined"));
+  EXPECT_TRUE(contains(quarantine.summary(), "ookla_csv row 12"));
+  EXPECT_TRUE(contains(quarantine.summary(), "negative value"));
+}
+
+TEST(Quarantine, ClearResets) {
+  Quarantine quarantine;
+  quarantine.add("feed", 0, bad_row("x"));
+  quarantine.clear();
+  EXPECT_TRUE(quarantine.empty());
+  EXPECT_EQ(quarantine.count(), 0u);
+  EXPECT_TRUE(quarantine.rows().empty());
+}
+
+TEST(IngestPolicy, Factories) {
+  EXPECT_EQ(IngestPolicy::strict().mode, IngestMode::kStrict);
+  EXPECT_EQ(IngestPolicy::lenient().mode, IngestMode::kLenient);
+  EXPECT_DOUBLE_EQ(IngestPolicy::lenient(0.1).max_error_rate, 0.1);
+}
+
+}  // namespace
+}  // namespace iqb::robust

@@ -1,0 +1,127 @@
+#include "iqb/robust/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace iqb::robust {
+namespace {
+
+TEST(RetryPolicy, Validate) {
+  EXPECT_TRUE(RetryPolicy{}.validate().ok());
+  RetryPolicy no_attempts;
+  no_attempts.max_attempts = 0;
+  EXPECT_FALSE(no_attempts.validate().ok());
+  RetryPolicy inverted;
+  inverted.base_delay_s = 2.0;
+  inverted.max_delay_s = 1.0;
+  EXPECT_FALSE(inverted.validate().ok());
+  RetryPolicy negative_deadline;
+  negative_deadline.deadline_s = -1.0;
+  EXPECT_FALSE(negative_deadline.validate().ok());
+}
+
+TEST(RetrySchedule, DelaysBoundedAndExhaustByAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay_s = 0.1;
+  policy.max_delay_s = 5.0;
+  policy.deadline_s = 1e9;
+  RetrySchedule schedule(policy);
+  for (int i = 0; i < 3; ++i) {
+    const double delay = schedule.next_delay_s();
+    EXPECT_GE(delay, policy.base_delay_s);
+    EXPECT_LE(delay, policy.max_delay_s);
+  }
+  // Attempt budget (4 total = 1 initial + 3 retries) is now spent.
+  EXPECT_LT(schedule.next_delay_s(), 0.0);
+  EXPECT_EQ(schedule.attempts_started(), 4u);
+}
+
+TEST(RetrySchedule, SameSeedSameDelays) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.seed = 42;
+  std::vector<double> first;
+  std::vector<double> second;
+  for (RetrySchedule schedule(policy);;) {
+    const double delay = schedule.next_delay_s();
+    if (delay < 0.0) break;
+    first.push_back(delay);
+  }
+  for (RetrySchedule schedule(policy);;) {
+    const double delay = schedule.next_delay_s();
+    if (delay < 0.0) break;
+    second.push_back(delay);
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(RetrySchedule, DeadlineStopsRetriesEarly) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.base_delay_s = 1.0;
+  policy.max_delay_s = 1.0;  // every delay exactly 1s
+  policy.deadline_s = 2.5;   // only 2 retries fit
+  RetrySchedule schedule(policy);
+  EXPECT_DOUBLE_EQ(schedule.next_delay_s(), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.next_delay_s(), 1.0);
+  EXPECT_LT(schedule.next_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.elapsed_s(), 2.0);
+}
+
+TEST(RunWithRetry, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  RetryStats stats;
+  auto outcome = run_with_retry(
+      policy,
+      [&calls]() -> util::Result<int> {
+        if (++calls < 3) {
+          return util::make_error(util::ErrorCode::kIoError, "flaky");
+        }
+        return 7;
+      },
+      &stats);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), 7);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_FALSE(stats.exhausted);
+  EXPECT_GT(stats.total_backoff_s, 0.0);
+}
+
+TEST(RunWithRetry, ExhaustionAnnotatesError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  auto outcome = run_with_retry(
+      policy,
+      []() -> util::Result<int> {
+        return util::make_error(util::ErrorCode::kIoError, "feed down");
+      },
+      &stats);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, util::ErrorCode::kIoError);
+  EXPECT_EQ(outcome.error().message, "feed down (after 3 attempts)");
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_EQ(stats.attempts, 3u);
+}
+
+TEST(RunWithRetry, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  int calls = 0;
+  auto outcome = run_with_retry(policy, [&calls]() -> util::Result<int> {
+    ++calls;
+    return util::make_error(util::ErrorCode::kIoError, "down");
+  });
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace iqb::robust

@@ -79,6 +79,44 @@ TEST(ResultVoid, ErrorState) {
   EXPECT_EQ(r.error().code, ErrorCode::kIoError);
 }
 
+TEST(Result, WithContextPrefixesErrorMessage) {
+  Result<int> r = make_error(ErrorCode::kIoError, "connection reset");
+  auto wrapped = r.with_context("fetching 'ookla_feed'");
+  ASSERT_FALSE(wrapped.ok());
+  EXPECT_EQ(wrapped.error().code, ErrorCode::kIoError);
+  EXPECT_EQ(wrapped.error().message,
+            "fetching 'ookla_feed': connection reset");
+}
+
+TEST(Result, WithContextPassesSuccessThrough) {
+  Result<int> r = 42;
+  auto wrapped = r.with_context("irrelevant");
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(wrapped.value(), 42);
+}
+
+TEST(Result, WithContextChains) {
+  Result<int> r = make_error(ErrorCode::kParseError, "bad row");
+  auto wrapped = r.with_context("parsing feed").with_context("loading panel");
+  EXPECT_EQ(wrapped.error().message, "loading panel: parsing feed: bad row");
+}
+
+TEST(Result, WithContextOnRvalue) {
+  auto wrapped =
+      Result<std::unique_ptr<int>>(
+          make_error(ErrorCode::kNotFound, "missing"))
+          .with_context("lookup");
+  ASSERT_FALSE(wrapped.ok());
+  EXPECT_EQ(wrapped.error().message, "lookup: missing");
+}
+
+TEST(ResultVoid, WithContext) {
+  Result<void> err = make_error(ErrorCode::kIoError, "unwritable");
+  EXPECT_EQ(err.with_context("saving config").error().message,
+            "saving config: unwritable");
+  EXPECT_TRUE(Result<void>::success().with_context("ignored").ok());
+}
+
 TEST(ErrorCodeNames, AllDistinct) {
   const ErrorCode codes[] = {
       ErrorCode::kInvalidArgument, ErrorCode::kParseError,
