@@ -15,6 +15,8 @@
 #include "iqb/measurement/ndt.hpp"
 #include "iqb/measurement/ookla_style.hpp"
 #include "iqb/measurement/population.hpp"
+#include "iqb/obs/export.hpp"
+#include "iqb/obs/telemetry.hpp"
 #include "iqb/report/html.hpp"
 #include "iqb/report/render.hpp"
 #include "iqb/robust/degradation.hpp"
@@ -29,9 +31,11 @@ constexpr const char* kUsage =
     "usage:\n"
     "  iqbctl score       --records FILE.csv [--config FILE.json]"
     " [--by-isp true] [--lenient true]"
-    " [--format text|json|csv|markdown|html] [--out FILE]\n"
+    " [--format text|json|csv|markdown|html] [--out FILE]"
+    " [--metrics-out FILE.prom|.json] [--trace-out FILE.json]\n"
     "  iqbctl aggregate   --records FILE.csv [--config FILE.json]"
-    " [--percentile P] [--lenient true]\n"
+    " [--percentile P] [--lenient true]"
+    " [--metrics-out FILE.prom|.json] [--trace-out FILE.json]\n"
     "  iqbctl config      [--out FILE.json]\n"
     "  iqbctl sensitivity --records FILE.csv --region NAME"
     " [--config FILE.json]\n"
@@ -49,13 +53,74 @@ util::Result<core::IqbConfig> load_config(const Args& args) {
   return core::IqbConfig::paper_defaults();
 }
 
+/// Telemetry for one command invocation: live only when the user gave
+/// --metrics-out/--trace-out, so plain runs build no registry, record
+/// no spans, and stay bit-identical to an uninstrumented run.
+struct TelemetrySession {
+  std::optional<std::string> metrics_path;
+  std::optional<std::string> trace_path;
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;  // process steady clock
+  obs::Telemetry handle{&metrics, &tracer, nullptr};
+
+  bool enabled() const { return metrics_path || trace_path; }
+  obs::Telemetry* get() { return enabled() ? &handle : nullptr; }
+};
+
+/// Validate telemetry flags up front: a bad extension is a usage error
+/// and should fail before the pipeline runs. Returns 0 when ok.
+int init_telemetry(const Args& args, TelemetrySession& session,
+                   std::ostream& err) {
+  session.metrics_path = args.get("metrics-out");
+  session.trace_path = args.get("trace-out");
+  if (session.metrics_path &&
+      !util::ends_with(*session.metrics_path, ".prom") &&
+      !util::ends_with(*session.metrics_path, ".json")) {
+    err << "--metrics-out must end in .prom or .json, got '"
+        << *session.metrics_path << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Write collected telemetry (format chosen by file extension). Runs
+/// after the report was emitted so a telemetry write failure never
+/// truncates the report stream.
+int write_telemetry(const TelemetrySession& session, std::ostream& err) {
+  auto write_file = [&err](const std::string& path, const std::string& text) {
+    std::ofstream file(path, std::ios::binary);
+    if (file) file << text;
+    if (!file) {
+      err << "cannot write '" << path << "'\n";
+      return 2;
+    }
+    return 0;
+  };
+  if (session.metrics_path) {
+    const std::string text =
+        util::ends_with(*session.metrics_path, ".prom")
+            ? obs::to_prometheus(session.metrics)
+            : obs::metrics_to_json(session.metrics).dump(2) + "\n";
+    if (int code = write_file(*session.metrics_path, text)) return code;
+  }
+  if (session.trace_path) {
+    if (int code = write_file(*session.trace_path,
+                              obs::trace_to_json(session.tracer).dump(2) +
+                                  "\n")) {
+      return code;
+    }
+  }
+  return 0;
+}
+
 /// Records plus the ingest-side health that scoring should know about.
 struct LoadedStore {
   datasets::RecordStore store;
   robust::IngestHealth health;
 };
 
-util::Result<LoadedStore> load_records(const Args& args, std::ostream& err) {
+util::Result<LoadedStore> load_records(const Args& args, std::ostream& err,
+                                       obs::Telemetry* telemetry = nullptr) {
   auto path = args.get("records");
   if (!path) {
     return util::make_error(util::ErrorCode::kInvalidArgument,
@@ -63,12 +128,24 @@ util::Result<LoadedStore> load_records(const Args& args, std::ostream& err) {
   }
   LoadedStore loaded;
   std::vector<datasets::MeasurementRecord> records;
-  if (args.get("lenient").value_or("") == "true") {
+  const bool lenient = args.get("lenient").value_or("") == "true";
+  if (lenient || telemetry) {
     // Fault-tolerant path: malformed rows are quarantined and reported
     // instead of failing the run; the score carries the consequence.
+    // With telemetry a strict load also goes through here (same parser
+    // and policy as read_records_csv, just the instrumented loader).
+    datasets::LoadOptions options;
+    options.telemetry = telemetry;
+    if (!lenient) {
+      options.ingest = robust::IngestPolicy::strict();
+      options.retry.max_attempts = 1;
+    }
+    robust::CircuitBreaker breaker;
+    obs::wire_breaker(telemetry, *path, breaker);
     robust::Quarantine quarantine;
-    auto outcome = datasets::load_records_csv(*path, datasets::LoadOptions{},
-                                              nullptr, &quarantine);
+    auto outcome =
+        datasets::load_records_csv(*path, options, &breaker, &quarantine);
+    obs::record_breaker(telemetry, *path, breaker);
     if (!outcome.ok()) return outcome.error();
     if (!quarantine.empty()) {
       err << "warning: " << quarantine.summary() << "\n";
@@ -109,12 +186,14 @@ int emit(const Args& args, const std::string& text, std::ostream& out,
 }
 
 int cmd_score(const Args& args, std::ostream& out, std::ostream& err) {
+  TelemetrySession telemetry;
+  if (int code = init_telemetry(args, telemetry, err)) return code;
   auto config = load_config(args);
   if (!config.ok()) {
     err << "config error: " << config.error().to_string() << "\n";
     return 2;
   }
-  auto loaded = load_records(args, err);
+  auto loaded = load_records(args, err, telemetry.get());
   if (!loaded.ok()) {
     err << "records error: " << loaded.error().to_string() << "\n";
     return 2;
@@ -126,7 +205,7 @@ int cmd_score(const Args& args, std::ostream& out, std::ostream& err) {
           : std::move(loaded).value().store;
 
   core::Pipeline pipeline(std::move(config).value());
-  auto output = pipeline.run(scored_store, health);
+  auto output = pipeline.run(scored_store, health, telemetry.get());
   for (const auto& skipped : output.skipped) {
     err << "skipped region " << skipped.to_string() << "\n";
   }
@@ -154,20 +233,25 @@ int cmd_score(const Args& args, std::ostream& out, std::ostream& err) {
     return 1;
   }
   const int code = emit(args, rendered, out, err);
-  if (code == 0 && output.degraded()) {
+  const int telemetry_code = write_telemetry(telemetry, err);
+  if (code != 0) return code;
+  if (telemetry_code != 0) return telemetry_code;
+  if (output.degraded()) {
     err << "note: scored in degraded mode (see per-region confidence tiers)\n";
     return 3;
   }
-  return code;
+  return 0;
 }
 
 int cmd_aggregate(const Args& args, std::ostream& out, std::ostream& err) {
+  TelemetrySession telemetry;
+  if (int code = init_telemetry(args, telemetry, err)) return code;
   auto config = load_config(args);
   if (!config.ok()) {
     err << "config error: " << config.error().to_string() << "\n";
     return 2;
   }
-  auto loaded = load_records(args, err);
+  auto loaded = load_records(args, err, telemetry.get());
   if (!loaded.ok()) {
     err << "records error: " << loaded.error().to_string() << "\n";
     return 2;
@@ -181,12 +265,14 @@ int cmd_aggregate(const Args& args, std::ostream& out, std::ostream& err) {
     }
     policy.percentile = value.value();
   }
-  auto table = datasets::aggregate(loaded->store, policy);
+  auto table = datasets::aggregate(loaded->store, policy, telemetry.get());
   if (table.size() == 0) {
     err << "no aggregable cells\n";
     return 2;
   }
-  return emit(args, datasets::aggregates_to_csv(table), out, err);
+  const int code = emit(args, datasets::aggregates_to_csv(table), out, err);
+  const int telemetry_code = write_telemetry(telemetry, err);
+  return code != 0 ? code : telemetry_code;
 }
 
 int cmd_config(const Args& args, std::ostream& out, std::ostream& err) {

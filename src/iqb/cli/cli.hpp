@@ -6,8 +6,10 @@
 //   iqbctl score       --records F.csv [--config F.json] [--by-isp true]
 //                      [--lenient true]
 //                      [--format text|json|csv|markdown|html] [--out F]
+//                      [--metrics-out F.prom|.json] [--trace-out F.json]
 //   iqbctl aggregate   --records F.csv [--config F.json] [--percentile P]
 //                      [--lenient true]
+//                      [--metrics-out F.prom|.json] [--trace-out F.json]
 //   iqbctl config      [--out F.json]
 //   iqbctl sensitivity --records F.csv --region NAME [--config F.json]
 //   iqbctl trend       --records F.csv [--config F.json] [--window-days N]
@@ -16,6 +18,11 @@
 // Exit codes: 0 success, 1 usage error, 2 data/config error,
 // 3 scored but in degraded mode (missing datasets, quarantined rows,
 // or open circuit breakers — see the per-region confidence tiers).
+//
+// --metrics-out collects run telemetry (iqb::obs) and writes it in
+// Prometheus text (.prom) or JSON (.json) form; --trace-out writes the
+// span tree of the run as JSON. Both are strictly additive: without
+// the flags no telemetry is collected and output is bit-identical.
 #pragma once
 
 #include <iosfwd>

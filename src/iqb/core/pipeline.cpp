@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "iqb/obs/telemetry.hpp"
+
 namespace iqb::core {
 
 using util::Result;
@@ -19,17 +21,44 @@ Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store) const {
 
 Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store,
                                   const robust::IngestHealth& health) const {
+  return run(store, health, nullptr);
+}
+
+Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store,
+                                  const robust::IngestHealth& health,
+                                  obs::Telemetry* telemetry) const {
+  obs::ScopedSpan run_span(telemetry ? telemetry->tracer : nullptr,
+                           "pipeline.run");
   RunOutput output;
-  output.aggregates = datasets::aggregate(store, config_.aggregation);
+  {
+    obs::StageTimer stage(telemetry, "aggregate");
+    output.aggregates =
+        datasets::aggregate(store, config_.aggregation, telemetry);
+  }
+  obs::StageTimer stage(telemetry, "score");
   for (const std::string& region : store.regions()) {
+    obs::ScopedSpan region_span(telemetry ? telemetry->tracer : nullptr,
+                                "score.region");
+    region_span.set_attribute("region", region);
     auto result = score_region(output.aggregates, region, health);
     if (result.ok()) {
+      obs::add_counter(telemetry, "iqb_pipeline_regions_scored_total",
+                       "Regions scored successfully");
       output.results.push_back(std::move(result).value());
     } else {
+      obs::add_counter(
+          telemetry, "iqb_pipeline_regions_skipped_total",
+          "Regions the pipeline could not score",
+          {{"reason", std::string(util::error_code_name(result.error().code))},
+           {"region", region}});
+      region_span.set_attribute("skipped", "true");
       output.skipped.push_back(
           {region, result.error().code, result.error().message});
     }
   }
+  obs::set_gauge(telemetry, "iqb_pipeline_aggregate_cells",
+                 "Aggregate cells produced by the last run", {},
+                 static_cast<double>(output.aggregates.size()));
   return output;
 }
 

@@ -13,6 +13,10 @@
 #include "iqb/core/score.hpp"
 #include "iqb/datasets/store.hpp"
 
+namespace iqb::obs {
+struct Telemetry;
+}
+
 namespace iqb::core {
 
 /// One region's complete IQB result.
@@ -65,6 +69,15 @@ class Pipeline {
   /// region's DegradationReport and confidence tier.
   RunOutput run(const datasets::RecordStore& store,
                 const robust::IngestHealth& health) const;
+
+  /// As run(), additionally recording telemetry: an "aggregate" and a
+  /// "score" stage span (one "score.region" child per region) plus
+  /// stage-duration histograms and scored/skipped counters. A null
+  /// telemetry — or one with null members — records nothing, and the
+  /// scoring output is bit-identical either way.
+  RunOutput run(const datasets::RecordStore& store,
+                const robust::IngestHealth& health,
+                obs::Telemetry* telemetry) const;
 
   /// Score one region from a pre-built aggregate table. When a
   /// (region, requirement) is covered by fewer datasets than the

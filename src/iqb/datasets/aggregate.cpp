@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "iqb/obs/telemetry.hpp"
+
 namespace iqb::datasets {
 
 using util::ErrorCode;
@@ -108,13 +110,27 @@ Result<AggregateCell> aggregate_cell(const RecordStore& store,
 }
 
 AggregateTable aggregate(const RecordStore& store,
-                         const AggregationPolicy& policy) {
+                         const AggregationPolicy& policy,
+                         obs::Telemetry* telemetry) {
   AggregateTable table;
   for (const std::string& region : store.regions()) {
     for (const std::string& dataset : store.dataset_names()) {
       for (Metric metric : kAllMetrics) {
         auto cell = aggregate_cell(store, region, dataset, metric, policy);
-        if (cell.ok()) table.put(std::move(cell).value());
+        if (!cell.ok()) continue;
+        if (telemetry) {
+          const obs::LabelSet labels{{"dataset", dataset}};
+          obs::add_counter(telemetry, "iqb_aggregate_cells_total",
+                           "Aggregate cells produced", labels);
+          obs::add_counter(telemetry, "iqb_aggregate_samples_total",
+                           "Raw samples folded into aggregate cells", labels,
+                           static_cast<double>(cell->sample_count));
+          obs::observe_histogram(telemetry, "iqb_aggregate_cell_samples",
+                                 "Samples per aggregate cell",
+                                 obs::size_buckets(), labels,
+                                 static_cast<double>(cell->sample_count));
+        }
+        table.put(std::move(cell).value());
       }
     }
   }

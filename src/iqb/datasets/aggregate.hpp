@@ -22,6 +22,10 @@
 #include "iqb/stats/bootstrap.hpp"
 #include "iqb/stats/percentile.hpp"
 
+namespace iqb::obs {
+struct Telemetry;
+}
+
 namespace iqb::datasets {
 
 struct AggregationPolicy {
@@ -85,9 +89,12 @@ double effective_percentile(const AggregationPolicy& policy,
 
 /// Aggregate every (region, dataset, metric) cell present in the
 /// store. Cells below min_samples are skipped, never errors — an
-/// empty store yields an empty table.
+/// empty store yields an empty table. `telemetry`, when non-null,
+/// receives per-dataset cell/sample counters and a cell-size
+/// histogram; the produced table is identical either way.
 AggregateTable aggregate(const RecordStore& store,
-                         const AggregationPolicy& policy = {});
+                         const AggregationPolicy& policy = {},
+                         obs::Telemetry* telemetry = nullptr);
 
 /// Aggregate a single cell; error if no samples match.
 util::Result<AggregateCell> aggregate_cell(const RecordStore& store,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "iqb/obs/telemetry.hpp"
 #include "iqb/util/csv.hpp"
 #include "iqb/util/strings.hpp"
 
@@ -37,12 +38,53 @@ Result<double> field_as_double(const CsvTable& table, std::size_t row,
   return value;
 }
 
+/// Row accounting for one import call. Destructor-emitted so every
+/// early return (strict abort, error-rate rejection) still reports;
+/// a null telemetry records nothing.
+class ImportTally {
+ public:
+  ImportTally(obs::Telemetry* telemetry, const char* importer,
+              const Quarantine* quarantine)
+      : telemetry_(telemetry),
+        importer_(importer),
+        quarantine_(quarantine),
+        quarantined_before_(quarantine ? quarantine->count() : 0) {}
+
+  void set_rows_read(std::size_t rows) noexcept { rows_read_ = rows; }
+  void abort_row() noexcept { aborted_rows_ = 1; }
+
+  ~ImportTally() {
+    if (!telemetry_) return;
+    const obs::LabelSet labels{{"importer", importer_}};
+    const std::size_t quarantined =
+        quarantine_ ? quarantine_->count() - quarantined_before_ : 0;
+    obs::add_counter(telemetry_, "iqb_importer_rows_read_total",
+                     "Data rows seen by an importer", labels,
+                     static_cast<double>(rows_read_));
+    obs::add_counter(telemetry_, "iqb_importer_rows_quarantined_total",
+                     "Importer rows diverted to quarantine", labels,
+                     static_cast<double>(quarantined));
+    obs::add_counter(telemetry_, "iqb_importer_rows_rejected_total",
+                     "Importer rows rejected (quarantined or strict abort)",
+                     labels, static_cast<double>(quarantined + aborted_rows_));
+  }
+
+ private:
+  obs::Telemetry* telemetry_;
+  const char* importer_;
+  const Quarantine* quarantine_;
+  std::size_t quarantined_before_;
+  std::size_t rows_read_ = 0;
+  std::size_t aborted_rows_ = 0;
+};
+
 /// Reject the whole import (strict) or divert the row (lenient).
 /// Returns true when the caller should abort with `out_error`.
 bool row_fails(const IngestPolicy& policy, Quarantine* quarantine,
                const char* source, std::size_t row, util::Error error,
-               util::Error* out_error) {
+               util::Error* out_error, ImportTally* tally = nullptr) {
   if (policy.mode == IngestMode::kStrict) {
+    if (tally) tally->abort_row();
     *out_error = std::move(error);
     return true;
   }
@@ -79,14 +121,17 @@ Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
 Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
                                               const std::string& region_override,
                                               const IngestPolicy& policy,
-                                              Quarantine* quarantine) {
+                                              Quarantine* quarantine,
+                                              obs::Telemetry* telemetry) {
   // Quarantine storage local to this call when the caller only wants
   // the rate check, not the rows.
   Quarantine local(policy.max_stored);
   if (policy.mode == IngestMode::kLenient && !quarantine) quarantine = &local;
+  ImportTally tally(telemetry, "ookla_csv", quarantine);
 
   auto table = util::parse_csv(csv_text);
   if (!table.ok()) return table.error();
+  tally.set_rows_read(table->rows.size());
 
   auto quadkey_column = table->column_index("quadkey");
   auto down_column = table->column_index("avg_d_kbps");
@@ -120,7 +165,8 @@ Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
                                  : !up.ok()      ? up.error()
                                  : !latency.ok() ? latency.error()
                                                  : tests.error();
-      if (row_fails(policy, quarantine, "ookla_csv", row, first, &row_error)) {
+      if (row_fails(policy, quarantine, "ookla_csv", row, first, &row_error,
+                    &tally)) {
         return row_error;
       }
       continue;
@@ -131,7 +177,7 @@ Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
                     make_error(ErrorCode::kParseError,
                                "row " + std::to_string(row) +
                                    ": negative measurement value"),
-                    &row_error)) {
+                    &row_error, &tally)) {
         return row_error;
       }
       continue;
@@ -179,12 +225,14 @@ Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
 
 Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
     std::string_view csv_text, const IngestPolicy& policy,
-    Quarantine* quarantine) {
+    Quarantine* quarantine, obs::Telemetry* telemetry) {
   Quarantine local(policy.max_stored);
   if (policy.mode == IngestMode::kLenient && !quarantine) quarantine = &local;
+  ImportTally tally(telemetry, "ndt_csv", quarantine);
 
   auto table = util::parse_csv(csv_text);
   if (!table.ok()) return table.error();
+  tally.set_rows_read(table->rows.size());
 
   auto date_column = table->column_index("date");
   auto region_column = table->column_index("client_region");
@@ -209,7 +257,7 @@ Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
     util::Error row_error;
     auto reject = [&](util::Error error) {
       return row_fails(policy, quarantine, "ndt_csv", row, std::move(error),
-                       &row_error);
+                       &row_error, &tally);
     };
 
     MeasurementRecord record;

@@ -30,6 +30,10 @@
 #include "iqb/datasets/record.hpp"
 #include "iqb/robust/quarantine.hpp"
 
+namespace iqb::obs {
+struct Telemetry;
+}
+
 namespace iqb::datasets {
 
 /// Ookla open-data tile CSV -> pre-aggregated cells.
@@ -46,10 +50,14 @@ util::Result<AggregateTable> import_ookla_tiles_csv(
 /// Policy-aware variant: in lenient mode malformed rows land in
 /// `quarantine` (may be null to only count implicitly) and the import
 /// continues; strict mode behaves exactly like the overload above.
+/// `telemetry`, when non-null, receives rows read / rejected /
+/// quarantined counters labeled {importer="ookla_csv"}; the imported
+/// data is identical either way.
 util::Result<AggregateTable> import_ookla_tiles_csv(
     std::string_view csv_text, const std::string& region_override,
     const robust::IngestPolicy& policy,
-    robust::Quarantine* quarantine = nullptr);
+    robust::Quarantine* quarantine = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 /// M-Lab NDT unified-views CSV -> per-test records.
 ///
@@ -62,9 +70,11 @@ util::Result<AggregateTable> import_ookla_tiles_csv(
 util::Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
     std::string_view csv_text);
 
-/// Policy-aware variant; see import_ookla_tiles_csv.
+/// Policy-aware variant; see import_ookla_tiles_csv (telemetry label
+/// {importer="ndt_csv"}).
 util::Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
     std::string_view csv_text, const robust::IngestPolicy& policy,
-    robust::Quarantine* quarantine = nullptr);
+    robust::Quarantine* quarantine = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace iqb::datasets

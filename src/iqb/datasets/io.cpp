@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "iqb/obs/telemetry.hpp"
 #include "iqb/util/strings.hpp"
 
 namespace iqb::datasets {
@@ -140,14 +141,33 @@ Result<LoadOutcome> load_records(const robust::TextSource& source,
                                  const LoadOptions& options,
                                  robust::CircuitBreaker* breaker,
                                  robust::Quarantine* quarantine) {
+  obs::Telemetry* telemetry = options.telemetry;
+  const obs::LabelSet source_label{{"source", source_name}};
+  obs::ScopedSpan span(telemetry ? telemetry->tracer : nullptr, "ingest.load");
+  span.set_attribute("source", source_name);
+
   if (breaker && !breaker->allow_request()) {
+    obs::add_counter(telemetry, "iqb_ingest_loads_denied_total",
+                     "Loads refused because the source breaker was open",
+                     source_label);
     return make_error(ErrorCode::kIoError,
                       "circuit breaker open for '" + source_name + "'");
   }
   robust::RetryStats stats;
   auto text = robust::run_with_retry(options.retry, source, &stats);
+  obs::add_counter(telemetry, "iqb_ingest_fetch_attempts_total",
+                   "Source fetch attempts (including the first)",
+                   source_label, static_cast<double>(stats.attempts));
+  if (stats.attempts > 1) {
+    obs::add_counter(telemetry, "iqb_robust_retry_attempts_total",
+                     "Retries beyond the first fetch attempt", source_label,
+                     static_cast<double>(stats.attempts - 1));
+  }
   if (!text.ok()) {
     if (breaker) breaker->record_failure();
+    obs::add_counter(telemetry, "iqb_ingest_fetch_failures_total",
+                     "Source fetches that exhausted their retry policy",
+                     source_label);
     return text.error();
   }
 
@@ -158,6 +178,9 @@ Result<LoadOutcome> load_records(const robust::TextSource& source,
                      .with_context("loading '" + source_name + "'");
   if (!records.ok()) {
     if (breaker) breaker->record_failure();
+    obs::add_counter(telemetry, "iqb_ingest_parse_failures_total",
+                     "Imports rejected outright (bad header or error rate)",
+                     source_label);
     return records.error();
   }
   if (breaker) breaker->record_success();
@@ -166,6 +189,16 @@ Result<LoadOutcome> load_records(const robust::TextSource& source,
   outcome.records = std::move(records).value();
   outcome.rows_quarantined = sink->count() - quarantined_before;
   outcome.attempts = stats.attempts;
+  obs::add_counter(telemetry, "iqb_ingest_rows_read_total",
+                   "Data rows read (accepted + quarantined)", source_label,
+                   static_cast<double>(outcome.records.size() +
+                                       outcome.rows_quarantined));
+  obs::add_counter(telemetry, "iqb_ingest_rows_quarantined_total",
+                   "Data rows diverted to quarantine", source_label,
+                   static_cast<double>(outcome.rows_quarantined));
+  obs::set_gauge(telemetry, "iqb_robust_quarantine_rows",
+                 "Quarantine occupancy after the load", source_label,
+                 static_cast<double>(sink->count()));
   return outcome;
 }
 

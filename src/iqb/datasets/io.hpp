@@ -20,6 +20,10 @@
 #include "iqb/util/csv.hpp"
 #include "iqb/util/json.hpp"
 
+namespace iqb::obs {
+struct Telemetry;
+}
+
 namespace iqb::datasets {
 
 /// Records -> CSV text (with header).
@@ -43,6 +47,10 @@ util::Result<std::vector<MeasurementRecord>> records_from_csv(
 struct LoadOptions {
   robust::RetryPolicy retry;
   robust::IngestPolicy ingest = robust::IngestPolicy::lenient();
+  /// Optional metrics/trace sink (non-owning): rows read/quarantined,
+  /// fetch + retry attempts, quarantine occupancy, labeled by source.
+  /// Null records nothing and changes nothing.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct LoadOutcome {

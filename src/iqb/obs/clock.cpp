@@ -1,0 +1,26 @@
+#include "iqb/obs/clock.hpp"
+
+#include <chrono>
+
+namespace iqb::obs {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+Clock& steady_clock() {
+  static SteadyClock instance;
+  return instance;
+}
+
+}  // namespace iqb::obs

@@ -1,0 +1,52 @@
+// Injectable monotonic time source for the observability layer.
+//
+// Telemetry needs timestamps; tests need determinism. Everything in
+// iqb::obs that reads time does so through this interface, so unit
+// tests inject a ManualClock and get byte-stable traces while
+// production code falls back to the process steady clock. No code
+// outside clock.cpp touches std::chrono::steady_clock.
+#pragma once
+
+#include <cstdint>
+
+namespace iqb::obs {
+
+/// Monotonic nanosecond clock. Implementations must never go
+/// backwards between calls on the same instance.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// Process-wide monotonic clock (steady_clock under the hood).
+/// Shared instance; now_ns() is thread-safe.
+Clock& steady_clock();
+
+/// Test clock: time moves only when told to. `auto_advance_ns`, when
+/// non-zero, advances the clock by that much *after* every now_ns()
+/// read, which gives spans deterministic non-zero durations without
+/// any explicit advance calls in the code under test.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0,
+                       std::uint64_t auto_advance_ns = 0) noexcept
+      : now_ns_(start_ns), auto_advance_ns_(auto_advance_ns) {}
+
+  std::uint64_t now_ns() override {
+    const std::uint64_t t = now_ns_;
+    now_ns_ += auto_advance_ns_;
+    return t;
+  }
+
+  void advance_ns(std::uint64_t delta) noexcept { now_ns_ += delta; }
+  void advance_ms(std::uint64_t delta) noexcept {
+    now_ns_ += delta * 1'000'000ull;
+  }
+
+ private:
+  std::uint64_t now_ns_;
+  std::uint64_t auto_advance_ns_;
+};
+
+}  // namespace iqb::obs

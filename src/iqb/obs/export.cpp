@@ -1,0 +1,249 @@
+#include "iqb/obs/export.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+namespace iqb::obs {
+
+namespace {
+
+const char* kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// HELP text escaping: backslash and newline only (per the format).
+std::string escape_help(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_label_pairs(std::string& out, const LabelSet& labels,
+                        const std::string* extra_key = nullptr,
+                        const std::string* extra_value = nullptr) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += prometheus_escape(value);
+    out += '"';
+  }
+  if (extra_key) {
+    if (!first) out += ',';
+    out += *extra_key;
+    out += "=\"";
+    out += prometheus_escape(*extra_value);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_sample_line(std::string& out, const std::string& name,
+                        const LabelSet& labels, double value,
+                        const std::string* extra_key = nullptr,
+                        const std::string* extra_value = nullptr) {
+  out += name;
+  if (!labels.empty() || extra_key) {
+    append_label_pairs(out, labels, extra_key, extra_value);
+  }
+  out += ' ';
+  out += format_metric_value(value);
+  out += '\n';
+}
+
+util::JsonObject labels_to_json(const LabelSet& labels) {
+  util::JsonObject out;
+  for (const auto& [key, value] : labels) out.emplace(key, value);
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_metric_value(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "0";  // cannot happen for finite doubles
+  return std::string(buffer, ptr);
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  const auto families = registry.snapshot();
+  std::string out;
+  static const std::string kLe = "le";
+  for (const auto& family : families) {
+    out += "# HELP ";
+    out += family.name;
+    out += ' ';
+    out += escape_help(family.help);
+    out += "\n# TYPE ";
+    out += family.name;
+    out += ' ';
+    out += kind_name(family.kind);
+    out += '\n';
+    for (const auto& sample : family.samples) {
+      append_sample_line(out, family.name, sample.labels, sample.value);
+    }
+    for (const auto& histogram : family.histograms) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+        cumulative += histogram.counts[i];
+        const std::string le = format_metric_value(histogram.upper_bounds[i]);
+        append_sample_line(out, family.name + "_bucket", histogram.labels,
+                           static_cast<double>(cumulative), &kLe, &le);
+      }
+      cumulative += histogram.counts.back();
+      static const std::string kInf = "+Inf";
+      append_sample_line(out, family.name + "_bucket", histogram.labels,
+                         static_cast<double>(cumulative), &kLe, &kInf);
+      append_sample_line(out, family.name + "_sum", histogram.labels,
+                         histogram.sum);
+      append_sample_line(out, family.name + "_count", histogram.labels,
+                         static_cast<double>(histogram.count));
+    }
+  }
+  return out;
+}
+
+util::JsonValue metrics_to_json(const MetricsRegistry& registry) {
+  const auto families = registry.snapshot();
+  util::JsonArray metrics;
+  for (const auto& family : families) {
+    util::JsonObject entry;
+    entry.emplace("name", family.name);
+    entry.emplace("help", family.help);
+    entry.emplace("type", kind_name(family.kind));
+    util::JsonArray samples;
+    for (const auto& sample : family.samples) {
+      util::JsonObject s;
+      if (!sample.labels.empty()) {
+        s.emplace("labels", labels_to_json(sample.labels));
+      }
+      s.emplace("value", sample.value);
+      samples.push_back(std::move(s));
+    }
+    for (const auto& histogram : family.histograms) {
+      util::JsonObject s;
+      if (!histogram.labels.empty()) {
+        s.emplace("labels", labels_to_json(histogram.labels));
+      }
+      util::JsonArray buckets;
+      for (std::size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+        util::JsonObject bucket;
+        bucket.emplace("le", histogram.upper_bounds[i]);
+        bucket.emplace("count",
+                       static_cast<std::int64_t>(histogram.counts[i]));
+        buckets.push_back(std::move(bucket));
+      }
+      util::JsonObject overflow;
+      overflow.emplace("le", "+Inf");
+      overflow.emplace("count",
+                       static_cast<std::int64_t>(histogram.counts.back()));
+      buckets.push_back(std::move(overflow));
+      s.emplace("buckets", std::move(buckets));
+      s.emplace("sum", histogram.sum);
+      s.emplace("count", static_cast<std::int64_t>(histogram.count));
+      samples.push_back(std::move(s));
+    }
+    entry.emplace("samples", std::move(samples));
+    metrics.push_back(std::move(entry));
+  }
+  util::JsonObject root;
+  root.emplace("metrics", std::move(metrics));
+  return root;
+}
+
+namespace {
+
+util::JsonValue span_to_json(
+    const std::vector<Tracer::SpanRecord>& spans,
+    const std::vector<std::vector<std::size_t>>& children, std::size_t id,
+    std::uint64_t base_ns) {
+  const Tracer::SpanRecord& span = spans[id];
+  util::JsonObject out;
+  out.emplace("name", span.name);
+  out.emplace("start_ns",
+              static_cast<std::int64_t>(span.start_ns - base_ns));
+  out.emplace("duration_ns", static_cast<std::int64_t>(span.duration_ns()));
+  if (!span.ended) out.emplace("ended", false);
+  if (!span.attributes.empty()) {
+    // Later set_attribute calls win, matching "overwrite" semantics.
+    util::JsonObject attributes;
+    for (const auto& [key, value] : span.attributes) {
+      attributes.insert_or_assign(key, value);
+    }
+    out.emplace("attributes", std::move(attributes));
+  }
+  util::JsonArray kids;
+  for (std::size_t child : children[id]) {
+    kids.push_back(span_to_json(spans, children, child, base_ns));
+  }
+  out.emplace("children", std::move(kids));
+  return out;
+}
+
+}  // namespace
+
+util::JsonValue trace_to_json(const Tracer& tracer) {
+  const auto spans = tracer.spans();
+  std::uint64_t base_ns = 0;
+  if (!spans.empty()) {
+    base_ns = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& span : spans) base_ns = std::min(base_ns, span.start_ns);
+  }
+  std::vector<std::vector<std::size_t>> children(spans.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == Tracer::kNoSpan) {
+      roots.push_back(i);
+    } else {
+      children[spans[i].parent].push_back(i);
+    }
+  }
+  util::JsonArray trace;
+  for (std::size_t root : roots) {
+    trace.push_back(span_to_json(spans, children, root, base_ns));
+  }
+  util::JsonObject out;
+  out.emplace("trace", std::move(trace));
+  return out;
+}
+
+}  // namespace iqb::obs

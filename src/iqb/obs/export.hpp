@@ -1,0 +1,39 @@
+// Exporters: registry/trace -> Prometheus exposition text or JSON.
+//
+// Both are pure functions over a point-in-time snapshot, so their
+// output is unit-testable byte for byte: families sort by name,
+// series by label set, numbers render via shortest-round-trip
+// to_chars. The Prometheus writer implements the text exposition
+// format (HELP/TYPE lines, label escaping, cumulative histogram
+// _bucket/_sum/_count series with an +Inf bucket).
+#pragma once
+
+#include <string>
+
+#include "iqb/obs/metrics.hpp"
+#include "iqb/obs/trace.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::obs {
+
+/// Prometheus text exposition format (version 0.0.4).
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON document {"metrics": [family...]}; histograms carry explicit
+/// bucket upper bounds and non-cumulative counts plus sum/count.
+util::JsonValue metrics_to_json(const MetricsRegistry& registry);
+
+/// JSON trace tree {"trace": [root span...]}. Timestamps are
+/// rebased so the earliest span starts at 0 ns — small numbers,
+/// exact in a JSON double, and stable under a manual clock.
+util::JsonValue trace_to_json(const Tracer& tracer);
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline. Exposed for tests.
+std::string prometheus_escape(std::string_view value);
+
+/// Shortest decimal rendering that round-trips the double ("1", "0.5",
+/// "+Inf"). Exposed for tests.
+std::string format_metric_value(double value);
+
+}  // namespace iqb::obs

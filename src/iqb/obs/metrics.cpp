@@ -1,0 +1,134 @@
+#include "iqb/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace iqb::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bounds must be sorted ascending");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+const std::vector<double>& latency_buckets_s() {
+  static const std::vector<double> buckets = {
+      1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0};
+  return buckets;
+}
+
+const std::vector<double>& size_buckets() {
+  static const std::vector<double> buckets = {1.0,  10.0, 100.0, 1e3,
+                                              1e4,  1e5,  1e6,   1e7};
+  return buckets;
+}
+
+MetricsRegistry::FamilyStorage& MetricsRegistry::family(
+    const std::string& name, const std::string& help, MetricKind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.kind = kind;
+  } else {
+    assert(it->second.kind == kind &&
+           "metric family re-registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& storage = family(name, help, MetricKind::kCounter);
+  auto& slot = storage.counters[labels];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& storage = family(name, help, MetricKind::kGauge);
+  auto& slot = storage.gauges[labels];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const std::vector<double>& upper_bounds,
+                                      const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& storage = family(name, help, MetricKind::kHistogram);
+  auto& slot = storage.histograms[labels];
+  if (!slot) slot.reset(new Histogram(upper_bounds));
+  return *slot;
+}
+
+std::vector<MetricsRegistry::Family> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Family> out;
+  out.reserve(families_.size());
+  for (const auto& [name, storage] : families_) {
+    Family family;
+    family.name = name;
+    family.help = storage.help;
+    family.kind = storage.kind;
+    switch (storage.kind) {
+      case MetricKind::kCounter:
+        for (const auto& [labels, counter] : storage.counters) {
+          family.samples.push_back({labels, counter->value()});
+        }
+        break;
+      case MetricKind::kGauge:
+        for (const auto& [labels, gauge] : storage.gauges) {
+          family.samples.push_back({labels, gauge->value()});
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& [labels, histogram] : storage.histograms) {
+          HistogramSample sample;
+          sample.labels = labels;
+          sample.upper_bounds = histogram->upper_bounds();
+          sample.counts = histogram->bucket_counts();
+          sample.sum = histogram->sum();
+          sample.count = histogram->count();
+          family.histograms.push_back(std::move(sample));
+        }
+        break;
+    }
+    out.push_back(std::move(family));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [name, storage] : families_) {
+    total += storage.counters.size() + storage.gauges.size() +
+             storage.histograms.size();
+  }
+  return total;
+}
+
+}  // namespace iqb::obs

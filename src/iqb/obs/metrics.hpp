@@ -1,0 +1,170 @@
+// Thread-safe metrics registry: counters, gauges, fixed-bucket
+// histograms, all labeled.
+//
+// A MetricsRegistry owns families of time series keyed by metric name
+// plus a sorted label set ({region=..., dataset=..., stage=...}).
+// Handles returned by counter()/gauge()/histogram() are stable for
+// the registry's lifetime and safe to update from any thread; the
+// registry itself hands out handles and takes snapshots under a
+// mutex, so instrumented code pays one map lookup per handle fetch
+// and lock-free atomics per update.
+//
+// Naming follows Prometheus conventions, scoped as
+// `iqb_<layer>_<name>_<unit>` (see DESIGN.md §8); exporters in
+// export.hpp turn a snapshot into Prometheus exposition text or JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace iqb::obs {
+
+/// Sorted key -> value labels; map keeps snapshots and exports
+/// deterministic.
+using LabelSet = std::map<std::string, std::string>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+namespace detail {
+/// fetch_add for doubles without requiring atomic<double>::fetch_add.
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonically increasing value. inc() with a negative delta is a
+/// caller bug (asserted in debug, ignored in release).
+class Counter {
+ public:
+  void inc(double delta = 1.0) noexcept {
+    if (delta < 0.0) return;
+    detail::atomic_add(value_, delta);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Value that can move in both directions.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept { detail::atomic_add(value_, delta); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations
+/// <= upper_bounds[i] and > upper_bounds[i-1]; one implicit overflow
+/// bucket catches the rest (the Prometheus "+Inf" bucket).
+class Histogram {
+ public:
+  void observe(double value) noexcept;
+
+  const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size = bounds + 1 (overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  std::vector<double> bounds_;  ///< Sorted ascending.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Default duration buckets (seconds): microseconds to tens of
+/// seconds, the range an IQB run's stages actually span.
+const std::vector<double>& latency_buckets_s();
+
+/// Default size/count buckets: powers of ten, 1 .. 1e7.
+const std::vector<double>& size_buckets();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Fetch-or-create a series. The first call for a name fixes the
+  /// family's kind and help text; a later call with the same name but
+  /// a different kind is a caller bug (asserted in debug; in release
+  /// the handle still works but its series is never exported).
+  Counter& counter(const std::string& name, const std::string& help,
+                   const LabelSet& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const LabelSet& labels = {});
+  /// `upper_bounds` must be sorted ascending; the family's first call
+  /// fixes the bounds for every series in it.
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::vector<double>& upper_bounds,
+                       const LabelSet& labels = {});
+
+  /// Point-in-time copy, families sorted by name, series by labels.
+  struct Sample {
+    LabelSet labels;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    LabelSet labels;
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;  ///< Non-cumulative, + overflow.
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<Sample> samples;               ///< Counters / gauges.
+    std::vector<HistogramSample> histograms;   ///< Histograms.
+  };
+  std::vector<Family> snapshot() const;
+
+  /// Total number of registered series across all families.
+  std::size_t series_count() const;
+
+ private:
+  struct FamilyStorage {
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::map<LabelSet, std::unique_ptr<Counter>> counters;
+    std::map<LabelSet, std::unique_ptr<Gauge>> gauges;
+    std::map<LabelSet, std::unique_ptr<Histogram>> histograms;
+  };
+
+  FamilyStorage& family(const std::string& name, const std::string& help,
+                        MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FamilyStorage> families_;
+};
+
+}  // namespace iqb::obs

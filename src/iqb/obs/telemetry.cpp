@@ -1,0 +1,110 @@
+#include "iqb/obs/telemetry.hpp"
+
+#include "iqb/robust/circuit_breaker.hpp"
+
+namespace iqb::obs {
+
+void add_counter(Telemetry* telemetry, const std::string& name,
+                 const std::string& help, const LabelSet& labels,
+                 double delta) {
+  if (!telemetry || !telemetry->metrics) return;
+  telemetry->metrics->counter(name, help, labels).inc(delta);
+}
+
+void set_gauge(Telemetry* telemetry, const std::string& name,
+               const std::string& help, const LabelSet& labels, double value) {
+  if (!telemetry || !telemetry->metrics) return;
+  telemetry->metrics->gauge(name, help, labels).set(value);
+}
+
+void observe_histogram(Telemetry* telemetry, const std::string& name,
+                       const std::string& help,
+                       const std::vector<double>& upper_bounds,
+                       const LabelSet& labels, double value) {
+  if (!telemetry || !telemetry->metrics) return;
+  telemetry->metrics->histogram(name, help, upper_bounds, labels)
+      .observe(value);
+}
+
+void record_sketch_merges(Telemetry* telemetry, const std::string& sketch,
+                          std::size_t merges) {
+  add_counter(telemetry, "iqb_stats_sketch_merges_total",
+              "Percentile-sketch merge operations", {{"sketch", sketch}},
+              static_cast<double>(merges));
+}
+
+namespace {
+
+constexpr const char* kBreakerStateHelp =
+    "Circuit breaker state (1 for the current state, 0 otherwise)";
+
+void set_state_gauges(MetricsRegistry& registry, const std::string& source,
+                      robust::BreakerState current) {
+  using robust::BreakerState;
+  for (BreakerState state : {BreakerState::kClosed, BreakerState::kOpen,
+                             BreakerState::kHalfOpen}) {
+    registry
+        .gauge("iqb_robust_breaker_state", kBreakerStateHelp,
+               {{"source", source},
+                {"state", robust::breaker_state_name(state)}})
+        .set(state == current ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace
+
+void wire_breaker(Telemetry* telemetry, const std::string& source,
+                  robust::CircuitBreaker& breaker) {
+  if (!telemetry || !telemetry->metrics) return;
+  MetricsRegistry* registry = telemetry->metrics;
+  // Pre-create the canonical edge so a healthy run still exports the
+  // family (at 0) instead of omitting it.
+  registry->counter("iqb_robust_breaker_transitions_total",
+                    "Circuit breaker state transitions",
+                    {{"from", "closed"}, {"source", source}, {"to", "open"}});
+  set_state_gauges(*registry, source, breaker.state());
+  breaker.on_state_change([registry, source](robust::BreakerState from,
+                                             robust::BreakerState to) {
+    registry
+        ->counter("iqb_robust_breaker_transitions_total",
+                  "Circuit breaker state transitions",
+                  {{"from", robust::breaker_state_name(from)},
+                   {"source", source},
+                   {"to", robust::breaker_state_name(to)}})
+        .inc();
+    set_state_gauges(*registry, source, to);
+  });
+}
+
+void record_breaker(Telemetry* telemetry, const std::string& source,
+                    const robust::CircuitBreaker& breaker) {
+  if (!telemetry || !telemetry->metrics) return;
+  set_state_gauges(*telemetry->metrics, source, breaker.state());
+  telemetry->metrics
+      ->counter("iqb_robust_breaker_denied_total",
+                "Requests denied by an open circuit breaker",
+                {{"source", source}})
+      .inc(static_cast<double>(breaker.denied_requests()));
+}
+
+StageTimer::StageTimer(Telemetry* telemetry, std::string stage)
+    : telemetry_(telemetry),
+      stage_(std::move(stage)),
+      span_(telemetry ? telemetry->tracer : nullptr, stage_) {
+  if (telemetry_ && telemetry_->metrics) {
+    start_ns_ = telemetry_->time_source().now_ns();
+  }
+}
+
+StageTimer::~StageTimer() {
+  if (telemetry_ && telemetry_->metrics) {
+    const std::uint64_t end_ns = telemetry_->time_source().now_ns();
+    observe_histogram(telemetry_, "iqb_pipeline_stage_duration_seconds",
+                      "Wall time per pipeline stage", latency_buckets_s(),
+                      {{"stage", stage_}},
+                      static_cast<double>(end_ns - start_ns_) * 1e-9);
+  }
+  span_.end();
+}
+
+}  // namespace iqb::obs

@@ -1,0 +1,92 @@
+// Telemetry handle threaded through the run path.
+//
+// Instrumented seams (Pipeline::run, datasets::load_records, the
+// importers, aggregation) take an optional `Telemetry*`; null means
+// "telemetry off" and every helper below is a no-op, so a run without
+// --metrics-out is bit-identical to an uninstrumented one. The struct
+// is a plain bundle of non-owning pointers — callers own the registry
+// / tracer / clock and decide what to export.
+//
+// Metric names follow `iqb_<layer>_<name>_<unit>` (DESIGN.md §8).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "iqb/obs/clock.hpp"
+#include "iqb/obs/metrics.hpp"
+#include "iqb/obs/trace.hpp"
+
+namespace iqb::robust {
+class CircuitBreaker;
+}
+
+namespace iqb::obs {
+
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;  ///< May be null: no metrics.
+  Tracer* tracer = nullptr;            ///< May be null: no spans.
+  /// Clock for duration *metrics*. When null, falls back to the
+  /// tracer's clock (if any), else the process steady clock — so a
+  /// test that injects a ManualClock into the tracer gets
+  /// deterministic stage-duration histograms for free.
+  Clock* clock = nullptr;
+
+  Clock& time_source() const noexcept {
+    if (clock) return *clock;
+    if (tracer) return tracer->clock();
+    return steady_clock();
+  }
+};
+
+/// The no-op-when-null convenience layer. `telemetry` (and its
+/// `metrics` member) may be null in every call.
+void add_counter(Telemetry* telemetry, const std::string& name,
+                 const std::string& help, const LabelSet& labels = {},
+                 double delta = 1.0);
+void set_gauge(Telemetry* telemetry, const std::string& name,
+               const std::string& help, const LabelSet& labels, double value);
+void observe_histogram(Telemetry* telemetry, const std::string& name,
+                       const std::string& help,
+                       const std::vector<double>& upper_bounds,
+                       const LabelSet& labels, double value);
+
+/// Percentile-sketch merge accounting:
+/// iqb_stats_sketch_merges_total{sketch=...} += merges.
+void record_sketch_merges(Telemetry* telemetry, const std::string& sketch,
+                          std::size_t merges);
+
+/// Wire a circuit breaker into the registry: state transitions become
+/// iqb_robust_breaker_transitions_total{source,from,to} (the
+/// closed->open edge is pre-created at 0 so the family is always
+/// present in exports), and the current state is mirrored into the
+/// iqb_robust_breaker_state{source,state} 0/1 gauges. Overwrites any
+/// callback already set on the breaker. No-op without metrics.
+void wire_breaker(Telemetry* telemetry, const std::string& source,
+                  robust::CircuitBreaker& breaker);
+
+/// Final breaker accounting for a run: state gauges plus
+/// iqb_robust_breaker_denied_total{source}.
+void record_breaker(Telemetry* telemetry, const std::string& source,
+                    const robust::CircuitBreaker& breaker);
+
+/// RAII stage timer: opens a span named after the stage and, on
+/// destruction, observes the elapsed time (from Telemetry's time
+/// source) into iqb_pipeline_stage_duration_seconds{stage=...}.
+class StageTimer {
+ public:
+  StageTimer(Telemetry* telemetry, std::string stage);
+  ~StageTimer();
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  std::size_t span_id() const noexcept { return span_.id(); }
+
+ private:
+  Telemetry* telemetry_;
+  std::string stage_;
+  ScopedSpan span_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace iqb::obs

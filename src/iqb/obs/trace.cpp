@@ -1,0 +1,49 @@
+#include "iqb/obs/trace.hpp"
+
+#include <algorithm>
+
+namespace iqb::obs {
+
+std::size_t Tracer::begin_span(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord span;
+  span.name = std::move(name);
+  span.parent = open_stack_.empty() ? kNoSpan : open_stack_.back();
+  span.start_ns = clock_->now_ns();
+  const std::size_t id = spans_.size();
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void Tracer::end_span(std::size_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= spans_.size() || spans_[id].ended) return;
+  spans_[id].end_ns = clock_->now_ns();
+  spans_[id].ended = true;
+  // Usually the innermost span ends first; tolerate out-of-order ends
+  // by removing the id wherever it sits in the open stack.
+  auto it = std::find(open_stack_.rbegin(), open_stack_.rend(), id);
+  if (it != open_stack_.rend()) {
+    open_stack_.erase(std::next(it).base());
+  }
+}
+
+void Tracer::set_attribute(std::size_t id, const std::string& key,
+                           std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= spans_.size()) return;
+  spans_[id].attributes.emplace_back(key, std::move(value));
+}
+
+std::vector<Tracer::SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+}  // namespace iqb::obs

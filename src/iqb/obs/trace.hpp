@@ -1,0 +1,106 @@
+// Lightweight per-run tracing: named spans forming a tree.
+//
+// A Tracer records spans (name, start/end timestamps from an injected
+// Clock, string attributes) and keeps an implicit stack of open spans:
+// a span begun while another is open becomes its child. That matches
+// the pipeline's single-threaded run path (ingest -> aggregate ->
+// score -> render, one child per region) and keeps instrumentation to
+// one ScopedSpan line per stage. Timestamps come exclusively from the
+// Clock, so tests injecting a ManualClock get byte-stable traces.
+//
+// Spans are stored flat with parent indices; export.hpp rebuilds the
+// tree for the JSON dump.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "iqb/obs/clock.hpp"
+
+namespace iqb::obs {
+
+class Tracer {
+ public:
+  /// Sentinel span id: "no span" / "no parent".
+  static constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+  /// `clock` may be null (falls back to the process steady clock).
+  /// The clock must outlive the tracer.
+  explicit Tracer(Clock* clock = nullptr)
+      : clock_(clock ? clock : &steady_clock()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  Clock& clock() const noexcept { return *clock_; }
+
+  /// Open a span. Its parent is the innermost span still open at this
+  /// moment (kNoSpan for a root). Returns the span's id.
+  std::size_t begin_span(std::string name);
+
+  /// Close a span; no-op if already closed or id is kNoSpan.
+  void end_span(std::size_t id);
+
+  /// Attach/overwrite a string attribute; no-op for kNoSpan.
+  void set_attribute(std::size_t id, const std::string& key,
+                     std::string value);
+
+  struct SpanRecord {
+    std::string name;
+    std::size_t parent = kNoSpan;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    bool ended = false;
+    /// Insertion-ordered key/value pairs (later set wins on export).
+    std::vector<std::pair<std::string, std::string>> attributes;
+
+    std::uint64_t duration_ns() const noexcept {
+      return ended ? end_ns - start_ns : 0;
+    }
+  };
+
+  /// Copy of every span recorded so far, in begin order.
+  std::vector<SpanRecord> spans() const;
+  std::size_t span_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Clock* clock_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> open_stack_;
+};
+
+/// RAII span. A null tracer makes every operation a no-op, which is
+/// how instrumented code stays zero-cost when telemetry is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name)
+      : tracer_(tracer),
+        id_(tracer ? tracer->begin_span(std::move(name)) : Tracer::kNoSpan) {}
+  ~ScopedSpan() { end(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Close early (idempotent).
+  void end() {
+    if (tracer_ && id_ != Tracer::kNoSpan) {
+      tracer_->end_span(id_);
+      id_ = Tracer::kNoSpan;
+    }
+  }
+
+  void set_attribute(const std::string& key, std::string value) {
+    if (tracer_) tracer_->set_attribute(id_, key, std::move(value));
+  }
+
+  std::size_t id() const noexcept { return id_; }
+
+ private:
+  Tracer* tracer_;
+  std::size_t id_;
+};
+
+}  // namespace iqb::obs

@@ -22,8 +22,8 @@ bool CircuitBreaker::allow_request() {
       ++denied_;
       if (cooldown_left_ > 0) --cooldown_left_;
       if (cooldown_left_ == 0) {
-        state_ = BreakerState::kHalfOpen;
         half_open_streak_ = 0;
+        transition(BreakerState::kHalfOpen);
       }
       return false;
   }
@@ -75,18 +75,25 @@ double CircuitBreaker::failure_rate() const noexcept {
 }
 
 void CircuitBreaker::reset() {
-  state_ = BreakerState::kClosed;
   window_.clear();
   window_next_ = 0;
   window_count_ = 0;
   cooldown_left_ = 0;
   half_open_streak_ = 0;
+  transition(BreakerState::kClosed);
 }
 
 void CircuitBreaker::trip() {
-  state_ = BreakerState::kOpen;
   cooldown_left_ = std::max<std::size_t>(config_.cooldown_denials, 1);
   half_open_streak_ = 0;
+  transition(BreakerState::kOpen);
+}
+
+void CircuitBreaker::transition(BreakerState to) {
+  if (state_ == to) return;
+  const BreakerState from = state_;
+  state_ = to;
+  if (on_state_change_) on_state_change_(from, to);
 }
 
 }  // namespace iqb::robust

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace iqb::robust {
@@ -35,8 +37,21 @@ struct CircuitBreakerConfig {
 
 class CircuitBreaker {
  public:
+  /// Observer for state edges. Fired exactly once per transition,
+  /// after the new state is in place (so state() == to inside the
+  /// callback); never fired when the state does not actually change
+  /// (e.g. reset() on an already-closed breaker).
+  using StateChangeCallback =
+      std::function<void(BreakerState from, BreakerState to)>;
+
   explicit CircuitBreaker(CircuitBreakerConfig config = {})
       : config_(config) {}
+
+  /// Install (or clear, with nullptr) the transition observer. The
+  /// callback must not call back into this breaker.
+  void on_state_change(StateChangeCallback callback) {
+    on_state_change_ = std::move(callback);
+  }
 
   /// Ask permission before hitting the source. In the open state this
   /// counts down the cooldown and returns false; in half-open it
@@ -61,8 +76,10 @@ class CircuitBreaker {
 
  private:
   void trip();
+  void transition(BreakerState to);
 
   CircuitBreakerConfig config_;
+  StateChangeCallback on_state_change_;
   BreakerState state_ = BreakerState::kClosed;
   std::vector<bool> window_;     // ring buffer: true = failure
   std::size_t window_next_ = 0;  // next slot to overwrite

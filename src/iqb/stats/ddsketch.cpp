@@ -62,6 +62,7 @@ double DdSketch::quantile(double q) const noexcept {
 void DdSketch::merge(const DdSketch& other) {
   assert(std::abs(alpha_ - other.alpha_) < 1e-12 &&
          "DDSketch merge requires identical alpha");
+  ++merge_count_;
   zero_count_ += other.zero_count_;
   total_ += other.total_;
   for (const auto& [index, count] : other.buckets_) {

@@ -38,6 +38,9 @@ class DdSketch {
 
   std::size_t count() const noexcept { return total_; }
   std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  /// Times merge() absorbed another sketch (exported to telemetry via
+  /// obs::record_sketch_merges).
+  std::size_t merge_count() const noexcept { return merge_count_; }
   double alpha() const noexcept { return alpha_; }
   double relative_accuracy() const noexcept { return alpha_; }
 
@@ -53,6 +56,7 @@ class DdSketch {
   std::map<int, std::uint64_t> buckets_;  ///< index -> count, sorted.
   std::uint64_t zero_count_ = 0;
   std::uint64_t total_ = 0;
+  std::size_t merge_count_ = 0;
 };
 
 }  // namespace iqb::stats

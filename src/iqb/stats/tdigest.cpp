@@ -47,6 +47,7 @@ void TDigest::add(double x, double weight) {
 }
 
 void TDigest::merge(const TDigest& other) {
+  ++merge_count_;
   other.flush();
   for (const Centroid& c : other.centroids_) {
     if (c.weight > 0.0) {

@@ -34,6 +34,9 @@ class TDigest {
   std::size_t count() const noexcept { return static_cast<std::size_t>(total_weight_); }
   std::size_t centroid_count() const;  ///< Space usage, for benches.
   double compression() const noexcept { return compression_; }
+  /// Times merge() absorbed another digest (exported to telemetry via
+  /// obs::record_sketch_merges).
+  std::size_t merge_count() const noexcept { return merge_count_; }
 
  private:
   struct Centroid {
@@ -50,6 +53,7 @@ class TDigest {
   mutable double buffered_weight_ = 0.0;
   mutable double min_ = 0.0;
   mutable double max_ = 0.0;
+  std::size_t merge_count_ = 0;
 };
 
 }  // namespace iqb::stats

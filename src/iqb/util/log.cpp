@@ -3,14 +3,19 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
-#include <string>
+
+#include "iqb/util/json.hpp"
 
 namespace iqb::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_write_mutex;
+std::atomic<LogFormat> g_format{LogFormat::kText};
+
+// Guards g_sink and serializes sink calls so lines never interleave.
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty -> default stderr sink
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -23,17 +28,62 @@ const char* level_tag(LogLevel level) noexcept {
   return "?????";
 }
 
+void default_sink(LogLevel, std::string_view line) {
+  std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()), line.data());
+}
+
 }  // namespace
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void set_log_format(LogFormat format) noexcept { g_format.store(format); }
+
+LogFormat log_format() noexcept { return g_format.load(); }
+
+std::string format_log_line(LogFormat format, LogLevel level,
+                            std::string_view message) {
+  if (format == LogFormat::kJson) {
+    std::string line = "{\"level\":\"";
+    line += log_level_name(level);
+    line += "\",\"message\":\"";
+    line += json_escape(message);
+    line += "\"}";
+    return line;
+  }
+  std::string line = "[iqb ";
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  return line;
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_message(LogLevel level, std::string_view message) {
   if (level < g_level.load() || level == LogLevel::kOff) return;
-  std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[iqb %s] %.*s\n", level_tag(level),
-               static_cast<int>(message.size()), message.data());
+  const std::string line = format_log_line(g_format.load(), level, message);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    default_sink(level, line);
+  }
 }
 
 }  // namespace iqb::util

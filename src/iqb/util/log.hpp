@@ -1,23 +1,53 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging with a pluggable sink.
 //
 // The library itself logs sparingly (campaign progress, config
 // warnings); verbosity is controlled per-process via set_log_level.
-// No global mutable state beyond the level (atomic), no allocation on
-// suppressed messages.
+// Output goes through a process-wide sink (default: stderr). The
+// level check is an atomic read, so suppressed messages cost nothing;
+// sink and format live behind one mutex, so concurrent log lines
+// never interleave mid-line.
 #pragma once
 
+#include <functional>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace iqb::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Lowercase level name ("debug", "info", ...), for structured output.
+std::string_view log_level_name(LogLevel level) noexcept;
+
 /// Process-wide minimum level; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emit a message (appends newline). Thread-safe at the line level.
+/// How format_log_line renders a message:
+///  * kText: "[iqb LEVEL] message" (the historical stderr format).
+///  * kJson: one JSON object per line, {"level":"...","message":"..."}.
+enum class LogFormat { kText = 0, kJson = 1 };
+
+void set_log_format(LogFormat format) noexcept;
+LogFormat log_format() noexcept;
+
+/// Pure formatter behind log_message; the line carries no trailing
+/// newline. Exposed for tests and for sinks that re-format.
+std::string format_log_line(LogFormat format, LogLevel level,
+                            std::string_view message);
+
+/// A sink receives each emitted line (already formatted, no trailing
+/// newline). Calls are serialized by the logging mutex; sinks must not
+/// log back into iqb::util or they will deadlock.
+using LogSink = std::function<void(LogLevel level, std::string_view line)>;
+
+/// Replace the process-wide sink. A null sink restores the default
+/// (write the line plus '\n' to stderr).
+void set_log_sink(LogSink sink);
+
+/// Emit a message. Thread-safe at the line level: the format read,
+/// line rendering, and sink call happen under one lock.
 void log_message(LogLevel level, std::string_view message);
 
 namespace detail {

@@ -11,6 +11,7 @@
 
 #include "iqb/datasets/io.hpp"
 #include "iqb/datasets/synthetic.hpp"
+#include "iqb/util/json.hpp"
 
 namespace iqb::cli {
 namespace {
@@ -269,6 +270,118 @@ TEST_F(CliLenientTest, CleanFileWithLenientStaysExitZero) {
   // Healthy data: lenient mode is bit-identical to strict.
   EXPECT_EQ(strict_out, lenient_out);
   EXPECT_EQ(lenient_out.find("DEGRADED MODE"), std::string::npos);
+}
+
+// ---------------- telemetry flags ------------------------------------
+
+std::string temp_path(const std::string& stem, const std::string& ext) {
+  return (std::filesystem::temp_directory_path() /
+          ("iqb_cli_test_" + stem + "_" + std::to_string(getpid()) + ext))
+      .string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST_F(CliTest, MetricsOutPromCoversTheRunPath) {
+  const std::string metrics_path = temp_path("metrics", ".prom");
+  std::string plain_out, plain_err, out, err;
+  ASSERT_EQ(run({"score", "--records", records_path_}, &plain_out,
+                &plain_err),
+            0);
+  ASSERT_EQ(run({"score", "--records", records_path_, "--metrics-out",
+                 metrics_path},
+                &out, &err),
+            0);
+  // Telemetry is strictly additive: same report bytes, same stderr.
+  EXPECT_EQ(out, plain_out);
+  EXPECT_EQ(err, plain_err);
+
+  const std::string prom = slurp(metrics_path);
+  std::remove(metrics_path.c_str());
+  for (const char* needle :
+       {"# TYPE iqb_pipeline_stage_duration_seconds histogram",
+        "stage=\"aggregate\"", "stage=\"score\"",
+        "iqb_pipeline_stage_duration_seconds_bucket",
+        "iqb_pipeline_regions_scored_total", "iqb_ingest_rows_read_total",
+        "iqb_ingest_fetch_attempts_total", "iqb_aggregate_cells_total",
+        "iqb_robust_breaker_state", "iqb_robust_breaker_transitions_total",
+        "iqb_robust_breaker_denied_total", "iqb_robust_quarantine_rows"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(CliTest, MetricsOutJsonParsesAndTraceOutHasTheRunTree) {
+  const std::string metrics_path = temp_path("metrics", ".json");
+  const std::string trace_path = temp_path("trace", ".json");
+  std::string out, err;
+  ASSERT_EQ(run({"score", "--records", records_path_, "--metrics-out",
+                 metrics_path, "--trace-out", trace_path},
+                &out, &err),
+            0);
+
+  auto metrics = util::parse_json(slurp(metrics_path));
+  std::remove(metrics_path.c_str());
+  ASSERT_TRUE(metrics.ok()) << metrics.error().to_string();
+  auto families = metrics->get_array("metrics");
+  ASSERT_TRUE(families.ok());
+  EXPECT_FALSE(families->empty());
+
+  const std::string trace_text = slurp(trace_path);
+  std::remove(trace_path.c_str());
+  auto trace = util::parse_json(trace_text);
+  ASSERT_TRUE(trace.ok()) << trace.error().to_string();
+  ASSERT_TRUE(trace->get_array("trace").ok());
+  // Roots: the ingest load and the pipeline run, with stage children.
+  EXPECT_NE(trace_text.find("\"ingest.load\""), std::string::npos);
+  EXPECT_NE(trace_text.find("\"pipeline.run\""), std::string::npos);
+  EXPECT_NE(trace_text.find("\"score.region\""), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsOutBadExtensionIsAUsageError) {
+  std::string out, err;
+  EXPECT_EQ(run({"score", "--records", records_path_, "--metrics-out",
+                 "metrics.txt"},
+                &out, &err),
+            1);
+  EXPECT_NE(err.find("--metrics-out"), std::string::npos);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(CliTest, AggregateMetricsOutWorks) {
+  const std::string metrics_path = temp_path("agg", ".prom");
+  std::string out, err;
+  ASSERT_EQ(run({"aggregate", "--records", records_path_, "--metrics-out",
+                 metrics_path},
+                &out, &err),
+            0);
+  const std::string prom = slurp(metrics_path);
+  std::remove(metrics_path.c_str());
+  EXPECT_NE(prom.find("iqb_aggregate_cells_total"), std::string::npos);
+  EXPECT_NE(prom.find("iqb_aggregate_cell_samples_bucket"),
+            std::string::npos);
+}
+
+TEST_F(CliLenientTest, LenientTelemetryCountsQuarantinedRows) {
+  const std::string metrics_path = temp_path("lenient", ".prom");
+  std::string out, err;
+  EXPECT_EQ(run({"score", "--records", dirty_path_, "--lenient", "true",
+                 "--metrics-out", metrics_path},
+                &out, &err),
+            3);  // telemetry must not mask the degraded exit code
+  const std::string prom = slurp(metrics_path);
+  std::remove(metrics_path.c_str());
+  // The fixture appends exactly two corrupt rows.
+  EXPECT_NE(prom.find("iqb_ingest_rows_quarantined_total{source=\"" +
+                      dirty_path_ + "\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("iqb_robust_quarantine_rows{source=\"" + dirty_path_ +
+                      "\"} 2\n"),
+            std::string::npos);
 }
 
 }  // namespace

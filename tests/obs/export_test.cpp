@@ -1,0 +1,151 @@
+#include "iqb/obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "iqb/obs/clock.hpp"
+#include "iqb/obs/metrics.hpp"
+#include "iqb/obs/trace.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::obs {
+namespace {
+
+TEST(FormatMetricValue, ShortestRoundTripAndSpecials) {
+  EXPECT_EQ(format_metric_value(1.0), "1");
+  EXPECT_EQ(format_metric_value(0.5), "0.5");
+  EXPECT_EQ(format_metric_value(0.0), "0");
+  EXPECT_EQ(format_metric_value(1e7), "1e+07");
+  EXPECT_EQ(format_metric_value(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(format_metric_value(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(format_metric_value(std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+}
+
+TEST(PrometheusEscape, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(prometheus_escape("plain"), "plain");
+  EXPECT_EQ(prometheus_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape("line1\nline2"), "line1\\nline2");
+}
+
+TEST(ToPrometheus, GoldenCounterAndGaugeOutput) {
+  MetricsRegistry registry;
+  registry.counter("iqb_rows_total", "Rows read", {{"source", "a.csv"}})
+      .inc(3);
+  registry.counter("iqb_rows_total", "Rows read", {{"source", "b\"x\".csv"}})
+      .inc(1.5);
+  registry.gauge("iqb_cells", "Cells", {}).set(42);
+  const std::string expected =
+      "# HELP iqb_cells Cells\n"
+      "# TYPE iqb_cells gauge\n"
+      "iqb_cells 42\n"
+      "# HELP iqb_rows_total Rows read\n"
+      "# TYPE iqb_rows_total counter\n"
+      "iqb_rows_total{source=\"a.csv\"} 3\n"
+      "iqb_rows_total{source=\"b\\\"x\\\".csv\"} 1.5\n";
+  EXPECT_EQ(to_prometheus(registry), expected);
+}
+
+TEST(ToPrometheus, GoldenHistogramWithCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram(
+      "iqb_stage_seconds", "Stage time", {0.1, 1.0}, {{"stage", "score"}});
+  histogram.observe(0.05);
+  histogram.observe(0.05);
+  histogram.observe(0.5);
+  histogram.observe(10.0);
+  const std::string expected =
+      "# HELP iqb_stage_seconds Stage time\n"
+      "# TYPE iqb_stage_seconds histogram\n"
+      "iqb_stage_seconds_bucket{stage=\"score\",le=\"0.1\"} 2\n"
+      "iqb_stage_seconds_bucket{stage=\"score\",le=\"1\"} 3\n"
+      "iqb_stage_seconds_bucket{stage=\"score\",le=\"+Inf\"} 4\n"
+      "iqb_stage_seconds_sum{stage=\"score\"} 10.6\n"
+      "iqb_stage_seconds_count{stage=\"score\"} 4\n";
+  EXPECT_EQ(to_prometheus(registry), expected);
+}
+
+TEST(MetricsToJson, RoundTripsThroughTheJsonParser) {
+  MetricsRegistry registry;
+  registry.counter("iqb_rows_total", "Rows", {{"source", "s"}}).inc(7);
+  registry.histogram("iqb_lat_seconds", "Lat", {0.5}, {}).observe(0.25);
+  const std::string dumped = metrics_to_json(registry).dump(2);
+
+  auto parsed = util::parse_json(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  auto metrics = parsed->get_array("metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->size(), 2u);
+
+  const util::JsonValue& histogram = (*metrics)[0];
+  EXPECT_EQ(histogram.get_string("name").value(), "iqb_lat_seconds");
+  EXPECT_EQ(histogram.get_string("type").value(), "histogram");
+  auto histogram_samples = histogram.get_array("samples");
+  ASSERT_TRUE(histogram_samples.ok());
+  auto buckets = (*histogram_samples)[0].get_array("buckets");
+  ASSERT_TRUE(buckets.ok());
+  ASSERT_EQ(buckets->size(), 2u);  // 0.5 and +Inf
+  EXPECT_EQ((*buckets)[0].get_number("count").value(), 1.0);
+  EXPECT_EQ((*histogram_samples)[0].get_number("count").value(), 1.0);
+
+  const util::JsonValue& counter = (*metrics)[1];
+  EXPECT_EQ(counter.get_string("name").value(), "iqb_rows_total");
+  auto counter_samples = counter.get_array("samples");
+  ASSERT_TRUE(counter_samples.ok());
+  EXPECT_EQ((*counter_samples)[0].get_number("value").value(), 7.0);
+}
+
+TEST(TraceToJson, RebasedDeterministicTree) {
+  ManualClock clock(5000);
+  Tracer tracer(&clock);
+  const std::size_t root = tracer.begin_span("pipeline.run");
+  clock.advance_ns(100);
+  const std::size_t child = tracer.begin_span("score");
+  tracer.set_attribute(child, "region", "metro");
+  clock.advance_ns(50);
+  tracer.end_span(child);
+  tracer.end_span(root);
+
+  const std::string dumped = trace_to_json(tracer).dump(2);
+  auto parsed = util::parse_json(dumped);
+  ASSERT_TRUE(parsed.ok());
+  auto trace = parsed->get_array("trace");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 1u);
+  const util::JsonValue& run = (*trace)[0];
+  EXPECT_EQ(run.get_string("name").value(), "pipeline.run");
+  EXPECT_EQ(run.get_number("start_ns").value(), 0.0);  // rebased
+  EXPECT_EQ(run.get_number("duration_ns").value(), 150.0);
+  auto children = run.get_array("children");
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 1u);
+  const util::JsonValue& score = (*children)[0];
+  EXPECT_EQ(score.get_number("start_ns").value(), 100.0);
+  EXPECT_EQ(score.get_number("duration_ns").value(), 50.0);
+  EXPECT_EQ(score.get("attributes")->get_string("region").value(), "metro");
+}
+
+TEST(TraceToJson, IdenticalRunsProduceIdenticalBytes) {
+  auto run_once = []() {
+    ManualClock clock(123, 7);
+    Tracer tracer(&clock);
+    ScopedSpan root(&tracer, "run");
+    {
+      ScopedSpan stage(&tracer, "aggregate");
+    }
+    {
+      ScopedSpan stage(&tracer, "score");
+      stage.set_attribute("region", "rural");
+    }
+    root.end();
+    return trace_to_json(tracer).dump(2);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace iqb::obs

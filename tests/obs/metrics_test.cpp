@@ -1,0 +1,113 @@
+#include "iqb/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace iqb::obs {
+namespace {
+
+TEST(Counter, IncrementsAndIgnoresNegativeDeltas) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("iqb_test_total", "help");
+  EXPECT_EQ(counter.value(), 0.0);
+  counter.inc();
+  counter.inc(2.5);
+  counter.inc(-5.0);  // caller bug: dropped, not subtracted
+  EXPECT_EQ(counter.value(), 3.5);
+}
+
+TEST(Gauge, SetAndAddMoveBothWays) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("iqb_test_gauge", "help");
+  gauge.set(10.0);
+  gauge.add(-3.0);
+  EXPECT_EQ(gauge.value(), 7.0);
+  gauge.set(1.0);
+  EXPECT_EQ(gauge.value(), 1.0);
+}
+
+TEST(Histogram, BucketsObservationsWithInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("iqb_test_seconds", "help", {1.0, 2.0, 5.0});
+  histogram.observe(0.5);
+  histogram.observe(1.0);  // == bound -> that bucket (Prometheus le)
+  histogram.observe(1.5);
+  histogram.observe(100.0);  // overflow
+  const auto counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 103.0);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndSeriesKeyedByLabels) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("iqb_rows_total", "rows", {{"region", "r1"}});
+  Counter& b = registry.counter("iqb_rows_total", "rows", {{"region", "r2"}});
+  Counter& a_again =
+      registry.counter("iqb_rows_total", "rows", {{"region", "r1"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a_again);
+  a.inc();
+  a_again.inc();
+  b.inc(5);
+  EXPECT_EQ(a.value(), 2.0);
+  EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotSortsFamiliesAndSeries) {
+  MetricsRegistry registry;
+  registry.counter("iqb_z_total", "z", {{"region", "b"}}).inc();
+  registry.counter("iqb_z_total", "z", {{"region", "a"}}).inc(2);
+  registry.gauge("iqb_a_gauge", "a", {}).set(1.0);
+  const auto families = registry.snapshot();
+  ASSERT_EQ(families.size(), 2u);
+  EXPECT_EQ(families[0].name, "iqb_a_gauge");
+  EXPECT_EQ(families[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(families[1].name, "iqb_z_total");
+  ASSERT_EQ(families[1].samples.size(), 2u);
+  EXPECT_EQ(families[1].samples[0].labels.at("region"), "a");
+  EXPECT_EQ(families[1].samples[0].value, 2.0);
+  EXPECT_EQ(families[1].samples[1].labels.at("region"), "b");
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("iqb_hits_total", "hits");
+  Histogram& histogram =
+      registry.histogram("iqb_lat_seconds", "lat", {0.5, 1.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        histogram.observe(0.25);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(DefaultBuckets, AreSortedAscending) {
+  const auto& latency = latency_buckets_s();
+  const auto& size = size_buckets();
+  EXPECT_TRUE(std::is_sorted(latency.begin(), latency.end()));
+  EXPECT_TRUE(std::is_sorted(size.begin(), size.end()));
+  EXPECT_FALSE(latency.empty());
+  EXPECT_FALSE(size.empty());
+}
+
+}  // namespace
+}  // namespace iqb::obs

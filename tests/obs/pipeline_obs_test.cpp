@@ -1,0 +1,133 @@
+// Instrumentation integration: the pipeline under an injected clock
+// produces deterministic telemetry, and telemetry never perturbs the
+// scoring output.
+#include <gtest/gtest.h>
+
+#include "iqb/core/pipeline.hpp"
+#include "iqb/datasets/synthetic.hpp"
+#include "iqb/obs/export.hpp"
+#include "iqb/obs/telemetry.hpp"
+#include "iqb/report/render.hpp"
+
+namespace iqb::obs {
+namespace {
+
+datasets::RecordStore small_store() {
+  util::Rng rng(99);
+  datasets::RecordStore store;
+  datasets::SyntheticConfig config;
+  config.records_per_dataset = 40;
+  config.base_time = util::Timestamp::parse("2025-02-01").value();
+  config.spacing_s = 3600;
+  for (const auto& profile : datasets::example_region_profiles()) {
+    store.add_all(datasets::generate_region_records(
+        profile, datasets::default_dataset_panel(), config, rng));
+  }
+  return store;
+}
+
+TEST(PipelineObs, TelemetryDoesNotPerturbScores) {
+  const datasets::RecordStore store = small_store();
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+
+  auto plain = pipeline.run(store, {});
+  MetricsRegistry metrics;
+  ManualClock clock(0, 1000);
+  Tracer tracer(&clock);
+  Telemetry telemetry{&metrics, &tracer, nullptr};
+  auto instrumented = pipeline.run(store, {}, &telemetry);
+
+  ASSERT_FALSE(plain.results.empty());
+  EXPECT_EQ(report::to_json(plain.results).dump(2),
+            report::to_json(instrumented.results).dump(2));
+  EXPECT_EQ(plain.skipped.size(), instrumented.skipped.size());
+}
+
+TEST(PipelineObs, RecordsStageSpansAndCountersUnderManualClock) {
+  const datasets::RecordStore store = small_store();
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+
+  MetricsRegistry metrics;
+  ManualClock clock(0, 500);
+  Tracer tracer(&clock);
+  Telemetry telemetry{&metrics, &tracer, nullptr};
+  auto output = pipeline.run(store, {}, &telemetry);
+  ASSERT_FALSE(output.results.empty());
+
+  // Span tree: pipeline.run -> aggregate, score -> one child/region.
+  const auto spans = tracer.spans();
+  ASSERT_GE(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "pipeline.run");
+  EXPECT_EQ(spans[0].parent, Tracer::kNoSpan);
+  std::size_t region_spans = 0;
+  for (const auto& span : spans) {
+    EXPECT_TRUE(span.ended) << span.name;
+    if (span.name == "score.region") ++region_spans;
+  }
+  EXPECT_EQ(region_spans, output.results.size() + output.skipped.size());
+
+  const std::string prom = to_prometheus(metrics);
+  EXPECT_NE(prom.find("iqb_pipeline_stage_duration_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.find("stage=\"aggregate\""), std::string::npos);
+  EXPECT_NE(prom.find("stage=\"score\""), std::string::npos);
+  EXPECT_NE(prom.find("iqb_pipeline_regions_scored_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("iqb_aggregate_cells_total"), std::string::npos);
+}
+
+TEST(PipelineObs, TraceIsByteIdenticalAcrossRunsWithTheSameClock) {
+  const datasets::RecordStore store = small_store();
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+  auto run_once = [&]() {
+    MetricsRegistry metrics;
+    ManualClock clock(0, 250);
+    Tracer tracer(&clock);
+    Telemetry telemetry{&metrics, &tracer, nullptr};
+    pipeline.run(store, {}, &telemetry);
+    return trace_to_json(tracer).dump(2) + to_prometheus(metrics);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(PipelineObs, SkippedRegionsAreCountedWithReasonLabels) {
+  const datasets::RecordStore store = small_store();
+  core::IqbConfig config = core::IqbConfig::paper_defaults();
+  // Demand more samples than the store holds: every region skips.
+  config.aggregation.min_samples = 1000000;
+  core::Pipeline pipeline(std::move(config));
+
+  MetricsRegistry metrics;
+  ManualClock clock(0, 100);
+  Tracer tracer(&clock);
+  Telemetry telemetry{&metrics, &tracer, nullptr};
+  auto output = pipeline.run(store, {}, &telemetry);
+  EXPECT_TRUE(output.results.empty());
+  EXPECT_FALSE(output.skipped.empty());
+
+  double skipped_total = 0.0;
+  for (const auto& family : metrics.snapshot()) {
+    if (family.name != "iqb_pipeline_regions_skipped_total") continue;
+    for (const auto& sample : family.samples) {
+      EXPECT_FALSE(sample.labels.at("reason").empty());
+      EXPECT_FALSE(sample.labels.at("region").empty());
+      skipped_total += sample.value;
+    }
+  }
+  EXPECT_EQ(skipped_total, static_cast<double>(output.skipped.size()));
+}
+
+TEST(PipelineObs, SketchMergeCountersExport) {
+  MetricsRegistry metrics;
+  Telemetry telemetry{&metrics, nullptr, nullptr};
+  record_sketch_merges(&telemetry, "tdigest", 3);
+  record_sketch_merges(&telemetry, "ddsketch", 2);
+  const std::string prom = to_prometheus(metrics);
+  EXPECT_NE(prom.find("iqb_stats_sketch_merges_total{sketch=\"tdigest\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("iqb_stats_sketch_merges_total{sketch=\"ddsketch\"} 2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace iqb::obs

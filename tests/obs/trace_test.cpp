@@ -1,0 +1,112 @@
+#include "iqb/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iqb/obs/clock.hpp"
+
+namespace iqb::obs {
+namespace {
+
+TEST(ManualClock, AdvancesOnlyWhenTold) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now_ns(), 100u);
+  EXPECT_EQ(clock.now_ns(), 100u);
+  clock.advance_ns(5);
+  EXPECT_EQ(clock.now_ns(), 105u);
+  clock.advance_ms(1);
+  EXPECT_EQ(clock.now_ns(), 1'000'105u);
+}
+
+TEST(ManualClock, AutoAdvanceTicksAfterEachRead) {
+  ManualClock clock(0, 10);
+  EXPECT_EQ(clock.now_ns(), 0u);
+  EXPECT_EQ(clock.now_ns(), 10u);
+  EXPECT_EQ(clock.now_ns(), 20u);
+}
+
+TEST(Tracer, SpansNestUnderInnermostOpenSpan) {
+  ManualClock clock(0);
+  Tracer tracer(&clock);
+  const std::size_t root = tracer.begin_span("run");
+  clock.advance_ns(10);
+  const std::size_t child = tracer.begin_span("stage");
+  clock.advance_ns(5);
+  const std::size_t grandchild = tracer.begin_span("region");
+  tracer.end_span(grandchild);
+  tracer.end_span(child);
+  const std::size_t sibling = tracer.begin_span("render");
+  tracer.end_span(sibling);
+  tracer.end_span(root);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[root].parent, Tracer::kNoSpan);
+  EXPECT_EQ(spans[child].parent, root);
+  EXPECT_EQ(spans[grandchild].parent, child);
+  EXPECT_EQ(spans[sibling].parent, root);
+}
+
+TEST(Tracer, DurationsComeFromTheInjectedClock) {
+  ManualClock clock(1000);
+  Tracer tracer(&clock);
+  const std::size_t id = tracer.begin_span("work");
+  clock.advance_ns(250);
+  tracer.end_span(id);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_ns, 1000u);
+  EXPECT_EQ(spans[0].end_ns, 1250u);
+  EXPECT_EQ(spans[0].duration_ns(), 250u);
+  EXPECT_TRUE(spans[0].ended);
+}
+
+TEST(Tracer, EndSpanIsIdempotentAndUnendedSpansReportZeroDuration) {
+  ManualClock clock(0);
+  Tracer tracer(&clock);
+  const std::size_t id = tracer.begin_span("a");
+  clock.advance_ns(7);
+  tracer.end_span(id);
+  clock.advance_ns(100);
+  tracer.end_span(id);  // no-op
+  tracer.end_span(Tracer::kNoSpan);
+
+  const std::size_t open = tracer.begin_span("open");
+  const auto spans = tracer.spans();
+  EXPECT_EQ(spans[id].end_ns, 7u);
+  EXPECT_FALSE(spans[open].ended);
+  EXPECT_EQ(spans[open].duration_ns(), 0u);
+}
+
+TEST(Tracer, AttributesRecordInInsertionOrder) {
+  Tracer tracer;  // steady clock; timestamps unused here
+  const std::size_t id = tracer.begin_span("a");
+  tracer.set_attribute(id, "region", "metro");
+  tracer.set_attribute(id, "skipped", "true");
+  tracer.set_attribute(Tracer::kNoSpan, "ignored", "x");
+  tracer.end_span(id);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans[0].attributes.size(), 2u);
+  EXPECT_EQ(spans[0].attributes[0].first, "region");
+  EXPECT_EQ(spans[0].attributes[0].second, "metro");
+  EXPECT_EQ(spans[0].attributes[1].first, "skipped");
+}
+
+TEST(ScopedSpan, NullTracerIsANoOpAndRaiiEnds) {
+  ScopedSpan null_span(nullptr, "nothing");
+  null_span.set_attribute("k", "v");
+  null_span.end();  // all no-ops, must not crash
+  EXPECT_EQ(null_span.id(), Tracer::kNoSpan);
+
+  ManualClock clock(0, 1);
+  Tracer tracer(&clock);
+  {
+    ScopedSpan span(&tracer, "scoped");
+    span.set_attribute("k", "v");
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].ended);
+}
+
+}  // namespace
+}  // namespace iqb::obs

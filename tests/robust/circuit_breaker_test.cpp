@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace iqb::robust {
 namespace {
@@ -108,6 +110,50 @@ TEST(CircuitBreaker, StateNames) {
   EXPECT_STREQ(breaker_state_name(BreakerState::kClosed), "closed");
   EXPECT_STREQ(breaker_state_name(BreakerState::kOpen), "open");
   EXPECT_STREQ(breaker_state_name(BreakerState::kHalfOpen), "half_open");
+}
+
+TEST(CircuitBreaker, CallbackFiresExactlyOncePerEdge) {
+  CircuitBreaker breaker(small_config());
+  std::vector<std::pair<BreakerState, BreakerState>> edges;
+  breaker.on_state_change([&edges, &breaker](BreakerState from,
+                                             BreakerState to) {
+    // The new state is already in place inside the callback.
+    EXPECT_EQ(breaker.state(), to);
+    edges.emplace_back(from, to);
+  });
+
+  breaker.record_failure();
+  breaker.record_failure();  // trips: closed -> open, once
+  EXPECT_FALSE(breaker.allow_request());  // cooldown, no edge
+  EXPECT_FALSE(breaker.allow_request());  // cooldown ends: open -> half_open
+  breaker.record_success();
+  breaker.record_success();  // streak closes: half_open -> closed
+  breaker.reset();           // already closed: NO edge
+  breaker.record_failure();
+  breaker.record_failure();  // closed -> open again
+  EXPECT_FALSE(breaker.allow_request());
+  EXPECT_FALSE(breaker.allow_request());  // open -> half_open
+  breaker.record_failure();               // probe fails: half_open -> open
+
+  using S = BreakerState;
+  const std::vector<std::pair<BreakerState, BreakerState>> expected = {
+      {S::kClosed, S::kOpen},   {S::kOpen, S::kHalfOpen},
+      {S::kHalfOpen, S::kClosed}, {S::kClosed, S::kOpen},
+      {S::kOpen, S::kHalfOpen}, {S::kHalfOpen, S::kOpen},
+  };
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(CircuitBreaker, CallbackCanBeCleared) {
+  CircuitBreaker breaker(small_config());
+  int fired = 0;
+  breaker.on_state_change([&fired](BreakerState, BreakerState) { ++fired; });
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(fired, 1);
+  breaker.on_state_change(nullptr);
+  breaker.reset();  // open -> closed, but the observer is gone
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace

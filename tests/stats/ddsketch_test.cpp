@@ -124,5 +124,15 @@ TEST(DdSketch, CountTracksAdds) {
   EXPECT_EQ(sketch.count(), 42u);
 }
 
+TEST(DdSketch, MergeCountTracksMerges) {
+  DdSketch sketch, other;
+  other.add(1.0);
+  EXPECT_EQ(sketch.merge_count(), 0u);
+  sketch.merge(other);
+  sketch.merge(other);
+  EXPECT_EQ(sketch.merge_count(), 2u);
+  EXPECT_EQ(other.merge_count(), 0u);  // only the absorber counts
+}
+
 }  // namespace
 }  // namespace iqb::stats

@@ -169,6 +169,8 @@ TEST(TDigest, MergePreservesQuantiles) {
   }
   left.merge(right);
   EXPECT_EQ(left.count(), 20000u);
+  EXPECT_EQ(left.merge_count(), 1u);
+  EXPECT_EQ(right.merge_count(), 0u);  // only the absorber counts
   std::sort(all.begin(), all.end());
   for (double q : {0.5, 0.95}) {
     EXPECT_LT(exact_rank_error(all, left.quantile(q), q), 0.01) << "q=" << q;

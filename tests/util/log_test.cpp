@@ -1,0 +1,116 @@
+#include "iqb/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqb/util/json.hpp"
+
+namespace iqb::util {
+namespace {
+
+/// Restores level/format/sink no matter how the test exits.
+class LogFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { set_log_level(LogLevel::kDebug); }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_format(LogFormat::kText);
+    set_log_level(LogLevel::kWarn);
+  }
+};
+
+using LogTest = LogFixture;
+
+TEST_F(LogTest, TextFormatMatchesHistoricalStderrFormat) {
+  EXPECT_EQ(format_log_line(LogFormat::kText, LogLevel::kInfo, "hello"),
+            "[iqb INFO ] hello");
+  EXPECT_EQ(format_log_line(LogFormat::kText, LogLevel::kError, "boom"),
+            "[iqb ERROR] boom");
+  EXPECT_EQ(format_log_line(LogFormat::kText, LogLevel::kDebug, ""),
+            "[iqb DEBUG] ");
+}
+
+TEST_F(LogTest, JsonFormatIsOneParsableObjectPerLine) {
+  const std::string line = format_log_line(LogFormat::kJson, LogLevel::kWarn,
+                                           "quote \" and\nnewline");
+  auto parsed = parse_json(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed->get_string("level").value(), "warn");
+  EXPECT_EQ(parsed->get_string("message").value(), "quote \" and\nnewline");
+}
+
+TEST_F(LogTest, LogLevelNamesAreLowercase) {
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "debug");
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "info");
+  EXPECT_EQ(log_level_name(LogLevel::kWarn), "warn");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "error");
+  EXPECT_EQ(log_level_name(LogLevel::kOff), "off");
+}
+
+TEST_F(LogTest, SinkReceivesFormattedLinesAndLevel) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, std::string_view line) {
+    captured.emplace_back(level, std::string(line));
+  });
+  log_message(LogLevel::kInfo, "first");
+  set_log_format(LogFormat::kJson);
+  log_message(LogLevel::kError, "second");
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "[iqb INFO ] first");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_TRUE(parse_json(captured[1].second).ok()) << captured[1].second;
+}
+
+TEST_F(LogTest, MessagesBelowTheLevelNeverReachTheSink) {
+  int calls = 0;
+  set_log_sink([&calls](LogLevel, std::string_view) { ++calls; });
+  set_log_level(LogLevel::kError);
+  log_message(LogLevel::kDebug, "dropped");
+  log_message(LogLevel::kWarn, "dropped");
+  log_message(LogLevel::kOff, "never valid as a message level");
+  EXPECT_EQ(calls, 0);
+  log_message(LogLevel::kError, "kept");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(LogTest, IqbLogMacroRoutesThroughTheSink) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  IQB_LOG(kInfo) << "value=" << 42;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[iqb INFO ] value=42");
+}
+
+TEST_F(LogTest, ConcurrentLoggingDeliversEveryLineIntact) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, std::string_view line) {
+    lines.emplace_back(line);  // serialized by the logging mutex
+  });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log_message(LogLevel::kInfo,
+                    "thread " + std::to_string(t) + " line " +
+                        std::to_string(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.rfind("[iqb INFO ] thread ", 0), 0u) << line;
+  }
+}
+
+}  // namespace
+}  // namespace iqb::util
