@@ -1,6 +1,8 @@
 #include "iqb/cli/cli.hpp"
 
 #include <cmath>
+
+#include "iqb/cli/load.hpp"
 #include <fstream>
 #include <memory>
 #include <ostream>
@@ -61,7 +63,7 @@ struct TelemetrySession {
   std::optional<std::string> trace_path;
   obs::MetricsRegistry metrics;
   obs::Tracer tracer;  // process steady clock
-  obs::Telemetry handle{&metrics, &tracer, nullptr};
+  obs::Telemetry handle{&metrics, &tracer, nullptr, {}};
 
   bool enabled() const { return metrics_path || trace_path; }
   obs::Telemetry* get() { return enabled() ? &handle : nullptr; }
@@ -113,12 +115,6 @@ int write_telemetry(const TelemetrySession& session, std::ostream& err) {
   return 0;
 }
 
-/// Records plus the ingest-side health that scoring should know about.
-struct LoadedStore {
-  datasets::RecordStore store;
-  robust::IngestHealth health;
-};
-
 util::Result<LoadedStore> load_records(const Args& args, std::ostream& err,
                                        obs::Telemetry* telemetry = nullptr) {
   auto path = args.get("records");
@@ -126,46 +122,8 @@ util::Result<LoadedStore> load_records(const Args& args, std::ostream& err,
     return util::make_error(util::ErrorCode::kInvalidArgument,
                             "--records is required");
   }
-  LoadedStore loaded;
-  std::vector<datasets::MeasurementRecord> records;
   const bool lenient = args.get("lenient").value_or("") == "true";
-  if (lenient || telemetry) {
-    // Fault-tolerant path: malformed rows are quarantined and reported
-    // instead of failing the run; the score carries the consequence.
-    // With telemetry a strict load also goes through here (same parser
-    // and policy as read_records_csv, just the instrumented loader).
-    datasets::LoadOptions options;
-    options.telemetry = telemetry;
-    if (!lenient) {
-      options.ingest = robust::IngestPolicy::strict();
-      options.retry.max_attempts = 1;
-    }
-    robust::CircuitBreaker breaker;
-    obs::wire_breaker(telemetry, *path, breaker);
-    robust::Quarantine quarantine;
-    auto outcome =
-        datasets::load_records_csv(*path, options, &breaker, &quarantine);
-    obs::record_breaker(telemetry, *path, breaker);
-    if (!outcome.ok()) return outcome.error();
-    if (!quarantine.empty()) {
-      err << "warning: " << quarantine.summary() << "\n";
-      loaded.health.rows_quarantined = quarantine.count();
-    }
-    records = std::move(outcome).value().records;
-  } else {
-    auto strict = datasets::read_records_csv(*path);
-    if (!strict.ok()) return strict.error();
-    records = std::move(strict).value();
-  }
-  const std::size_t skipped = loaded.store.add_all(std::move(records));
-  if (skipped > 0) {
-    err << "warning: skipped " << skipped << " invalid records\n";
-  }
-  if (loaded.store.empty()) {
-    return util::make_error(util::ErrorCode::kEmptyInput,
-                            "no usable records in '" + *path + "'");
-  }
-  return loaded;
+  return load_store(*path, lenient, err, telemetry);
 }
 
 /// Send `text` to --out FILE if given, else to `out`.

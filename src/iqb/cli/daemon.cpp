@@ -1,0 +1,294 @@
+#include "iqb/cli/daemon.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "iqb/cli/load.hpp"
+#include "iqb/core/pipeline.hpp"
+#include "iqb/obs/clock.hpp"
+#include "iqb/obs/telemetry.hpp"
+#include "iqb/obs/trace.hpp"
+#include "iqb/report/render.hpp"
+#include "iqb/util/log.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::cli {
+
+namespace {
+
+constexpr const char* kDaemonUsage =
+    "usage: iqbd --records FILE.csv [--config FILE.json] [--port N]\n"
+    "            [--bind ADDR] [--interval-ms N] [--poll-ms N]\n"
+    "            [--watch true|false] [--lenient true] [--by-isp true]\n"
+    "            [--max-cycles N] [--telemetry true|false]\n"
+    "            [--trace-prefix S]\n"
+    "serves /metrics /metrics.json /healthz /readyz /tracez /scores\n"
+    "exit codes: 0 ok, 1 usage error, 2 startup error\n";
+
+util::Result<std::uint64_t> parse_u64_option(const std::string& key,
+                                             const std::string& text) {
+  auto value = util::parse_int(text);
+  if (!value.ok() || value.value() < 0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad --" + key + " '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(value.value());
+}
+
+}  // namespace
+
+const char* daemon_usage() noexcept { return kDaemonUsage; }
+
+util::Result<DaemonOptions> parse_daemon_args(
+    const std::vector<std::string>& tokens) {
+  DaemonOptions options;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& key = tokens[i];
+    if (!util::starts_with(key, "--")) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "expected --option, got '" + key + "'");
+    }
+    if (i + 1 >= tokens.size()) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "missing value for " + key);
+    }
+    const std::string name = key.substr(2);
+    const std::string& value = tokens[++i];
+    if (name == "records") {
+      options.records_path = value;
+    } else if (name == "config") {
+      options.config_path = value;
+    } else if (name == "bind") {
+      options.bind_address = value;
+    } else if (name == "trace-prefix") {
+      options.trace_prefix = value;
+    } else if (name == "lenient") {
+      options.lenient = value == "true";
+    } else if (name == "by-isp") {
+      options.by_isp = value == "true";
+    } else if (name == "watch") {
+      options.watch_files = value == "true";
+    } else if (name == "telemetry") {
+      options.telemetry = value == "true";
+    } else if (name == "port") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      if (parsed.value() > 65535) {
+        return util::make_error(util::ErrorCode::kInvalidArgument,
+                                "--port out of range '" + value + "'");
+      }
+      options.port = static_cast<std::uint16_t>(parsed.value());
+    } else if (name == "interval-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.interval_ms = parsed.value();
+    } else if (name == "poll-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.poll_ms = parsed.value() == 0 ? 1 : parsed.value();
+    } else if (name == "max-cycles") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.max_cycles = parsed.value();
+    } else {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "unknown option --" + name);
+    }
+  }
+  if (options.records_path.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "--records is required");
+  }
+  return options;
+}
+
+WatchDaemon::WatchDaemon(DaemonOptions options)
+    : options_(std::move(options)),
+      spans_(options_.span_buffer_capacity),
+      server_(
+          [this] {
+            obs::TelemetryServer::Options server_options;
+            server_options.http.bind_address = options_.bind_address;
+            server_options.http.port = options_.port;
+            return server_options;
+          }(),
+          &metrics_, &spans_) {}
+
+WatchDaemon::~WatchDaemon() { stop(); }
+
+util::Result<void> WatchDaemon::ensure_config() {
+  if (config_) return {};
+  if (options_.config_path) {
+    auto loaded = core::IqbConfig::load(*options_.config_path);
+    if (!loaded.ok()) return loaded.error();
+    config_ = std::move(loaded).value();
+  } else {
+    config_ = core::IqbConfig::paper_defaults();
+  }
+  return {};
+}
+
+util::Result<void> WatchDaemon::start(std::ostream& err) {
+  if (running_) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "daemon already running");
+  }
+  if (auto config = ensure_config(); !config.ok()) {
+    return config.error();
+  }
+  if (auto started = server_.start(); !started.ok()) {
+    return started.error();
+  }
+  finished_.store(false);
+  stop_requested_ = false;
+  running_ = true;
+  loop_thread_ = std::thread([this, &err] { loop(err); });
+  return {};
+}
+
+void WatchDaemon::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(loop_mutex_);
+    stop_requested_ = true;
+  }
+  loop_cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  server_.stop();
+  running_ = false;
+}
+
+bool WatchDaemon::records_changed() {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(options_.records_path, ec);
+  if (ec) return false;  // transient stat failure: let the interval drive
+  if (!last_mtime_) {
+    last_mtime_ = mtime;
+    return false;
+  }
+  if (mtime != *last_mtime_) {
+    last_mtime_ = mtime;
+    return true;
+  }
+  return false;
+}
+
+bool WatchDaemon::run_cycle(std::ostream& err) {
+  if (auto config = ensure_config(); !config.ok()) {
+    err << "config error: " << config.error().to_string() << "\n";
+    cycles_total_.fetch_add(1);
+    cycles_failed_.fetch_add(1);
+    return false;
+  }
+  const std::uint64_t cycle = cycles_total_.fetch_add(1) + 1;
+  const std::string trace_id =
+      options_.trace_prefix + "-" + std::to_string(cycle);
+  // The whole cycle — ingest included — logs under the cycle's trace
+  // id; Pipeline::run re-installs the same id from the telemetry
+  // bundle for its own scope.
+  util::ScopedLogTrace log_trace(trace_id);
+  const std::uint64_t start_ns = obs::steady_clock().now_ns();
+
+  // Per-cycle tracer (bounded by the ring buffer afterwards); the
+  // registry is shared across cycles so counters accumulate.
+  obs::Tracer tracer;
+  obs::Telemetry handle{&metrics_, &tracer, nullptr, trace_id};
+  obs::Telemetry* telemetry = options_.telemetry ? &handle : nullptr;
+
+  // Remember the mtime the cycle consumed, so an edit racing the load
+  // schedules a re-run instead of being swallowed.
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(options_.records_path, ec);
+  if (!ec) last_mtime_ = mtime;
+
+  auto fail_cycle = [&](const std::string& reason) {
+    cycles_failed_.fetch_add(1);
+    obs::add_counter(telemetry, "iqb_daemon_cycles_total",
+                     "Watch-daemon scoring cycles by result",
+                     {{"result", "error"}});
+    IQB_LOG(kError) << "cycle " << cycle << " failed: " << reason;
+    err << "cycle " << cycle << " failed: " << reason << "\n";
+    return false;
+  };
+
+  auto loaded = load_store(options_.records_path, options_.lenient, err,
+                           telemetry);
+  if (!loaded.ok()) return fail_cycle(loaded.error().to_string());
+  const robust::IngestHealth health = loaded->health;
+  datasets::RecordStore store =
+      options_.by_isp ? datasets::rekey_by_region_isp(loaded->store)
+                      : std::move(loaded).value().store;
+
+  core::Pipeline pipeline(*config_);
+  auto output = pipeline.run(store, health, telemetry);
+  for (const auto& skipped : output.skipped) {
+    IQB_LOG(kWarn) << "skipped region " << skipped.to_string();
+  }
+  if (output.results.empty()) return fail_cycle("no region could be scored");
+
+  auto snapshot = std::make_shared<obs::ScoreSnapshot>();
+  snapshot->cycle = cycle;
+  snapshot->trace_id = trace_id;
+  snapshot->scores_json = report::to_json(output.results).dump(2) + "\n";
+  for (const auto& result : output.results) {
+    if (result.degradation().tier == robust::ConfidenceTier::kC) {
+      snapshot->tier_c = true;
+      snapshot->tier_c_regions.push_back(result.region);
+    }
+  }
+  const bool tier_c = snapshot->tier_c;
+  server_.publish(std::move(snapshot));
+
+  if (telemetry) {
+    spans_.ingest(tracer, trace_id);
+    const double elapsed_s =
+        static_cast<double>(obs::steady_clock().now_ns() - start_ns) * 1e-9;
+    metrics_
+        .histogram("iqb_daemon_cycle_duration_seconds",
+                   "Wall time of one watch-daemon scoring cycle",
+                   obs::latency_buckets_s())
+        .observe(elapsed_s);
+    obs::add_counter(telemetry, "iqb_daemon_cycles_total",
+                     "Watch-daemon scoring cycles by result",
+                     {{"result", "ok"}});
+    obs::set_gauge(telemetry, "iqb_daemon_ready",
+                   "1 once the first cycle has completed", {}, 1.0);
+    obs::set_gauge(telemetry, "iqb_daemon_tier_c",
+                   "1 while the latest scores carry confidence tier C", {},
+                   tier_c ? 1.0 : 0.0);
+  }
+  IQB_LOG(kInfo) << "cycle " << cycle << " scored "
+                 << output.results.size() << " regions";
+  return true;
+}
+
+void WatchDaemon::loop(std::ostream& err) {
+  using std::chrono::milliseconds;
+  using std::chrono::steady_clock;
+  auto last_run = steady_clock::now();
+  bool ran_once = false;
+  for (;;) {
+    const bool interval_due =
+        !ran_once ||
+        steady_clock::now() - last_run >= milliseconds(options_.interval_ms);
+    const bool file_due = options_.watch_files && records_changed();
+    if (interval_due || file_due) {
+      run_cycle(err);
+      last_run = steady_clock::now();
+      ran_once = true;
+      if (options_.max_cycles != 0 &&
+          cycles_total_.load() >= options_.max_cycles) {
+        finished_.store(true);
+        return;
+      }
+    }
+    std::unique_lock<std::mutex> lock(loop_mutex_);
+    if (loop_cv_.wait_for(lock, milliseconds(options_.poll_ms),
+                          [this] { return stop_requested_; })) {
+      return;
+    }
+  }
+}
+
+}  // namespace iqb::cli

@@ -1,0 +1,128 @@
+// The iqbd watch daemon: a long-lived, observable scoring loop.
+//
+// iqbctl score is one-shot; iqbd turns the same pipeline into a
+// service. A daemon thread re-runs ingest -> aggregate -> score on a
+// fixed interval — or immediately when the records file's mtime
+// changes — and publishes each completed cycle's ScoreSnapshot to an
+// embedded TelemetryServer with a single pointer swap, so HTTP
+// scrapes (/metrics, /scores, /readyz, /tracez) never block scoring
+// and never observe a half-built result.
+//
+// Every cycle gets a trace id ("<prefix>-<n>"): it is installed as
+// the thread's log trace id for the whole cycle (every log record the
+// cycle emits carries it, in text and JSON-lines formats), stamped on
+// the cycle's root span, and tagged onto the spans folded into the
+// /tracez ring buffer.
+//
+// Telemetry is optional (DaemonOptions::telemetry = false): the loop
+// then runs the pipeline with a null Telemetry and produces
+// bit-identical scores, which tests assert.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqb/core/config.hpp"
+#include "iqb/obs/metrics.hpp"
+#include "iqb/obs/span_buffer.hpp"
+#include "iqb/obs/telemetry_server.hpp"
+#include "iqb/util/result.hpp"
+
+namespace iqb::cli {
+
+struct DaemonOptions {
+  std::string records_path;
+  std::optional<std::string> config_path;
+  bool lenient = false;
+  bool by_isp = false;
+
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 9090;  ///< 0: ephemeral (see WatchDaemon::port()).
+
+  std::uint64_t interval_ms = 5000;  ///< Fixed re-run cadence.
+  std::uint64_t poll_ms = 200;       ///< mtime poll / stop-check step.
+  bool watch_files = true;           ///< Re-run early on mtime change.
+  std::uint64_t max_cycles = 0;      ///< 0: run until stop().
+
+  bool telemetry = true;  ///< false: null-Telemetry pipeline runs.
+  std::string trace_prefix = "iqbd";
+  std::size_t span_buffer_capacity = 512;
+};
+
+/// Parse iqbd's argv[1..] tokens (--records F [--config F] [--port N]
+/// [--bind A] [--interval-ms N] [--poll-ms N] [--watch true|false]
+/// [--lenient true] [--by-isp true] [--max-cycles N]
+/// [--telemetry true|false] [--trace-prefix S]).
+util::Result<DaemonOptions> parse_daemon_args(
+    const std::vector<std::string>& tokens);
+
+/// One-line usage text for the iqbd binary.
+const char* daemon_usage() noexcept;
+
+class WatchDaemon {
+ public:
+  explicit WatchDaemon(DaemonOptions options);
+  ~WatchDaemon();  ///< Calls stop().
+  WatchDaemon(const WatchDaemon&) = delete;
+  WatchDaemon& operator=(const WatchDaemon&) = delete;
+
+  /// Load the config, start the telemetry server, launch the watch
+  /// loop. Warnings and per-cycle diagnostics go to `err`, which must
+  /// outlive the daemon (cycles run on a background thread).
+  util::Result<void> start(std::ostream& err);
+
+  /// Stop the loop and the server; joins both. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  /// True once the loop exited on its own (max_cycles reached).
+  bool finished() const noexcept { return finished_.load(); }
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+  obs::TelemetryServer& server() noexcept { return server_; }
+  const obs::TelemetryServer& server() const noexcept { return server_; }
+
+  std::uint64_t cycles_total() const noexcept { return cycles_total_.load(); }
+  std::uint64_t cycles_failed() const noexcept {
+    return cycles_failed_.load();
+  }
+
+  /// Run one scoring cycle synchronously (the loop calls this; tests
+  /// may too, before start()). Returns true if the cycle published a
+  /// snapshot.
+  bool run_cycle(std::ostream& err);
+
+ private:
+  util::Result<void> ensure_config();
+  void loop(std::ostream& err);
+  bool records_changed();
+
+  DaemonOptions options_;
+  std::optional<core::IqbConfig> config_;
+
+  obs::MetricsRegistry metrics_;
+  obs::SpanRingBuffer spans_;
+  obs::TelemetryServer server_;
+
+  std::atomic<std::uint64_t> cycles_total_{0};
+  std::atomic<std::uint64_t> cycles_failed_{0};
+  std::optional<std::filesystem::file_time_type> last_mtime_;
+
+  bool running_ = false;
+  std::atomic<bool> finished_{false};
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool stop_requested_ = false;  ///< Guarded by loop_mutex_.
+  std::thread loop_thread_;
+};
+
+}  // namespace iqb::cli

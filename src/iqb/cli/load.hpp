@@ -1,0 +1,36 @@
+// Shared record-loading path for iqbctl commands and the iqbd daemon.
+//
+// One function, two behaviors: strict loads fail on the first
+// malformed row (the historical read_records_csv semantics), lenient
+// loads quarantine bad rows and surface them as IngestHealth so the
+// scorer can account for them. With telemetry attached, even strict
+// loads run through the instrumented fault-tolerant loader (same
+// parser, same policy) so rows-read/rejected metrics exist.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "iqb/datasets/store.hpp"
+#include "iqb/robust/degradation.hpp"
+#include "iqb/util/result.hpp"
+
+namespace iqb::obs {
+struct Telemetry;
+}
+
+namespace iqb::cli {
+
+/// Records plus the ingest-side health that scoring should know about.
+struct LoadedStore {
+  datasets::RecordStore store;
+  robust::IngestHealth health;
+};
+
+/// Load `path` into a RecordStore. Warnings (quarantined rows, skipped
+/// records) go to `err`; an empty store is an error, not a warning.
+util::Result<LoadedStore> load_store(const std::string& path, bool lenient,
+                                     std::ostream& err,
+                                     obs::Telemetry* telemetry = nullptr);
+
+}  // namespace iqb::cli

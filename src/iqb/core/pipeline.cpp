@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "iqb/obs/telemetry.hpp"
+#include "iqb/util/log.hpp"
 
 namespace iqb::core {
 
@@ -27,8 +28,17 @@ Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store,
 Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store,
                                   const robust::IngestHealth& health,
                                   obs::Telemetry* telemetry) const {
+  // Stamp the cycle's trace id onto every log record and the root
+  // span for the duration of the run (keeps the caller's trace id,
+  // if any, when telemetry carries none).
+  util::ScopedLogTrace log_trace(telemetry && !telemetry->trace_id.empty()
+                                     ? telemetry->trace_id
+                                     : util::log_trace_id());
   obs::ScopedSpan run_span(telemetry ? telemetry->tracer : nullptr,
                            "pipeline.run");
+  if (telemetry && !telemetry->trace_id.empty()) {
+    run_span.set_attribute("trace_id", telemetry->trace_id);
+  }
   RunOutput output;
   {
     obs::StageTimer stage(telemetry, "aggregate");

@@ -1,0 +1,252 @@
+#include "iqb/obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "iqb/util/log.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+void set_io_timeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Write the whole buffer; MSG_NOSIGNAL so a peer that hung up mid-
+/// response yields EPIPE instead of killing the process.
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string render_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += http_status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void send_response(int fd, const HttpResponse& response) {
+  send_all(fd, render_response(response));
+}
+
+/// Read until the end of the header block (CRLFCRLF). Telemetry
+/// requests carry no body, so the headers are the whole request.
+bool read_request_head(int fd, std::string& head) {
+  char buffer[2048];
+  while (head.size() < kMaxRequestBytes) {
+    if (head.find("\r\n\r\n") != std::string::npos) return true;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) return false;  // timeout, reset, or EOF mid-request
+    head.append(buffer, static_cast<std::size_t>(n));
+  }
+  return head.find("\r\n\r\n") != std::string::npos;
+}
+
+/// Parse "GET /path?query HTTP/1.1" into method + query-stripped path.
+bool parse_request_line(const std::string& head, HttpRequest& request) {
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string line = head.substr(0, line_end);
+  const std::size_t first_space = line.find(' ');
+  if (first_space == std::string::npos) return false;
+  const std::size_t second_space = line.find(' ', first_space + 1);
+  if (second_space == std::string::npos) return false;
+  request.method = line.substr(0, first_space);
+  std::string target =
+      line.substr(first_space + 1, second_space - first_space - 1);
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+  if (target.empty() || target[0] != '/') return false;
+  request.path = std::move(target);
+  return util::starts_with(line.substr(second_space + 1), "HTTP/1.");
+}
+
+}  // namespace
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(Options options, HttpHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+  if (options_.max_pending == 0) options_.max_pending = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+util::Result<void> HttpServer::start() {
+  if (running_) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "HttpServer already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            std::string("socket: ") + std::strerror(errno));
+  }
+  int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &address.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::make_error(util::ErrorCode::kIoError,
+                            "bind/listen " + options_.bind_address + ":" +
+                                std::to_string(options_.port) + ": " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  stopping_ = false;
+  running_ = true;
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return {};
+}
+
+void HttpServer::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  // Unblock accept(): shutdown makes the blocking call return on
+  // Linux; close alone is not guaranteed to.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Close anything still queued, unanswered: the peer sees a reset,
+  // which is honest — nobody processed the request.
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+  running_ = false;
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+      if (fd >= 0 && pending_.size() < options_.max_pending) {
+        pending_.push_back(fd);
+        queue_cv_.notify_one();
+        continue;
+      }
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      IQB_LOG(kWarn) << "telemetry server accept failed: "
+                     << std::strerror(errno);
+      return;
+    }
+    // Queue full: shed load loudly rather than buffering unboundedly.
+    set_io_timeout(fd, options_.io_timeout_ms);
+    send_response(fd, {503, "application/json",
+                       "{\"error\":\"server overloaded\"}\n"});
+    ::close(fd);
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    handle_connection(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  set_io_timeout(fd, options_.io_timeout_ms);
+  std::string head;
+  HttpRequest request;
+  if (!read_request_head(fd, head) || !parse_request_line(head, request)) {
+    send_response(fd, {400, "application/json",
+                       "{\"error\":\"malformed request\"}\n"});
+    ::close(fd);
+    return;
+  }
+  if (request.method != "GET" && request.method != "HEAD") {
+    send_response(fd, {405, "application/json",
+                       "{\"error\":\"only GET is supported\"}\n"});
+    ::close(fd);
+    return;
+  }
+  HttpResponse response = handler_(request);
+  if (request.method == "HEAD") response.body.clear();
+  send_response(fd, response);
+  ::close(fd);
+}
+
+}  // namespace iqb::obs

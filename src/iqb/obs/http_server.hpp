@@ -1,0 +1,101 @@
+// Minimal dependency-free HTTP/1.1 server for telemetry serving.
+//
+// Deliberately small: one blocking accept loop on a dedicated thread,
+// a bounded queue of accepted connections drained by a fixed pool of
+// worker threads, `Connection: close` on every response. That is all
+// a scrape endpoint needs — Prometheus opens a fresh connection per
+// scrape — and it keeps the server auditable: no keep-alive state
+// machine, no chunked encoding, no TLS.
+//
+// Backpressure is explicit: when the pending-connection queue is
+// full the acceptor answers 503 inline and closes, so a scrape storm
+// degrades loudly instead of queueing unboundedly. stop() is
+// idempotent and joins every thread; it is safe to destroy the
+// server (and whatever state the handler captured) afterwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "iqb/util/result.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iqb::obs {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", uppercased as received.
+  std::string path;    ///< Path only; the query string is stripped.
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses the telemetry
+/// endpoints use ("OK", "Not Found", ...).
+const char* http_status_reason(int status) noexcept;
+
+/// Called on a worker thread for every well-formed request. Must be
+/// thread-safe; exceptions escape to std::terminate (telemetry
+/// handlers are expected to be non-throwing renderers).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;         ///< 0: ephemeral; see port().
+    std::size_t worker_threads = 4; ///< Clamped to >= 1.
+    std::size_t max_pending = 64;   ///< Queue bound before inline 503.
+    int io_timeout_ms = 2000;       ///< Per-connection read/write timeout.
+  };
+
+  HttpServer(Options options, HttpHandler handler);
+  ~HttpServer();  ///< Calls stop().
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind + listen + start the accept/worker threads. Fails with
+  /// kIoError if the address cannot be bound. Calling start() on a
+  /// running server is an error.
+  util::Result<void> start();
+
+  /// Stop accepting, drain the queue (pending connections are closed
+  /// unanswered), join all threads. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+
+  /// Actual bound port (resolves port 0 after start()).
+  std::uint16_t port() const noexcept { return bound_port_; }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+
+  Options options_;
+  HttpHandler handler_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  bool running_ = false;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
+  bool stopping_ = false;    ///< Guarded by queue_mutex_.
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace iqb::obs

@@ -29,6 +29,12 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return counts;
 }
 
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> counts = bucket_counts();
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  return counts;
+}
+
 const std::vector<double>& latency_buckets_s() {
   static const std::vector<double> buckets = {
       1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0};

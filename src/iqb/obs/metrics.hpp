@@ -85,9 +85,21 @@ class Histogram {
   const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size = bounds + 1 (overflow).
   std::vector<std::uint64_t> bucket_counts() const;
+  /// Cumulative counts as Prometheus exports them; the last element is
+  /// the +Inf bucket. Monotone non-decreasing by construction, even
+  /// when read concurrently with observe() calls.
+  std::vector<std::uint64_t> cumulative_counts() const;
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
+  }
+  /// Invariant check for a quiescent histogram: the +Inf cumulative
+  /// count equals count(). Under concurrent observes the two reads may
+  /// legitimately straddle an update, so only call this when no
+  /// observe() is in flight.
+  bool consistent() const {
+    const auto cumulative = cumulative_counts();
+    return cumulative.back() == count();
   }
 
  private:

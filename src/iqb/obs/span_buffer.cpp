@@ -1,0 +1,78 @@
+#include "iqb/obs/span_buffer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace iqb::obs {
+
+std::size_t SpanRingBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void SpanRingBuffer::push(CompletedSpan span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() == capacity_) spans_.pop_front();
+  spans_.push_back(std::move(span));
+}
+
+std::size_t SpanRingBuffer::ingest(const Tracer& tracer,
+                                   const std::string& trace_id) {
+  const auto records = tracer.spans();
+  if (records.empty()) return 0;
+  std::uint64_t base_ns = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& record : records) {
+    base_ns = std::min(base_ns, record.start_ns);
+  }
+  // Spans are stored in begin order, so a parent always precedes its
+  // children and depths resolve in one forward pass.
+  std::vector<std::size_t> depth(records.size(), 0);
+  std::size_t ingested = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Tracer::SpanRecord& record = records[i];
+    if (record.parent != Tracer::kNoSpan) depth[i] = depth[record.parent] + 1;
+    if (!record.ended) continue;
+    CompletedSpan span;
+    span.trace_id = trace_id;
+    span.name = record.name;
+    span.depth = depth[i];
+    span.start_ns = record.start_ns - base_ns;
+    span.duration_ns = record.duration_ns();
+    span.attributes = record.attributes;
+    push(std::move(span));
+    ++ingested;
+  }
+  return ingested;
+}
+
+std::vector<CompletedSpan> SpanRingBuffer::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+util::JsonValue tracez_to_json(const SpanRingBuffer& buffer) {
+  const auto spans = buffer.recent();
+  util::JsonArray entries;
+  for (const auto& span : spans) {
+    util::JsonObject entry;
+    entry.emplace("trace", span.trace_id);
+    entry.emplace("name", span.name);
+    entry.emplace("depth", static_cast<std::int64_t>(span.depth));
+    entry.emplace("start_ns", static_cast<std::int64_t>(span.start_ns));
+    entry.emplace("duration_ns", static_cast<std::int64_t>(span.duration_ns));
+    if (!span.attributes.empty()) {
+      util::JsonObject attributes;
+      for (const auto& [key, value] : span.attributes) {
+        attributes.insert_or_assign(key, value);
+      }
+      entry.emplace("attributes", std::move(attributes));
+    }
+    entries.push_back(std::move(entry));
+  }
+  util::JsonObject out;
+  out.emplace("count", static_cast<std::int64_t>(entries.size()));
+  out.emplace("spans", std::move(entries));
+  return out;
+}
+
+}  // namespace iqb::obs

@@ -1,0 +1,71 @@
+// Bounded buffer of recently completed spans, for live inspection.
+//
+// A long-lived daemon cannot keep a Tracer forever — the span vector
+// grows without bound. Instead each pipeline cycle runs with a fresh
+// Tracer and, when the cycle completes, its *ended* spans are folded
+// into a SpanRingBuffer tagged with the cycle's trace id. The buffer
+// keeps the newest `capacity` spans and drops the oldest, which is
+// exactly what a /tracez page wants: "what did the last few cycles
+// do", not "everything since boot".
+//
+// Thread-safe: the daemon thread pushes while server threads snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "iqb/obs/trace.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::obs {
+
+/// One finished span, denormalized for display: the parent link is
+/// replaced by the root-relative depth so /tracez can indent without
+/// rebuilding the tree.
+struct CompletedSpan {
+  std::string trace_id;
+  std::string name;
+  std::size_t depth = 0;       ///< 0 for roots.
+  std::uint64_t start_ns = 0;  ///< Rebased to the cycle's first span.
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+class SpanRingBuffer {
+ public:
+  explicit SpanRingBuffer(std::size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  SpanRingBuffer(const SpanRingBuffer&) = delete;
+  SpanRingBuffer& operator=(const SpanRingBuffer&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const;
+
+  /// Append one span, evicting the oldest if full.
+  void push(CompletedSpan span);
+
+  /// Fold every *ended* span of `tracer` into the buffer (begin order,
+  /// timestamps rebased to the tracer's earliest start), tagged with
+  /// `trace_id`. Returns how many spans were ingested.
+  std::size_t ingest(const Tracer& tracer, const std::string& trace_id);
+
+  /// Oldest-to-newest copy of the buffered spans.
+  std::vector<CompletedSpan> recent() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<CompletedSpan> spans_;
+};
+
+/// JSON document {"spans":[...],"count":N} for the /tracez endpoint:
+/// oldest to newest, each span carrying trace id, name, depth,
+/// rebased start and duration, and attributes.
+util::JsonValue tracez_to_json(const SpanRingBuffer& buffer);
+
+}  // namespace iqb::obs

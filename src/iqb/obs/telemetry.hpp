@@ -31,6 +31,11 @@ struct Telemetry {
   /// test that injects a ManualClock into the tracer gets
   /// deterministic stage-duration histograms for free.
   Clock* clock = nullptr;
+  /// Correlation id for this run/cycle (empty: none). Pipeline::run
+  /// installs it as the emitting thread's log trace id for the run's
+  /// duration and stamps it onto the root span, so log records and
+  /// exported spans both name the cycle that produced them.
+  std::string trace_id;
 
   Clock& time_source() const noexcept {
     if (clock) return *clock;

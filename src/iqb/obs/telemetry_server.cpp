@@ -1,0 +1,140 @@
+#include "iqb/obs/telemetry_server.hpp"
+
+#include "iqb/obs/clock.hpp"
+#include "iqb/obs/export.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::obs {
+
+namespace {
+
+constexpr const char* kIndexBody =
+    "iqb telemetry endpoints:\n"
+    "  /metrics       Prometheus text exposition\n"
+    "  /metrics.json  metrics as JSON\n"
+    "  /healthz       liveness (always 200 while serving)\n"
+    "  /readyz        readiness (503 before first cycle or at tier C)\n"
+    "  /tracez        recent completed spans\n"
+    "  /scores        latest per-region IQB scores\n";
+
+/// Bounded-cardinality path label: known endpoints verbatim,
+/// everything else pooled, so a URL scanner cannot grow the registry.
+const std::string& path_label(const std::string& path) {
+  static const std::string known[] = {"/",       "/metrics", "/metrics.json",
+                                      "/healthz", "/readyz",  "/tracez",
+                                      "/scores"};
+  static const std::string other = "other";
+  for (const std::string& candidate : known) {
+    if (path == candidate) return candidate;
+  }
+  return other;
+}
+
+std::string json_error(const std::string& status, const std::string& reason) {
+  util::JsonObject out;
+  out.emplace("status", status);
+  out.emplace("reason", reason);
+  return util::JsonValue(std::move(out)).dump() + "\n";
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(Options options, MetricsRegistry* metrics,
+                                 SpanRingBuffer* spans)
+    : options_(std::move(options)),
+      metrics_(metrics),
+      spans_(spans),
+      http_(options_.http,
+            [this](const HttpRequest& request) { return handle(request); }) {}
+
+void TelemetryServer::publish(std::shared_ptr<const ScoreSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
+}
+
+std::shared_ptr<const ScoreSnapshot> TelemetryServer::latest() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+bool TelemetryServer::ready() const { return latest() != nullptr; }
+
+HttpResponse TelemetryServer::handle(const HttpRequest& request) {
+  const std::uint64_t start_ns = steady_clock().now_ns();
+  HttpResponse response = route(request.path);
+  if (metrics_) {
+    const double elapsed_s =
+        static_cast<double>(steady_clock().now_ns() - start_ns) * 1e-9;
+    const LabelSet labels = {{"path", path_label(request.path)},
+                             {"status", std::to_string(response.status)}};
+    metrics_
+        ->counter("iqb_server_requests_total",
+                  "Telemetry HTTP requests served", labels)
+        .inc();
+    metrics_
+        ->histogram("iqb_server_request_duration_seconds",
+                    "Telemetry HTTP request handling latency",
+                    latency_buckets_s(),
+                    {{"path", path_label(request.path)}})
+        .observe(elapsed_s);
+  }
+  return response;
+}
+
+HttpResponse TelemetryServer::route(const std::string& path) const {
+  if (path == "/") {
+    return {200, "text/plain; charset=utf-8", kIndexBody};
+  }
+  if (path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            metrics_ ? to_prometheus(*metrics_) : std::string()};
+  }
+  if (path == "/metrics.json") {
+    std::string body = metrics_ ? metrics_to_json(*metrics_).dump(2) + "\n"
+                                : std::string("{\"metrics\":[]}\n");
+    return {200, "application/json", std::move(body)};
+  }
+  if (path == "/healthz") {
+    return {200, "application/json", "{\"status\":\"ok\"}\n"};
+  }
+  if (path == "/readyz") {
+    const auto snapshot = latest();
+    if (!snapshot) {
+      return {503, "application/json",
+              json_error("unready", "no completed pipeline cycle yet")};
+    }
+    if (snapshot->tier_c) {
+      std::string regions;
+      for (const std::string& region : snapshot->tier_c_regions) {
+        if (!regions.empty()) regions += ", ";
+        regions += region;
+      }
+      return {503, "application/json",
+              json_error("degraded",
+                         "confidence tier C (single-source or worse): " +
+                             regions)};
+    }
+    util::JsonObject out;
+    out.emplace("status", "ready");
+    out.emplace("cycle", static_cast<std::int64_t>(snapshot->cycle));
+    out.emplace("trace", snapshot->trace_id);
+    return {200, "application/json",
+            util::JsonValue(std::move(out)).dump() + "\n"};
+  }
+  if (path == "/tracez") {
+    std::string body = spans_ ? tracez_to_json(*spans_).dump(2) + "\n"
+                              : std::string("{\"count\":0,\"spans\":[]}\n");
+    return {200, "application/json", std::move(body)};
+  }
+  if (path == "/scores") {
+    const auto snapshot = latest();
+    if (!snapshot) {
+      return {503, "application/json",
+              json_error("unready", "no scores yet")};
+    }
+    return {200, "application/json", snapshot->scores_json};
+  }
+  return {404, "application/json", json_error("error", "no such endpoint")};
+}
+
+}  // namespace iqb::obs

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "iqb/obs/clock.hpp"
+#include "iqb/util/log.hpp"
 
 namespace iqb::obs {
 
@@ -75,11 +76,18 @@ class Tracer {
 
 /// RAII span. A null tracer makes every operation a no-op, which is
 /// how instrumented code stays zero-cost when telemetry is off.
+///
+/// While open, the span installs its id as the thread's log-context
+/// span (util::set_log_span), so every IQB_LOG line emitted inside an
+/// instrumented stage carries "span=N" for trace correlation; end()
+/// restores the enclosing span's id.
 class ScopedSpan {
  public:
   ScopedSpan(Tracer* tracer, std::string name)
       : tracer_(tracer),
-        id_(tracer ? tracer->begin_span(std::move(name)) : Tracer::kNoSpan) {}
+        id_(tracer ? tracer->begin_span(std::move(name)) : Tracer::kNoSpan),
+        previous_log_span_(id_ != Tracer::kNoSpan ? util::set_log_span(id_)
+                                                  : util::log_span()) {}
   ~ScopedSpan() { end(); }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -88,6 +96,7 @@ class ScopedSpan {
   void end() {
     if (tracer_ && id_ != Tracer::kNoSpan) {
       tracer_->end_span(id_);
+      util::set_log_span(previous_log_span_);
       id_ = Tracer::kNoSpan;
     }
   }
@@ -101,6 +110,7 @@ class ScopedSpan {
  private:
   Tracer* tracer_;
   std::size_t id_;
+  std::size_t previous_log_span_;
 };
 
 }  // namespace iqb::obs

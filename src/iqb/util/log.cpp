@@ -32,6 +32,11 @@ void default_sink(LogLevel, std::string_view line) {
   std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()), line.data());
 }
 
+LogContext& thread_context() {
+  thread_local LogContext context;
+  return context;
+}
+
 }  // namespace
 
 std::string_view log_level_name(LogLevel level) noexcept {
@@ -53,18 +58,68 @@ void set_log_format(LogFormat format) noexcept { g_format.store(format); }
 
 LogFormat log_format() noexcept { return g_format.load(); }
 
+void set_log_trace_id(std::string trace_id) {
+  thread_context().trace_id = std::move(trace_id);
+}
+
+const std::string& log_trace_id() noexcept { return thread_context().trace_id; }
+
+std::size_t set_log_span(std::size_t span_id) noexcept {
+  LogContext& context = thread_context();
+  const std::size_t previous = context.span_id;
+  context.span_id = span_id;
+  return previous;
+}
+
+std::size_t log_span() noexcept { return thread_context().span_id; }
+
+ScopedLogTrace::ScopedLogTrace(std::string trace_id)
+    : previous_(std::move(thread_context().trace_id)) {
+  thread_context().trace_id = std::move(trace_id);
+}
+
+ScopedLogTrace::~ScopedLogTrace() {
+  thread_context().trace_id = std::move(previous_);
+}
+
 std::string format_log_line(LogFormat format, LogLevel level,
                             std::string_view message) {
+  return format_log_line(format, level, message, LogContext{});
+}
+
+std::string format_log_line(LogFormat format, LogLevel level,
+                            std::string_view message,
+                            const LogContext& context) {
+  const bool has_trace = !context.trace_id.empty();
+  const bool has_span = context.span_id != kNoLogSpan;
   if (format == LogFormat::kJson) {
     std::string line = "{\"level\":\"";
     line += log_level_name(level);
-    line += "\",\"message\":\"";
+    line += '"';
+    if (has_trace) {
+      line += ",\"trace\":\"";
+      line += json_escape(context.trace_id);
+      line += '"';
+    }
+    if (has_span) {
+      line += ",\"span\":";
+      line += std::to_string(context.span_id);
+    }
+    line += ",\"message\":\"";
     line += json_escape(message);
     line += "\"}";
     return line;
   }
   std::string line = "[iqb ";
   line += level_tag(level);
+  if (has_trace) {
+    line += " trace=";
+    line += context.trace_id;
+  }
+  if (has_span) {
+    line += " span=";
+    line += std::to_string(context.span_id);
+  }
   line += "] ";
   line += message;
   return line;
@@ -77,7 +132,8 @@ void set_log_sink(LogSink sink) {
 
 void log_message(LogLevel level, std::string_view message) {
   if (level < g_level.load() || level == LogLevel::kOff) return;
-  const std::string line = format_log_line(g_format.load(), level, message);
+  const std::string line =
+      format_log_line(g_format.load(), level, message, thread_context());
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, line);

@@ -8,6 +8,7 @@
 // never interleave mid-line.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -27,15 +28,61 @@ LogLevel log_level() noexcept;
 /// How format_log_line renders a message:
 ///  * kText: "[iqb LEVEL] message" (the historical stderr format).
 ///  * kJson: one JSON object per line, {"level":"...","message":"..."}.
+/// When the emitting thread carries a correlation context (see
+/// LogContext below), both formats append it: text as
+/// " trace=ID span=N" inside the bracket, JSON as "trace"/"span"
+/// members. Without a context the output is byte-identical to the
+/// historical formats.
 enum class LogFormat { kText = 0, kJson = 1 };
 
 void set_log_format(LogFormat format) noexcept;
 LogFormat log_format() noexcept;
 
+/// Per-thread correlation context stamped onto every log record the
+/// thread emits. The trace id names a pipeline cycle (or request);
+/// the span id is the innermost open obs span, maintained by
+/// obs::ScopedSpan. kNoLogSpan / empty trace_id mean "absent" and
+/// leave the formats untouched.
+inline constexpr std::size_t kNoLogSpan = static_cast<std::size_t>(-1);
+
+struct LogContext {
+  std::string trace_id;                ///< Empty: no trace correlation.
+  std::size_t span_id = kNoLogSpan;    ///< kNoLogSpan: no span.
+};
+
+/// Thread-local context accessors. Setting an empty trace id clears
+/// trace correlation; set_log_span returns the previous span id so
+/// RAII guards can restore nesting.
+void set_log_trace_id(std::string trace_id);
+const std::string& log_trace_id() noexcept;
+std::size_t set_log_span(std::size_t span_id) noexcept;
+std::size_t log_span() noexcept;
+
+/// RAII trace-id scope: installs `trace_id` on this thread for the
+/// guard's lifetime and restores whatever was there before. This is
+/// how a daemon cycle stamps its cycle id onto every record logged
+/// while it runs.
+class ScopedLogTrace {
+ public:
+  explicit ScopedLogTrace(std::string trace_id);
+  ~ScopedLogTrace();
+  ScopedLogTrace(const ScopedLogTrace&) = delete;
+  ScopedLogTrace& operator=(const ScopedLogTrace&) = delete;
+
+ private:
+  std::string previous_;
+};
+
 /// Pure formatter behind log_message; the line carries no trailing
 /// newline. Exposed for tests and for sinks that re-format.
 std::string format_log_line(LogFormat format, LogLevel level,
                             std::string_view message);
+
+/// As above with an explicit correlation context (the three-argument
+/// overload formats with an empty one).
+std::string format_log_line(LogFormat format, LogLevel level,
+                            std::string_view message,
+                            const LogContext& context);
 
 /// A sink receives each emitted line (already formatted, no trailing
 /// newline). Calls are serialized by the logging mutex; sinks must not

@@ -1,0 +1,311 @@
+// iqbd watch-daemon tests: cycle semantics, readiness, trace-id log
+// correlation, mtime-triggered re-runs, and the telemetry-off path.
+#include "iqb/cli/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqb/cli/load.hpp"
+#include "iqb/core/pipeline.hpp"
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/synthetic.hpp"
+#include "iqb/report/render.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/log.hpp"
+#include "../testsupport/http_get.hpp"
+
+namespace iqb::cli {
+namespace {
+
+using testsupport::http_get;
+
+/// Poll until `predicate` holds or ~5 s elapse.
+template <typename Predicate>
+bool eventually(Predicate predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    records_path_ =
+        (std::filesystem::temp_directory_path() /
+         ("iqb_daemon_test_records_" + std::to_string(getpid()) + ".csv"))
+            .string();
+    util::Rng rng(99);
+    datasets::RecordStore store;
+    datasets::SyntheticConfig config;
+    config.records_per_dataset = 40;
+    config.base_time = util::Timestamp::parse("2025-02-01").value();
+    config.spacing_s = 3600;
+    for (const auto& profile : datasets::example_region_profiles()) {
+      store.add_all(datasets::generate_region_records(
+          profile, datasets::default_dataset_panel(), config, rng));
+    }
+    ASSERT_TRUE(
+        datasets::write_records_csv(records_path_, store.records()).ok());
+  }
+
+  static void TearDownTestSuite() { std::remove(records_path_.c_str()); }
+
+  static DaemonOptions base_options() {
+    DaemonOptions options;
+    options.records_path = records_path_;
+    options.port = 0;  // ephemeral
+    return options;
+  }
+
+  static std::string records_path_;
+};
+
+std::string DaemonTest::records_path_;
+
+TEST_F(DaemonTest, ParseArgsRoundTrip) {
+  auto options = parse_daemon_args(
+      {"--records", "r.csv", "--port", "1234", "--interval-ms", "250",
+       "--watch", "false", "--lenient", "true", "--max-cycles", "7",
+       "--telemetry", "false", "--trace-prefix", "x"});
+  ASSERT_TRUE(options.ok()) << options.error().to_string();
+  EXPECT_EQ(options->records_path, "r.csv");
+  EXPECT_EQ(options->port, 1234);
+  EXPECT_EQ(options->interval_ms, 250u);
+  EXPECT_FALSE(options->watch_files);
+  EXPECT_TRUE(options->lenient);
+  EXPECT_EQ(options->max_cycles, 7u);
+  EXPECT_FALSE(options->telemetry);
+  EXPECT_EQ(options->trace_prefix, "x");
+
+  EXPECT_FALSE(parse_daemon_args({}).ok());                    // no --records
+  EXPECT_FALSE(parse_daemon_args({"--port", "99999"}).ok());   // range
+  EXPECT_FALSE(parse_daemon_args({"--records"}).ok());         // no value
+  EXPECT_FALSE(parse_daemon_args({"--bogus", "1"}).ok());      // unknown
+}
+
+TEST_F(DaemonTest, RunCyclePublishesSnapshotWithTraceId) {
+  WatchDaemon daemon(base_options());
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.run_cycle(err));
+  auto snapshot = daemon.server().latest();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->cycle, 1u);
+  EXPECT_EQ(snapshot->trace_id, "iqbd-1");
+  auto parsed = util::parse_json(snapshot->scores_json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(snapshot->tier_c);
+}
+
+TEST_F(DaemonTest, TelemetryDisabledCycleProducesIdenticalScores) {
+  // The satellite requirement: the watch loop with telemetry off must
+  // run and score bit-identically to the instrumented loop — and to a
+  // direct, daemon-free pipeline run.
+  DaemonOptions with_telemetry = base_options();
+  DaemonOptions without_telemetry = base_options();
+  without_telemetry.telemetry = false;
+  WatchDaemon instrumented(with_telemetry);
+  WatchDaemon plain(without_telemetry);
+  std::ostringstream err;
+  ASSERT_TRUE(instrumented.run_cycle(err));
+  ASSERT_TRUE(plain.run_cycle(err));
+  const auto a = instrumented.server().latest();
+  const auto b = plain.server().latest();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->scores_json, b->scores_json);
+
+  // Telemetry off also means the cycle buffered no spans.
+  auto plain_tracez = util::parse_json(
+      plain.server().handle({"GET", "/tracez"}).body);
+  ASSERT_TRUE(plain_tracez.ok());
+  EXPECT_EQ(plain_tracez->get_number("count").value(), 0.0);
+
+  std::ostringstream direct_err;
+  auto loaded = load_store(records_path_, false, direct_err);
+  ASSERT_TRUE(loaded.ok());
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+  auto output = pipeline.run(loaded->store, loaded->health, nullptr);
+  EXPECT_EQ(report::to_json(output.results).dump(2) + "\n", b->scores_json);
+}
+
+TEST_F(DaemonTest, EveryLogRecordInACycleCarriesTheTraceIdTextAndJson) {
+  std::mutex lines_mutex;
+  std::vector<std::string> lines;
+  util::set_log_level(util::LogLevel::kDebug);
+  util::set_log_sink([&](util::LogLevel, std::string_view line) {
+    std::lock_guard<std::mutex> lock(lines_mutex);
+    lines.emplace_back(line);
+  });
+
+  WatchDaemon daemon(base_options());
+  std::ostringstream err;
+
+  util::set_log_format(util::LogFormat::kText);
+  ASSERT_TRUE(daemon.run_cycle(err));  // cycle 1, text format
+  {
+    std::lock_guard<std::mutex> lock(lines_mutex);
+    ASSERT_FALSE(lines.empty());
+    for (const std::string& line : lines) {
+      EXPECT_NE(line.find("trace=iqbd-1"), std::string::npos) << line;
+    }
+    lines.clear();
+  }
+
+  util::set_log_format(util::LogFormat::kJson);
+  ASSERT_TRUE(daemon.run_cycle(err));  // cycle 2, JSON lines
+  {
+    std::lock_guard<std::mutex> lock(lines_mutex);
+    ASSERT_FALSE(lines.empty());
+    for (const std::string& line : lines) {
+      auto parsed = util::parse_json(line);
+      ASSERT_TRUE(parsed.ok()) << line;
+      EXPECT_EQ(parsed->get_string("trace").value(), "iqbd-2") << line;
+    }
+    lines.clear();
+  }
+
+  util::set_log_sink(nullptr);
+  util::set_log_format(util::LogFormat::kText);
+  util::set_log_level(util::LogLevel::kWarn);
+}
+
+TEST_F(DaemonTest, ServesScoresOverHttpAndFinishesAfterMaxCycles) {
+  DaemonOptions options = base_options();
+  options.max_cycles = 2;
+  options.interval_ms = 10;
+  options.poll_ms = 5;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.start(err).ok()) << err.str();
+  ASSERT_TRUE(eventually([&] { return daemon.finished(); })) << err.str();
+
+  const auto ready = http_get(daemon.port(), "/readyz");
+  EXPECT_EQ(ready.status, 200) << ready.body;
+  const auto scores = http_get(daemon.port(), "/scores");
+  EXPECT_EQ(scores.status, 200);
+  auto parsed = util::parse_json(scores.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->get_array("regions").value().empty());
+  const auto metrics = http_get(daemon.port(), "/metrics");
+  EXPECT_NE(metrics.body.find("iqb_daemon_cycles_total{result=\"ok\"} 2"),
+            std::string::npos)
+      << metrics.body.substr(0, 400);
+  EXPECT_NE(
+      metrics.body.find("iqb_pipeline_stage_duration_seconds_count"
+                        "{stage=\"score\"} 2"),
+      std::string::npos);
+  const auto tracez = http_get(daemon.port(), "/tracez");
+  EXPECT_NE(tracez.body.find("iqbd-2"), std::string::npos);
+  EXPECT_EQ(daemon.cycles_total(), 2u);
+  EXPECT_EQ(daemon.cycles_failed(), 0u);
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, FailedCyclesNeverFlipReadiness) {
+  DaemonOptions options = base_options();
+  options.records_path = "/nonexistent/iqb-daemon-test.csv";
+  options.max_cycles = 2;
+  options.interval_ms = 5;
+  options.poll_ms = 5;
+  options.watch_files = false;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.start(err).ok());
+  ASSERT_TRUE(eventually([&] { return daemon.finished(); }));
+  const auto ready = http_get(daemon.port(), "/readyz");
+  EXPECT_EQ(ready.status, 503);
+  EXPECT_NE(ready.body.find("unready"), std::string::npos);
+  EXPECT_EQ(http_get(daemon.port(), "/scores").status, 503);
+  EXPECT_EQ(daemon.cycles_failed(), 2u);
+  daemon.stop();
+  EXPECT_NE(err.str().find("failed"), std::string::npos);
+}
+
+TEST_F(DaemonTest, SingleDatasetFeedDegradesReadyzToTierC503) {
+  // A feed with one surviving dataset scores (renormalized weights)
+  // but carries confidence tier C — /readyz must say 503 "degraded".
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("iqb_daemon_tier_c_" + std::to_string(getpid()) + ".csv"))
+          .string();
+  std::ostringstream err;
+  {
+    auto loaded = load_store(records_path_, false, err);
+    ASSERT_TRUE(loaded.ok());
+    std::vector<datasets::MeasurementRecord> ndt_only;
+    for (const auto& record : loaded->store.records()) {
+      if (record.dataset == "ndt") ndt_only.push_back(record);
+    }
+    ASSERT_FALSE(ndt_only.empty());
+    ASSERT_TRUE(datasets::write_records_csv(path, ndt_only).ok());
+  }
+  DaemonOptions options = base_options();
+  options.records_path = path;
+  WatchDaemon daemon(options);
+  ASSERT_TRUE(daemon.run_cycle(err));
+  auto snapshot = daemon.server().latest();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->tier_c);
+  obs::HttpResponse ready = daemon.server().handle({"GET", "/readyz"});
+  EXPECT_EQ(ready.status, 503);
+  EXPECT_NE(ready.body.find("degraded"), std::string::npos);
+  EXPECT_EQ(daemon.server().handle({"GET", "/scores"}).status, 200);
+  std::remove(path.c_str());
+}
+
+TEST_F(DaemonTest, RecordsFileMtimeChangeTriggersEarlyCycle) {
+  // Copy the fixture records so touching them cannot race other tests.
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("iqb_daemon_watch_" + std::to_string(getpid()) + ".csv"))
+          .string();
+  std::filesystem::copy_file(
+      records_path_, path, std::filesystem::copy_options::overwrite_existing);
+
+  DaemonOptions options = base_options();
+  options.records_path = path;
+  options.interval_ms = 60'000;  // the interval alone would never re-run
+  options.poll_ms = 10;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.start(err).ok());
+  ASSERT_TRUE(eventually([&] { return daemon.cycles_total() >= 1; }));
+
+  // Bump the mtime explicitly — more deterministic than rewriting and
+  // hoping the filesystem clock granularity notices.
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) + std::chrono::seconds(2));
+  EXPECT_TRUE(eventually([&] { return daemon.cycles_total() >= 2; }));
+  daemon.stop();
+  std::remove(path.c_str());
+}
+
+TEST_F(DaemonTest, StopDuringActiveCyclesJoinsCleanly) {
+  DaemonOptions options = base_options();
+  options.interval_ms = 1;  // cycle as fast as possible
+  options.poll_ms = 1;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.start(err).ok());
+  ASSERT_TRUE(eventually([&] { return daemon.cycles_total() >= 2; }));
+  daemon.stop();  // must join mid-flight work without racing
+  EXPECT_FALSE(daemon.running());
+  const std::uint64_t cycles = daemon.cycles_total();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(daemon.cycles_total(), cycles);  // loop really stopped
+}
+
+}  // namespace
+}  // namespace iqb::cli

@@ -129,6 +129,34 @@ TEST(TraceToJson, RebasedDeterministicTree) {
   EXPECT_EQ(score.get("attributes")->get_string("region").value(), "metro");
 }
 
+TEST(ToPrometheus, HostileLabelValuesAreEscapedGoldenStable) {
+  // Label values carrying the three characters the exposition format
+  // reserves — backslash, double quote, newline — must come out as
+  // \\, \", and \n, byte for byte.
+  MetricsRegistry registry;
+  registry
+      .counter("iqb_hostile_total", "Counter with hostile label values",
+               {{"path", "C:\\temp"},
+                {"quote", "say \"hi\""},
+                {"text", "line1\nline2"}})
+      .inc(3);
+  EXPECT_EQ(
+      to_prometheus(registry),
+      "# HELP iqb_hostile_total Counter with hostile label values\n"
+      "# TYPE iqb_hostile_total counter\n"
+      "iqb_hostile_total{path=\"C:\\\\temp\",quote=\"say \\\"hi\\\"\","
+      "text=\"line1\\nline2\"} 3\n");
+  // The JSON exporter must survive the same values and round-trip.
+  auto parsed = util::parse_json(metrics_to_json(registry).dump(2));
+  ASSERT_TRUE(parsed.ok());
+  auto metrics = parsed->get_array("metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto samples = (*metrics)[0].get_array("samples");
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ((*samples)[0].get("labels")->get_string("text").value(),
+            "line1\nline2");
+}
+
 TEST(TraceToJson, IdenticalRunsProduceIdenticalBytes) {
   auto run_once = []() {
     ManualClock clock(123, 7);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -98,6 +99,58 @@ TEST(MetricsRegistry, ConcurrentUpdatesLoseNothing) {
   EXPECT_EQ(counter.value(), kThreads * kPerThread);
   EXPECT_EQ(histogram.count(),
             static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Histogram, CumulativeCountsEndAtInfAndMatchCount) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("iqb_h_seconds", "help", {1.0, 2.0});
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(99.0);  // lands in the implicit +Inf bucket
+  const auto cumulative = histogram.cumulative_counts();
+  ASSERT_EQ(cumulative.size(), 3u);  // two bounds + +Inf
+  EXPECT_EQ(cumulative[0], 1u);
+  EXPECT_EQ(cumulative[1], 2u);
+  EXPECT_EQ(cumulative[2], 3u);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 101.0);
+  EXPECT_TRUE(histogram.consistent());
+}
+
+TEST(Histogram, CumulativeCountsStayMonotoneUnderConcurrentObserves) {
+  // Property check: however a reader's snapshot interleaves with
+  // in-flight observe() calls, cumulative bucket counts must never
+  // decrease left to right (what a Prometheus scrape relies on).
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("iqb_h_seconds", "help", {0.25, 0.5, 0.75});
+  constexpr int kObservers = 4;
+  constexpr int kPerObserver = 20000;
+  std::atomic<bool> done{false};
+  std::thread checker([&histogram, &done] {
+    while (!done.load()) {
+      const auto cumulative = histogram.cumulative_counts();
+      for (std::size_t i = 1; i < cumulative.size(); ++i) {
+        ASSERT_GE(cumulative[i], cumulative[i - 1]);
+      }
+    }
+  });
+  std::vector<std::thread> observers;
+  for (int t = 0; t < kObservers; ++t) {
+    observers.emplace_back([&histogram] {
+      for (int i = 0; i < kPerObserver; ++i) {
+        histogram.observe(static_cast<double>(i % 100) / 100.0);
+      }
+    });
+  }
+  for (auto& observer : observers) observer.join();
+  done.store(true);
+  checker.join();
+  // Quiescent now: the +Inf cumulative count and count() must agree.
+  EXPECT_TRUE(histogram.consistent());
+  EXPECT_EQ(histogram.cumulative_counts().back(),
+            static_cast<std::uint64_t>(kObservers) * kPerObserver);
 }
 
 TEST(DefaultBuckets, AreSortedAscending) {

@@ -34,7 +34,7 @@ TEST(PipelineObs, TelemetryDoesNotPerturbScores) {
   MetricsRegistry metrics;
   ManualClock clock(0, 1000);
   Tracer tracer(&clock);
-  Telemetry telemetry{&metrics, &tracer, nullptr};
+  Telemetry telemetry{&metrics, &tracer, nullptr, {}};
   auto instrumented = pipeline.run(store, {}, &telemetry);
 
   ASSERT_FALSE(plain.results.empty());
@@ -50,7 +50,7 @@ TEST(PipelineObs, RecordsStageSpansAndCountersUnderManualClock) {
   MetricsRegistry metrics;
   ManualClock clock(0, 500);
   Tracer tracer(&clock);
-  Telemetry telemetry{&metrics, &tracer, nullptr};
+  Telemetry telemetry{&metrics, &tracer, nullptr, {}};
   auto output = pipeline.run(store, {}, &telemetry);
   ASSERT_FALSE(output.results.empty());
 
@@ -83,7 +83,7 @@ TEST(PipelineObs, TraceIsByteIdenticalAcrossRunsWithTheSameClock) {
     MetricsRegistry metrics;
     ManualClock clock(0, 250);
     Tracer tracer(&clock);
-    Telemetry telemetry{&metrics, &tracer, nullptr};
+    Telemetry telemetry{&metrics, &tracer, nullptr, {}};
     pipeline.run(store, {}, &telemetry);
     return trace_to_json(tracer).dump(2) + to_prometheus(metrics);
   };
@@ -100,7 +100,7 @@ TEST(PipelineObs, SkippedRegionsAreCountedWithReasonLabels) {
   MetricsRegistry metrics;
   ManualClock clock(0, 100);
   Tracer tracer(&clock);
-  Telemetry telemetry{&metrics, &tracer, nullptr};
+  Telemetry telemetry{&metrics, &tracer, nullptr, {}};
   auto output = pipeline.run(store, {}, &telemetry);
   EXPECT_TRUE(output.results.empty());
   EXPECT_FALSE(output.skipped.empty());
@@ -119,7 +119,7 @@ TEST(PipelineObs, SkippedRegionsAreCountedWithReasonLabels) {
 
 TEST(PipelineObs, SketchMergeCountersExport) {
   MetricsRegistry metrics;
-  Telemetry telemetry{&metrics, nullptr, nullptr};
+  Telemetry telemetry{&metrics, nullptr, nullptr, {}};
   record_sketch_merges(&telemetry, "tdigest", 3);
   record_sketch_merges(&telemetry, "ddsketch", 2);
   const std::string prom = to_prometheus(metrics);

@@ -1,0 +1,275 @@
+#include "iqb/obs/telemetry_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqb/obs/clock.hpp"
+#include "iqb/obs/export.hpp"
+#include "iqb/obs/http_server.hpp"
+#include "iqb/obs/metrics.hpp"
+#include "iqb/obs/span_buffer.hpp"
+#include "iqb/obs/trace.hpp"
+#include "iqb/util/json.hpp"
+#include "../testsupport/http_get.hpp"
+
+namespace iqb::obs {
+namespace {
+
+using testsupport::http_get;
+
+TelemetryServer::Options ephemeral_options() {
+  TelemetryServer::Options options;
+  options.http.port = 0;  // ephemeral: tests never race over a port
+  return options;
+}
+
+std::shared_ptr<const ScoreSnapshot> make_snapshot(std::uint64_t cycle,
+                                                   bool tier_c = false) {
+  auto snapshot = std::make_shared<ScoreSnapshot>();
+  snapshot->cycle = cycle;
+  snapshot->trace_id = "test-" + std::to_string(cycle);
+  snapshot->scores_json =
+      "{\"cycle\":" + std::to_string(cycle) + ",\"regions\":[]}\n";
+  snapshot->tier_c = tier_c;
+  if (tier_c) snapshot->tier_c_regions = {"rural"};
+  return snapshot;
+}
+
+// ---- routing via handle(), no sockets -------------------------------
+
+TEST(TelemetryServerRouting, ReadyzIs503BeforeFirstPublish) {
+  MetricsRegistry metrics;
+  TelemetryServer server(ephemeral_options(), &metrics, nullptr);
+  const HttpResponse response = server.handle({"GET", "/readyz"});
+  EXPECT_EQ(response.status, 503);
+  auto parsed = util::parse_json(response.body);
+  ASSERT_TRUE(parsed.ok()) << response.body;
+  EXPECT_EQ(parsed->get_string("status").value(), "unready");
+  EXPECT_FALSE(parsed->get_string("reason").value().empty());
+}
+
+TEST(TelemetryServerRouting, ReadyzFlipsTo200AfterPublish) {
+  MetricsRegistry metrics;
+  TelemetryServer server(ephemeral_options(), &metrics, nullptr);
+  server.publish(make_snapshot(1));
+  const HttpResponse response = server.handle({"GET", "/readyz"});
+  EXPECT_EQ(response.status, 200);
+  auto parsed = util::parse_json(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->get_string("status").value(), "ready");
+  EXPECT_EQ(parsed->get_number("cycle").value(), 1.0);
+  EXPECT_EQ(parsed->get_string("trace").value(), "test-1");
+}
+
+TEST(TelemetryServerRouting, TierCDegradesReadyzTo503WithReason) {
+  MetricsRegistry metrics;
+  TelemetryServer server(ephemeral_options(), &metrics, nullptr);
+  server.publish(make_snapshot(3, /*tier_c=*/true));
+  const HttpResponse response = server.handle({"GET", "/readyz"});
+  EXPECT_EQ(response.status, 503);
+  auto parsed = util::parse_json(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->get_string("status").value(), "degraded");
+  EXPECT_NE(parsed->get_string("reason").value().find("rural"),
+            std::string::npos);
+  // Tier C blocks readiness, not serving: /scores still answers.
+  EXPECT_EQ(server.handle({"GET", "/scores"}).status, 200);
+}
+
+TEST(TelemetryServerRouting, HealthzAlways200EvenWhenUnready) {
+  MetricsRegistry metrics;
+  TelemetryServer server(ephemeral_options(), &metrics, nullptr);
+  EXPECT_EQ(server.handle({"GET", "/healthz"}).status, 200);
+}
+
+TEST(TelemetryServerRouting, ScoresServeTheLatestSnapshotVerbatim) {
+  MetricsRegistry metrics;
+  TelemetryServer server(ephemeral_options(), &metrics, nullptr);
+  EXPECT_EQ(server.handle({"GET", "/scores"}).status, 503);
+  server.publish(make_snapshot(1));
+  server.publish(make_snapshot(2));
+  const HttpResponse response = server.handle({"GET", "/scores"});
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "{\"cycle\":2,\"regions\":[]}\n");
+}
+
+TEST(TelemetryServerRouting, UnknownPathIs404AndInstrumented) {
+  MetricsRegistry metrics;
+  TelemetryServer server(ephemeral_options(), &metrics, nullptr);
+  EXPECT_EQ(server.handle({"GET", "/secret"}).status, 404);
+  // Unknown paths pool into path="other" so scanners cannot grow the
+  // registry unboundedly.
+  const std::string text = to_prometheus(metrics);
+  EXPECT_NE(text.find("iqb_server_requests_total{path=\"other\","
+                      "status=\"404\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(TelemetryServerRouting, MetricsEndpointMatchesExporterBytes) {
+  MetricsRegistry metrics;
+  metrics.counter("iqb_x_total", "X", {}).inc(5);
+  TelemetryServer server(ephemeral_options(), &metrics, nullptr);
+  const HttpResponse response = server.handle({"GET", "/metrics"});
+  EXPECT_EQ(response.status, 200);
+  // The endpoint body is exactly the byte-stable exporter's output
+  // for the same snapshot (the request's own counter samples after
+  // route() ran, so it is not yet visible in this body).
+  EXPECT_EQ(response.body.find("iqb_x_total 5\n") != std::string::npos, true);
+  EXPECT_NE(response.content_type.find("version=0.0.4"), std::string::npos);
+}
+
+TEST(TelemetryServerRouting, TracezServesRingBufferSpans) {
+  MetricsRegistry metrics;
+  SpanRingBuffer spans(8);
+  ManualClock clock(0, 10);
+  Tracer tracer(&clock);
+  {
+    ScopedSpan root(&tracer, "pipeline.run");
+    ScopedSpan child(&tracer, "score");
+  }
+  spans.ingest(tracer, "cycle-9");
+  TelemetryServer server(ephemeral_options(), &metrics, &spans);
+  const HttpResponse response = server.handle({"GET", "/tracez"});
+  EXPECT_EQ(response.status, 200);
+  auto parsed = util::parse_json(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->get_number("count").value(), 2.0);
+  auto entries = parsed->get_array("spans");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ((*entries)[0].get_string("trace").value(), "cycle-9");
+}
+
+// ---- over real sockets ----------------------------------------------
+
+class TelemetryServerSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<TelemetryServer>(ephemeral_options(),
+                                                &metrics_, &spans_);
+    ASSERT_TRUE(server_->start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+  void TearDown() override { server_->stop(); }
+
+  MetricsRegistry metrics_;
+  SpanRingBuffer spans_;
+  std::unique_ptr<TelemetryServer> server_;
+};
+
+TEST_F(TelemetryServerSocketTest, ServesAllEndpointsOverHttp) {
+  metrics_.counter("iqb_x_total", "X", {}).inc();
+  server_->publish(make_snapshot(4));
+  for (const char* path :
+       {"/", "/metrics", "/metrics.json", "/healthz", "/readyz", "/tracez",
+        "/scores"}) {
+    const auto result = http_get(server_->port(), path);
+    ASSERT_TRUE(result.ok) << path;
+    EXPECT_EQ(result.status, 200) << path;
+    EXPECT_FALSE(result.body.empty()) << path;
+  }
+  EXPECT_EQ(http_get(server_->port(), "/nope").status, 404);
+}
+
+TEST_F(TelemetryServerSocketTest, RejectsNonGetMethodsWith405) {
+  EXPECT_EQ(http_get(server_->port(), "/metrics", "POST").status, 405);
+}
+
+TEST_F(TelemetryServerSocketTest, QueryStringsAreStripped) {
+  const auto result = http_get(server_->port(), "/healthz?probe=1");
+  EXPECT_EQ(result.status, 200);
+}
+
+TEST_F(TelemetryServerSocketTest,
+       ConcurrentScrapesDuringPublishesSeeOnlyCompleteSnapshots) {
+  // The producer publishes snapshot n with a body naming cycle n; the
+  // scrapers must only ever see a body that is internally consistent
+  // (cycle in /scores json parses and is <= the latest published).
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> published{0};
+  std::thread producer([&] {
+    for (std::uint64_t cycle = 1; cycle <= 50; ++cycle) {
+      server_->publish(make_snapshot(cycle));
+      published.store(cycle);
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> scrapers;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 4; ++i) {
+    scrapers.emplace_back([&] {
+      while (!done.load()) {
+        const auto result = http_get(server_->port(), "/scores");
+        if (result.status == 503) continue;  // before first publish
+        auto parsed = util::parse_json(result.body);
+        if (!parsed.ok() || !parsed->get_number("cycle").ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto cycle =
+            static_cast<std::uint64_t>(parsed->get_number("cycle").value());
+        if (cycle < 1 || cycle > published.load() + 1) failures.fetch_add(1);
+      }
+    });
+  }
+  producer.join();
+  for (auto& scraper : scrapers) scraper.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(TelemetryServerSocketTest, RequestsAreCountedByPathAndStatus) {
+  server_->publish(make_snapshot(1));
+  ASSERT_EQ(http_get(server_->port(), "/scores").status, 200);
+  ASSERT_EQ(http_get(server_->port(), "/scores").status, 200);
+  const std::string text = to_prometheus(metrics_);
+  EXPECT_NE(text.find("iqb_server_requests_total{path=\"/scores\","
+                      "status=\"200\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iqb_server_request_duration_seconds_count"
+                      "{path=\"/scores\"} 2"),
+            std::string::npos)
+      << text;
+}
+
+TEST(TelemetryServerLifecycle, StartStopIsRepeatableAndJoinsCleanly) {
+  MetricsRegistry metrics;
+  SpanRingBuffer spans(8);
+  TelemetryServer server(ephemeral_options(), &metrics, &spans);
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(server.start().ok()) << round;
+    EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+    server.stop();
+    EXPECT_FALSE(server.running());
+  }
+}
+
+TEST(TelemetryServerLifecycle, StopWithInFlightScrapersIsClean) {
+  MetricsRegistry metrics;
+  TelemetryServer server(ephemeral_options(), &metrics, nullptr);
+  ASSERT_TRUE(server.start().ok());
+  server.publish(make_snapshot(1));
+  std::atomic<bool> done{false};
+  std::vector<std::thread> scrapers;
+  for (int i = 0; i < 4; ++i) {
+    scrapers.emplace_back([&] {
+      while (!done.load()) {
+        http_get(server.port(), "/metrics");  // may fail mid-shutdown
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();  // must not deadlock or race with the scrapers
+  done.store(true);
+  for (auto& scraper : scrapers) scraper.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace iqb::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "iqb/obs/clock.hpp"
+#include "iqb/util/log.hpp"
 
 namespace iqb::obs {
 namespace {
@@ -106,6 +107,27 @@ TEST(ScopedSpan, NullTracerIsANoOpAndRaiiEnds) {
   const auto spans = tracer.spans();
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_TRUE(spans[0].ended);
+}
+
+TEST(ScopedSpan, InstallsItsIdAsTheThreadLogSpan) {
+  EXPECT_EQ(util::log_span(), util::kNoLogSpan);
+  ManualClock clock(0, 1);
+  Tracer tracer(&clock);
+  {
+    ScopedSpan root(&tracer, "run");
+    EXPECT_EQ(util::log_span(), root.id());
+    {
+      ScopedSpan child(&tracer, "stage");
+      EXPECT_EQ(util::log_span(), child.id());
+    }
+    EXPECT_EQ(util::log_span(), root.id());  // restored on end
+  }
+  EXPECT_EQ(util::log_span(), util::kNoLogSpan);
+  // A null-tracer span leaves the thread's log span alone.
+  {
+    ScopedSpan null_span(nullptr, "noop");
+    EXPECT_EQ(util::log_span(), util::kNoLogSpan);
+  }
 }
 
 }  // namespace

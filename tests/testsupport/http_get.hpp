@@ -1,0 +1,71 @@
+// Minimal blocking HTTP/1.1 test client: one GET, Connection: close,
+// read to EOF. Only what the telemetry-server tests need — keeping it
+// here avoids dragging a client into the library proper.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace iqb::testsupport {
+
+struct HttpResult {
+  bool ok = false;      ///< Connected and got a parsable status line.
+  int status = 0;
+  std::string body;
+  std::string raw;
+};
+
+inline HttpResult http_get(std::uint16_t port, const std::string& path,
+                           const std::string& method = "GET") {
+  HttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  const std::string request = method + " " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return result;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    result.raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (result.raw.rfind("HTTP/1.1 ", 0) != 0 || result.raw.size() < 12) {
+    return result;
+  }
+  result.status = std::atoi(result.raw.c_str() + 9);
+  const std::size_t header_end = result.raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    result.body = result.raw.substr(header_end + 4);
+  }
+  result.ok = result.status != 0;
+  return result;
+}
+
+}  // namespace iqb::testsupport

@@ -112,5 +112,55 @@ TEST_F(LogTest, ConcurrentLoggingDeliversEveryLineIntact) {
   }
 }
 
+TEST_F(LogTest, ContextFormatsTraceAndSpanInBothFormats) {
+  LogContext context;
+  context.trace_id = "iqbd-7";
+  context.span_id = 3;
+  EXPECT_EQ(format_log_line(LogFormat::kText, LogLevel::kInfo, "hi", context),
+            "[iqb INFO  trace=iqbd-7 span=3] hi");
+  EXPECT_EQ(format_log_line(LogFormat::kJson, LogLevel::kInfo, "hi", context),
+            "{\"level\":\"info\",\"trace\":\"iqbd-7\",\"span\":3,"
+            "\"message\":\"hi\"}");
+  // Trace without span, and span without trace.
+  context.span_id = kNoLogSpan;
+  EXPECT_EQ(format_log_line(LogFormat::kText, LogLevel::kWarn, "x", context),
+            "[iqb WARN  trace=iqbd-7] x");
+  context.trace_id.clear();
+  context.span_id = 9;
+  EXPECT_EQ(format_log_line(LogFormat::kText, LogLevel::kWarn, "x", context),
+            "[iqb WARN  span=9] x");
+  // Empty context reproduces the historical format byte for byte.
+  EXPECT_EQ(format_log_line(LogFormat::kText, LogLevel::kInfo, "hello",
+                            LogContext{}),
+            format_log_line(LogFormat::kText, LogLevel::kInfo, "hello"));
+}
+
+TEST_F(LogTest, ScopedLogTraceInstallsAndRestoresThreadTraceId) {
+  EXPECT_EQ(log_trace_id(), "");
+  {
+    ScopedLogTrace outer("outer-1");
+    EXPECT_EQ(log_trace_id(), "outer-1");
+    std::vector<std::string> lines;
+    set_log_sink([&lines](LogLevel, std::string_view line) {
+      lines.emplace_back(line);
+    });
+    log_message(LogLevel::kInfo, "tagged");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "[iqb INFO  trace=outer-1] tagged");
+    {
+      ScopedLogTrace inner("inner-2");
+      EXPECT_EQ(log_trace_id(), "inner-2");
+    }
+    EXPECT_EQ(log_trace_id(), "outer-1");
+  }
+  EXPECT_EQ(log_trace_id(), "");
+  // The trace id is thread-local: a fresh thread starts clean.
+  ScopedLogTrace trace("main-only");
+  std::string seen = "unset";
+  std::thread other([&seen] { seen = log_trace_id(); });
+  other.join();
+  EXPECT_EQ(seen, "");
+}
+
 }  // namespace
 }  // namespace iqb::util

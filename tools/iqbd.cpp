@@ -1,0 +1,46 @@
+// iqbd — the IQB watch daemon. All logic lives in iqb::cli
+// (src/iqb/cli/daemon.*) so it is unit-testable; this file adapts
+// argv, prints startup state, and translates SIGINT/SIGTERM into a
+// clean WatchDaemon::stop().
+#include <csignal>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqb/cli/daemon.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  auto options = iqb::cli::parse_daemon_args(tokens);
+  if (!options.ok()) {
+    std::cerr << options.error().message << "\n" << iqb::cli::daemon_usage();
+    return 1;
+  }
+
+  iqb::cli::WatchDaemon daemon(std::move(options).value());
+  if (auto started = daemon.start(std::cerr); !started.ok()) {
+    std::cerr << "iqbd: " << started.error().to_string() << "\n";
+    return 2;
+  }
+  std::cerr << "iqbd: serving telemetry on port " << daemon.port()
+            << " — try curl localhost:" << daemon.port() << "/metrics\n";
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop.load() && !daemon.finished()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  daemon.stop();
+  return 0;
+}
