@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "iqb/cli/load.hpp"
-#include <fstream>
 #include <memory>
 #include <ostream>
 
@@ -23,6 +22,7 @@
 #include "iqb/report/render.hpp"
 #include "iqb/robust/degradation.hpp"
 #include "iqb/robust/quarantine.hpp"
+#include "iqb/util/fs.hpp"
 #include "iqb/util/strings.hpp"
 
 namespace iqb::cli {
@@ -89,11 +89,12 @@ int init_telemetry(const Args& args, TelemetrySession& session,
 /// after the report was emitted so a telemetry write failure never
 /// truncates the report stream.
 int write_telemetry(const TelemetrySession& session, std::ostream& err) {
+  // Atomic: a crash (or concurrent scrape) never observes a
+  // half-written metrics/trace file.
   auto write_file = [&err](const std::string& path, const std::string& text) {
-    std::ofstream file(path, std::ios::binary);
-    if (file) file << text;
-    if (!file) {
-      err << "cannot write '" << path << "'\n";
+    if (auto written = util::fs::atomic_write(path, text); !written.ok()) {
+      err << "cannot write '" << path << "': " << written.error().message
+          << "\n";
       return 2;
     }
     return 0;
@@ -126,16 +127,17 @@ util::Result<LoadedStore> load_records(const Args& args, std::ostream& err,
   return load_store(*path, lenient, err, telemetry);
 }
 
-/// Send `text` to --out FILE if given, else to `out`.
+/// Send `text` to --out FILE if given, else to `out`. File output is
+/// atomic (write-temp + rename): a watcher tailing the report — or a
+/// crash mid-write — never observes a half-written file.
 int emit(const Args& args, const std::string& text, std::ostream& out,
          std::ostream& err) {
   if (auto path = args.get("out")) {
-    std::ofstream file(*path, std::ios::binary);
-    if (!file) {
-      err << "cannot open '" << *path << "' for writing\n";
+    if (auto written = util::fs::atomic_write(*path, text); !written.ok()) {
+      err << "cannot write '" << *path << "': " << written.error().message
+          << "\n";
       return 2;
     }
-    file << text;
     out << "wrote " << *path << "\n";
     return 0;
   }

@@ -1,7 +1,10 @@
 #include "iqb/cli/daemon.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <ostream>
+#include <system_error>
 #include <utility>
 
 #include "iqb/cli/load.hpp"
@@ -21,10 +24,22 @@ constexpr const char* kDaemonUsage =
     "usage: iqbd --records FILE.csv [--config FILE.json] [--port N]\n"
     "            [--bind ADDR] [--interval-ms N] [--poll-ms N]\n"
     "            [--watch true|false] [--lenient true] [--by-isp true]\n"
-    "            [--max-cycles N] [--telemetry true|false]\n"
+    "            [--max-cycles N] [--state-dir DIR]\n"
+    "            [--cycle-deadline-ms N] [--telemetry true|false]\n"
     "            [--trace-prefix S]\n"
     "serves /metrics /metrics.json /healthz /readyz /tracez /scores\n"
+    "--state-dir enables crash-safe checkpoints: on restart the newest\n"
+    "valid checkpoint is served (flagged stale) until a fresh cycle.\n"
     "exit codes: 0 ok, 1 usage error, 2 startup error\n";
+
+constexpr const char* kCheckpointCorruptMetric =
+    "iqbd_checkpoint_corrupt_total";
+constexpr const char* kCheckpointCorruptHelp =
+    "Checkpoint files rejected during recovery (torn, bad CRC, foreign "
+    "version)";
+constexpr const char* kCycleTimeoutsMetric = "iqbd_cycle_timeouts_total";
+constexpr const char* kCycleTimeoutsHelp =
+    "Scoring cycles cancelled by the watchdog deadline";
 
 util::Result<std::uint64_t> parse_u64_option(const std::string& key,
                                              const std::string& text) {
@@ -63,6 +78,8 @@ util::Result<DaemonOptions> parse_daemon_args(
       options.bind_address = value;
     } else if (name == "trace-prefix") {
       options.trace_prefix = value;
+    } else if (name == "state-dir") {
+      options.state_dir = value;
     } else if (name == "lenient") {
       options.lenient = value == "true";
     } else if (name == "by-isp") {
@@ -91,6 +108,10 @@ util::Result<DaemonOptions> parse_daemon_args(
       auto parsed = parse_u64_option(name, value);
       if (!parsed.ok()) return parsed.error();
       options.max_cycles = parsed.value();
+    } else if (name == "cycle-deadline-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.cycle_deadline_ms = parsed.value();
     } else {
       return util::make_error(util::ErrorCode::kInvalidArgument,
                               "unknown option --" + name);
@@ -113,7 +134,30 @@ WatchDaemon::WatchDaemon(DaemonOptions options)
             server_options.http.port = options_.port;
             return server_options;
           }(),
-          &metrics_, &spans_) {}
+          &metrics_, &spans_) {
+  if (options_.state_dir) {
+    checkpoints_.emplace(*options_.state_dir, options_.checkpoint_keep);
+  }
+  if (options_.cycle_deadline_ms != 0) {
+    robust::CycleWatchdog::Options watchdog_options;
+    watchdog_options.deadline_ms = options_.cycle_deadline_ms;
+    watchdog_options.check_interval_ms =
+        std::min<std::uint64_t>(options_.poll_ms, 50);
+    watchdog_options.now_ms = options_.watchdog_now_ms;
+    watchdog_options.on_timeout = [this](std::uint64_t cycle) {
+      cancel_cycle_.store(true);
+      cycle_timeouts_.fetch_add(1);
+      if (options_.telemetry) {
+        metrics_.counter(kCycleTimeoutsMetric, kCycleTimeoutsHelp).inc();
+      }
+      IQB_LOG(kError) << "watchdog: cycle " << cycle
+                      << " exceeded its deadline ("
+                      << options_.cycle_deadline_ms << " ms); cancelling";
+    };
+    watchdog_ = std::make_unique<robust::CycleWatchdog>(
+        std::move(watchdog_options));
+  }
+}
 
 WatchDaemon::~WatchDaemon() { stop(); }
 
@@ -129,6 +173,72 @@ util::Result<void> WatchDaemon::ensure_config() {
   return {};
 }
 
+bool WatchDaemon::serving_stale() const {
+  const auto snapshot = server_.latest();
+  return snapshot && snapshot->stale;
+}
+
+util::Result<void> WatchDaemon::recover(std::ostream& err) {
+  recovered_ = true;
+  if (!checkpoints_) return {};
+  if (auto prepared = checkpoints_->prepare(); !prepared.ok()) {
+    return prepared;
+  }
+  auto outcome = checkpoints_->load_newest();
+  if (!outcome.ok()) return outcome.error();
+  for (const auto& rejected : outcome->rejected) {
+    checkpoints_rejected_.fetch_add(1);
+    if (options_.telemetry) {
+      metrics_.counter(kCheckpointCorruptMetric, kCheckpointCorruptHelp)
+          .inc();
+    }
+    IQB_LOG(kWarn) << "skipping corrupt checkpoint " << rejected.file << ": "
+                   << rejected.reason;
+    err << "skipping corrupt checkpoint " << rejected.file << ": "
+        << rejected.reason << "\n";
+  }
+  // Make the corrupt-counter family visible in exports even when the
+  // recovery was clean, so dashboards can alert on its rate.
+  if (options_.telemetry) {
+    metrics_.counter(kCheckpointCorruptMetric, kCheckpointCorruptHelp);
+  }
+  if (!outcome->checkpoint) return {};
+
+  const robust::Checkpoint& checkpoint = *outcome->checkpoint;
+  auto snapshot = std::make_shared<obs::ScoreSnapshot>();
+  snapshot->cycle = checkpoint.cycle;
+  snapshot->trace_id = checkpoint.trace_id;
+  snapshot->scores_json = checkpoint.scores_json;
+  snapshot->tier_c = checkpoint.tier_c;
+  snapshot->tier_c_regions = checkpoint.tier_c_regions;
+  snapshot->stale = true;
+  server_.publish(std::move(snapshot));
+
+  // Counters resume from the persisted loop state so cycle ordinals —
+  // and the /readyz cycle field — are monotone across restarts.
+  cycles_total_.store(
+      std::max(checkpoint.cycles_attempted, checkpoint.cycle));
+  cycles_failed_.store(checkpoint.cycles_failed);
+  last_checkpoint_cycle_ = checkpoint.cycle;
+  if (options_.telemetry) {
+    metrics_
+        .gauge("iqbd_serving_stale",
+               "1 while serving a recovered checkpoint no fresh cycle has "
+               "replaced")
+        .set(1.0);
+    metrics_
+        .counter("iqbd_checkpoint_recovered_total",
+                 "Successful checkpoint recoveries at startup")
+        .inc();
+  }
+  IQB_LOG(kInfo) << "recovered checkpoint: cycle " << checkpoint.cycle
+                 << " (trace " << checkpoint.trace_id
+                 << "); serving stale until the next fresh cycle";
+  err << "recovered checkpoint: cycle " << checkpoint.cycle
+      << "; serving stale until the next fresh cycle\n";
+  return {};
+}
+
 util::Result<void> WatchDaemon::start(std::ostream& err) {
   if (running_) {
     return util::make_error(util::ErrorCode::kInvalidArgument,
@@ -137,9 +247,15 @@ util::Result<void> WatchDaemon::start(std::ostream& err) {
   if (auto config = ensure_config(); !config.ok()) {
     return config.error();
   }
+  if (!recovered_) {
+    if (auto recovery = recover(err); !recovery.ok()) {
+      return recovery.error();
+    }
+  }
   if (auto started = server_.start(); !started.ok()) {
     return started.error();
   }
+  if (watchdog_) watchdog_->start();
   finished_.store(false);
   stop_requested_ = false;
   running_ = true;
@@ -154,15 +270,52 @@ void WatchDaemon::stop() {
     stop_requested_ = true;
   }
   loop_cv_.notify_all();
+  // The in-flight cycle completes (or is cancelled by the watchdog);
+  // its snapshot and checkpoint land before the join returns.
   if (loop_thread_.joinable()) loop_thread_.join();
-  server_.stop();
+  if (watchdog_) watchdog_->stop();
+  // Flush a final checkpoint in case the last published snapshot
+  // never reached disk (per-cycle saves make this a no-op normally).
+  if (checkpoints_) {
+    const auto snapshot = server_.latest();
+    if (snapshot && !snapshot->stale &&
+        snapshot->cycle > last_checkpoint_cycle_) {
+      robust::Checkpoint checkpoint;
+      checkpoint.cycle = snapshot->cycle;
+      checkpoint.cycles_attempted = cycles_total_.load();
+      checkpoint.cycles_failed = cycles_failed_.load();
+      checkpoint.trace_id = snapshot->trace_id;
+      checkpoint.scores_json = snapshot->scores_json;
+      checkpoint.tier_c = snapshot->tier_c;
+      checkpoint.tier_c_regions = snapshot->tier_c_regions;
+      if (auto saved = checkpoints_->save(checkpoint); !saved.ok()) {
+        IQB_LOG(kWarn) << "final checkpoint flush failed: "
+                       << saved.error().to_string();
+      } else {
+        last_checkpoint_cycle_ = snapshot->cycle;
+      }
+    }
+  }
+  // Drain, not stop: requests already accepted get their answers
+  // before the worker threads join (SIGTERM grace).
+  server_.drain();
   running_ = false;
 }
 
-bool WatchDaemon::records_changed() {
+bool WatchDaemon::poll_mtime() {
   std::error_code ec;
   const auto mtime = std::filesystem::last_write_time(options_.records_path, ec);
-  if (ec) return false;  // transient stat failure: let the interval drive
+  if (ec) {
+    // A writer replacing the records file via rename briefly unlinks
+    // the name; ENOENT here is "no change yet", not an error — the
+    // recreated file's mtime will differ and trigger the re-run. Other
+    // stat failures also just let the interval drive the loop.
+    if (ec != std::errc::no_such_file_or_directory) {
+      IQB_LOG(kWarn) << "stat " << options_.records_path
+                     << " failed: " << ec.message();
+    }
+    return false;
+  }
   if (!last_mtime_) {
     last_mtime_ = mtime;
     return false;
@@ -172,6 +325,46 @@ bool WatchDaemon::records_changed() {
     return true;
   }
   return false;
+}
+
+void WatchDaemon::save_checkpoint(const obs::ScoreSnapshot& snapshot,
+                                  std::ostream& err) {
+  if (!checkpoints_) return;
+  robust::Checkpoint checkpoint;
+  checkpoint.cycle = snapshot.cycle;
+  checkpoint.cycles_attempted = cycles_total_.load();
+  checkpoint.cycles_failed = cycles_failed_.load();
+  checkpoint.trace_id = snapshot.trace_id;
+  checkpoint.scores_json = snapshot.scores_json;
+  checkpoint.tier_c = snapshot.tier_c;
+  checkpoint.tier_c_regions = snapshot.tier_c_regions;
+  auto saved = checkpoints_->save(checkpoint);
+  if (!saved.ok()) {
+    // A failed save degrades durability, never the serving path: the
+    // snapshot is already published.
+    if (options_.telemetry) {
+      metrics_
+          .counter("iqbd_checkpoint_write_errors_total",
+                   "Checkpoint saves that failed (serving unaffected)")
+          .inc();
+    }
+    IQB_LOG(kWarn) << "checkpoint save failed: " << saved.error().to_string();
+    err << "checkpoint save failed: " << saved.error().to_string() << "\n";
+    return;
+  }
+  last_checkpoint_cycle_ = snapshot.cycle;
+  if (options_.telemetry) {
+    metrics_
+        .counter("iqbd_checkpoint_writes_total",
+                 "Checkpoints persisted after completed cycles")
+        .inc();
+  }
+}
+
+bool WatchDaemon::cycle_cancelled(const char* stage, std::ostream& err) {
+  if (!cancel_cycle_.load()) return false;
+  err << "cycle cancelled by watchdog at stage '" << stage << "'\n";
+  return true;
 }
 
 bool WatchDaemon::run_cycle(std::ostream& err) {
@@ -189,6 +382,17 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
   // bundle for its own scope.
   util::ScopedLogTrace log_trace(trace_id);
   const std::uint64_t start_ns = obs::steady_clock().now_ns();
+
+  cancel_cycle_.store(false);
+  if (watchdog_) watchdog_->arm(cycle);
+  // Every exit path below must disarm; a scope guard keeps the
+  // watchdog from timing out the *next* idle period.
+  struct Disarm {
+    robust::CycleWatchdog* watchdog;
+    ~Disarm() {
+      if (watchdog) watchdog->disarm();
+    }
+  } disarm_guard{watchdog_.get()};
 
   // Per-cycle tracer (bounded by the ring buffer afterwards); the
   // registry is shared across cycles so counters accumulate.
@@ -215,6 +419,13 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
   auto loaded = load_store(options_.records_path, options_.lenient, err,
                            telemetry);
   if (!loaded.ok()) return fail_cycle(loaded.error().to_string());
+  if (cycle_cancelled("ingest", err)) {
+    return fail_cycle("cycle deadline exceeded (after ingest)");
+  }
+  if (options_.mid_cycle_hook) options_.mid_cycle_hook();
+  if (cycle_cancelled("mid-cycle", err)) {
+    return fail_cycle("cycle deadline exceeded (mid-cycle)");
+  }
   const robust::IngestHealth health = loaded->health;
   datasets::RecordStore store =
       options_.by_isp ? datasets::rekey_by_region_isp(loaded->store)
@@ -222,6 +433,9 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
 
   core::Pipeline pipeline(*config_);
   auto output = pipeline.run(store, health, telemetry);
+  if (cycle_cancelled("score", err)) {
+    return fail_cycle("cycle deadline exceeded (after scoring)");
+  }
   for (const auto& skipped : output.skipped) {
     IQB_LOG(kWarn) << "skipped region " << skipped.to_string();
   }
@@ -238,6 +452,7 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
     }
   }
   const bool tier_c = snapshot->tier_c;
+  save_checkpoint(*snapshot, err);
   server_.publish(std::move(snapshot));
 
   if (telemetry) {
@@ -257,6 +472,10 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
     obs::set_gauge(telemetry, "iqb_daemon_tier_c",
                    "1 while the latest scores carry confidence tier C", {},
                    tier_c ? 1.0 : 0.0);
+    obs::set_gauge(telemetry, "iqbd_serving_stale",
+                   "1 while serving a recovered checkpoint no fresh cycle "
+                   "has replaced",
+                   {}, 0.0);
   }
   IQB_LOG(kInfo) << "cycle " << cycle << " scored "
                  << output.results.size() << " regions";
@@ -268,15 +487,40 @@ void WatchDaemon::loop(std::ostream& err) {
   using std::chrono::steady_clock;
   auto last_run = steady_clock::now();
   bool ran_once = false;
+  // Failed or timed-out cycles back off with decorrelated jitter so a
+  // persistently broken input doesn't spin the loop; success resets
+  // the schedule.
+  std::optional<robust::RetrySchedule> backoff;
+  auto backoff_until = steady_clock::now();
   for (;;) {
+    const bool backing_off = steady_clock::now() < backoff_until;
     const bool interval_due =
         !ran_once ||
         steady_clock::now() - last_run >= milliseconds(options_.interval_ms);
-    const bool file_due = options_.watch_files && records_changed();
-    if (interval_due || file_due) {
-      run_cycle(err);
+    const bool file_due = options_.watch_files && poll_mtime();
+    if (!backing_off && (interval_due || file_due)) {
+      const bool ok = run_cycle(err);
       last_run = steady_clock::now();
       ran_once = true;
+      if (ok) {
+        backoff.reset();
+        backoff_until = last_run;
+      } else {
+        if (!backoff) backoff.emplace(options_.cycle_backoff);
+        double delay_s = backoff->next_delay_s();
+        if (delay_s < 0.0) {
+          // Policy exhausted: restart the schedule rather than spin.
+          backoff.emplace(options_.cycle_backoff);
+          delay_s = backoff->next_delay_s();
+          if (delay_s < 0.0) delay_s = options_.cycle_backoff.max_delay_s;
+        }
+        backoff_until =
+            last_run + milliseconds(static_cast<std::uint64_t>(
+                           delay_s * 1000.0));
+        IQB_LOG(kWarn) << "backing off "
+                       << static_cast<std::uint64_t>(delay_s * 1000.0)
+                       << " ms before the next cycle";
+      }
       if (options_.max_cycles != 0 &&
           cycles_total_.load() >= options_.max_cycles) {
         finished_.store(true);

@@ -8,6 +8,24 @@
 // scrapes (/metrics, /scores, /readyz, /tracez) never block scoring
 // and never observe a half-built result.
 //
+// Durability (--state-dir DIR): after every completed cycle the
+// published snapshot and loop counters are persisted as a CRC-checked
+// checkpoint (iqb::robust::Checkpoint, written atomically). On
+// restart the newest valid checkpoint is recovered — torn or corrupt
+// files are skipped with a logged reason and counted in
+// iqbd_checkpoint_corrupt_total — and served immediately on /scores
+// and /readyz flagged stale until the first fresh cycle completes.
+// Without --state-dir the daemon behaves exactly as before.
+//
+// Self-healing: a robust::CycleWatchdog monitor thread puts a
+// deadline on every cycle; a cycle that overruns is cancelled at its
+// next stage boundary, counted in iqbd_cycle_timeouts_total, and the
+// loop backs off (RetryPolicy, decorrelated jitter) before re-running
+// so one pathological input cannot wedge the service. stop() drains
+// gracefully: the loop finishes (or cancels) the in-flight cycle, a
+// final checkpoint is flushed, and the HTTP server answers everything
+// it already accepted before the threads join.
+//
 // Every cycle gets a trace id ("<prefix>-<n>"): it is installed as
 // the thread's log trace id for the whole cycle (every log record the
 // cycle emits carries it, in text and JSON-lines formats), stamped on
@@ -23,6 +41,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -35,6 +54,9 @@
 #include "iqb/obs/metrics.hpp"
 #include "iqb/obs/span_buffer.hpp"
 #include "iqb/obs/telemetry_server.hpp"
+#include "iqb/robust/checkpoint.hpp"
+#include "iqb/robust/retry.hpp"
+#include "iqb/robust/watchdog.hpp"
 #include "iqb/util/result.hpp"
 
 namespace iqb::cli {
@@ -53,14 +75,35 @@ struct DaemonOptions {
   bool watch_files = true;           ///< Re-run early on mtime change.
   std::uint64_t max_cycles = 0;      ///< 0: run until stop().
 
+  /// Checkpoint directory; unset disables durability entirely (the
+  /// scoring path is then bit-identical to the checkpoint-free
+  /// daemon).
+  std::optional<std::string> state_dir;
+  std::size_t checkpoint_keep = 3;  ///< Retained checkpoint generations.
+
+  /// Per-cycle watchdog deadline; 0 disables the watchdog.
+  std::uint64_t cycle_deadline_ms = 60'000;
+  /// Backoff between failed/timed-out cycles (reset on success).
+  robust::RetryPolicy cycle_backoff{/*max_attempts=*/1'000'000,
+                                    /*base_delay_s=*/0.5,
+                                    /*max_delay_s=*/30.0,
+                                    /*deadline_s=*/1e12,
+                                    /*seed=*/42};
+
   bool telemetry = true;  ///< false: null-Telemetry pipeline runs.
   std::string trace_prefix = "iqbd";
   std::size_t span_buffer_capacity = 512;
+
+  /// Test seams (never parsed from argv): a hook run mid-cycle between
+  /// ingest and scoring, and an injected watchdog time source.
+  std::function<void()> mid_cycle_hook;
+  std::function<std::uint64_t()> watchdog_now_ms;
 };
 
 /// Parse iqbd's argv[1..] tokens (--records F [--config F] [--port N]
 /// [--bind A] [--interval-ms N] [--poll-ms N] [--watch true|false]
 /// [--lenient true] [--by-isp true] [--max-cycles N]
+/// [--state-dir DIR] [--cycle-deadline-ms N]
 /// [--telemetry true|false] [--trace-prefix S]).
 util::Result<DaemonOptions> parse_daemon_args(
     const std::vector<std::string>& tokens);
@@ -75,12 +118,15 @@ class WatchDaemon {
   WatchDaemon(const WatchDaemon&) = delete;
   WatchDaemon& operator=(const WatchDaemon&) = delete;
 
-  /// Load the config, start the telemetry server, launch the watch
-  /// loop. Warnings and per-cycle diagnostics go to `err`, which must
-  /// outlive the daemon (cycles run on a background thread).
+  /// Load the config, recover the newest valid checkpoint (when a
+  /// state dir is configured), start the telemetry server, launch the
+  /// watch loop. Warnings and per-cycle diagnostics go to `err`, which
+  /// must outlive the daemon (cycles run on a background thread).
   util::Result<void> start(std::ostream& err);
 
-  /// Stop the loop and the server; joins both. Idempotent.
+  /// Graceful drain: stop the loop (the in-flight cycle completes, or
+  /// is cancelled by the watchdog), flush a final checkpoint, finish
+  /// in-flight HTTP requests, join every thread. Idempotent.
   void stop();
 
   bool running() const noexcept { return running_; }
@@ -95,6 +141,21 @@ class WatchDaemon {
   std::uint64_t cycles_failed() const noexcept {
     return cycles_failed_.load();
   }
+  /// Checkpoint files rejected (torn/corrupt/foreign) during recovery.
+  std::uint64_t checkpoints_rejected() const noexcept {
+    return checkpoints_rejected_.load();
+  }
+  /// Cycles cancelled by the watchdog deadline.
+  std::uint64_t cycle_timeouts() const noexcept {
+    return cycle_timeouts_.load();
+  }
+  /// True while the served snapshot is a recovered checkpoint that no
+  /// fresh cycle has replaced yet.
+  bool serving_stale() const;
+
+  /// Recover state from the newest valid checkpoint, if any. Called by
+  /// start(); exposed for tests that drive cycles synchronously.
+  util::Result<void> recover(std::ostream& err);
 
   /// Run one scoring cycle synchronously (the loop calls this; tests
   /// may too, before start()). Returns true if the cycle published a
@@ -104,7 +165,9 @@ class WatchDaemon {
  private:
   util::Result<void> ensure_config();
   void loop(std::ostream& err);
-  bool records_changed();
+  bool poll_mtime();
+  void save_checkpoint(const obs::ScoreSnapshot& snapshot, std::ostream& err);
+  bool cycle_cancelled(const char* stage, std::ostream& err);
 
   DaemonOptions options_;
   std::optional<core::IqbConfig> config_;
@@ -113,9 +176,17 @@ class WatchDaemon {
   obs::SpanRingBuffer spans_;
   obs::TelemetryServer server_;
 
+  std::optional<robust::CheckpointStore> checkpoints_;
+  std::unique_ptr<robust::CycleWatchdog> watchdog_;
+  std::atomic<bool> cancel_cycle_{false};
+
   std::atomic<std::uint64_t> cycles_total_{0};
   std::atomic<std::uint64_t> cycles_failed_{0};
+  std::atomic<std::uint64_t> checkpoints_rejected_{0};
+  std::atomic<std::uint64_t> cycle_timeouts_{0};
+  std::uint64_t last_checkpoint_cycle_ = 0;  ///< Loop/stop thread only.
   std::optional<std::filesystem::file_time_type> last_mtime_;
+  bool recovered_ = false;  ///< recover() ran (start() skips re-run).
 
   bool running_ = false;
   std::atomic<bool> finished_{false};

@@ -17,8 +17,6 @@ namespace iqb::obs {
 
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 16 * 1024;
-
 void set_io_timeout(int fd, int timeout_ms) {
   if (timeout_ms <= 0) return;
   timeval tv{};
@@ -50,6 +48,12 @@ std::string render_response(const HttpResponse& response) {
   out += response.content_type;
   out += "\r\nContent-Length: ";
   out += std::to_string(response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
   out += "\r\nConnection: close\r\n\r\n";
   out += response.body;
   return out;
@@ -59,17 +63,22 @@ void send_response(int fd, const HttpResponse& response) {
   send_all(fd, render_response(response));
 }
 
-/// Read until the end of the header block (CRLFCRLF). Telemetry
-/// requests carry no body, so the headers are the whole request.
-bool read_request_head(int fd, std::string& head) {
+enum class ReadHeadResult { kOk, kDisconnect, kTooLarge };
+
+/// Read until the end of the header block (CRLFCRLF), bounded by
+/// `max_bytes`. Telemetry requests carry no body, so the headers are
+/// the whole request; a client still streaming past the bound gets
+/// kTooLarge (-> 431) instead of growing our buffer.
+ReadHeadResult read_request_head(int fd, std::string& head,
+                                 std::size_t max_bytes) {
   char buffer[2048];
-  while (head.size() < kMaxRequestBytes) {
-    if (head.find("\r\n\r\n") != std::string::npos) return true;
+  for (;;) {
+    if (head.find("\r\n\r\n") != std::string::npos) return ReadHeadResult::kOk;
+    if (head.size() >= max_bytes) return ReadHeadResult::kTooLarge;
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) return false;  // timeout, reset, or EOF mid-request
+    if (n <= 0) return ReadHeadResult::kDisconnect;  // timeout/reset/EOF
     head.append(buffer, static_cast<std::size_t>(n));
   }
-  return head.find("\r\n\r\n") != std::string::npos;
 }
 
 /// Parse "GET /path?query HTTP/1.1" into method + query-stripped path.
@@ -99,6 +108,7 @@ const char* http_status_reason(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
     default: return "Unknown";
   }
@@ -108,6 +118,7 @@ HttpServer::HttpServer(Options options, HttpHandler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {
   if (options_.worker_threads == 0) options_.worker_threads = 1;
   if (options_.max_pending == 0) options_.max_pending = 1;
+  if (options_.max_request_bytes == 0) options_.max_request_bytes = 1024;
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -160,11 +171,19 @@ util::Result<void> HttpServer::start() {
   return {};
 }
 
-void HttpServer::stop() {
+void HttpServer::stop() { shutdown_threads(/*graceful=*/false); }
+
+void HttpServer::drain() { shutdown_threads(/*graceful=*/true); }
+
+void HttpServer::shutdown_threads(bool graceful) {
   if (!running_) return;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
+    if (graceful) {
+      draining_ = true;  // workers finish the queue, then exit
+    } else {
+      stopping_ = true;  // workers exit immediately
+    }
   }
   // Unblock accept(): shutdown makes the blocking call return on
   // Linux; close alone is not guaranteed to.
@@ -177,8 +196,9 @@ void HttpServer::stop() {
   workers_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  // Close anything still queued, unanswered: the peer sees a reset,
-  // which is honest — nobody processed the request.
+  // Under a hard stop anything still queued is closed unanswered: the
+  // peer sees a reset, which is honest — nobody processed the
+  // request. After a drain the queue is empty by construction.
   for (int fd : pending_) ::close(fd);
   pending_.clear();
   running_ = false;
@@ -189,7 +209,7 @@ void HttpServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (stopping_) {
+      if (stopping_ || draining_) {
         if (fd >= 0) ::close(fd);
         return;
       }
@@ -218,8 +238,11 @@ void HttpServer::worker_loop() {
     int fd = -1;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || draining_ || !pending_.empty();
+      });
       if (stopping_) return;
+      if (pending_.empty()) return;  // draining and nothing left
       fd = pending_.front();
       pending_.pop_front();
     }
@@ -231,7 +254,15 @@ void HttpServer::handle_connection(int fd) {
   set_io_timeout(fd, options_.io_timeout_ms);
   std::string head;
   HttpRequest request;
-  if (!read_request_head(fd, head) || !parse_request_line(head, request)) {
+  const ReadHeadResult read =
+      read_request_head(fd, head, options_.max_request_bytes);
+  if (read == ReadHeadResult::kTooLarge) {
+    send_response(fd, {431, "application/json",
+                       "{\"error\":\"request header section too large\"}\n"});
+    ::close(fd);
+    return;
+  }
+  if (read != ReadHeadResult::kOk || !parse_request_line(head, request)) {
     send_response(fd, {400, "application/json",
                        "{\"error\":\"malformed request\"}\n"});
     ::close(fd);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "iqb/util/result.hpp"
 
@@ -34,9 +35,18 @@ struct HttpRequest {
 };
 
 struct HttpResponse {
+  HttpResponse() = default;
+  HttpResponse(int status, std::string content_type, std::string body)
+      : status(status),
+        content_type(std::move(content_type)),
+        body(std::move(body)) {}
+
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers (name, value), emitted verbatim after the
+  /// standard ones. Used e.g. to flag recovered-but-stale snapshots.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Standard reason phrase for the handful of statuses the telemetry
@@ -56,6 +66,9 @@ class HttpServer {
     std::size_t worker_threads = 4; ///< Clamped to >= 1.
     std::size_t max_pending = 64;   ///< Queue bound before inline 503.
     int io_timeout_ms = 2000;       ///< Per-connection read/write timeout.
+    /// Request-line + header byte bound. A client that sends more
+    /// before the blank line gets 431 instead of growing our buffer.
+    std::size_t max_request_bytes = 8 * 1024;
   };
 
   HttpServer(Options options, HttpHandler handler);
@@ -72,6 +85,11 @@ class HttpServer {
   /// unanswered), join all threads. Idempotent.
   void stop();
 
+  /// Graceful variant of stop(): stop accepting new connections, let
+  /// the workers answer everything already accepted, then join.
+  /// Idempotent; stop() after drain() is a no-op.
+  void drain();
+
   bool running() const noexcept { return running_; }
 
   /// Actual bound port (resolves port 0 after start()).
@@ -81,6 +99,7 @@ class HttpServer {
   void accept_loop();
   void worker_loop();
   void handle_connection(int fd);
+  void shutdown_threads(bool graceful);
 
   Options options_;
   HttpHandler handler_;
@@ -93,6 +112,7 @@ class HttpServer {
   std::condition_variable queue_cv_;
   std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
   bool stopping_ = false;    ///< Guarded by queue_mutex_.
+  bool draining_ = false;    ///< Guarded by queue_mutex_: finish queue.
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -114,8 +114,12 @@ HttpResponse TelemetryServer::route(const std::string& path) const {
                          "confidence tier C (single-source or worse): " +
                              regions)};
     }
+    // A recovered (checkpoint) snapshot is serveable — that is the
+    // point of recovery — but flagged stale so orchestration can tell
+    // "restored last good state" from "freshly scored".
     util::JsonObject out;
-    out.emplace("status", "ready");
+    out.emplace("status", snapshot->stale ? "recovered" : "ready");
+    out.emplace("stale", snapshot->stale);
     out.emplace("cycle", static_cast<std::int64_t>(snapshot->cycle));
     out.emplace("trace", snapshot->trace_id);
     return {200, "application/json",
@@ -132,7 +136,15 @@ HttpResponse TelemetryServer::route(const std::string& path) const {
       return {503, "application/json",
               json_error("unready", "no scores yet")};
     }
-    return {200, "application/json", snapshot->scores_json};
+    HttpResponse response{200, "application/json", snapshot->scores_json};
+    if (snapshot->stale) {
+      // The body is the pre-rendered score document (schema-stable for
+      // consumers); staleness rides in a header instead.
+      response.headers.emplace_back("X-IQB-Stale", "true");
+      response.headers.emplace_back("X-IQB-Recovered-Cycle",
+                                    std::to_string(snapshot->cycle));
+    }
+    return response;
   }
   return {404, "application/json", json_error("error", "no such endpoint")};
 }

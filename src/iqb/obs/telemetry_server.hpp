@@ -44,6 +44,11 @@ struct ScoreSnapshot {
   std::string scores_json;       ///< report::to_json dump, ready to serve.
   bool tier_c = false;           ///< Any region at confidence tier C.
   std::vector<std::string> tier_c_regions;
+  /// True when the snapshot was recovered from a checkpoint after a
+  /// restart rather than produced by this process's own cycle. Served
+  /// with `"stale":true` on /readyz and an `X-IQB-Stale: true` header
+  /// on /scores until the first fresh cycle replaces it.
+  bool stale = false;
 };
 
 class TelemetryServer {
@@ -60,6 +65,8 @@ class TelemetryServer {
 
   util::Result<void> start() { return http_.start(); }
   void stop() { http_.stop(); }
+  /// Graceful: finish in-flight requests, then stop (SIGTERM drain).
+  void drain() { http_.drain(); }
   bool running() const noexcept { return http_.running(); }
   std::uint16_t port() const noexcept { return http_.port(); }
 

@@ -1,0 +1,221 @@
+#include "iqb/robust/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "iqb/util/fs.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::robust {
+
+namespace {
+
+constexpr const char* kMagic = "IQBCKPT";
+constexpr const char* kExtension = ".ckpt";
+
+util::Error reject(const std::string& reason) {
+  return util::make_error(util::ErrorCode::kParseError, reason);
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+  return buffer;
+}
+
+/// Zero-padded so lexicographic filename order == cycle order.
+std::string cycle_file_name(std::uint64_t cycle) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "checkpoint-%020llu",
+                static_cast<unsigned long long>(cycle));
+  return std::string(buffer) + kExtension;
+}
+
+std::uint64_t number_or_zero(const util::JsonValue& object,
+                             std::string_view key) {
+  auto value = object.get_number(key);
+  if (!value.ok() || value.value() < 0.0) return 0;
+  return static_cast<std::uint64_t>(value.value());
+}
+
+}  // namespace
+
+std::string Checkpoint::encode() const {
+  util::JsonObject payload;
+  payload.emplace("cycle", static_cast<std::int64_t>(cycle));
+  payload.emplace("cycles_attempted",
+                  static_cast<std::int64_t>(cycles_attempted));
+  payload.emplace("cycles_failed", static_cast<std::int64_t>(cycles_failed));
+  payload.emplace("trace_id", trace_id);
+  payload.emplace("scores_json", scores_json);
+  payload.emplace("tier_c", tier_c);
+  util::JsonArray regions;
+  for (const std::string& region : tier_c_regions) {
+    regions.emplace_back(region);
+  }
+  payload.emplace("tier_c_regions", std::move(regions));
+
+  const std::string body = util::JsonValue(std::move(payload)).dump();
+  std::string out = kMagic;
+  out += ' ';
+  out += std::to_string(kCheckpointVersion);
+  out += ' ';
+  out += crc_hex(util::fs::crc32(body));
+  out += ' ';
+  out += std::to_string(body.size());
+  out += '\n';
+  out += body;
+  return out;
+}
+
+util::Result<Checkpoint> Checkpoint::decode(std::string_view data) {
+  const std::size_t header_end = data.find('\n');
+  if (header_end == std::string_view::npos) {
+    return reject("missing header line");
+  }
+  const std::string header(data.substr(0, header_end));
+  const std::vector<std::string> fields = util::split(header, ' ');
+  if (fields.size() != 4 || fields[0] != kMagic) {
+    return reject("bad header magic");
+  }
+  auto version = util::parse_int(fields[1]);
+  if (!version.ok() || version.value() < 0) {
+    return reject("bad header version field");
+  }
+  if (static_cast<std::uint32_t>(version.value()) != kCheckpointVersion) {
+    return reject("unsupported version " + fields[1]);
+  }
+  auto declared_size = util::parse_int(fields[3]);
+  if (!declared_size.ok() || declared_size.value() < 0) {
+    return reject("bad header size field");
+  }
+
+  const std::string_view payload = data.substr(header_end + 1);
+  if (payload.size() <
+      static_cast<std::size_t>(declared_size.value())) {
+    return reject("truncated payload (" + std::to_string(payload.size()) +
+                  " of " + fields[3] + " bytes)");
+  }
+  if (payload.size() > static_cast<std::size_t>(declared_size.value())) {
+    return reject("trailing bytes after payload");
+  }
+  const std::string expected_crc = crc_hex(util::fs::crc32(payload));
+  if (expected_crc != fields[2]) {
+    return reject("crc mismatch (header " + fields[2] + ", payload " +
+                  expected_crc + ")");
+  }
+
+  auto parsed = util::parse_json(payload);
+  if (!parsed.ok()) {
+    return reject("payload is not valid JSON: " + parsed.error().message);
+  }
+  Checkpoint checkpoint;
+  checkpoint.cycle = number_or_zero(*parsed, "cycle");
+  checkpoint.cycles_attempted = number_or_zero(*parsed, "cycles_attempted");
+  checkpoint.cycles_failed = number_or_zero(*parsed, "cycles_failed");
+  if (auto trace = parsed->get_string("trace_id"); trace.ok()) {
+    checkpoint.trace_id = std::move(trace).value();
+  }
+  auto scores = parsed->get_string("scores_json");
+  if (!scores.ok()) return reject("payload missing scores_json");
+  checkpoint.scores_json = std::move(scores).value();
+  if (auto tier_c = parsed->get_bool("tier_c"); tier_c.ok()) {
+    checkpoint.tier_c = tier_c.value();
+  }
+  if (auto regions = parsed->get_array("tier_c_regions"); regions.ok()) {
+    for (const util::JsonValue& region : regions.value()) {
+      if (region.is_string()) {
+        checkpoint.tier_c_regions.push_back(region.as_string());
+      }
+    }
+  }
+  if (checkpoint.cycle == 0) return reject("payload missing cycle");
+  return checkpoint;
+}
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir, std::size_t keep)
+    : dir_(std::move(dir)), keep_(keep == 0 ? 1 : keep) {}
+
+util::Result<void> CheckpointStore::prepare() const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "cannot create state dir '" + dir_.string() +
+                                "': " + ec.message());
+  }
+  return {};
+}
+
+std::filesystem::path CheckpointStore::path_for_cycle(
+    std::uint64_t cycle) const {
+  return dir_ / cycle_file_name(cycle);
+}
+
+util::Result<void> CheckpointStore::save(const Checkpoint& checkpoint) const {
+  if (auto prepared = prepare(); !prepared.ok()) return prepared;
+  auto written = util::fs::atomic_write(path_for_cycle(checkpoint.cycle),
+                                        checkpoint.encode());
+  if (!written.ok()) return written.with_context("saving checkpoint");
+
+  // Prune oldest generations beyond the keep bound. Best-effort: a
+  // prune failure never fails the save that preserved the new state.
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (util::starts_with(name, "checkpoint-") &&
+        util::ends_with(name, kExtension)) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  while (files.size() > keep_) {
+    std::filesystem::remove(files.front(), ec);
+    files.erase(files.begin());
+  }
+  return {};
+}
+
+util::Result<CheckpointStore::LoadOutcome> CheckpointStore::load_newest()
+    const {
+  LoadOutcome outcome;
+  std::error_code ec;
+  if (!std::filesystem::exists(dir_, ec)) return outcome;
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (util::starts_with(name, "checkpoint-") &&
+        util::ends_with(name, kExtension)) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "cannot scan state dir '" + dir_.string() +
+                                "': " + ec.message());
+  }
+  // Newest first: the filename zero-pads the cycle ordinal.
+  std::sort(files.rbegin(), files.rend());
+  for (const std::filesystem::path& file : files) {
+    auto data = util::fs::read_file(file);
+    if (!data.ok()) {
+      outcome.rejected.push_back(
+          {file.filename().string(), data.error().message});
+      continue;
+    }
+    auto decoded = Checkpoint::decode(*data);
+    if (!decoded.ok()) {
+      outcome.rejected.push_back(
+          {file.filename().string(), decoded.error().message});
+      continue;
+    }
+    outcome.checkpoint = std::move(decoded).value();
+    break;
+  }
+  return outcome;
+}
+
+}  // namespace iqb::robust

@@ -1,0 +1,102 @@
+// Crash-safe scoring checkpoints for the iqbd daemon.
+//
+// A checkpoint captures the last good published state of the scoring
+// loop — the served snapshot (cycle ordinal, trace id, rendered
+// scores, degradation summary) plus the loop counters — so a restarted
+// daemon can serve the previous results immediately, flagged stale,
+// instead of answering 503 until the first fresh cycle lands.
+//
+// On-disk format (version 1), one file per checkpoint:
+//
+//   IQBCKPT 1 <crc32-hex8> <payload-bytes>\n
+//   <payload: compact JSON object, exactly payload-bytes long>
+//
+// The header pins the payload length, so truncation is detected even
+// when the cut lands on a JSON-valid prefix; the CRC-32 (util::fs)
+// covers the payload, so bit rot and partial sector writes are
+// detected; the version gate rejects future/foreign formats instead
+// of misparsing them. Files are written via util::fs::atomic_write,
+// so a crash mid-write can only ever leave a stray .tmp file (which
+// loading ignores), never a half-written checkpoint under the real
+// name.
+//
+// CheckpointStore manages a state directory of checkpoint-<cycle>
+// files: save() persists atomically and prunes old generations,
+// load_newest() scans newest-first and returns the first checkpoint
+// that decodes cleanly, reporting every rejected file with a reason
+// so the daemon can log and count corruption instead of silently
+// serving garbage.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::robust {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Serializable last-good-state of the scoring loop.
+struct Checkpoint {
+  std::uint64_t cycle = 0;           ///< Completed-cycle ordinal.
+  std::uint64_t cycles_attempted = 0;///< Loop counter incl. failures.
+  std::uint64_t cycles_failed = 0;
+  std::string trace_id;              ///< The completed cycle's id.
+  std::string scores_json;           ///< Rendered /scores document.
+  bool tier_c = false;               ///< Degradation summary of the
+  std::vector<std::string> tier_c_regions;  ///< snapshot, as served.
+
+  /// Serialize to the framed on-disk format above.
+  std::string encode() const;
+
+  /// Parse + verify a framed checkpoint. Errors name the defect
+  /// ("truncated payload", "crc mismatch", "unsupported version N").
+  static util::Result<Checkpoint> decode(std::string_view data);
+};
+
+class CheckpointStore {
+ public:
+  /// `keep` bounds retained generations (>= 1): save() prunes the
+  /// oldest files beyond it, so a corrupt newest checkpoint still has
+  /// intact predecessors to fall back to.
+  explicit CheckpointStore(std::filesystem::path dir, std::size_t keep = 3);
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  /// Create the directory if needed and verify it is writable.
+  util::Result<void> prepare() const;
+
+  /// Persist atomically as checkpoint-<cycle, zero-padded>.ckpt and
+  /// prune beyond the keep bound.
+  util::Result<void> save(const Checkpoint& checkpoint) const;
+
+  struct Rejected {
+    std::string file;    ///< Filename (not full path).
+    std::string reason;  ///< Why decoding refused it.
+  };
+  struct LoadOutcome {
+    std::optional<Checkpoint> checkpoint;  ///< Newest valid, if any.
+    std::vector<Rejected> rejected;        ///< Skipped on the way.
+  };
+
+  /// Scan the directory newest-first (cycle order is encoded in the
+  /// zero-padded filename) and return the first checkpoint that
+  /// decodes cleanly. A missing directory is an empty outcome, not an
+  /// error; .tmp leftovers are ignored.
+  util::Result<LoadOutcome> load_newest() const;
+
+  /// Path a given cycle's checkpoint would live at (exposed so the
+  /// chaos harness can target specific files for corruption).
+  std::filesystem::path path_for_cycle(std::uint64_t cycle) const;
+
+ private:
+  std::filesystem::path dir_;
+  std::size_t keep_;
+};
+
+}  // namespace iqb::robust

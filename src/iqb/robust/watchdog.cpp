@@ -1,0 +1,104 @@
+#include "iqb/robust/watchdog.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace iqb::robust {
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+CycleWatchdog::CycleWatchdog(Options options) : options_(std::move(options)) {
+  if (!options_.now_ms) options_.now_ms = steady_now_ms;
+  if (options_.check_interval_ms == 0) options_.check_interval_ms = 1;
+}
+
+CycleWatchdog::~CycleWatchdog() { stop(); }
+
+void CycleWatchdog::start() {
+  if (running_ || options_.deadline_ms == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  running_ = true;
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void CycleWatchdog::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  running_ = false;
+}
+
+void CycleWatchdog::arm(std::uint64_t cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+  fired_ = false;
+  cycle_ = cycle;
+  deadline_at_ms_ = options_.now_ms() + options_.deadline_ms;
+}
+
+void CycleWatchdog::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+}
+
+bool CycleWatchdog::expired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+std::uint64_t CycleWatchdog::timeouts_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timeouts_total_;
+}
+
+bool CycleWatchdog::evaluate(std::uint64_t& timed_out_cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_ || fired_ || options_.deadline_ms == 0) return false;
+  if (options_.now_ms() < deadline_at_ms_) return false;
+  fired_ = true;
+  ++timeouts_total_;
+  timed_out_cycle = cycle_;
+  return true;
+}
+
+bool CycleWatchdog::check_now() {
+  std::uint64_t timed_out_cycle = 0;
+  // The callback runs outside the lock so it may take other locks
+  // (metrics registry, logging) without ordering hazards.
+  if (evaluate(timed_out_cycle) && options_.on_timeout) {
+    options_.on_timeout(timed_out_cycle);
+  }
+  return expired();
+}
+
+void CycleWatchdog::monitor_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.check_interval_ms),
+                       [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    check_now();
+  }
+}
+
+}  // namespace iqb::robust

@@ -1,0 +1,98 @@
+// Per-cycle deadline enforcement for long-running loops.
+//
+// A scoring loop that processes operator-supplied input can be wedged
+// by one pathological file: a cycle that never finishes stalls the
+// loop forever and the service goes quietly stale. CycleWatchdog puts
+// a deadline on each cycle from a separate monitor thread: the loop
+// arm()s before a cycle, disarm()s after, and if the deadline passes
+// in between the watchdog fires its on_timeout callback exactly once
+// for that cycle. Abort is cooperative — the callback typically sets
+// a cancellation flag the cycle checks at stage boundaries — because
+// forcibly killing a thread mid-pipeline would leak locks and
+// corrupt shared state.
+//
+// Time is injected (now_ms function) so tests drive a manual clock
+// and fire deadlines deterministically; check_now() evaluates the
+// deadline synchronously for tests that don't want the monitor
+// thread at all. Production uses the default steady-clock source.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace iqb::robust {
+
+class CycleWatchdog {
+ public:
+  struct Options {
+    /// Per-cycle deadline; 0 disables the watchdog entirely.
+    std::uint64_t deadline_ms = 60'000;
+    /// Monitor thread wake cadence (real time).
+    std::uint64_t check_interval_ms = 100;
+    /// Time source for deadline arithmetic. Null: process steady
+    /// clock. Injected by tests for deterministic expiry.
+    std::function<std::uint64_t()> now_ms;
+    /// Fired once per armed cycle when its deadline passes, from the
+    /// monitor thread (or the check_now() caller). Must not call back
+    /// into the watchdog.
+    std::function<void(std::uint64_t cycle)> on_timeout;
+  };
+
+  explicit CycleWatchdog(Options options);
+  ~CycleWatchdog();  ///< Calls stop().
+  CycleWatchdog(const CycleWatchdog&) = delete;
+  CycleWatchdog& operator=(const CycleWatchdog&) = delete;
+
+  /// Launch the monitor thread. No-op when the deadline is 0 or the
+  /// watchdog is already running.
+  void start();
+
+  /// Stop and join the monitor thread. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+
+  /// Begin the deadline for `cycle`. Re-arming replaces the previous
+  /// deadline (each cycle gets a fresh budget).
+  void arm(std::uint64_t cycle);
+
+  /// The armed cycle finished (or was abandoned); no further timeout
+  /// can fire for it.
+  void disarm();
+
+  /// True once on_timeout fired for the currently/last armed cycle;
+  /// reset by the next arm().
+  bool expired() const;
+
+  /// Evaluate the deadline synchronously (what the monitor thread
+  /// does each wake). Returns expired(). Exposed for deterministic
+  /// tests and usable without start().
+  bool check_now();
+
+  /// Timeouts fired over the watchdog's lifetime.
+  std::uint64_t timeouts_total() const;
+
+ private:
+  void monitor_loop();
+  /// Returns the armed cycle id if its deadline just passed.
+  bool evaluate(std::uint64_t& timed_out_cycle);
+
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  ///< Guarded by mutex_.
+  bool armed_ = false;
+  bool fired_ = false;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t deadline_at_ms_ = 0;
+  std::uint64_t timeouts_total_ = 0;
+
+  bool running_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace iqb::robust

@@ -1,0 +1,141 @@
+#include "iqb/util/fs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace iqb::util::fs {
+
+namespace {
+
+/// Table for the reflected IEEE polynomial 0xEDB88320, built once.
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+util::Error io_error(const std::string& what,
+                     const std::filesystem::path& path) {
+  return util::make_error(util::ErrorCode::kIoError,
+                          what + " '" + path.string() +
+                              "': " + std::strerror(errno));
+}
+
+/// Write the whole buffer to fd, retrying on EINTR / short writes.
+bool write_all(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsync the directory holding `path` so the rename itself is durable.
+/// Best-effort: some filesystems reject O_DIRECTORY fsync; the write
+/// is still atomic with respect to readers either way.
+void sync_parent_dir(const std::filesystem::path& path) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::string_view data) noexcept {
+  const auto& table = crc32_table();
+  for (const char ch : data) {
+    state = table[(state ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+util::Result<void> atomic_write(const std::filesystem::path& path,
+                                std::string_view data) {
+  // Unique-per-process temp name beside the target; a counter keeps
+  // concurrent atomic_write calls from one process apart.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::filesystem::path temp =
+      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(sequence.fetch_add(1));
+
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return io_error("cannot create temp file", temp);
+
+  auto fail = [&](const std::string& what,
+                  const std::filesystem::path& where) {
+    util::Error error = io_error(what, where);
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return error;
+  };
+
+  if (!write_all(fd, data)) return fail("cannot write", temp);
+  if (::fsync(fd) != 0) return fail("cannot fsync", temp);
+  if (::close(fd) != 0) {
+    util::Error error = io_error("cannot close", temp);
+    ::unlink(temp.c_str());
+    return error;
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    util::Error error = io_error("cannot rename into", path);
+    ::unlink(temp.c_str());
+    return error;
+  }
+  sync_parent_dir(path);
+  return {};
+}
+
+util::Result<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "cannot open '" + path.string() + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "read failed for '" + path.string() + "'");
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace iqb::util::fs

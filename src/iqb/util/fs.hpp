@@ -1,0 +1,46 @@
+// Crash-safe filesystem primitives.
+//
+// Every durable artifact the framework emits (reports, telemetry
+// exports, daemon checkpoints) goes through atomic_write: the data is
+// written to a temporary file in the destination directory, fsynced,
+// and renamed over the target, then the directory entry itself is
+// fsynced. A reader therefore observes either the old complete file
+// or the new complete file — never a truncated or interleaved one —
+// and a crash mid-write leaves the previous version intact.
+//
+// crc32 (IEEE 802.3 polynomial, the zlib/PNG variant) is the checksum
+// the checkpoint format layers on top: rename gives atomicity against
+// crashes of *this* process; the CRC catches torn sectors, truncation
+// by other tools, and bit rot once the file is on disk.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::util::fs {
+
+/// CRC-32 (IEEE, reflected, init/xorout 0xFFFFFFFF) of `data`.
+/// crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Incremental form: feed chunks with `state` threaded through,
+/// starting from crc32_init() and finishing with crc32_final().
+std::uint32_t crc32_init() noexcept;
+std::uint32_t crc32_update(std::uint32_t state, std::string_view data) noexcept;
+std::uint32_t crc32_final(std::uint32_t state) noexcept;
+
+/// Write `data` to `path` atomically: temp file in the same directory
+/// (same filesystem, so the rename cannot cross devices), write all
+/// bytes, fsync the file, rename over `path`, fsync the directory.
+/// On any failure the temp file is removed and `path` is untouched.
+util::Result<void> atomic_write(const std::filesystem::path& path,
+                                std::string_view data);
+
+/// Read a whole file into a string (binary, no newline translation).
+util::Result<std::string> read_file(const std::filesystem::path& path);
+
+}  // namespace iqb::util::fs

@@ -165,6 +165,36 @@ TEST_F(CliTest, ScoreOutFileWritten) {
   std::remove(path.c_str());
 }
 
+TEST_F(CliTest, ScoreOutIsAtomicNoTempLeftoverAndOldFileSurvivesFailure) {
+  // --out goes through util::fs::atomic_write: on success the
+  // directory holds only the target (the temp file was renamed over
+  // it); an unwritable destination reports an error without having
+  // touched anything.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("iqb_cli_atomic_" + std::to_string(getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "scores.json").string();
+  std::string out;
+  EXPECT_EQ(run({"score", "--records", records_path_, "--format", "json",
+                 "--out", path},
+                &out),
+            0);
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+
+  std::string err;
+  EXPECT_NE(run({"score", "--records", records_path_, "--format", "json",
+                 "--out", (dir / "no" / "such" / "dir.json").string()},
+                &out, &err),
+            0);
+  EXPECT_NE(err.find("cannot write"), std::string::npos) << err;
+  std::filesystem::remove_all(dir);
+}
+
 TEST_F(CliTest, AggregateCsvShape) {
   std::string out;
   EXPECT_EQ(run({"aggregate", "--records", records_path_}, &out), 0);

@@ -292,6 +292,44 @@ TEST_F(DaemonTest, RecordsFileMtimeChangeTriggersEarlyCycle) {
   std::remove(path.c_str());
 }
 
+TEST_F(DaemonTest, RecordsFileDeletedThenRecreatedTriggersCycleNotFailure) {
+  // A writer replacing the records file atomically may briefly unlink
+  // the name; the mtime poll must treat the transient ENOENT as "no
+  // change yet" and pick up the recreated file's new mtime.
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("iqb_daemon_recreate_" + std::to_string(getpid()) + ".csv"))
+          .string();
+  std::filesystem::copy_file(
+      records_path_, path, std::filesystem::copy_options::overwrite_existing);
+
+  DaemonOptions options = base_options();
+  options.records_path = path;
+  options.interval_ms = 60'000;  // only the watcher can re-run
+  options.poll_ms = 5;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.start(err).ok());
+  ASSERT_TRUE(eventually([&] { return daemon.cycles_total() >= 1; }));
+
+  // Delete the file and let several polls observe the gap: no early
+  // cycle, no failed cycle, just patience.
+  std::filesystem::remove(path);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(daemon.cycles_total(), 1u);
+  EXPECT_EQ(daemon.cycles_failed(), 0u);
+
+  // Recreate it (new mtime): the watcher schedules the next cycle.
+  std::filesystem::copy_file(
+      records_path_, path, std::filesystem::copy_options::overwrite_existing);
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) + std::chrono::seconds(2));
+  EXPECT_TRUE(eventually([&] { return daemon.cycles_total() >= 2; }));
+  EXPECT_EQ(daemon.cycles_failed(), 0u);
+  daemon.stop();
+  std::remove(path.c_str());
+}
+
 TEST_F(DaemonTest, StopDuringActiveCyclesJoinsCleanly) {
   DaemonOptions options = base_options();
   options.interval_ms = 1;  // cycle as fast as possible

@@ -1,0 +1,218 @@
+// robust::Checkpoint framing and CheckpointStore recovery semantics:
+// round-trips, every rejection class (torn, bit rot, foreign
+// version), generation pruning, and newest-valid-wins fallback.
+#include "iqb/robust/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "iqb/util/fs.hpp"
+
+namespace iqb::robust {
+namespace {
+
+Checkpoint example_checkpoint(std::uint64_t cycle = 7) {
+  Checkpoint checkpoint;
+  checkpoint.cycle = cycle;
+  checkpoint.cycles_attempted = cycle + 2;
+  checkpoint.cycles_failed = 2;
+  checkpoint.trace_id = "iqbd-" + std::to_string(cycle);
+  checkpoint.scores_json = "{\"regions\": [{\"iqb\": 71.5}]}\n";
+  checkpoint.tier_c = true;
+  checkpoint.tier_c_regions = {"rural-east", "islands"};
+  return checkpoint;
+}
+
+std::filesystem::path fresh_dir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("iqb_ckpt_test_" + tag + "_" + std::to_string(getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void write_raw(const std::filesystem::path& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+TEST(CheckpointTest, EncodeDecodeRoundTripsEveryField) {
+  const Checkpoint original = example_checkpoint();
+  auto decoded = Checkpoint::decode(original.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded->cycle, original.cycle);
+  EXPECT_EQ(decoded->cycles_attempted, original.cycles_attempted);
+  EXPECT_EQ(decoded->cycles_failed, original.cycles_failed);
+  EXPECT_EQ(decoded->trace_id, original.trace_id);
+  EXPECT_EQ(decoded->scores_json, original.scores_json);
+  EXPECT_EQ(decoded->tier_c, original.tier_c);
+  EXPECT_EQ(decoded->tier_c_regions, original.tier_c_regions);
+}
+
+TEST(CheckpointTest, EncodedFrameDeclaresPayloadSizeAndCrc) {
+  const std::string frame = example_checkpoint().encode();
+  ASSERT_EQ(frame.rfind("IQBCKPT 1 ", 0), 0u) << frame.substr(0, 40);
+  const std::size_t newline = frame.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string payload = frame.substr(newline + 1);
+  // Header byte count pins the payload exactly.
+  EXPECT_NE(frame.find(" " + std::to_string(payload.size()) + "\n"),
+            std::string::npos);
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                iqb::util::fs::crc32(payload));
+  EXPECT_NE(frame.find(crc_hex), std::string::npos);
+}
+
+TEST(CheckpointTest, TruncationIsRejectedAtEveryCut) {
+  const std::string frame = example_checkpoint().encode();
+  // Any prefix must fail to decode — the torn-write cases the framing
+  // exists to catch, including cuts that land on valid JSON prefixes.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    auto decoded = Checkpoint::decode(frame.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut << " decoded";
+  }
+}
+
+TEST(CheckpointTest, BitFlipAnywhereInPayloadIsRejected) {
+  const std::string frame = example_checkpoint().encode();
+  const std::size_t payload_start = frame.find('\n') + 1;
+  for (std::size_t at = payload_start; at < frame.size(); at += 7) {
+    std::string mutated = frame;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+    auto decoded = Checkpoint::decode(mutated);
+    EXPECT_FALSE(decoded.ok()) << "flip at " << at << " decoded";
+  }
+}
+
+TEST(CheckpointTest, ForeignVersionAndMagicAreRejected) {
+  std::string frame = example_checkpoint().encode();
+  std::string wrong_version = frame;
+  wrong_version.replace(frame.find(" 1 "), 3, " 2 ");
+  auto decoded = Checkpoint::decode(wrong_version);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().message.find("version"), std::string::npos);
+
+  std::string wrong_magic = frame;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(Checkpoint::decode(wrong_magic).ok());
+
+  EXPECT_FALSE(Checkpoint::decode("").ok());
+  EXPECT_FALSE(Checkpoint::decode("not a checkpoint at all").ok());
+}
+
+TEST(CheckpointTest, TrailingBytesAreRejected) {
+  // Appended garbage (e.g. a doubled write) must not decode either.
+  EXPECT_FALSE(Checkpoint::decode(example_checkpoint().encode() + "x").ok());
+}
+
+TEST(CheckpointStoreTest, SaveThenLoadNewestWins) {
+  const auto dir = fresh_dir("newest");
+  CheckpointStore store(dir);
+  ASSERT_TRUE(store.prepare().ok());
+  ASSERT_TRUE(store.save(example_checkpoint(1)).ok());
+  ASSERT_TRUE(store.save(example_checkpoint(2)).ok());
+  auto outcome = store.load_newest();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->checkpoint.has_value());
+  EXPECT_EQ(outcome->checkpoint->cycle, 2u);
+  EXPECT_TRUE(outcome->rejected.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, PrunesGenerationsBeyondKeep) {
+  const auto dir = fresh_dir("prune");
+  CheckpointStore store(dir, /*keep=*/2);
+  ASSERT_TRUE(store.prepare().ok());
+  for (std::uint64_t cycle = 1; cycle <= 5; ++cycle) {
+    ASSERT_TRUE(store.save(example_checkpoint(cycle)).ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(store.path_for_cycle(3)));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for_cycle(4)));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for_cycle(5)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, CorruptNewestFallsBackToOlderGeneration) {
+  const auto dir = fresh_dir("fallback");
+  CheckpointStore store(dir);
+  ASSERT_TRUE(store.prepare().ok());
+  ASSERT_TRUE(store.save(example_checkpoint(1)).ok());
+  ASSERT_TRUE(store.save(example_checkpoint(2)).ok());
+  // Tear the newest file in half — recovery must skip it with a
+  // reason and serve cycle 1 instead.
+  const auto newest = store.path_for_cycle(2);
+  const std::string full = iqb::util::fs::read_file(newest).value();
+  write_raw(newest, full.substr(0, full.size() / 2));
+
+  auto outcome = store.load_newest();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->checkpoint.has_value());
+  EXPECT_EQ(outcome->checkpoint->cycle, 1u);
+  ASSERT_EQ(outcome->rejected.size(), 1u);
+  EXPECT_EQ(outcome->rejected[0].file,
+            newest.filename().string());
+  EXPECT_FALSE(outcome->rejected[0].reason.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, AllCorruptYieldsEmptyOutcomeWithReasons) {
+  const auto dir = fresh_dir("allcorrupt");
+  CheckpointStore store(dir);
+  ASSERT_TRUE(store.prepare().ok());
+  ASSERT_TRUE(store.save(example_checkpoint(1)).ok());
+  ASSERT_TRUE(store.save(example_checkpoint(2)).ok());
+  write_raw(store.path_for_cycle(1), "IQBCKPT garbage");
+  std::string flipped = iqb::util::fs::read_file(store.path_for_cycle(2)).value();
+  flipped[flipped.size() - 3] ^= 0x01;
+  write_raw(store.path_for_cycle(2), flipped);
+
+  auto outcome = store.load_newest();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->checkpoint.has_value());
+  EXPECT_EQ(outcome->rejected.size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, MissingDirectoryIsEmptyNotError) {
+  CheckpointStore store(fresh_dir("missing") / "never-created");
+  auto outcome = store.load_newest();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->checkpoint.has_value());
+  EXPECT_TRUE(outcome->rejected.empty());
+}
+
+TEST(CheckpointStoreTest, TempLeftoversAreIgnored) {
+  const auto dir = fresh_dir("tmpjunk");
+  CheckpointStore store(dir);
+  ASSERT_TRUE(store.prepare().ok());
+  ASSERT_TRUE(store.save(example_checkpoint(3)).ok());
+  // A crash mid-atomic_write can leave .tmp files; loading must not
+  // even look at them (they are not named checkpoint-*.ckpt).
+  write_raw(dir / "checkpoint-00000000000000000009.ckpt.tmp.1.2", "torn");
+  write_raw(dir / "unrelated.txt", "noise");
+  auto outcome = store.load_newest();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->checkpoint.has_value());
+  EXPECT_EQ(outcome->checkpoint->cycle, 3u);
+  EXPECT_TRUE(outcome->rejected.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, FilenamesSortInCycleOrder) {
+  CheckpointStore store("/tmp/iqb-unused");
+  // Zero-padded names keep lexicographic order == numeric order, which
+  // load_newest()'s reverse scan relies on.
+  EXPECT_LT(store.path_for_cycle(9).filename().string(),
+            store.path_for_cycle(10).filename().string());
+  EXPECT_LT(store.path_for_cycle(99).filename().string(),
+            store.path_for_cycle(100).filename().string());
+}
+
+}  // namespace
+}  // namespace iqb::robust

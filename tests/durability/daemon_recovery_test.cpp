@@ -1,0 +1,318 @@
+// iqbd durability end-to-end: per-cycle checkpoints, restart
+// recovery (stale serving, corrupt-skip, monotone counters), the
+// watchdog cancelling a slow cycle, graceful stop, and the
+// checkpoint-off path staying bit-identical.
+#include "iqb/cli/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/synthetic.hpp"
+#include "iqb/robust/checkpoint.hpp"
+#include "iqb/util/fs.hpp"
+#include "iqb/util/json.hpp"
+#include "../testsupport/http_get.hpp"
+
+namespace iqb::cli {
+namespace {
+
+using testsupport::http_get;
+
+/// Poll until `predicate` holds or ~5 s elapse.
+template <typename Predicate>
+bool eventually(Predicate predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+class DaemonRecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    records_path_ =
+        (std::filesystem::temp_directory_path() /
+         ("iqb_recovery_test_records_" + std::to_string(getpid()) + ".csv"))
+            .string();
+    util::Rng rng(431);
+    datasets::RecordStore store;
+    datasets::SyntheticConfig config;
+    config.records_per_dataset = 40;
+    config.base_time = util::Timestamp::parse("2025-03-01").value();
+    config.spacing_s = 3600;
+    for (const auto& profile : datasets::example_region_profiles()) {
+      store.add_all(datasets::generate_region_records(
+          profile, datasets::default_dataset_panel(), config, rng));
+    }
+    ASSERT_TRUE(
+        datasets::write_records_csv(records_path_, store.records()).ok());
+  }
+
+  static void TearDownTestSuite() { std::remove(records_path_.c_str()); }
+
+  void SetUp() override {
+    state_dir_ = (std::filesystem::temp_directory_path() /
+                  ("iqb_recovery_state_" + std::to_string(getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+                     .string();
+    std::filesystem::remove_all(state_dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(state_dir_); }
+
+  DaemonOptions base_options() const {
+    DaemonOptions options;
+    options.records_path = records_path_;
+    options.port = 0;  // ephemeral
+    options.state_dir = state_dir_;
+    return options;
+  }
+
+  static std::string records_path_;
+  std::string state_dir_;
+};
+
+std::string DaemonRecoveryTest::records_path_;
+
+TEST_F(DaemonRecoveryTest, EveryCompletedCycleWritesAValidCheckpoint) {
+  WatchDaemon daemon(base_options());
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+
+  robust::CheckpointStore store(state_dir_);
+  for (std::uint64_t cycle : {1u, 2u}) {
+    auto data = util::fs::read_file(store.path_for_cycle(cycle));
+    ASSERT_TRUE(data.ok()) << "missing checkpoint for cycle " << cycle;
+    auto checkpoint = robust::Checkpoint::decode(*data);
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.error().to_string();
+    EXPECT_EQ(checkpoint->cycle, cycle);
+    EXPECT_EQ(checkpoint->trace_id, "iqbd-" + std::to_string(cycle));
+    EXPECT_EQ(checkpoint->scores_json,
+              daemon.server().latest()->scores_json);
+  }
+}
+
+TEST_F(DaemonRecoveryTest, RestartServesRecoveredSnapshotUntilFreshCycle) {
+  std::string scores_before;
+  {
+    WatchDaemon first(base_options());
+    std::ostringstream err;
+    ASSERT_TRUE(first.run_cycle(err));
+    ASSERT_TRUE(first.run_cycle(err));
+    scores_before = first.server().latest()->scores_json;
+  }  // "crash": the daemon goes away, the state dir survives
+
+  WatchDaemon second(base_options());
+  std::ostringstream err;
+  ASSERT_TRUE(second.recover(err).ok()) << err.str();
+  EXPECT_NE(err.str().find("recovered checkpoint: cycle 2"),
+            std::string::npos)
+      << err.str();
+  EXPECT_TRUE(second.serving_stale());
+  EXPECT_EQ(second.cycles_total(), 2u);  // counters resume, not reset
+
+  // /readyz answers 200 but flags the snapshot recovered + stale.
+  obs::HttpResponse ready = second.server().handle({"GET", "/readyz"});
+  EXPECT_EQ(ready.status, 200);
+  auto ready_json = util::parse_json(ready.body);
+  ASSERT_TRUE(ready_json.ok());
+  EXPECT_EQ(ready_json->get_string("status").value(), "recovered");
+  EXPECT_TRUE(ready_json->get_bool("stale").value());
+  EXPECT_EQ(ready_json->get_number("cycle").value(), 2.0);
+
+  // /scores serves the recovered body verbatim, staleness in headers.
+  obs::HttpResponse scores = second.server().handle({"GET", "/scores"});
+  EXPECT_EQ(scores.status, 200);
+  EXPECT_EQ(scores.body, scores_before);
+  ASSERT_EQ(scores.headers.size(), 2u);
+  EXPECT_EQ(scores.headers[0].first, "X-IQB-Stale");
+  EXPECT_EQ(scores.headers[0].second, "true");
+  EXPECT_EQ(scores.headers[1].first, "X-IQB-Recovered-Cycle");
+  EXPECT_EQ(scores.headers[1].second, "2");
+
+  // The first fresh cycle replaces the stale snapshot; ordinals stay
+  // monotone across the restart.
+  ASSERT_TRUE(second.run_cycle(err));
+  EXPECT_FALSE(second.serving_stale());
+  EXPECT_EQ(second.server().latest()->cycle, 3u);
+  ready = second.server().handle({"GET", "/readyz"});
+  auto fresh_json = util::parse_json(ready.body);
+  ASSERT_TRUE(fresh_json.ok());
+  EXPECT_EQ(fresh_json->get_string("status").value(), "ready");
+  EXPECT_FALSE(fresh_json->get_bool("stale").value());
+  EXPECT_EQ(second.server().handle({"GET", "/scores"}).headers.size(), 0u);
+}
+
+TEST_F(DaemonRecoveryTest, CorruptNewestCheckpointFallsBackAndIsCounted) {
+  {
+    WatchDaemon first(base_options());
+    std::ostringstream err;
+    ASSERT_TRUE(first.run_cycle(err));
+    ASSERT_TRUE(first.run_cycle(err));
+  }
+  // Truncate the newest generation: a torn write survived a crash.
+  robust::CheckpointStore store(state_dir_);
+  const auto newest = store.path_for_cycle(2);
+  const std::string full = util::fs::read_file(newest).value();
+  {
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out << full.substr(0, full.size() / 3);
+  }
+
+  WatchDaemon second(base_options());
+  std::ostringstream err;
+  ASSERT_TRUE(second.recover(err).ok());
+  EXPECT_EQ(second.checkpoints_rejected(), 1u);
+  EXPECT_NE(err.str().find("skipping corrupt checkpoint"),
+            std::string::npos)
+      << err.str();
+  ASSERT_TRUE(second.serving_stale());
+  EXPECT_EQ(second.server().latest()->cycle, 1u);  // older generation
+
+  // The corruption counter is exported for alerting.
+  const std::string metrics =
+      second.server().handle({"GET", "/metrics"}).body;
+  EXPECT_NE(metrics.find("iqbd_checkpoint_corrupt_total 1"),
+            std::string::npos)
+      << metrics.substr(0, 400);
+}
+
+TEST_F(DaemonRecoveryTest, AllCheckpointsCorruptStartsUnready) {
+  {
+    WatchDaemon first(base_options());
+    std::ostringstream err;
+    ASSERT_TRUE(first.run_cycle(err));
+  }
+  robust::CheckpointStore store(state_dir_);
+  {
+    std::ofstream out(store.path_for_cycle(1),
+                      std::ios::binary | std::ios::trunc);
+    out << "IQBCKPT not a real checkpoint";
+  }
+  WatchDaemon second(base_options());
+  std::ostringstream err;
+  ASSERT_TRUE(second.recover(err).ok());
+  EXPECT_EQ(second.checkpoints_rejected(), 1u);
+  EXPECT_FALSE(second.serving_stale());
+  // No valid generation: same cold start as an empty state dir.
+  EXPECT_EQ(second.server().handle({"GET", "/readyz"}).status, 503);
+  EXPECT_EQ(second.server().handle({"GET", "/scores"}).status, 503);
+  EXPECT_EQ(second.cycles_total(), 0u);
+}
+
+TEST_F(DaemonRecoveryTest, WatchdogCancelsSlowCycleAndLoopBacksOff) {
+  // Injected clock: the mid-cycle hook pushes time past the deadline,
+  // then waits (bounded) for the monitor thread to cancel the cycle.
+  auto clock = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto timeouts = std::make_shared<std::atomic<std::uint64_t>>(0);
+  WatchDaemon* daemon_ptr = nullptr;
+
+  DaemonOptions options = base_options();
+  options.state_dir.reset();  // isolate the watchdog behavior
+  options.max_cycles = 1;
+  options.poll_ms = 5;
+  options.cycle_deadline_ms = 1000;
+  options.watchdog_now_ms = [clock] { return clock->load(); };
+  options.mid_cycle_hook = [clock, &daemon_ptr] {
+    clock->store(5'000);  // well past the 1000 ms budget
+    for (int i = 0; i < 500 && daemon_ptr->cycle_timeouts() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+
+  WatchDaemon daemon(options);
+  daemon_ptr = &daemon;
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.start(err).ok());
+  ASSERT_TRUE(eventually([&] { return daemon.finished(); })) << err.str();
+  daemon.stop();
+
+  EXPECT_EQ(daemon.cycle_timeouts(), 1u);
+  EXPECT_EQ(daemon.cycles_failed(), 1u);
+  EXPECT_NE(err.str().find("cycle deadline exceeded"), std::string::npos)
+      << err.str();
+  // A cancelled cycle never publishes: readiness is untouched.
+  EXPECT_EQ(daemon.server().handle({"GET", "/readyz"}).status, 503);
+  const std::string metrics =
+      daemon.server().handle({"GET", "/metrics"}).body;
+  EXPECT_NE(metrics.find("iqbd_cycle_timeouts_total 1"), std::string::npos)
+      << metrics.substr(0, 400);
+}
+
+TEST_F(DaemonRecoveryTest, StopDrainsThreadsAndLeavesNewestCheckpoint) {
+  DaemonOptions options = base_options();
+  options.interval_ms = 1;
+  options.poll_ms = 1;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.start(err).ok());
+  ASSERT_TRUE(eventually([&] { return daemon.cycles_total() >= 2; }));
+  daemon.stop();  // graceful drain: loop, watchdog, HTTP all join
+  EXPECT_FALSE(daemon.running());
+
+  // The newest on-disk checkpoint matches the last published cycle —
+  // nothing the daemon served was lost at shutdown.
+  const auto snapshot = daemon.server().latest();
+  ASSERT_NE(snapshot, nullptr);
+  robust::CheckpointStore store(state_dir_);
+  auto outcome = store.load_newest();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->checkpoint.has_value());
+  EXPECT_EQ(outcome->checkpoint->cycle, snapshot->cycle);
+  EXPECT_TRUE(outcome->rejected.empty());
+  // stop() is idempotent.
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+}
+
+TEST_F(DaemonRecoveryTest, CheckpointOffPathScoresBitIdentically) {
+  // Without --state-dir the daemon must behave exactly as before the
+  // durability layer existed: same scores, no state files, no stale
+  // flag anywhere.
+  DaemonOptions with_state = base_options();
+  DaemonOptions without_state = base_options();
+  without_state.state_dir.reset();
+  WatchDaemon durable(with_state);
+  WatchDaemon plain(without_state);
+  std::ostringstream err;
+  ASSERT_TRUE(durable.run_cycle(err));
+  ASSERT_TRUE(plain.run_cycle(err));
+  const auto a = durable.server().latest();
+  const auto b = plain.server().latest();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->scores_json, b->scores_json);
+  EXPECT_FALSE(b->stale);
+  EXPECT_EQ(plain.server().handle({"GET", "/scores"}).headers.size(), 0u);
+}
+
+TEST_F(DaemonRecoveryTest, ParseArgsAcceptsDurabilityFlags) {
+  auto options = parse_daemon_args({"--records", "r.csv", "--state-dir",
+                                    "/tmp/iqb-state", "--cycle-deadline-ms",
+                                    "2500"});
+  ASSERT_TRUE(options.ok()) << options.error().to_string();
+  ASSERT_TRUE(options->state_dir.has_value());
+  EXPECT_EQ(*options->state_dir, "/tmp/iqb-state");
+  EXPECT_EQ(options->cycle_deadline_ms, 2500u);
+  EXPECT_FALSE(
+      parse_daemon_args({"--records", "r.csv", "--cycle-deadline-ms", "x"})
+          .ok());
+}
+
+}  // namespace
+}  // namespace iqb::cli

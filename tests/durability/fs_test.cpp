@@ -1,0 +1,85 @@
+// util::fs durability primitives: CRC-32 vectors and the atomic
+// write-fsync-rename path checkpointing depends on.
+#include "iqb/util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace iqb::util::fs {
+namespace {
+
+std::filesystem::path temp_dir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("iqb_fs_test_" + std::to_string(getpid()));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, data.substr(0, 7));
+  state = crc32_update(state, data.substr(7, 1));
+  state = crc32_update(state, data.substr(8));
+  EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "IQBCKPT payload bytes";
+  const std::uint32_t clean = crc32(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(crc32(data), clean);
+}
+
+TEST(AtomicWriteTest, WritesAndOverwritesWithoutTempLeftovers) {
+  const auto dir = temp_dir();
+  const auto path = dir / "atomic.txt";
+  ASSERT_TRUE(atomic_write(path, "first\n").ok());
+  EXPECT_EQ(read_file(path).value(), "first\n");
+  ASSERT_TRUE(atomic_write(path, "second\n").ok());
+  EXPECT_EQ(read_file(path).value(), "second\n");
+  // The rename consumed the temp file; the directory holds exactly
+  // the target.
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicWriteTest, RoundTripsBinaryData) {
+  const auto dir = temp_dir();
+  const auto path = dir / "binary.bin";
+  std::string data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<char>(i));
+  ASSERT_TRUE(atomic_write(path, data).ok());
+  EXPECT_EQ(read_file(path).value(), data);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicWriteTest, MissingDirectoryFailsAndTargetUntouched) {
+  const auto path =
+      temp_dir() / "no" / "such" / "dir" / "file.txt";
+  EXPECT_FALSE(atomic_write(path, "data").ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ReadFileTest, MissingFileIsAnError) {
+  EXPECT_FALSE(read_file("/nonexistent/iqb-fs-test").ok());
+}
+
+}  // namespace
+}  // namespace iqb::util::fs

@@ -1,0 +1,138 @@
+// robust::CycleWatchdog: deterministic deadline firing on an injected
+// clock, once-per-cycle semantics, disarm, and the monitor thread.
+#include "iqb/robust/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace iqb::robust {
+namespace {
+
+/// Manually driven time source for deterministic expiry.
+struct ManualClock {
+  std::atomic<std::uint64_t> now_ms{0};
+  std::function<std::uint64_t()> source() {
+    return [this] { return now_ms.load(); };
+  }
+};
+
+TEST(CycleWatchdogTest, FiresOncePerArmedCycleOnInjectedClock) {
+  ManualClock clock;
+  std::vector<std::uint64_t> timed_out;
+  CycleWatchdog::Options options;
+  options.deadline_ms = 1000;
+  options.now_ms = clock.source();
+  options.on_timeout = [&](std::uint64_t cycle) {
+    timed_out.push_back(cycle);
+  };
+  CycleWatchdog watchdog(std::move(options));
+
+  watchdog.arm(1);
+  EXPECT_FALSE(watchdog.check_now());  // deadline not reached
+  clock.now_ms = 999;
+  EXPECT_FALSE(watchdog.check_now());
+  clock.now_ms = 1000;
+  EXPECT_TRUE(watchdog.check_now());   // fires exactly at the deadline
+  EXPECT_TRUE(watchdog.expired());
+  EXPECT_TRUE(watchdog.check_now());   // still expired, but...
+  ASSERT_EQ(timed_out.size(), 1u);     // ...the callback ran only once
+  EXPECT_EQ(timed_out[0], 1u);
+  EXPECT_EQ(watchdog.timeouts_total(), 1u);
+
+  // Re-arming grants the next cycle a fresh budget and resets expiry.
+  watchdog.arm(2);
+  EXPECT_FALSE(watchdog.expired());
+  EXPECT_FALSE(watchdog.check_now());
+  clock.now_ms = 2100;
+  EXPECT_TRUE(watchdog.check_now());
+  ASSERT_EQ(timed_out.size(), 2u);
+  EXPECT_EQ(timed_out[1], 2u);
+  EXPECT_EQ(watchdog.timeouts_total(), 2u);
+}
+
+TEST(CycleWatchdogTest, DisarmPreventsFiring) {
+  ManualClock clock;
+  std::atomic<int> fired{0};
+  CycleWatchdog::Options options;
+  options.deadline_ms = 100;
+  options.now_ms = clock.source();
+  options.on_timeout = [&](std::uint64_t) { fired.fetch_add(1); };
+  CycleWatchdog watchdog(std::move(options));
+
+  watchdog.arm(1);
+  watchdog.disarm();  // cycle finished in time
+  clock.now_ms = 10'000;
+  EXPECT_FALSE(watchdog.check_now());
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_EQ(watchdog.timeouts_total(), 0u);
+}
+
+TEST(CycleWatchdogTest, UnarmedWatchdogNeverFires) {
+  ManualClock clock;
+  CycleWatchdog::Options options;
+  options.deadline_ms = 1;
+  options.now_ms = clock.source();
+  CycleWatchdog watchdog(std::move(options));
+  clock.now_ms = 1'000'000;
+  EXPECT_FALSE(watchdog.check_now());
+  EXPECT_EQ(watchdog.timeouts_total(), 0u);
+}
+
+TEST(CycleWatchdogTest, ZeroDeadlineDisablesTheWatchdog) {
+  CycleWatchdog::Options options;
+  options.deadline_ms = 0;
+  options.on_timeout = [](std::uint64_t) { FAIL() << "must never fire"; };
+  CycleWatchdog watchdog(std::move(options));
+  watchdog.start();
+  EXPECT_FALSE(watchdog.running());  // start() is a no-op at 0
+  watchdog.arm(1);
+  EXPECT_FALSE(watchdog.check_now());
+  watchdog.stop();
+}
+
+TEST(CycleWatchdogTest, MonitorThreadFiresOnOverrunningCycle) {
+  // Real monitor thread, manual clock: the thread polls every few ms
+  // and must observe the advanced clock without any check_now() help.
+  ManualClock clock;
+  std::atomic<int> fired{0};
+  CycleWatchdog::Options options;
+  options.deadline_ms = 50;
+  options.check_interval_ms = 2;
+  options.now_ms = clock.source();
+  options.on_timeout = [&](std::uint64_t) { fired.fetch_add(1); };
+  CycleWatchdog watchdog(std::move(options));
+  watchdog.start();
+  ASSERT_TRUE(watchdog.running());
+
+  watchdog.arm(1);
+  clock.now_ms = 51;
+  for (int i = 0; i < 500 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_TRUE(watchdog.expired());
+  watchdog.stop();
+  EXPECT_FALSE(watchdog.running());
+  watchdog.stop();  // idempotent
+}
+
+TEST(CycleWatchdogTest, StopJoinsWhileArmed) {
+  ManualClock clock;
+  CycleWatchdog::Options options;
+  options.deadline_ms = 1'000'000;
+  options.check_interval_ms = 1;
+  options.now_ms = clock.source();
+  CycleWatchdog watchdog(std::move(options));
+  watchdog.start();
+  watchdog.arm(1);
+  watchdog.stop();  // must join promptly despite the armed deadline
+  EXPECT_FALSE(watchdog.running());
+}
+
+}  // namespace
+}  // namespace iqb::robust

@@ -1,0 +1,129 @@
+// obs::HttpServer request-size bounding and graceful drain.
+#include "iqb/obs/http_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "../testsupport/http_get.hpp"
+
+namespace iqb::obs {
+namespace {
+
+using testsupport::http_get;
+
+/// Send an arbitrary raw request and read the full raw response.
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  std::string response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return response;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return response;
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+HttpServer::Options small_server_options() {
+  HttpServer::Options options;
+  options.port = 0;  // ephemeral
+  options.max_request_bytes = 512;
+  return options;
+}
+
+TEST(HttpServerTest, OversizedRequestHeadGets431) {
+  HttpServer server(small_server_options(),
+                    [](const HttpRequest&) {
+                      return HttpResponse{200, "text/plain", "ok"};
+                    });
+  ASSERT_TRUE(server.start().ok());
+
+  // Well-formed request under the bound: served normally.
+  EXPECT_EQ(http_get(server.port(), "/").status, 200);
+
+  // A header block that exceeds max_request_bytes before the blank
+  // line must be refused with 431, not buffered.
+  const std::string oversized = "GET / HTTP/1.1\r\nHost: localhost\r\n"
+                                "X-Padding: " + std::string(2048, 'a') +
+                                "\r\nConnection: close\r\n\r\n";
+  const std::string response = raw_request(server.port(), oversized);
+  EXPECT_EQ(response.rfind("HTTP/1.1 431 ", 0), 0u)
+      << response.substr(0, 60);
+
+  // The bound applies per connection; the server keeps serving.
+  EXPECT_EQ(http_get(server.port(), "/").status, 200);
+  server.stop();
+}
+
+TEST(HttpServerTest, RequestJustUnderTheBoundIsServed) {
+  HttpServer server(small_server_options(),
+                    [](const HttpRequest&) {
+                      return HttpResponse{200, "text/plain", "ok"};
+                    });
+  ASSERT_TRUE(server.start().ok());
+  // ~300 bytes of headers: below the 512-byte bound.
+  const std::string request = "GET / HTTP/1.1\r\nHost: localhost\r\n"
+                              "X-Padding: " + std::string(220, 'b') +
+                              "\r\nConnection: close\r\n\r\n";
+  const std::string response = raw_request(server.port(), request);
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 ", 0), 0u)
+      << response.substr(0, 60);
+  server.stop();
+}
+
+TEST(HttpServerTest, ExtraResponseHeadersAreEmitted) {
+  HttpServer server(small_server_options(),
+                    [](const HttpRequest&) {
+                      HttpResponse response{200, "text/plain", "ok"};
+                      response.headers.emplace_back("X-IQB-Stale", "true");
+                      return response;
+                    });
+  ASSERT_TRUE(server.start().ok());
+  const auto result = http_get(server.port(), "/");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.raw.find("X-IQB-Stale: true\r\n"), std::string::npos)
+      << result.raw.substr(0, 200);
+  server.stop();
+}
+
+TEST(HttpServerTest, DrainStopsAcceptingAndIsIdempotent) {
+  HttpServer server(small_server_options(),
+                    [](const HttpRequest&) {
+                      return HttpResponse{200, "text/plain", "ok"};
+                    });
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(http_get(server.port(), "/").status, 200);
+  const std::uint16_t port = server.port();
+  server.drain();
+  // All threads joined; new connections are refused.
+  EXPECT_FALSE(http_get(port, "/").ok);
+  server.drain();  // idempotent
+  server.stop();   // no-op after drain
+}
+
+}  // namespace
+}  // namespace iqb::obs

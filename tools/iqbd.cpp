@@ -41,6 +41,10 @@ int main(int argc, char** argv) {
   while (!g_stop.load() && !daemon.finished()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  // Graceful drain: the in-flight cycle completes (or is cancelled by
+  // the watchdog), a final checkpoint is flushed, in-flight HTTP
+  // requests get their answers, then every thread joins.
+  if (g_stop.load()) std::cerr << "iqbd: draining\n";
   daemon.stop();
   return 0;
 }
