@@ -32,11 +32,11 @@ namespace {
 constexpr const char* kUsage =
     "usage:\n"
     "  iqbctl score       --records FILE.csv [--config FILE.json]"
-    " [--by-isp true] [--lenient true]"
+    " [--by-isp true] [--lenient true] [--threads N]"
     " [--format text|json|csv|markdown|html] [--out FILE]"
     " [--metrics-out FILE.prom|.json] [--trace-out FILE.json]\n"
     "  iqbctl aggregate   --records FILE.csv [--config FILE.json]"
-    " [--percentile P] [--lenient true]"
+    " [--percentile P] [--lenient true] [--threads N]"
     " [--metrics-out FILE.prom|.json] [--trace-out FILE.json]\n"
     "  iqbctl config      [--out FILE.json]\n"
     "  iqbctl sensitivity --records FILE.csv --region NAME"
@@ -53,6 +53,24 @@ util::Result<core::IqbConfig> load_config(const Args& args) {
     return core::IqbConfig::load(*path);
   }
   return core::IqbConfig::paper_defaults();
+}
+
+/// --threads N: execution width for aggregation and scoring. The CLI
+/// defaults to 0 (auto-size to the machine); 1 forces the serial
+/// path. Results are byte-identical at every width. Returns a usage
+/// exit code on a bad value, 0 otherwise.
+int apply_threads(const Args& args, datasets::AggregationPolicy& policy,
+                  std::ostream& err) {
+  policy.threads = 0;
+  if (auto threads = args.get("threads")) {
+    auto value = util::parse_int(*threads);
+    if (!value.ok() || value.value() < 0) {
+      err << "bad --threads '" << *threads << "'\n";
+      return 1;
+    }
+    policy.threads = static_cast<std::size_t>(value.value());
+  }
+  return 0;
 }
 
 /// Telemetry for one command invocation: live only when the user gave
@@ -153,6 +171,9 @@ int cmd_score(const Args& args, std::ostream& out, std::ostream& err) {
     err << "config error: " << config.error().to_string() << "\n";
     return 2;
   }
+  if (int code = apply_threads(args, config.value().aggregation, err)) {
+    return code;
+  }
   auto loaded = load_records(args, err, telemetry.get());
   if (!loaded.ok()) {
     err << "records error: " << loaded.error().to_string() << "\n";
@@ -217,6 +238,7 @@ int cmd_aggregate(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   datasets::AggregationPolicy policy = config->aggregation;
+  if (int code = apply_threads(args, policy, err)) return code;
   if (auto percentile = args.get("percentile")) {
     auto value = util::parse_double(*percentile);
     if (!value.ok() || value.value() < 0.0 || value.value() > 100.0) {

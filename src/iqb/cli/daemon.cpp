@@ -26,7 +26,7 @@ constexpr const char* kDaemonUsage =
     "            [--watch true|false] [--lenient true] [--by-isp true]\n"
     "            [--max-cycles N] [--state-dir DIR]\n"
     "            [--cycle-deadline-ms N] [--telemetry true|false]\n"
-    "            [--trace-prefix S]\n"
+    "            [--trace-prefix S] [--threads N]\n"
     "serves /metrics /metrics.json /healthz /readyz /tracez /scores\n"
     "--state-dir enables crash-safe checkpoints: on restart the newest\n"
     "valid checkpoint is served (flagged stale) until a fresh cycle.\n"
@@ -112,6 +112,10 @@ util::Result<DaemonOptions> parse_daemon_args(
       auto parsed = parse_u64_option(name, value);
       if (!parsed.ok()) return parsed.error();
       options.cycle_deadline_ms = parsed.value();
+    } else if (name == "threads") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.threads = static_cast<std::size_t>(parsed.value());
     } else {
       return util::make_error(util::ErrorCode::kInvalidArgument,
                               "unknown option --" + name);
@@ -170,6 +174,9 @@ util::Result<void> WatchDaemon::ensure_config() {
   } else {
     config_ = core::IqbConfig::paper_defaults();
   }
+  // Execution width is a deployment knob, not part of the scoring
+  // config file; scores are byte-identical at every width.
+  config_->aggregation.threads = options_.threads;
   return {};
 }
 

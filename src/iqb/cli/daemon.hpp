@@ -94,6 +94,11 @@ struct DaemonOptions {
   std::string trace_prefix = "iqbd";
   std::size_t span_buffer_capacity = 512;
 
+  /// Scoring execution width (AggregationPolicy::threads): 0 = auto
+  /// (hardware concurrency), 1 = serial, N = that many threads.
+  /// Scores are byte-identical at every width.
+  std::size_t threads = 0;
+
   /// Test seams (never parsed from argv): a hook run mid-cycle between
   /// ingest and scoring, and an injected watchdog time source.
   std::function<void()> mid_cycle_hook;
@@ -104,7 +109,7 @@ struct DaemonOptions {
 /// [--bind A] [--interval-ms N] [--poll-ms N] [--watch true|false]
 /// [--lenient true] [--by-isp true] [--max-cycles N]
 /// [--state-dir DIR] [--cycle-deadline-ms N]
-/// [--telemetry true|false] [--trace-prefix S]).
+/// [--telemetry true|false] [--trace-prefix S] [--threads N]).
 util::Result<DaemonOptions> parse_daemon_args(
     const std::vector<std::string>& tokens);
 

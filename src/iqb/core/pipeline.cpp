@@ -1,9 +1,11 @@
 #include "iqb/core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "iqb/obs/telemetry.hpp"
 #include "iqb/util/log.hpp"
+#include "iqb/util/thread_pool.hpp"
 
 namespace iqb::core {
 
@@ -39,31 +41,86 @@ Pipeline::RunOutput Pipeline::run(const datasets::RecordStore& store,
   if (telemetry && !telemetry->trace_id.empty()) {
     run_span.set_attribute("trace_id", telemetry->trace_id);
   }
+
+  // One pool shared by the aggregate and score stages. threads == 1
+  // (the library default) never constructs a pool and takes exactly
+  // the historical serial code path below.
+  const std::size_t threads =
+      util::ThreadPool::resolve_threads(config_.aggregation.threads);
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
   RunOutput output;
   {
     obs::StageTimer stage(telemetry, "aggregate");
-    output.aggregates =
-        datasets::aggregate(store, config_.aggregation, telemetry);
+    output.aggregates = datasets::aggregate(store, config_.aggregation,
+                                            telemetry, pool ? &*pool : nullptr);
   }
   obs::StageTimer stage(telemetry, "score");
-  for (const std::string& region : store.regions()) {
-    obs::ScopedSpan region_span(telemetry ? telemetry->tracer : nullptr,
-                                "score.region");
-    region_span.set_attribute("region", region);
-    auto result = score_region(output.aggregates, region, health);
-    if (result.ok()) {
-      obs::add_counter(telemetry, "iqb_pipeline_regions_scored_total",
-                       "Regions scored successfully");
-      output.results.push_back(std::move(result).value());
-    } else {
-      obs::add_counter(
-          telemetry, "iqb_pipeline_regions_skipped_total",
-          "Regions the pipeline could not score",
-          {{"reason", std::string(util::error_code_name(result.error().code))},
-           {"region", region}});
-      region_span.set_attribute("skipped", "true");
-      output.skipped.push_back(
-          {region, result.error().code, result.error().message});
+  const std::vector<std::string> regions = store.regions();
+  if (pool && regions.size() > 1) {
+    // Parallel scoring writes into per-region slots; all telemetry is
+    // emitted from the fold below in region order, so counters,
+    // results and skipped entries are byte-identical to the serial
+    // path at any thread count.
+    struct Slot {
+      std::optional<RegionResult> result;
+      std::optional<SkippedRegion> skipped;
+    };
+    std::vector<Slot> slots(regions.size());
+    pool->parallel_for(regions.size(), [&](std::size_t i) {
+      auto result = score_region(output.aggregates, regions[i], health);
+      if (result.ok()) {
+        slots[i].result = std::move(result).value();
+      } else {
+        slots[i].skipped = SkippedRegion{regions[i], result.error().code,
+                                         result.error().message};
+      }
+    });
+    obs::add_counter(telemetry, "iqb_parallel_tasks_total",
+                     "Tasks fanned out to the thread pool",
+                     {{"stage", "score"}},
+                     static_cast<double>(regions.size()));
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      obs::ScopedSpan region_span(telemetry ? telemetry->tracer : nullptr,
+                                  "score.region");
+      region_span.set_attribute("region", regions[i]);
+      if (slots[i].result) {
+        obs::add_counter(telemetry, "iqb_pipeline_regions_scored_total",
+                         "Regions scored successfully");
+        output.results.push_back(std::move(*slots[i].result));
+      } else {
+        obs::add_counter(
+            telemetry, "iqb_pipeline_regions_skipped_total",
+            "Regions the pipeline could not score",
+            {{"reason",
+              std::string(util::error_code_name(slots[i].skipped->code))},
+             {"region", regions[i]}});
+        region_span.set_attribute("skipped", "true");
+        output.skipped.push_back(std::move(*slots[i].skipped));
+      }
+    }
+  } else {
+    for (const std::string& region : regions) {
+      obs::ScopedSpan region_span(telemetry ? telemetry->tracer : nullptr,
+                                  "score.region");
+      region_span.set_attribute("region", region);
+      auto result = score_region(output.aggregates, region, health);
+      if (result.ok()) {
+        obs::add_counter(telemetry, "iqb_pipeline_regions_scored_total",
+                         "Regions scored successfully");
+        output.results.push_back(std::move(result).value());
+      } else {
+        obs::add_counter(
+            telemetry, "iqb_pipeline_regions_skipped_total",
+            "Regions the pipeline could not score",
+            {{"reason",
+              std::string(util::error_code_name(result.error().code))},
+             {"region", region}});
+        region_span.set_attribute("skipped", "true");
+        output.skipped.push_back(
+            {region, result.error().code, result.error().message});
+      }
     }
   }
   obs::set_gauge(telemetry, "iqb_pipeline_aggregate_cells",
@@ -95,9 +152,7 @@ Result<RegionResult> Pipeline::score_region(
       region, config_.dataset_panel, result.high.binary.datasets(), health);
   result.minimum.degradation = robust::assess_region(
       region, config_.dataset_panel, result.minimum.binary.datasets(), health);
-  for (const auto& cell : aggregates.cells()) {
-    if (cell.region == region) result.aggregates.push_back(cell);
-  }
+  result.aggregates = aggregates.cells_for_region(region);
   return result;
 }
 

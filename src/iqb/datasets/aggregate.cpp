@@ -1,8 +1,11 @@
 #include "iqb/datasets/aggregate.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 
 #include "iqb/obs/telemetry.hpp"
+#include "iqb/util/thread_pool.hpp"
 
 namespace iqb::datasets {
 
@@ -42,6 +45,19 @@ std::vector<AggregateCell> AggregateTable::cells() const {
   return out;
 }
 
+std::vector<AggregateCell> AggregateTable::cells_for_region(
+    const std::string& region) const {
+  // Keys sort region-major, so the region's cells are one contiguous
+  // map range starting at the smallest possible key for that region.
+  std::vector<AggregateCell> out;
+  auto it = cells_.lower_bound(
+      Key{region, std::string(), std::numeric_limits<int>::min()});
+  for (; it != cells_.end() && std::get<0>(it->first) == region; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
 std::vector<std::string> AggregateTable::regions() const {
   std::vector<std::string> out;
   for (const auto& [key, cell] : cells_) {
@@ -74,14 +90,18 @@ double effective_percentile(const AggregationPolicy& policy,
   return policy.percentile;
 }
 
-Result<AggregateCell> aggregate_cell(const RecordStore& store,
-                                     const std::string& region,
-                                     const std::string& dataset, Metric metric,
-                                     const AggregationPolicy& policy) {
-  RecordFilter filter;
-  filter.region = region;
-  filter.dataset = dataset;
-  std::vector<double> values = store.metric_values(metric, filter);
+namespace {
+
+/// One cell from an indexed value column. `values` is the group's
+/// metric column in store order — the same sequence the scan path's
+/// metric_values() would produce, so the percentile, and the
+/// bootstrap resampling (which is order-sensitive through the seeded
+/// Rng), match the scan path bit for bit.
+Result<AggregateCell> cell_from_column(const std::string& region,
+                                       const std::string& dataset,
+                                       Metric metric,
+                                       const std::vector<double>& values,
+                                       const AggregationPolicy& policy) {
   if (values.size() < std::max<std::size_t>(policy.min_samples, 1)) {
     return make_error(ErrorCode::kEmptyInput,
                       "insufficient samples for region='" + region +
@@ -89,7 +109,10 @@ Result<AggregateCell> aggregate_cell(const RecordStore& store,
                           std::string(metric_name(metric)) + "'");
   }
   const double p = effective_percentile(policy, metric);
-  auto value = stats::percentile(values, p, policy.method);
+  // Selection scratch copy: the pristine column stays in store order
+  // for the bootstrap below.
+  std::vector<double> scratch(values);
+  auto value = stats::percentile_select(scratch, p, policy.method);
   if (!value.ok()) return value.error();
 
   AggregateCell cell;
@@ -109,32 +132,139 @@ Result<AggregateCell> aggregate_cell(const RecordStore& store,
   return cell;
 }
 
+/// Per-produced-cell telemetry, identical between execution modes
+/// because it is always emitted from the fold loop in cell order.
+void record_cell_telemetry(obs::Telemetry* telemetry,
+                           const AggregateCell& cell) {
+  if (!telemetry) return;
+  const obs::LabelSet labels{{"dataset", cell.dataset}};
+  obs::add_counter(telemetry, "iqb_aggregate_cells_total",
+                   "Aggregate cells produced", labels);
+  obs::add_counter(telemetry, "iqb_aggregate_samples_total",
+                   "Raw samples folded into aggregate cells", labels,
+                   static_cast<double>(cell.sample_count));
+  obs::observe_histogram(telemetry, "iqb_aggregate_cell_samples",
+                         "Samples per aggregate cell", obs::size_buckets(),
+                         labels, static_cast<double>(cell.sample_count));
+}
+
+}  // namespace
+
 AggregateTable aggregate(const RecordStore& store,
                          const AggregationPolicy& policy,
-                         obs::Telemetry* telemetry) {
+                         obs::Telemetry* telemetry, util::ThreadPool* pool) {
+  AggregateTable table;
+
+  const bool building = !store.index_ready();
+  const StoreIndex* index = nullptr;
+  {
+    obs::ScopedSpan build_span(
+        building && telemetry ? telemetry->tracer : nullptr,
+        "aggregate.index_build");
+    index = &store.index();
+    if (building) {
+      obs::add_counter(telemetry, "iqb_index_builds_total",
+                       "Columnar store indexes built");
+      build_span.set_attribute("records",
+                               std::to_string(index->record_count()));
+    }
+  }
+
+  // Task list in deterministic (region, dataset, metric) order —
+  // groups() is sorted by name, kAllMetrics is fixed.
+  struct CellTask {
+    const StoreIndex::Group* group;
+    Metric metric;
+  };
+  std::vector<CellTask> tasks;
+  tasks.reserve(index->groups().size() * kAllMetrics.size());
+  for (const StoreIndex::Group& group : index->groups()) {
+    for (Metric metric : kAllMetrics) tasks.push_back({&group, metric});
+  }
+
+  std::vector<std::optional<AggregateCell>> slots(tasks.size());
+  auto compute = [&](std::size_t i) {
+    const CellTask& task = tasks[i];
+    auto cell = cell_from_column(
+        index->region_symbols().name(task.group->region_id),
+        index->dataset_symbols().name(task.group->dataset_id), task.metric,
+        task.group->column(task.metric), policy);
+    if (cell.ok()) slots[i] = std::move(cell).value();
+  };
+
+  const std::size_t threads = util::ThreadPool::resolve_threads(policy.threads);
+  if (threads > 1 && tasks.size() > 1) {
+    std::optional<util::ThreadPool> local_pool;
+    util::ThreadPool& executor = pool ? *pool : local_pool.emplace(threads);
+    obs::ScopedSpan parallel_span(telemetry ? telemetry->tracer : nullptr,
+                                  "aggregate.parallel");
+    parallel_span.set_attribute("tasks", std::to_string(tasks.size()));
+    parallel_span.set_attribute("threads",
+                                std::to_string(executor.thread_count()));
+    executor.parallel_for(tasks.size(), compute);
+    obs::add_counter(telemetry, "iqb_parallel_tasks_total",
+                     "Tasks fanned out to the thread pool",
+                     {{"stage", "aggregate"}},
+                     static_cast<double>(tasks.size()));
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) compute(i);
+  }
+
+  // Deterministic fold: telemetry and table insertion happen in task
+  // order regardless of which worker computed each slot.
+  for (auto& slot : slots) {
+    if (!slot) continue;
+    record_cell_telemetry(telemetry, *slot);
+    table.put(std::move(*slot));
+  }
+  return table;
+}
+
+AggregateTable aggregate_scan(const RecordStore& store,
+                              const AggregationPolicy& policy) {
   AggregateTable table;
   for (const std::string& region : store.regions()) {
     for (const std::string& dataset : store.dataset_names()) {
       for (Metric metric : kAllMetrics) {
-        auto cell = aggregate_cell(store, region, dataset, metric, policy);
-        if (!cell.ok()) continue;
-        if (telemetry) {
-          const obs::LabelSet labels{{"dataset", dataset}};
-          obs::add_counter(telemetry, "iqb_aggregate_cells_total",
-                           "Aggregate cells produced", labels);
-          obs::add_counter(telemetry, "iqb_aggregate_samples_total",
-                           "Raw samples folded into aggregate cells", labels,
-                           static_cast<double>(cell->sample_count));
-          obs::observe_histogram(telemetry, "iqb_aggregate_cell_samples",
-                                 "Samples per aggregate cell",
-                                 obs::size_buckets(), labels,
-                                 static_cast<double>(cell->sample_count));
+        RecordFilter filter;
+        filter.region = region;
+        filter.dataset = dataset;
+        std::vector<double> values = store.metric_values(metric, filter);
+        if (values.size() < std::max<std::size_t>(policy.min_samples, 1)) {
+          continue;
         }
-        table.put(std::move(cell).value());
+        const double p = effective_percentile(policy, metric);
+        auto value = stats::percentile(values, p, policy.method);
+        if (!value.ok()) continue;
+
+        AggregateCell cell;
+        cell.region = region;
+        cell.dataset = dataset;
+        cell.metric = metric;
+        cell.value = value.value();
+        cell.sample_count = values.size();
+        if (policy.bootstrap_resamples > 0) {
+          util::Rng rng(policy.bootstrap_seed);
+          auto ci = stats::bootstrap_percentile_ci(values, p, rng,
+                                                   policy.bootstrap_resamples,
+                                                   policy.bootstrap_level);
+          if (ci.ok()) cell.ci = ci.value();
+        }
+        table.put(std::move(cell));
       }
     }
   }
   return table;
+}
+
+Result<AggregateCell> aggregate_cell(const RecordStore& store,
+                                     const std::string& region,
+                                     const std::string& dataset, Metric metric,
+                                     const AggregationPolicy& policy) {
+  static const std::vector<double> kNoValues;
+  const StoreIndex::Group* group = store.index().find(region, dataset);
+  const std::vector<double>& values = group ? group->column(metric) : kNoValues;
+  return cell_from_column(region, dataset, metric, values, policy);
 }
 
 }  // namespace iqb::datasets

@@ -25,6 +25,9 @@
 namespace iqb::obs {
 struct Telemetry;
 }
+namespace iqb::util {
+class ThreadPool;
+}
 
 namespace iqb::datasets {
 
@@ -44,6 +47,12 @@ struct AggregationPolicy {
   std::size_t bootstrap_resamples = 0;
   double bootstrap_level = 0.95;
   std::uint64_t bootstrap_seed = 7;
+  /// Execution width for aggregate() and Pipeline::run: 1 = serial
+  /// (the default for library callers), 0 = hardware concurrency,
+  /// N = that many threads. Purely an execution knob — results are
+  /// byte-identical at every width — so it is not part of the
+  /// serialized config; iqbctl/iqbd set it from --threads.
+  std::size_t threads = 1;
 };
 
 /// One aggregated cell.
@@ -71,6 +80,10 @@ class AggregateTable {
 
   std::size_t size() const noexcept { return cells_.size(); }
   std::vector<AggregateCell> cells() const;
+  /// Cells of one region, in the same (dataset, metric) order a
+  /// filtered cells() walk would yield — a range scan of the
+  /// region-major key space, not a full-table pass.
+  std::vector<AggregateCell> cells_for_region(const std::string& region) const;
   std::vector<std::string> regions() const;
   std::vector<std::string> datasets() const;
 
@@ -92,11 +105,30 @@ double effective_percentile(const AggregationPolicy& policy,
 /// empty store yields an empty table. `telemetry`, when non-null,
 /// receives per-dataset cell/sample counters and a cell-size
 /// histogram; the produced table is identical either way.
+///
+/// Execution: cells are computed from the store's columnar index
+/// (built lazily, reused across calls) with selection-based
+/// percentiles, fanned across policy.threads workers (see
+/// AggregationPolicy::threads), and folded into the table in the
+/// deterministic (region, dataset, metric) order — so the table, and
+/// everything rendered from it, is byte-identical to the serial scan
+/// path at any thread count. `pool`, when non-null, is used instead
+/// of spawning a transient pool (Pipeline::run shares one across its
+/// stages).
 AggregateTable aggregate(const RecordStore& store,
                          const AggregationPolicy& policy = {},
-                         obs::Telemetry* telemetry = nullptr);
+                         obs::Telemetry* telemetry = nullptr,
+                         util::ThreadPool* pool = nullptr);
 
-/// Aggregate a single cell; error if no samples match.
+/// Reference implementation: full-scan filtering + sort-based
+/// percentiles, one pass per cell — the pre-index semantics, kept as
+/// the equivalence oracle for tests and the bench baseline. Produces
+/// a table byte-identical to aggregate()'s.
+AggregateTable aggregate_scan(const RecordStore& store,
+                              const AggregationPolicy& policy = {});
+
+/// Aggregate a single cell (an index lookup, not a scan); error if no
+/// samples match.
 util::Result<AggregateCell> aggregate_cell(const RecordStore& store,
                                            const std::string& region,
                                            const std::string& dataset,

@@ -1,0 +1,116 @@
+#include "iqb/datasets/index.hpp"
+
+#include <algorithm>
+
+namespace iqb::datasets {
+
+std::uint32_t SymbolTable::intern(const std::string& name) {
+  // find-before-emplace: emplace would allocate a node (and copy the
+  // string) even on a hit, and interning is hit-dominated.
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+std::optional<std::uint32_t> SymbolTable::find(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> SymbolTable::sorted_names() const {
+  std::vector<std::string> out = names_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StoreIndex StoreIndex::build(std::span<const MeasurementRecord> records) {
+  StoreIndex index;
+  index.record_count_ = records.size();
+  index.groups_.reserve(16);
+  // Stores arrive clustered in practice (imports append one region/
+  // dataset at a time), so a same-as-previous-record fast path skips
+  // the hash lookups for the overwhelming majority of rows. The
+  // cached pointers stay valid because they point into `records`.
+  const std::string* last_region = nullptr;
+  const std::string* last_dataset = nullptr;
+  const std::string* last_isp = nullptr;
+  std::uint32_t last_region_id = 0;
+  std::uint32_t last_dataset_id = 0;
+  std::size_t last_group = 0;
+  bool last_group_valid = false;
+  for (std::size_t row = 0; row < records.size(); ++row) {
+    const MeasurementRecord& record = records[row];
+    const bool same_region = last_region && *last_region == record.region;
+    const bool same_dataset = last_dataset && *last_dataset == record.dataset;
+    const std::uint32_t region_id =
+        same_region ? last_region_id : index.regions_.intern(record.region);
+    const std::uint32_t dataset_id =
+        same_dataset ? last_dataset_id : index.datasets_.intern(record.dataset);
+    if (!(last_isp && *last_isp == record.isp)) {
+      index.isps_.intern(record.isp);
+    }
+    if (!(last_group_valid && same_region && same_dataset)) {
+      auto [it, inserted] = index.group_lookup_.try_emplace(
+          group_key(region_id, dataset_id), index.groups_.size());
+      if (inserted) {
+        Group group;
+        group.region_id = region_id;
+        group.dataset_id = dataset_id;
+        index.groups_.push_back(std::move(group));
+      }
+      last_group = it->second;
+      last_group_valid = true;
+    }
+    last_region = &record.region;
+    last_dataset = &record.dataset;
+    last_isp = &record.isp;
+    last_region_id = region_id;
+    last_dataset_id = dataset_id;
+
+    Group& group = index.groups_[last_group];
+    group.rows.push_back(static_cast<std::uint32_t>(row));
+    for (Metric metric : kAllMetrics) {
+      if (auto value = record.value(metric)) {
+        group.columns[metric_index(metric)].push_back(*value);
+      }
+    }
+  }
+
+  // Sorted-by-name group order (and the precomputed distinct lists)
+  // reproduce the iteration order of the historical scan path, so
+  // indexed aggregation folds cells in exactly the same sequence.
+  std::sort(index.groups_.begin(), index.groups_.end(),
+            [&index](const Group& a, const Group& b) {
+              const std::string& region_a = index.regions_.name(a.region_id);
+              const std::string& region_b = index.regions_.name(b.region_id);
+              if (region_a != region_b) return region_a < region_b;
+              return index.datasets_.name(a.dataset_id) <
+                     index.datasets_.name(b.dataset_id);
+            });
+  index.group_lookup_.clear();
+  for (std::size_t i = 0; i < index.groups_.size(); ++i) {
+    const Group& group = index.groups_[i];
+    index.group_lookup_.emplace(group_key(group.region_id, group.dataset_id),
+                                i);
+  }
+  index.sorted_regions_ = index.regions_.sorted_names();
+  index.sorted_datasets_ = index.datasets_.sorted_names();
+  index.sorted_isps_ = index.isps_.sorted_names();
+  return index;
+}
+
+const StoreIndex::Group* StoreIndex::find(const std::string& region,
+                                          const std::string& dataset) const {
+  const auto region_id = regions_.find(region);
+  if (!region_id) return nullptr;
+  const auto dataset_id = datasets_.find(dataset);
+  if (!dataset_id) return nullptr;
+  auto it = group_lookup_.find(group_key(*region_id, *dataset_id));
+  if (it == group_lookup_.end()) return nullptr;
+  return &groups_[it->second];
+}
+
+}  // namespace iqb::datasets

@@ -1,0 +1,124 @@
+// Columnar index over a record store: interned symbols, records
+// partitioned by (region, dataset) group, contiguous per-metric value
+// columns.
+//
+// The aggregation tier's hot loop asks the same questions for every
+// (region, dataset, metric) cell — "which records belong to this
+// cell, and what are their values?" — and answering each from a full
+// scan with per-record string comparisons is accidentally quadratic
+// in the cell count. A StoreIndex answers all of them from one O(N)
+// pass: every region/dataset/ISP string is interned to a dense id
+// once, records are bucketed into (region, dataset) groups, and each
+// group stores one contiguous double column per metric, in store
+// order, ready for selection-based percentiles.
+//
+// The index is immutable once built; RecordStore caches one and
+// invalidates it on mutation (see RecordStore::index()).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "iqb/datasets/record.hpp"
+
+namespace iqb::datasets {
+
+/// Position of a metric in per-metric column arrays.
+constexpr std::size_t metric_index(Metric metric) noexcept {
+  return static_cast<std::size_t>(metric);
+}
+
+/// Interns strings to dense, insertion-ordered uint32 ids.
+class SymbolTable {
+ public:
+  /// Id for `name`, inserting it if unseen. Ids are dense: the K-th
+  /// distinct string interned gets id K-1.
+  std::uint32_t intern(const std::string& name);
+
+  /// Id for `name` if it was interned, else nullopt.
+  std::optional<std::uint32_t> find(const std::string& name) const;
+
+  const std::string& name(std::uint32_t id) const { return names_[id]; }
+  std::size_t size() const noexcept { return names_.size(); }
+
+  /// All interned strings, sorted lexicographically.
+  std::vector<std::string> sorted_names() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+class StoreIndex {
+ public:
+  /// One (region, dataset) partition of the store.
+  struct Group {
+    std::uint32_t region_id = 0;
+    std::uint32_t dataset_id = 0;
+    /// Row numbers (indices into the source record span) of the
+    /// group's records, in store order.
+    std::vector<std::uint32_t> rows;
+    /// Present values of each metric across the group's records, in
+    /// store order — the same sequence a filtered scan would yield.
+    std::array<std::vector<double>, kAllMetrics.size()> columns;
+
+    const std::vector<double>& column(Metric metric) const noexcept {
+      return columns[metric_index(metric)];
+    }
+  };
+
+  /// One pass over `records`: intern symbols, partition into groups,
+  /// fill columns. Groups come out sorted by (region name, dataset
+  /// name) so iteration order matches the sorted-distinct order the
+  /// scan path used.
+  static StoreIndex build(std::span<const MeasurementRecord> records);
+
+  /// Groups sorted by (region name, dataset name).
+  const std::vector<Group>& groups() const noexcept { return groups_; }
+
+  /// Group lookup by names; null if the combination has no records.
+  const Group* find(const std::string& region,
+                    const std::string& dataset) const;
+
+  /// Distinct names, sorted — the regions()/dataset_names()/isps()
+  /// answers, precomputed.
+  const std::vector<std::string>& regions() const noexcept {
+    return sorted_regions_;
+  }
+  const std::vector<std::string>& datasets() const noexcept {
+    return sorted_datasets_;
+  }
+  const std::vector<std::string>& isps() const noexcept {
+    return sorted_isps_;
+  }
+
+  const SymbolTable& region_symbols() const noexcept { return regions_; }
+  const SymbolTable& dataset_symbols() const noexcept { return datasets_; }
+  const SymbolTable& isp_symbols() const noexcept { return isps_; }
+
+  std::size_t record_count() const noexcept { return record_count_; }
+
+ private:
+  static std::uint64_t group_key(std::uint32_t region_id,
+                                 std::uint32_t dataset_id) noexcept {
+    return (static_cast<std::uint64_t>(region_id) << 32) | dataset_id;
+  }
+
+  SymbolTable regions_;
+  SymbolTable datasets_;
+  SymbolTable isps_;
+  std::vector<Group> groups_;
+  /// (region_id, dataset_id) -> index into groups_.
+  std::unordered_map<std::uint64_t, std::size_t> group_lookup_;
+  std::vector<std::string> sorted_regions_;
+  std::vector<std::string> sorted_datasets_;
+  std::vector<std::string> sorted_isps_;
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace iqb::datasets

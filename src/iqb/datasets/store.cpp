@@ -13,12 +13,45 @@ bool RecordFilter::matches(const MeasurementRecord& record) const noexcept {
   return true;
 }
 
+RecordStore::RecordStore(const RecordStore& other) : records_(other.records_) {
+  std::lock_guard<std::mutex> lock(other.index_mutex_);
+  index_ = other.index_;
+}
+
+RecordStore& RecordStore::operator=(const RecordStore& other) {
+  if (this == &other) return *this;
+  std::shared_ptr<const StoreIndex> other_index;
+  {
+    std::lock_guard<std::mutex> lock(other.index_mutex_);
+    other_index = other.index_;
+  }
+  records_ = other.records_;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  index_ = std::move(other_index);
+  return *this;
+}
+
+RecordStore::RecordStore(RecordStore&& other) noexcept
+    : records_(std::move(other.records_)), index_(std::move(other.index_)) {
+  other.records_.clear();
+}
+
+RecordStore& RecordStore::operator=(RecordStore&& other) noexcept {
+  if (this == &other) return *this;
+  records_ = std::move(other.records_);
+  other.records_.clear();
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  index_ = std::move(other.index_);
+  return *this;
+}
+
 util::Result<void> RecordStore::add(MeasurementRecord record) {
   if (!record.is_valid()) {
     return util::make_error(util::ErrorCode::kInvalidArgument,
                             "record has out-of-range metric values");
   }
   records_.push_back(std::move(record));
+  invalidate_index();
   return util::Result<void>::success();
 }
 
@@ -31,6 +64,7 @@ std::size_t RecordStore::add_all(std::vector<MeasurementRecord> records) {
       ++skipped;
     }
   }
+  invalidate_index();
   return skipped;
 }
 
@@ -53,50 +87,57 @@ std::vector<double> RecordStore::metric_values(Metric metric,
   return out;
 }
 
-namespace {
-
-std::vector<std::string> distinct(
-    const std::vector<MeasurementRecord>& records,
-    const std::function<const std::string&(const MeasurementRecord&)>& key) {
-  std::set<std::string> seen;
-  for (const auto& record : records) seen.insert(key(record));
-  return {seen.begin(), seen.end()};
+const StoreIndex& RecordStore::index() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (!index_) {
+    index_ = std::make_shared<const StoreIndex>(StoreIndex::build(records_));
+  }
+  return *index_;
 }
 
-}  // namespace
+bool RecordStore::index_ready() const noexcept {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  return index_ != nullptr;
+}
+
+void RecordStore::invalidate_index() noexcept {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  index_.reset();
+}
 
 std::vector<std::string> RecordStore::regions() const {
-  return distinct(records_,
-                  [](const MeasurementRecord& r) -> const std::string& {
-                    return r.region;
-                  });
+  return index().regions();
 }
 
 std::vector<std::string> RecordStore::dataset_names() const {
-  return distinct(records_,
-                  [](const MeasurementRecord& r) -> const std::string& {
-                    return r.dataset;
-                  });
+  return index().datasets();
 }
 
-std::vector<std::string> RecordStore::isps() const {
-  return distinct(records_,
-                  [](const MeasurementRecord& r) -> const std::string& {
-                    return r.isp;
-                  });
-}
+std::vector<std::string> RecordStore::isps() const { return index().isps(); }
 
 std::map<std::string, std::vector<MeasurementRecord>> RecordStore::by_region(
     const RecordFilter& filter) const {
   std::map<std::string, std::vector<MeasurementRecord>> groups;
+  for (const auto& [region, refs] : by_region_refs(filter)) {
+    std::vector<MeasurementRecord>& records = groups[region];
+    records.reserve(refs.size());
+    for (const MeasurementRecord* record : refs) records.push_back(*record);
+  }
+  return groups;
+}
+
+std::map<std::string, std::vector<const MeasurementRecord*>>
+RecordStore::by_region_refs(const RecordFilter& filter) const {
+  std::map<std::string, std::vector<const MeasurementRecord*>> groups;
   for (const auto& record : records_) {
-    if (filter.matches(record)) groups[record.region].push_back(record);
+    if (filter.matches(record)) groups[record.region].push_back(&record);
   }
   return groups;
 }
 
 void RecordStore::merge(const RecordStore& other) {
   records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+  invalidate_index();
 }
 
 RecordStore rekey_by_region_isp(const RecordStore& store, char separator) {

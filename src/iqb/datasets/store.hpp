@@ -3,14 +3,15 @@
 // the aggregation tier.
 #pragma once
 
-#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
-#include <set>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "iqb/datasets/index.hpp"
 #include "iqb/datasets/record.hpp"
 
 namespace iqb::datasets {
@@ -31,6 +32,14 @@ class RecordStore {
   RecordStore() = default;
   explicit RecordStore(std::vector<MeasurementRecord> records)
       : records_(std::move(records)) {}
+
+  // The cached index is immutable and derived purely from the
+  // records, so copies share it and moves carry it; the index mutex
+  // itself is per-store.
+  RecordStore(const RecordStore& other);
+  RecordStore& operator=(const RecordStore& other);
+  RecordStore(RecordStore&& other) noexcept;
+  RecordStore& operator=(RecordStore&& other) noexcept;
 
   /// Append one record. Invalid records (non-finite / out-of-range
   /// metric values) are rejected.
@@ -53,21 +62,44 @@ class RecordStore {
                                     const RecordFilter& filter = {}) const;
 
   /// Distinct values, sorted, for iteration in deterministic order.
+  /// Served from the columnar index (one O(N) build, then lookups).
   std::vector<std::string> regions() const;
   std::vector<std::string> dataset_names() const;
   std::vector<std::string> isps() const;
 
-  /// Group matching records by region name.
+  /// Group matching records by region name (deep copies; prefer
+  /// by_region_refs when the caller only reads).
   std::map<std::string, std::vector<MeasurementRecord>> by_region(
+      const RecordFilter& filter = {}) const;
+
+  /// As by_region, but non-owning pointers into the store — no record
+  /// copies. Pointers are invalidated by any mutation of the store.
+  std::map<std::string, std::vector<const MeasurementRecord*>> by_region_refs(
       const RecordFilter& filter = {}) const;
 
   /// Merge another store's records into this one.
   void merge(const RecordStore& other);
 
-  void clear() noexcept { records_.clear(); }
+  void clear() noexcept {
+    records_.clear();
+    invalidate_index();
+  }
+
+  /// Columnar index over the current records (see index.hpp). Built
+  /// lazily in one O(N) pass on first use and cached until the next
+  /// mutation. Safe to call from several reader threads; the returned
+  /// reference stays valid until the store is mutated or destroyed.
+  const StoreIndex& index() const;
+
+  /// True if index() would return a cached index without building.
+  bool index_ready() const noexcept;
 
  private:
+  void invalidate_index() noexcept;
+
   std::vector<MeasurementRecord> records_;
+  mutable std::mutex index_mutex_;
+  mutable std::shared_ptr<const StoreIndex> index_;
 };
 
 /// Copy of the store with region keys replaced by "region<sep>isp",

@@ -12,6 +12,29 @@ using util::Result;
 
 namespace {
 
+/// 1-based fractional rank h evaluated by `method` for quantile q of
+/// n samples: the value returned is (1-g)*x[j] + g*x[j+1] where
+/// h = j + 1 + g. Shared by the sort and selection paths so both
+/// interpolate at bit-identical positions. Negative return: unknown
+/// method.
+double fractional_rank(double n, double q, QuantileMethod method) noexcept {
+  switch (method) {
+    case QuantileMethod::kNearestRank:
+      // R-1: smallest x such that F(x) >= q. ceil(n*q), clamped >= 1;
+      // integral h, so no interpolation happens.
+      return std::max(1.0, std::ceil(n * q));
+    case QuantileMethod::kLinear:
+      return (n - 1.0) * q + 1.0;                  // R-7
+    case QuantileMethod::kHazen:
+      return n * q + 0.5;                          // R-5
+    case QuantileMethod::kMedianUnbiased:
+      return (n + 1.0 / 3.0) * q + 1.0 / 3.0;      // R-8
+    case QuantileMethod::kNormalUnbiased:
+      return (n + 0.25) * q + 0.375;               // R-9
+  }
+  return -1.0;
+}
+
 /// Interpolated order statistic: value at (1-g)*x[j] + g*x[j+1] where
 /// h = j + 1 + g is the 1-based fractional rank.
 double at_fractional_rank(std::span<const double> sorted, double h) noexcept {
@@ -21,38 +44,63 @@ double at_fractional_rank(std::span<const double> sorted, double h) noexcept {
   const double floor_h = std::floor(h);
   const auto j = static_cast<std::size_t>(floor_h) - 1;  // 0-based lower index
   const double g = h - floor_h;
+  if (g == 0.0) return sorted[j];  // integral rank: exact order statistic
   return sorted[j] + g * (sorted[j + 1] - sorted[j]);
 }
 
-}  // namespace
-
-Result<double> percentile_sorted(std::span<const double> sorted, double p,
-                                 QuantileMethod method) {
-  if (sorted.empty()) {
+Result<void> validate_sample(std::size_t size, double p) {
+  if (size == 0) {
     return make_error(ErrorCode::kEmptyInput, "percentile: empty sample");
   }
   if (!(p >= 0.0 && p <= 100.0)) {
     return make_error(ErrorCode::kOutOfRange,
                       "percentile: p must be in [0,100], got " + std::to_string(p));
   }
-  const double q = p / 100.0;
-  const auto n = static_cast<double>(sorted.size());
-  switch (method) {
-    case QuantileMethod::kNearestRank: {
-      // R-1: smallest x such that F(x) >= q. ceil(n*q), clamped to >= 1.
-      const double rank = std::max(1.0, std::ceil(n * q));
-      return sorted[static_cast<std::size_t>(rank) - 1];
-    }
-    case QuantileMethod::kLinear:
-      return at_fractional_rank(sorted, (n - 1.0) * q + 1.0);          // R-7
-    case QuantileMethod::kHazen:
-      return at_fractional_rank(sorted, n * q + 0.5);                  // R-5
-    case QuantileMethod::kMedianUnbiased:
-      return at_fractional_rank(sorted, (n + 1.0 / 3.0) * q + 1.0 / 3.0);  // R-8
-    case QuantileMethod::kNormalUnbiased:
-      return at_fractional_rank(sorted, (n + 0.25) * q + 0.375);       // R-9
+  return util::Result<void>::success();
+}
+
+}  // namespace
+
+Result<double> percentile_sorted(std::span<const double> sorted, double p,
+                                 QuantileMethod method) {
+  if (auto valid = validate_sample(sorted.size(), p); !valid.ok()) {
+    return valid.error();
   }
-  return make_error(ErrorCode::kInvalidArgument, "unknown quantile method");
+  const double h = fractional_rank(static_cast<double>(sorted.size()),
+                                   p / 100.0, method);
+  if (h < 0.0) {
+    return make_error(ErrorCode::kInvalidArgument, "unknown quantile method");
+  }
+  return at_fractional_rank(sorted, h);
+}
+
+Result<double> percentile_select(std::span<double> values, double p,
+                                 QuantileMethod method) {
+  if (auto valid = validate_sample(values.size(), p); !valid.ok()) {
+    return valid.error();
+  }
+  const auto n = static_cast<double>(values.size());
+  const double h = fractional_rank(n, p / 100.0, method);
+  if (h < 0.0) {
+    return make_error(ErrorCode::kInvalidArgument, "unknown quantile method");
+  }
+  // The boundary and interpolation expressions mirror
+  // at_fractional_rank exactly: same order statistics, same
+  // arithmetic, hence bit-identical results.
+  if (h <= 1.0) return *std::min_element(values.begin(), values.end());
+  if (h >= n) return *std::max_element(values.begin(), values.end());
+  const double floor_h = std::floor(h);
+  const auto j = static_cast<std::size_t>(floor_h) - 1;  // 0-based lower index
+  const double g = h - floor_h;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(j),
+                   values.end());
+  const double lower = values[j];
+  if (g == 0.0) return lower;  // integral rank: exact order statistic
+  // x[j+1] is the minimum of the partition above the pivot (1 < h < n
+  // guarantees it exists).
+  const double upper = *std::min_element(
+      values.begin() + static_cast<std::ptrdiff_t>(j) + 1, values.end());
+  return lower + g * (upper - lower);
 }
 
 Result<double> percentile(std::span<const double> sample, double p,

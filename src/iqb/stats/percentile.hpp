@@ -35,6 +35,15 @@ util::Result<double> percentile(std::span<const double> sample, double p,
 util::Result<double> percentile_sorted(std::span<const double> sorted, double p,
                                        QuantileMethod method = QuantileMethod::kLinear);
 
+/// Percentile by selection (std::nth_element) instead of a full sort:
+/// O(n) expected time, so the aggregation tier's per-cell cost stops
+/// being dominated by sorting. Reorders `values` arbitrarily. Every
+/// method computes the same fractional rank and interpolation
+/// expression as the sort path, so results are bit-identical to
+/// percentile() on the same sample.
+util::Result<double> percentile_select(std::span<double> values, double p,
+                                       QuantileMethod method = QuantileMethod::kLinear);
+
 /// Multiple percentiles in one sort. ps values in [0, 100].
 util::Result<std::vector<double>> percentiles(std::span<const double> sample,
                                               std::span<const double> ps,

@@ -1,0 +1,75 @@
+// Small reusable worker pool for data-parallel loops.
+//
+// The IQB hot paths (cell aggregation, per-region scoring) are
+// embarrassingly parallel: N independent tasks writing to pre-sized
+// slots. ThreadPool::parallel_for covers exactly that shape — dynamic
+// work stealing via an atomic cursor, the calling thread participates,
+// and the call returns only when every index has run, so callers can
+// fold the slots in deterministic order afterwards. A pool sized 1
+// (or a loop of 1 item) runs inline on the caller with no locking,
+// which keeps the serial path bit-identical to pre-pool code.
+//
+// One parallel_for may be in flight per pool at a time; nesting or
+// concurrent fan-outs on the same pool are caller bugs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iqb::util {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread too: a pool of K spawns K-1
+  /// workers. 0 means resolve_threads(0) (hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();  ///< Joins all workers.
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width, including the calling thread (>= 1).
+  std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// Run body(i) for every i in [0, n), then return. Indices are
+  /// claimed dynamically; each runs exactly once, on the caller or a
+  /// worker. The first exception a task throws is captured and
+  /// rethrown here after the loop drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Map a thread-count knob to an execution width: 0 -> hardware
+  /// concurrency (at least 1), anything else verbatim. The convention
+  /// used by AggregationPolicy::threads and the --threads flags.
+  static std::size_t resolve_threads(std::size_t requested) noexcept;
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;  ///< First task exception, if any.
+  };
+
+  void worker_loop();
+  /// Claim and run indices until the job is exhausted; returns after
+  /// bumping `done` for every index it ran.
+  void work(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< Workers wait for a new job.
+  std::condition_variable done_cv_;  ///< Caller waits for completion.
+  std::shared_ptr<Job> job_;         ///< Null while idle.
+  std::uint64_t generation_ = 0;     ///< Bumped per parallel_for.
+  bool shutdown_ = false;
+};
+
+}  // namespace iqb::util

@@ -78,6 +78,10 @@ TEST(PipelineObs, RecordsStageSpansAndCountersUnderManualClock) {
 
 TEST(PipelineObs, TraceIsByteIdenticalAcrossRunsWithTheSameClock) {
   const datasets::RecordStore store = small_store();
+  // Pre-build the columnar index: the first aggregate() over a cold
+  // store emits an index-build span that later runs (which reuse the
+  // cached index) do not, and this test compares whole traces.
+  store.index();
   core::Pipeline pipeline(core::IqbConfig::paper_defaults());
   auto run_once = [&]() {
     MetricsRegistry metrics;

@@ -1,0 +1,106 @@
+#include "iqb/stats/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "iqb/util/rng.hpp"
+
+namespace iqb::stats {
+namespace {
+
+constexpr QuantileMethod kAllMethods[] = {
+    QuantileMethod::kNearestRank, QuantileMethod::kLinear,
+    QuantileMethod::kHazen, QuantileMethod::kMedianUnbiased,
+    QuantileMethod::kNormalUnbiased};
+
+/// Selection must agree with the sort path bit for bit: EXPECT_EQ on
+/// doubles, no tolerance.
+void expect_bit_identical(const std::vector<double>& sample, double p,
+                          QuantileMethod method) {
+  auto sorted_result = percentile(sample, p, method);
+  std::vector<double> scratch(sample);
+  auto select_result = percentile_select(scratch, p, method);
+  ASSERT_EQ(sorted_result.ok(), select_result.ok());
+  if (sorted_result.ok()) {
+    EXPECT_EQ(sorted_result.value(), select_result.value())
+        << "p=" << p << " method=" << static_cast<int>(method)
+        << " n=" << sample.size();
+  }
+}
+
+TEST(PercentileSelect, MatchesSortPathOnSmallSamples) {
+  const std::vector<std::vector<double>> samples = {
+      {42.0},
+      {1.0, 2.0},
+      {3.0, 1.0, 2.0},
+      {10.0, 10.0, 10.0, 10.0},
+      {5.0, -3.0, 7.5, 0.0, 2.25, -1.125}};
+  for (const auto& sample : samples) {
+    for (QuantileMethod method : kAllMethods) {
+      for (double p : {0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 100.0}) {
+        expect_bit_identical(sample, p, method);
+      }
+    }
+  }
+}
+
+TEST(PercentileSelect, MatchesSortPathOnRandomSamples) {
+  util::Rng rng(4242);
+  for (std::size_t n : {std::size_t{2}, std::size_t{19}, std::size_t{100},
+                        std::size_t{1001}}) {
+    std::vector<double> sample;
+    sample.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sample.push_back(rng.uniform(-1e6, 1e6));
+    }
+    for (QuantileMethod method : kAllMethods) {
+      for (double p = 0.0; p <= 100.0; p += 2.5) {
+        expect_bit_identical(sample, p, method);
+      }
+    }
+  }
+}
+
+TEST(PercentileSelect, MatchesSortPathWithDuplicateHeavySamples) {
+  util::Rng rng(7);
+  std::vector<double> sample;
+  for (std::size_t i = 0; i < 500; ++i) {
+    // Few distinct values: nth_element partitions full of ties.
+    sample.push_back(static_cast<double>(rng.uniform_int(0, 4)));
+  }
+  for (QuantileMethod method : kAllMethods) {
+    for (double p : {1.0, 33.0, 50.0, 66.0, 95.0, 99.0}) {
+      expect_bit_identical(sample, p, method);
+    }
+  }
+}
+
+TEST(PercentileSelect, ErrorsMatchTheSortPath) {
+  std::vector<double> empty;
+  auto select_empty = percentile_select(empty, 50.0);
+  ASSERT_FALSE(select_empty.ok());
+  EXPECT_EQ(select_empty.error().message, "percentile: empty sample");
+
+  std::vector<double> sample{1.0, 2.0};
+  auto select_range = percentile_select(sample, 101.0);
+  auto sort_range = percentile(sample, 101.0);
+  ASSERT_FALSE(select_range.ok());
+  ASSERT_FALSE(sort_range.ok());
+  EXPECT_EQ(select_range.error().message, sort_range.error().message);
+}
+
+TEST(PercentileSelect, ReordersInPlaceButAnswersFromTheSameMultiset) {
+  std::vector<double> sample{9.0, 1.0, 5.0, 3.0, 7.0};
+  std::vector<double> scratch(sample);
+  auto result = percentile_select(scratch, 50.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 5.0);
+  // Contents may be permuted, never changed.
+  std::sort(sample.begin(), sample.end());
+  std::sort(scratch.begin(), scratch.end());
+  EXPECT_EQ(sample, scratch);
+}
+
+}  // namespace
+}  // namespace iqb::stats

@@ -1,0 +1,178 @@
+#include "iqb/datasets/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iqb/datasets/store.hpp"
+#include "iqb/datasets/synthetic.hpp"
+
+namespace iqb::datasets {
+namespace {
+
+MeasurementRecord make_record(const std::string& region,
+                              const std::string& dataset,
+                              const std::string& isp, double download) {
+  MeasurementRecord record;
+  record.region = region;
+  record.dataset = dataset;
+  record.isp = isp;
+  record.download = util::Mbps{download};
+  record.latency = util::Millis{20.0};
+  return record;
+}
+
+RecordStore synthetic_store(std::size_t records_per_dataset = 40) {
+  util::Rng rng(99);
+  SyntheticConfig config;
+  config.records_per_dataset = records_per_dataset;
+  std::vector<MeasurementRecord> records;
+  for (const auto& profile : example_region_profiles()) {
+    auto region_records =
+        generate_region_records(profile, default_dataset_panel(), config, rng);
+    records.insert(records.end(), region_records.begin(),
+                   region_records.end());
+  }
+  return RecordStore(std::move(records));
+}
+
+TEST(SymbolTable, InternsToDenseInsertionOrderedIds) {
+  SymbolTable table;
+  EXPECT_EQ(table.intern("metro"), 0u);
+  EXPECT_EQ(table.intern("rural"), 1u);
+  EXPECT_EQ(table.intern("metro"), 0u);  // idempotent
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.name(1), "rural");
+  EXPECT_EQ(table.find("rural"), std::optional<std::uint32_t>{1});
+  EXPECT_EQ(table.find("absent"), std::nullopt);
+  EXPECT_EQ(table.sorted_names(),
+            (std::vector<std::string>{"metro", "rural"}));
+}
+
+TEST(StoreIndex, GroupsAreSortedByRegionThenDataset) {
+  std::vector<MeasurementRecord> records;
+  records.push_back(make_record("b_region", "z_data", "isp", 10));
+  records.push_back(make_record("a_region", "z_data", "isp", 20));
+  records.push_back(make_record("b_region", "a_data", "isp", 30));
+  records.push_back(make_record("a_region", "a_data", "isp", 40));
+  const StoreIndex index = StoreIndex::build(records);
+  ASSERT_EQ(index.groups().size(), 4u);
+  std::vector<std::pair<std::string, std::string>> order;
+  for (const auto& group : index.groups()) {
+    order.emplace_back(index.region_symbols().name(group.region_id),
+                       index.dataset_symbols().name(group.dataset_id));
+  }
+  const std::vector<std::pair<std::string, std::string>> expected{
+      {"a_region", "a_data"},
+      {"a_region", "z_data"},
+      {"b_region", "a_data"},
+      {"b_region", "z_data"}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(StoreIndex, ColumnsMatchAScanInStoreOrder) {
+  const RecordStore store = synthetic_store();
+  const StoreIndex& index = store.index();
+  EXPECT_EQ(index.record_count(), store.size());
+  for (const auto& group : index.groups()) {
+    RecordFilter filter;
+    filter.region = index.region_symbols().name(group.region_id);
+    filter.dataset = index.dataset_symbols().name(group.dataset_id);
+    for (Metric metric : kAllMetrics) {
+      EXPECT_EQ(group.column(metric), store.metric_values(metric, filter))
+          << *filter.region << "/" << *filter.dataset;
+    }
+  }
+}
+
+TEST(StoreIndex, DistinctNameListsMatchTheScanAnswers) {
+  const RecordStore store = synthetic_store();
+  const StoreIndex& index = store.index();
+  // regions()/dataset_names()/isps() now answer from the index; the
+  // cross-check is against a hand-rolled scan.
+  std::vector<std::string> regions;
+  for (const auto& record : store.records()) regions.push_back(record.region);
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  EXPECT_EQ(index.regions(), regions);
+  EXPECT_EQ(store.regions(), regions);
+}
+
+TEST(StoreIndex, FindReturnsNullForAbsentCombos) {
+  std::vector<MeasurementRecord> records;
+  records.push_back(make_record("metro", "ndt", "isp", 10));
+  const StoreIndex index = StoreIndex::build(records);
+  EXPECT_NE(index.find("metro", "ndt"), nullptr);
+  EXPECT_EQ(index.find("metro", "ookla"), nullptr);
+  EXPECT_EQ(index.find("rural", "ndt"), nullptr);
+}
+
+TEST(RecordStore, IndexIsCachedUntilMutation) {
+  RecordStore store;
+  ASSERT_TRUE(store.add(make_record("metro", "ndt", "isp", 10)).ok());
+  EXPECT_FALSE(store.index_ready());
+  const StoreIndex* first = &store.index();
+  EXPECT_TRUE(store.index_ready());
+  EXPECT_EQ(first, &store.index());  // cached, same object
+
+  ASSERT_TRUE(store.add(make_record("metro", "ndt", "isp", 20)).ok());
+  EXPECT_FALSE(store.index_ready());  // invalidated by add()
+  EXPECT_EQ(store.index().find("metro", "ndt")->rows.size(), 2u);
+
+  store.add_all({make_record("rural", "ndt", "isp", 5)});
+  EXPECT_FALSE(store.index_ready());
+
+  RecordStore other;
+  ASSERT_TRUE(other.add(make_record("exurb", "ookla", "isp", 50)).ok());
+  store.index();
+  store.merge(other);
+  EXPECT_FALSE(store.index_ready());
+  EXPECT_EQ(store.regions(),
+            (std::vector<std::string>{"exurb", "metro", "rural"}));
+
+  store.clear();
+  EXPECT_FALSE(store.index_ready());
+  EXPECT_TRUE(store.regions().empty());
+}
+
+TEST(RecordStore, CopiesShareTheBuiltIndexAndMovesKeepIt) {
+  RecordStore store = synthetic_store();
+  const StoreIndex* built = &store.index();
+
+  RecordStore copy(store);
+  EXPECT_TRUE(copy.index_ready());
+  EXPECT_EQ(&copy.index(), built);  // shared immutable snapshot
+  EXPECT_EQ(copy.size(), store.size());
+
+  // Mutating the copy must not disturb the original's cache.
+  ASSERT_TRUE(copy.add(make_record("new_region", "ndt", "isp", 1)).ok());
+  EXPECT_FALSE(copy.index_ready());
+  EXPECT_TRUE(store.index_ready());
+
+  RecordStore moved(std::move(store));
+  EXPECT_TRUE(moved.index_ready());
+  EXPECT_EQ(&moved.index(), built);
+}
+
+TEST(RecordStore, ByRegionRefsPointsAtLiveRecords) {
+  const RecordStore store = synthetic_store();
+  std::size_t total = 0;
+  for (const auto& [region, refs] : store.by_region_refs()) {
+    for (const MeasurementRecord* record : refs) {
+      EXPECT_EQ(record->region, region);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, store.size());
+  // The deep-copy variant must agree with the ref variant.
+  auto copies = store.by_region();
+  auto refs = store.by_region_refs();
+  ASSERT_EQ(copies.size(), refs.size());
+  for (const auto& [region, group] : copies) {
+    ASSERT_EQ(group.size(), refs.at(region).size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      EXPECT_EQ(group[i].subscriber_id, refs.at(region)[i]->subscriber_id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iqb::datasets

@@ -1,0 +1,88 @@
+#include "iqb/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace iqb::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, HandlesMoreTasksThanThreadsAndViceVersa) {
+  ThreadPool pool(3);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{100}}) {
+    std::vector<std::atomic<int>> hits(n == 0 ? 1 : n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, IsReusableAcrossManyLoops) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(10, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500u);
+}
+
+TEST(ThreadPool, SerialWidthRunsInlineOnTheCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.parallel_for(8, [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, PropagatesTheFirstTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 13) throw std::runtime_error("task 13");
+                        }),
+      std::runtime_error);
+  // The pool must still be usable after an exceptional loop.
+  std::atomic<int> after{0};
+  pool.parallel_for(10, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerialSum) {
+  constexpr std::size_t kN = 4096;
+  std::vector<double> values(kN);
+  std::iota(values.begin(), values.end(), 1.0);
+  std::vector<double> doubled(kN);
+  ThreadPool pool(4);
+  pool.parallel_for(kN, [&](std::size_t i) { doubled[i] = 2.0 * values[i]; });
+  const double sum = std::accumulate(doubled.begin(), doubled.end(), 0.0);
+  EXPECT_EQ(sum, kN * (kN + 1.0));
+}
+
+}  // namespace
+}  // namespace iqb::util
