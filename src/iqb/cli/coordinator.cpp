@@ -1,0 +1,419 @@
+#include "iqb/cli/coordinator.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "iqb/robust/circuit_breaker.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/log.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::cli {
+
+namespace {
+
+constexpr const char* kCoordinatorUsage =
+    "usage: iqbd --coordinator --shards [name=]host:port,... \n"
+    "            [--config FILE.json] [--port N] [--bind ADDR]\n"
+    "            [--interval-ms N] [--poll-ms N] [--max-cycles N]\n"
+    "            [--hedge-ms N] [--connect-timeout-ms N]\n"
+    "            [--io-timeout-ms N] [--total-deadline-ms N]\n"
+    "            [--telemetry true|false] [--trace-prefix S]\n"
+    "gathers every shard's /shard/aggregate each cycle, fuses the\n"
+    "tables and serves the fleet's /scores exactly like one daemon;\n"
+    "failed shards are served from their last-good payload at\n"
+    "confidence tier C (/readyz: \"degraded\"); /fleetz shows the\n"
+    "per-shard fetch state.\n"
+    "exit codes: 0 ok, 1 usage error, 2 startup error\n";
+
+constexpr const char* kPartialCyclesMetric = "fleet_partial_cycles_total";
+constexpr const char* kPartialCyclesHelp =
+    "Gather cycles where at least one shard was cached or missing";
+
+util::Result<std::uint64_t> parse_u64_option(const std::string& key,
+                                             const std::string& text) {
+  auto value = util::parse_int(text);
+  if (!value.ok() || value.value() < 0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad --" + key + " '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(value.value());
+}
+
+}  // namespace
+
+const char* coordinator_usage() noexcept { return kCoordinatorUsage; }
+
+util::Result<CoordinatorOptions> parse_coordinator_args(
+    const std::vector<std::string>& tokens) {
+  CoordinatorOptions options;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& key = tokens[i];
+    if (!util::starts_with(key, "--")) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "expected --option, got '" + key + "'");
+    }
+    if (i + 1 >= tokens.size()) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "missing value for " + key);
+    }
+    const std::string name = key.substr(2);
+    const std::string& value = tokens[++i];
+    if (name == "shards") {
+      for (const std::string& token : util::split(value, ',')) {
+        if (token.empty()) continue;
+        auto endpoint =
+            fleet::parse_shard_endpoint(token, options.shards.size());
+        if (!endpoint.ok()) return endpoint.error();
+        options.shards.push_back(std::move(endpoint).value());
+      }
+    } else if (name == "config") {
+      options.config_path = value;
+    } else if (name == "bind") {
+      options.bind_address = value;
+    } else if (name == "trace-prefix") {
+      options.trace_prefix = value;
+    } else if (name == "telemetry") {
+      options.telemetry = value == "true";
+    } else if (name == "port") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      if (parsed.value() > 65535) {
+        return util::make_error(util::ErrorCode::kInvalidArgument,
+                                "--port out of range '" + value + "'");
+      }
+      options.port = static_cast<std::uint16_t>(parsed.value());
+    } else if (name == "interval-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.interval_ms = parsed.value();
+    } else if (name == "poll-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.poll_ms = parsed.value() == 0 ? 1 : parsed.value();
+    } else if (name == "max-cycles") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.max_cycles = parsed.value();
+    } else if (name == "hedge-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.hedge_delay_ms = parsed.value();
+    } else if (name == "connect-timeout-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.connect_timeout_ms = parsed.value();
+    } else if (name == "io-timeout-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.io_timeout_ms = parsed.value();
+    } else if (name == "total-deadline-ms") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.total_deadline_ms = parsed.value();
+    } else {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "unknown option --" + name);
+    }
+  }
+  if (options.shards.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "--shards is required");
+  }
+  return options;
+}
+
+CoordinatorDaemon::CoordinatorDaemon(CoordinatorOptions options)
+    : options_(std::move(options)),
+      fetcher_([this] {
+        fleet::FleetFetcher::Options fetch;
+        fetch.shards = options_.shards;
+        fetch.http.connect_timeout_ms = options_.connect_timeout_ms;
+        fetch.http.io_timeout_ms = options_.io_timeout_ms;
+        fetch.http.total_deadline_ms = options_.total_deadline_ms;
+        fetch.hedge_delay_ms = options_.hedge_delay_ms;
+        fetch.retry_sleep_scale = options_.retry_sleep_scale;
+        return std::make_unique<fleet::FleetFetcher>(
+            std::move(fetch), options_.telemetry ? &metrics_ : nullptr);
+      }()),
+      server_(
+          [this] {
+            obs::TelemetryServer::Options server_options;
+            server_options.http.bind_address = options_.bind_address;
+            server_options.http.port = options_.port;
+            server_options.route_override =
+                [this](const obs::HttpRequest& request) {
+                  return route_override(request);
+                };
+            return server_options;
+          }(),
+          &metrics_, nullptr) {
+  if (options_.telemetry) {
+    metrics_.counter(kPartialCyclesMetric, kPartialCyclesHelp);
+  }
+}
+
+CoordinatorDaemon::~CoordinatorDaemon() { stop(); }
+
+util::Result<void> CoordinatorDaemon::ensure_config() {
+  if (config_) return {};
+  if (options_.config_path) {
+    auto loaded = core::IqbConfig::load(*options_.config_path);
+    if (!loaded.ok()) return loaded.error();
+    config_ = std::move(loaded).value();
+  } else {
+    config_ = core::IqbConfig::paper_defaults();
+  }
+  return {};
+}
+
+util::Result<void> CoordinatorDaemon::start(std::ostream& err) {
+  if (running_) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "coordinator already running");
+  }
+  if (auto config = ensure_config(); !config.ok()) {
+    return config.error();
+  }
+  if (auto started = server_.start(); !started.ok()) {
+    return started.error();
+  }
+  finished_.store(false);
+  stop_requested_ = false;
+  running_ = true;
+  loop_thread_ = std::thread([this, &err] { loop(err); });
+  return {};
+}
+
+void CoordinatorDaemon::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(loop_mutex_);
+    stop_requested_ = true;
+  }
+  loop_cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  server_.drain();
+  running_ = false;
+}
+
+bool CoordinatorDaemon::run_cycle(std::ostream& err) {
+  if (auto config = ensure_config(); !config.ok()) {
+    err << "config error: " << config.error().to_string() << "\n";
+    cycles_total_.fetch_add(1);
+    cycles_failed_.fetch_add(1);
+    return false;
+  }
+  const std::uint64_t cycle = cycles_total_.fetch_add(1) + 1;
+  const std::string trace_id =
+      options_.trace_prefix + "-" + std::to_string(cycle);
+  util::ScopedLogTrace log_trace(trace_id);
+
+  std::vector<fleet::ShardView> views = fetcher_->fetch_all();
+  fleet::FuseOutput output = fleet::fuse(*config_, views, trace_id);
+  {
+    std::lock_guard<std::mutex> lock(fuse_mutex_);
+    last_fuse_ = output;
+    fused_once_ = true;
+  }
+  if (options_.telemetry) {
+    metrics_
+        .gauge("fleet_shards_fresh", "Shards that answered this cycle")
+        .set(static_cast<double>(output.shards_fresh));
+    metrics_
+        .gauge("fleet_shards_cached",
+               "Shards served from their last-good payload this cycle")
+        .set(static_cast<double>(output.shards_cached));
+    metrics_
+        .gauge("fleet_shards_missing",
+               "Shards with no payload at all this cycle")
+        .set(static_cast<double>(output.shards_missing));
+  }
+  if (output.partial()) {
+    partial_cycles_.fetch_add(1);
+    if (options_.telemetry) {
+      metrics_.counter(kPartialCyclesMetric, kPartialCyclesHelp).inc();
+    }
+  }
+  if (!output.any_payload()) {
+    // Nothing to fuse — keep serving the previous snapshot (if any)
+    // rather than publishing an empty document.
+    cycles_failed_.fetch_add(1);
+    if (options_.telemetry) {
+      metrics_
+          .counter("iqb_daemon_cycles_total",
+                   "Watch-daemon scoring cycles by result",
+                   {{"result", "error"}})
+          .inc();
+    }
+    IQB_LOG(kError) << "gather cycle " << cycle << ": no shard answered";
+    err << "gather cycle " << cycle << ": no shard answered\n";
+    return false;
+  }
+
+  auto snapshot = std::make_shared<obs::ScoreSnapshot>();
+  snapshot->cycle = cycle;
+  snapshot->trace_id = trace_id;
+  snapshot->scores_json = output.scores_json;
+  snapshot->tier_c = output.tier_c;
+  snapshot->tier_c_regions = output.tier_c_regions;
+  snapshot->aggregate_json = output.aggregate_json;
+  const bool tier_c = snapshot->tier_c;
+  server_.publish(std::move(snapshot));
+
+  if (options_.telemetry) {
+    metrics_
+        .counter("iqb_daemon_cycles_total",
+                 "Watch-daemon scoring cycles by result",
+                 {{"result", "ok"}})
+        .inc();
+    metrics_
+        .gauge("iqb_daemon_ready", "1 once the first cycle has completed")
+        .set(1.0);
+    metrics_
+        .gauge("iqb_daemon_tier_c",
+               "1 while the latest scores carry confidence tier C")
+        .set(tier_c ? 1.0 : 0.0);
+  }
+  IQB_LOG(kInfo) << "gather cycle " << cycle << ": " << output.shards_fresh
+                 << " fresh / " << output.shards_cached << " cached / "
+                 << output.shards_missing << " missing shards";
+  return true;
+}
+
+void CoordinatorDaemon::loop(std::ostream& err) {
+  using std::chrono::milliseconds;
+  using std::chrono::steady_clock;
+  auto last_run = steady_clock::now();
+  bool ran_once = false;
+  for (;;) {
+    const bool due =
+        !ran_once ||
+        steady_clock::now() - last_run >= milliseconds(options_.interval_ms);
+    if (due) {
+      run_cycle(err);
+      last_run = steady_clock::now();
+      ran_once = true;
+      if (options_.max_cycles != 0 &&
+          cycles_total_.load() >= options_.max_cycles) {
+        finished_.store(true);
+        return;
+      }
+    }
+    std::unique_lock<std::mutex> lock(loop_mutex_);
+    if (loop_cv_.wait_for(lock, milliseconds(options_.poll_ms),
+                          [this] { return stop_requested_; })) {
+      return;
+    }
+  }
+}
+
+std::optional<obs::HttpResponse> CoordinatorDaemon::route_override(
+    const obs::HttpRequest& request) {
+  if (request.path == "/readyz") return readyz_response();
+  if (request.path == "/fleetz") return fleetz_response();
+  return std::nullopt;
+}
+
+namespace {
+
+util::JsonArray shard_status_json(
+    const std::vector<fleet::ShardStatus>& statuses) {
+  util::JsonArray shards;
+  for (const fleet::ShardStatus& status : statuses) {
+    util::JsonObject entry;
+    entry.emplace("name", status.name);
+    entry.emplace("address", status.address);
+    entry.emplace("up", status.up);
+    entry.emplace("breaker",
+                  std::string(robust::breaker_state_name(status.breaker)));
+    entry.emplace("last_cycle",
+                  static_cast<std::int64_t>(status.last_cycle));
+    entry.emplace("consecutive_failures",
+                  static_cast<std::int64_t>(status.consecutive_failures));
+    if (!status.last_error.empty()) {
+      entry.emplace("last_error", status.last_error);
+    }
+    shards.emplace_back(std::move(entry));
+  }
+  return shards;
+}
+
+}  // namespace
+
+obs::HttpResponse CoordinatorDaemon::readyz_response() {
+  const auto snapshot = server_.latest();
+  util::JsonObject out;
+  out.emplace("role", "coordinator");
+  out.emplace("shards", shard_status_json(fetcher_->status()));
+  if (!snapshot) {
+    out.emplace("status", "unready");
+    out.emplace("reason", "no completed gather cycle yet");
+    return {503, "application/json",
+            util::JsonValue(std::move(out)).dump() + "\n"};
+  }
+  out.emplace("cycle", static_cast<std::int64_t>(snapshot->cycle));
+  out.emplace("trace", snapshot->trace_id);
+  if (snapshot->tier_c) {
+    // Same contract as a single daemon: tier C means "serving, but
+    // what you read cannot be fully trusted this cycle" — degraded,
+    // not down.
+    std::string regions;
+    for (const std::string& region : snapshot->tier_c_regions) {
+      if (!regions.empty()) regions += ", ";
+      regions += region;
+    }
+    out.emplace("status", "degraded");
+    out.emplace("reason",
+                "confidence tier C (single-source or worse): " + regions);
+    return {503, "application/json",
+            util::JsonValue(std::move(out)).dump() + "\n"};
+  }
+  out.emplace("status", "ready");
+  out.emplace("stale", false);
+  return {200, "application/json",
+          util::JsonValue(std::move(out)).dump() + "\n"};
+}
+
+obs::HttpResponse CoordinatorDaemon::fleetz_response() {
+  util::JsonObject out;
+  out.emplace("shards", shard_status_json(fetcher_->status()));
+  {
+    std::lock_guard<std::mutex> lock(fuse_mutex_);
+    if (fused_once_) {
+      util::JsonObject fuse;
+      fuse.emplace("shards_fresh",
+                   static_cast<std::int64_t>(last_fuse_.shards_fresh));
+      fuse.emplace("shards_cached",
+                   static_cast<std::int64_t>(last_fuse_.shards_cached));
+      fuse.emplace("shards_missing",
+                   static_cast<std::int64_t>(last_fuse_.shards_missing));
+      fuse.emplace("max_shard_cycle",
+                   static_cast<std::int64_t>(last_fuse_.max_shard_cycle));
+      util::JsonArray stale;
+      for (const std::string& region : last_fuse_.stale_regions) {
+        stale.emplace_back(region);
+      }
+      fuse.emplace("stale_regions", std::move(stale));
+      util::JsonArray tier_c;
+      for (const std::string& region : last_fuse_.tier_c_regions) {
+        tier_c.emplace_back(region);
+      }
+      fuse.emplace("tier_c_regions", std::move(tier_c));
+      out.emplace("last_cycle", std::move(fuse));
+    }
+  }
+  out.emplace("hedges_total",
+              static_cast<std::int64_t>(fetcher_->hedges_total()));
+  out.emplace("retries_total",
+              static_cast<std::int64_t>(fetcher_->retries_total()));
+  out.emplace("breaker_denials_total",
+              static_cast<std::int64_t>(fetcher_->breaker_denials_total()));
+  out.emplace("partial_cycles_total",
+              static_cast<std::int64_t>(partial_cycles_.load()));
+  return {200, "application/json",
+          util::JsonValue(std::move(out)).dump(2) + "\n"};
+}
+
+}  // namespace iqb::cli

@@ -1,0 +1,145 @@
+// The iqbd fleet coordinator: scatter-gather over shard daemons.
+//
+// `iqbd --coordinator` turns the same binary into the gather tier of
+// a region-partitioned fleet: each cycle it fetches every configured
+// shard's /shard/aggregate payload (fleet::FleetFetcher — deadlines,
+// bounded retries, hedged requests, per-shard circuit breakers,
+// last-good caching), fuses the partial tables (fleet::fuse) and
+// publishes the fused scores to the same TelemetryServer a single
+// daemon uses — /scores, /metrics, /readyz behave identically, so a
+// consumer cannot tell (and in the zero-fault case literally cannot
+// tell: the bytes match) whether it is talking to one daemon or a
+// fleet.
+//
+// Partial results degrade, never error: while at least one shard has
+// ever answered, /scores serves a well-formed document; regions whose
+// shard failed this cycle are served from its last-good payload at
+// confidence tier C, /readyz reports "degraded" with per-shard
+// status, and /fleetz serves the full fleet view. Cycles that fused
+// fewer fresh shards than configured are counted in
+// fleet_partial_cycles_total.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqb/core/config.hpp"
+#include "iqb/fleet/coordinator.hpp"
+#include "iqb/fleet/fetcher.hpp"
+#include "iqb/obs/metrics.hpp"
+#include "iqb/obs/telemetry_server.hpp"
+#include "iqb/util/result.hpp"
+
+namespace iqb::cli {
+
+struct CoordinatorOptions {
+  std::vector<fleet::ShardEndpoint> shards;
+  std::optional<std::string> config_path;
+
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 9090;  ///< 0: ephemeral.
+
+  std::uint64_t interval_ms = 2000;  ///< Gather cadence.
+  std::uint64_t poll_ms = 200;       ///< stop-check step.
+  std::uint64_t max_cycles = 0;      ///< 0: run until stop().
+
+  /// Shard fetch budget (per shard, per cycle).
+  std::uint64_t connect_timeout_ms = 1000;
+  std::uint64_t io_timeout_ms = 2000;
+  std::uint64_t total_deadline_ms = 5000;
+  std::uint64_t hedge_delay_ms = 150;
+  double retry_sleep_scale = 1.0;  ///< Test seam; 1.0 in production.
+
+  bool telemetry = true;
+  std::string trace_prefix = "iqbc";
+};
+
+/// Parse the argv[1..] tokens following --coordinator
+/// (--shards [name=]host:port,... [--config F] [--port N] [--bind A]
+/// [--interval-ms N] [--poll-ms N] [--max-cycles N] [--hedge-ms N]
+/// [--connect-timeout-ms N] [--io-timeout-ms N] [--total-deadline-ms N]
+/// [--telemetry true|false] [--trace-prefix S]).
+util::Result<CoordinatorOptions> parse_coordinator_args(
+    const std::vector<std::string>& tokens);
+
+/// One-line usage text for iqbd --coordinator.
+const char* coordinator_usage() noexcept;
+
+class CoordinatorDaemon {
+ public:
+  explicit CoordinatorDaemon(CoordinatorOptions options);
+  ~CoordinatorDaemon();  ///< Calls stop().
+  CoordinatorDaemon(const CoordinatorDaemon&) = delete;
+  CoordinatorDaemon& operator=(const CoordinatorDaemon&) = delete;
+
+  /// Load the config, start the telemetry server, launch the gather
+  /// loop. `err` must outlive the daemon.
+  util::Result<void> start(std::ostream& err);
+
+  /// Graceful drain: finish the in-flight cycle, answer accepted HTTP
+  /// requests, join every thread. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  /// True once the loop exited on its own (max_cycles reached).
+  bool finished() const noexcept { return finished_.load(); }
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+  obs::TelemetryServer& server() noexcept { return server_; }
+
+  std::uint64_t cycles_total() const noexcept { return cycles_total_.load(); }
+  std::uint64_t cycles_failed() const noexcept {
+    return cycles_failed_.load();
+  }
+  /// Cycles where at least one shard was cached or missing.
+  std::uint64_t partial_cycles() const noexcept {
+    return partial_cycles_.load();
+  }
+
+  fleet::FleetFetcher& fetcher() noexcept { return *fetcher_; }
+
+  /// Run one gather cycle synchronously (the loop calls this; tests
+  /// may too, before start()). Returns true if the cycle published.
+  bool run_cycle(std::ostream& err);
+
+ private:
+  util::Result<void> ensure_config();
+  void loop(std::ostream& err);
+  std::optional<obs::HttpResponse> route_override(
+      const obs::HttpRequest& request);
+  obs::HttpResponse readyz_response();
+  obs::HttpResponse fleetz_response();
+
+  CoordinatorOptions options_;
+  std::optional<core::IqbConfig> config_;
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<fleet::FleetFetcher> fetcher_;
+  obs::TelemetryServer server_;
+
+  std::atomic<std::uint64_t> cycles_total_{0};
+  std::atomic<std::uint64_t> cycles_failed_{0};
+  std::atomic<std::uint64_t> partial_cycles_{0};
+
+  /// Last fuse accounting, for /readyz and /fleetz (guarded).
+  mutable std::mutex fuse_mutex_;
+  fleet::FuseOutput last_fuse_;
+  bool fused_once_ = false;
+
+  bool running_ = false;
+  std::atomic<bool> finished_{false};
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool stop_requested_ = false;  ///< Guarded by loop_mutex_.
+  std::thread loop_thread_;
+};
+
+}  // namespace iqb::cli

@@ -9,6 +9,7 @@
 
 #include "iqb/cli/load.hpp"
 #include "iqb/core/pipeline.hpp"
+#include "iqb/fleet/wire.hpp"
 #include "iqb/obs/clock.hpp"
 #include "iqb/obs/telemetry.hpp"
 #include "iqb/obs/trace.hpp"
@@ -26,8 +27,11 @@ constexpr const char* kDaemonUsage =
     "            [--watch true|false] [--lenient true] [--by-isp true]\n"
     "            [--max-cycles N] [--state-dir DIR]\n"
     "            [--cycle-deadline-ms N] [--telemetry true|false]\n"
-    "            [--trace-prefix S] [--threads N]\n"
+    "            [--trace-prefix S] [--threads N] [--regions A,B,...]\n"
     "serves /metrics /metrics.json /healthz /readyz /tracez /scores\n"
+    "and /shard/aggregate (the cycle's aggregate table, for a fleet\n"
+    "coordinator); --regions restricts scoring to the listed regions,\n"
+    "turning this daemon into one shard of a region-partitioned fleet.\n"
     "--state-dir enables crash-safe checkpoints: on restart the newest\n"
     "valid checkpoint is served (flagged stale) until a fresh cycle.\n"
     "exit codes: 0 ok, 1 usage error, 2 startup error\n";
@@ -78,6 +82,14 @@ util::Result<DaemonOptions> parse_daemon_args(
       options.bind_address = value;
     } else if (name == "trace-prefix") {
       options.trace_prefix = value;
+    } else if (name == "regions") {
+      for (const std::string& region : util::split(value, ',')) {
+        if (!region.empty()) options.regions.push_back(region);
+      }
+      if (options.regions.empty()) {
+        return util::make_error(util::ErrorCode::kInvalidArgument,
+                                "--regions needs at least one region name");
+      }
     } else if (name == "state-dir") {
       options.state_dir = value;
     } else if (name == "lenient") {
@@ -434,6 +446,23 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
     return fail_cycle("cycle deadline exceeded (mid-cycle)");
   }
   const robust::IngestHealth health = loaded->health;
+  if (!options_.regions.empty()) {
+    // Shard mode: keep only this shard's regions. Filtering happens
+    // before the optional by-isp rekey so --regions always names the
+    // records' own region values.
+    std::vector<datasets::MeasurementRecord> kept;
+    for (const datasets::MeasurementRecord& record :
+         loaded->store.records()) {
+      if (std::find(options_.regions.begin(), options_.regions.end(),
+                    record.region) != options_.regions.end()) {
+        kept.push_back(record);
+      }
+    }
+    if (kept.empty()) {
+      return fail_cycle("no records match --regions");
+    }
+    loaded->store = datasets::RecordStore(std::move(kept));
+  }
   datasets::RecordStore store =
       options_.by_isp ? datasets::rekey_by_region_isp(loaded->store)
                       : std::move(loaded).value().store;
@@ -452,6 +481,16 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
   snapshot->cycle = cycle;
   snapshot->trace_id = trace_id;
   snapshot->scores_json = report::to_json(output.results).dump(2) + "\n";
+  {
+    // Publish the cycle's aggregate table on /shard/aggregate so a
+    // fleet coordinator can scatter-gather this daemon as a shard.
+    fleet::ShardPayload payload;
+    payload.cycle = cycle;
+    payload.trace_id = trace_id;
+    payload.table = output.aggregates;
+    payload.health = health;
+    snapshot->aggregate_json = fleet::serialize_shard_payload(payload);
+  }
   for (const auto& result : output.results) {
     if (result.degradation().tier == robust::ConfidenceTier::kC) {
       snapshot->tier_c = true;

@@ -67,6 +67,13 @@ struct DaemonOptions {
   bool lenient = false;
   bool by_isp = false;
 
+  /// Shard mode: when non-empty, only records whose region is listed
+  /// are scored (and served on /shard/aggregate), making this daemon
+  /// one shard of a fleet. Region-partitioning keeps per-region
+  /// aggregates exact: a fleet coordinator merging shard tables gets
+  /// byte-identical scores to one daemon over the union of records.
+  std::vector<std::string> regions;
+
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 9090;  ///< 0: ephemeral (see WatchDaemon::port()).
 
@@ -109,7 +116,8 @@ struct DaemonOptions {
 /// [--bind A] [--interval-ms N] [--poll-ms N] [--watch true|false]
 /// [--lenient true] [--by-isp true] [--max-cycles N]
 /// [--state-dir DIR] [--cycle-deadline-ms N]
-/// [--telemetry true|false] [--trace-prefix S] [--threads N]).
+/// [--telemetry true|false] [--trace-prefix S] [--threads N]
+/// [--regions A,B,...]).
 util::Result<DaemonOptions> parse_daemon_args(
     const std::vector<std::string>& tokens);
 

@@ -1,0 +1,296 @@
+#include "iqb/fleet/fetcher.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <utility>
+
+#include "iqb/obs/metrics.hpp"
+#include "iqb/util/log.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::fleet {
+
+namespace {
+
+constexpr const char* kShardUpMetric = "fleet_shard_up";
+constexpr const char* kShardUpHelp =
+    "1 while the shard's last fetch was fresh, 0 while served from "
+    "cache or absent";
+
+}  // namespace
+
+util::Result<ShardEndpoint> parse_shard_endpoint(const std::string& text,
+                                                 std::size_t index) {
+  ShardEndpoint endpoint;
+  std::string address = text;
+  const std::size_t eq = text.find('=');
+  if (eq != std::string::npos) {
+    endpoint.name = text.substr(0, eq);
+    address = text.substr(eq + 1);
+  } else {
+    endpoint.name = "shard" + std::to_string(index);
+  }
+  const std::size_t colon = address.rfind(':');
+  if (endpoint.name.empty() || colon == std::string::npos || colon == 0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad shard endpoint '" + text +
+                                "' (want [name=]host:port)");
+  }
+  endpoint.host = address.substr(0, colon);
+  auto port = util::parse_int(address.substr(colon + 1));
+  if (!port.ok() || port.value() <= 0 || port.value() > 65535) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad shard port in '" + text + "'");
+  }
+  endpoint.port = static_cast<std::uint16_t>(port.value());
+  return endpoint;
+}
+
+FleetFetcher::FleetFetcher(Options options, obs::MetricsRegistry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  shards_.reserve(options_.shards.size());
+  for (const ShardEndpoint& endpoint : options_.shards) {
+    ShardState state;
+    state.endpoint = endpoint;
+    state.breaker = robust::CircuitBreaker(options_.breaker);
+    shards_.push_back(std::move(state));
+  }
+  if (metrics_) {
+    // Register the fleet families eagerly so dashboards see them (at
+    // zero) before the first fault.
+    for (const ShardEndpoint& endpoint : options_.shards) {
+      metrics_->gauge(kShardUpMetric, kShardUpHelp,
+                      {{"shard", endpoint.name}});
+    }
+    metrics_->counter("fleet_fetch_retries_total",
+                      "Shard fetch attempts beyond the first");
+    metrics_->counter("fleet_hedges_total",
+                      "Hedged second requests fired after hedge_delay_ms");
+    metrics_->counter("fleet_breaker_denials_total",
+                      "Shard fetches skipped by an open circuit breaker");
+  }
+}
+
+FleetFetcher::~FleetFetcher() {
+  std::lock_guard<std::mutex> lock(parked_mutex_);
+  for (ParkedThread& parked : parked_) {
+    if (parked.thread.joinable()) parked.thread.join();
+  }
+  parked_.clear();
+}
+
+void FleetFetcher::reap_finished() {
+  std::lock_guard<std::mutex> lock(parked_mutex_);
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    if (it->done->load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+util::Result<obs::HttpClient::Response> FleetFetcher::hedged_get(
+    const ShardEndpoint& endpoint) {
+  using Result = util::Result<obs::HttpClient::Response>;
+  struct Race {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<Result> success;
+    std::optional<Result> failure;  ///< First failure, for the error.
+    int outstanding = 0;
+  };
+  auto race = std::make_shared<Race>();
+
+  const obs::HttpClient client(options_.http);
+  const std::string host = endpoint.host;
+  const std::uint16_t port = endpoint.port;
+  const std::string path = options_.path;
+
+  auto launch = [&] {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    {
+      std::lock_guard<std::mutex> lock(race->mutex);
+      ++race->outstanding;
+    }
+    std::thread thread([race, done, client, host, port, path] {
+      Result result = client.get(host, port, path);
+      {
+        std::lock_guard<std::mutex> lock(race->mutex);
+        if (result.ok()) {
+          if (!race->success) race->success = std::move(result);
+        } else if (!race->failure) {
+          race->failure = std::move(result);
+        }
+        --race->outstanding;
+      }
+      race->cv.notify_all();
+      done->store(true);
+    });
+    std::lock_guard<std::mutex> lock(parked_mutex_);
+    parked_.push_back({std::move(thread), std::move(done)});
+  };
+
+  launch();
+  std::unique_lock<std::mutex> lock(race->mutex);
+  if (options_.hedge_delay_ms > 0) {
+    const bool settled = race->cv.wait_for(
+        lock, std::chrono::milliseconds(options_.hedge_delay_ms),
+        [&] { return race->success || race->outstanding == 0; });
+    if (!settled) {
+      lock.unlock();
+      hedges_.fetch_add(1);
+      if (metrics_) {
+        metrics_
+            ->counter("fleet_hedges_total",
+                      "Hedged second requests fired after hedge_delay_ms")
+            .inc();
+      }
+      launch();
+      lock.lock();
+    }
+  }
+  // First success wins; otherwise wait for every launched attempt to
+  // fail. Each attempt is bounded by the HTTP total deadline, so this
+  // wait is bounded too.
+  race->cv.wait(lock,
+                [&] { return race->success || race->outstanding == 0; });
+  Result result = race->success
+                      ? std::move(*race->success)
+                      : (race->failure
+                             ? std::move(*race->failure)
+                             : Result(util::make_error(
+                                   util::ErrorCode::kInternal,
+                                   "hedged fetch finished without outcome")));
+  lock.unlock();
+  reap_finished();
+  return result;
+}
+
+ShardView FleetFetcher::fetch_shard(ShardState& state) {
+  ShardView view;
+  view.name = state.endpoint.name;
+
+  auto fail = [&](std::string reason) {
+    state.up = false;
+    ++state.consecutive_failures;
+    state.last_error = reason;
+    view.error = std::move(reason);
+    view.payload = state.last_good;  // may be nullopt
+    view.stale = view.payload.has_value();
+    if (metrics_) {
+      metrics_
+          ->gauge(kShardUpMetric, kShardUpHelp,
+                  {{"shard", state.endpoint.name}})
+          .set(0.0);
+      metrics_
+          ->counter("fleet_fetch_failures_total",
+                    "Shard fetch episodes that exhausted their budget",
+                    {{"shard", state.endpoint.name}})
+          .inc();
+    }
+    return view;
+  };
+
+  if (!state.breaker.allow_request()) {
+    denials_.fetch_add(1);
+    if (metrics_) {
+      metrics_
+          ->counter("fleet_breaker_denials_total",
+                    "Shard fetches skipped by an open circuit breaker")
+          .inc();
+    }
+    return fail("circuit breaker open (" +
+                std::string(robust::breaker_state_name(
+                    state.breaker.state())) +
+                ")");
+  }
+
+  // Retry episode: hedged attempts separated by decorrelated-jitter
+  // sleeps, bounded by the policy's attempt count and virtual-time
+  // deadline. Every attempt outcome feeds the breaker.
+  robust::RetrySchedule schedule(options_.retry);
+  std::string last_error;
+  for (;;) {
+    auto fetched = hedged_get(state.endpoint);
+    if (fetched.ok() && fetched.value().status == 200) {
+      auto payload = parse_shard_payload(fetched.value().body);
+      if (payload.ok()) {
+        state.breaker.record_success();
+        state.up = true;
+        state.consecutive_failures = 0;
+        state.last_error.clear();
+        state.last_good = std::move(payload).value();
+        if (metrics_) {
+          metrics_
+              ->gauge(kShardUpMetric, kShardUpHelp,
+                      {{"shard", state.endpoint.name}})
+              .set(1.0);
+        }
+        view.payload = state.last_good;
+        view.stale = false;
+        return view;
+      }
+      last_error = "payload: " + payload.error().message;
+    } else if (fetched.ok()) {
+      last_error = "shard answered HTTP " +
+                   std::to_string(fetched.value().status);
+    } else {
+      last_error = fetched.error().message;
+    }
+    state.breaker.record_failure();
+    const double delay_s = schedule.next_delay_s();
+    if (delay_s < 0.0) break;  // policy exhausted
+    retries_.fetch_add(1);
+    if (metrics_) {
+      metrics_
+          ->counter("fleet_fetch_retries_total",
+                    "Shard fetch attempts beyond the first")
+          .inc();
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        delay_s * options_.retry_sleep_scale));
+  }
+  return fail(last_error);
+}
+
+std::vector<ShardView> FleetFetcher::fetch_all() {
+  reap_finished();
+  std::vector<ShardView> views(shards_.size());
+  {
+    // One scatter thread per shard: fleet sizes are tens, not
+    // thousands, and each thread spends its life blocked on I/O. The
+    // shard mutex is held for the whole scatter — status() readers
+    // see pre- or post-cycle state, never a torn shard entry.
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::thread> scatter;
+    scatter.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      scatter.emplace_back(
+          [this, i, &views] { views[i] = fetch_shard(shards_[i]); });
+    }
+    for (std::thread& thread : scatter) thread.join();
+  }
+  return views;
+}
+
+std::vector<ShardStatus> FleetFetcher::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  for (const ShardState& state : shards_) {
+    ShardStatus status;
+    status.name = state.endpoint.name;
+    status.address = state.endpoint.address();
+    status.up = state.up;
+    status.breaker = state.breaker.state();
+    status.last_cycle = state.last_good ? state.last_good->cycle : 0;
+    status.consecutive_failures = state.consecutive_failures;
+    status.last_error = state.last_error;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+}  // namespace iqb::fleet

@@ -1,0 +1,156 @@
+// Fault-tolerant scatter stage: fetch every shard's aggregate payload.
+//
+// One coordinator cycle asks every shard for its /shard/aggregate
+// payload in parallel. The fetch path is where fleet robustness lives:
+//
+//   * deadlines — every request is bounded by obs::HttpClient's
+//     connect/read/total deadlines, so a blackholed shard costs one
+//     deadline, never a hang;
+//   * bounded retries — robust::RetryPolicy (decorrelated jitter)
+//     drives real sleeps between attempts, so a flapping shard gets a
+//     second chance without a retry storm;
+//   * hedging — if an attempt has not answered after hedge_delay_ms a
+//     second request races it and the first answer wins, cutting the
+//     tail latency a slow-but-alive shard would otherwise impose;
+//   * circuit breaking — a per-shard robust::CircuitBreaker opens
+//     after persistent failure so a dead shard stops consuming retry
+//     and hedge budget, re-probing via half-open trials;
+//   * last-good caching — a shard that fails this cycle is served
+//     from its previous payload, marked stale, so its regions degrade
+//     (tier demotion) instead of disappearing.
+//
+// Fleet metrics (when a registry is attached): fleet_shard_up{shard},
+// fleet_fetch_retries_total, fleet_hedges_total,
+// fleet_fetch_failures_total{shard}, fleet_breaker_denials_total.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqb/fleet/wire.hpp"
+#include "iqb/obs/http_client.hpp"
+#include "iqb/robust/circuit_breaker.hpp"
+#include "iqb/robust/retry.hpp"
+
+namespace iqb::obs {
+class MetricsRegistry;
+}
+
+namespace iqb::fleet {
+
+struct ShardEndpoint {
+  std::string name;  ///< Stable label ("shard0", "eu-west", ...).
+  std::string host;  ///< IPv4 dotted quad.
+  std::uint16_t port = 0;
+
+  std::string address() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parse "name=host:port" or "host:port" (name defaults to
+/// "shard<index>").
+util::Result<ShardEndpoint> parse_shard_endpoint(const std::string& text,
+                                                 std::size_t index);
+
+/// One shard's contribution to a coordinator cycle.
+struct ShardView {
+  std::string name;
+  /// Payload to merge: fresh from this cycle, or the cached last-good
+  /// one (stale == true), or absent entirely (shard never answered).
+  std::optional<ShardPayload> payload;
+  bool stale = false;     ///< payload is the cached previous fetch.
+  std::string error;      ///< Last failure, empty when fresh.
+};
+
+/// Live per-shard status for /readyz and /fleetz.
+struct ShardStatus {
+  std::string name;
+  std::string address;
+  bool up = false;  ///< Last cycle fetched fresh.
+  robust::BreakerState breaker = robust::BreakerState::kClosed;
+  std::uint64_t last_cycle = 0;          ///< Newest payload cycle seen.
+  std::uint64_t consecutive_failures = 0;
+  std::string last_error;
+};
+
+class FleetFetcher {
+ public:
+  struct Options {
+    std::vector<ShardEndpoint> shards;
+    obs::HttpClient::Options http;
+    /// Retry budget per shard per cycle (attempts + jittered delays).
+    robust::RetryPolicy retry{/*max_attempts=*/2, /*base_delay_s=*/0.05,
+                              /*max_delay_s=*/0.5, /*deadline_s=*/2.0,
+                              /*seed=*/17};
+    robust::CircuitBreakerConfig breaker;
+    /// Latency threshold before a hedged second request; 0 disables.
+    std::uint64_t hedge_delay_ms = 150;
+    /// Scale applied to retry delays before sleeping (tests use a
+    /// small value so jitter stays decorrelated but wall time stays
+    /// short).
+    double retry_sleep_scale = 1.0;
+    std::string path = "/shard/aggregate";
+  };
+
+  explicit FleetFetcher(Options options,
+                        obs::MetricsRegistry* metrics = nullptr);
+  ~FleetFetcher();  ///< Joins any still-running hedge losers.
+  FleetFetcher(const FleetFetcher&) = delete;
+  FleetFetcher& operator=(const FleetFetcher&) = delete;
+
+  /// Scatter-gather one cycle: every shard fetched concurrently, each
+  /// within its own deadline/retry/hedge budget. Always returns one
+  /// view per configured shard, in configuration order.
+  std::vector<ShardView> fetch_all();
+
+  /// Per-shard status after the last fetch_all (configuration order).
+  std::vector<ShardStatus> status() const;
+
+  std::uint64_t hedges_total() const noexcept { return hedges_.load(); }
+  std::uint64_t retries_total() const noexcept { return retries_.load(); }
+  std::uint64_t breaker_denials_total() const noexcept {
+    return denials_.load();
+  }
+
+ private:
+  struct ShardState {
+    ShardEndpoint endpoint;
+    robust::CircuitBreaker breaker;
+    std::optional<ShardPayload> last_good;
+    bool up = false;
+    std::uint64_t consecutive_failures = 0;
+    std::string last_error;
+  };
+
+  ShardView fetch_shard(ShardState& state);
+  util::Result<obs::HttpClient::Response> hedged_get(
+      const ShardEndpoint& endpoint);
+  void reap_finished();
+
+  Options options_;
+  obs::MetricsRegistry* metrics_;
+
+  mutable std::mutex mutex_;  ///< Guards shards_ (status vs scatter).
+  std::vector<ShardState> shards_;
+
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> denials_{0};
+
+  // Hedge attempts that lost the race keep running until their HTTP
+  // deadline; they are parked here and joined opportunistically (and
+  // finally in the destructor) instead of blocking the winning cycle.
+  struct ParkedThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex parked_mutex_;
+  std::vector<ParkedThread> parked_;
+};
+
+}  // namespace iqb::fleet

@@ -1,0 +1,174 @@
+#include "iqb/fleet/wire.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "iqb/util/json.hpp"
+
+namespace iqb::fleet {
+
+namespace {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+JsonValue cell_to_json(const datasets::AggregateCell& cell) {
+  JsonObject out;
+  out.emplace("region", cell.region);
+  out.emplace("dataset", cell.dataset);
+  out.emplace("metric", std::string(datasets::metric_name(cell.metric)));
+  out.emplace("value", cell.value);
+  out.emplace("samples", static_cast<std::int64_t>(cell.sample_count));
+  if (cell.ci) {
+    JsonObject ci;
+    ci.emplace("point", cell.ci->point);
+    ci.emplace("lower", cell.ci->lower);
+    ci.emplace("upper", cell.ci->upper);
+    ci.emplace("level", cell.ci->level);
+    out.emplace("ci", std::move(ci));
+  }
+  return out;
+}
+
+util::Result<datasets::AggregateCell> cell_from_json(const JsonValue& value) {
+  datasets::AggregateCell cell;
+  auto region = value.get_string("region");
+  if (!region.ok()) return region.error();
+  cell.region = std::move(region).value();
+  auto dataset = value.get_string("dataset");
+  if (!dataset.ok()) return dataset.error();
+  cell.dataset = std::move(dataset).value();
+  auto metric_text = value.get_string("metric");
+  if (!metric_text.ok()) return metric_text.error();
+  auto metric = datasets::metric_from_name(metric_text.value());
+  if (!metric.ok()) return metric.error();
+  cell.metric = metric.value();
+  auto cell_value = value.get_number("value");
+  if (!cell_value.ok()) return cell_value.error();
+  if (!std::isfinite(cell_value.value())) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "non-finite aggregate value for " + cell.region);
+  }
+  cell.value = cell_value.value();
+  auto samples = value.get_number("samples");
+  if (!samples.ok()) return samples.error();
+  if (samples.value() < 0) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "negative sample count for " + cell.region);
+  }
+  cell.sample_count = static_cast<std::size_t>(samples.value());
+  if (value.contains("ci")) {
+    auto ci = value.get_object("ci");
+    if (!ci.ok()) return ci.error();
+    const JsonValue ci_value{ci.value()};
+    stats::ConfidenceInterval interval;
+    auto point = ci_value.get_number("point");
+    auto lower = ci_value.get_number("lower");
+    auto upper = ci_value.get_number("upper");
+    auto level = ci_value.get_number("level");
+    if (!point.ok() || !lower.ok() || !upper.ok() || !level.ok()) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              "malformed confidence interval for " +
+                                  cell.region);
+    }
+    interval.point = point.value();
+    interval.lower = lower.value();
+    interval.upper = upper.value();
+    interval.level = level.value();
+    cell.ci = interval;
+  }
+  return cell;
+}
+
+}  // namespace
+
+std::string serialize_shard_payload(const ShardPayload& payload) {
+  JsonObject root;
+  root.emplace("version", static_cast<std::int64_t>(payload.version));
+  root.emplace("cycle", static_cast<std::int64_t>(payload.cycle));
+  root.emplace("trace", payload.trace_id);
+
+  JsonArray cells;
+  for (const datasets::AggregateCell& cell : payload.table.cells()) {
+    cells.push_back(cell_to_json(cell));
+  }
+  root.emplace("cells", std::move(cells));
+
+  JsonObject health;
+  health.emplace("rows_quarantined",
+                 static_cast<std::int64_t>(payload.health.rows_quarantined));
+  health.emplace("sources_retried",
+                 static_cast<std::int64_t>(payload.health.sources_retried));
+  JsonArray breakers;
+  for (const std::string& breaker : payload.health.open_breakers) {
+    breakers.emplace_back(breaker);
+  }
+  health.emplace("open_breakers", std::move(breakers));
+  root.emplace("health", std::move(health));
+
+  return JsonValue(std::move(root)).dump() + "\n";
+}
+
+util::Result<ShardPayload> parse_shard_payload(std::string_view text) {
+  auto parsed = util::parse_json(text);
+  if (!parsed.ok()) return parsed.error();
+  const JsonValue& root = parsed.value();
+
+  auto version = root.get_number("version");
+  if (!version.ok()) return version.error();
+  if (version.value() != static_cast<double>(kWireVersion)) {
+    return util::make_error(
+        util::ErrorCode::kParseError,
+        "unsupported shard payload version " +
+            std::to_string(static_cast<std::int64_t>(version.value())) +
+            " (this coordinator speaks " + std::to_string(kWireVersion) +
+            ")");
+  }
+
+  ShardPayload payload;
+  payload.version = kWireVersion;
+  auto cycle = root.get_number("cycle");
+  if (!cycle.ok()) return cycle.error();
+  if (cycle.value() < 0) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "negative shard cycle");
+  }
+  payload.cycle = static_cast<std::uint64_t>(cycle.value());
+  auto trace = root.get_string("trace");
+  if (!trace.ok()) return trace.error();
+  payload.trace_id = std::move(trace).value();
+
+  auto cells = root.get_array("cells");
+  if (!cells.ok()) return cells.error();
+  for (const JsonValue& cell_value : cells.value()) {
+    auto cell = cell_from_json(cell_value);
+    if (!cell.ok()) return cell.error();
+    payload.table.put(std::move(cell).value());
+  }
+
+  auto health = root.get_object("health");
+  if (!health.ok()) return health.error();
+  const JsonValue health_value{health.value()};
+  auto quarantined = health_value.get_number("rows_quarantined");
+  if (!quarantined.ok()) return quarantined.error();
+  payload.health.rows_quarantined =
+      static_cast<std::size_t>(std::max(quarantined.value(), 0.0));
+  auto retried = health_value.get_number("sources_retried");
+  if (!retried.ok()) return retried.error();
+  payload.health.sources_retried =
+      static_cast<std::size_t>(std::max(retried.value(), 0.0));
+  auto breakers = health_value.get_array("open_breakers");
+  if (!breakers.ok()) return breakers.error();
+  for (const JsonValue& breaker : breakers.value()) {
+    if (!breaker.is_string()) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              "open_breakers entries must be strings");
+    }
+    payload.health.open_breakers.push_back(breaker.as_string());
+  }
+  return payload;
+}
+
+}  // namespace iqb::fleet

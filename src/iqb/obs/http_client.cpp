@@ -1,0 +1,237 @@
+#include "iqb/obs/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string_view>
+
+#include "iqb/util/strings.hpp"
+
+namespace iqb::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds until `deadline`, clamped to >= 0.
+int ms_until(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::max<std::int64_t>(left.count(), 0));
+}
+
+util::Error io_error(const std::string& what) {
+  return util::make_error(util::ErrorCode::kIoError,
+                          what + ": " + std::strerror(errno));
+}
+
+/// RAII fd so every early return closes the socket.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Wait for `events` on `fd`, bounded by both the idle timeout and
+/// the total deadline. Returns false on timeout.
+bool wait_ready(int fd, short events, int idle_timeout_ms,
+                Clock::time_point deadline) {
+  for (;;) {
+    const int timeout = std::min(idle_timeout_ms, ms_until(deadline));
+    if (timeout <= 0) return false;
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, timeout);
+    if (n > 0) return true;
+    if (n == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+std::string HttpClient::Response::header(const std::string& name) const {
+  const std::string wanted = util::to_lower(name);
+  for (const auto& [key, value] : headers) {
+    if (key == wanted) return value;
+  }
+  return {};
+}
+
+util::Result<HttpClient::Response> HttpClient::get(
+    const std::string& host, std::uint16_t port,
+    const std::string& path) const {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.total_deadline_ms);
+
+  Fd sock;
+  sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock.fd < 0) return io_error("socket");
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad host address '" + host + "'");
+  }
+
+  // Non-blocking connect so the SYN to a blackholed peer obeys the
+  // connect deadline instead of the kernel's (minutes-long) default.
+  const int flags = ::fcntl(sock.fd, F_GETFL, 0);
+  ::fcntl(sock.fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    if (errno != EINPROGRESS) return io_error("connect " + host);
+    if (!wait_ready(sock.fd, POLLOUT, options_.connect_timeout_ms, deadline)) {
+      return util::make_error(util::ErrorCode::kIoError,
+                              "connect " + host + ":" + std::to_string(port) +
+                                  ": timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(sock.fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      return util::make_error(util::ErrorCode::kIoError,
+                              "connect " + host + ":" + std::to_string(port) +
+                                  ": " + std::strerror(err));
+    }
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    if (!wait_ready(sock.fd, POLLOUT, options_.io_timeout_ms, deadline)) {
+      return util::make_error(util::ErrorCode::kIoError, "send: timed out");
+    }
+    const ssize_t n = ::send(sock.fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return io_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // Read the whole response (Connection: close). Each recv is gated
+  // on the idle timeout *and* the total deadline, so a dripping peer
+  // cannot stretch the exchange past total_deadline_ms.
+  std::string raw;
+  char buffer[8192];
+  bool peer_closed = false;
+  std::size_t header_end = std::string::npos;
+  std::optional<std::size_t> content_length;
+  while (!peer_closed) {
+    if (header_end != std::string::npos && content_length &&
+        raw.size() >= header_end + 4 + *content_length) {
+      break;  // full declared body in hand; don't wait for FIN
+    }
+    if (!wait_ready(sock.fd, POLLIN, options_.io_timeout_ms, deadline)) {
+      return util::make_error(util::ErrorCode::kIoError,
+                              header_end == std::string::npos
+                                  ? "read: timed out before response headers"
+                                  : "read: timed out mid-body");
+    }
+    const ssize_t n = ::recv(sock.fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return io_error("recv");
+    }
+    if (n == 0) {
+      peer_closed = true;
+    } else {
+      raw.append(buffer, static_cast<std::size_t>(n));
+      if (raw.size() > options_.max_response_bytes) {
+        return util::make_error(util::ErrorCode::kIoError,
+                                "response exceeds max_response_bytes");
+      }
+      if (header_end == std::string::npos) {
+        header_end = raw.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+          // Parse Content-Length as soon as the head is complete so
+          // the loop can stop at the declared body size.
+          std::size_t pos = raw.find("\r\n") + 2;
+          while (pos < header_end) {
+            const std::size_t line_end = raw.find("\r\n", pos);
+            const std::string_view line(raw.data() + pos, line_end - pos);
+            const std::size_t colon = line.find(':');
+            if (colon != std::string_view::npos &&
+                util::to_lower(std::string(line.substr(0, colon))) ==
+                    "content-length") {
+              auto parsed = util::parse_int(util::trim(line.substr(colon + 1)));
+              if (parsed.ok() && parsed.value() >= 0) {
+                content_length = static_cast<std::size_t>(parsed.value());
+              }
+            }
+            pos = line_end + 2;
+          }
+        }
+      }
+    }
+  }
+
+  if (header_end == std::string::npos) {
+    return util::make_error(
+        util::ErrorCode::kParseError,
+        raw.empty() ? "connection closed before any response"
+                    : "connection closed mid-headers (" +
+                          std::to_string(raw.size()) + " bytes)");
+  }
+  Response response;
+  if (raw.rfind("HTTP/1.", 0) != 0) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "malformed status line");
+  }
+  const std::size_t status_at = raw.find(' ');
+  if (status_at == std::string::npos || status_at + 4 > header_end) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "malformed status line");
+  }
+  auto status = util::parse_int(
+      std::string_view(raw.data() + status_at + 1, 3));
+  if (!status.ok() || status.value() < 100 || status.value() > 599) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "malformed status code");
+  }
+  response.status = static_cast<int>(status.value());
+
+  std::size_t pos = raw.find("\r\n") + 2;
+  while (pos < header_end) {
+    const std::size_t line_end = raw.find("\r\n", pos);
+    const std::string_view line(raw.data() + pos, line_end - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      response.headers.emplace_back(
+          util::to_lower(std::string(util::trim(line.substr(0, colon)))),
+          std::string(util::trim(line.substr(colon + 1))));
+    }
+    pos = line_end + 2;
+  }
+
+  std::string body = raw.substr(header_end + 4);
+  if (content_length) {
+    if (body.size() < *content_length) {
+      return util::make_error(
+          util::ErrorCode::kParseError,
+          "connection closed mid-body (" + std::to_string(body.size()) +
+              " of " + std::to_string(*content_length) + " bytes)");
+    }
+    body.resize(*content_length);
+  }
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace iqb::obs

@@ -1,0 +1,67 @@
+// Minimal dependency-free blocking HTTP/1.1 client.
+//
+// The fleet coordinator scatter-gathers shard daemons over localhost/
+// LAN HTTP; nothing in that path needs TLS, redirects, keep-alive or
+// chunked encoding, so — symmetric with obs::HttpServer — we implement
+// exactly the subset the fleet speaks: one GET per connection,
+// `Connection: close`, Content-Length or read-to-EOF bodies.
+//
+// What it *does* take seriously is time. Every call is bounded three
+// ways: a connect deadline (dead host / blackholed SYN), a per-read
+// idle deadline (a peer that accepted and went silent, or is dripping
+// a byte a second — the slowloris shape), and a total deadline that
+// caps the whole exchange no matter how the peer misbehaves. A well-
+// behaved fetch returns quickly; a misbehaving one returns an error
+// within total_deadline_ms, never hangs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "iqb/util/result.hpp"
+
+namespace iqb::obs {
+
+class HttpClient {
+ public:
+  struct Options {
+    int connect_timeout_ms = 1000;  ///< TCP connect bound.
+    int io_timeout_ms = 2000;       ///< Per-read/-write idle bound.
+    /// Whole-exchange bound (connect + send + read). A dripping peer
+    /// keeps resetting the idle clock; this one it cannot reset.
+    int total_deadline_ms = 5000;
+    /// Response size bound (status line + headers + body); a peer
+    /// streaming more gets an error, not an unbounded buffer.
+    std::size_t max_response_bytes = 64 * 1024 * 1024;
+  };
+
+  struct Response {
+    int status = 0;
+    std::string body;
+    /// Response headers in arrival order (names lowercased).
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /// First value of a header (name lowercase), or empty.
+    std::string header(const std::string& name) const;
+  };
+
+  HttpClient() = default;
+  explicit HttpClient(Options options) : options_(options) {}
+
+  const Options& options() const noexcept { return options_; }
+
+  /// Blocking GET http://host:port/path. Any transport failure —
+  /// refused, reset, timed out, oversized, malformed — is a
+  /// kIoError/kParseError Result; HTTP error statuses (4xx/5xx) are
+  /// *successful* fetches and come back as Response::status for the
+  /// caller to interpret.
+  util::Result<Response> get(const std::string& host, std::uint16_t port,
+                             const std::string& path) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace iqb::obs

@@ -1,15 +1,19 @@
 #include "iqb/obs/http_server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "iqb/obs/metrics.hpp"
 #include "iqb/util/log.hpp"
 #include "iqb/util/strings.hpp"
 
@@ -39,6 +43,14 @@ bool send_all(int fd, std::string_view data) {
   return true;
 }
 
+/// A header name or value containing CR/LF would let a handler-
+/// supplied string terminate the header block early and smuggle
+/// extra headers (or a second response) past the renderer.
+bool header_field_safe(std::string_view field) noexcept {
+  return field.find('\r') == std::string_view::npos &&
+         field.find('\n') == std::string_view::npos;
+}
+
 std::string render_response(const HttpResponse& response) {
   std::string out = "HTTP/1.1 ";
   out += std::to_string(response.status);
@@ -49,6 +61,11 @@ std::string render_response(const HttpResponse& response) {
   out += "\r\nContent-Length: ";
   out += std::to_string(response.body.size());
   for (const auto& [name, value] : response.headers) {
+    if (name.empty() || !header_field_safe(name) ||
+        !header_field_safe(value)) {
+      IQB_LOG(kWarn) << "dropping response header with CR/LF or empty name";
+      continue;
+    }
     out += "\r\n";
     out += name;
     out += ": ";
@@ -108,8 +125,11 @@ const char* http_status_reason(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -205,6 +225,12 @@ void HttpServer::shutdown_threads(bool graceful) {
 }
 
 void HttpServer::accept_loop() {
+  // Transient accept() failures (EMFILE/ENFILE/ENOBUFS while someone
+  // else leaks fds, for instance) must never kill the acceptor: the
+  // server would look alive — workers idle, port bound — but never
+  // answer again. Back off with a doubling delay instead, and keep
+  // the delay interruptible so stop()/drain() still join promptly.
+  int backoff_ms = 0;
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     {
@@ -214,6 +240,7 @@ void HttpServer::accept_loop() {
         return;
       }
       if (fd >= 0 && pending_.size() < options_.max_pending) {
+        backoff_ms = 0;
         pending_.push_back(fd);
         queue_cv_.notify_one();
         continue;
@@ -221,16 +248,50 @@ void HttpServer::accept_loop() {
     }
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      accept_errors_.fetch_add(1);
+      if (options_.metrics) {
+        options_.metrics
+            ->counter("http_accept_errors_total",
+                      "accept() failures survived by the acceptor "
+                      "(EMFILE/ENFILE/ENOBUFS and friends)")
+            .inc();
+      }
+      backoff_ms = backoff_ms == 0 ? 5 : std::min(backoff_ms * 2, 1000);
       IQB_LOG(kWarn) << "telemetry server accept failed: "
-                     << std::strerror(errno);
-      return;
+                     << std::strerror(errno) << "; retrying in "
+                     << backoff_ms << " ms";
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (queue_cv_.wait_for(lock, std::chrono::milliseconds(backoff_ms),
+                             [this] { return stopping_ || draining_; })) {
+        return;
+      }
+      continue;
     }
+    backoff_ms = 0;
     // Queue full: shed load loudly rather than buffering unboundedly.
-    set_io_timeout(fd, options_.io_timeout_ms);
-    send_response(fd, {503, "application/json",
-                       "{\"error\":\"server overloaded\"}\n"});
-    ::close(fd);
+    // The 503 is best-effort and strictly non-blocking — a slow (or
+    // malicious) client on the shed path must not stall accepts for
+    // everyone else — so one send attempt, then close either way.
+    shed_connection(fd);
   }
+}
+
+void HttpServer::shed_connection(int fd) {
+  shed_total_.fetch_add(1);
+  if (options_.metrics) {
+    options_.metrics
+        ->counter("http_requests_shed_total",
+                  "Connections answered 503 by the acceptor because the "
+                  "pending queue was full")
+        .inc();
+  }
+  static const std::string kOverloaded = render_response(
+      {503, "application/json", "{\"error\":\"server overloaded\"}\n"});
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  ::send(fd, kOverloaded.data(), kOverloaded.size(),
+         MSG_NOSIGNAL | MSG_DONTWAIT);
+  ::close(fd);
 }
 
 void HttpServer::worker_loop() {

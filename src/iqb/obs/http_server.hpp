@@ -14,6 +14,7 @@
 // server (and whatever state the handler captured) afterwards.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -28,6 +29,8 @@
 #include <vector>
 
 namespace iqb::obs {
+
+class MetricsRegistry;
 
 struct HttpRequest {
   std::string method;  ///< "GET", uppercased as received.
@@ -69,6 +72,10 @@ class HttpServer {
     /// Request-line + header byte bound. A client that sends more
     /// before the blank line gets 431 instead of growing our buffer.
     std::size_t max_request_bytes = 8 * 1024;
+    /// Optional registry for the server's own health counters
+    /// (http_accept_errors_total, http_requests_shed_total). Non-
+    /// owning; must outlive the server. Null records nothing.
+    MetricsRegistry* metrics = nullptr;
   };
 
   HttpServer(Options options, HttpHandler handler);
@@ -95,10 +102,20 @@ class HttpServer {
   /// Actual bound port (resolves port 0 after start()).
   std::uint16_t port() const noexcept { return bound_port_; }
 
+  /// accept() failures the acceptor survived (also exported as
+  /// http_accept_errors_total when Options::metrics is set).
+  std::uint64_t accept_errors() const noexcept {
+    return accept_errors_.load();
+  }
+  /// Connections shed with a best-effort 503 because the queue was
+  /// full (http_requests_shed_total).
+  std::uint64_t shed_total() const noexcept { return shed_total_.load(); }
+
  private:
   void accept_loop();
   void worker_loop();
   void handle_connection(int fd);
+  void shed_connection(int fd);
   void shutdown_threads(bool graceful);
 
   Options options_;
@@ -113,6 +130,9 @@ class HttpServer {
   std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
   bool stopping_ = false;    ///< Guarded by queue_mutex_.
   bool draining_ = false;    ///< Guarded by queue_mutex_: finish queue.
+
+  std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -15,14 +15,16 @@ constexpr const char* kIndexBody =
     "  /healthz       liveness (always 200 while serving)\n"
     "  /readyz        readiness (503 before first cycle or at tier C)\n"
     "  /tracez        recent completed spans\n"
-    "  /scores        latest per-region IQB scores\n";
+    "  /scores        latest per-region IQB scores\n"
+    "  /shard/aggregate  serialized aggregate table (fleet scatter-gather)\n";
 
 /// Bounded-cardinality path label: known endpoints verbatim,
 /// everything else pooled, so a URL scanner cannot grow the registry.
 const std::string& path_label(const std::string& path) {
   static const std::string known[] = {"/",       "/metrics", "/metrics.json",
                                       "/healthz", "/readyz",  "/tracez",
-                                      "/scores"};
+                                      "/scores",  "/shard/aggregate",
+                                      "/fleetz"};
   static const std::string other = "other";
   for (const std::string& candidate : known) {
     if (path == candidate) return candidate;
@@ -41,7 +43,12 @@ std::string json_error(const std::string& status, const std::string& reason) {
 
 TelemetryServer::TelemetryServer(Options options, MetricsRegistry* metrics,
                                  SpanRingBuffer* spans)
-    : options_(std::move(options)),
+    : options_([&options, metrics] {
+        // The HTTP server's own health counters (accept errors, shed
+        // connections) land in the same registry as everything else.
+        if (options.http.metrics == nullptr) options.http.metrics = metrics;
+        return std::move(options);
+      }()),
       metrics_(metrics),
       spans_(spans),
       http_(options_.http,
@@ -61,7 +68,10 @@ bool TelemetryServer::ready() const { return latest() != nullptr; }
 
 HttpResponse TelemetryServer::handle(const HttpRequest& request) {
   const std::uint64_t start_ns = steady_clock().now_ns();
-  HttpResponse response = route(request.path);
+  std::optional<HttpResponse> overridden;
+  if (options_.route_override) overridden = options_.route_override(request);
+  HttpResponse response =
+      overridden ? std::move(*overridden) : route(request.path);
   if (metrics_) {
     const double elapsed_s =
         static_cast<double>(steady_clock().now_ns() - start_ns) * 1e-9;
@@ -144,6 +154,19 @@ HttpResponse TelemetryServer::route(const std::string& path) const {
       response.headers.emplace_back("X-IQB-Recovered-Cycle",
                                     std::to_string(snapshot->cycle));
     }
+    return response;
+  }
+  if (path == "/shard/aggregate") {
+    const auto snapshot = latest();
+    if (!snapshot || snapshot->aggregate_json.empty()) {
+      // A recovered checkpoint has scores but no table; a coordinator
+      // should treat this shard as warming up and keep its cache.
+      return {503, "application/json",
+              json_error("unavailable", "no aggregate table yet")};
+    }
+    HttpResponse response{200, "application/json", snapshot->aggregate_json};
+    response.headers.emplace_back("X-IQB-Cycle",
+                                  std::to_string(snapshot->cycle));
     return response;
   }
   return {404, "application/json", json_error("error", "no such endpoint")};

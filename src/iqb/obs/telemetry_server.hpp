@@ -25,8 +25,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,12 +51,28 @@ struct ScoreSnapshot {
   /// with `"stale":true` on /readyz and an `X-IQB-Stale: true` header
   /// on /scores until the first fresh cycle replaces it.
   bool stale = false;
+  /// Serialized aggregate table the scores derive from (opaque to this
+  /// layer; iqb::fleet's versioned shard payload in practice). Served
+  /// verbatim on /shard/aggregate; empty = endpoint answers 503
+  /// (recovered checkpoints carry scores but no table).
+  std::string aggregate_json;
 };
 
 class TelemetryServer {
  public:
+  /// Optional per-request hook consulted *before* the built-in routes.
+  /// Returning a response serves it (instrumented like any other);
+  /// returning nullopt falls through to the built-ins. Lets an
+  /// embedder (the fleet coordinator) override /readyz with richer
+  /// state or add endpoints without obs knowing about them.
+  using RouteOverride =
+      std::function<std::optional<HttpResponse>(const HttpRequest&)>;
+
   struct Options {
     HttpServer::Options http;
+    /// Must be installed before start(); requests may hit it from any
+    /// worker thread, so it must be thread-safe.
+    RouteOverride route_override;
   };
 
   /// `metrics` and `spans` are non-owning and may each be null (the

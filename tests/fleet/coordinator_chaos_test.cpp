@@ -1,0 +1,306 @@
+// Fleet end-to-end chaos tests: two region-partitioned shard daemons
+// behind the coordinator, with a fault-injection proxy on one shard.
+//
+// The acceptance contract under test:
+//   * zero faults  -> the coordinator's /scores is byte-identical to
+//     a single daemon over the union of the shards' records;
+//   * one of two shards blackholed -> /scores still serves a
+//     well-formed document within the cycle deadline, the lost
+//     shard's regions are demoted to confidence tier C, /readyz says
+//     "degraded";
+//   * fault cleared -> tier A and a 200 /readyz within two cycles.
+#include "iqb/cli/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "iqb/cli/daemon.hpp"
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/synthetic.hpp"
+#include "iqb/util/json.hpp"
+#include "../testsupport/chaos_proxy.hpp"
+
+namespace iqb::cli {
+namespace {
+
+using testsupport::ChaosProxy;
+
+const std::vector<std::string> kShardARegions = {"metro_fiber",
+                                                 "suburban_cable",
+                                                 "urban_lte"};
+const std::vector<std::string> kShardBRegions = {"small_town_dsl",
+                                                 "rural_wisp",
+                                                 "remote_satellite"};
+
+class FleetChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    records_path_ =
+        (std::filesystem::temp_directory_path() /
+         ("iqb_fleet_test_records_" + std::to_string(getpid()) + ".csv"))
+            .string();
+    util::Rng rng(1234);
+    datasets::RecordStore store;
+    datasets::SyntheticConfig config;
+    config.records_per_dataset = 30;
+    config.base_time = util::Timestamp::parse("2025-03-01").value();
+    config.spacing_s = 3600;
+    for (const auto& profile : datasets::example_region_profiles()) {
+      store.add_all(datasets::generate_region_records(
+          profile, datasets::default_dataset_panel(), config, rng));
+    }
+    ASSERT_TRUE(
+        datasets::write_records_csv(records_path_, store.records()).ok());
+  }
+
+  static void TearDownTestSuite() { std::remove(records_path_.c_str()); }
+
+  static DaemonOptions shard_options(std::vector<std::string> regions) {
+    DaemonOptions options;
+    options.records_path = records_path_;
+    options.regions = std::move(regions);
+    options.port = 0;
+    options.interval_ms = 200;
+    options.poll_ms = 20;
+    options.watch_files = false;
+    return options;
+  }
+
+  /// The reference document: one daemon over all records.
+  static std::string single_daemon_scores() {
+    WatchDaemon daemon(shard_options({}));
+    std::ostringstream err;
+    EXPECT_TRUE(daemon.run_cycle(err)) << err.str();
+    const auto snapshot = daemon.server().latest();
+    EXPECT_NE(snapshot, nullptr);
+    return snapshot ? snapshot->scores_json : std::string();
+  }
+
+  static CoordinatorOptions coordinator_options(std::uint16_t port_a,
+                                                std::uint16_t port_b) {
+    CoordinatorOptions options;
+    options.shards = {{"a", "127.0.0.1", port_a}, {"b", "127.0.0.1", port_b}};
+    options.port = 0;
+    options.connect_timeout_ms = 200;
+    options.io_timeout_ms = 200;
+    options.total_deadline_ms = 500;
+    options.hedge_delay_ms = 0;  // determinism: no racing second fetches
+    options.retry_sleep_scale = 0.02;
+    return options;
+  }
+
+  static std::string records_path_;
+};
+
+std::string FleetChaosTest::records_path_;
+
+/// All regions named in a rendered scores document.
+std::set<std::string> score_regions(const std::string& scores_json) {
+  std::set<std::string> regions;
+  auto parsed = util::parse_json(scores_json);
+  if (!parsed.ok()) return regions;
+  auto list = parsed->get_array("regions");
+  if (!list.ok()) return regions;
+  for (const util::JsonValue& entry : list.value()) {
+    auto region = entry.get_string("region");
+    if (region.ok()) regions.insert(region.value());
+  }
+  return regions;
+}
+
+TEST_F(FleetChaosTest, ZeroFaultFleetIsByteIdenticalToSingleDaemon) {
+  WatchDaemon shard_a(shard_options(kShardARegions));
+  WatchDaemon shard_b(shard_options(kShardBRegions));
+  std::ostringstream err;
+  ASSERT_TRUE(shard_a.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_b.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_a.server().start().ok());
+  ASSERT_TRUE(shard_b.server().start().ok());
+
+  CoordinatorDaemon coordinator(
+      coordinator_options(shard_a.server().port(), shard_b.server().port()));
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+
+  const auto snapshot = coordinator.server().latest();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_FALSE(snapshot->tier_c);
+  EXPECT_EQ(snapshot->scores_json, single_daemon_scores())
+      << "fused fleet output must be byte-identical to one daemon over "
+         "the union of the shards' records";
+  EXPECT_EQ(coordinator.partial_cycles(), 0u);
+}
+
+TEST_F(FleetChaosTest, BlackholedShardDegradesToTierCAndRecovers) {
+  WatchDaemon shard_a(shard_options(kShardARegions));
+  WatchDaemon shard_b(shard_options(kShardBRegions));
+  std::ostringstream err;
+  ASSERT_TRUE(shard_a.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_b.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_a.server().start().ok());
+  ASSERT_TRUE(shard_b.server().start().ok());
+
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard_b.server().port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+
+  CoordinatorDaemon coordinator(
+      coordinator_options(shard_a.server().port(), proxy.port()));
+
+  // Healthy first cycle (through the proxy in pass mode) so shard b
+  // has a cached last-good payload to degrade to.
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+  {
+    const auto ready = coordinator.server().handle({"GET", "/readyz"});
+    EXPECT_EQ(ready.status, 200);
+    EXPECT_NE(ready.body.find("\"ready\""), std::string::npos);
+  }
+  const std::string healthy_scores =
+      coordinator.server().latest()->scores_json;
+
+  // Fault: shard b blackholed. The cycle must complete (bounded by
+  // the fetch deadlines), keep serving all six regions, and demote
+  // shard b's regions to tier C.
+  proxy.set_mode(ChaosProxy::Mode::kBlackhole);
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+
+  const auto degraded = coordinator.server().latest();
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_TRUE(degraded->tier_c);
+  const auto regions = score_regions(degraded->scores_json);
+  EXPECT_EQ(regions, score_regions(healthy_scores))
+      << "a well-formed, complete-looking document: no region vanishes";
+  for (const std::string& region : kShardBRegions) {
+    EXPECT_NE(std::find(degraded->tier_c_regions.begin(),
+                        degraded->tier_c_regions.end(), region),
+              degraded->tier_c_regions.end())
+        << region << " should be demoted to tier C";
+  }
+  for (const std::string& region : kShardARegions) {
+    EXPECT_EQ(std::find(degraded->tier_c_regions.begin(),
+                        degraded->tier_c_regions.end(), region),
+              degraded->tier_c_regions.end())
+        << region << " is served fresh and must keep its tier";
+  }
+  EXPECT_NE(degraded->scores_json.find("shard:b"), std::string::npos)
+      << "the silent shard is named in the degradation report";
+  {
+    const auto ready = coordinator.server().handle({"GET", "/readyz"});
+    EXPECT_EQ(ready.status, 503);
+    EXPECT_NE(ready.body.find("\"degraded\""), std::string::npos);
+    EXPECT_NE(ready.body.find("\"shards\""), std::string::npos);
+  }
+  EXPECT_GE(coordinator.partial_cycles(), 1u);
+
+  // Recovery: within two cycles of the fault clearing the fleet is
+  // back at tier A and /readyz is 200 again.
+  proxy.set_mode(ChaosProxy::Mode::kPass);
+  bool recovered = false;
+  for (int cycle = 0; cycle < 2 && !recovered; ++cycle) {
+    ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+    recovered = !coordinator.server().latest()->tier_c;
+  }
+  EXPECT_TRUE(recovered) << "fleet must return to tier A within two "
+                            "cycles of the fault clearing";
+  {
+    const auto ready = coordinator.server().handle({"GET", "/readyz"});
+    EXPECT_EQ(ready.status, 200);
+  }
+  EXPECT_EQ(coordinator.server().latest()->scores_json, healthy_scores)
+      << "recovered output matches the healthy fleet's bytes";
+
+  proxy.stop();
+}
+
+TEST_F(FleetChaosTest, CoordinatorServesWhileOnlyOneShardEverAnswered) {
+  WatchDaemon shard_a(shard_options(kShardARegions));
+  std::ostringstream err;
+  ASSERT_TRUE(shard_a.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_a.server().start().ok());
+
+  // Shard b's endpoint refuses every connection and never had a
+  // payload: its regions are simply absent, the rest serve.
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = 1;
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.set_mode(ChaosProxy::Mode::kRefuse);
+
+  CoordinatorDaemon coordinator(
+      coordinator_options(shard_a.server().port(), proxy.port()));
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+
+  const auto snapshot = coordinator.server().latest();
+  ASSERT_NE(snapshot, nullptr);
+  const auto regions = score_regions(snapshot->scores_json);
+  for (const std::string& region : kShardARegions) {
+    EXPECT_EQ(regions.count(region), 1u);
+  }
+  for (const std::string& region : kShardBRegions) {
+    EXPECT_EQ(regions.count(region), 0u);
+  }
+
+  // /fleetz exposes the per-shard fetch state.
+  const auto fleetz = coordinator.server().handle({"GET", "/fleetz"});
+  EXPECT_EQ(fleetz.status, 200);
+  EXPECT_NE(fleetz.body.find("\"shards_missing\""), std::string::npos);
+
+  proxy.stop();
+}
+
+TEST_F(FleetChaosTest, CoordinatorArgsParse) {
+  auto options = parse_coordinator_args(
+      {"--shards", "a=127.0.0.1:9001,b=127.0.0.1:9002", "--port", "9100",
+       "--interval-ms", "500", "--hedge-ms", "80", "--max-cycles", "3",
+       "--total-deadline-ms", "900"});
+  ASSERT_TRUE(options.ok()) << options.error().to_string();
+  ASSERT_EQ(options->shards.size(), 2u);
+  EXPECT_EQ(options->shards[0].name, "a");
+  EXPECT_EQ(options->shards[1].address(), "127.0.0.1:9002");
+  EXPECT_EQ(options->port, 9100);
+  EXPECT_EQ(options->interval_ms, 500u);
+  EXPECT_EQ(options->hedge_delay_ms, 80u);
+  EXPECT_EQ(options->max_cycles, 3u);
+  EXPECT_EQ(options->total_deadline_ms, 900u);
+
+  EXPECT_FALSE(parse_coordinator_args({}).ok());  // --shards required
+  EXPECT_FALSE(parse_coordinator_args({"--shards", "nonsense"}).ok());
+  EXPECT_FALSE(parse_coordinator_args(
+                   {"--shards", "127.0.0.1:1", "--bogus", "x"})
+                   .ok());
+}
+
+TEST_F(FleetChaosTest, ShardRegionsFilterRestrictsScoring) {
+  auto parsed = parse_daemon_args({"--records", records_path_, "--regions",
+                                   "metro_fiber,rural_wisp"});
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed->regions.size(), 2u);
+
+  DaemonOptions options = shard_options({"metro_fiber"});
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+  const auto snapshot = daemon.server().latest();
+  ASSERT_NE(snapshot, nullptr);
+  const auto regions = score_regions(snapshot->scores_json);
+  EXPECT_EQ(regions, std::set<std::string>{"metro_fiber"});
+
+  // And the shard payload carries only that region's cells.
+  auto payload = fleet::parse_shard_payload(snapshot->aggregate_json);
+  ASSERT_TRUE(payload.ok()) << payload.error().to_string();
+  EXPECT_EQ(payload->table.regions(),
+            std::vector<std::string>{"metro_fiber"});
+}
+
+}  // namespace
+}  // namespace iqb::cli

@@ -1,0 +1,226 @@
+// FleetFetcher tests: fresh fetches, last-good caching on failure,
+// hedged requests racing a blackholed first attempt, retry accounting
+// and the per-shard circuit breaker.
+#include "iqb/fleet/fetcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "iqb/obs/http_server.hpp"
+#include "iqb/obs/metrics.hpp"
+#include "../testsupport/chaos_proxy.hpp"
+
+namespace iqb::fleet {
+namespace {
+
+using testsupport::ChaosProxy;
+
+ShardPayload make_payload(std::uint64_t cycle, const std::string& region) {
+  ShardPayload payload;
+  payload.cycle = cycle;
+  payload.trace_id = "t-" + std::to_string(cycle);
+  datasets::AggregateCell cell;
+  cell.region = region;
+  cell.dataset = "fcc_mba";
+  cell.metric = datasets::Metric::kDownload;
+  cell.value = 100.0 + static_cast<double>(cycle);
+  cell.sample_count = 10;
+  payload.table.put(cell);
+  return payload;
+}
+
+/// A stand-in shard: serves a fixed payload on /shard/aggregate.
+class FakeShard {
+ public:
+  explicit FakeShard(ShardPayload payload)
+      : body_(serialize_shard_payload(payload)) {
+    obs::HttpServer::Options options;
+    options.port = 0;
+    server_ = std::make_unique<obs::HttpServer>(
+        options, [this](const obs::HttpRequest& request) -> obs::HttpResponse {
+          if (request.path == "/shard/aggregate") {
+            return {200, "application/json", body_};
+          }
+          return {404, "application/json", "{}"};
+        });
+  }
+  bool start() { return server_->start().ok(); }
+  void stop() { server_->stop(); }
+  std::uint16_t port() const { return server_->port(); }
+
+ private:
+  std::string body_;
+  std::unique_ptr<obs::HttpServer> server_;
+};
+
+FleetFetcher::Options fast_options(std::vector<ShardEndpoint> shards) {
+  FleetFetcher::Options options;
+  options.shards = std::move(shards);
+  options.http.connect_timeout_ms = 200;
+  options.http.io_timeout_ms = 200;
+  options.http.total_deadline_ms = 500;
+  options.hedge_delay_ms = 0;          // hedging off unless a test opts in
+  options.retry_sleep_scale = 0.02;    // jittered delays, tiny wall time
+  return options;
+}
+
+TEST(FleetFetcher, FetchesFreshPayloadsFromEveryShard) {
+  FakeShard a(make_payload(7, "metro_fiber"));
+  FakeShard b(make_payload(9, "rural_wisp"));
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+
+  obs::MetricsRegistry metrics;
+  FleetFetcher fetcher(
+      fast_options({{"a", "127.0.0.1", a.port()},
+                    {"b", "127.0.0.1", b.port()}}),
+      &metrics);
+  auto views = fetcher.fetch_all();
+  ASSERT_EQ(views.size(), 2u);
+  ASSERT_TRUE(views[0].payload.has_value());
+  ASSERT_TRUE(views[1].payload.has_value());
+  EXPECT_FALSE(views[0].stale);
+  EXPECT_FALSE(views[1].stale);
+  EXPECT_EQ(views[0].payload->cycle, 7u);
+  EXPECT_EQ(views[1].payload->cycle, 9u);
+
+  auto status = fetcher.status();
+  ASSERT_EQ(status.size(), 2u);
+  EXPECT_TRUE(status[0].up);
+  EXPECT_TRUE(status[1].up);
+  EXPECT_EQ(status[0].last_cycle, 7u);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(FleetFetcher, FailedShardServedFromLastGoodAndMarkedStale) {
+  FakeShard shard(make_payload(3, "metro_fiber"));
+  ASSERT_TRUE(shard.start());
+
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard.port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+
+  FleetFetcher fetcher(fast_options({{"s", "127.0.0.1", proxy.port()}}));
+  auto fresh = fetcher.fetch_all();
+  ASSERT_TRUE(fresh[0].payload.has_value());
+  EXPECT_FALSE(fresh[0].stale);
+
+  proxy.set_mode(ChaosProxy::Mode::kBlackhole);
+  auto degraded = fetcher.fetch_all();
+  ASSERT_TRUE(degraded[0].payload.has_value())
+      << "last-good payload should survive the fault";
+  EXPECT_TRUE(degraded[0].stale);
+  EXPECT_EQ(degraded[0].payload->cycle, 3u);
+  EXPECT_FALSE(degraded[0].error.empty());
+  EXPECT_GE(fetcher.retries_total(), 1u);
+
+  auto status = fetcher.status();
+  EXPECT_FALSE(status[0].up);
+  EXPECT_GE(status[0].consecutive_failures, 1u);
+
+  proxy.set_mode(ChaosProxy::Mode::kPass);
+  auto recovered = fetcher.fetch_all();
+  ASSERT_TRUE(recovered[0].payload.has_value());
+  EXPECT_FALSE(recovered[0].stale);
+  EXPECT_TRUE(fetcher.status()[0].up);
+
+  proxy.stop();
+  shard.stop();
+}
+
+TEST(FleetFetcher, ShardThatNeverAnsweredHasNoPayload) {
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = 1;  // never used: refuse mode
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.set_mode(ChaosProxy::Mode::kRefuse);
+
+  FleetFetcher fetcher(fast_options({{"s", "127.0.0.1", proxy.port()}}));
+  auto views = fetcher.fetch_all();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_FALSE(views[0].payload.has_value());
+  EXPECT_FALSE(views[0].stale);
+  EXPECT_FALSE(views[0].error.empty());
+  proxy.stop();
+}
+
+TEST(FleetFetcher, HedgedRequestWinsWhenFirstAttemptIsBlackholed) {
+  FakeShard shard(make_payload(5, "metro_fiber"));
+  ASSERT_TRUE(shard.start());
+
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard.port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  // Exactly the first connection blackholes; the hedge passes.
+  proxy.fault_first_n(ChaosProxy::Mode::kBlackhole, 1);
+
+  auto options = fast_options({{"s", "127.0.0.1", proxy.port()}});
+  options.hedge_delay_ms = 100;
+  options.http.io_timeout_ms = 2000;      // first attempt would sit ...
+  options.http.total_deadline_ms = 4000;  // ... well past the hedge
+  obs::MetricsRegistry metrics;
+  FleetFetcher fetcher(std::move(options), &metrics);
+
+  auto views = fetcher.fetch_all();
+  ASSERT_EQ(views.size(), 1u);
+  ASSERT_TRUE(views[0].payload.has_value())
+      << "hedge should have rescued the fetch: " << views[0].error;
+  EXPECT_FALSE(views[0].stale);
+  EXPECT_EQ(views[0].payload->cycle, 5u);
+  EXPECT_GE(fetcher.hedges_total(), 1u);
+  EXPECT_GE(proxy.connections(), 2u);
+
+  proxy.stop();
+  shard.stop();
+}
+
+TEST(FleetFetcher, BreakerOpensAfterPersistentFailureAndRecovers) {
+  FakeShard shard(make_payload(1, "metro_fiber"));
+  ASSERT_TRUE(shard.start());
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard.port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.set_mode(ChaosProxy::Mode::kRefuse);
+
+  auto options = fast_options({{"s", "127.0.0.1", proxy.port()}});
+  options.breaker.window_size = 4;
+  options.breaker.min_samples = 2;
+  options.breaker.failure_threshold = 0.5;
+  options.breaker.cooldown_denials = 1;
+  options.breaker.half_open_successes = 1;
+  FleetFetcher fetcher(std::move(options));
+
+  // One failing cycle records two failures (the retry episode), which
+  // meets min_samples at 100% failure rate: the breaker opens.
+  fetcher.fetch_all();
+  EXPECT_EQ(fetcher.status()[0].breaker, robust::BreakerState::kOpen);
+
+  // While open, fetches are denied without touching the network; the
+  // denial spends the cooldown, moving the breaker to half-open.
+  const auto before = proxy.connections();
+  fetcher.fetch_all();  // denied (cooldown)
+  EXPECT_EQ(proxy.connections(), before);
+  EXPECT_GE(fetcher.breaker_denials_total(), 1u);
+  EXPECT_EQ(fetcher.status()[0].breaker, robust::BreakerState::kHalfOpen);
+
+  // Fault cleared: the half-open probe succeeds and the breaker
+  // closes again.
+  proxy.set_mode(ChaosProxy::Mode::kPass);
+  auto views = fetcher.fetch_all();  // half-open probe
+  ASSERT_TRUE(views[0].payload.has_value());
+  EXPECT_FALSE(views[0].stale);
+  EXPECT_EQ(fetcher.status()[0].breaker, robust::BreakerState::kClosed);
+
+  proxy.stop();
+  shard.stop();
+}
+
+}  // namespace
+}  // namespace iqb::fleet

@@ -1,0 +1,192 @@
+// obs::HttpClient tests: the happy path against a real HttpServer,
+// and every deadline against a misbehaving peer (refused, blackholed,
+// dripping, resetting) via the chaos proxy.
+#include "iqb/obs/http_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "iqb/obs/http_server.hpp"
+#include "../testsupport/chaos_proxy.hpp"
+
+namespace iqb::obs {
+namespace {
+
+using testsupport::ChaosProxy;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ms(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+HttpClient::Options fast_options() {
+  HttpClient::Options options;
+  options.connect_timeout_ms = 300;
+  options.io_timeout_ms = 300;
+  options.total_deadline_ms = 800;
+  return options;
+}
+
+class HttpClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HttpServer::Options options;
+    options.port = 0;
+    server_ = std::make_unique<HttpServer>(
+        options, [](const HttpRequest& request) -> HttpResponse {
+          if (request.path == "/hello") {
+            return {200, "text/plain", "hi there"};
+          }
+          if (request.path == "/big") {
+            return {200, "text/plain", std::string(256 * 1024, 'x')};
+          }
+          return {404, "application/json", "{\"status\":\"error\"}\n"};
+        });
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpClientTest, GetReturnsStatusHeadersAndBody) {
+  const HttpClient client(fast_options());
+  auto response = client.get("127.0.0.1", server_->port(), "/hello");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "hi there");
+  EXPECT_EQ(response->header("Content-Type"), "text/plain");
+  EXPECT_EQ(response->header("content-length"), "8");
+}
+
+TEST_F(HttpClientTest, HttpErrorStatusIsASuccessfulFetch) {
+  const HttpClient client(fast_options());
+  auto response = client.get("127.0.0.1", server_->port(), "/nope");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->status, 404);
+}
+
+TEST_F(HttpClientTest, LargeBodyArrivesIntact) {
+  const HttpClient client(fast_options());
+  auto response = client.get("127.0.0.1", server_->port(), "/big");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->body.size(), 256u * 1024u);
+}
+
+TEST_F(HttpClientTest, OversizedResponseIsBounded) {
+  HttpClient::Options options = fast_options();
+  options.max_response_bytes = 1024;
+  const HttpClient client(options);
+  auto response = client.get("127.0.0.1", server_->port(), "/big");
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.error().message.find("max_response_bytes"),
+            std::string::npos);
+}
+
+TEST_F(HttpClientTest, RefusedConnectionFailsFast) {
+  // Bind a listener, note the port, close it: connecting to that port
+  // now gets RST, not a timeout.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&address),
+                   sizeof(address)),
+            0);
+  socklen_t len = sizeof(address);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &len);
+  const std::uint16_t dead_port = ntohs(address.sin_port);
+  ::close(fd);
+
+  const HttpClient client(fast_options());
+  const auto start = Clock::now();
+  auto response = client.get("127.0.0.1", dead_port, "/hello");
+  EXPECT_FALSE(response.ok());
+  EXPECT_LT(elapsed_ms(start), 500u);
+}
+
+TEST_F(HttpClientTest, BlackholedPeerObeysDeadline) {
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = server_->port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.set_mode(ChaosProxy::Mode::kBlackhole);
+
+  const HttpClient client(fast_options());
+  const auto start = Clock::now();
+  auto response = client.get("127.0.0.1", proxy.port(), "/hello");
+  const auto took = elapsed_ms(start);
+  EXPECT_FALSE(response.ok());
+  EXPECT_NE(response.error().message.find("timed out"), std::string::npos)
+      << response.error().message;
+  // Bounded by the idle timeout (connection opens instantly, then
+  // silence), well inside the total deadline + slack.
+  EXPECT_LT(took, 1500u);
+  proxy.stop();
+}
+
+TEST_F(HttpClientTest, DrippingPeerCannotStretchPastTotalDeadline) {
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = server_->port();
+  proxy_options.drip_interval_ms = 100;  // resets the idle clock...
+  proxy_options.drip_chunk = 4;
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.set_mode(ChaosProxy::Mode::kDrip);
+
+  // ...but /big at 4 bytes per 100 ms would take hours; the total
+  // deadline is the bound the drip cannot reset.
+  const HttpClient client(fast_options());
+  const auto start = Clock::now();
+  auto response = client.get("127.0.0.1", proxy.port(), "/big");
+  const auto took = elapsed_ms(start);
+  EXPECT_FALSE(response.ok());
+  EXPECT_GE(took, 500u);   // it did keep reading past one idle window
+  EXPECT_LT(took, 2500u);  // total deadline (800 ms) + generous slack
+  proxy.stop();
+}
+
+TEST_F(HttpClientTest, MidResponseResetIsAnError) {
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = server_->port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.set_mode(ChaosProxy::Mode::kReset);
+
+  const HttpClient client(fast_options());
+  auto response = client.get("127.0.0.1", proxy.port(), "/big");
+  EXPECT_FALSE(response.ok());
+  proxy.stop();
+}
+
+TEST_F(HttpClientTest, ProxyPassModeIsTransparent) {
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = server_->port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+
+  const HttpClient client(fast_options());
+  auto direct = client.get("127.0.0.1", server_->port(), "/hello");
+  auto proxied = client.get("127.0.0.1", proxy.port(), "/hello");
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(proxied.ok()) << proxied.error().to_string();
+  EXPECT_EQ(direct->status, proxied->status);
+  EXPECT_EQ(direct->body, proxied->body);
+  EXPECT_EQ(proxy.connections(), 1u);
+  proxy.stop();
+}
+
+}  // namespace
+}  // namespace iqb::obs

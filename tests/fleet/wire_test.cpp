@@ -1,0 +1,152 @@
+// Shard payload wire-format tests: exact double round-trips, version
+// gating, and rejection of malformed payloads.
+#include "iqb/fleet/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iqb/fleet/fetcher.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+namespace iqb::fleet {
+namespace {
+
+datasets::AggregateCell make_cell(const std::string& region,
+                                  const std::string& dataset,
+                                  datasets::Metric metric, double value,
+                                  std::size_t samples) {
+  datasets::AggregateCell cell;
+  cell.region = region;
+  cell.dataset = dataset;
+  cell.metric = metric;
+  cell.value = value;
+  cell.sample_count = samples;
+  return cell;
+}
+
+TEST(FleetWire, RoundTripIsExactForAwkwardDoubles) {
+  ShardPayload payload;
+  payload.cycle = 42;
+  payload.trace_id = "shard0-42";
+  // Values chosen to stress the formatter: non-terminating binary
+  // fractions, tiny magnitudes, and a near-max double.
+  payload.table.put(make_cell("metro_fiber", "fcc_mba",
+                              datasets::Metric::kDownload, 0.1, 40));
+  payload.table.put(make_cell("metro_fiber", "fcc_mba",
+                              datasets::Metric::kLatency, 1.0 / 3.0, 40));
+  payload.table.put(make_cell("rural_wisp", "ookla",
+                              datasets::Metric::kLoss, 5e-324, 12));
+  payload.table.put(make_cell("rural_wisp", "ookla",
+                              datasets::Metric::kUpload,
+                              1.7976931348623157e308, 12));
+  payload.health.rows_quarantined = 3;
+  payload.health.open_breakers = {"feed:ookla"};
+
+  const std::string wire = serialize_shard_payload(payload);
+  auto parsed = parse_shard_payload(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+
+  // Bit-exact values: the fused coordinator scores must match a
+  // single daemon's byte-for-byte, so the wire cannot lose a single
+  // ulp.
+  const auto original = payload.table.cells();
+  const auto decoded = parsed->table.cells();
+  ASSERT_EQ(original.size(), decoded.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].region, decoded[i].region);
+    EXPECT_EQ(original[i].dataset, decoded[i].dataset);
+    EXPECT_EQ(original[i].metric, decoded[i].metric);
+    EXPECT_EQ(original[i].sample_count, decoded[i].sample_count);
+    EXPECT_EQ(std::memcmp(&original[i].value, &decoded[i].value,
+                          sizeof(double)),
+              0)
+        << original[i].region << " value drifted: " << original[i].value
+        << " vs " << decoded[i].value;
+  }
+  EXPECT_EQ(parsed->cycle, 42u);
+  EXPECT_EQ(parsed->trace_id, "shard0-42");
+  EXPECT_EQ(parsed->health.rows_quarantined, 3u);
+  ASSERT_EQ(parsed->health.open_breakers.size(), 1u);
+  EXPECT_EQ(parsed->health.open_breakers[0], "feed:ookla");
+
+  // Serialization is deterministic: re-serializing the parse yields
+  // the same bytes.
+  EXPECT_EQ(serialize_shard_payload(*parsed), wire);
+}
+
+TEST(FleetWire, RoundTripPreservesConfidenceIntervals) {
+  ShardPayload payload;
+  auto cell = make_cell("metro_fiber", "fcc_mba",
+                        datasets::Metric::kDownload, 812.5, 40);
+  stats::ConfidenceInterval ci;
+  ci.point = 812.5;
+  ci.lower = 790.0 + 1.0 / 7.0;
+  ci.upper = 831.25;
+  ci.level = 0.95;
+  cell.ci = ci;
+  payload.table.put(cell);
+
+  auto parsed = parse_shard_payload(serialize_shard_payload(payload));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto cells = parsed->table.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_TRUE(cells[0].ci.has_value());
+  EXPECT_EQ(cells[0].ci->lower, ci.lower);
+  EXPECT_EQ(cells[0].ci->upper, ci.upper);
+  EXPECT_EQ(cells[0].ci->level, ci.level);
+}
+
+TEST(FleetWire, RejectsForeignVersion) {
+  const std::string wire =
+      "{\"cells\":[],\"cycle\":1,"
+      "\"health\":{\"open_breakers\":[],\"rows_quarantined\":0,"
+      "\"sources_retried\":0},\"trace\":\"x\",\"version\":99}";
+  auto parsed = parse_shard_payload(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("version"), std::string::npos);
+}
+
+TEST(FleetWire, RejectsMalformedPayloads) {
+  EXPECT_FALSE(parse_shard_payload("").ok());
+  EXPECT_FALSE(parse_shard_payload("not json at all").ok());
+  EXPECT_FALSE(parse_shard_payload("{\"version\":1}").ok());  // no cycle
+  // Unknown metric name.
+  EXPECT_FALSE(
+      parse_shard_payload(
+          "{\"cells\":[{\"dataset\":\"d\",\"metric\":\"warp_factor\","
+          "\"region\":\"r\",\"samples\":1,\"value\":1.0}],\"cycle\":1,"
+          "\"health\":{\"open_breakers\":[],\"rows_quarantined\":0,"
+          "\"sources_retried\":0},\"trace\":\"x\",\"version\":1}")
+          .ok());
+  // Negative sample count.
+  EXPECT_FALSE(
+      parse_shard_payload(
+          "{\"cells\":[{\"dataset\":\"d\",\"metric\":\"download_mbps\","
+          "\"region\":\"r\",\"samples\":-4,\"value\":1.0}],\"cycle\":1,"
+          "\"health\":{\"open_breakers\":[],\"rows_quarantined\":0,"
+          "\"sources_retried\":0},\"trace\":\"x\",\"version\":1}")
+          .ok());
+}
+
+TEST(FleetWire, ParseShardEndpointForms) {
+  auto named = parse_shard_endpoint("eu-west=10.1.2.3:9090", 0);
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->name, "eu-west");
+  EXPECT_EQ(named->host, "10.1.2.3");
+  EXPECT_EQ(named->port, 9090);
+
+  auto anonymous = parse_shard_endpoint("127.0.0.1:8080", 3);
+  ASSERT_TRUE(anonymous.ok());
+  EXPECT_EQ(anonymous->name, "shard3");
+  EXPECT_EQ(anonymous->address(), "127.0.0.1:8080");
+
+  EXPECT_FALSE(parse_shard_endpoint("nohost", 0).ok());
+  EXPECT_FALSE(parse_shard_endpoint("host:notaport", 0).ok());
+  EXPECT_FALSE(parse_shard_endpoint("host:99999", 0).ok());
+  EXPECT_FALSE(parse_shard_endpoint("=host:80", 0).ok());
+}
+
+}  // namespace
+}  // namespace iqb::fleet

@@ -1,0 +1,221 @@
+// Slow/abusive-client hardening tests for obs::HttpServer: slowloris
+// partial headers, a head exactly at the request-size bound, client
+// disconnect mid-response, header CRLF injection, extended reason
+// phrases, and the accept-error survival counters.
+#include "iqb/obs/http_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "iqb/obs/metrics.hpp"
+#include "../testsupport/http_get.hpp"
+
+namespace iqb::obs {
+namespace {
+
+using testsupport::http_get;
+using Clock = std::chrono::steady_clock;
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string read_all(int fd) {
+  std::string out;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+TEST(HttpAbuse, SlowlorisPartialHeaderIsCutOffByIoTimeout) {
+  HttpServer::Options options;
+  options.port = 0;
+  options.io_timeout_ms = 300;
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  // Send a request head that never finishes: a fragment, then
+  // silence. The worker must give up at io_timeout_ms and move on,
+  // not hold the slot forever.
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string fragment = "GET /metrics HTTP/1.1\r\nHost: lo";
+  ASSERT_GT(::send(fd, fragment.data(), fragment.size(), MSG_NOSIGNAL), 0);
+
+  const auto start = Clock::now();
+  const std::string response = read_all(fd);  // server closes on timeout
+  const auto took = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Clock::now() - start)
+                        .count();
+  ::close(fd);
+  // The read timeout turns the unfinished head into a 400 and the
+  // connection is closed — the worker never waits past io_timeout_ms.
+  EXPECT_EQ(response.rfind("HTTP/1.1 400 ", 0), 0u) << response;
+  EXPECT_LT(took, 5000) << "slowloris must not hold a worker hostage";
+
+  // The server remains fully serviceable afterwards.
+  const auto after = http_get(server.port(), "/whatever");
+  EXPECT_TRUE(after.ok);
+  server.stop();
+}
+
+TEST(HttpAbuse, HeadExactlyAtRequestByteBoundIsServed) {
+  HttpServer::Options options;
+  options.port = 0;
+  options.max_request_bytes = 512;
+  HttpServer server(options, [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", request.path};
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  // Build a head whose total size is exactly max_request_bytes,
+  // including the terminating blank line: complete at the bound, so
+  // it must be answered 200, not 431.
+  const std::string prefix = "GET /edge HTTP/1.1\r\nHost: x\r\nX-Pad: ";
+  const std::string suffix = "\r\n\r\n";
+  const std::size_t pad = 512 - prefix.size() - suffix.size();
+  const std::string request = prefix + std::string(pad, 'p') + suffix;
+  ASSERT_EQ(request.size(), 512u);
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_GT(::send(fd, request.data(), request.size(), MSG_NOSIGNAL), 0);
+  const std::string response = read_all(fd);
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 ", 0), 0u) << response;
+
+  // Well past the bound before the blank line: refused with 431. (The
+  // bound is checked as bytes accumulate without a terminator, so the
+  // overflow has to out-size a single read.)
+  const std::string over = prefix + std::string(8 * 1024, 'p') + suffix;
+  const int fd2 = connect_to(server.port());
+  ASSERT_GE(fd2, 0);
+  ASSERT_GT(::send(fd2, over.data(), over.size(), MSG_NOSIGNAL), 0);
+  const std::string refused = read_all(fd2);
+  ::close(fd2);
+  EXPECT_EQ(refused.rfind("HTTP/1.1 431 ", 0), 0u) << refused;
+  server.stop();
+}
+
+TEST(HttpAbuse, ClientDisconnectMidResponseDoesNotHarmServer) {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options, [](const HttpRequest&) {
+    // Large enough that the send cannot complete into the socket
+    // buffer before the client is gone.
+    return HttpResponse{200, "text/plain", std::string(4 * 1024 * 1024, 'y')};
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  for (int i = 0; i < 3; ++i) {
+    const int fd = connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    const std::string request =
+        "GET /big HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    ASSERT_GT(::send(fd, request.data(), request.size(), MSG_NOSIGNAL), 0);
+    // Read a little, then vanish mid-response.
+    char buffer[1024];
+    (void)::recv(fd, buffer, sizeof(buffer), 0);
+    ::close(fd);
+  }
+  // The worker pool survives the broken pipes (MSG_NOSIGNAL: EPIPE,
+  // not SIGPIPE) and keeps serving.
+  const auto after = http_get(server.port(), "/again");
+  EXPECT_TRUE(after.ok);
+  EXPECT_EQ(after.status, 200);
+  server.stop();
+}
+
+TEST(HttpAbuse, CrlfInjectionInHandlerHeadersIsStripped) {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response{200, "text/plain", "body"};
+    // A handler echoing attacker-controlled data into a header value
+    // must not be able to smuggle a second response or extra headers.
+    response.headers.emplace_back("X-Evil",
+                                  "ok\r\nX-Injected: gotcha\r\n\r\nHTTP/1.1 "
+                                  "200 OK");
+    response.headers.emplace_back("X-Bad-Name\r\n", "v");
+    response.headers.emplace_back("X-Fine", "legit");
+    return response;
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  const auto response = http_get(server.port(), "/");
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.raw.find("X-Injected"), std::string::npos);
+  EXPECT_EQ(response.raw.find("X-Evil"), std::string::npos);
+  EXPECT_EQ(response.raw.find("X-Bad-Name"), std::string::npos);
+  EXPECT_NE(response.raw.find("X-Fine: legit"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpAbuse, ExtendedStatusReasons) {
+  EXPECT_STREQ(http_status_reason(429), "Too Many Requests");
+  EXPECT_STREQ(http_status_reason(502), "Bad Gateway");
+  EXPECT_STREQ(http_status_reason(504), "Gateway Timeout");
+
+  // And they render on the wire.
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options, [](const HttpRequest& request) {
+    if (request.path == "/throttle") return HttpResponse{429, "text/plain", ""};
+    if (request.path == "/upstream") return HttpResponse{502, "text/plain", ""};
+    return HttpResponse{504, "text/plain", ""};
+  });
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_NE(http_get(server.port(), "/throttle")
+                .raw.find("429 Too Many Requests"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/upstream").raw.find("502 Bad Gateway"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/x").raw.find("504 Gateway Timeout"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpAbuse, AcceptErrorCountersStartAtZeroAndExport) {
+  MetricsRegistry metrics;
+  HttpServer::Options options;
+  options.port = 0;
+  options.metrics = &metrics;
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(server.accept_errors(), 0u);
+  EXPECT_EQ(server.shed_total(), 0u);
+  // A normal request does not touch the error counters.
+  EXPECT_TRUE(http_get(server.port(), "/").ok);
+  EXPECT_EQ(server.accept_errors(), 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace iqb::obs

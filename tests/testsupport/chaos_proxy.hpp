@@ -1,0 +1,274 @@
+// Socket-level fault-injection proxy for fleet chaos tests.
+//
+// ChaosProxy listens on an ephemeral (or fixed) local port and
+// forwards each accepted connection to an upstream host:port, shaping
+// the traffic according to its current mode:
+//
+//   kPass       forward both directions untouched
+//   kLatency    forward, but delay the response by latency_ms
+//   kDrip       forward the response one chunk per drip_interval_ms
+//               (the slowloris/byte-drip shape)
+//   kReset      forward the request, send roughly half the response,
+//               then hard-reset the connection (SO_LINGER 0 => RST)
+//   kRefuse     close every accepted connection immediately
+//   kBlackhole  accept and never answer (the peer's deadlines decide)
+//
+// The mode is runtime-switchable (set_mode) so one test can walk a
+// shard through fault and recovery. fault_first_n(n) arms the fault
+// for only the next n connections — each subsequent connection is
+// forwarded cleanly — which makes hedging deterministic to test: the
+// first attempt blackholes, the hedge passes.
+//
+// The proxy handles one connection per worker thread, one request per
+// connection (the Connection: close protocol both HttpServer and
+// HttpClient speak). Deterministic: no randomness — faults fire
+// exactly as configured.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace iqb::testsupport {
+
+class ChaosProxy {
+ public:
+  enum class Mode { kPass, kLatency, kDrip, kReset, kRefuse, kBlackhole };
+
+  struct Options {
+    std::string upstream_host = "127.0.0.1";
+    std::uint16_t upstream_port = 0;
+    std::uint16_t listen_port = 0;  ///< 0: ephemeral.
+    std::uint64_t latency_ms = 300;       ///< kLatency response delay.
+    std::uint64_t drip_interval_ms = 50;  ///< kDrip inter-chunk gap.
+    std::size_t drip_chunk = 16;          ///< kDrip bytes per chunk.
+  };
+
+  explicit ChaosProxy(Options options) : options_(options) {}
+  ~ChaosProxy() { stop(); }
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  bool start() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(options_.listen_port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+               sizeof(address)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    socklen_t len = sizeof(address);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &len);
+    port_ = ntohs(address.sin_port);
+    stopping_.store(false);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return true;
+  }
+
+  void stop() {
+    if (listen_fd_ < 0) return;
+    stopping_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+  }
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  void set_mode(Mode mode) {
+    mode_.store(mode);
+    faults_remaining_.store(-1);  // unlimited
+  }
+
+  /// Apply the current fault mode to only the next `n` connections;
+  /// later connections pass cleanly.
+  void fault_first_n(Mode mode, int n) {
+    mode_.store(mode);
+    faults_remaining_.store(n);
+  }
+
+  std::uint64_t connections() const noexcept { return connections_.load(); }
+  std::uint64_t faulted() const noexcept { return faulted_.load(); }
+
+ private:
+  void accept_loop() {
+    while (!stopping_.load()) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client < 0) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      connections_.fetch_add(1);
+      Mode mode = mode_.load();
+      if (mode != Mode::kPass) {
+        int remaining = faults_remaining_.load();
+        if (remaining == 0) {
+          mode = Mode::kPass;
+        } else if (remaining > 0) {
+          // Claim one fault slot; lost races just fault one extra
+          // connection, which the tests' budgets tolerate.
+          faults_remaining_.store(remaining - 1);
+        }
+      }
+      if (mode != Mode::kPass) faulted_.fetch_add(1);
+      std::lock_guard<std::mutex> lock(workers_mutex_);
+      workers_.emplace_back([this, client, mode] { serve(client, mode); });
+    }
+  }
+
+  void serve(int client, Mode mode) {
+    switch (mode) {
+      case Mode::kRefuse:
+        ::close(client);
+        return;
+      case Mode::kBlackhole: {
+        // Hold the connection open, reading nothing, until the peer
+        // gives up or the proxy stops.
+        while (!stopping_.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        ::close(client);
+        return;
+      }
+      default:
+        break;
+    }
+
+    // Read the request head (Connection: close, no request bodies in
+    // this protocol), forward it upstream, then shape the response.
+    std::string request;
+    if (!read_until_blank_line(client, request)) {
+      ::close(client);
+      return;
+    }
+    const int upstream = connect_upstream();
+    if (upstream < 0) {
+      ::close(client);
+      return;
+    }
+    if (!send_all(upstream, request)) {
+      ::close(upstream);
+      ::close(client);
+      return;
+    }
+    std::string response;
+    char buffer[8192];
+    for (;;) {
+      const ssize_t n = ::recv(upstream, buffer, sizeof(buffer), 0);
+      if (n <= 0) break;
+      response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(upstream);
+
+    switch (mode) {
+      case Mode::kLatency:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.latency_ms));
+        send_all(client, response);
+        break;
+      case Mode::kDrip: {
+        std::size_t at = 0;
+        while (at < response.size() && !stopping_.load()) {
+          const std::size_t len =
+              std::min(options_.drip_chunk, response.size() - at);
+          if (!send_all(client, response.substr(at, len))) break;
+          at += len;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options_.drip_interval_ms));
+        }
+        break;
+      }
+      case Mode::kReset: {
+        send_all(client, response.substr(0, response.size() / 2));
+        // SO_LINGER 0 turns close() into an RST: the peer sees a hard
+        // mid-response reset, not a tidy FIN.
+        linger hard{1, 0};
+        ::setsockopt(client, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+        break;
+      }
+      default:
+        send_all(client, response);
+        break;
+    }
+    ::close(client);
+  }
+
+  bool read_until_blank_line(int fd, std::string& out) {
+    char buffer[4096];
+    while (out.find("\r\n\r\n") == std::string::npos) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 2000) <= 0) return false;
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) return false;
+      out.append(buffer, static_cast<std::size_t>(n));
+      if (out.size() > 1 << 20) return false;
+    }
+    return true;
+  }
+
+  int connect_upstream() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(options_.upstream_port);
+    ::inet_pton(AF_INET, options_.upstream_host.c_str(), &address.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  static bool send_all(int fd, const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<Mode> mode_{Mode::kPass};
+  std::atomic<int> faults_remaining_{-1};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> faulted_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace iqb::testsupport

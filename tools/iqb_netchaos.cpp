@@ -1,0 +1,231 @@
+// iqb_netchaos — a seeded socket-level fault-injection proxy for
+// fleet chaos runs. Sits between a coordinator and one shard and
+// shapes the traffic: pass, added latency, byte-drip (slowloris),
+// mid-response reset, refusal, or blackholing.
+//
+//   iqb_netchaos --upstream-port N [--listen-port N] [--control-port N]
+//                [--mode pass|latency|drip|reset|refuse|blackhole]
+//                [--latency-ms N] [--drip-interval-ms N]
+//
+// The control port accepts single-line commands ("mode blackhole\n",
+// "mode pass\n", "stat\n") so a CI script can flip faults mid-run
+// with nothing fancier than bash's /dev/tcp. The data port is printed
+// on stdout at startup ("listening on PORT") for scripts that bind
+// ephemerally.
+#include <csignal>
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "testsupport/chaos_proxy.hpp"
+
+namespace {
+
+using iqb::testsupport::ChaosProxy;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+std::optional<ChaosProxy::Mode> parse_mode(const std::string& name) {
+  if (name == "pass") return ChaosProxy::Mode::kPass;
+  if (name == "latency") return ChaosProxy::Mode::kLatency;
+  if (name == "drip") return ChaosProxy::Mode::kDrip;
+  if (name == "reset") return ChaosProxy::Mode::kReset;
+  if (name == "refuse") return ChaosProxy::Mode::kRefuse;
+  if (name == "blackhole") return ChaosProxy::Mode::kBlackhole;
+  return std::nullopt;
+}
+
+constexpr const char* kUsage =
+    "usage: iqb_netchaos --upstream-port N [--listen-port N]\n"
+    "                    [--control-port N] [--mode NAME]\n"
+    "                    [--latency-ms N] [--drip-interval-ms N]\n"
+    "modes: pass latency drip reset refuse blackhole\n"
+    "control protocol (one line per command): 'mode NAME', 'stat'\n";
+
+/// Tiny line-oriented control listener: each connection may send any
+/// number of commands; every command gets a one-line reply.
+class ControlServer {
+ public:
+  ControlServer(ChaosProxy& proxy, std::uint16_t port)
+      : proxy_(proxy), port_(port) {}
+  ~ControlServer() { stop(); }
+
+  bool start() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port_);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&address),
+               sizeof(address)) != 0 ||
+        ::listen(fd_, 8) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    socklen_t len = sizeof(address);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&address), &len);
+    port_ = ntohs(address.sin_port);
+    thread_ = std::thread([this] { loop(); });
+    return true;
+  }
+
+  void stop() {
+    if (fd_ < 0) return;
+    stopping_.store(true);
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void loop() {
+    while (!stopping_.load()) {
+      const int client = ::accept(fd_, nullptr, nullptr);
+      if (client < 0) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      serve(client);
+      ::close(client);
+    }
+  }
+
+  void serve(int client) {
+    std::string pending;
+    char buffer[512];
+    for (;;) {
+      const std::size_t newline = pending.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = pending.substr(0, newline);
+        pending.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        const std::string reply = handle(line) + "\n";
+        if (::send(client, reply.data(), reply.size(), MSG_NOSIGNAL) < 0) {
+          return;
+        }
+        continue;
+      }
+      pollfd pfd{client, POLLIN, 0};
+      if (::poll(&pfd, 1, 2000) <= 0) return;
+      const ssize_t n = ::recv(client, buffer, sizeof(buffer), 0);
+      if (n <= 0) return;
+      pending.append(buffer, static_cast<std::size_t>(n));
+      if (pending.size() > 4096) return;
+    }
+  }
+
+  std::string handle(const std::string& line) {
+    if (line.rfind("mode ", 0) == 0) {
+      const auto mode = parse_mode(line.substr(5));
+      if (!mode) return "err unknown mode";
+      proxy_.set_mode(*mode);
+      std::cerr << "iqb_netchaos: " << line << "\n";
+      return "ok";
+    }
+    if (line == "stat") {
+      return "ok connections=" + std::to_string(proxy_.connections()) +
+             " faulted=" + std::to_string(proxy_.faulted());
+    }
+    return "err unknown command";
+  }
+
+  ChaosProxy& proxy_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosProxy::Options options;
+  std::uint16_t control_port = 0;
+  bool control = false;
+  ChaosProxy::Mode mode = ChaosProxy::Mode::kPass;
+
+  const std::vector<std::string> tokens(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& key = tokens[i];
+    if (i + 1 >= tokens.size()) {
+      std::cerr << "missing value for " << key << "\n" << kUsage;
+      return 1;
+    }
+    const std::string& value = tokens[++i];
+    const long parsed = std::strtol(value.c_str(), nullptr, 10);
+    if (key == "--upstream-port") {
+      options.upstream_port = static_cast<std::uint16_t>(parsed);
+    } else if (key == "--listen-port") {
+      options.listen_port = static_cast<std::uint16_t>(parsed);
+    } else if (key == "--control-port") {
+      control_port = static_cast<std::uint16_t>(parsed);
+      control = true;
+    } else if (key == "--latency-ms") {
+      options.latency_ms = static_cast<std::uint64_t>(parsed);
+    } else if (key == "--drip-interval-ms") {
+      options.drip_interval_ms = static_cast<std::uint64_t>(parsed);
+    } else if (key == "--mode") {
+      const auto wanted = parse_mode(value);
+      if (!wanted) {
+        std::cerr << "unknown mode '" << value << "'\n" << kUsage;
+        return 1;
+      }
+      mode = *wanted;
+    } else {
+      std::cerr << "unknown option " << key << "\n" << kUsage;
+      return 1;
+    }
+  }
+  if (options.upstream_port == 0) {
+    std::cerr << "--upstream-port is required\n" << kUsage;
+    return 1;
+  }
+
+  ChaosProxy proxy(options);
+  if (!proxy.start()) {
+    std::cerr << "iqb_netchaos: failed to bind data port\n";
+    return 2;
+  }
+  proxy.set_mode(mode);
+
+  ControlServer controller(proxy, control_port);
+  if (control && !controller.start()) {
+    std::cerr << "iqb_netchaos: failed to bind control port\n";
+    return 2;
+  }
+
+  std::cout << "listening on " << proxy.port() << std::endl;
+  if (control) {
+    std::cout << "control on " << controller.port() << std::endl;
+  }
+  std::cerr << "iqb_netchaos: forwarding 127.0.0.1:" << proxy.port()
+            << " -> " << options.upstream_host << ":" << options.upstream_port
+            << "\n";
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  controller.stop();
+  proxy.stop();
+  return 0;
+}

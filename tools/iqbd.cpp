@@ -1,8 +1,10 @@
-// iqbd — the IQB watch daemon. All logic lives in iqb::cli
-// (src/iqb/cli/daemon.*) so it is unit-testable; this file adapts
-// argv, prints startup state, and translates SIGINT/SIGTERM into a
-// clean WatchDaemon::stop().
+// iqbd — the IQB watch daemon, and (with --coordinator) the fleet
+// coordinator that scatter-gathers shard daemons. All logic lives in
+// iqb::cli (src/iqb/cli/daemon.* and coordinator.*) so it is
+// unit-testable; this file adapts argv, prints startup state, and
+// translates SIGINT/SIGTERM into a clean stop().
 #include <csignal>
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <iostream>
@@ -10,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "iqb/cli/coordinator.hpp"
 #include "iqb/cli/daemon.hpp"
 
 namespace {
@@ -18,33 +21,52 @@ std::atomic<bool> g_stop{false};
 
 void handle_signal(int) { g_stop.store(true); }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::vector<std::string> tokens(argv + 1, argv + argc);
-  auto options = iqb::cli::parse_daemon_args(tokens);
-  if (!options.ok()) {
-    std::cerr << options.error().message << "\n" << iqb::cli::daemon_usage();
-    return 1;
-  }
-
-  iqb::cli::WatchDaemon daemon(std::move(options).value());
+template <typename Daemon>
+int serve(Daemon& daemon, const char* role) {
   if (auto started = daemon.start(std::cerr); !started.ok()) {
     std::cerr << "iqbd: " << started.error().to_string() << "\n";
     return 2;
   }
-  std::cerr << "iqbd: serving telemetry on port " << daemon.port()
-            << " — try curl localhost:" << daemon.port() << "/metrics\n";
+  std::cerr << "iqbd: " << role << " serving telemetry on port "
+            << daemon.port() << " — try curl localhost:" << daemon.port()
+            << "/metrics\n";
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   while (!g_stop.load() && !daemon.finished()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  // Graceful drain: the in-flight cycle completes (or is cancelled by
-  // the watchdog), a final checkpoint is flushed, in-flight HTTP
+  // Graceful drain: the in-flight cycle completes, in-flight HTTP
   // requests get their answers, then every thread joins.
   if (g_stop.load()) std::cerr << "iqbd: draining\n";
   daemon.stop();
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+
+  const auto coordinator_flag =
+      std::find(tokens.begin(), tokens.end(), "--coordinator");
+  if (coordinator_flag != tokens.end()) {
+    tokens.erase(coordinator_flag);
+    auto options = iqb::cli::parse_coordinator_args(tokens);
+    if (!options.ok()) {
+      std::cerr << options.error().message << "\n"
+                << iqb::cli::coordinator_usage();
+      return 1;
+    }
+    iqb::cli::CoordinatorDaemon daemon(std::move(options).value());
+    return serve(daemon, "coordinator");
+  }
+
+  auto options = iqb::cli::parse_daemon_args(tokens);
+  if (!options.ok()) {
+    std::cerr << options.error().message << "\n" << iqb::cli::daemon_usage();
+    return 1;
+  }
+  iqb::cli::WatchDaemon daemon(std::move(options).value());
+  return serve(daemon, "daemon");
 }
