@@ -25,7 +25,10 @@
 #include "iqb/measurement/population.hpp"
 #include "iqb/obs/export.hpp"
 #include "iqb/obs/metrics.hpp"
+#include "iqb/obs/telemetry.hpp"
+#include "iqb/obs/trace.hpp"
 #include "iqb/report/render.hpp"
+#include "iqb/robust/degradation.hpp"
 
 using namespace iqb;
 using Clock = std::chrono::steady_clock;
@@ -89,6 +92,41 @@ int main(int argc, char** argv) {
   }
   const double stage_c_s = seconds_since(stage_c_start);
 
+  // --- Stage D: tracing overhead -------------------------------------
+  // The same full run three ways: plain, telemetry-off (a null
+  // Telemetry*, the daemon's --no-telemetry path), and telemetry-on
+  // with a live tracer + registry. Off must cost nothing and change
+  // nothing: its rendered table is asserted bit-identical to the
+  // plain run's. The on/off delta is the price of tracing a cycle.
+  const robust::IngestHealth health;
+  auto run_start = Clock::now();
+  const auto plain = pipeline.run(store, health);
+  const double plain_s = seconds_since(run_start);
+
+  run_start = Clock::now();
+  const auto dark = pipeline.run(store, health, nullptr);
+  const double dark_s = seconds_since(run_start);
+
+  obs::MetricsRegistry trace_registry;
+  obs::Tracer tracer;
+  tracer.set_trace_id("bench-1");
+  obs::Telemetry telemetry{&trace_registry, &tracer, nullptr, "bench-1"};
+  run_start = Clock::now();
+  const auto lit = pipeline.run(store, health, &telemetry);
+  const double lit_s = seconds_since(run_start);
+
+  const std::string plain_table = report::comparison_table(plain.results);
+  if (report::comparison_table(dark.results) != plain_table) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry-off run output differs from the plain run\n");
+    return 1;
+  }
+  if (report::comparison_table(lit.results) != plain_table) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry-on run changed the scoring output\n");
+    return 1;
+  }
+
   std::printf("=== Fig. 1 pipeline, end to end ===\n");
   std::printf("population:            %zu subscribers in 3 regions\n", population);
   std::printf("sessions simulated:    %zu (%zu failed)\n", sessions.size(),
@@ -106,7 +144,13 @@ int main(int argc, char** argv) {
               stage_b_s, records_n / stage_b_s);
   std::printf("stage C (IQB scoring):           %8.4f s  (%10.0f records/s)\n",
               stage_c_s, records_n / stage_c_s);
-  std::printf("threads:                         %zu\n\n", threads);
+  std::printf("threads:                         %zu\n", threads);
+  const double overhead_pct =
+      dark_s > 0.0 ? (lit_s - dark_s) / dark_s * 100.0 : 0.0;
+  std::printf(
+      "tracing (full run):  off %.4f s, on %.4f s (%+.1f%%), %zu spans; "
+      "off output bit-identical: yes\n\n",
+      dark_s, lit_s, overhead_pct, tracer.span_count());
   std::printf("%s\n", report::comparison_table(output.results).c_str());
   std::printf(
       "Expected shape: metro > suburban > rural at both quality levels;\n"
@@ -124,6 +168,9 @@ int main(int argc, char** argv) {
   stage_gauge("campaign", stage_a_s);
   stage_gauge("aggregate", stage_b_s);
   stage_gauge("score", stage_c_s);
+  stage_gauge("run_plain", plain_s);
+  stage_gauge("run_untraced", dark_s);
+  stage_gauge("run_traced", lit_s);
   auto count_gauge = [&registry](const char* what, double value) {
     registry
         .gauge("iqb_bench_items", "Item counts for the bench run",
@@ -135,6 +182,7 @@ int main(int argc, char** argv) {
   count_gauge("records", static_cast<double>(store.size()));
   count_gauge("aggregate_cells", static_cast<double>(aggregates.size()));
   count_gauge("regions_scored", static_cast<double>(output.results.size()));
+  count_gauge("spans_traced", static_cast<double>(tracer.span_count()));
   std::ofstream snapshot("BENCH_pipeline.json", std::ios::binary);
   snapshot << obs::metrics_to_json(registry).dump(2) << "\n";
   std::printf("wrote BENCH_pipeline.json\n");

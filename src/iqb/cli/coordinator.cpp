@@ -1,9 +1,14 @@
 #include "iqb/cli/coordinator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <ostream>
+#include <thread>
 #include <utility>
 
+#include "iqb/fleet/stitch.hpp"
+#include "iqb/obs/http_client.hpp"
+#include "iqb/obs/trace.hpp"
 #include "iqb/robust/circuit_breaker.hpp"
 #include "iqb/util/json.hpp"
 #include "iqb/util/log.hpp"
@@ -137,18 +142,30 @@ CoordinatorDaemon::CoordinatorDaemon(CoordinatorOptions options)
         return std::make_unique<fleet::FleetFetcher>(
             std::move(fetch), options_.telemetry ? &metrics_ : nullptr);
       }()),
+      spans_(options_.span_buffer_capacity),
+      request_stats_([this]() -> std::unique_ptr<obs::RequestStats> {
+        if (!options_.telemetry) return nullptr;
+        obs::RequestStats::Options stats;
+        stats.metrics = &metrics_;
+        stats.known_paths = obs::default_telemetry_paths();
+        return std::make_unique<obs::RequestStats>(std::move(stats));
+      }()),
       server_(
           [this] {
             obs::TelemetryServer::Options server_options;
             server_options.http.bind_address = options_.bind_address;
             server_options.http.port = options_.port;
+            // Telemetry off keeps the HTTP layer byte-identical to the
+            // untraced server: no sinks, no X-IQB-Trace header.
+            server_options.http.request_stats = request_stats_.get();
+            server_options.http.spans = options_.telemetry ? &spans_ : nullptr;
             server_options.route_override =
                 [this](const obs::HttpRequest& request) {
                   return route_override(request);
                 };
             return server_options;
           }(),
-          &metrics_, nullptr) {
+          &metrics_, options_.telemetry ? &spans_ : nullptr) {
   if (options_.telemetry) {
     metrics_.counter(kPartialCyclesMetric, kPartialCyclesHelp);
   }
@@ -210,13 +227,36 @@ bool CoordinatorDaemon::run_cycle(std::ostream& err) {
       options_.trace_prefix + "-" + std::to_string(cycle);
   util::ScopedLogTrace log_trace(trace_id);
 
-  std::vector<fleet::ShardView> views = fetcher_->fetch_all();
-  fleet::FuseOutput output = fleet::fuse(*config_, views, trace_id);
+  // The cycle tracer is shared with the fetcher because losing hedge
+  // threads may still be closing their attempt spans after this cycle
+  // returns; those stragglers simply miss the ingest below.
+  std::shared_ptr<obs::Tracer> tracer;
+  if (options_.telemetry) {
+    tracer = std::make_shared<obs::Tracer>();
+    tracer->set_trace_id(trace_id);
+  }
+  obs::ScopedSpan cycle_span(tracer.get(), "fleet.cycle");
+  cycle_span.set_attribute("cycle", std::to_string(cycle));
+
+  std::vector<fleet::ShardView> views =
+      fetcher_->fetch_all(tracer, cycle_span.id());
+  fleet::FuseOutput output = [&] {
+    obs::ScopedSpan fuse_span(tracer.get(), "fleet.fuse");
+    return fleet::fuse(*config_, views, trace_id);
+  }();
   {
     std::lock_guard<std::mutex> lock(fuse_mutex_);
     last_fuse_ = output;
     fused_once_ = true;
   }
+  cycle_span.set_attribute("shards_fresh",
+                           std::to_string(output.shards_fresh));
+  cycle_span.set_attribute("shards_cached",
+                           std::to_string(output.shards_cached));
+  cycle_span.set_attribute("shards_missing",
+                           std::to_string(output.shards_missing));
+  cycle_span.end();
+  if (tracer) spans_.ingest(*tracer);
   if (options_.telemetry) {
     metrics_
         .gauge("fleet_shards_fresh", "Shards that answered this cycle")
@@ -313,6 +353,7 @@ std::optional<obs::HttpResponse> CoordinatorDaemon::route_override(
     const obs::HttpRequest& request) {
   if (request.path == "/readyz") return readyz_response();
   if (request.path == "/fleetz") return fleetz_response();
+  if (request.path == "/fleet/tracez") return fleet_tracez_response(request);
   return std::nullopt;
 }
 
@@ -376,6 +417,90 @@ obs::HttpResponse CoordinatorDaemon::readyz_response() {
           util::JsonValue(std::move(out)).dump() + "\n"};
 }
 
+obs::HttpResponse CoordinatorDaemon::fleet_tracez_response(
+    const obs::HttpRequest& request) {
+  std::string trace = obs::query_param(request.query, "trace");
+  if (trace.empty()) {
+    // Default to the latest published cycle — "show me the last
+    // gather" is the common interactive ask.
+    const auto snapshot = server_.latest();
+    if (snapshot) trace = snapshot->trace_id;
+  }
+  if (trace.empty()) {
+    return {503, "application/json",
+            "{\"error\":\"no completed cycle yet; pass ?trace=<id>\"}\n"};
+  }
+
+  // Start from our own spans for the trace, then scatter-gather every
+  // shard's /tracez?trace= dump for the same id.
+  std::vector<fleet::SourcedSpan> spans;
+  for (auto& span : fleet::from_completed(spans_.recent(), "coordinator")) {
+    if (span.trace_id == trace) spans.push_back(std::move(span));
+  }
+
+  obs::HttpClient::Options http;
+  http.connect_timeout_ms = static_cast<int>(options_.connect_timeout_ms);
+  http.io_timeout_ms = static_cast<int>(options_.io_timeout_ms);
+  http.total_deadline_ms = static_cast<int>(options_.total_deadline_ms);
+  const obs::HttpClient client(http);
+
+  std::mutex merge_mutex;
+  const auto fetch_dump = [&](const fleet::ShardEndpoint& endpoint,
+                              const std::string& id) {
+    auto fetched = client.get(endpoint.host, endpoint.port,
+                              "/tracez?trace=" + id);
+    if (!fetched.ok() || fetched.value().status != 200) return;
+    auto document = util::parse_json(fetched.value().body);
+    if (!document.ok()) return;
+    auto parsed = fleet::parse_tracez_dump(document.value(), endpoint.name);
+    if (!parsed.ok()) return;
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (auto& span : parsed.value()) spans.push_back(std::move(span));
+  };
+
+  {
+    std::vector<std::thread> scatter;
+    scatter.reserve(options_.shards.size());
+    for (const fleet::ShardEndpoint& endpoint : options_.shards) {
+      scatter.emplace_back([&, endpoint] { fetch_dump(endpoint, trace); });
+    }
+    for (std::thread& thread : scatter) thread.join();
+  }
+
+  // Second hop: shard server spans carry shard_trace=<local cycle id>
+  // links to the cycle that produced the payload they served. Fetch
+  // those traces (bounded — a hostile dump can't make us crawl) from
+  // the shard that declared each link, then graft them under the
+  // linking spans.
+  constexpr std::size_t kMaxLinkedTraces = 4;
+  std::vector<std::pair<std::string, std::string>> wanted;  // source, id
+  for (const fleet::SourcedSpan& span : spans) {
+    const std::string linked = span.attribute("shard_trace");
+    if (linked.empty() || linked == span.trace_id) continue;
+    // Distinct (source, id): every shard numbers its local cycles from
+    // the same prefix, so two shards' links to "iqbd-1" name two
+    // different traces that both must be fetched.
+    const auto pair = std::make_pair(span.source, linked);
+    if (std::find(wanted.begin(), wanted.end(), pair) != wanted.end()) {
+      continue;
+    }
+    if (wanted.size() >= kMaxLinkedTraces) break;
+    wanted.push_back(pair);
+  }
+  for (const auto& [source, id] : wanted) {
+    for (const fleet::ShardEndpoint& endpoint : options_.shards) {
+      if (endpoint.name == source) {
+        fetch_dump(endpoint, id);
+        break;
+      }
+    }
+  }
+  fleet::graft_linked_traces(spans);
+
+  return {200, "application/json",
+          fleet::stitched_to_json(trace, spans).dump(2) + "\n"};
+}
+
 obs::HttpResponse CoordinatorDaemon::fleetz_response() {
   util::JsonObject out;
   out.emplace("shards", shard_status_json(fetcher_->status()));
@@ -406,6 +531,8 @@ obs::HttpResponse CoordinatorDaemon::fleetz_response() {
   }
   out.emplace("hedges_total",
               static_cast<std::int64_t>(fetcher_->hedges_total()));
+  out.emplace("hedge_losses_total",
+              static_cast<std::int64_t>(fetcher_->hedge_losses_total()));
   out.emplace("retries_total",
               static_cast<std::int64_t>(fetcher_->retries_total()));
   out.emplace("breaker_denials_total",

@@ -35,6 +35,8 @@
 #include "iqb/fleet/coordinator.hpp"
 #include "iqb/fleet/fetcher.hpp"
 #include "iqb/obs/metrics.hpp"
+#include "iqb/obs/request_stats.hpp"
+#include "iqb/obs/span_buffer.hpp"
 #include "iqb/obs/telemetry_server.hpp"
 #include "iqb/util/result.hpp"
 
@@ -60,6 +62,8 @@ struct CoordinatorOptions {
 
   bool telemetry = true;
   std::string trace_prefix = "iqbc";
+  /// Completed spans kept for /tracez and /fleet/tracez.
+  std::size_t span_buffer_capacity = 512;
 };
 
 /// Parse the argv[1..] tokens following --coordinator
@@ -117,12 +121,19 @@ class CoordinatorDaemon {
       const obs::HttpRequest& request);
   obs::HttpResponse readyz_response();
   obs::HttpResponse fleetz_response();
+  /// Scatter-gather /tracez?trace=<id> from every shard, follow
+  /// shard_trace links one hop, and serve the stitched tree.
+  obs::HttpResponse fleet_tracez_response(const obs::HttpRequest& request);
 
   CoordinatorOptions options_;
   std::optional<core::IqbConfig> config_;
 
   obs::MetricsRegistry metrics_;
   std::unique_ptr<fleet::FleetFetcher> fetcher_;
+  // Declared before server_: the server's options lambda wires these
+  // sinks into the HTTP layer when telemetry is on.
+  obs::SpanRingBuffer spans_;
+  std::unique_ptr<obs::RequestStats> request_stats_;
   obs::TelemetryServer server_;
 
   std::atomic<std::uint64_t> cycles_total_{0};

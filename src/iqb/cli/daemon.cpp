@@ -143,11 +143,23 @@ util::Result<DaemonOptions> parse_daemon_args(
 WatchDaemon::WatchDaemon(DaemonOptions options)
     : options_(std::move(options)),
       spans_(options_.span_buffer_capacity),
+      request_stats_([this]() -> std::unique_ptr<obs::RequestStats> {
+        if (!options_.telemetry) return nullptr;
+        obs::RequestStats::Options stats;
+        stats.metrics = &metrics_;
+        stats.known_paths = obs::default_telemetry_paths();
+        return std::make_unique<obs::RequestStats>(std::move(stats));
+      }()),
       server_(
           [this] {
             obs::TelemetryServer::Options server_options;
             server_options.http.bind_address = options_.bind_address;
             server_options.http.port = options_.port;
+            // Telemetry off keeps the HTTP layer byte-identical to the
+            // untraced server: no sinks, no X-IQB-Trace header.
+            server_options.http.request_stats = request_stats_.get();
+            server_options.http.spans =
+                options_.telemetry ? &spans_ : nullptr;
             return server_options;
           }(),
           &metrics_, &spans_) {
@@ -416,6 +428,7 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
   // Per-cycle tracer (bounded by the ring buffer afterwards); the
   // registry is shared across cycles so counters accumulate.
   obs::Tracer tracer;
+  tracer.set_trace_id(trace_id);
   obs::Telemetry handle{&metrics_, &tracer, nullptr, trace_id};
   obs::Telemetry* telemetry = options_.telemetry ? &handle : nullptr;
 

@@ -52,6 +52,7 @@
 
 #include "iqb/core/config.hpp"
 #include "iqb/obs/metrics.hpp"
+#include "iqb/obs/request_stats.hpp"
 #include "iqb/obs/span_buffer.hpp"
 #include "iqb/obs/telemetry_server.hpp"
 #include "iqb/robust/checkpoint.hpp"
@@ -187,6 +188,9 @@ class WatchDaemon {
 
   obs::MetricsRegistry metrics_;
   obs::SpanRingBuffer spans_;
+  // Declared before server_: the server's options lambda wires these
+  // sinks into the HTTP layer when telemetry is on.
+  std::unique_ptr<obs::RequestStats> request_stats_;
   obs::TelemetryServer server_;
 
   std::optional<robust::CheckpointStore> checkpoints_;

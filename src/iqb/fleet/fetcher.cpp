@@ -4,7 +4,9 @@
 #include <condition_variable>
 #include <utility>
 
+#include "iqb/obs/clock.hpp"
 #include "iqb/obs/metrics.hpp"
+#include "iqb/obs/request_stats.hpp"
 #include "iqb/util/log.hpp"
 #include "iqb/util/strings.hpp"
 
@@ -66,6 +68,9 @@ FleetFetcher::FleetFetcher(Options options, obs::MetricsRegistry* metrics)
                       "Shard fetch attempts beyond the first");
     metrics_->counter("fleet_hedges_total",
                       "Hedged second requests fired after hedge_delay_ms");
+    metrics_->counter("fleet_hedge_losses_total",
+                      "Attempts whose answer arrived after another attempt "
+                      "had already won the race");
     metrics_->counter("fleet_breaker_denials_total",
                       "Shard fetches skipped by an open circuit breaker");
   }
@@ -92,7 +97,9 @@ void FleetFetcher::reap_finished() {
 }
 
 util::Result<obs::HttpClient::Response> FleetFetcher::hedged_get(
-    const ShardEndpoint& endpoint) {
+    const ShardEndpoint& endpoint,
+    const std::shared_ptr<obs::Tracer>& tracer, std::size_t fetch_span,
+    int retry_index) {
   using Result = util::Result<obs::HttpClient::Response>;
   struct Race {
     std::mutex mutex;
@@ -107,23 +114,71 @@ util::Result<obs::HttpClient::Response> FleetFetcher::hedged_get(
   const std::string host = endpoint.host;
   const std::uint16_t port = endpoint.port;
   const std::string path = options_.path;
+  obs::MetricsRegistry* metrics = metrics_;
+  std::atomic<std::uint64_t>* hedge_losses = &hedge_losses_;
 
-  auto launch = [&] {
+  auto launch = [&](bool hedged) {
+    // Every HTTP attempt is its own span (child of the shard's fetch
+    // span) and carries that span in an explicit traceparent header:
+    // these threads don't share the cycle thread's ambient context,
+    // and each attempt must parent the shard-side server span it —
+    // not its sibling — actually caused.
+    std::size_t span = obs::Tracer::kNoSpan;
+    std::vector<obs::HttpHeader> headers;
+    if (tracer) {
+      span = tracer->begin_span_at("fleet.rpc", fetch_span);
+      tracer->set_attribute(span, "retry", std::to_string(retry_index));
+      tracer->set_attribute(span, "hedged", hedged ? "true" : "false");
+      const obs::SpanContext context{tracer->trace_id(), tracer->uid(span)};
+      if (context.valid()) {
+        headers.emplace_back(obs::kTraceparentHeader,
+                             obs::format_traceparent(context));
+      }
+    }
     auto done = std::make_shared<std::atomic<bool>>(false);
     {
       std::lock_guard<std::mutex> lock(race->mutex);
       ++race->outstanding;
     }
-    std::thread thread([race, done, client, host, port, path] {
-      Result result = client.get(host, port, path);
+    std::thread thread([race, done, client, host, port, path, headers, tracer,
+                        span, metrics, hedge_losses] {
+      const std::uint64_t started_ns = obs::steady_clock().now_ns();
+      Result result = client.get(host, port, path, headers);
+      const double elapsed_ms =
+          static_cast<double>(obs::steady_clock().now_ns() - started_ns) / 1e6;
+      bool lost = false;
       {
         std::lock_guard<std::mutex> lock(race->mutex);
-        if (result.ok()) {
-          if (!race->success) race->success = std::move(result);
-        } else if (!race->failure) {
+        // A result landing after another attempt already won is a
+        // hedge loss — the work was wasted, but its latency is the
+        // tail the hedge existed to cut, so it must not vanish.
+        lost = race->success.has_value();
+        if (!lost && result.ok()) {
+          race->success = std::move(result);
+        } else if (!result.ok() && !race->failure) {
           race->failure = std::move(result);
         }
         --race->outstanding;
+      }
+      if (lost) {
+        hedge_losses->fetch_add(1);
+        if (metrics) {
+          metrics
+              ->counter("fleet_hedge_losses_total",
+                        "Attempts whose answer arrived after another attempt "
+                        "had already won the race")
+              .inc();
+          metrics
+              ->histogram("iqb_http_request_duration_ms",
+                          "HTTP request wall time in milliseconds",
+                          obs::request_duration_buckets_ms(),
+                          {{"code", "hedge_loss"}, {"path", path}})
+              .observe(elapsed_ms);
+        }
+      }
+      if (tracer) {
+        if (lost) tracer->set_attribute(span, "hedge_loss", "true");
+        tracer->end_span(span);
       }
       race->cv.notify_all();
       done->store(true);
@@ -132,7 +187,7 @@ util::Result<obs::HttpClient::Response> FleetFetcher::hedged_get(
     parked_.push_back({std::move(thread), std::move(done)});
   };
 
-  launch();
+  launch(/*hedged=*/false);
   std::unique_lock<std::mutex> lock(race->mutex);
   if (options_.hedge_delay_ms > 0) {
     const bool settled = race->cv.wait_for(
@@ -147,7 +202,7 @@ util::Result<obs::HttpClient::Response> FleetFetcher::hedged_get(
                       "Hedged second requests fired after hedge_delay_ms")
             .inc();
       }
-      launch();
+      launch(/*hedged=*/true);
       lock.lock();
     }
   }
@@ -168,7 +223,27 @@ util::Result<obs::HttpClient::Response> FleetFetcher::hedged_get(
   return result;
 }
 
-ShardView FleetFetcher::fetch_shard(ShardState& state) {
+ShardView FleetFetcher::fetch_shard(
+    ShardState& state, const std::shared_ptr<obs::Tracer>& tracer,
+    std::size_t parent_span) {
+  std::size_t span = obs::Tracer::kNoSpan;
+  if (tracer) {
+    span = tracer->begin_span_at("fleet.fetch", parent_span);
+    tracer->set_attribute(span, "shard", state.endpoint.name);
+  }
+  ShardView view = fetch_shard_impl(state, tracer, span);
+  if (tracer) {
+    tracer->set_attribute(span, "fresh",
+                          view.payload && !view.stale ? "true" : "false");
+    if (!view.error.empty()) tracer->set_attribute(span, "error", view.error);
+    tracer->end_span(span);
+  }
+  return view;
+}
+
+ShardView FleetFetcher::fetch_shard_impl(
+    ShardState& state, const std::shared_ptr<obs::Tracer>& tracer,
+    std::size_t fetch_span) {
   ShardView view;
   view.name = state.endpoint.name;
 
@@ -212,8 +287,11 @@ ShardView FleetFetcher::fetch_shard(ShardState& state) {
   // deadline. Every attempt outcome feeds the breaker.
   robust::RetrySchedule schedule(options_.retry);
   std::string last_error;
+  int retry_index = 0;
   for (;;) {
-    auto fetched = hedged_get(state.endpoint);
+    auto fetched =
+        hedged_get(state.endpoint, tracer, fetch_span, retry_index);
+    ++retry_index;
     if (fetched.ok() && fetched.value().status == 200) {
       auto payload = parse_shard_payload(fetched.value().body);
       if (payload.ok()) {
@@ -255,7 +333,8 @@ ShardView FleetFetcher::fetch_shard(ShardState& state) {
   return fail(last_error);
 }
 
-std::vector<ShardView> FleetFetcher::fetch_all() {
+std::vector<ShardView> FleetFetcher::fetch_all(
+    std::shared_ptr<obs::Tracer> tracer, std::size_t parent_span) {
   reap_finished();
   std::vector<ShardView> views(shards_.size());
   {
@@ -267,8 +346,9 @@ std::vector<ShardView> FleetFetcher::fetch_all() {
     std::vector<std::thread> scatter;
     scatter.reserve(shards_.size());
     for (std::size_t i = 0; i < shards_.size(); ++i) {
-      scatter.emplace_back(
-          [this, i, &views] { views[i] = fetch_shard(shards_[i]); });
+      scatter.emplace_back([this, i, &views, &tracer, parent_span] {
+        views[i] = fetch_shard(shards_[i], tracer, parent_span);
+      });
     }
     for (std::thread& thread : scatter) thread.join();
   }

@@ -21,7 +21,21 @@
 //
 // Fleet metrics (when a registry is attached): fleet_shard_up{shard},
 // fleet_fetch_retries_total, fleet_hedges_total,
-// fleet_fetch_failures_total{shard}, fleet_breaker_denials_total.
+// fleet_hedge_losses_total, fleet_fetch_failures_total{shard},
+// fleet_breaker_denials_total. A hedge *loss* is an attempt whose
+// answer arrived after another attempt had already won its race; the
+// loser's latency is observed into the per-request histogram
+// (iqb_http_request_duration_ms{code="hedge_loss"}) so the tail the
+// hedge actually cut stays measurable instead of vanishing.
+//
+// When a Tracer is passed to fetch_all, the scatter is traced: one
+// "fleet.fetch" span per shard (child of the given parent span), one
+// "fleet.rpc" child per HTTP attempt tagged retry=N and hedged=
+// true/false (plus hedge_loss=true on losers), and each attempt
+// carries its own span in an explicit traceparent header — so shard-
+// side server spans become children of the exact attempt that reached
+// them. The tracer is shared because losing hedge threads may outlive
+// the cycle that spawned them.
 #pragma once
 
 #include <atomic>
@@ -35,6 +49,7 @@
 
 #include "iqb/fleet/wire.hpp"
 #include "iqb/obs/http_client.hpp"
+#include "iqb/obs/trace.hpp"
 #include "iqb/robust/circuit_breaker.hpp"
 #include "iqb/robust/retry.hpp"
 
@@ -106,12 +121,22 @@ class FleetFetcher {
   /// Scatter-gather one cycle: every shard fetched concurrently, each
   /// within its own deadline/retry/hedge budget. Always returns one
   /// view per configured shard, in configuration order.
-  std::vector<ShardView> fetch_all();
+  ///
+  /// A non-null `tracer` traces the scatter (see file comment); the
+  /// per-shard fetch spans become children of `parent_span` (pass
+  /// Tracer::kNoSpan for roots). Shared ownership because hedge-losing
+  /// threads may still be recording spans after this call returns.
+  std::vector<ShardView> fetch_all(
+      std::shared_ptr<obs::Tracer> tracer = nullptr,
+      std::size_t parent_span = obs::Tracer::kNoSpan);
 
   /// Per-shard status after the last fetch_all (configuration order).
   std::vector<ShardStatus> status() const;
 
   std::uint64_t hedges_total() const noexcept { return hedges_.load(); }
+  std::uint64_t hedge_losses_total() const noexcept {
+    return hedge_losses_.load();
+  }
   std::uint64_t retries_total() const noexcept { return retries_.load(); }
   std::uint64_t breaker_denials_total() const noexcept {
     return denials_.load();
@@ -127,9 +152,16 @@ class FleetFetcher {
     std::string last_error;
   };
 
-  ShardView fetch_shard(ShardState& state);
+  ShardView fetch_shard(ShardState& state,
+                        const std::shared_ptr<obs::Tracer>& tracer,
+                        std::size_t parent_span);
+  ShardView fetch_shard_impl(ShardState& state,
+                             const std::shared_ptr<obs::Tracer>& tracer,
+                             std::size_t fetch_span);
   util::Result<obs::HttpClient::Response> hedged_get(
-      const ShardEndpoint& endpoint);
+      const ShardEndpoint& endpoint,
+      const std::shared_ptr<obs::Tracer>& tracer, std::size_t fetch_span,
+      int retry_index);
   void reap_finished();
 
   Options options_;
@@ -139,6 +171,7 @@ class FleetFetcher {
   std::vector<ShardState> shards_;
 
   std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> hedge_losses_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> denials_{0};
 

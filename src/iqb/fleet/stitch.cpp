@@ -1,0 +1,393 @@
+#include "iqb/fleet/stitch.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+namespace iqb::fleet {
+
+namespace {
+
+/// Group key for clock alignment: one ingest (one cycle of one
+/// process) rebases its spans together, so (source, trace) spans
+/// share a clock and must be shifted together.
+std::string group_key(const SourcedSpan& span) {
+  return span.source + '\0' + span.trace_id;
+}
+
+}  // namespace
+
+std::string SourcedSpan::attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+util::Result<std::vector<SourcedSpan>> parse_tracez_dump(
+    const util::JsonValue& document, const std::string& default_source) {
+  auto spans_field = document.get_array("spans");
+  if (!spans_field.ok()) return spans_field.error();
+  std::vector<SourcedSpan> out;
+  out.reserve(spans_field.value().size());
+  for (const util::JsonValue& entry : spans_field.value()) {
+    if (!entry.is_object()) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              "tracez span entry is not an object");
+    }
+    SourcedSpan span;
+    span.source = default_source;
+    if (entry.contains("source")) {
+      auto source = entry.get_string("source");
+      if (!source.ok()) return source.error();
+      span.source = std::move(source).value();
+    }
+    auto trace = entry.get_string("trace");
+    auto name = entry.get_string("name");
+    auto uid_hex = entry.get_string("span");
+    auto start = entry.get_number("start_ns");
+    auto duration = entry.get_number("duration_ns");
+    if (!trace.ok()) return trace.error();
+    if (!name.ok()) return name.error();
+    if (!uid_hex.ok()) return uid_hex.error();
+    if (!start.ok()) return start.error();
+    if (!duration.ok()) return duration.error();
+    const auto uid = obs::parse_span_uid(uid_hex.value());
+    if (!uid) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              "bad span uid '" + uid_hex.value() + "'");
+    }
+    span.trace_id = std::move(trace).value();
+    span.name = std::move(name).value();
+    span.span_uid = *uid;
+    span.start_ns = static_cast<std::uint64_t>(start.value());
+    span.duration_ns = static_cast<std::uint64_t>(duration.value());
+    if (entry.contains("parent_span")) {
+      auto parent_hex = entry.get_string("parent_span");
+      if (!parent_hex.ok()) return parent_hex.error();
+      if (!parent_hex.value().empty()) {
+        const auto parent = obs::parse_span_uid(parent_hex.value());
+        if (!parent) {
+          return util::make_error(
+              util::ErrorCode::kParseError,
+              "bad parent span uid '" + parent_hex.value() + "'");
+        }
+        span.parent_uid = *parent;
+      }
+    }
+    if (entry.contains("attributes")) {
+      auto attributes = entry.get_object("attributes");
+      if (!attributes.ok()) return attributes.error();
+      for (const auto& [key, value] : attributes.value()) {
+        if (!value.is_string()) {
+          return util::make_error(util::ErrorCode::kParseError,
+                                  "span attribute '" + key +
+                                      "' is not a string");
+        }
+        span.attributes.emplace_back(key, value.as_string());
+      }
+    }
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::vector<SourcedSpan> from_completed(
+    const std::vector<obs::CompletedSpan>& spans, const std::string& source) {
+  std::vector<SourcedSpan> out;
+  out.reserve(spans.size());
+  for (const obs::CompletedSpan& span : spans) {
+    SourcedSpan sourced;
+    sourced.source = source;
+    sourced.trace_id = span.trace_id;
+    sourced.name = span.name;
+    sourced.span_uid = span.span_uid;
+    sourced.parent_uid = span.parent_uid;
+    sourced.start_ns = span.start_ns;
+    sourced.duration_ns = span.duration_ns;
+    sourced.attributes = span.attributes;
+    out.push_back(std::move(sourced));
+  }
+  return out;
+}
+
+std::vector<std::string> linked_traces(const std::vector<SourcedSpan>& spans) {
+  std::vector<std::string> out;
+  for (const SourcedSpan& span : spans) {
+    const std::string linked = span.attribute("shard_trace");
+    if (linked.empty() || linked == span.trace_id) continue;
+    if (std::find(out.begin(), out.end(), linked) == out.end()) {
+      out.push_back(linked);
+    }
+  }
+  return out;
+}
+
+void graft_linked_traces(std::vector<SourcedSpan>& spans) {
+  for (const SourcedSpan& linker : spans) {
+    const std::string linked = linker.attribute("shard_trace");
+    if (linked.empty() || linked == linker.trace_id) continue;
+    for (SourcedSpan& candidate : spans) {
+      // Only the linked trace's roots, and only in the source that
+      // declared the link: the cycle trace lives in the same
+      // process's buffer as the server span that served its payload.
+      if (candidate.parent_uid == 0 && candidate.trace_id == linked &&
+          candidate.source == linker.source) {
+        candidate.parent_uid = linker.span_uid;
+      }
+    }
+  }
+}
+
+StitchedTrace stitch(const std::vector<SourcedSpan>& spans) {
+  StitchedTrace out;
+  out.nodes.resize(spans.size());
+
+  std::unordered_map<std::uint64_t, std::size_t> by_uid;
+  by_uid.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    by_uid.emplace(spans[i].span_uid, i);  // first occurrence wins
+  }
+
+  // Clock alignment. Each (source, trace) group shares one rebased
+  // clock; a cross-group parent edge pins the child group's clock:
+  // the causing RPC (the parent span) was in flight when the remote
+  // work began, so the child's start aligns to the parent's start.
+  std::map<std::string, std::size_t> group_of_key;
+  std::vector<std::size_t> group(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    group[i] =
+        group_of_key.emplace(group_key(spans[i]), group_of_key.size())
+            .first->second;
+  }
+  struct GroupEdge {
+    std::size_t child = 0;   ///< Span index in the child group.
+    std::size_t parent = 0;  ///< Span index in the parent group.
+  };
+  std::vector<std::vector<GroupEdge>> outgoing(group_of_key.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent_uid == 0) continue;
+    const auto parent = by_uid.find(spans[i].parent_uid);
+    if (parent == by_uid.end()) continue;
+    if (group[parent->second] != group[i]) {
+      outgoing[group[parent->second]].push_back({i, parent->second});
+    }
+  }
+  std::vector<std::int64_t> shift(group_of_key.size(), 0);
+  std::vector<bool> pinned(group_of_key.size(), false);
+  // Groups never appearing as a cross-edge child anchor the timeline.
+  std::vector<bool> is_child(group_of_key.size(), false);
+  for (const auto& edges : outgoing) {
+    for (const GroupEdge& edge : edges) is_child[group[edge.child]] = true;
+  }
+  std::deque<std::size_t> queue;
+  for (std::size_t g = 0; g < group_of_key.size(); ++g) {
+    if (!is_child[g]) {
+      pinned[g] = true;
+      queue.push_back(g);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t g = queue.front();
+    queue.pop_front();
+    for (const GroupEdge& edge : outgoing[g]) {
+      const std::size_t child_group = group[edge.child];
+      if (pinned[child_group]) continue;
+      shift[child_group] =
+          shift[g] + static_cast<std::int64_t>(spans[edge.parent].start_ns) -
+          static_cast<std::int64_t>(spans[edge.child].start_ns);
+      pinned[child_group] = true;
+      queue.push_back(child_group);
+    }
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    out.nodes[i].span = i;
+    out.nodes[i].aligned_start_ns = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(
+            0, static_cast<std::int64_t>(spans[i].start_ns) +
+                   shift[group[i]]));
+  }
+
+  // Tree edges: a resolvable parent uid is an edge, anything else is
+  // a root (genuine roots and orphans alike).
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto parent = spans[i].parent_uid != 0
+                            ? by_uid.find(spans[i].parent_uid)
+                            : by_uid.end();
+    if (parent != by_uid.end() && parent->second != i) {
+      out.nodes[parent->second].children.push_back(i);
+    } else {
+      out.roots.push_back(i);
+    }
+  }
+  const auto by_start = [&](std::size_t a, std::size_t b) {
+    if (out.nodes[a].aligned_start_ns != out.nodes[b].aligned_start_ns) {
+      return out.nodes[a].aligned_start_ns < out.nodes[b].aligned_start_ns;
+    }
+    return spans[a].span_uid < spans[b].span_uid;
+  };
+  std::sort(out.roots.begin(), out.roots.end(), by_start);
+  for (StitchedNode& node : out.nodes) {
+    std::sort(node.children.begin(), node.children.end(), by_start);
+  }
+
+  // Depths, iteratively (a hostile dump could chain thousands deep).
+  std::deque<std::size_t> walk(out.roots.begin(), out.roots.end());
+  while (!walk.empty()) {
+    const std::size_t index = walk.front();
+    walk.pop_front();
+    for (std::size_t child : out.nodes[index].children) {
+      out.nodes[child].depth = out.nodes[index].depth + 1;
+      walk.push_back(child);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_flat(const std::vector<SourcedSpan>& spans,
+                 const StitchedTrace& tree, std::size_t index,
+                 util::JsonArray& out) {
+  const SourcedSpan& span = spans[index];
+  const StitchedNode& node = tree.nodes[index];
+  util::JsonObject entry;
+  entry.emplace("trace", span.trace_id);
+  entry.emplace("name", span.name);
+  entry.emplace("source", span.source);
+  entry.emplace("depth", static_cast<std::int64_t>(node.depth));
+  entry.emplace("span", obs::span_uid_hex(span.span_uid));
+  entry.emplace("parent_span", span.parent_uid == 0
+                                   ? std::string()
+                                   : obs::span_uid_hex(span.parent_uid));
+  entry.emplace("start_ns",
+                static_cast<std::int64_t>(node.aligned_start_ns));
+  entry.emplace("duration_ns", static_cast<std::int64_t>(span.duration_ns));
+  if (!span.attributes.empty()) {
+    util::JsonObject attributes;
+    for (const auto& [key, value] : span.attributes) {
+      attributes.insert_or_assign(key, value);
+    }
+    entry.emplace("attributes", std::move(attributes));
+  }
+  out.push_back(std::move(entry));
+  for (std::size_t child : node.children) {
+    append_flat(spans, tree, child, out);
+  }
+}
+
+util::JsonValue render_node(const std::vector<SourcedSpan>& spans,
+                            const StitchedTrace& tree, std::size_t index) {
+  const SourcedSpan& span = spans[index];
+  const StitchedNode& node = tree.nodes[index];
+  util::JsonObject entry;
+  entry.emplace("name", span.name);
+  entry.emplace("source", span.source);
+  entry.emplace("trace", span.trace_id);
+  entry.emplace("span", obs::span_uid_hex(span.span_uid));
+  entry.emplace("start_ns",
+                static_cast<std::int64_t>(node.aligned_start_ns));
+  entry.emplace("duration_ns", static_cast<std::int64_t>(span.duration_ns));
+  if (!span.attributes.empty()) {
+    util::JsonObject attributes;
+    for (const auto& [key, value] : span.attributes) {
+      attributes.insert_or_assign(key, value);
+    }
+    entry.emplace("attributes", std::move(attributes));
+  }
+  util::JsonArray children;
+  for (std::size_t child : node.children) {
+    children.push_back(render_node(spans, tree, child));
+  }
+  if (!children.empty()) entry.emplace("children", std::move(children));
+  return util::JsonValue(std::move(entry));
+}
+
+}  // namespace
+
+util::JsonValue stitched_to_json(const std::string& trace_id,
+                                 const std::vector<SourcedSpan>& spans) {
+  const StitchedTrace tree = stitch(spans);
+  util::JsonArray flat;
+  util::JsonArray roots;
+  for (std::size_t root : tree.roots) {
+    append_flat(spans, tree, root, flat);
+    roots.push_back(render_node(spans, tree, root));
+  }
+  util::JsonArray sources;
+  for (const SourcedSpan& span : spans) {
+    bool seen = false;
+    for (const util::JsonValue& existing : sources) {
+      if (existing.as_string() == span.source) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) sources.push_back(span.source);
+  }
+  util::JsonObject out;
+  out.emplace("trace", trace_id);
+  out.emplace("count", static_cast<std::int64_t>(flat.size()));
+  out.emplace("sources", std::move(sources));
+  out.emplace("spans", std::move(flat));
+  out.emplace("tree", std::move(roots));
+  return out;
+}
+
+util::JsonValue to_chrome_trace(const std::vector<SourcedSpan>& spans) {
+  const StitchedTrace tree = stitch(spans);
+  // Stable pid per source, in first-appearance order.
+  std::vector<std::string> sources;
+  for (const SourcedSpan& span : spans) {
+    if (std::find(sources.begin(), sources.end(), span.source) ==
+        sources.end()) {
+      sources.push_back(span.source);
+    }
+  }
+  util::JsonArray events;
+  for (std::size_t pid = 0; pid < sources.size(); ++pid) {
+    util::JsonObject args;
+    args.emplace("name", sources[pid]);
+    util::JsonObject meta;
+    meta.emplace("ph", "M");
+    meta.emplace("name", "process_name");
+    meta.emplace("pid", static_cast<std::int64_t>(pid));
+    meta.emplace("tid", 0);
+    meta.emplace("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+  for (const StitchedNode& node : tree.nodes) {
+    const SourcedSpan& span = spans[node.span];
+    const std::size_t pid =
+        static_cast<std::size_t>(std::find(sources.begin(), sources.end(),
+                                           span.source) -
+                                 sources.begin());
+    util::JsonObject args;
+    args.emplace("trace", span.trace_id);
+    args.emplace("span", obs::span_uid_hex(span.span_uid));
+    if (span.parent_uid != 0) {
+      args.emplace("parent_span", obs::span_uid_hex(span.parent_uid));
+    }
+    for (const auto& [key, value] : span.attributes) {
+      args.insert_or_assign(key, value);
+    }
+    util::JsonObject event;
+    event.emplace("ph", "X");
+    event.emplace("name", span.name);
+    event.emplace("cat", span.source);
+    event.emplace("ts", static_cast<double>(node.aligned_start_ns) / 1000.0);
+    event.emplace("dur", static_cast<double>(span.duration_ns) / 1000.0);
+    event.emplace("pid", static_cast<std::int64_t>(pid));
+    event.emplace("tid", static_cast<std::int64_t>(node.depth));
+    event.emplace("args", std::move(args));
+    events.push_back(std::move(event));
+  }
+  util::JsonObject out;
+  out.emplace("traceEvents", std::move(events));
+  out.emplace("displayTimeUnit", "ms");
+  return out;
+}
+
+}  // namespace iqb::fleet

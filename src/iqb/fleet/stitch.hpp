@@ -1,0 +1,116 @@
+// Cross-process trace stitching: merge /tracez dumps from the
+// coordinator and its shards into one tree, and render timelines.
+//
+// Each process's SpanRingBuffer only knows its own spans; what crosses
+// the wire is the uid link (a server span's parent_uid names the
+// coordinator-side attempt span that caused it — see trace.hpp) and
+// the `shard_trace` attribute a shard stamps on its /shard/aggregate
+// server span to name the local cycle trace that produced the served
+// payload. This module re-joins those pieces:
+//
+//   parse_tracez_dump   one /tracez JSON document -> SourcedSpans
+//   graft_linked_traces re-parent a linked trace's roots under the
+//                       span that declared the link
+//   stitch              resolve uid links into one forest, align each
+//                       source's rebased clock to its remote parent
+//   stitched_to_json    the /fleet/tracez document (flat + tree)
+//   to_chrome_trace     Chrome trace-event / Perfetto JSON timeline
+//
+// Everything here is pure data transformation — no I/O — so the
+// coordinator's /fleet/tracez handler and the offline iqb_tracecat
+// tool share one implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "iqb/obs/span_buffer.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/result.hpp"
+
+namespace iqb::fleet {
+
+/// One span from one process's /tracez dump, tagged with where it
+/// came from. Field meanings match obs::CompletedSpan; start_ns is
+/// rebased to the owning cycle's first span (per-source clocks are
+/// NOT comparable across sources until stitch() aligns them).
+struct SourcedSpan {
+  std::string source;  ///< "coordinator", "shard0", ... (dump origin).
+  std::string trace_id;
+  std::string name;
+  std::uint64_t span_uid = 0;
+  std::uint64_t parent_uid = 0;  ///< 0: root. May name a span in
+                                 ///< another source (remote parent).
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  /// First value of an attribute, or "".
+  std::string attribute(const std::string& key) const;
+};
+
+/// Parse one tracez JSON document ({"spans":[...]}) as emitted by
+/// tracez_to_json (or by stitched_to_json — a per-span "source" field,
+/// when present, overrides `default_source`). Spans missing required
+/// fields are an error; unknown fields are ignored.
+util::Result<std::vector<SourcedSpan>> parse_tracez_dump(
+    const util::JsonValue& document, const std::string& default_source);
+
+/// Convert an in-process buffer snapshot (the coordinator's own spans)
+/// without a JSON round-trip.
+std::vector<SourcedSpan> from_completed(
+    const std::vector<obs::CompletedSpan>& spans, const std::string& source);
+
+/// Distinct `shard_trace` attribute values carried by `spans` — the
+/// trace ids of shard-local cycles linked from served payloads, i.e.
+/// what /fleet/tracez must fetch in its second round.
+std::vector<std::string> linked_traces(const std::vector<SourcedSpan>& spans);
+
+/// Re-parent every root (parent_uid == 0) of a linked trace under the
+/// span that declared `shard_trace=<that trace>` in the same source,
+/// turning the loose link into a real tree edge.
+void graft_linked_traces(std::vector<SourcedSpan>& spans);
+
+/// One node of the stitched forest. Indices refer into the span
+/// vector passed to stitch().
+struct StitchedNode {
+  std::size_t span = 0;            ///< Index into the input vector.
+  std::uint64_t aligned_start_ns = 0;  ///< On the coordinator's clock.
+  std::size_t depth = 0;           ///< Depth in the *stitched* tree.
+  std::vector<std::size_t> children;  ///< Node indices, by start time.
+};
+
+/// The stitched forest: nodes[i] describes spans[i] (nodes.size() ==
+/// spans.size(), nodes[i].span == i). `roots` and `children` are
+/// ordered by (aligned start, uid) for deterministic output.
+struct StitchedTrace {
+  std::vector<StitchedNode> nodes;
+  std::vector<std::size_t> roots;
+};
+
+/// Resolve parent uids across sources into one forest and align
+/// clocks: sources are rebased groups (source, trace); a group whose
+/// root has a parent in another group starts, by definition of the
+/// causing RPC, no earlier than that parent — its clock is shifted so
+/// the root begins where its remote parent begins. Orphans (parent
+/// uid unknown — evicted from a ring, or a loser span never ingested)
+/// become roots.
+StitchedTrace stitch(const std::vector<SourcedSpan>& spans);
+
+/// The /fleet/tracez document: {"trace","sources","count","spans",
+/// "tree"}. "spans" is flat, tracez-schema-compatible (plus "source"
+/// and coordinator-clock "start_ns") so iqb_tracecat can consume it
+/// like any /tracez dump; "tree" is the nested stitched forest for
+/// humans.
+util::JsonValue stitched_to_json(const std::string& trace_id,
+                                 const std::vector<SourcedSpan>& spans);
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}, "X" complete
+/// events in microseconds, one pid per source with process_name
+/// metadata, tid = stitched depth). Loads in chrome://tracing and
+/// ui.perfetto.dev.
+util::JsonValue to_chrome_trace(const std::vector<SourcedSpan>& spans);
+
+}  // namespace iqb::fleet

@@ -15,18 +15,19 @@
 #include <optional>
 #include <string_view>
 
+#include "iqb/obs/trace.hpp"
 #include "iqb/util/strings.hpp"
 
 namespace iqb::obs {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using SteadyClock = std::chrono::steady_clock;
 
 /// Milliseconds until `deadline`, clamped to >= 0.
-int ms_until(Clock::time_point deadline) {
+int ms_until(SteadyClock::time_point deadline) {
   const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-      deadline - Clock::now());
+      deadline - SteadyClock::now());
   return static_cast<int>(std::max<std::int64_t>(left.count(), 0));
 }
 
@@ -46,7 +47,7 @@ struct Fd {
 /// Wait for `events` on `fd`, bounded by both the idle timeout and
 /// the total deadline. Returns false on timeout.
 bool wait_ready(int fd, short events, int idle_timeout_ms,
-                Clock::time_point deadline) {
+                SteadyClock::time_point deadline) {
   for (;;) {
     const int timeout = std::min(idle_timeout_ms, ms_until(deadline));
     if (timeout <= 0) return false;
@@ -56,6 +57,24 @@ bool wait_ready(int fd, short events, int idle_timeout_ms,
     if (n == 0) return false;
     if (errno != EINTR) return false;
   }
+}
+
+/// RFC 7230 token-ish header name: printable ASCII, no separators that
+/// would change the line's meaning. Anything else is rejected.
+bool valid_header_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (c <= ' ' || c >= 127 || c == ':') return false;
+  }
+  return true;
+}
+
+/// Values must not contain CR or LF — a value like
+/// "x\r\nHost: evil" would terminate the header early and inject an
+/// attacker-controlled header (or a whole second request).
+bool valid_header_value(std::string_view value) noexcept {
+  return value.find('\r') == std::string_view::npos &&
+         value.find('\n') == std::string_view::npos;
 }
 
 }  // namespace
@@ -71,8 +90,52 @@ std::string HttpClient::Response::header(const std::string& name) const {
 util::Result<HttpClient::Response> HttpClient::get(
     const std::string& host, std::uint16_t port,
     const std::string& path) const {
+  return get(host, port, path, {});
+}
+
+util::Result<HttpClient::Response> HttpClient::get(
+    const std::string& host, std::uint16_t port, const std::string& path,
+    const std::vector<HttpHeader>& headers) const {
+  // Validate caller headers before any socket work: a bad header is a
+  // caller bug, not a transport failure, and must never hit the wire.
+  bool have_traceparent = false;
+  std::string header_block;
+  for (const auto& [name, value] : headers) {
+    if (!valid_header_name(name)) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "invalid request header name '" + name + "'");
+    }
+    if (!valid_header_value(value)) {
+      return util::make_error(
+          util::ErrorCode::kInvalidArgument,
+          "request header '" + name + "' value contains CR/LF");
+    }
+    if (name.size() + value.size() > options_.max_header_bytes) {
+      return util::make_error(
+          util::ErrorCode::kInvalidArgument,
+          "request header '" + name + "' exceeds max_header_bytes (" +
+              std::to_string(options_.max_header_bytes) + ")");
+    }
+    if (util::to_lower(name) == kTraceparentHeader) have_traceparent = true;
+    header_block += name;
+    header_block += ": ";
+    header_block += value;
+    header_block += "\r\n";
+  }
+  if (!have_traceparent) {
+    // Ambient context propagation: a request made under an open
+    // ScopedSpan carries that span as its remote parent.
+    const SpanContext context = current_span_context();
+    if (context.valid()) {
+      header_block += kTraceparentHeader;
+      header_block += ": ";
+      header_block += format_traceparent(context);
+      header_block += "\r\n";
+    }
+  }
+
   const auto deadline =
-      Clock::now() + std::chrono::milliseconds(options_.total_deadline_ms);
+      SteadyClock::now() + std::chrono::milliseconds(options_.total_deadline_ms);
 
   Fd sock;
   sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -108,9 +171,9 @@ util::Result<HttpClient::Response> HttpClient::get(
     }
   }
 
-  const std::string request = "GET " + path +
-                              " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\n" + header_block +
+                              "Connection: close\r\n\r\n";
   std::size_t sent = 0;
   while (sent < request.size()) {
     if (!wait_ready(sock.fd, POLLOUT, options_.io_timeout_ms, deadline)) {

@@ -24,6 +24,14 @@
 
 namespace iqb::obs {
 
+/// One outbound request header (name, value). Names and values are
+/// validated client-side before they touch the wire: a name must be a
+/// printable token (no spaces, colons or control bytes), a value must
+/// be CR/LF-free, and each header is size-bounded — so a caller-
+/// supplied string can never smuggle an extra header (or a second
+/// request) into the stream.
+using HttpHeader = std::pair<std::string, std::string>;
+
 class HttpClient {
  public:
   struct Options {
@@ -35,6 +43,9 @@ class HttpClient {
     /// Response size bound (status line + headers + body); a peer
     /// streaming more gets an error, not an unbounded buffer.
     std::size_t max_response_bytes = 64 * 1024 * 1024;
+    /// Per-request-header bound (name + value bytes); an oversized
+    /// caller header is rejected client-side with kInvalidArgument.
+    std::size_t max_header_bytes = 4 * 1024;
   };
 
   struct Response {
@@ -59,6 +70,17 @@ class HttpClient {
   /// caller to interpret.
   util::Result<Response> get(const std::string& host, std::uint16_t port,
                              const std::string& path) const;
+
+  /// As above with extra request headers. Malformed headers (empty or
+  /// non-token name, CR/LF anywhere, name+value over max_header_bytes)
+  /// fail with kInvalidArgument before any connection is made. Unless
+  /// the caller supplied one, a `traceparent` header carrying the
+  /// calling thread's active span context (current_span_context) is
+  /// injected automatically, so every request made under a ScopedSpan
+  /// propagates its trace to the server.
+  util::Result<Response> get(const std::string& host, std::uint16_t port,
+                             const std::string& path,
+                             const std::vector<HttpHeader>& headers) const;
 
  private:
   Options options_;

@@ -12,8 +12,13 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 
+#include "iqb/obs/clock.hpp"
 #include "iqb/obs/metrics.hpp"
+#include "iqb/obs/request_stats.hpp"
+#include "iqb/obs/span_buffer.hpp"
+#include "iqb/obs/trace.hpp"
 #include "iqb/util/log.hpp"
 #include "iqb/util/strings.hpp"
 
@@ -98,7 +103,7 @@ ReadHeadResult read_request_head(int fd, std::string& head,
   }
 }
 
-/// Parse "GET /path?query HTTP/1.1" into method + query-stripped path.
+/// Parse "GET /path?query HTTP/1.1" into method + path + query.
 bool parse_request_line(const std::string& head, HttpRequest& request) {
   const std::size_t line_end = head.find("\r\n");
   if (line_end == std::string::npos) return false;
@@ -111,13 +116,69 @@ bool parse_request_line(const std::string& head, HttpRequest& request) {
   std::string target =
       line.substr(first_space + 1, second_space - first_space - 1);
   const std::size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
+  if (query != std::string::npos) {
+    request.query = target.substr(query + 1);
+    target.resize(query);
+  }
   if (target.empty() || target[0] != '/') return false;
   request.path = std::move(target);
   return util::starts_with(line.substr(second_space + 1), "HTTP/1.");
 }
 
+/// Parse the header lines after the request line into (lowercased
+/// name, trimmed value) pairs. Malformed lines (no colon) are skipped
+/// — telemetry serving has no reason to hard-fail on a stray line the
+/// request line already validated past.
+void parse_request_headers(const std::string& head, HttpRequest& request) {
+  const std::size_t header_end = head.find("\r\n\r\n");
+  if (header_end == std::string::npos) return;
+  std::size_t pos = head.find("\r\n") + 2;
+  while (pos < header_end) {
+    const std::size_t line_end = head.find("\r\n", pos);
+    const std::string_view line(head.data() + pos, line_end - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      request.headers.emplace_back(
+          util::to_lower(std::string(util::trim(line.substr(0, colon)))),
+          std::string(util::trim(line.substr(colon + 1))));
+    }
+    pos = line_end + 2;
+  }
+}
+
+/// Client "ip:port" of a connected socket, or "" if the kernel won't
+/// say (already-reset connection).
+std::string peer_address(int fd) {
+  sockaddr_in address{};
+  socklen_t len = sizeof(address);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&address), &len) != 0) {
+    return {};
+  }
+  char ip[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &address.sin_addr, ip, sizeof(ip)) == nullptr) {
+    return {};
+  }
+  return std::string(ip) + ":" + std::to_string(ntohs(address.sin_port));
+}
+
 }  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  const std::string wanted = util::to_lower(name);
+  for (const auto& [key, value] : headers) {
+    if (key == wanted) return value;
+  }
+  return {};
+}
+
+std::string query_param(const std::string& query, std::string_view key) {
+  for (const std::string& pair : util::split(query, '&')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    if (pair.compare(0, eq, key) == 0) return pair.substr(eq + 1);
+  }
+  return {};
+}
 
 const char* http_status_reason(int status) noexcept {
   switch (status) {
@@ -312,33 +373,80 @@ void HttpServer::worker_loop() {
 }
 
 void HttpServer::handle_connection(int fd) {
+  const std::uint64_t started_ns = steady_clock().now_ns();
   set_io_timeout(fd, options_.io_timeout_ms);
   std::string head;
   HttpRequest request;
+  request.peer = peer_address(fd);
+
+  // One exit path for every outcome — early rejections included — so
+  // the access log sees the 431s and 400s a probe sends, not just the
+  // requests the handler answered.
+  const auto finish = [&](const HttpResponse& response) {
+    send_response(fd, response);
+    ::close(fd);
+    if (options_.request_stats != nullptr) {
+      RequestStats::Record record;
+      record.trace_id = request.trace_id;
+      record.peer = request.peer;
+      record.method = request.method;
+      record.path = request.path;
+      record.status = response.status;
+      record.bytes = response.body.size();
+      record.duration_ms =
+          static_cast<double>(steady_clock().now_ns() - started_ns) / 1e6;
+      options_.request_stats->record(record);
+    }
+  };
+
   const ReadHeadResult read =
       read_request_head(fd, head, options_.max_request_bytes);
   if (read == ReadHeadResult::kTooLarge) {
-    send_response(fd, {431, "application/json",
-                       "{\"error\":\"request header section too large\"}\n"});
-    ::close(fd);
+    finish({431, "application/json",
+            "{\"error\":\"request header section too large\"}\n"});
     return;
   }
   if (read != ReadHeadResult::kOk || !parse_request_line(head, request)) {
-    send_response(fd, {400, "application/json",
-                       "{\"error\":\"malformed request\"}\n"});
-    ::close(fd);
+    finish({400, "application/json", "{\"error\":\"malformed request\"}\n"});
     return;
   }
+  parse_request_headers(head, request);
   if (request.method != "GET" && request.method != "HEAD") {
-    send_response(fd, {405, "application/json",
-                       "{\"error\":\"only GET is supported\"}\n"});
-    ::close(fd);
+    finish({405, "application/json", "{\"error\":\"only GET is supported\"}\n"});
     return;
   }
-  HttpResponse response = handler_(request);
+
+  // Context extraction: an inbound traceparent names the caller's
+  // trace and span. With a span sink configured, the handler runs
+  // under a server span parented to that remote span (or a fresh
+  // local trace when the caller sent none); without one, the request
+  // path — and every response byte — is exactly the untraced one.
+  const std::optional<SpanContext> inbound =
+      parse_traceparent(request.header(kTraceparentHeader));
+  if (inbound) request.trace_id = inbound->trace_id;
+
+  HttpResponse response;
+  if (options_.spans != nullptr) {
+    if (request.trace_id.empty()) request.trace_id = generate_trace_id();
+    Tracer tracer;
+    tracer.set_trace_id(request.trace_id);
+    if (inbound) tracer.set_remote_parent(inbound->span_uid);
+    {
+      util::ScopedLogTrace log_trace(request.trace_id);
+      ScopedSpan span(&tracer, "http.server");
+      span.set_attribute("method", request.method);
+      span.set_attribute("path", request.path);
+      if (!request.peer.empty()) span.set_attribute("peer", request.peer);
+      response = handler_(request);
+      span.set_attribute("status", std::to_string(response.status));
+    }
+    options_.spans->ingest(tracer);
+    response.headers.emplace_back("X-IQB-Trace", request.trace_id);
+  } else {
+    response = handler_(request);
+  }
   if (request.method == "HEAD") response.body.clear();
-  send_response(fd, response);
-  ::close(fd);
+  finish(response);
 }
 
 }  // namespace iqb::obs

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "iqb/util/result.hpp"
@@ -31,11 +32,32 @@
 namespace iqb::obs {
 
 class MetricsRegistry;
+class RequestStats;
+class SpanRingBuffer;
 
 struct HttpRequest {
+  HttpRequest() = default;
+  /// Tests and handlers mostly need just these two.
+  HttpRequest(std::string method, std::string path)
+      : method(std::move(method)), path(std::move(path)) {}
+
   std::string method;  ///< "GET", uppercased as received.
-  std::string path;    ///< Path only; the query string is stripped.
+  std::string path;    ///< Path only; the query string is split off.
+  std::string query;   ///< Raw query string (no '?'), "" when absent.
+  /// Request headers in arrival order, names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string peer;      ///< Client "ip:port", best effort.
+  std::string trace_id;  ///< From traceparent, or server-generated
+                         ///< when a span sink is configured; may be
+                         ///< "" (telemetry off, no inbound context).
+
+  /// First value of a header (lookup name lowercase), or empty.
+  std::string header(const std::string& name) const;
 };
+
+/// Value of `key` in a raw query string ("trace=iqbd-7&x=1"), or "".
+/// No percent-decoding — the fleet's ids are URL-safe by construction.
+std::string query_param(const std::string& query, std::string_view key);
 
 struct HttpResponse {
   HttpResponse() = default;
@@ -76,6 +98,19 @@ class HttpServer {
     /// (http_accept_errors_total, http_requests_shed_total). Non-
     /// owning; must outlive the server. Null records nothing.
     MetricsRegistry* metrics = nullptr;
+    /// Optional per-request telemetry sink: every connection —
+    /// including early-rejected ones (431/400/405) — is recorded with
+    /// trace id, peer, status, bytes and duration. Non-owning; must
+    /// outlive the server. Null records nothing.
+    RequestStats* request_stats = nullptr;
+    /// Optional span sink. When set, each well-formed request runs
+    /// under a "http.server" span (child of the inbound traceparent
+    /// context if present) inside a ScopedLogTrace for its trace id,
+    /// the completed span is folded into this buffer, and the response
+    /// carries `X-IQB-Trace: <trace id>` so clients can find their
+    /// request in /tracez. Null (telemetry off) leaves request
+    /// handling — and every response byte — exactly as before.
+    SpanRingBuffer* spans = nullptr;
   };
 
   HttpServer(Options options, HttpHandler handler);

@@ -1,0 +1,128 @@
+#include "iqb/obs/request_stats.hpp"
+
+#include <algorithm>
+
+#include "iqb/obs/metrics.hpp"
+#include "iqb/util/log.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::obs {
+
+namespace {
+
+/// Pool label for paths outside known_paths, so an attacker probing
+/// random URLs can't mint unbounded metric series.
+const std::string kOtherPath = "other";
+
+std::string status_class(int status) {
+  if (status >= 100 && status <= 599) {
+    return std::to_string(status / 100) + "xx";
+  }
+  return "invalid";
+}
+
+}  // namespace
+
+const std::vector<double>& request_duration_buckets_ms() {
+  static const std::vector<double> buckets = {
+      0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+      500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return buckets;
+}
+
+RequestStats::RequestStats(Options options) : options_(std::move(options)) {
+  if (options_.access_log_capacity == 0) options_.access_log_capacity = 1;
+}
+
+const std::string& RequestStats::path_label(const std::string& path) const {
+  const auto& known = options_.known_paths;
+  const auto it = std::find(known.begin(), known.end(), path);
+  return it != known.end() ? *it : kOtherPath;
+}
+
+void RequestStats::record(const Record& record) {
+  if (options_.metrics != nullptr) {
+    const std::string& path = path_label(record.path);
+    options_.metrics
+        ->counter("iqb_http_requests_total", "HTTP requests handled",
+                  {{"path", path}})
+        .inc();
+    options_.metrics
+        ->counter("iqb_http_responses_total",
+                  "HTTP responses by status class",
+                  {{"class", status_class(record.status)}})
+        .inc();
+    options_.metrics
+        ->histogram("iqb_http_request_duration_ms",
+                    "HTTP request wall time in milliseconds",
+                    request_duration_buckets_ms(),
+                    {{"code", std::to_string(record.status)}, {"path", path}})
+        .observe(record.duration_ms);
+  }
+  const bool slow = options_.slow_request_ms > 0 &&
+                    record.duration_ms >=
+                        static_cast<double>(options_.slow_request_ms);
+  if (slow) {
+    if (options_.metrics != nullptr) {
+      options_.metrics
+          ->counter("iqb_http_slow_requests_total",
+                    "HTTP requests at or over the slow threshold",
+                    {{"path", path_label(record.path)}})
+          .inc();
+    }
+    // The WARN line carries the trace id so the offender's full span
+    // tree is one /tracez?trace=<id> away.
+    IQB_LOG(kWarn) << "slow request " << record.method << " " << record.path
+                   << " status=" << record.status << " duration_ms="
+                   << util::format_fixed(record.duration_ms, 3)
+                   << " peer=" << record.peer << " trace="
+                   << (record.trace_id.empty() ? "-" : record.trace_id);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (slow) ++slow_total_;
+  if (log_.size() == options_.access_log_capacity) log_.pop_front();
+  log_.push_back(record);
+}
+
+std::uint64_t RequestStats::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t RequestStats::slow_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slow_total_;
+}
+
+std::vector<RequestStats::Record> RequestStats::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {log_.begin(), log_.end()};
+}
+
+util::JsonValue RequestStats::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::JsonArray requests;
+  for (const auto& record : log_) {
+    util::JsonObject entry;
+    entry.emplace("trace", record.trace_id);
+    entry.emplace("peer", record.peer);
+    entry.emplace("method", record.method);
+    entry.emplace("path", record.path);
+    entry.emplace("status", static_cast<std::int64_t>(record.status));
+    entry.emplace("bytes", static_cast<std::int64_t>(record.bytes));
+    entry.emplace("duration_ms", record.duration_ms);
+    requests.push_back(std::move(entry));
+  }
+  util::JsonObject out;
+  out.emplace("count", static_cast<std::int64_t>(total_));
+  out.emplace("slow_count", static_cast<std::int64_t>(slow_total_));
+  out.emplace("capacity",
+              static_cast<std::int64_t>(options_.access_log_capacity));
+  out.emplace("slow_request_ms",
+              static_cast<std::int64_t>(options_.slow_request_ms));
+  out.emplace("requests", std::move(requests));
+  return out;
+}
+
+}  // namespace iqb::obs

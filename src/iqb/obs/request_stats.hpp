@@ -1,0 +1,98 @@
+// Per-request HTTP server telemetry: counters, latency histograms and
+// a bounded in-memory access log.
+//
+// obs::HttpServer handles every connection — including the ones its
+// handler never sees (malformed request lines, oversized heads,
+// unsupported methods) — so this layer lives *there*, one record()
+// call per connection, rather than in the routing layer. It feeds
+// three places:
+//
+//   * the shared MetricsRegistry: http_requests_total{path},
+//     http_responses_total{class} (status class 2xx/3xx/4xx/5xx) and
+//     http_request_duration_ms{path,code} fixed-bucket histograms,
+//     all exported through the existing byte-stable Prometheus/JSON
+//     exporters;
+//   * a bounded ring of recent requests — trace id, peer, method,
+//     path, status, bytes, duration — served on /requestz;
+//   * the log: a request slower than slow_request_ms is promoted to
+//     WARN with its trace id, so the offender is greppable (and its
+//     full trace findable in /tracez) without scraping histograms.
+//
+// Path labels are bounded-cardinality: only paths in known_paths are
+// labeled verbatim, everything else pools into "other", so a URL
+// scanner cannot grow the registry. The access log keeps the real
+// path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "iqb/util/json.hpp"
+
+namespace iqb::obs {
+
+class MetricsRegistry;
+
+/// Fixed upper bounds (milliseconds) for the per-request latency
+/// histograms: sub-millisecond scrapes up to tens of seconds.
+const std::vector<double>& request_duration_buckets_ms();
+
+class RequestStats {
+ public:
+  struct Options {
+    /// Non-owning; null records no metrics (the access log and slow-
+    /// request promotion still work).
+    MetricsRegistry* metrics = nullptr;
+    /// Access-log bound; the oldest entry is evicted when full.
+    std::size_t access_log_capacity = 256;
+    /// Requests at or over this wall time are promoted to a WARN log
+    /// line carrying their trace id; 0 disables promotion.
+    std::uint64_t slow_request_ms = 500;
+    /// Paths labeled verbatim in metrics; everything else is "other".
+    std::vector<std::string> known_paths;
+  };
+
+  /// One handled request, as recorded by the server.
+  struct Record {
+    std::string trace_id;  ///< Empty when the request carried none.
+    std::string peer;      ///< "ip:port" of the client.
+    std::string method;
+    std::string path;      ///< Actual path ("" if unparseable).
+    int status = 0;
+    std::uint64_t bytes = 0;      ///< Response body bytes sent.
+    double duration_ms = 0.0;     ///< Read -> response-sent wall time.
+  };
+
+  explicit RequestStats(Options options);
+  RequestStats(const RequestStats&) = delete;
+  RequestStats& operator=(const RequestStats&) = delete;
+
+  /// Record one handled request. Thread-safe (called from every
+  /// server worker).
+  void record(const Record& record);
+
+  std::uint64_t total() const;
+  std::uint64_t slow_total() const;
+
+  /// Oldest-to-newest copy of the access log.
+  std::vector<Record> recent() const;
+
+  /// The /requestz document: {"count","slow_count","capacity",
+  /// "slow_request_ms","requests":[...]} with requests oldest to
+  /// newest.
+  util::JsonValue to_json() const;
+
+ private:
+  const std::string& path_label(const std::string& path) const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::deque<Record> log_;
+  std::uint64_t total_ = 0;
+  std::uint64_t slow_total_ = 0;
+};
+
+}  // namespace iqb::obs

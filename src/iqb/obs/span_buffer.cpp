@@ -36,6 +36,8 @@ std::size_t SpanRingBuffer::ingest(const Tracer& tracer,
     span.trace_id = trace_id;
     span.name = record.name;
     span.depth = depth[i];
+    span.span_uid = record.uid;
+    span.parent_uid = record.parent_uid;
     span.start_ns = record.start_ns - base_ns;
     span.duration_ns = record.duration_ns();
     span.attributes = record.attributes;
@@ -45,19 +47,29 @@ std::size_t SpanRingBuffer::ingest(const Tracer& tracer,
   return ingested;
 }
 
+std::size_t SpanRingBuffer::ingest(const Tracer& tracer) {
+  return ingest(tracer, tracer.trace_id());
+}
+
 std::vector<CompletedSpan> SpanRingBuffer::recent() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {spans_.begin(), spans_.end()};
 }
 
-util::JsonValue tracez_to_json(const SpanRingBuffer& buffer) {
+util::JsonValue tracez_to_json(const SpanRingBuffer& buffer,
+                               const std::string& trace_filter) {
   const auto spans = buffer.recent();
   util::JsonArray entries;
   for (const auto& span : spans) {
+    if (!trace_filter.empty() && span.trace_id != trace_filter) continue;
     util::JsonObject entry;
     entry.emplace("trace", span.trace_id);
     entry.emplace("name", span.name);
     entry.emplace("depth", static_cast<std::int64_t>(span.depth));
+    entry.emplace("span", span_uid_hex(span.span_uid));
+    entry.emplace("parent_span", span.parent_uid == 0
+                                     ? std::string()
+                                     : span_uid_hex(span.parent_uid));
     entry.emplace("start_ns", static_cast<std::int64_t>(span.start_ns));
     entry.emplace("duration_ns", static_cast<std::int64_t>(span.duration_ns));
     if (!span.attributes.empty()) {

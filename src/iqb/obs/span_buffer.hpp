@@ -31,6 +31,11 @@ struct CompletedSpan {
   std::string trace_id;
   std::string name;
   std::size_t depth = 0;       ///< 0 for roots.
+  std::uint64_t span_uid = 0;  ///< Fleet-unique span id (Tracer uid).
+  /// Parent's uid — possibly a *remote* span's (a span in another
+  /// process's buffer), which is what lets /fleet/tracez stitch shard
+  /// dumps under the coordinator's tree. 0 for an unparented root.
+  std::uint64_t parent_uid = 0;
   std::uint64_t start_ns = 0;  ///< Rebased to the cycle's first span.
   std::uint64_t duration_ns = 0;
   std::vector<std::pair<std::string, std::string>> attributes;
@@ -54,6 +59,9 @@ class SpanRingBuffer {
   /// `trace_id`. Returns how many spans were ingested.
   std::size_t ingest(const Tracer& tracer, const std::string& trace_id);
 
+  /// As above, tagged with the tracer's own trace id.
+  std::size_t ingest(const Tracer& tracer);
+
   /// Oldest-to-newest copy of the buffered spans.
   std::vector<CompletedSpan> recent() const;
 
@@ -64,8 +72,14 @@ class SpanRingBuffer {
 };
 
 /// JSON document {"spans":[...],"count":N} for the /tracez endpoint:
-/// oldest to newest, each span carrying trace id, name, depth,
-/// rebased start and duration, and attributes.
-util::JsonValue tracez_to_json(const SpanRingBuffer& buffer);
+/// oldest to newest, each span carrying trace id ("trace"), name,
+/// depth, span/parent uids as 16-hex strings ("span"/"parent_span",
+/// the latter "" for roots), rebased start and duration, and
+/// attributes. The field set is a stability contract (golden-tested):
+/// iqb_tracecat and /fleet/tracez consume these dumps across
+/// processes and releases. A non-empty `trace_filter` keeps only
+/// spans of that trace (the /tracez?trace=<id> form).
+util::JsonValue tracez_to_json(const SpanRingBuffer& buffer,
+                               const std::string& trace_filter = "");
 
 }  // namespace iqb::obs

@@ -2,6 +2,8 @@
 
 #include "iqb/obs/clock.hpp"
 #include "iqb/obs/export.hpp"
+#include "iqb/obs/request_stats.hpp"
+#include "iqb/obs/trace.hpp"
 #include "iqb/util/json.hpp"
 
 namespace iqb::obs {
@@ -14,19 +16,16 @@ constexpr const char* kIndexBody =
     "  /metrics.json  metrics as JSON\n"
     "  /healthz       liveness (always 200 while serving)\n"
     "  /readyz        readiness (503 before first cycle or at tier C)\n"
-    "  /tracez        recent completed spans\n"
+    "  /tracez        recent completed spans (?trace=<id> to filter)\n"
+    "  /requestz      recent requests (access log)\n"
     "  /scores        latest per-region IQB scores\n"
     "  /shard/aggregate  serialized aggregate table (fleet scatter-gather)\n";
 
 /// Bounded-cardinality path label: known endpoints verbatim,
 /// everything else pooled, so a URL scanner cannot grow the registry.
 const std::string& path_label(const std::string& path) {
-  static const std::string known[] = {"/",       "/metrics", "/metrics.json",
-                                      "/healthz", "/readyz",  "/tracez",
-                                      "/scores",  "/shard/aggregate",
-                                      "/fleetz"};
   static const std::string other = "other";
-  for (const std::string& candidate : known) {
+  for (const std::string& candidate : default_telemetry_paths()) {
     if (path == candidate) return candidate;
   }
   return other;
@@ -40,6 +39,14 @@ std::string json_error(const std::string& status, const std::string& reason) {
 }
 
 }  // namespace
+
+const std::vector<std::string>& default_telemetry_paths() {
+  static const std::vector<std::string> paths = {
+      "/",        "/metrics",  "/metrics.json",    "/healthz",
+      "/readyz",  "/tracez",   "/requestz",        "/scores",
+      "/shard/aggregate",      "/fleetz",          "/fleet/tracez"};
+  return paths;
+}
 
 TelemetryServer::TelemetryServer(Options options, MetricsRegistry* metrics,
                                  SpanRingBuffer* spans)
@@ -71,7 +78,7 @@ HttpResponse TelemetryServer::handle(const HttpRequest& request) {
   std::optional<HttpResponse> overridden;
   if (options_.route_override) overridden = options_.route_override(request);
   HttpResponse response =
-      overridden ? std::move(*overridden) : route(request.path);
+      overridden ? std::move(*overridden) : route(request);
   if (metrics_) {
     const double elapsed_s =
         static_cast<double>(steady_clock().now_ns() - start_ns) * 1e-9;
@@ -91,7 +98,8 @@ HttpResponse TelemetryServer::handle(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse TelemetryServer::route(const std::string& path) const {
+HttpResponse TelemetryServer::route(const HttpRequest& request) const {
+  const std::string& path = request.path;
   if (path == "/") {
     return {200, "text/plain; charset=utf-8", kIndexBody};
   }
@@ -136,8 +144,17 @@ HttpResponse TelemetryServer::route(const std::string& path) const {
             util::JsonValue(std::move(out)).dump() + "\n"};
   }
   if (path == "/tracez") {
-    std::string body = spans_ ? tracez_to_json(*spans_).dump(2) + "\n"
-                              : std::string("{\"count\":0,\"spans\":[]}\n");
+    const std::string filter = query_param(request.query, "trace");
+    std::string body = spans_
+                           ? tracez_to_json(*spans_, filter).dump(2) + "\n"
+                           : std::string("{\"count\":0,\"spans\":[]}\n");
+    return {200, "application/json", std::move(body)};
+  }
+  if (path == "/requestz") {
+    const RequestStats* stats = options_.http.request_stats;
+    std::string body =
+        stats ? stats->to_json().dump(2) + "\n"
+              : std::string("{\"count\":0,\"requests\":[]}\n");
     return {200, "application/json", std::move(body)};
   }
   if (path == "/scores") {
@@ -167,6 +184,13 @@ HttpResponse TelemetryServer::route(const std::string& path) const {
     HttpResponse response{200, "application/json", snapshot->aggregate_json};
     response.headers.emplace_back("X-IQB-Cycle",
                                   std::to_string(snapshot->cycle));
+    // Trace link: the served aggregate was produced by this shard's
+    // own cycle trace, which the caller's trace knows nothing about.
+    // Tagging the enclosing server span with it lets /fleet/tracez
+    // graft the shard's cycle spans under the coordinator's tree.
+    if (!snapshot->trace_id.empty()) {
+      annotate_current_span("shard_trace", snapshot->trace_id);
+    }
     return response;
   }
   return {404, "application/json", json_error("error", "no such endpoint")};

@@ -11,6 +11,8 @@
 //                    503 + JSON reason before that, or while the
 //                    latest scores carry confidence tier C
 //   GET /tracez      recent completed spans from the span ring buffer
+//                    (?trace=<id> keeps only that trace's spans)
+//   GET /requestz    recent requests from the server's access log
 //   GET /scores      latest per-region IQB scores as JSON
 //
 // The score state is double-buffered: the producer (daemon cycle)
@@ -38,6 +40,12 @@
 #include "iqb/util/result.hpp"
 
 namespace iqb::obs {
+
+/// Every path a TelemetryServer can serve (built-ins plus the fleet
+/// coordinator's overrides). This is the bounded-cardinality label
+/// allowlist shared by the server's own instrumentation and
+/// RequestStats — paths outside it pool into "other".
+const std::vector<std::string>& default_telemetry_paths();
 
 /// Immutable result of one completed pipeline cycle, as served.
 struct ScoreSnapshot {
@@ -103,7 +111,7 @@ class TelemetryServer {
   HttpResponse handle(const HttpRequest& request);
 
  private:
-  HttpResponse route(const std::string& path) const;
+  HttpResponse route(const HttpRequest& request) const;
 
   Options options_;
   MetricsRegistry* metrics_;

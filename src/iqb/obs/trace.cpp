@@ -1,19 +1,170 @@
 #include "iqb/obs/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <random>
 
 namespace iqb::obs {
 
-std::size_t Tracer::begin_span(std::string name) {
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit sequence from a counter.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Process-wide id source: one random_device seed, then a mixed
+/// counter. Thread-safe, no lock, never zero-prone (mix64 output is
+/// checked by callers where zero matters).
+std::uint64_t next_process_id() {
+  static const std::uint64_t seed = [] {
+    std::random_device device;
+    return (static_cast<std::uint64_t>(device()) << 32) ^ device();
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  return mix64(seed + counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+bool is_hex_char(char c) noexcept {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+/// Trace ids travel inside header values and log lines: keep them to
+/// printable, unambiguous characters (alnum plus '-', '_', '.').
+bool trace_id_safe(std::string_view id) noexcept {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+thread_local detail::AmbientSpan tl_ambient_span;
+
+}  // namespace
+
+std::string span_uid_hex(std::uint64_t uid) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[uid & 0xf];
+    uid >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_span_uid(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) return std::nullopt;
+  std::uint64_t uid = 0;
+  for (char c : hex) {
+    if (!is_hex_char(c)) return std::nullopt;
+    const std::uint64_t digit =
+        c <= '9' ? static_cast<std::uint64_t>(c - '0')
+                 : static_cast<std::uint64_t>((c | 0x20) - 'a' + 10);
+    uid = (uid << 4) | digit;
+  }
+  return uid;
+}
+
+std::string generate_trace_id() { return span_uid_hex(next_process_id()); }
+
+std::string format_traceparent(const SpanContext& context) {
+  return "00-" + context.trace_id + "-" + span_uid_hex(context.span_uid) +
+         "-01";
+}
+
+std::optional<SpanContext> parse_traceparent(std::string_view header) {
+  // 00-<trace>-<span16hex>-<flags2hex>, anchored from the right so the
+  // trace id may itself contain dashes ("iqbd-7").
+  if (header.size() < 3 + 1 + 1 + 16 + 1 + 2) return std::nullopt;
+  if (header.substr(0, 3) != "00-") return std::nullopt;
+  const std::string_view rest = header.substr(3);
+  const std::size_t flags_dash = rest.rfind('-');
+  if (flags_dash == std::string_view::npos || flags_dash == 0) {
+    return std::nullopt;
+  }
+  const std::string_view flags = rest.substr(flags_dash + 1);
+  if (flags.size() != 2 || !is_hex_char(flags[0]) || !is_hex_char(flags[1])) {
+    return std::nullopt;
+  }
+  const std::size_t span_dash = rest.rfind('-', flags_dash - 1);
+  if (span_dash == std::string_view::npos) return std::nullopt;
+  const std::string_view span_hex =
+      rest.substr(span_dash + 1, flags_dash - span_dash - 1);
+  if (span_hex.size() != 16) return std::nullopt;
+  const auto span_uid = parse_span_uid(span_hex);
+  if (!span_uid || *span_uid == 0) return std::nullopt;
+  const std::string_view trace = rest.substr(0, span_dash);
+  if (!trace_id_safe(trace)) return std::nullopt;
+  SpanContext context;
+  context.trace_id = std::string(trace);
+  context.span_uid = *span_uid;
+  return context;
+}
+
+Tracer::Tracer(Clock* clock)
+    : clock_(clock ? clock : &steady_clock()) {
+  // A fresh random base per tracer keeps uids fleet-unique without
+  // coordination; zero is reserved for "no span", so nudge off it.
+  uid_base_ = next_process_id();
+  if (uid_base_ == 0) uid_base_ = 1;
+}
+
+void Tracer::set_trace_id(std::string trace_id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  trace_id_ = std::move(trace_id);
+}
+
+std::string Tracer::trace_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_id_;
+}
+
+void Tracer::set_span_uid_base(std::uint64_t base) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uid_base_ = base;
+}
+
+void Tracer::set_remote_parent(std::uint64_t parent_uid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  remote_parent_uid_ = parent_uid;
+}
+
+std::size_t Tracer::begin_span_locked(std::string name, std::size_t parent,
+                                      bool push_open) {
   SpanRecord span;
   span.name = std::move(name);
-  span.parent = open_stack_.empty() ? kNoSpan : open_stack_.back();
+  span.parent = parent;
+  span.uid = uid_base_ + spans_.size() + 1;
+  span.parent_uid = parent != kNoSpan && parent < spans_.size()
+                        ? spans_[parent].uid
+                        : remote_parent_uid_;
   span.start_ns = clock_->now_ns();
   const std::size_t id = spans_.size();
   spans_.push_back(std::move(span));
-  open_stack_.push_back(id);
+  if (push_open) open_stack_.push_back(id);
   return id;
+}
+
+std::size_t Tracer::begin_span(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t parent = open_stack_.empty() ? kNoSpan : open_stack_.back();
+  return begin_span_locked(std::move(name), parent, /*push_open=*/true);
+}
+
+std::size_t Tracer::begin_span_at(std::string name, std::size_t parent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (parent != kNoSpan && parent >= spans_.size()) parent = kNoSpan;
+  // Explicit-parent spans belong to other threads' control flow; they
+  // never join this thread's open stack, so concurrent begin_span
+  // calls on the owning thread keep their implicit nesting.
+  return begin_span_locked(std::move(name), parent, /*push_open=*/false);
 }
 
 void Tracer::end_span(std::size_t id) {
@@ -36,6 +187,12 @@ void Tracer::set_attribute(std::size_t id, const std::string& key,
   spans_[id].attributes.emplace_back(key, std::move(value));
 }
 
+std::uint64_t Tracer::uid(std::size_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= spans_.size()) return 0;
+  return spans_[id].uid;
+}
+
 std::vector<Tracer::SpanRecord> Tracer::spans() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return spans_;
@@ -44,6 +201,34 @@ std::vector<Tracer::SpanRecord> Tracer::spans() const {
 std::size_t Tracer::span_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return spans_.size();
+}
+
+namespace detail {
+
+AmbientSpan exchange_ambient_span(AmbientSpan next) noexcept {
+  const AmbientSpan previous = tl_ambient_span;
+  tl_ambient_span = next;
+  return previous;
+}
+
+AmbientSpan ambient_span() noexcept { return tl_ambient_span; }
+
+}  // namespace detail
+
+SpanContext current_span_context() {
+  const detail::AmbientSpan ambient = detail::ambient_span();
+  if (!ambient.tracer || ambient.id == Tracer::kNoSpan) return {};
+  SpanContext context;
+  context.trace_id = ambient.tracer->trace_id();
+  if (context.trace_id.empty()) context.trace_id = util::log_trace_id();
+  context.span_uid = ambient.tracer->uid(ambient.id);
+  return context;
+}
+
+void annotate_current_span(const std::string& key, std::string value) {
+  const detail::AmbientSpan ambient = detail::ambient_span();
+  if (!ambient.tracer || ambient.id == Tracer::kNoSpan) return;
+  ambient.tracer->set_attribute(ambient.id, key, std::move(value));
 }
 
 }  // namespace iqb::obs

@@ -1,4 +1,5 @@
-// Lightweight per-run tracing: named spans forming a tree.
+// Lightweight per-run tracing: named spans forming a tree, with
+// cross-process context propagation.
 //
 // A Tracer records spans (name, start/end timestamps from an injected
 // Clock, string attributes) and keeps an implicit stack of open spans:
@@ -8,14 +9,32 @@
 // one ScopedSpan line per stage. Timestamps come exclusively from the
 // Clock, so tests injecting a ManualClock get byte-stable traces.
 //
+// Beyond the local indices (parent links inside one Tracer), every
+// span also carries a 64-bit *uid* that is unique across the fleet
+// with overwhelming probability (uid = random per-tracer base + local
+// index; tests pin the base for determinism). Uids are what crosses
+// process boundaries: a traceparent-style header
+//
+//   00-<trace-id>-<16 hex span uid>-01
+//
+// names the caller's trace and active span; obs::HttpClient injects
+// it on outbound requests and obs::HttpServer extracts it, running the
+// handler under a server span whose parent_uid is the remote span. The
+// trace id is the fleet's human-readable cycle id ("iqbd-7",
+// "iqbc-3") or an auto-generated 64-bit hex id — the parse is
+// right-anchored so trace ids may contain dashes.
+//
 // Spans are stored flat with parent indices; export.hpp rebuilds the
-// tree for the JSON dump.
+// tree for the JSON dump, and span_buffer.hpp folds completed spans
+// (uids included) into the /tracez ring buffer.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -24,23 +43,75 @@
 
 namespace iqb::obs {
 
+/// A (trace id, span uid) pair as it crosses a process boundary.
+struct SpanContext {
+  std::string trace_id;       ///< Empty: no trace.
+  std::uint64_t span_uid = 0; ///< 0: no span.
+
+  bool valid() const noexcept { return !trace_id.empty() && span_uid != 0; }
+};
+
+/// 16 lowercase hex chars, zero padded ("00000000000004d2").
+std::string span_uid_hex(std::uint64_t uid);
+
+/// Parse a 1..16-char hex span uid; nullopt on malformed input.
+std::optional<std::uint64_t> parse_span_uid(std::string_view hex);
+
+/// Fresh 16-hex-char trace id from a process-wide seeded generator.
+/// Collision-safe across threads and (probabilistically) processes.
+std::string generate_trace_id();
+
+/// Header name the context travels in ("traceparent").
+inline constexpr const char* kTraceparentHeader = "traceparent";
+
+/// "00-<trace-id>-<16 hex span uid>-01". `context` must be valid().
+std::string format_traceparent(const SpanContext& context);
+
+/// Parse a traceparent-style header value. The parse is right-anchored
+/// — the last two dash-separated tokens are the flags and the span uid
+/// — so trace ids containing dashes ("iqbd-7") round-trip. Returns
+/// nullopt for anything malformed (wrong version, bad hex, zero span,
+/// unsafe trace-id characters).
+std::optional<SpanContext> parse_traceparent(std::string_view header);
+
 class Tracer {
  public:
   /// Sentinel span id: "no span" / "no parent".
   static constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
 
   /// `clock` may be null (falls back to the process steady clock).
-  /// The clock must outlive the tracer.
-  explicit Tracer(Clock* clock = nullptr)
-      : clock_(clock ? clock : &steady_clock()) {}
+  /// The clock must outlive the tracer. Every tracer draws a random
+  /// span-uid base so uids from different tracers (and processes)
+  /// don't collide; tests pin it with set_span_uid_base.
+  explicit Tracer(Clock* clock = nullptr);
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   Clock& clock() const noexcept { return *clock_; }
 
+  /// The trace this tracer's spans belong to. Set once per cycle /
+  /// request before spans begin; empty until then.
+  void set_trace_id(std::string trace_id);
+  std::string trace_id() const;
+
+  /// Pin the span-uid base (uid = base + local index + 1) so tests get
+  /// deterministic uids. Call before the first begin_span.
+  void set_span_uid_base(std::uint64_t base);
+
+  /// Remote parent uid adopted by spans begun with no local parent
+  /// (the server-side half of context propagation). 0 clears it.
+  void set_remote_parent(std::uint64_t parent_uid);
+
   /// Open a span. Its parent is the innermost span still open at this
   /// moment (kNoSpan for a root). Returns the span's id.
   std::size_t begin_span(std::string name);
+
+  /// Open a span under an explicit parent, without consulting or
+  /// touching the open-span stack. This is how work fanned out to
+  /// other threads (shard fetches, hedged attempts) records children
+  /// of the coordinating span: thread-local stacks don't cross
+  /// threads, explicit parents do. `parent` may be kNoSpan (root).
+  std::size_t begin_span_at(std::string name, std::size_t parent);
 
   /// Close a span; no-op if already closed or id is kNoSpan.
   void end_span(std::size_t id);
@@ -49,9 +120,15 @@ class Tracer {
   void set_attribute(std::size_t id, const std::string& key,
                      std::string value);
 
+  /// Fleet-unique 64-bit uid of a span (0 for kNoSpan / out of range).
+  std::uint64_t uid(std::size_t id) const;
+
   struct SpanRecord {
     std::string name;
     std::size_t parent = kNoSpan;
+    std::uint64_t uid = 0;         ///< Fleet-unique span id.
+    std::uint64_t parent_uid = 0;  ///< Parent's uid; 0 for a root
+                                   ///< (or the remote parent's uid).
     std::uint64_t start_ns = 0;
     std::uint64_t end_ns = 0;
     bool ended = false;
@@ -68,26 +145,59 @@ class Tracer {
   std::size_t span_count() const;
 
  private:
+  std::size_t begin_span_locked(std::string name, std::size_t parent,
+                                bool push_open);
+
   mutable std::mutex mutex_;
   Clock* clock_;
+  std::string trace_id_;
+  std::uint64_t uid_base_ = 0;
+  std::uint64_t remote_parent_uid_ = 0;
   std::vector<SpanRecord> spans_;
   std::vector<std::size_t> open_stack_;
 };
+
+namespace detail {
+/// Thread-local innermost open ScopedSpan, for ambient propagation.
+struct AmbientSpan {
+  Tracer* tracer = nullptr;
+  std::size_t id = Tracer::kNoSpan;
+};
+/// Install `next` as this thread's ambient span; returns the previous.
+AmbientSpan exchange_ambient_span(AmbientSpan next) noexcept;
+AmbientSpan ambient_span() noexcept;
+}  // namespace detail
+
+/// The calling thread's active span as a propagation context:
+/// {tracer's trace id (falling back to the thread's log trace id),
+/// innermost ScopedSpan uid}. Invalid when no instrumented span is
+/// open — callers (HttpClient) then simply don't inject a header.
+SpanContext current_span_context();
+
+/// Attach an attribute to the calling thread's innermost open
+/// ScopedSpan; no-op when none is open. Lets deep code (a telemetry
+/// route handler) tag the enclosing server span without plumbing the
+/// tracer through every signature.
+void annotate_current_span(const std::string& key, std::string value);
 
 /// RAII span. A null tracer makes every operation a no-op, which is
 /// how instrumented code stays zero-cost when telemetry is off.
 ///
 /// While open, the span installs its id as the thread's log-context
 /// span (util::set_log_span), so every IQB_LOG line emitted inside an
-/// instrumented stage carries "span=N" for trace correlation; end()
-/// restores the enclosing span's id.
+/// instrumented stage carries "span=N" for trace correlation, and as
+/// the thread's ambient span (current_span_context), so outbound HTTP
+/// calls inherit it; end() restores the enclosing span's context.
 class ScopedSpan {
  public:
   ScopedSpan(Tracer* tracer, std::string name)
       : tracer_(tracer),
         id_(tracer ? tracer->begin_span(std::move(name)) : Tracer::kNoSpan),
         previous_log_span_(id_ != Tracer::kNoSpan ? util::set_log_span(id_)
-                                                  : util::log_span()) {}
+                                                  : util::log_span()),
+        previous_ambient_(id_ != Tracer::kNoSpan
+                              ? detail::exchange_ambient_span({tracer_, id_})
+                              : detail::ambient_span()) {}
   ~ScopedSpan() { end(); }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -97,6 +207,7 @@ class ScopedSpan {
     if (tracer_ && id_ != Tracer::kNoSpan) {
       tracer_->end_span(id_);
       util::set_log_span(previous_log_span_);
+      detail::exchange_ambient_span(previous_ambient_);
       id_ = Tracer::kNoSpan;
     }
   }
@@ -111,6 +222,7 @@ class ScopedSpan {
   Tracer* tracer_;
   std::size_t id_;
   std::size_t previous_log_span_;
+  detail::AmbientSpan previous_ambient_;
 };
 
 }  // namespace iqb::obs

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -29,6 +30,7 @@
 #include "iqb/datasets/synthetic.hpp"
 #include "iqb/util/json.hpp"
 #include "../testsupport/chaos_proxy.hpp"
+#include "../testsupport/http_get.hpp"
 
 namespace iqb::cli {
 namespace {
@@ -256,6 +258,160 @@ TEST_F(FleetChaosTest, CoordinatorServesWhileOnlyOneShardEverAnswered) {
   EXPECT_NE(fleetz.body.find("\"shards_missing\""), std::string::npos);
 
   proxy.stop();
+}
+
+/// The PR's tracing acceptance criterion: one coordinator cycle under
+/// chaos yields a single trace id whose merged /fleet/tracez tree
+/// chains coordinator cycle span -> per-shard fetch spans (with retry
+/// children for the faulted shard) -> shard-side server spans -> the
+/// shard's own grafted cycle spans.
+TEST_F(FleetChaosTest, FleetTracezStitchesOneTraceAcrossTheFleet) {
+  WatchDaemon shard_a(shard_options(kShardARegions));
+  WatchDaemon shard_b(shard_options(kShardBRegions));
+  std::ostringstream err;
+  ASSERT_TRUE(shard_a.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_b.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_a.server().start().ok());
+  ASSERT_TRUE(shard_b.server().start().ok());
+
+  // Shard b refuses exactly the first connection: the traced fetch
+  // must show a failed retry=0 attempt and a successful retry=1.
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard_b.server().port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.fault_first_n(ChaosProxy::Mode::kRefuse, 1);
+
+  CoordinatorDaemon coordinator(
+      coordinator_options(shard_a.server().port(), proxy.port()));
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+
+  const auto response = coordinator.server().handle({"GET", "/fleet/tracez"});
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto document = util::parse_json(response.body);
+  ASSERT_TRUE(document.ok()) << document.error().to_string();
+
+  const std::string trace = document->get_string("trace").value();
+  EXPECT_EQ(trace, coordinator.server().latest()->trace_id);
+
+  std::set<std::string> sources;
+  const auto source_list = document->get_array("sources");
+  ASSERT_TRUE(source_list.ok());
+  for (const util::JsonValue& source : source_list.value()) {
+    sources.insert(source.as_string());
+  }
+  EXPECT_EQ(sources, (std::set<std::string>{"coordinator", "a", "b"}))
+      << response.body;
+
+  // Walk the flat stitched spans and index them by uid.
+  struct Span {
+    std::string name, source, trace, parent;
+    double depth = 0;
+    std::map<std::string, std::string> attributes;
+  };
+  std::map<std::string, Span> by_uid;
+  auto spans = document->get_array("spans");
+  ASSERT_TRUE(spans.ok());
+  for (const util::JsonValue& entry : spans.value()) {
+    Span span;
+    span.name = entry.get_string("name").value();
+    span.source = entry.get_string("source").value();
+    span.trace = entry.get_string("trace").value();
+    span.parent = entry.get_string("parent_span").value();
+    span.depth = entry.get_number("depth").value();
+    if (entry.contains("attributes")) {
+      const auto attributes = entry.get_object("attributes");
+      ASSERT_TRUE(attributes.ok());
+      for (const auto& [key, value] : attributes.value()) {
+        span.attributes.emplace(key, value.as_string());
+      }
+    }
+    by_uid.emplace(entry.get_string("span").value(), std::move(span));
+  }
+
+  // One coordinator cycle root carrying the single trace id.
+  auto tree = document->get_array("tree");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->size(), 1u) << "one stitched root:\n" << response.body;
+  EXPECT_EQ((*tree)[0].get_string("name").value(), "fleet.cycle");
+  EXPECT_EQ((*tree)[0].get_string("source").value(), "coordinator");
+  EXPECT_EQ((*tree)[0].get_string("trace").value(), trace);
+
+  std::size_t fetch_spans = 0;
+  std::size_t retried_rpcs = 0;
+  std::set<std::string> server_sources;
+  std::set<std::string> grafted_cycle_sources;
+  for (const auto& [uid, span] : by_uid) {
+    if (span.name == "fleet.fetch") {
+      ++fetch_spans;
+      ASSERT_NE(by_uid.find(span.parent), by_uid.end());
+      EXPECT_EQ(by_uid.at(span.parent).name, "fleet.cycle");
+    }
+    if (span.name == "fleet.rpc") {
+      ASSERT_NE(by_uid.find(span.parent), by_uid.end());
+      EXPECT_EQ(by_uid.at(span.parent).name, "fleet.fetch");
+      if (span.attributes.count("retry") &&
+          span.attributes.at("retry") != "0") {
+        ++retried_rpcs;
+      }
+    }
+    if (span.name == "http.server") {
+      // Each shard-side server span hangs under the exact rpc attempt
+      // that reached it, across the process boundary.
+      server_sources.insert(span.source);
+      EXPECT_EQ(span.trace, trace);
+      ASSERT_NE(by_uid.find(span.parent), by_uid.end()) << uid;
+      EXPECT_EQ(by_uid.at(span.parent).name, "fleet.rpc");
+      EXPECT_EQ(by_uid.at(span.parent).source, "coordinator");
+    }
+    if (span.name == "pipeline.run") {
+      // The shard's own cycle trace, grafted under the server span
+      // that served its payload (the shard_trace link).
+      grafted_cycle_sources.insert(span.source);
+      EXPECT_NE(span.trace, trace) << "a linked local trace, not " << trace;
+      ASSERT_NE(by_uid.find(span.parent), by_uid.end()) << uid;
+      EXPECT_EQ(by_uid.at(span.parent).name, "http.server");
+      EXPECT_EQ(by_uid.at(span.parent).source, span.source);
+    }
+  }
+  EXPECT_EQ(fetch_spans, 2u) << "one fetch span per shard";
+  EXPECT_GE(retried_rpcs, 1u)
+      << "the refused first attempt must be followed by a traced retry:\n"
+      << response.body;
+  EXPECT_EQ(server_sources, (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(grafted_cycle_sources, (std::set<std::string>{"a", "b"}))
+      << "both shards' cycle traces graft into the fleet tree:\n"
+      << response.body;
+
+  proxy.stop();
+}
+
+/// Telemetry off must leave the serving path byte-identical: same
+/// /scores bytes as a telemetry-on daemon (whose scoring is already
+/// bit-identical by contract) and no trace artifacts on the wire.
+TEST_F(FleetChaosTest, TelemetryOffServesIdenticalBytesWithoutTraceHeader) {
+  DaemonOptions dark_options = shard_options({});
+  dark_options.telemetry = false;
+  WatchDaemon dark(dark_options);
+  WatchDaemon lit(shard_options({}));
+  std::ostringstream err;
+  ASSERT_TRUE(dark.run_cycle(err)) << err.str();
+  ASSERT_TRUE(lit.run_cycle(err)) << err.str();
+  ASSERT_TRUE(dark.server().start().ok());
+  ASSERT_TRUE(lit.server().start().ok());
+
+  const auto dark_scores = testsupport::http_get(dark.server().port(),
+                                                 "/scores");
+  const auto lit_scores = testsupport::http_get(lit.server().port(),
+                                                "/scores");
+  ASSERT_TRUE(dark_scores.ok);
+  ASSERT_TRUE(lit_scores.ok);
+  EXPECT_EQ(dark_scores.body, lit_scores.body)
+      << "telemetry must not change a single scores byte";
+  EXPECT_EQ(dark_scores.raw.find("X-IQB-Trace"), std::string::npos)
+      << "telemetry off: no trace header, byte-identical responses";
+  EXPECT_NE(lit_scores.raw.find("X-IQB-Trace: "), std::string::npos)
+      << "telemetry on: the response names its trace";
 }
 
 TEST_F(FleetChaosTest, CoordinatorArgsParse) {

@@ -5,11 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "iqb/obs/export.hpp"
 #include "iqb/obs/http_server.hpp"
 #include "iqb/obs/metrics.hpp"
+#include "iqb/obs/trace.hpp"
 #include "../testsupport/chaos_proxy.hpp"
 
 namespace iqb::fleet {
@@ -175,6 +181,113 @@ TEST(FleetFetcher, HedgedRequestWinsWhenFirstAttemptIsBlackholed) {
   EXPECT_EQ(views[0].payload->cycle, 5u);
   EXPECT_GE(fetcher.hedges_total(), 1u);
   EXPECT_GE(proxy.connections(), 2u);
+
+  proxy.stop();
+  shard.stop();
+}
+
+TEST(FleetFetcher, TraceparentPropagationSurvivesRetries) {
+  // A shard that records every traceparent it receives, behind a
+  // proxy that refuses exactly the first connection: attempt retry=0
+  // dies client-side, retry=1 reaches the shard.
+  std::mutex seen_mutex;
+  std::vector<std::string> seen;
+  obs::HttpServer::Options server_options;
+  server_options.port = 0;
+  const std::string body = serialize_shard_payload(make_payload(4, "urban_lte"));
+  obs::HttpServer shard(
+      server_options,
+      [&](const obs::HttpRequest& request) -> obs::HttpResponse {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        seen.push_back(request.header(obs::kTraceparentHeader));
+        return {200, "application/json", body};
+      });
+  ASSERT_TRUE(shard.start().ok());
+
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard.port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.fault_first_n(ChaosProxy::Mode::kRefuse, 1);
+
+  FleetFetcher fetcher(fast_options({{"s", "127.0.0.1", proxy.port()}}));
+  auto tracer = std::make_shared<obs::Tracer>();
+  tracer->set_trace_id("iqbc-9");
+  tracer->set_span_uid_base(0x5000);
+
+  auto views = fetcher.fetch_all(tracer);
+  ASSERT_TRUE(views[0].payload.has_value()) << views[0].error;
+  EXPECT_GE(fetcher.retries_total(), 1u);
+
+  // The scatter is traced: one fetch span, one rpc span per attempt
+  // with its retry index, failures tagged.
+  const auto spans = tracer->spans();
+  std::uint64_t retried_uid = 0;
+  std::size_t rpc_spans = 0;
+  for (const auto& span : spans) {
+    if (span.name != "fleet.rpc") continue;
+    ++rpc_spans;
+    for (const auto& [key, value] : span.attributes) {
+      if (key == "retry" && value == "1") retried_uid = span.uid;
+    }
+  }
+  EXPECT_GE(rpc_spans, 2u) << "one span per attempt, retries included";
+  ASSERT_NE(retried_uid, 0u);
+
+  // The shard saw exactly one request — the retry — and its
+  // traceparent names that attempt's span, not the failed sibling's.
+  std::lock_guard<std::mutex> lock(seen_mutex);
+  ASSERT_EQ(seen.size(), 1u);
+  const auto context = obs::parse_traceparent(seen[0]);
+  ASSERT_TRUE(context.has_value()) << seen[0];
+  EXPECT_EQ(context->trace_id, "iqbc-9");
+  EXPECT_EQ(context->span_uid, retried_uid);
+
+  proxy.stop();
+  shard.stop();
+}
+
+TEST(FleetFetcher, HedgeLoserIsCountedAndItsLatencyObserved) {
+  FakeShard shard(make_payload(6, "metro_fiber"));
+  ASSERT_TRUE(shard.start());
+
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard.port();
+  proxy_options.latency_ms = 400;
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  // First attempt is delayed past the hedge; both eventually answer,
+  // so the slow one *loses* instead of failing.
+  proxy.fault_first_n(ChaosProxy::Mode::kLatency, 1);
+
+  auto options = fast_options({{"s", "127.0.0.1", proxy.port()}});
+  options.hedge_delay_ms = 50;
+  options.http.io_timeout_ms = 2000;
+  options.http.total_deadline_ms = 4000;
+  obs::MetricsRegistry metrics;
+  FleetFetcher fetcher(std::move(options), &metrics);
+
+  auto views = fetcher.fetch_all();
+  ASSERT_TRUE(views[0].payload.has_value()) << views[0].error;
+  EXPECT_GE(fetcher.hedges_total(), 1u);
+
+  // The loser finishes on its parked thread after the winning cycle
+  // returned; poll briefly instead of racing it.
+  for (int i = 0; i < 200 && fetcher.hedge_losses_total() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fetcher.hedge_losses_total(), 1u)
+      << "the delayed first attempt's answer arrived after the hedge won";
+
+  const std::string exported = obs::to_prometheus(metrics);
+  EXPECT_NE(exported.find("fleet_hedge_losses_total 1"), std::string::npos)
+      << exported;
+  EXPECT_NE(exported.find(
+                "iqb_http_request_duration_ms_count{code=\"hedge_loss\","
+                "path=\"/shard/aggregate\"} 1"),
+            std::string::npos)
+      << "the loser's latency must land in the request histogram:\n"
+      << exported;
 
   proxy.stop();
   shard.stop();

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "iqb/obs/http_server.hpp"
+#include "iqb/obs/trace.hpp"
 #include "../testsupport/chaos_proxy.hpp"
 
 namespace iqb::obs {
@@ -169,6 +170,100 @@ TEST_F(HttpClientTest, MidResponseResetIsAnError) {
   auto response = client.get("127.0.0.1", proxy.port(), "/big");
   EXPECT_FALSE(response.ok());
   proxy.stop();
+}
+
+TEST_F(HttpClientTest, CustomHeadersRoundTripThroughTheServer) {
+  // SetUp's server echoes nothing; use a dedicated echo server so the
+  // assertion sees exactly what crossed the wire.
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer echo(options, [](const HttpRequest& request) -> HttpResponse {
+    return {200, "text/plain",
+            request.header("x-iqb-test") + "|" + request.header("accept")};
+  });
+  ASSERT_TRUE(echo.start().ok());
+
+  const HttpClient client(fast_options());
+  auto response = client.get("127.0.0.1", echo.port(), "/echo",
+                             {{"X-IQB-Test", "round trip"},
+                              {"Accept", "application/json"}});
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  // Names arrive lowercased, values verbatim.
+  EXPECT_EQ(response->body, "round trip|application/json");
+  echo.stop();
+}
+
+TEST_F(HttpClientTest, CrlfInjectionInHeadersIsRejectedClientSide) {
+  const HttpClient client(fast_options());
+  // A value smuggling a request line must never reach the socket.
+  auto injected = client.get(
+      "127.0.0.1", server_->port(), "/hello",
+      {{"X-Evil", "x\r\nGET /admin HTTP/1.1"}});
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.error().code, util::ErrorCode::kInvalidArgument);
+
+  auto bad_name = client.get("127.0.0.1", server_->port(), "/hello",
+                             {{"X Evil: nope", "v"}});
+  ASSERT_FALSE(bad_name.ok());
+  EXPECT_EQ(bad_name.error().code, util::ErrorCode::kInvalidArgument);
+
+  auto empty_name = client.get("127.0.0.1", server_->port(), "/hello",
+                               {{"", "v"}});
+  EXPECT_FALSE(empty_name.ok());
+}
+
+TEST_F(HttpClientTest, OversizedHeaderIsRejectedClientSide) {
+  HttpClient::Options options = fast_options();
+  options.max_header_bytes = 64;
+  const HttpClient client(options);
+  auto response = client.get("127.0.0.1", server_->port(), "/hello",
+                             {{"X-Big", std::string(128, 'x')}});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(response.error().message.find("max_header_bytes"),
+            std::string::npos);
+}
+
+TEST_F(HttpClientTest, AmbientSpanContextIsInjectedAsTraceparent) {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer echo(options, [](const HttpRequest& request) -> HttpResponse {
+    return {200, "text/plain", request.header(kTraceparentHeader)};
+  });
+  ASSERT_TRUE(echo.start().ok());
+  const HttpClient client(fast_options());
+
+  // No open span: no header is invented.
+  auto bare = client.get("127.0.0.1", echo.port(), "/");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->body, "");
+
+  // Under a ScopedSpan the context rides along automatically...
+  Tracer tracer;
+  tracer.set_trace_id("iqbc-7");
+  tracer.set_span_uid_base(0xab00);
+  std::string traced_body;
+  {
+    ScopedSpan span(&tracer, "caller");
+    auto traced = client.get("127.0.0.1", echo.port(), "/");
+    ASSERT_TRUE(traced.ok());
+    traced_body = traced->body;
+  }
+  EXPECT_EQ(traced_body, "00-iqbc-7-000000000000ab01-01");
+  const auto context = parse_traceparent(traced_body);
+  ASSERT_TRUE(context.has_value());
+  EXPECT_EQ(context->trace_id, "iqbc-7");
+  EXPECT_EQ(context->span_uid, 0xab01u);
+
+  // ...unless the caller supplied its own traceparent explicitly.
+  {
+    ScopedSpan span(&tracer, "caller2");
+    auto expl = client.get("127.0.0.1", echo.port(), "/",
+                           {{kTraceparentHeader, "00-own-00000000000000ff-01"}});
+    ASSERT_TRUE(expl.ok());
+    EXPECT_EQ(expl->body, "00-own-00000000000000ff-01");
+  }
+  echo.stop();
 }
 
 TEST_F(HttpClientTest, ProxyPassModeIsTransparent) {

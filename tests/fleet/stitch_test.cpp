@@ -1,0 +1,225 @@
+// fleet trace stitching: dump parsing, link grafting, cross-source
+// clock alignment, and Chrome trace-event export.
+#include "iqb/fleet/stitch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "iqb/util/json.hpp"
+
+namespace iqb::fleet {
+namespace {
+
+SourcedSpan make_span(const std::string& source, const std::string& trace,
+                      const std::string& name, std::uint64_t uid,
+                      std::uint64_t parent_uid, std::uint64_t start_ns,
+                      std::uint64_t duration_ns) {
+  SourcedSpan span;
+  span.source = source;
+  span.trace_id = trace;
+  span.name = name;
+  span.span_uid = uid;
+  span.parent_uid = parent_uid;
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns;
+  return span;
+}
+
+/// The canonical two-process shape: a coordinator cycle whose rpc
+/// attempt caused a shard server span, which links the shard's own
+/// cycle trace via shard_trace.
+std::vector<SourcedSpan> fleet_spans() {
+  std::vector<SourcedSpan> spans;
+  // Coordinator group (clock rebased to its cycle start).
+  spans.push_back(make_span("coordinator", "iqbc-1", "fleet.cycle", 0x10, 0,
+                            0, 5000));
+  spans.push_back(
+      make_span("coordinator", "iqbc-1", "fleet.fetch", 0x11, 0x10, 100,
+                3000));
+  spans.push_back(
+      make_span("coordinator", "iqbc-1", "fleet.rpc", 0x12, 0x11, 200, 2500));
+  // Shard group for the same trace (its own rebased clock: server span
+  // at t=0 locally, but caused by rpc 0x12 which started at t=200 on
+  // the coordinator clock).
+  SourcedSpan server =
+      make_span("a", "iqbc-1", "http.server", 0x20, 0x12, 0, 2000);
+  server.attributes.emplace_back("shard_trace", "iqbd-1");
+  spans.push_back(server);
+  // The shard's local cycle trace (a third clock group; roots have no
+  // parent until grafting).
+  spans.push_back(make_span("a", "iqbd-1", "cycle", 0x30, 0, 0, 1500));
+  spans.push_back(make_span("a", "iqbd-1", "score", 0x31, 0x30, 400, 700));
+  return spans;
+}
+
+TEST(Stitch, ParseTracezDumpRoundTripsAllFields) {
+  auto document = util::parse_json(R"({
+    "count": 1,
+    "spans": [
+      {
+        "trace": "iqbd-1",
+        "name": "cycle",
+        "depth": 0,
+        "span": "0000000000000011",
+        "parent_span": "",
+        "start_ns": 250,
+        "duration_ns": 100,
+        "attributes": {"region": "metro"}
+      }
+    ]
+  })");
+  ASSERT_TRUE(document.ok());
+  auto spans = parse_tracez_dump(*document, "shard-a");
+  ASSERT_TRUE(spans.ok()) << spans.error().to_string();
+  ASSERT_EQ(spans->size(), 1u);
+  const SourcedSpan& span = (*spans)[0];
+  EXPECT_EQ(span.source, "shard-a");
+  EXPECT_EQ(span.trace_id, "iqbd-1");
+  EXPECT_EQ(span.name, "cycle");
+  EXPECT_EQ(span.span_uid, 0x11u);
+  EXPECT_EQ(span.parent_uid, 0u);
+  EXPECT_EQ(span.start_ns, 250u);
+  EXPECT_EQ(span.duration_ns, 100u);
+  EXPECT_EQ(span.attribute("region"), "metro");
+}
+
+TEST(Stitch, ParseTracezDumpRejectsMissingOrMalformedFields) {
+  auto no_spans = util::parse_json(R"({"count": 0})");
+  ASSERT_TRUE(no_spans.ok());
+  EXPECT_FALSE(parse_tracez_dump(*no_spans, "s").ok());
+
+  auto bad_uid = util::parse_json(
+      R"({"spans": [{"trace": "t", "name": "n", "span": "not-hex",
+           "start_ns": 0, "duration_ns": 0}]})");
+  ASSERT_TRUE(bad_uid.ok());
+  EXPECT_FALSE(parse_tracez_dump(*bad_uid, "s").ok());
+
+  auto missing_name = util::parse_json(
+      R"({"spans": [{"trace": "t", "span": "01",
+           "start_ns": 0, "duration_ns": 0}]})");
+  ASSERT_TRUE(missing_name.ok());
+  EXPECT_FALSE(parse_tracez_dump(*missing_name, "s").ok());
+}
+
+TEST(Stitch, GraftReparentsLinkedTraceRootsInTheDeclaringSource) {
+  auto spans = fleet_spans();
+  EXPECT_EQ(linked_traces(spans),
+            std::vector<std::string>{"iqbd-1"});
+
+  graft_linked_traces(spans);
+  // The shard cycle root now hangs off the server span that declared
+  // the link; the child keeps its parent.
+  EXPECT_EQ(spans[4].parent_uid, 0x20u);
+  EXPECT_EQ(spans[5].parent_uid, 0x30u);
+}
+
+TEST(Stitch, StitchResolvesCrossSourceParentsAndAlignsClocks) {
+  auto spans = fleet_spans();
+  graft_linked_traces(spans);
+  const StitchedTrace tree = stitch(spans);
+
+  ASSERT_EQ(tree.nodes.size(), spans.size());
+  // One root: the coordinator cycle; everything chains beneath it.
+  ASSERT_EQ(tree.roots.size(), 1u);
+  EXPECT_EQ(spans[tree.roots[0]].name, "fleet.cycle");
+  EXPECT_EQ(tree.nodes[0].depth, 0u);  // fleet.cycle
+  EXPECT_EQ(tree.nodes[1].depth, 1u);  // fleet.fetch
+  EXPECT_EQ(tree.nodes[2].depth, 2u);  // fleet.rpc
+  EXPECT_EQ(tree.nodes[3].depth, 3u);  // http.server
+  EXPECT_EQ(tree.nodes[4].depth, 4u);  // shard cycle (grafted)
+  EXPECT_EQ(tree.nodes[5].depth, 5u);  // score
+
+  // Clock alignment: the server span (local t=0) is pinned to its
+  // remote parent's start (t=200 on the coordinator clock), and the
+  // grafted shard cycle to the server span's start in turn.
+  EXPECT_EQ(tree.nodes[3].aligned_start_ns, 200u);
+  EXPECT_EQ(tree.nodes[4].aligned_start_ns, 200u);
+  EXPECT_EQ(tree.nodes[5].aligned_start_ns, 600u);
+}
+
+TEST(Stitch, UnresolvableParentsBecomeRoots) {
+  std::vector<SourcedSpan> spans;
+  spans.push_back(make_span("s", "t", "orphan", 0x2, 0xdead, 50, 10));
+  const StitchedTrace tree = stitch(spans);
+  ASSERT_EQ(tree.roots.size(), 1u);
+  EXPECT_EQ(tree.nodes[0].depth, 0u);
+  EXPECT_EQ(tree.nodes[0].aligned_start_ns, 50u);
+}
+
+TEST(Stitch, StitchedJsonServesFlatAndTreeViews) {
+  auto spans = fleet_spans();
+  graft_linked_traces(spans);
+  const auto document = stitched_to_json("iqbc-1", spans);
+
+  EXPECT_EQ(document.get_string("trace").value(), "iqbc-1");
+  EXPECT_EQ(document.get_number("count").value(), 6.0);
+  const auto sources = document.get_array("sources");
+  ASSERT_TRUE(sources.ok());
+  EXPECT_EQ(sources->size(), 2u);
+
+  // Flat spans are tracez-schema compatible: iqb_tracecat can re-parse
+  // the /fleet/tracez document like any /tracez dump, sources intact.
+  auto reparsed = parse_tracez_dump(document, "ignored-default");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  ASSERT_EQ(reparsed->size(), 6u);
+  EXPECT_EQ((*reparsed)[0].source, "coordinator");
+  EXPECT_EQ((*reparsed)[0].name, "fleet.cycle");
+
+  // The nested tree reaches the shard's scoring span.
+  const auto tree = document.get_array("tree");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->size(), 1u);
+  const std::string rendered = document.dump();
+  EXPECT_NE(rendered.find("\"children\""), std::string::npos);
+  EXPECT_NE(rendered.find("\"score\""), std::string::npos);
+}
+
+TEST(Stitch, ChromeTraceExportIsPerfettoShaped) {
+  auto spans = fleet_spans();
+  graft_linked_traces(spans);
+  const auto document = to_chrome_trace(spans);
+
+  // Valid JSON that re-parses.
+  auto reparsed = util::parse_json(document.dump(2));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_EQ(reparsed->get_string("displayTimeUnit").value(), "ms");
+  const auto events = reparsed->get_array("traceEvents");
+  ASSERT_TRUE(events.ok());
+  // 2 process_name metadata events + 6 spans.
+  ASSERT_EQ(events->size(), 8u);
+
+  std::size_t metadata = 0;
+  std::size_t complete = 0;
+  for (const util::JsonValue& event : events.value()) {
+    const std::string ph = event.get_string("ph").value();
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(event.get_string("name").value(), "process_name");
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    EXPECT_TRUE(event.get_number("ts").ok());
+    EXPECT_TRUE(event.get_number("dur").ok());
+    EXPECT_TRUE(event.get_number("pid").ok());
+    EXPECT_TRUE(event.get_number("tid").ok());
+    EXPECT_TRUE(event.get("args")->get_string("trace").ok());
+  }
+  EXPECT_EQ(metadata, 2u);
+  EXPECT_EQ(complete, 6u);
+
+  // The server span lands on the shard's pid with the coordinator-
+  // aligned timestamp (µs) and its stitched depth as tid.
+  for (const util::JsonValue& event : events.value()) {
+    if (event.get_string("ph").value() != "X") continue;
+    if (event.get_string("name").value() != "http.server") continue;
+    EXPECT_EQ(event.get_number("pid").value(), 1.0);
+    EXPECT_EQ(event.get_number("tid").value(), 3.0);
+    EXPECT_DOUBLE_EQ(event.get_number("ts").value(), 0.2);  // 200 ns
+  }
+}
+
+}  // namespace
+}  // namespace iqb::fleet

@@ -1,0 +1,129 @@
+// obs::RequestStats: per-endpoint counters, latency histograms,
+// bounded access log, slow-request WARN promotion, label bounding.
+#include "iqb/obs/request_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "iqb/obs/export.hpp"
+#include "iqb/obs/metrics.hpp"
+#include "iqb/util/log.hpp"
+
+namespace iqb::obs {
+namespace {
+
+RequestStats::Record request(const std::string& path, int status,
+                             double duration_ms) {
+  RequestStats::Record record;
+  record.trace_id = "trace-1";
+  record.peer = "127.0.0.1:50000";
+  record.method = "GET";
+  record.path = path;
+  record.status = status;
+  record.bytes = 42;
+  record.duration_ms = duration_ms;
+  return record;
+}
+
+TEST(RequestStats, CountsByPathAndStatusClassIntoTheRegistry) {
+  MetricsRegistry registry;
+  RequestStats::Options options;
+  options.metrics = &registry;
+  options.known_paths = {"/metrics", "/scores"};
+  RequestStats stats(options);
+
+  stats.record(request("/metrics", 200, 1.5));
+  stats.record(request("/metrics", 200, 2.5));
+  stats.record(request("/scores", 503, 0.3));
+  stats.record(request("/never-seen", 404, 0.1));
+
+  const std::string exported = to_prometheus(registry);
+  EXPECT_NE(exported.find(
+                "iqb_http_requests_total{path=\"/metrics\"} 2"),
+            std::string::npos)
+      << exported;
+  EXPECT_NE(exported.find("iqb_http_responses_total{class=\"2xx\"} 2"),
+            std::string::npos);
+  EXPECT_NE(exported.find("iqb_http_responses_total{class=\"5xx\"} 1"),
+            std::string::npos);
+  EXPECT_NE(exported.find("iqb_http_responses_total{class=\"4xx\"} 1"),
+            std::string::npos);
+  // Unknown paths pool into "other": bounded label cardinality.
+  EXPECT_NE(exported.find("iqb_http_requests_total{path=\"other\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(exported.find("/never-seen"), std::string::npos);
+  // The latency histogram exists with both labels.
+  EXPECT_NE(exported.find("iqb_http_request_duration_ms_bucket{code=\"200\","
+                          "path=\"/metrics\",le=\"2\"} 1"),
+            std::string::npos)
+      << exported;
+  EXPECT_EQ(stats.total(), 4u);
+}
+
+TEST(RequestStats, SlowRequestsArePromotedToWarnWithTraceId) {
+  RequestStats::Options options;
+  options.slow_request_ms = 100;
+  RequestStats stats(options);
+
+  std::vector<std::string> warnings;
+  util::set_log_sink([&warnings](util::LogLevel level,
+                                 std::string_view line) {
+    if (level == util::LogLevel::kWarn) warnings.emplace_back(line);
+  });
+  stats.record(request("/scores", 200, 50.0));    // fast: no promotion
+  stats.record(request("/scores", 200, 250.0));   // slow: promoted
+  util::set_log_sink(nullptr);
+
+  EXPECT_EQ(stats.slow_total(), 1u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("slow request"), std::string::npos);
+  EXPECT_NE(warnings[0].find("/scores"), std::string::npos);
+  EXPECT_NE(warnings[0].find("trace=trace-1"), std::string::npos)
+      << warnings[0];
+}
+
+TEST(RequestStats, ZeroThresholdDisablesPromotion) {
+  RequestStats::Options options;
+  options.slow_request_ms = 0;
+  RequestStats stats(options);
+  stats.record(request("/scores", 200, 60'000.0));
+  EXPECT_EQ(stats.slow_total(), 0u);
+}
+
+TEST(RequestStats, AccessLogIsBoundedOldestOut) {
+  RequestStats::Options options;
+  options.access_log_capacity = 3;
+  RequestStats stats(options);
+  for (int i = 0; i < 5; ++i) {
+    stats.record(request("/r" + std::to_string(i), 200, 1.0));
+  }
+  const auto recent = stats.recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent.front().path, "/r2");
+  EXPECT_EQ(recent.back().path, "/r4");
+  EXPECT_EQ(stats.total(), 5u);  // the counter outlives eviction
+}
+
+TEST(RequestStats, RequestzJsonCarriesTheAccessLog) {
+  RequestStats stats(RequestStats::Options{});
+  stats.record(request("/metrics", 200, 1.25));
+
+  const auto document = stats.to_json();
+  EXPECT_EQ(document.get_number("count").value(), 1.0);
+  EXPECT_EQ(document.get_number("slow_count").value(), 0.0);
+  const auto requests = document.get_array("requests");
+  ASSERT_TRUE(requests.ok());
+  const util::JsonValue& entry = (*requests)[0];
+  EXPECT_EQ(entry.get_string("trace").value(), "trace-1");
+  EXPECT_EQ(entry.get_string("peer").value(), "127.0.0.1:50000");
+  EXPECT_EQ(entry.get_string("method").value(), "GET");
+  EXPECT_EQ(entry.get_string("path").value(), "/metrics");
+  EXPECT_EQ(entry.get_number("status").value(), 200.0);
+  EXPECT_EQ(entry.get_number("bytes").value(), 42.0);
+  EXPECT_EQ(entry.get_number("duration_ms").value(), 1.25);
+}
+
+}  // namespace
+}  // namespace iqb::obs

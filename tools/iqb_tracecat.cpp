@@ -1,0 +1,152 @@
+// iqb_tracecat — stitch /tracez JSON dumps into a Chrome trace-event
+// timeline.
+//
+//   iqb_tracecat [--trace ID] [--source NAME=FILE | FILE]... > out.json
+//
+// Each input file is one /tracez (or /fleet/tracez) JSON document.
+// Files given as NAME=FILE are tagged with that source name; bare
+// files use their basename (minus extension). With no files, stdin is
+// read as a single dump tagged "stdin". --trace ID keeps only spans of
+// that trace (after link-grafting, so shard-local cycle traces linked
+// via shard_trace survive the filter as part of the requested tree).
+//
+// Output is Chrome trace-event JSON ({"traceEvents":[...]}): load it
+// in ui.perfetto.dev or chrome://tracing. All stitching logic lives in
+// iqb::fleet (src/iqb/fleet/stitch.*) so the coordinator's
+// /fleet/tracez handler and this tool cannot drift apart.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "iqb/fleet/stitch.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/result.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: iqb_tracecat [--trace ID] [NAME=FILE | FILE]...\n"
+    "  Merge /tracez JSON dumps into Chrome trace-event JSON on stdout.\n"
+    "  With no files, reads one dump from stdin.\n";
+
+// "shard0=dump.json" -> {"shard0", "dump.json"}; "a/b/dump.json" ->
+// {"dump", "a/b/dump.json"}.
+struct Input {
+  std::string source;
+  std::string path;  ///< Empty: stdin.
+};
+
+Input parse_input(const std::string& token) {
+  const std::size_t eq = token.find('=');
+  if (eq != std::string::npos && eq > 0) {
+    return {token.substr(0, eq), token.substr(eq + 1)};
+  }
+  std::string name = token;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return {name.empty() ? token : name, token};
+}
+
+iqb::util::Result<std::string> slurp(const Input& input) {
+  std::ostringstream text;
+  if (input.path.empty()) {
+    text << std::cin.rdbuf();
+  } else {
+    std::ifstream file(input.path);
+    if (!file) {
+      return iqb::util::Error(iqb::util::ErrorCode::kIoError,
+                              "cannot open " + input.path);
+    }
+    text << file.rdbuf();
+  }
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_filter;
+  std::vector<Input> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "iqb_tracecat: --trace needs a value\n" << kUsage;
+        return 2;
+      }
+      trace_filter = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "iqb_tracecat: unknown flag " << arg << "\n" << kUsage;
+      return 2;
+    }
+    inputs.push_back(parse_input(arg));
+  }
+  if (inputs.empty()) inputs.push_back({"stdin", ""});
+
+  std::vector<iqb::fleet::SourcedSpan> spans;
+  for (const Input& input : inputs) {
+    auto text = slurp(input);
+    if (!text.ok()) {
+      std::cerr << "iqb_tracecat: " << text.error().message << "\n";
+      return 1;
+    }
+    auto document = iqb::util::parse_json(*text);
+    if (!document.ok()) {
+      std::cerr << "iqb_tracecat: " << (input.path.empty() ? "stdin"
+                                                           : input.path)
+                << ": " << document.error().message << "\n";
+      return 1;
+    }
+    auto parsed = iqb::fleet::parse_tracez_dump(*document, input.source);
+    if (!parsed.ok()) {
+      std::cerr << "iqb_tracecat: " << (input.path.empty() ? "stdin"
+                                                           : input.path)
+                << ": " << parsed.error().message << "\n";
+      return 1;
+    }
+    spans.insert(spans.end(), parsed->begin(), parsed->end());
+  }
+
+  // Graft before filtering so linked shard-cycle traces are pulled
+  // into the requested trace's tree rather than dropped by the filter.
+  iqb::fleet::graft_linked_traces(spans);
+  if (!trace_filter.empty()) {
+    // Keep the requested trace plus any span now reachable from it:
+    // grafting rewrote linked roots' parent uids, but their trace_id
+    // still names the shard-local cycle, so filter by connectivity.
+    const iqb::fleet::StitchedTrace stitched = iqb::fleet::stitch(spans);
+    std::vector<bool> keep(spans.size(), false);
+    std::vector<std::size_t> frontier;
+    for (std::size_t root : stitched.roots) {
+      if (spans[stitched.nodes[root].span].trace_id == trace_filter) {
+        frontier.push_back(root);
+      }
+    }
+    while (!frontier.empty()) {
+      const std::size_t node = frontier.back();
+      frontier.pop_back();
+      keep[stitched.nodes[node].span] = true;
+      for (std::size_t child : stitched.nodes[node].children) {
+        frontier.push_back(child);
+      }
+    }
+    std::vector<iqb::fleet::SourcedSpan> kept;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      if (keep[i]) kept.push_back(spans[i]);
+    }
+    spans.swap(kept);
+  }
+
+  std::cout << iqb::fleet::to_chrome_trace(spans).dump(2) << "\n";
+  return 0;
+}
