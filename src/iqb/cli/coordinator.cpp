@@ -7,12 +7,14 @@
 #include <utility>
 
 #include "iqb/fleet/stitch.hpp"
+#include "iqb/obs/history_routes.hpp"
 #include "iqb/obs/http_client.hpp"
 #include "iqb/obs/trace.hpp"
 #include "iqb/robust/circuit_breaker.hpp"
 #include "iqb/util/json.hpp"
 #include "iqb/util/log.hpp"
 #include "iqb/util/strings.hpp"
+#include "iqb/util/version.hpp"
 
 namespace iqb::cli {
 
@@ -25,11 +27,13 @@ constexpr const char* kCoordinatorUsage =
     "            [--hedge-ms N] [--connect-timeout-ms N]\n"
     "            [--io-timeout-ms N] [--total-deadline-ms N]\n"
     "            [--telemetry true|false] [--trace-prefix S]\n"
+    "            [--slo-file FILE.json]\n"
     "gathers every shard's /shard/aggregate each cycle, fuses the\n"
     "tables and serves the fleet's /scores exactly like one daemon;\n"
     "failed shards are served from their last-good payload at\n"
     "confidence tier C (/readyz: \"degraded\"); /fleetz shows the\n"
-    "per-shard fetch state.\n"
+    "per-shard fetch state; /fleet/alertz rolls up shard alerts (a\n"
+    "built-in shard_unreachable rule fires after two dark intervals).\n"
     "exit codes: 0 ok, 1 usage error, 2 startup error\n";
 
 constexpr const char* kPartialCyclesMetric = "fleet_partial_cycles_total";
@@ -75,6 +79,8 @@ util::Result<CoordinatorOptions> parse_coordinator_args(
       }
     } else if (name == "config") {
       options.config_path = value;
+    } else if (name == "slo-file") {
+      options.slo_file = value;
     } else if (name == "bind") {
       options.bind_address = value;
     } else if (name == "trace-prefix") {
@@ -150,6 +156,9 @@ CoordinatorDaemon::CoordinatorDaemon(CoordinatorOptions options)
         stats.known_paths = obs::default_telemetry_paths();
         return std::make_unique<obs::RequestStats>(std::move(stats));
       }()),
+      history_(options_.telemetry
+                   ? std::make_unique<obs::TimeSeriesStore>(options_.history)
+                   : nullptr),
       server_(
           [this] {
             obs::TelemetryServer::Options server_options;
@@ -166,9 +175,71 @@ CoordinatorDaemon::CoordinatorDaemon(CoordinatorOptions options)
             return server_options;
           }(),
           &metrics_, options_.telemetry ? &spans_ : nullptr) {
+  start_ms_ = now_ms();
   if (options_.telemetry) {
     metrics_.counter(kPartialCyclesMetric, kPartialCyclesHelp);
+    metrics_
+        .gauge("iqb_build_info",
+               "Build identity; always 1, version rides in the labels",
+               {{"git_sha", util::git_sha()}, {"version", util::version()}})
+        .set(1.0);
+    metrics_
+        .gauge("iqbd_uptime_seconds", "Seconds since daemon construction")
+        .set(0.0);
   }
+}
+
+std::uint64_t CoordinatorDaemon::now_ms() const {
+  obs::Clock* clock = options_.clock;
+  const std::uint64_t now_ns =
+      clock ? clock->now_ns() : obs::steady_clock().now_ns();
+  return now_ns / 1'000'000;
+}
+
+util::Result<void> CoordinatorDaemon::ensure_alerting(std::ostream& err) {
+  if (alerting_ready_ || !options_.telemetry) return {};
+  obs::SloEngine::Options slo_options;
+  // Built-in fleet rules: a shard whose fleet_shard_up gauge stays 0
+  // for two gather intervals is unreachable (and resolves after two
+  // healthy intervals), plus a burn rate on failed gather cycles.
+  {
+    obs::SloSpec unreachable;
+    unreachable.type = obs::SloSpec::Type::kThreshold;
+    unreachable.name = "shard_unreachable";
+    unreachable.metric = "fleet_shard_up";
+    unreachable.op = obs::SloSpec::Op::kLt;
+    unreachable.bound = 1.0;
+    unreachable.for_ms = 2 * options_.interval_ms;
+    unreachable.resolve_ms = 2 * options_.interval_ms;
+    slo_options.specs.push_back(std::move(unreachable));
+
+    obs::SloSpec cycles;
+    cycles.type = obs::SloSpec::Type::kBurnRate;
+    cycles.name = "cycle_error_burn";
+    cycles.metric = "iqb_daemon_cycles_total";
+    cycles.bad_metric = "iqb_daemon_cycles_total";
+    cycles.bad_labels = {{"result", "error"}};
+    slo_options.specs.push_back(std::move(cycles));
+  }
+  for (const obs::SloSpec& spec : options_.slo_specs) {
+    slo_options.specs.push_back(spec);
+  }
+  if (options_.slo_file) {
+    auto loaded = obs::load_slo_file(*options_.slo_file);
+    if (!loaded.ok()) {
+      err << "slo config error: " << loaded.error().to_string() << "\n";
+      return loaded.error();
+    }
+    for (obs::SloSpec& spec : *loaded) {
+      slo_options.specs.push_back(std::move(spec));
+    }
+    IQB_LOG(kInfo) << "loaded " << loaded->size() << " SLO spec(s) from "
+                   << *options_.slo_file;
+  }
+  slo_ = std::make_unique<obs::SloEngine>(std::move(slo_options),
+                                          history_.get());
+  alerting_ready_ = true;
+  return {};
 }
 
 CoordinatorDaemon::~CoordinatorDaemon() { stop(); }
@@ -192,6 +263,11 @@ util::Result<void> CoordinatorDaemon::start(std::ostream& err) {
   }
   if (auto config = ensure_config(); !config.ok()) {
     return config.error();
+  }
+  // Build the SLO engine before the server accepts /alertz traffic;
+  // the loop thread only sees the ready engine afterwards.
+  if (auto alerting = ensure_alerting(err); !alerting.ok()) {
+    return alerting.error();
   }
   if (auto started = server_.start(); !started.ok()) {
     return started.error();
@@ -222,10 +298,27 @@ bool CoordinatorDaemon::run_cycle(std::ostream& err) {
     cycles_failed_.fetch_add(1);
     return false;
   }
+  if (auto alerting = ensure_alerting(err); !alerting.ok()) {
+    cycles_total_.fetch_add(1);
+    cycles_failed_.fetch_add(1);
+    return false;
+  }
   const std::uint64_t cycle = cycles_total_.fetch_add(1) + 1;
   const std::string trace_id =
       options_.trace_prefix + "-" + std::to_string(cycle);
   util::ScopedLogTrace log_trace(trace_id);
+
+  // Both the publish and the no-shard exits run this: history and
+  // burn rates must see failed gathers too. Runs under the cycle's
+  // ScopedLogTrace so alert-transition WARNs carry the trace id.
+  auto sample_and_evaluate = [&] {
+    if (!history_ || !options_.telemetry) return;
+    const std::uint64_t now = now_ms();
+    metrics_.gauge("iqbd_uptime_seconds", "Seconds since daemon construction")
+        .set(static_cast<double>(now - start_ms_) / 1000.0);
+    history_->sample_registry(metrics_, now);
+    if (slo_) slo_->evaluate(now, cycle, trace_id);
+  };
 
   // The cycle tracer is shared with the fetcher because losing hedge
   // threads may still be closing their attempt spans after this cycle
@@ -289,6 +382,7 @@ bool CoordinatorDaemon::run_cycle(std::ostream& err) {
     }
     IQB_LOG(kError) << "gather cycle " << cycle << ": no shard answered";
     err << "gather cycle " << cycle << ": no shard answered\n";
+    sample_and_evaluate();
     return false;
   }
 
@@ -316,6 +410,7 @@ bool CoordinatorDaemon::run_cycle(std::ostream& err) {
                "1 while the latest scores carry confidence tier C")
         .set(tier_c ? 1.0 : 0.0);
   }
+  sample_and_evaluate();
   IQB_LOG(kInfo) << "gather cycle " << cycle << ": " << output.shards_fresh
                  << " fresh / " << output.shards_cached << " cached / "
                  << output.shards_missing << " missing shards";
@@ -354,6 +449,13 @@ std::optional<obs::HttpResponse> CoordinatorDaemon::route_override(
   if (request.path == "/readyz") return readyz_response();
   if (request.path == "/fleetz") return fleetz_response();
   if (request.path == "/fleet/tracez") return fleet_tracez_response(request);
+  if (request.path == "/historyz") {
+    return obs::serve_historyz(history_.get(), request, now_ms());
+  }
+  if (request.path == "/alertz") {
+    return obs::serve_alertz(slo_.get(), options_.telemetry);
+  }
+  if (request.path == "/fleet/alertz") return fleet_alertz_response();
   return std::nullopt;
 }
 
@@ -499,6 +601,114 @@ obs::HttpResponse CoordinatorDaemon::fleet_tracez_response(
 
   return {200, "application/json",
           fleet::stitched_to_json(trace, spans).dump(2) + "\n"};
+}
+
+obs::HttpResponse CoordinatorDaemon::fleet_alertz_response() {
+  if (!options_.telemetry) {
+    return {503, "application/json",
+            "{\"reason\":\"telemetry disabled\",\"status\":\"disabled\"}\n"};
+  }
+  // Scatter-gather every shard's /alertz with the same per-shard
+  // deadlines the payload fetches use. A shard that cannot answer is
+  // reported as unreachable here — its alerts are exactly what the
+  // coordinator's own shard_unreachable rule covers.
+  obs::HttpClient::Options http;
+  http.connect_timeout_ms = static_cast<int>(options_.connect_timeout_ms);
+  http.io_timeout_ms = static_cast<int>(options_.io_timeout_ms);
+  http.total_deadline_ms = static_cast<int>(options_.total_deadline_ms);
+  const obs::HttpClient client(http);
+
+  struct ShardAlerts {
+    std::string name;
+    std::string error;  ///< Empty when the fetch parsed cleanly.
+    util::JsonValue document;
+  };
+  std::vector<ShardAlerts> gathered(options_.shards.size());
+  {
+    std::vector<std::thread> scatter;
+    scatter.reserve(options_.shards.size());
+    for (std::size_t i = 0; i < options_.shards.size(); ++i) {
+      scatter.emplace_back([&, i] {
+        const fleet::ShardEndpoint& endpoint = options_.shards[i];
+        gathered[i].name = endpoint.name;
+        auto fetched = client.get(endpoint.host, endpoint.port, "/alertz");
+        if (!fetched.ok()) {
+          gathered[i].error = fetched.error().message;
+          return;
+        }
+        if (fetched.value().status != 200) {
+          gathered[i].error =
+              "status " + std::to_string(fetched.value().status);
+          return;
+        }
+        auto document = util::parse_json(fetched.value().body);
+        if (!document.ok()) {
+          gathered[i].error = document.error().message;
+          return;
+        }
+        gathered[i].document = std::move(document).value();
+      });
+    }
+    for (std::thread& thread : scatter) thread.join();
+  }
+
+  // Roll active alerts up per region: alerts carrying a region label
+  // group under it, fleet-level alerts (shard_unreachable, burn
+  // rates) under "fleet". std::map keys keep the bytes stable.
+  std::map<std::string, util::JsonArray> regions;
+  std::size_t active_total = 0;
+  const auto roll_up = [&](const util::JsonValue& document,
+                           const std::string& source) {
+    auto active = document.get_array("active");
+    if (!active.ok()) return;
+    for (const util::JsonValue& alert : *active) {
+      if (!alert.is_object()) continue;
+      std::string region = "fleet";
+      if (auto labels = alert.get_object("labels"); labels.ok()) {
+        const auto it = labels->find("region");
+        if (it != labels->end() && it->second.is_string()) {
+          region = it->second.as_string();
+        }
+      }
+      util::JsonObject entry;
+      entry.emplace("name", alert.get_string("name").value_or(""));
+      entry.emplace("source", source);
+      entry.emplace("state", alert.get_string("state").value_or(""));
+      regions[region].emplace_back(std::move(entry));
+      ++active_total;
+    }
+  };
+
+  const util::JsonValue own =
+      slo_ ? slo_->to_json() : util::JsonValue(util::JsonObject{});
+  roll_up(own, "coordinator");
+
+  util::JsonArray shards_json;
+  for (const ShardAlerts& shard : gathered) {
+    util::JsonObject entry;
+    entry.emplace("name", shard.name);
+    if (!shard.error.empty()) {
+      entry.emplace("error", shard.error);
+      entry.emplace("status", "unreachable");
+    } else {
+      roll_up(shard.document, shard.name);
+      entry.emplace("alerts", shard.document);
+      entry.emplace("status", "ok");
+    }
+    shards_json.emplace_back(std::move(entry));
+  }
+
+  util::JsonObject regions_json;
+  for (auto& [region, alerts] : regions) {
+    regions_json.emplace(region, std::move(alerts));
+  }
+  util::JsonObject out;
+  out.emplace("active_total", static_cast<std::int64_t>(active_total));
+  out.emplace("coordinator", own);
+  out.emplace("regions", std::move(regions_json));
+  out.emplace("shards", std::move(shards_json));
+  return {200, "application/json",
+          util::JsonValue(std::move(out)).dump(2) + "\n"};
 }
 
 obs::HttpResponse CoordinatorDaemon::fleetz_response() {

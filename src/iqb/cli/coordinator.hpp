@@ -34,8 +34,11 @@
 #include "iqb/core/config.hpp"
 #include "iqb/fleet/coordinator.hpp"
 #include "iqb/fleet/fetcher.hpp"
+#include "iqb/obs/clock.hpp"
+#include "iqb/obs/history.hpp"
 #include "iqb/obs/metrics.hpp"
 #include "iqb/obs/request_stats.hpp"
+#include "iqb/obs/slo.hpp"
 #include "iqb/obs/span_buffer.hpp"
 #include "iqb/obs/telemetry_server.hpp"
 #include "iqb/util/result.hpp"
@@ -64,6 +67,18 @@ struct CoordinatorOptions {
   std::string trace_prefix = "iqbc";
   /// Completed spans kept for /tracez and /fleet/tracez.
   std::size_t span_buffer_capacity = 512;
+
+  /// SLO alerting (telemetry only): specs from --slo-file and/or
+  /// programmatic (tests), on top of the built-in shard_unreachable
+  /// and cycle_error_burn rules. /alertz serves the engine;
+  /// /fleet/alertz scatter-gathers shard alerts on top.
+  std::optional<std::string> slo_file;
+  std::vector<obs::SloSpec> slo_specs;
+  /// Ring sizing for the in-process history TSDB (/historyz).
+  obs::TimeSeriesStore::Options history;
+  /// Test seam: time source for history timestamps and SLO evaluation
+  /// (null: the process steady clock).
+  obs::Clock* clock = nullptr;
 };
 
 /// Parse the argv[1..] tokens following --coordinator
@@ -110,12 +125,20 @@ class CoordinatorDaemon {
 
   fleet::FleetFetcher& fetcher() noexcept { return *fetcher_; }
 
+  /// History TSDB / SLO engine; null while telemetry is off (and, for
+  /// the engine, before the first start()/run_cycle()).
+  obs::TimeSeriesStore* history() noexcept { return history_.get(); }
+  obs::SloEngine* slo() noexcept { return slo_.get(); }
+
   /// Run one gather cycle synchronously (the loop calls this; tests
   /// may too, before start()). Returns true if the cycle published.
   bool run_cycle(std::ostream& err);
 
  private:
   util::Result<void> ensure_config();
+  /// Build the SLO engine (built-in + configured specs) on first use.
+  util::Result<void> ensure_alerting(std::ostream& err);
+  std::uint64_t now_ms() const;
   void loop(std::ostream& err);
   std::optional<obs::HttpResponse> route_override(
       const obs::HttpRequest& request);
@@ -124,6 +147,9 @@ class CoordinatorDaemon {
   /// Scatter-gather /tracez?trace=<id> from every shard, follow
   /// shard_trace links one hop, and serve the stitched tree.
   obs::HttpResponse fleet_tracez_response(const obs::HttpRequest& request);
+  /// Scatter-gather every shard's /alertz and serve the fleet alert
+  /// roll-up (own alerts + per-shard alerts grouped per region).
+  obs::HttpResponse fleet_alertz_response();
 
   CoordinatorOptions options_;
   std::optional<core::IqbConfig> config_;
@@ -134,6 +160,11 @@ class CoordinatorDaemon {
   // sinks into the HTTP layer when telemetry is on.
   obs::SpanRingBuffer spans_;
   std::unique_ptr<obs::RequestStats> request_stats_;
+  // History + alerting (telemetry only); both internally locked.
+  std::unique_ptr<obs::TimeSeriesStore> history_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  bool alerting_ready_ = false;
+  std::uint64_t start_ms_ = 0;  ///< Construction time (uptime gauge).
   obs::TelemetryServer server_;
 
   std::atomic<std::uint64_t> cycles_total_{0};

@@ -9,13 +9,16 @@
 
 #include "iqb/cli/load.hpp"
 #include "iqb/core/pipeline.hpp"
+#include "iqb/datasets/record.hpp"
 #include "iqb/fleet/wire.hpp"
 #include "iqb/obs/clock.hpp"
+#include "iqb/obs/history_routes.hpp"
 #include "iqb/obs/telemetry.hpp"
 #include "iqb/obs/trace.hpp"
 #include "iqb/report/render.hpp"
 #include "iqb/util/log.hpp"
 #include "iqb/util/strings.hpp"
+#include "iqb/util/version.hpp"
 
 namespace iqb::cli {
 
@@ -28,7 +31,10 @@ constexpr const char* kDaemonUsage =
     "            [--max-cycles N] [--state-dir DIR]\n"
     "            [--cycle-deadline-ms N] [--telemetry true|false]\n"
     "            [--trace-prefix S] [--threads N] [--regions A,B,...]\n"
+    "            [--slo-file FILE.json]\n"
     "serves /metrics /metrics.json /healthz /readyz /tracez /scores\n"
+    "/historyz (windowed time-series history) /alertz (SLO alerts;\n"
+    "--slo-file adds declarative burn-rate/threshold/anomaly specs)\n"
     "and /shard/aggregate (the cycle's aggregate table, for a fleet\n"
     "coordinator); --regions restricts scoring to the listed regions,\n"
     "turning this daemon into one shard of a region-partitioned fleet.\n"
@@ -92,6 +98,8 @@ util::Result<DaemonOptions> parse_daemon_args(
       }
     } else if (name == "state-dir") {
       options.state_dir = value;
+    } else if (name == "slo-file") {
+      options.slo_file = value;
     } else if (name == "lenient") {
       options.lenient = value == "true";
     } else if (name == "by-isp") {
@@ -150,6 +158,9 @@ WatchDaemon::WatchDaemon(DaemonOptions options)
         stats.known_paths = obs::default_telemetry_paths();
         return std::make_unique<obs::RequestStats>(std::move(stats));
       }()),
+      history_(options_.telemetry
+                   ? std::make_unique<obs::TimeSeriesStore>(options_.history)
+                   : nullptr),
       server_(
           [this] {
             obs::TelemetryServer::Options server_options;
@@ -160,9 +171,24 @@ WatchDaemon::WatchDaemon(DaemonOptions options)
             server_options.http.request_stats = request_stats_.get();
             server_options.http.spans =
                 options_.telemetry ? &spans_ : nullptr;
+            server_options.route_override =
+                [this](const obs::HttpRequest& request) {
+                  return telemetry_route(request);
+                };
             return server_options;
           }(),
           &metrics_, &spans_) {
+  start_ms_ = now_ms();
+  if (options_.telemetry) {
+    metrics_
+        .gauge("iqb_build_info",
+               "Build identity; always 1, version rides in the labels",
+               {{"git_sha", util::git_sha()}, {"version", util::version()}})
+        .set(1.0);
+    metrics_
+        .gauge("iqbd_uptime_seconds", "Seconds since daemon construction")
+        .set(0.0);
+  }
   if (options_.state_dir) {
     checkpoints_.emplace(*options_.state_dir, options_.checkpoint_keep);
   }
@@ -202,6 +228,71 @@ util::Result<void> WatchDaemon::ensure_config() {
   // config file; scores are byte-identical at every width.
   config_->aggregation.threads = options_.threads;
   return {};
+}
+
+std::uint64_t WatchDaemon::now_ms() const {
+  obs::Clock* clock = options_.clock;
+  const std::uint64_t now_ns =
+      clock ? clock->now_ns() : obs::steady_clock().now_ns();
+  return now_ns / 1'000'000;
+}
+
+util::Result<void> WatchDaemon::ensure_alerting(std::ostream& err) {
+  if (alerting_ready_ || !options_.telemetry) return {};
+  obs::SloEngine::Options slo_options;
+  // Built-in score-quality rules: EWMA+MAD drift on per-region scores,
+  // confidence-tier flapping, and a burn rate on failed cycles.
+  {
+    obs::SloSpec drift;
+    drift.type = obs::SloSpec::Type::kAnomaly;
+    drift.name = "score_drift";
+    drift.metric = "iqb_region_score";
+    slo_options.specs.push_back(std::move(drift));
+
+    obs::SloSpec flap;
+    flap.type = obs::SloSpec::Type::kFlap;
+    flap.name = "tier_flap";
+    flap.metric = "iqb_region_tier";
+    slo_options.specs.push_back(std::move(flap));
+
+    obs::SloSpec cycles;
+    cycles.type = obs::SloSpec::Type::kBurnRate;
+    cycles.name = "cycle_error_burn";
+    cycles.metric = "iqb_daemon_cycles_total";
+    cycles.bad_metric = "iqb_daemon_cycles_total";
+    cycles.bad_labels = {{"result", "error"}};
+    slo_options.specs.push_back(std::move(cycles));
+  }
+  for (const obs::SloSpec& spec : options_.slo_specs) {
+    slo_options.specs.push_back(spec);
+  }
+  if (options_.slo_file) {
+    auto loaded = obs::load_slo_file(*options_.slo_file);
+    if (!loaded.ok()) {
+      err << "slo config error: " << loaded.error().to_string() << "\n";
+      return loaded.error();
+    }
+    for (obs::SloSpec& spec : *loaded) {
+      slo_options.specs.push_back(std::move(spec));
+    }
+    IQB_LOG(kInfo) << "loaded " << loaded->size() << " SLO spec(s) from "
+                   << *options_.slo_file;
+  }
+  slo_ = std::make_unique<obs::SloEngine>(std::move(slo_options),
+                                          history_.get());
+  alerting_ready_ = true;
+  return {};
+}
+
+std::optional<obs::HttpResponse> WatchDaemon::telemetry_route(
+    const obs::HttpRequest& request) const {
+  if (request.path == "/historyz") {
+    return obs::serve_historyz(history_.get(), request, now_ms());
+  }
+  if (request.path == "/alertz") {
+    return obs::serve_alertz(slo_.get(), options_.telemetry);
+  }
+  return std::nullopt;
 }
 
 bool WatchDaemon::serving_stale() const {
@@ -277,6 +368,11 @@ util::Result<void> WatchDaemon::start(std::ostream& err) {
   }
   if (auto config = ensure_config(); !config.ok()) {
     return config.error();
+  }
+  // Build the SLO engine before the server accepts /alertz traffic;
+  // the loop thread only sees the ready engine afterwards.
+  if (auto alerting = ensure_alerting(err); !alerting.ok()) {
+    return alerting.error();
   }
   if (!recovered_) {
     if (auto recovery = recover(err); !recovery.ok()) {
@@ -405,6 +501,11 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
     cycles_failed_.fetch_add(1);
     return false;
   }
+  if (auto alerting = ensure_alerting(err); !alerting.ok()) {
+    cycles_total_.fetch_add(1);
+    cycles_failed_.fetch_add(1);
+    return false;
+  }
   const std::uint64_t cycle = cycles_total_.fetch_add(1) + 1;
   const std::string trace_id =
       options_.trace_prefix + "-" + std::to_string(cycle);
@@ -438,6 +539,19 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
   const auto mtime = std::filesystem::last_write_time(options_.records_path, ec);
   if (!ec) last_mtime_ = mtime;
 
+  // Sample the registry into the history ring and run the SLO rules;
+  // both the success and failure exits go through this so burn rates
+  // see every cycle. Runs under the cycle's ScopedLogTrace, so alert
+  // transition WARNs carry the cycle trace id.
+  auto sample_and_evaluate = [&] {
+    if (!history_ || telemetry == nullptr) return;
+    const std::uint64_t now = now_ms();
+    metrics_.gauge("iqbd_uptime_seconds", "Seconds since daemon construction")
+        .set(static_cast<double>(now - start_ms_) / 1000.0);
+    history_->sample_registry(metrics_, now);
+    if (slo_) slo_->evaluate(now, cycle, trace_id);
+  };
+
   auto fail_cycle = [&](const std::string& reason) {
     cycles_failed_.fetch_add(1);
     obs::add_counter(telemetry, "iqb_daemon_cycles_total",
@@ -445,6 +559,7 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
                      {{"result", "error"}});
     IQB_LOG(kError) << "cycle " << cycle << " failed: " << reason;
     err << "cycle " << cycle << " failed: " << reason << "\n";
+    sample_and_evaluate();
     return false;
   };
 
@@ -535,7 +650,37 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
                    "1 while serving a recovered checkpoint no fresh cycle "
                    "has replaced",
                    {}, 0.0);
+    // Per-region score gauges: the raw material for /historyz trends
+    // and the built-in score_drift / tier_flap rules.
+    for (const auto& result : output.results) {
+      metrics_
+          .gauge("iqb_region_score",
+                 "Latest IQB score per region and quality level",
+                 {{"level", "high"}, {"region", result.region}})
+          .set(result.high.iqb_score);
+      metrics_
+          .gauge("iqb_region_score",
+                 "Latest IQB score per region and quality level",
+                 {{"level", "minimum"}, {"region", result.region}})
+          .set(result.minimum.iqb_score);
+      metrics_
+          .gauge("iqb_region_tier",
+                 "Confidence tier per region (0=A, 1=B, 2=C)",
+                 {{"region", result.region}})
+          .set(static_cast<double>(
+              static_cast<int>(result.degradation().tier)));
+      for (const auto& cell : result.aggregates) {
+        metrics_
+            .gauge("iqb_region_value",
+                   "Aggregated requirement value per region/dataset/metric",
+                   {{"dataset", cell.dataset},
+                    {"metric", std::string(datasets::metric_name(cell.metric))},
+                    {"region", cell.region}})
+            .set(cell.value);
+      }
+    }
   }
+  sample_and_evaluate();
   IQB_LOG(kInfo) << "cycle " << cycle << " scored "
                  << output.results.size() << " regions";
   return true;

@@ -51,8 +51,11 @@
 #include <vector>
 
 #include "iqb/core/config.hpp"
+#include "iqb/obs/clock.hpp"
+#include "iqb/obs/history.hpp"
 #include "iqb/obs/metrics.hpp"
 #include "iqb/obs/request_stats.hpp"
+#include "iqb/obs/slo.hpp"
 #include "iqb/obs/span_buffer.hpp"
 #include "iqb/obs/telemetry_server.hpp"
 #include "iqb/robust/checkpoint.hpp"
@@ -101,6 +104,19 @@ struct DaemonOptions {
   bool telemetry = true;  ///< false: null-Telemetry pipeline runs.
   std::string trace_prefix = "iqbd";
   std::size_t span_buffer_capacity = 512;
+
+  /// SLO alerting (telemetry only): declarative specs loaded from a
+  /// JSON file (--slo-file) and/or provided programmatically (tests).
+  /// Built-in score-drift / tier-flap / cycle-error rules are always
+  /// added when telemetry is on; /alertz serves the engine.
+  std::optional<std::string> slo_file;
+  std::vector<obs::SloSpec> slo_specs;
+  /// Ring sizing for the in-process history TSDB (/historyz).
+  obs::TimeSeriesStore::Options history;
+  /// Test seam: time source for history timestamps and SLO evaluation
+  /// (null: the process steady clock). With a ManualClock, sampled
+  /// series and burn-rate windows are fully deterministic.
+  obs::Clock* clock = nullptr;
 
   /// Scoring execution width (AggregationPolicy::threads): 0 = auto
   /// (hardware concurrency), 1 = serial, N = that many threads.
@@ -151,6 +167,11 @@ class WatchDaemon {
   obs::TelemetryServer& server() noexcept { return server_; }
   const obs::TelemetryServer& server() const noexcept { return server_; }
 
+  /// History TSDB / SLO engine; null while telemetry is off (and, for
+  /// the engine, before the first start()/run_cycle()).
+  obs::TimeSeriesStore* history() noexcept { return history_.get(); }
+  obs::SloEngine* slo() noexcept { return slo_.get(); }
+
   std::uint64_t cycles_total() const noexcept { return cycles_total_.load(); }
   std::uint64_t cycles_failed() const noexcept {
     return cycles_failed_.load();
@@ -178,6 +199,12 @@ class WatchDaemon {
 
  private:
   util::Result<void> ensure_config();
+  /// Build the SLO engine (built-in + configured specs) on first use.
+  util::Result<void> ensure_alerting(std::ostream& err);
+  std::uint64_t now_ms() const;
+  /// Serves /historyz and /alertz; nullopt for every other path.
+  std::optional<obs::HttpResponse> telemetry_route(
+      const obs::HttpRequest& request) const;
   void loop(std::ostream& err);
   bool poll_mtime();
   void save_checkpoint(const obs::ScoreSnapshot& snapshot, std::ostream& err);
@@ -191,6 +218,13 @@ class WatchDaemon {
   // Declared before server_: the server's options lambda wires these
   // sinks into the HTTP layer when telemetry is on.
   std::unique_ptr<obs::RequestStats> request_stats_;
+  // History + alerting (telemetry only). Both are internally locked:
+  // the loop thread appends/evaluates while HTTP workers serve
+  // /historyz and /alertz.
+  std::unique_ptr<obs::TimeSeriesStore> history_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  bool alerting_ready_ = false;
+  std::uint64_t start_ms_ = 0;  ///< Daemon construction time (uptime).
   obs::TelemetryServer server_;
 
   std::optional<robust::CheckpointStore> checkpoints_;

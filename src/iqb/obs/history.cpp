@@ -1,0 +1,333 @@
+#include "iqb/obs/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "iqb/obs/export.hpp"
+
+namespace iqb::obs {
+
+TimeSeriesStore::TimeSeriesStore() : TimeSeriesStore(Options()) {}
+
+TimeSeriesStore::TimeSeriesStore(Options options) : options_(options) {
+  if (options_.capacity_per_series == 0) options_.capacity_per_series = 1;
+  if (options_.max_series == 0) options_.max_series = 1;
+}
+
+std::vector<SamplePoint> TimeSeriesStore::Series::ordered() const {
+  if (!full) return points;
+  std::vector<SamplePoint> out;
+  out.reserve(points.size());
+  out.insert(out.end(), points.begin() + static_cast<std::ptrdiff_t>(head),
+             points.end());
+  out.insert(out.end(), points.begin(),
+             points.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::optional<SamplePoint> TimeSeriesStore::Series::newest() const {
+  if (points.empty()) return std::nullopt;
+  if (!full) return points.back();
+  return points[(head + points.size() - 1) % points.size()];
+}
+
+void TimeSeriesStore::append(const std::string& name, const LabelSet& labels,
+                             SeriesKind kind, std::uint64_t t_ms,
+                             double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto family_it = families_.find(name);
+  SeriesMap* family = nullptr;
+  if (family_it == families_.end()) {
+    if (series_count_ >= options_.max_series) {
+      ++dropped_series_;
+      return;
+    }
+    family = &families_[name];
+  } else {
+    family = &family_it->second;
+  }
+  auto series_it = family->find(labels);
+  if (series_it == family->end()) {
+    if (series_count_ >= options_.max_series) {
+      ++dropped_series_;
+      return;
+    }
+    series_it = family->emplace(labels, Series{}).first;
+    series_it->second.kind = kind;
+    ++series_count_;
+  }
+  Series& series = series_it->second;
+  // Per-series points are time-ordered by contract; a stale append
+  // (clock regression or duplicate sampler) is dropped, not
+  // re-ordered. Equal timestamps are allowed so one cycle can sample
+  // many families at the same instant.
+  if (const auto newest = series.newest();
+      newest && t_ms < newest->t_ms) {
+    return;
+  }
+  if (series.points.size() < options_.capacity_per_series) {
+    series.points.push_back({t_ms, value});
+    if (series.points.size() == options_.capacity_per_series) {
+      series.full = true;
+      series.head = 0;
+    }
+  } else {
+    series.points[series.head] = {t_ms, value};
+    series.head = (series.head + 1) % series.points.size();
+  }
+}
+
+void TimeSeriesStore::sample_registry(const MetricsRegistry& registry,
+                                      std::uint64_t t_ms) {
+  const auto families = registry.snapshot();
+  for (const auto& family : families) {
+    switch (family.kind) {
+      case MetricKind::kCounter:
+        for (const auto& sample : family.samples) {
+          append(family.name, sample.labels, SeriesKind::kCounterSeries, t_ms,
+                 sample.value);
+        }
+        break;
+      case MetricKind::kGauge:
+        for (const auto& sample : family.samples) {
+          append(family.name, sample.labels, SeriesKind::kGaugeSeries, t_ms,
+                 sample.value);
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& histogram : family.histograms) {
+          // The Prometheus data model verbatim: cumulative bucket
+          // counts as counter series keyed by le, so window deltas
+          // give "events <= bound in the window" — the burn-rate
+          // numerator.
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+            cumulative += histogram.counts[i];
+            LabelSet labels = histogram.labels;
+            labels["le"] = format_metric_value(histogram.upper_bounds[i]);
+            append(family.name + "_bucket", labels,
+                   SeriesKind::kCounterSeries, t_ms,
+                   static_cast<double>(cumulative));
+          }
+          cumulative += histogram.counts.back();
+          LabelSet inf_labels = histogram.labels;
+          inf_labels["le"] = "+Inf";
+          append(family.name + "_bucket", inf_labels,
+                 SeriesKind::kCounterSeries, t_ms,
+                 static_cast<double>(cumulative));
+          append(family.name + "_count", histogram.labels,
+                 SeriesKind::kCounterSeries, t_ms,
+                 static_cast<double>(histogram.count));
+          append(family.name + "_sum", histogram.labels,
+                 SeriesKind::kCounterSeries, t_ms, histogram.sum);
+        }
+        break;
+    }
+  }
+}
+
+const TimeSeriesStore::Series* TimeSeriesStore::find(
+    const std::string& name, const LabelSet& labels) const {
+  const auto family = families_.find(name);
+  if (family == families_.end()) return nullptr;
+  const auto series = family->second.find(labels);
+  if (series == family->second.end()) return nullptr;
+  return &series->second;
+}
+
+bool TimeSeriesStore::labels_match(const LabelSet& labels,
+                                   const LabelSet& match) {
+  for (const auto& [key, value] : match) {
+    const auto it = labels.find(key);
+    if (it == labels.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+WindowStats TimeSeriesStore::stats_of(
+    const std::vector<SamplePoint>& points) {
+  WindowStats stats;
+  stats.samples = points.size();
+  if (points.empty()) return stats;
+  stats.t_first_ms = points.front().t_ms;
+  stats.t_last_ms = points.back().t_ms;
+  stats.first = points.front().value;
+  stats.last = points.back().value;
+  stats.min = points.front().value;
+  stats.max = points.front().value;
+  double sum = 0.0;
+  for (const SamplePoint& point : points) {
+    stats.min = std::min(stats.min, point.value);
+    stats.max = std::max(stats.max, point.value);
+    sum += point.value;
+  }
+  stats.mean = sum / static_cast<double>(points.size());
+  stats.delta = stats.last - stats.first;
+  if (points.size() >= 2 && stats.t_last_ms > stats.t_first_ms) {
+    stats.rate_per_s =
+        stats.delta /
+        (static_cast<double>(stats.t_last_ms - stats.t_first_ms) / 1000.0);
+  }
+  // Nearest-rank p95 over the window's samples (small n by
+  // construction — the ring bounds it — so a sort-copy is fine).
+  std::vector<double> values;
+  values.reserve(points.size());
+  for (const SamplePoint& point : points) values.push_back(point.value);
+  std::sort(values.begin(), values.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(values.size())));
+  stats.p95 = values[rank == 0 ? 0 : rank - 1];
+  return stats;
+}
+
+std::vector<SamplePoint> TimeSeriesStore::points_in_window(
+    const std::string& name, const LabelSet& labels, std::uint64_t window_ms,
+    std::uint64_t now_ms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Series* series = find(name, labels);
+  if (series == nullptr) return {};
+  const std::uint64_t cutoff = now_ms >= window_ms ? now_ms - window_ms : 0;
+  std::vector<SamplePoint> out;
+  for (const SamplePoint& point : series->ordered()) {
+    if (point.t_ms >= cutoff && point.t_ms <= now_ms) out.push_back(point);
+  }
+  return out;
+}
+
+std::optional<WindowStats> TimeSeriesStore::query(const std::string& name,
+                                                  const LabelSet& labels,
+                                                  std::uint64_t window_ms,
+                                                  std::uint64_t now_ms) const {
+  const auto points = points_in_window(name, labels, window_ms, now_ms);
+  if (points.empty()) return std::nullopt;
+  return stats_of(points);
+}
+
+std::optional<SamplePoint> TimeSeriesStore::latest(
+    const std::string& name, const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Series* series = find(name, labels);
+  if (series == nullptr) return std::nullopt;
+  return series->newest();
+}
+
+std::vector<LabelSet> TimeSeriesStore::label_sets(const std::string& name,
+                                                  const LabelSet& match) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<LabelSet> out;
+  const auto family = families_.find(name);
+  if (family == families_.end()) return out;
+  for (const auto& [labels, series] : family->second) {
+    if (labels_match(labels, match)) out.push_back(labels);
+  }
+  return out;
+}
+
+double TimeSeriesStore::sum_window_delta(const std::string& name,
+                                         const LabelSet& match,
+                                         std::uint64_t window_ms,
+                                         std::uint64_t now_ms) const {
+  double total = 0.0;
+  for (const LabelSet& labels : label_sets(name, match)) {
+    if (const auto stats = query(name, labels, window_ms, now_ms)) {
+      total += stats->delta;
+    }
+  }
+  return total;
+}
+
+std::vector<std::string> TimeSeriesStore::distinct_label_values(
+    const std::string& name, const std::string& key) const {
+  std::vector<std::string> out;
+  for (const LabelSet& labels : label_sets(name)) {
+    const auto it = labels.find(key);
+    if (it == labels.end()) continue;
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_count_;
+}
+
+std::size_t TimeSeriesStore::dropped_series() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_series_;
+}
+
+util::JsonValue TimeSeriesStore::to_json(const std::string& family_filter,
+                                         std::uint64_t window_ms,
+                                         std::uint64_t now_ms,
+                                         bool include_points) const {
+  // Snapshot the family map under the lock, then do the windowed math
+  // through the public (self-locking) queries on the copy-free keys.
+  std::vector<std::pair<std::string, LabelSet>> keys;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, family] : families_) {
+      if (!family_filter.empty() && name != family_filter) continue;
+      for (const auto& [labels, series] : family) {
+        keys.emplace_back(name, labels);
+      }
+    }
+  }
+  util::JsonArray series_json;
+  for (const auto& [name, labels] : keys) {
+    SeriesKind kind = SeriesKind::kGaugeSeries;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (const Series* series = find(name, labels)) kind = series->kind;
+    }
+    util::JsonObject entry;
+    entry.emplace("name", name);
+    if (!labels.empty()) {
+      util::JsonObject labels_json;
+      for (const auto& [key, value] : labels) labels_json.emplace(key, value);
+      entry.emplace("labels", std::move(labels_json));
+    }
+    entry.emplace("kind", kind == SeriesKind::kCounterSeries ? "counter"
+                                                             : "gauge");
+    const auto stats = query(name, labels, window_ms, now_ms);
+    entry.emplace("samples",
+                  static_cast<std::int64_t>(stats ? stats->samples : 0));
+    if (stats) {
+      entry.emplace("first", stats->first);
+      entry.emplace("last", stats->last);
+      if (kind == SeriesKind::kCounterSeries) {
+        entry.emplace("delta", stats->delta);
+        entry.emplace("rate_per_s", stats->rate_per_s);
+      } else {
+        entry.emplace("min", stats->min);
+        entry.emplace("max", stats->max);
+        entry.emplace("mean", stats->mean);
+        entry.emplace("p95", stats->p95);
+      }
+      if (include_points) {
+        util::JsonArray points_json;
+        for (const SamplePoint& point :
+             points_in_window(name, labels, window_ms, now_ms)) {
+          util::JsonArray pair;
+          pair.emplace_back(static_cast<std::int64_t>(point.t_ms));
+          pair.emplace_back(point.value);
+          points_json.emplace_back(std::move(pair));
+        }
+        entry.emplace("points", std::move(points_json));
+      }
+    }
+    series_json.emplace_back(std::move(entry));
+  }
+  util::JsonObject out;
+  out.emplace("now_ms", static_cast<std::int64_t>(now_ms));
+  out.emplace("window_ms", static_cast<std::int64_t>(window_ms));
+  out.emplace("series_count", static_cast<std::int64_t>(series_count()));
+  out.emplace("dropped_series", static_cast<std::int64_t>(dropped_series()));
+  out.emplace("series", std::move(series_json));
+  return util::JsonValue(std::move(out));
+}
+
+}  // namespace iqb::obs

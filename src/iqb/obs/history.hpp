@@ -1,0 +1,166 @@
+// In-process time-series history: a fixed-memory ring-buffer TSDB.
+//
+// /metrics is a point-in-time scrape; nothing in a scrape can answer
+// "has this been drifting for an hour?". TimeSeriesStore closes that
+// gap without an external Prometheus: every daemon cycle it samples
+// the live MetricsRegistry (counters, gauges, and each histogram's
+// cumulative buckets) plus whatever per-region score values the
+// daemon appends directly, into one bounded ring buffer per series.
+//
+// Memory is fixed by construction: at most `max_series` series, each
+// a ring of at most `capacity_per_series` points (16 bytes/point), so
+// a default store tops out at a few MiB no matter how long the daemon
+// runs. A registry that tries to mint more series than the bound gets
+// the excess dropped and counted (dropped_series()), never an
+// allocation storm.
+//
+// Queries are windowed, matching how the SLO layer consumes history:
+//   * rate()/delta over counters (last - first inside the window);
+//   * min/max/mean/p95 over gauge samples;
+//   * per-bucket deltas over histogram cumulative counts (each bucket
+//     is its own counter series `<name>_bucket{le=...}`, exactly the
+//     Prometheus data model), which is what burn-rate math needs.
+//
+// Timestamps come from the caller (the daemon passes an injected
+// Clock), so tests with a ManualClock get byte-stable documents; the
+// /historyz JSON is ordered by (family, labels) via std::map, making
+// the serialization deterministic.
+//
+// Thread-safe: the daemon loop appends while HTTP workers query.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iqb/obs/metrics.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::obs {
+
+/// One timestamped observation.
+struct SamplePoint {
+  std::uint64_t t_ms = 0;
+  double value = 0.0;
+};
+
+/// How a series' points combine over a window. Counters report
+/// delta/rate; gauges report the distribution (min/max/mean/p95).
+enum class SeriesKind { kCounterSeries, kGaugeSeries };
+
+/// Windowed summary of one series.
+struct WindowStats {
+  std::size_t samples = 0;
+  std::uint64_t t_first_ms = 0;
+  std::uint64_t t_last_ms = 0;
+  double first = 0.0;
+  double last = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p95 = 0.0;
+  double delta = 0.0;       ///< last - first (counter increase).
+  double rate_per_s = 0.0;  ///< delta / covered seconds (0 if <2 samples).
+};
+
+class TimeSeriesStore {
+ public:
+  struct Options {
+    /// Ring size per series; the oldest point is evicted when full.
+    std::size_t capacity_per_series = 512;
+    /// Hard bound on distinct series; appends past it are dropped and
+    /// counted, so a label explosion cannot grow memory.
+    std::size_t max_series = 4096;
+  };
+
+  TimeSeriesStore();  ///< Default Options.
+  explicit TimeSeriesStore(Options options);
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Append one point to (name, labels). Points must arrive in
+  /// non-decreasing time order per series (the samplers guarantee
+  /// this); a point older than the series' newest is dropped.
+  void append(const std::string& name, const LabelSet& labels,
+              SeriesKind kind, std::uint64_t t_ms, double value);
+
+  /// Sample every family in the registry at time `t_ms`: counters and
+  /// gauges verbatim; each histogram as cumulative-count counter
+  /// series `<name>_bucket{le=...}` (including "+Inf") plus
+  /// `<name>_count` and `<name>_sum`.
+  void sample_registry(const MetricsRegistry& registry, std::uint64_t t_ms);
+
+  /// Windowed summary of one exact series, or nullopt if the series
+  /// is unknown or has no point in [now_ms - window_ms, now_ms].
+  std::optional<WindowStats> query(const std::string& name,
+                                   const LabelSet& labels,
+                                   std::uint64_t window_ms,
+                                   std::uint64_t now_ms) const;
+
+  /// Raw points of one series inside the window, oldest to newest.
+  std::vector<SamplePoint> points_in_window(const std::string& name,
+                                            const LabelSet& labels,
+                                            std::uint64_t window_ms,
+                                            std::uint64_t now_ms) const;
+
+  /// Newest point of one series, if any.
+  std::optional<SamplePoint> latest(const std::string& name,
+                                    const LabelSet& labels) const;
+
+  /// Every label set recorded under `name` whose labels contain all
+  /// of `match` (sorted by label set — deterministic).
+  std::vector<LabelSet> label_sets(const std::string& name,
+                                   const LabelSet& match = {}) const;
+
+  /// Sum of window deltas (last - first per series) across every
+  /// series of `name` whose labels contain all of `match`. The
+  /// burn-rate primitive: histogram families split one logical series
+  /// across {code=...} label sets; the SLO cares about their sum.
+  double sum_window_delta(const std::string& name, const LabelSet& match,
+                          std::uint64_t window_ms,
+                          std::uint64_t now_ms) const;
+
+  /// Distinct values of label `key` across series of `name` (sorted).
+  std::vector<std::string> distinct_label_values(const std::string& name,
+                                                 const std::string& key) const;
+
+  std::size_t series_count() const;
+  std::size_t dropped_series() const;
+
+  /// The /historyz document. `family_filter` empty lists every
+  /// family; otherwise only series of that family are emitted.
+  /// `include_points` additionally emits the raw [t_ms, value] pairs
+  /// (sparkline feed for iqb_top). Ordering is byte-stable.
+  util::JsonValue to_json(const std::string& family_filter,
+                          std::uint64_t window_ms, std::uint64_t now_ms,
+                          bool include_points) const;
+
+ private:
+  /// Fixed-capacity ring of points, oldest overwritten first.
+  struct Series {
+    SeriesKind kind = SeriesKind::kGaugeSeries;
+    std::vector<SamplePoint> points;  ///< Grows to capacity, then wraps.
+    std::size_t head = 0;             ///< Next write slot once full.
+    bool full = false;
+
+    std::vector<SamplePoint> ordered() const;
+    std::optional<SamplePoint> newest() const;
+  };
+
+  using SeriesMap = std::map<LabelSet, Series>;
+
+  const Series* find(const std::string& name, const LabelSet& labels) const;
+  static bool labels_match(const LabelSet& labels, const LabelSet& match);
+  static WindowStats stats_of(const std::vector<SamplePoint>& points);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, SeriesMap> families_;
+  std::size_t series_count_ = 0;
+  std::size_t dropped_series_ = 0;
+};
+
+}  // namespace iqb::obs

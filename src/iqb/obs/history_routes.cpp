@@ -1,0 +1,49 @@
+#include "iqb/obs/history_routes.hpp"
+
+#include "iqb/util/strings.hpp"
+
+namespace iqb::obs {
+
+namespace {
+
+constexpr std::uint64_t kDefaultWindowMs = 15 * 60 * 1000;
+
+HttpResponse disabled_response() {
+  return {503, "application/json",
+          "{\"reason\":\"telemetry disabled\",\"status\":\"disabled\"}\n"};
+}
+
+}  // namespace
+
+HttpResponse serve_historyz(const TimeSeriesStore* store,
+                            const HttpRequest& request,
+                            std::uint64_t now_ms) {
+  if (store == nullptr) return disabled_response();
+  const std::string series = query_param(request.query, "series");
+  std::uint64_t window_ms = kDefaultWindowMs;
+  if (const std::string window = query_param(request.query, "window");
+      !window.empty()) {
+    if (auto parsed = util::parse_int(window);
+        parsed.ok() && parsed.value() > 0) {
+      window_ms = static_cast<std::uint64_t>(parsed.value());
+    } else {
+      return {400, "application/json",
+              "{\"reason\":\"bad window (milliseconds expected)\","
+              "\"status\":\"error\"}\n"};
+    }
+  }
+  const bool points = query_param(request.query, "points") == "true";
+  return {200, "application/json",
+          store->to_json(series, window_ms, now_ms, points).dump(2) + "\n"};
+}
+
+HttpResponse serve_alertz(const SloEngine* engine, bool enabled) {
+  if (!enabled) return disabled_response();
+  if (engine == nullptr) {
+    return {200, "application/json",
+            "{\"active\":[],\"evaluations\":0,\"recent\":[],\"specs\":0}\n"};
+  }
+  return {200, "application/json", engine->to_json().dump(2) + "\n"};
+}
+
+}  // namespace iqb::obs

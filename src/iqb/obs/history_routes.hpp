@@ -1,0 +1,27 @@
+// HTTP handlers for /historyz and /alertz, shared by the iqbd watch
+// daemon and the fleet coordinator (both embed a TimeSeriesStore and
+// an SloEngine and expose them through their route overrides).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "iqb/obs/history.hpp"
+#include "iqb/obs/http_server.hpp"
+#include "iqb/obs/slo.hpp"
+
+namespace iqb::obs {
+
+/// Serve /historyz: ?series= filters to one family, ?window= sets the
+/// query window in milliseconds (default 15 min), ?points=true adds
+/// raw [t_ms, value] pairs. `store` null means telemetry is disabled
+/// (503). Bytes are deterministic for a fixed store + now_ms.
+HttpResponse serve_historyz(const TimeSeriesStore* store,
+                            const HttpRequest& request, std::uint64_t now_ms);
+
+/// Serve /alertz. `engine` null (telemetry on, first cycle not yet
+/// evaluated) serves an empty engine document rather than an error;
+/// pass `enabled` false for the telemetry-off 503.
+HttpResponse serve_alertz(const SloEngine* engine, bool enabled);
+
+}  // namespace iqb::obs

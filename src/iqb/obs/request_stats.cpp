@@ -36,6 +36,15 @@ RequestStats::RequestStats(Options options) : options_(std::move(options)) {
 
 const std::string& RequestStats::path_label(const std::string& path) const {
   const auto& known = options_.known_paths;
+  // The HTTP parser splits the query off before records reach us, but
+  // a caller-recorded path with one intact must still label as its
+  // known endpoint, not leak into the "other" pool.
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) {
+    const std::string stripped = path.substr(0, query);
+    const auto it = std::find(known.begin(), known.end(), stripped);
+    return it != known.end() ? *it : kOtherPath;
+  }
   const auto it = std::find(known.begin(), known.end(), path);
   return it != known.end() ? *it : kOtherPath;
 }

@@ -1,0 +1,603 @@
+#include "iqb/obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "iqb/obs/export.hpp"
+#include "iqb/util/fs.hpp"
+#include "iqb/util/log.hpp"
+
+namespace iqb::obs {
+namespace {
+
+std::string format_value(double value) { return format_metric_value(value); }
+
+std::string labels_to_string(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+util::JsonValue labels_to_json(const LabelSet& labels) {
+  util::JsonObject out;
+  for (const auto& [key, value] : labels) out.emplace(key, value);
+  return util::JsonValue(std::move(out));
+}
+
+util::JsonValue alert_to_json(const Alert& alert) {
+  util::JsonObject out;
+  out.emplace("name", alert.name);
+  if (!alert.labels.empty()) out.emplace("labels", labels_to_json(alert.labels));
+  out.emplace("state", alert_state_name(alert.state));
+  out.emplace("since_ms", static_cast<std::int64_t>(alert.since_ms));
+  out.emplace("value", alert.value);
+  out.emplace("reason", alert.reason);
+  out.emplace("cycle", static_cast<std::int64_t>(alert.cycle));
+  out.emplace("trace", alert.trace_id);
+  return util::JsonValue(std::move(out));
+}
+
+util::Result<LabelSet> parse_label_object(const util::JsonValue& value,
+                                          const std::string& context) {
+  if (!value.is_object()) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            context + " must be an object of string labels");
+  }
+  LabelSet out;
+  for (const auto& [key, entry] : value.as_object()) {
+    if (!entry.is_string()) {
+      return util::make_error(
+          util::ErrorCode::kParseError,
+          context + " label '" + key + "' must be a string");
+    }
+    out[key] = entry.as_string();
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* alert_state_name(AlertState state) noexcept {
+  switch (state) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+    case AlertState::kResolved:
+      return "resolved";
+  }
+  return "inactive";
+}
+
+const char* slo_type_name(SloSpec::Type type) noexcept {
+  switch (type) {
+    case SloSpec::Type::kBurnRate:
+      return "burn_rate";
+    case SloSpec::Type::kThreshold:
+      return "threshold";
+    case SloSpec::Type::kAnomaly:
+      return "anomaly";
+    case SloSpec::Type::kFlap:
+      return "flap";
+  }
+  return "threshold";
+}
+
+util::Result<std::vector<SloSpec>> parse_slo_specs(
+    const util::JsonValue& document) {
+  if (!document.is_object()) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "SLO document must be a JSON object");
+  }
+  auto slos = document.get_array("slos");
+  if (!slos.ok()) return slos.error();
+
+  std::vector<SloSpec> specs;
+  for (std::size_t i = 0; i < slos->size(); ++i) {
+    const util::JsonValue& entry = (*slos)[i];
+    const std::string context = "slos[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              context + " must be an object");
+    }
+    SloSpec spec;
+    auto name = entry.get_string("name");
+    if (!name.ok()) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              context + ": 'name' (string) is required");
+    }
+    spec.name = *name;
+    auto type = entry.get_string("type");
+    if (!type.ok()) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              context + ": 'type' (string) is required");
+    }
+    if (*type == "burn_rate") {
+      spec.type = SloSpec::Type::kBurnRate;
+    } else if (*type == "threshold") {
+      spec.type = SloSpec::Type::kThreshold;
+    } else if (*type == "anomaly") {
+      spec.type = SloSpec::Type::kAnomaly;
+    } else if (*type == "flap") {
+      spec.type = SloSpec::Type::kFlap;
+    } else {
+      return util::make_error(
+          util::ErrorCode::kParseError,
+          context + ": unknown type '" + *type +
+              "' (expected burn_rate, threshold, anomaly, or flap)");
+    }
+    auto metric = entry.get_string("metric");
+    if (!metric.ok()) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              context + ": 'metric' (string) is required");
+    }
+    spec.metric = *metric;
+
+    for (const auto& [key, value] : entry.as_object()) {
+      if (key == "name" || key == "type" || key == "metric") continue;
+      const std::string field_context = context + "." + key;
+      if (key == "labels") {
+        auto labels = parse_label_object(value, field_context);
+        if (!labels.ok()) return labels.error();
+        spec.labels = *labels;
+      } else if (key == "bad_labels") {
+        auto labels = parse_label_object(value, field_context);
+        if (!labels.ok()) return labels.error();
+        spec.bad_labels = *labels;
+      } else if (key == "bad_metric") {
+        if (!value.is_string()) {
+          return util::make_error(util::ErrorCode::kParseError,
+                                  field_context + " must be a string");
+        }
+        spec.bad_metric = value.as_string();
+      } else if (key == "op") {
+        if (!value.is_string() ||
+            (value.as_string() != "lt" && value.as_string() != "gt")) {
+          return util::make_error(util::ErrorCode::kParseError,
+                                  field_context + " must be \"lt\" or \"gt\"");
+        }
+        spec.op =
+            value.as_string() == "lt" ? SloSpec::Op::kLt : SloSpec::Op::kGt;
+      } else if (value.is_number()) {
+        const double number = value.as_number();
+        if (key == "objective") {
+          if (!(number > 0.0) || !(number < 1.0)) {
+            return util::make_error(
+                util::ErrorCode::kParseError,
+                field_context + " must be strictly between 0 and 1");
+          }
+          spec.objective = number;
+        } else if (key == "threshold_ms") {
+          spec.threshold_ms = number;
+        } else if (key == "bound") {
+          spec.bound = number;
+        } else if (key == "fast_short_ms") {
+          spec.fast_short_ms = static_cast<std::uint64_t>(number);
+        } else if (key == "fast_long_ms") {
+          spec.fast_long_ms = static_cast<std::uint64_t>(number);
+        } else if (key == "fast_factor") {
+          spec.fast_factor = number;
+        } else if (key == "slow_short_ms") {
+          spec.slow_short_ms = static_cast<std::uint64_t>(number);
+        } else if (key == "slow_long_ms") {
+          spec.slow_long_ms = static_cast<std::uint64_t>(number);
+        } else if (key == "slow_factor") {
+          spec.slow_factor = number;
+        } else if (key == "ewma_alpha") {
+          if (!(number > 0.0) || number > 1.0) {
+            return util::make_error(util::ErrorCode::kParseError,
+                                    field_context + " must be in (0, 1]");
+          }
+          spec.ewma_alpha = number;
+        } else if (key == "mad_k") {
+          spec.mad_k = number;
+        } else if (key == "warmup_samples") {
+          spec.warmup_samples = static_cast<std::size_t>(number);
+        } else if (key == "residual_window") {
+          spec.residual_window = static_cast<std::size_t>(number);
+        } else if (key == "max_flips") {
+          spec.max_flips = static_cast<std::size_t>(number);
+        } else if (key == "flap_window_ms") {
+          spec.flap_window_ms = static_cast<std::uint64_t>(number);
+        } else if (key == "for_ms") {
+          spec.for_ms = static_cast<std::uint64_t>(number);
+        } else if (key == "resolve_ms") {
+          spec.resolve_ms = static_cast<std::uint64_t>(number);
+        } else {
+          return util::make_error(util::ErrorCode::kParseError,
+                                  field_context + ": unknown field");
+        }
+      } else {
+        return util::make_error(util::ErrorCode::kParseError,
+                                field_context + ": unknown field");
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+util::Result<std::vector<SloSpec>> load_slo_file(const std::string& path) {
+  auto text = util::fs::read_file(path);
+  if (!text.ok()) return text.error();
+  auto document = util::parse_json(*text);
+  if (!document.ok()) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "SLO file " + path + ": " +
+                                document.error().message);
+  }
+  auto specs = parse_slo_specs(*document);
+  if (!specs.ok()) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "SLO file " + path + ": " + specs.error().message);
+  }
+  return specs;
+}
+
+SloEngine::SloEngine(Options options, const TimeSeriesStore* history)
+    : options_(std::move(options)), history_(history) {
+  if (options_.recent_capacity == 0) options_.recent_capacity = 1;
+}
+
+SloEngine::Evaluation SloEngine::evaluate_burn_rate(
+    const SloSpec& spec, std::uint64_t now_ms) const {
+  // Burn rate over a window = bad_fraction / error_budget. Bad events
+  // come either from histogram buckets (good = events <= threshold_ms)
+  // or an explicit bad/total counter pair.
+  const double budget = 1.0 - spec.objective;
+  const auto burn_over = [&](std::uint64_t window_ms,
+                             bool& window_known) -> double {
+    double total = 0.0;
+    double bad = 0.0;
+    if (!spec.bad_metric.empty()) {
+      total = history_->sum_window_delta(spec.metric, spec.labels, window_ms,
+                                         now_ms);
+      bad = history_->sum_window_delta(spec.bad_metric, spec.bad_labels,
+                                       window_ms, now_ms);
+    } else {
+      total = history_->sum_window_delta(spec.metric + "_count", spec.labels,
+                                         window_ms, now_ms);
+      // "Good" is the tightest bucket whose le covers the threshold;
+      // label sets tell us which buckets exist for this family.
+      double best_bound = -1.0;
+      std::string best_le;
+      for (const LabelSet& labels :
+           history_->label_sets(spec.metric + "_bucket", spec.labels)) {
+        const auto it = labels.find("le");
+        if (it == labels.end() || it->second == "+Inf") continue;
+        const double bound = std::strtod(it->second.c_str(), nullptr);
+        if (bound + 1e-9 >= spec.threshold_ms &&
+            (best_bound < 0.0 || bound < best_bound)) {
+          best_bound = bound;
+          best_le = it->second;
+        }
+      }
+      if (best_bound >= 0.0) {
+        LabelSet match = spec.labels;
+        match["le"] = best_le;
+        bad = total - history_->sum_window_delta(spec.metric + "_bucket",
+                                                 match, window_ms, now_ms);
+      } else {
+        // No bucket covers the threshold: everything counted is bad.
+        bad = total;
+      }
+    }
+    if (total <= 0.0) {
+      window_known = false;
+      return 0.0;
+    }
+    window_known = true;
+    const double bad_fraction = std::clamp(bad / total, 0.0, 1.0);
+    return budget > 0.0 ? bad_fraction / budget : 0.0;
+  };
+
+  Evaluation evaluation;
+  bool fast_short_known = false, fast_long_known = false;
+  bool slow_short_known = false, slow_long_known = false;
+  const double fast_short = burn_over(spec.fast_short_ms, fast_short_known);
+  const double fast_long = burn_over(spec.fast_long_ms, fast_long_known);
+  const double slow_short = burn_over(spec.slow_short_ms, slow_short_known);
+  const double slow_long = burn_over(spec.slow_long_ms, slow_long_known);
+  evaluation.known =
+      (fast_short_known && fast_long_known) ||
+      (slow_short_known && slow_long_known);
+  const bool fast = fast_short_known && fast_long_known &&
+                    fast_short > spec.fast_factor &&
+                    fast_long > spec.fast_factor;
+  const bool slow = slow_short_known && slow_long_known &&
+                    slow_short > spec.slow_factor &&
+                    slow_long > spec.slow_factor;
+  evaluation.condition = fast || slow;
+  evaluation.value = std::max({fast_short, fast_long, slow_short, slow_long});
+  std::ostringstream reason;
+  reason << "burn fast=" << format_value(fast_short) << "/"
+         << format_value(fast_long) << " (x" << format_value(spec.fast_factor)
+         << ") slow=" << format_value(slow_short) << "/"
+         << format_value(slow_long) << " (x" << format_value(spec.slow_factor)
+         << ")";
+  evaluation.reason = reason.str();
+  return evaluation;
+}
+
+SloEngine::Evaluation SloEngine::evaluate_threshold(
+    const SloSpec& spec, const LabelSet& labels, std::uint64_t) const {
+  Evaluation evaluation;
+  const auto point = history_->latest(spec.metric, labels);
+  if (!point) return evaluation;
+  evaluation.known = true;
+  evaluation.value = point->value;
+  evaluation.condition = spec.op == SloSpec::Op::kLt
+                             ? point->value < spec.bound
+                             : point->value > spec.bound;
+  evaluation.reason = spec.metric + "=" + format_value(point->value) +
+                      (spec.op == SloSpec::Op::kLt ? " < " : " > ") +
+                      format_value(spec.bound);
+  return evaluation;
+}
+
+SloEngine::Evaluation SloEngine::evaluate_anomaly(const SloSpec& spec,
+                                                  const LabelSet& labels,
+                                                  Instance& instance) const {
+  Evaluation evaluation;
+  const auto point = history_->latest(spec.metric, labels);
+  if (!point) return evaluation;
+  // Consume each sample exactly once: the EWMA must not re-ingest the
+  // same point when cycles outpace the sampled series.
+  if (instance.last_sample_t_ms != 0 &&
+      point->t_ms <= instance.last_sample_t_ms) {
+    evaluation.known = instance.residuals.size() >= spec.warmup_samples;
+    evaluation.value = point->value;
+    evaluation.reason = "no new sample";
+    return evaluation;
+  }
+  instance.last_sample_t_ms = point->t_ms;
+  const double x = point->value;
+  if (!instance.ewma_init) {
+    instance.ewma_init = true;
+    instance.ewma = x;
+    instance.residuals.push_back(0.0);
+    evaluation.value = x;
+    evaluation.reason = "warming up";
+    return evaluation;
+  }
+  const double residual = std::abs(x - instance.ewma);
+  // Score against the *previous* EWMA/MAD state, then update, so the
+  // anomalous point itself does not dilute the detector that judges it.
+  std::vector<double> sorted(instance.residuals.begin(),
+                             instance.residuals.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double mad = sorted[sorted.size() / 2];
+  const double robust_sigma = 1.4826 * mad;
+  const bool warmed = instance.residuals.size() >= spec.warmup_samples;
+  double z = 0.0;
+  if (robust_sigma > 1e-12) {
+    z = residual / robust_sigma;
+  } else if (residual > 1e-12) {
+    // A flat history then a jump: infinite z in spirit.
+    z = spec.mad_k + 1.0;
+  }
+  evaluation.known = warmed;
+  evaluation.value = z;
+  evaluation.condition = warmed && z > spec.mad_k;
+  evaluation.reason = spec.metric + "=" + format_value(x) +
+                      " ewma=" + format_value(instance.ewma) +
+                      " |z|=" + format_value(z) + " (k=" +
+                      format_value(spec.mad_k) + ")";
+  instance.ewma = spec.ewma_alpha * x + (1.0 - spec.ewma_alpha) * instance.ewma;
+  instance.residuals.push_back(residual);
+  while (instance.residuals.size() > spec.residual_window) {
+    instance.residuals.pop_front();
+  }
+  return evaluation;
+}
+
+SloEngine::Evaluation SloEngine::evaluate_flap(const SloSpec& spec,
+                                               const LabelSet& labels,
+                                               std::uint64_t now_ms) const {
+  Evaluation evaluation;
+  const auto points = history_->points_in_window(spec.metric, labels,
+                                                 spec.flap_window_ms, now_ms);
+  if (points.empty()) return evaluation;
+  evaluation.known = true;
+  std::size_t flips = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].value != points[i - 1].value) ++flips;
+  }
+  evaluation.value = static_cast<double>(flips);
+  evaluation.condition = flips > spec.max_flips;
+  evaluation.reason = spec.metric + " changed " + std::to_string(flips) +
+                      "x in " + std::to_string(spec.flap_window_ms) +
+                      "ms (max " + std::to_string(spec.max_flips) + ")";
+  return evaluation;
+}
+
+void SloEngine::step_instance(const SloSpec& spec, Instance& instance,
+                              const Evaluation& evaluation,
+                              std::uint64_t now_ms, std::uint64_t cycle,
+                              const std::string& trace_id,
+                              std::vector<AlertTransition>& transitions) {
+  Alert& alert = instance.alert;
+  alert.value = evaluation.value;
+  alert.reason = evaluation.reason;
+
+  const auto transition = [&](AlertState to) {
+    AlertTransition record;
+    record.from = alert.state;
+    alert.state = to;
+    alert.since_ms = now_ms;
+    alert.cycle = cycle;
+    alert.trace_id = trace_id;
+    record.alert = alert;
+    transitions.push_back(record);
+    recent_.push_back(std::move(record));
+    while (recent_.size() > options_.recent_capacity) recent_.pop_front();
+    IQB_LOG(kWarn) << "alert " << alert.name << labels_to_string(alert.labels)
+                   << " " << alert_state_name(transitions.back().from) << "->"
+                   << alert_state_name(to) << " value="
+                   << format_value(alert.value) << " (" << alert.reason
+                   << ") cycle=" << cycle;
+  };
+
+  const bool condition = evaluation.known && evaluation.condition;
+  if (condition) {
+    instance.clear_since_ms = 0;
+    switch (alert.state) {
+      case AlertState::kInactive:
+      case AlertState::kResolved:
+        instance.pending_since_ms = now_ms;
+        if (spec.for_ms == 0) {
+          transition(AlertState::kFiring);
+        } else {
+          transition(AlertState::kPending);
+        }
+        break;
+      case AlertState::kPending:
+        if (now_ms - instance.pending_since_ms >= spec.for_ms) {
+          transition(AlertState::kFiring);
+        }
+        break;
+      case AlertState::kFiring:
+        break;
+    }
+  } else {
+    switch (alert.state) {
+      case AlertState::kInactive:
+      case AlertState::kResolved:
+        break;
+      case AlertState::kPending:
+        // A pending alert that clears never fired; drop it silently
+        // back to inactive (still a logged transition for forensics).
+        transition(AlertState::kInactive);
+        break;
+      case AlertState::kFiring:
+        if (instance.clear_since_ms == 0) instance.clear_since_ms = now_ms;
+        if (now_ms - instance.clear_since_ms >= spec.resolve_ms) {
+          transition(AlertState::kResolved);
+        }
+        break;
+    }
+  }
+}
+
+void SloEngine::evaluate_spec(const SloSpec& spec, std::uint64_t now_ms,
+                              std::uint64_t cycle,
+                              const std::string& trace_id,
+                              std::vector<AlertTransition>& transitions) {
+  const std::size_t spec_index = static_cast<std::size_t>(&spec -
+                                                          options_.specs.data());
+  // Burn-rate specs aggregate across matching series (one logical
+  // request stream split over {code=...}); the others evaluate each
+  // matching series as its own alert instance.
+  std::vector<LabelSet> targets;
+  if (spec.type == SloSpec::Type::kBurnRate) {
+    targets.push_back(spec.labels);
+  } else {
+    targets = history_->label_sets(spec.metric, spec.labels);
+    // Keep already-tracked instances (e.g. a series that stopped
+    // reporting) so firing alerts can still resolve.
+    for (const auto& [key, instance] : instances_) {
+      if (key.first != spec_index) continue;
+      if (std::find(targets.begin(), targets.end(), key.second) ==
+          targets.end()) {
+        targets.push_back(key.second);
+      }
+    }
+    std::sort(targets.begin(), targets.end());
+  }
+
+  for (const LabelSet& labels : targets) {
+    auto [it, inserted] =
+        instances_.try_emplace(std::make_pair(spec_index, labels));
+    Instance& instance = it->second;
+    if (inserted) {
+      instance.alert.name = spec.name;
+      instance.alert.labels = labels;
+    }
+    Evaluation evaluation;
+    switch (spec.type) {
+      case SloSpec::Type::kBurnRate:
+        evaluation = evaluate_burn_rate(spec, now_ms);
+        break;
+      case SloSpec::Type::kThreshold:
+        evaluation = evaluate_threshold(spec, labels, now_ms);
+        break;
+      case SloSpec::Type::kAnomaly:
+        evaluation = evaluate_anomaly(spec, labels, instance);
+        break;
+      case SloSpec::Type::kFlap:
+        evaluation = evaluate_flap(spec, labels, now_ms);
+        break;
+    }
+    step_instance(spec, instance, evaluation, now_ms, cycle, trace_id,
+                  transitions);
+  }
+}
+
+std::vector<AlertTransition> SloEngine::evaluate(std::uint64_t now_ms,
+                                                 std::uint64_t cycle,
+                                                 const std::string& trace_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++evaluations_;
+  std::vector<AlertTransition> transitions;
+  for (const SloSpec& spec : options_.specs) {
+    evaluate_spec(spec, now_ms, cycle, trace_id, transitions);
+  }
+  return transitions;
+}
+
+std::vector<Alert> SloEngine::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Alert> out;
+  for (const auto& [key, instance] : instances_) {
+    if (instance.alert.state == AlertState::kPending ||
+        instance.alert.state == AlertState::kFiring) {
+      out.push_back(instance.alert);
+    }
+  }
+  return out;
+}
+
+std::vector<AlertTransition> SloEngine::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {recent_.begin(), recent_.end()};
+}
+
+std::uint64_t SloEngine::evaluations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evaluations_;
+}
+
+util::JsonValue SloEngine::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::JsonArray active_json;
+  for (const auto& [key, instance] : instances_) {
+    if (instance.alert.state == AlertState::kPending ||
+        instance.alert.state == AlertState::kFiring) {
+      active_json.emplace_back(alert_to_json(instance.alert));
+    }
+  }
+  util::JsonArray recent_json;
+  for (const AlertTransition& record : recent_) {
+    util::JsonObject entry;
+    entry.emplace("from", alert_state_name(record.from));
+    entry.emplace("alert", alert_to_json(record.alert));
+    recent_json.emplace_back(std::move(entry));
+  }
+  util::JsonObject out;
+  out.emplace("specs", static_cast<std::int64_t>(options_.specs.size()));
+  out.emplace("evaluations", static_cast<std::int64_t>(evaluations_));
+  out.emplace("active", std::move(active_json));
+  out.emplace("recent", std::move(recent_json));
+  return util::JsonValue(std::move(out));
+}
+
+}  // namespace iqb::obs

@@ -1,0 +1,209 @@
+// SLO evaluation and alerting over the in-process history TSDB.
+//
+// An SloEngine turns declarative SloSpecs into stateful Alert
+// instances, evaluated once per daemon cycle against the
+// TimeSeriesStore. Four rule types cover the barometer's needs:
+//
+//   * kBurnRate — a Google-style multi-window burn-rate SLO ("99% of
+//     /shard/aggregate requests < 250 ms over 1h"). The error budget
+//     is 1 - objective; the bad-event fraction over a window divided
+//     by the budget is the burn rate. The alert condition is the
+//     SRE-workbook pair-of-pairs: fast (5m AND 1h both burning >
+//     14.4x) OR slow (30m AND 6h both burning > 6x), so a sudden
+//     total outage pages in minutes while a slow leak still pages
+//     before the budget is gone. Sources: a histogram family (bad =
+//     events above threshold_ms, from bucket deltas) or a counter
+//     ratio (bad_metric/metric window deltas).
+//   * kThreshold — latest value of every matching gauge series
+//     compared against a bound (fleet_shard_up < 1 -> the
+//     shard_unreachable alert), with hold-down.
+//   * kAnomaly — EWMA + MAD drift detection on every matching gauge
+//     series (per-region requirement percentiles): a point whose
+//     robust z-score |x - ewma| / (1.4826 * MAD) exceeds mad_k after
+//     warmup is anomalous. MAD is computed over the recent residual
+//     window, so one historical outlier cannot deafen the detector.
+//   * kFlap — value changes of a gauge inside flap_window_ms counted
+//     against max_flips (confidence-tier flapping).
+//
+// Alert state machine (per spec x matching label set):
+//   inactive -> pending (condition first true)
+//   pending  -> firing  (condition held for for_ms; for_ms=0 skips
+//                        pending and fires immediately)
+//   pending  -> inactive (condition cleared before for_ms)
+//   firing   -> resolved (condition clear for resolve_ms)
+// Every transition is WARN-logged (the ambient cycle trace id rides
+// on the record), stamped with the evaluating cycle + trace id, and
+// kept in a bounded recent ring served on /alertz.
+//
+// Specs load from JSON (`iqbd --slo-file FILE`); built-in defaults
+// (score drift, tier flap, shard_unreachable on coordinators) are
+// added by the daemons themselves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iqb/obs/history.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/result.hpp"
+
+namespace iqb::obs {
+
+enum class AlertState { kInactive, kPending, kFiring, kResolved };
+const char* alert_state_name(AlertState state) noexcept;
+
+/// One alert instance's externally visible record.
+struct Alert {
+  std::string name;      ///< Spec name.
+  LabelSet labels;       ///< Instance labels (series labels or spec labels).
+  AlertState state = AlertState::kInactive;
+  std::uint64_t since_ms = 0;  ///< When the current state was entered.
+  double value = 0.0;          ///< Last evaluated value (burn rate, ...).
+  std::string reason;          ///< Human-readable condition detail.
+  std::uint64_t cycle = 0;     ///< Cycle of the last state transition.
+  std::string trace_id;        ///< Trace id of that cycle.
+};
+
+struct AlertTransition {
+  AlertState from = AlertState::kInactive;
+  Alert alert;  ///< Post-transition snapshot.
+};
+
+struct SloSpec {
+  enum class Type { kBurnRate, kThreshold, kAnomaly, kFlap };
+  enum class Op { kLt, kGt };
+
+  Type type = Type::kThreshold;
+  std::string name;
+  std::string metric;  ///< Family (histogram base name for kBurnRate).
+  /// Series must carry all of these labels to match; matching series
+  /// beyond the first each get their own alert instance.
+  LabelSet labels;
+
+  // kBurnRate ------------------------------------------------------
+  double objective = 0.99;     ///< Fraction of events that must be good.
+  double threshold_ms = 250;   ///< Histogram "good" bound (le units).
+  /// Counter-ratio mode: when set, bad = delta(bad_metric{bad_labels})
+  /// and total = delta(metric{labels}); threshold_ms is ignored.
+  std::string bad_metric;
+  LabelSet bad_labels;
+  /// Multi-window pairs (SRE workbook defaults).
+  std::uint64_t fast_short_ms = 5 * 60 * 1000;
+  std::uint64_t fast_long_ms = 60 * 60 * 1000;
+  double fast_factor = 14.4;
+  std::uint64_t slow_short_ms = 30 * 60 * 1000;
+  std::uint64_t slow_long_ms = 6 * 60 * 60 * 1000;
+  double slow_factor = 6.0;
+
+  // kThreshold -----------------------------------------------------
+  Op op = Op::kLt;
+  double bound = 1.0;
+
+  // kAnomaly -------------------------------------------------------
+  double ewma_alpha = 0.3;
+  double mad_k = 6.0;
+  std::size_t warmup_samples = 8;
+  std::size_t residual_window = 64;
+
+  // kFlap ----------------------------------------------------------
+  std::size_t max_flips = 3;
+  std::uint64_t flap_window_ms = 10 * 60 * 1000;
+
+  // State-machine hold-down ---------------------------------------
+  std::uint64_t for_ms = 0;      ///< Condition sustained before firing.
+  std::uint64_t resolve_ms = 0;  ///< Condition clear before resolving.
+};
+
+const char* slo_type_name(SloSpec::Type type) noexcept;
+
+/// Parse {"slos":[{...},...]} into specs. Unknown fields are errors —
+/// a typo'd spec silently matching nothing would be an alerting hole.
+util::Result<std::vector<SloSpec>> parse_slo_specs(
+    const util::JsonValue& document);
+
+/// Load + parse an --slo-file.
+util::Result<std::vector<SloSpec>> load_slo_file(const std::string& path);
+
+class SloEngine {
+ public:
+  struct Options {
+    std::vector<SloSpec> specs;
+    /// Bounded ring of recent transitions served on /alertz.
+    std::size_t recent_capacity = 128;
+  };
+
+  /// `history` is non-owning and must outlive the engine.
+  SloEngine(Options options, const TimeSeriesStore* history);
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  /// Evaluate every spec at `now_ms`. Transitions are WARN-logged
+  /// (under the caller's ambient log trace), recorded with the given
+  /// cycle + trace id, and returned.
+  std::vector<AlertTransition> evaluate(std::uint64_t now_ms,
+                                        std::uint64_t cycle,
+                                        const std::string& trace_id);
+
+  /// Pending + firing instances, deterministic order.
+  std::vector<Alert> active() const;
+  /// Recent transitions, oldest to newest.
+  std::vector<AlertTransition> recent() const;
+  std::size_t spec_count() const { return options_.specs.size(); }
+  std::uint64_t evaluations() const;
+
+  /// The /alertz document: {"specs","evaluations","active":[...],
+  /// "recent":[...]} — byte-stable ordering.
+  util::JsonValue to_json() const;
+
+ private:
+  struct Instance {
+    Alert alert;
+    std::uint64_t pending_since_ms = 0;
+    std::uint64_t clear_since_ms = 0;  ///< 0 = condition currently true.
+    // kAnomaly running state.
+    bool ewma_init = false;
+    double ewma = 0.0;
+    std::deque<double> residuals;
+    std::uint64_t last_sample_t_ms = 0;
+  };
+
+  struct Evaluation {
+    bool condition = false;
+    bool known = false;  ///< Enough data to evaluate at all.
+    double value = 0.0;
+    std::string reason;
+  };
+
+  void evaluate_spec(const SloSpec& spec, std::uint64_t now_ms,
+                     std::uint64_t cycle, const std::string& trace_id,
+                     std::vector<AlertTransition>& transitions);
+  Evaluation evaluate_burn_rate(const SloSpec& spec,
+                                std::uint64_t now_ms) const;
+  Evaluation evaluate_threshold(const SloSpec& spec, const LabelSet& labels,
+                                std::uint64_t now_ms) const;
+  Evaluation evaluate_anomaly(const SloSpec& spec, const LabelSet& labels,
+                              Instance& instance) const;
+  Evaluation evaluate_flap(const SloSpec& spec, const LabelSet& labels,
+                           std::uint64_t now_ms) const;
+  void step_instance(const SloSpec& spec, Instance& instance,
+                     const Evaluation& evaluation, std::uint64_t now_ms,
+                     std::uint64_t cycle, const std::string& trace_id,
+                     std::vector<AlertTransition>& transitions);
+
+  Options options_;
+  const TimeSeriesStore* history_;
+
+  mutable std::mutex mutex_;
+  /// (spec index, instance labels) -> live state. std::map keys make
+  /// active() and to_json() deterministic.
+  std::map<std::pair<std::size_t, LabelSet>, Instance> instances_;
+  std::deque<AlertTransition> recent_;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace iqb::obs

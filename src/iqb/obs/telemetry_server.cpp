@@ -5,6 +5,7 @@
 #include "iqb/obs/request_stats.hpp"
 #include "iqb/obs/trace.hpp"
 #include "iqb/util/json.hpp"
+#include "iqb/util/version.hpp"
 
 namespace iqb::obs {
 
@@ -18,6 +19,8 @@ constexpr const char* kIndexBody =
     "  /readyz        readiness (503 before first cycle or at tier C)\n"
     "  /tracez        recent completed spans (?trace=<id> to filter)\n"
     "  /requestz      recent requests (access log)\n"
+    "  /historyz      windowed time-series history (?series=&window=&points=)\n"
+    "  /alertz        active + recent SLO alerts\n"
     "  /scores        latest per-region IQB scores\n"
     "  /shard/aggregate  serialized aggregate table (fleet scatter-gather)\n";
 
@@ -44,7 +47,9 @@ const std::vector<std::string>& default_telemetry_paths() {
   static const std::vector<std::string> paths = {
       "/",        "/metrics",  "/metrics.json",    "/healthz",
       "/readyz",  "/tracez",   "/requestz",        "/scores",
-      "/shard/aggregate",      "/fleetz",          "/fleet/tracez"};
+      "/historyz",             "/alertz",
+      "/shard/aggregate",      "/fleetz",          "/fleet/tracez",
+      "/fleet/alertz"};
   return paths;
 }
 
@@ -113,7 +118,12 @@ HttpResponse TelemetryServer::route(const HttpRequest& request) const {
     return {200, "application/json", std::move(body)};
   }
   if (path == "/healthz") {
-    return {200, "application/json", "{\"status\":\"ok\"}\n"};
+    util::JsonObject out;
+    out.emplace("git_sha", util::git_sha());
+    out.emplace("status", "ok");
+    out.emplace("version", util::version());
+    return {200, "application/json",
+            util::JsonValue(std::move(out)).dump() + "\n"};
   }
   if (path == "/readyz") {
     const auto snapshot = latest();

@@ -1,0 +1,20 @@
+#include "iqb/util/version.hpp"
+
+#ifndef IQB_VERSION
+#define IQB_VERSION "0.0.0"
+#endif
+#ifndef IQB_GIT_SHA
+#define IQB_GIT_SHA "unknown"
+#endif
+
+namespace iqb::util {
+
+const char* version() noexcept { return IQB_VERSION; }
+
+const char* git_sha() noexcept { return IQB_GIT_SHA; }
+
+std::string build_string() {
+  return std::string("iqb ") + version() + " (" + git_sha() + ")";
+}
+
+}  // namespace iqb::util

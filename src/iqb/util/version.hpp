@@ -1,0 +1,19 @@
+// Build identity baked in at compile time (iqb_build_info metric,
+// /healthz version field, --version output).
+#pragma once
+
+#include <string>
+
+namespace iqb::util {
+
+/// Semantic version of this build ("1.0.0").
+const char* version() noexcept;
+
+/// Short git commit the build was produced from, or "unknown" when
+/// the source tree was not a git checkout at configure time.
+const char* git_sha() noexcept;
+
+/// "iqb <version> (<git_sha>)" — the one-line human form.
+std::string build_string();
+
+}  // namespace iqb::util

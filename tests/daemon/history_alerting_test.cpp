@@ -1,0 +1,298 @@
+// iqbd history + alerting integration: every cycle samples the
+// metrics registry (and per-region score gauges) into the ring-buffer
+// TSDB at the injected clock's time, /historyz and /alertz serve the
+// documents over HTTP, --slo-file adds declarative specs on top of
+// the built-in rules, and the telemetry-off daemon exposes none of it
+// (503s, null engines, untouched /scores bytes — asserted elsewhere).
+#include "iqb/cli/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/synthetic.hpp"
+#include "iqb/obs/clock.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/log.hpp"
+#include "../testsupport/http_get.hpp"
+
+namespace iqb::cli {
+namespace {
+
+using testsupport::http_get;
+
+class DaemonHistoryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    records_path_ =
+        (std::filesystem::temp_directory_path() /
+         ("iqb_history_test_records_" + std::to_string(getpid()) + ".csv"))
+            .string();
+    util::Rng rng(7);
+    datasets::RecordStore store;
+    datasets::SyntheticConfig config;
+    config.records_per_dataset = 30;
+    config.base_time = util::Timestamp::parse("2025-04-01").value();
+    config.spacing_s = 3600;
+    for (const auto& profile : datasets::example_region_profiles()) {
+      store.add_all(datasets::generate_region_records(
+          profile, datasets::default_dataset_panel(), config, rng));
+    }
+    ASSERT_TRUE(
+        datasets::write_records_csv(records_path_, store.records()).ok());
+  }
+
+  static void TearDownTestSuite() { std::remove(records_path_.c_str()); }
+
+  static DaemonOptions base_options() {
+    DaemonOptions options;
+    options.records_path = records_path_;
+    options.port = 0;
+    options.watch_files = false;
+    return options;
+  }
+
+  static std::string records_path_;
+};
+
+std::string DaemonHistoryTest::records_path_;
+
+TEST_F(DaemonHistoryTest, CyclesSampleRegistryIntoHistoryAtClockTime) {
+  obs::ManualClock clock(1'000'000'000ull);  // t = 1000 ms
+  DaemonOptions options = base_options();
+  options.clock = &clock;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+  clock.advance_ms(5000);
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+
+  ASSERT_NE(daemon.history(), nullptr);
+  // Per-region score gauges landed in the ring, stamped by the
+  // injected clock — fully deterministic timestamps.
+  const auto score_series = daemon.history()->label_sets("iqb_region_score");
+  ASSERT_FALSE(score_series.empty());
+  const auto latest =
+      daemon.history()->latest("iqb_region_score", score_series.front());
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->t_ms, 6000u);
+  const auto points = daemon.history()->points_in_window(
+      "iqb_region_score", score_series.front(), 60'000, 6000);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].t_ms, 1000u);
+  EXPECT_EQ(points[1].t_ms, 6000u);
+
+  // The cycle counter is in there as a counter series with delta 1
+  // across the two samples.
+  const auto cycles = daemon.history()->query(
+      "iqb_daemon_cycles_total", {{"result", "ok"}}, 60'000, 6000);
+  ASSERT_TRUE(cycles.has_value());
+  EXPECT_EQ(cycles->delta, 1.0);
+
+  // Uptime tracks the injected clock.
+  const auto uptime = daemon.history()->latest("iqbd_uptime_seconds", {});
+  ASSERT_TRUE(uptime.has_value());
+  EXPECT_EQ(uptime->value, 5.0);
+
+  // The built-in rules evaluated each cycle without false-firing on a
+  // healthy daemon.
+  ASSERT_NE(daemon.slo(), nullptr);
+  EXPECT_EQ(daemon.slo()->spec_count(), 3u);  // drift, flap, error burn
+  EXPECT_EQ(daemon.slo()->evaluations(), 2u);
+  EXPECT_TRUE(daemon.slo()->active().empty());
+}
+
+TEST_F(DaemonHistoryTest, HistoryzAndAlertzServeOverHttp) {
+  WatchDaemon daemon(base_options());
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+  ASSERT_TRUE(daemon.server().start().ok());
+
+  const auto history = http_get(daemon.port(), "/historyz?window=60000");
+  ASSERT_TRUE(history.ok);
+  EXPECT_EQ(history.status, 200);
+  auto document = util::parse_json(history.body);
+  ASSERT_TRUE(document.ok()) << history.body;
+  EXPECT_EQ(document->get_number("window_ms").value(), 60'000.0);
+  EXPECT_GT(document->get_number("series_count").value(), 0.0);
+
+  // Family filter + raw points for the dashboard sparkline feed.
+  const auto filtered = http_get(
+      daemon.port(), "/historyz?series=iqb_region_score&points=true");
+  ASSERT_EQ(filtered.status, 200);
+  auto filtered_document = util::parse_json(filtered.body);
+  ASSERT_TRUE(filtered_document.ok());
+  const auto series = filtered_document->get_array("series");
+  ASSERT_TRUE(series.ok());
+  ASSERT_FALSE(series->empty());
+  for (const util::JsonValue& entry : *series) {
+    EXPECT_EQ(entry.get_string("name").value(), "iqb_region_score");
+    EXPECT_TRUE(entry.contains("points"));
+  }
+
+  // A bad window is a client error, not a silent default.
+  EXPECT_EQ(http_get(daemon.port(), "/historyz?window=soon").status, 400);
+
+  const auto alertz = http_get(daemon.port(), "/alertz");
+  ASSERT_EQ(alertz.status, 200) << alertz.body;
+  auto alert_document = util::parse_json(alertz.body);
+  ASSERT_TRUE(alert_document.ok());
+  EXPECT_EQ(alert_document->get_number("specs").value(), 3.0);
+  EXPECT_EQ(alert_document->get_number("evaluations").value(), 1.0);
+  EXPECT_TRUE(alert_document->get_array("active")->empty());
+
+  // The endpoints are first-class: the index page names them.
+  const auto index = http_get(daemon.port(), "/");
+  EXPECT_NE(index.body.find("/historyz"), std::string::npos);
+  EXPECT_NE(index.body.find("/alertz"), std::string::npos);
+}
+
+TEST_F(DaemonHistoryTest, TelemetryOffDisablesHistoryAndAlerting) {
+  DaemonOptions options = base_options();
+  options.telemetry = false;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+  EXPECT_EQ(daemon.history(), nullptr);
+  EXPECT_EQ(daemon.slo(), nullptr);
+
+  ASSERT_TRUE(daemon.server().start().ok());
+  EXPECT_EQ(http_get(daemon.port(), "/historyz").status, 503);
+  EXPECT_EQ(http_get(daemon.port(), "/alertz").status, 503);
+  // The scoring surface is untouched.
+  EXPECT_EQ(http_get(daemon.port(), "/scores").status, 200);
+}
+
+TEST_F(DaemonHistoryTest, AlertzBeforeFirstCycleServesAnEmptyDocument) {
+  // Pollers need no startup special-case: before the engine exists
+  // (no cycle yet, telemetry on) /alertz serves an empty document.
+  WatchDaemon daemon(base_options());
+  ASSERT_TRUE(daemon.server().start().ok());
+  const auto alertz = http_get(daemon.port(), "/alertz");
+  ASSERT_EQ(alertz.status, 200);
+  auto document = util::parse_json(alertz.body);
+  ASSERT_TRUE(document.ok()) << alertz.body;
+  EXPECT_EQ(document->get_number("specs").value(), 0.0);
+  EXPECT_TRUE(document->get_array("active")->empty());
+}
+
+TEST_F(DaemonHistoryTest, SloFileAddsSpecsAndBadFileFailsTheCycle) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("iqb_daemon_slo_" + std::to_string(getpid()) + ".json"))
+          .string();
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(R"({"slos": [{"name": "latency_burn", "type": "burn_rate",
+      "metric": "iqb_http_request_duration_ms", "threshold_ms": 250,
+      "objective": 0.99}]})",
+               f);
+    std::fclose(f);
+  }
+
+  DaemonOptions options = base_options();
+  options.slo_file = path;
+  WatchDaemon daemon(options);
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+  ASSERT_NE(daemon.slo(), nullptr);
+  EXPECT_EQ(daemon.slo()->spec_count(), 4u) << "3 built-ins + the file's";
+
+  // A malformed file fails the cycle loudly instead of silently
+  // alerting on nothing.
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(R"({"slos": [{"name": "x", "type": "burn_rate",
+      "metric": "m", "bogus": 1}]})",
+               f);
+    std::fclose(f);
+  }
+  WatchDaemon broken(options);
+  std::ostringstream broken_err;
+  EXPECT_FALSE(broken.run_cycle(broken_err));
+  EXPECT_NE(broken_err.str().find("slo config error"), std::string::npos)
+      << broken_err.str();
+  EXPECT_EQ(broken.cycles_failed(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(DaemonHistoryTest, ParseArgsAcceptsSloFile) {
+  auto options = parse_daemon_args(
+      {"--records", "r.csv", "--slo-file", "/tmp/slo.json"});
+  ASSERT_TRUE(options.ok()) << options.error().to_string();
+  ASSERT_TRUE(options->slo_file.has_value());
+  EXPECT_EQ(*options->slo_file, "/tmp/slo.json");
+}
+
+TEST_F(DaemonHistoryTest, HealthzAndBuildInfoCarryTheVersion) {
+  WatchDaemon daemon(base_options());
+  std::ostringstream err;
+  ASSERT_TRUE(daemon.run_cycle(err)) << err.str();
+  ASSERT_TRUE(daemon.server().start().ok());
+
+  const auto healthz = http_get(daemon.port(), "/healthz");
+  ASSERT_EQ(healthz.status, 200);
+  auto document = util::parse_json(healthz.body);
+  ASSERT_TRUE(document.ok()) << healthz.body;
+  EXPECT_EQ(document->get_string("status").value(), "ok");
+  EXPECT_FALSE(document->get_string("version").value().empty());
+  EXPECT_FALSE(document->get_string("git_sha").value().empty());
+
+  const auto metrics = http_get(daemon.port(), "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("iqb_build_info{git_sha=\""),
+            std::string::npos)
+      << "build identity gauge with version labels";
+  EXPECT_NE(metrics.body.find("iqbd_uptime_seconds"), std::string::npos);
+}
+
+TEST_F(DaemonHistoryTest, AlertTransitionWarnCarriesTheCycleTraceId) {
+  // A spec that fires on the very first cycle: iqb_daemon_ready > 0.
+  // The transition WARN must ride the cycle's ambient log trace.
+  obs::SloSpec spec;
+  spec.type = obs::SloSpec::Type::kThreshold;
+  spec.name = "always_on";
+  spec.metric = "iqb_daemon_ready";
+  spec.op = obs::SloSpec::Op::kGt;
+  spec.bound = 0.5;
+  DaemonOptions options = base_options();
+  options.slo_specs = {spec};
+
+  WatchDaemon daemon(options);
+  std::vector<std::string> warnings;
+  util::set_log_sink([&warnings](util::LogLevel level,
+                                 std::string_view line) {
+    if (level == util::LogLevel::kWarn) warnings.emplace_back(line);
+  });
+  std::ostringstream err;
+  const bool published = daemon.run_cycle(err);
+  util::set_log_sink(nullptr);
+  ASSERT_TRUE(published) << err.str();
+
+  bool found = false;
+  for (const std::string& line : warnings) {
+    if (line.find("alert always_on") == std::string::npos) continue;
+    found = true;
+    EXPECT_NE(line.find("inactive->firing"), std::string::npos) << line;
+    EXPECT_NE(line.find("iqbd-1"), std::string::npos)
+        << "the cycle trace id must ride the transition log: " << line;
+    EXPECT_NE(line.find("cycle=1"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found) << warnings.size() << " warning(s), none for always_on";
+  const auto active = daemon.slo()->active();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].name, "always_on");
+  EXPECT_EQ(active[0].trace_id, "iqbd-1");
+}
+
+}  // namespace
+}  // namespace iqb::cli

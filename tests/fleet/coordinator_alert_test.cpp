@@ -1,0 +1,220 @@
+// Fleet alerting end-to-end: the coordinator's built-in
+// shard_unreachable rule must walk the full pending -> firing ->
+// resolved lifecycle across a blackholed-then-recovered shard, with
+// deterministic timing from an injected ManualClock, and the
+// /fleet/alertz roll-up must name the alert while it fires.
+#include "iqb/cli/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "iqb/cli/daemon.hpp"
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/synthetic.hpp"
+#include "iqb/obs/clock.hpp"
+#include "iqb/util/json.hpp"
+#include "../testsupport/chaos_proxy.hpp"
+
+namespace iqb::cli {
+namespace {
+
+using testsupport::ChaosProxy;
+
+class FleetAlertTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    records_path_ =
+        (std::filesystem::temp_directory_path() /
+         ("iqb_fleet_alert_records_" + std::to_string(getpid()) + ".csv"))
+            .string();
+    util::Rng rng(4321);
+    datasets::RecordStore store;
+    datasets::SyntheticConfig config;
+    config.records_per_dataset = 30;
+    config.base_time = util::Timestamp::parse("2025-03-01").value();
+    config.spacing_s = 3600;
+    for (const auto& profile : datasets::example_region_profiles()) {
+      store.add_all(datasets::generate_region_records(
+          profile, datasets::default_dataset_panel(), config, rng));
+    }
+    ASSERT_TRUE(
+        datasets::write_records_csv(records_path_, store.records()).ok());
+  }
+
+  static void TearDownTestSuite() { std::remove(records_path_.c_str()); }
+
+  static DaemonOptions shard_options(std::vector<std::string> regions) {
+    DaemonOptions options;
+    options.records_path = records_path_;
+    options.regions = std::move(regions);
+    options.port = 0;
+    options.interval_ms = 200;
+    options.poll_ms = 20;
+    options.watch_files = false;
+    return options;
+  }
+
+  static std::string records_path_;
+};
+
+std::string FleetAlertTest::records_path_;
+
+TEST_F(FleetAlertTest, ShardUnreachableWalksPendingFiringResolved) {
+  WatchDaemon shard_a(shard_options({"metro_fiber", "suburban_cable"}));
+  WatchDaemon shard_b(shard_options({"rural_wisp", "remote_satellite"}));
+  std::ostringstream err;
+  ASSERT_TRUE(shard_a.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_b.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_a.server().start().ok());
+  ASSERT_TRUE(shard_b.server().start().ok());
+
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard_b.server().port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+
+  // for_ms = resolve_ms = 2 * interval_ms = 400 ms; the ManualClock
+  // steps 500 ms per cycle, so every hold-down elapses in exactly one
+  // extra evaluation — byte-deterministic alert timing regardless of
+  // how long the fetches really take.
+  obs::ManualClock clock(1'000'000'000ull);
+  CoordinatorOptions options;
+  options.shards = {{"a", "127.0.0.1", shard_a.server().port()},
+                    {"b", "127.0.0.1", proxy.port()}};
+  options.port = 0;
+  options.interval_ms = 200;
+  options.connect_timeout_ms = 200;
+  options.io_timeout_ms = 200;
+  options.total_deadline_ms = 500;
+  options.hedge_delay_ms = 0;
+  options.retry_sleep_scale = 0.02;
+  options.clock = &clock;
+  CoordinatorDaemon coordinator(options);
+
+  // Healthy cycle: both shards fresh, nothing alerts.
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+  ASSERT_NE(coordinator.slo(), nullptr);
+  EXPECT_TRUE(coordinator.slo()->active().empty());
+  ASSERT_NE(coordinator.history(), nullptr);
+  EXPECT_EQ(
+      coordinator.history()->latest("fleet_shard_up", {{"shard", "b"}})->value,
+      1.0);
+
+  // Blackhole shard b: the first dark cycle opens a pending alert
+  // (hold-down running), the second — past for_ms — fires it.
+  proxy.set_mode(ChaosProxy::Mode::kBlackhole);
+  clock.advance_ms(500);
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+  {
+    const auto active = coordinator.slo()->active();
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0].name, "shard_unreachable");
+    EXPECT_EQ(active[0].labels, (obs::LabelSet{{"shard", "b"}}));
+    EXPECT_EQ(active[0].state, obs::AlertState::kPending);
+    EXPECT_EQ(active[0].since_ms, 1500u);
+  }
+  clock.advance_ms(500);
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+  {
+    const auto active = coordinator.slo()->active();
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0].state, obs::AlertState::kFiring);
+    EXPECT_EQ(active[0].since_ms, 2000u);
+  }
+
+  // While firing, /fleet/alertz rolls the alert up under "fleet"
+  // (sourced from the coordinator) and reports the dark shard's
+  // /alertz as unreachable.
+  {
+    const auto response =
+        coordinator.server().handle({"GET", "/fleet/alertz"});
+    ASSERT_EQ(response.status, 200);
+    auto document = util::parse_json(response.body);
+    ASSERT_TRUE(document.ok()) << response.body;
+    EXPECT_GE(document->get_number("active_total").value(), 1.0);
+    auto regions = document->get("regions");
+    ASSERT_TRUE(regions.ok()) << response.body;
+    auto fleet_alerts = regions->get_array("fleet");
+    ASSERT_TRUE(fleet_alerts.ok()) << response.body;
+    bool named = false;
+    for (const util::JsonValue& alert : *fleet_alerts) {
+      if (alert.get_string("name").value_or("") == "shard_unreachable" &&
+          alert.get_string("source").value_or("") == "coordinator" &&
+          alert.get_string("state").value_or("") == "firing") {
+        named = true;
+      }
+    }
+    EXPECT_TRUE(named) << response.body;
+    auto shards = document->get_array("shards");
+    ASSERT_TRUE(shards.ok());
+    ASSERT_EQ(shards->size(), 2u);
+    EXPECT_EQ((*shards)[0].get_string("status").value(), "ok");
+    EXPECT_EQ((*shards)[1].get_string("status").value(), "unreachable");
+  }
+
+  // Recovery: the breaker may spend a cycle re-probing, so allow a
+  // few clock-stepped cycles for up=1 to return and the resolve
+  // hold-down to elapse.
+  proxy.set_mode(ChaosProxy::Mode::kPass);
+  bool resolved = false;
+  for (int cycle = 0; cycle < 6 && !resolved; ++cycle) {
+    clock.advance_ms(500);
+    ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+    resolved = coordinator.slo()->active().empty();
+  }
+  EXPECT_TRUE(resolved) << "shard_unreachable must resolve after recovery";
+
+  // The recent ring holds the exact lifecycle for shard b.
+  std::vector<obs::AlertState> lifecycle;
+  for (const auto& transition : coordinator.slo()->recent()) {
+    if (transition.alert.name == "shard_unreachable") {
+      lifecycle.push_back(transition.alert.state);
+    }
+  }
+  ASSERT_EQ(lifecycle.size(), 3u);
+  EXPECT_EQ(lifecycle[0], obs::AlertState::kPending);
+  EXPECT_EQ(lifecycle[1], obs::AlertState::kFiring);
+  EXPECT_EQ(lifecycle[2], obs::AlertState::kResolved);
+
+  proxy.stop();
+}
+
+TEST_F(FleetAlertTest, CoordinatorParsesSloFileFlag) {
+  auto options = parse_coordinator_args(
+      {"--shards", "a=127.0.0.1:9001", "--slo-file", "/tmp/fleet_slo.json"});
+  ASSERT_TRUE(options.ok()) << options.error().to_string();
+  ASSERT_TRUE(options->slo_file.has_value());
+  EXPECT_EQ(*options->slo_file, "/tmp/fleet_slo.json");
+}
+
+TEST_F(FleetAlertTest, FleetAlertzDisabledWithoutTelemetry) {
+  WatchDaemon shard_a(shard_options({"metro_fiber"}));
+  std::ostringstream err;
+  ASSERT_TRUE(shard_a.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_a.server().start().ok());
+
+  CoordinatorOptions options;
+  options.shards = {{"a", "127.0.0.1", shard_a.server().port()}};
+  options.port = 0;
+  options.telemetry = false;
+  options.hedge_delay_ms = 0;
+  options.retry_sleep_scale = 0.02;
+  CoordinatorDaemon coordinator(options);
+  ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+  EXPECT_EQ(coordinator.history(), nullptr);
+  EXPECT_EQ(coordinator.slo(), nullptr);
+  EXPECT_EQ(coordinator.server().handle({"GET", "/fleet/alertz"}).status,
+            503);
+  EXPECT_EQ(coordinator.server().handle({"GET", "/historyz"}).status, 503);
+  EXPECT_EQ(coordinator.server().handle({"GET", "/alertz"}).status, 503);
+}
+
+}  // namespace
+}  // namespace iqb::cli

@@ -1,0 +1,173 @@
+// TimeSeriesStore: the fixed-memory ring-buffer TSDB behind
+// /historyz and the SLO engine. The contracts under test:
+//   * rings evict oldest-first at capacity_per_series, and memory is
+//     bounded by max_series with drops counted, never allocated past;
+//   * stale (time-regressed) appends are dropped, equal stamps kept;
+//   * sample_registry expands histograms into the Prometheus data
+//     model (cumulative _bucket{le=...} + +Inf + _count + _sum);
+//   * windowed stats (delta/rate over counters, min/max/mean/p95 over
+//     gauges) and the sum_window_delta burn-rate primitive;
+//   * to_json is byte-stable for a fixed store and clock.
+#include "iqb/obs/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "iqb/obs/metrics.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::obs {
+namespace {
+
+TEST(TimeSeriesStore, RingEvictsOldestAtCapacity) {
+  TimeSeriesStore::Options options;
+  options.capacity_per_series = 4;
+  TimeSeriesStore store(options);
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    store.append("g", {}, SeriesKind::kGaugeSeries, t * 1000,
+                 static_cast<double>(t));
+  }
+  const auto points = store.points_in_window("g", {}, 60'000, 10'000);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points.front().t_ms, 7000u);
+  EXPECT_EQ(points.front().value, 7.0);
+  EXPECT_EQ(points.back().t_ms, 10'000u);
+  EXPECT_EQ(points.back().value, 10.0);
+}
+
+TEST(TimeSeriesStore, StalePointIsDroppedEqualTimestampKept) {
+  TimeSeriesStore store;
+  store.append("g", {}, SeriesKind::kGaugeSeries, 2000, 2.0);
+  store.append("g", {}, SeriesKind::kGaugeSeries, 1000, 1.0);  // stale: drop
+  store.append("g", {}, SeriesKind::kGaugeSeries, 2000, 3.0);  // equal: keep
+  const auto points = store.points_in_window("g", {}, 60'000, 2000);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].value, 2.0);
+  EXPECT_EQ(points[1].value, 3.0);
+}
+
+TEST(TimeSeriesStore, MaxSeriesBoundDropsAndCounts) {
+  TimeSeriesStore::Options options;
+  options.max_series = 2;
+  TimeSeriesStore store(options);
+  store.append("a", {{"i", "1"}}, SeriesKind::kGaugeSeries, 1000, 1.0);
+  store.append("a", {{"i", "2"}}, SeriesKind::kGaugeSeries, 1000, 2.0);
+  // A label explosion past the bound never allocates a third series.
+  store.append("a", {{"i", "3"}}, SeriesKind::kGaugeSeries, 1000, 3.0);
+  store.append("b", {}, SeriesKind::kGaugeSeries, 1000, 4.0);
+  EXPECT_EQ(store.series_count(), 2u);
+  EXPECT_EQ(store.dropped_series(), 2u);
+  // Existing series still accept points.
+  store.append("a", {{"i", "1"}}, SeriesKind::kGaugeSeries, 2000, 5.0);
+  EXPECT_EQ(store.latest("a", {{"i", "1"}})->value, 5.0);
+  EXPECT_FALSE(store.latest("a", {{"i", "3"}}).has_value());
+}
+
+TEST(TimeSeriesStore, SampleRegistryExpandsHistogramBuckets) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("lat_ms", "latency",
+                                       {100.0, 250.0, 500.0});
+  histogram.observe(50.0);    // bucket le=100
+  histogram.observe(200.0);   // bucket le=250
+  histogram.observe(9000.0);  // +Inf overflow
+  registry.counter("reqs", "requests").inc(7.0);
+  registry.gauge("score", "score", {{"region", "metro"}}).set(82.5);
+
+  TimeSeriesStore store;
+  store.sample_registry(registry, 1000);
+
+  // Cumulative Prometheus buckets keyed by le.
+  EXPECT_EQ(store.latest("lat_ms_bucket", {{"le", "100"}})->value, 1.0);
+  EXPECT_EQ(store.latest("lat_ms_bucket", {{"le", "250"}})->value, 2.0);
+  EXPECT_EQ(store.latest("lat_ms_bucket", {{"le", "500"}})->value, 2.0);
+  EXPECT_EQ(store.latest("lat_ms_bucket", {{"le", "+Inf"}})->value, 3.0);
+  EXPECT_EQ(store.latest("lat_ms_count", {})->value, 3.0);
+  EXPECT_EQ(store.latest("lat_ms_sum", {})->value, 9250.0);
+  EXPECT_EQ(store.latest("reqs", {})->value, 7.0);
+  EXPECT_EQ(store.latest("score", {{"region", "metro"}})->value, 82.5);
+  // 4 buckets + count + sum + counter + gauge.
+  EXPECT_EQ(store.series_count(), 8u);
+}
+
+TEST(TimeSeriesStore, WindowStatsCounterDeltaAndRate) {
+  TimeSeriesStore store;
+  store.append("c", {}, SeriesKind::kCounterSeries, 0, 10.0);
+  store.append("c", {}, SeriesKind::kCounterSeries, 5000, 20.0);
+  store.append("c", {}, SeriesKind::kCounterSeries, 10'000, 40.0);
+  const auto stats = store.query("c", {}, 10'000, 10'000);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->samples, 3u);
+  EXPECT_EQ(stats->delta, 30.0);
+  EXPECT_EQ(stats->rate_per_s, 3.0);
+  // A narrower window only sees the last two points.
+  const auto recent = store.query("c", {}, 5000, 10'000);
+  ASSERT_TRUE(recent.has_value());
+  EXPECT_EQ(recent->delta, 20.0);
+  EXPECT_EQ(recent->rate_per_s, 4.0);
+  // Out-of-window: no answer rather than a misleading zero.
+  EXPECT_FALSE(store.query("c", {}, 1000, 60'000).has_value());
+}
+
+TEST(TimeSeriesStore, WindowStatsGaugeDistributionAndP95) {
+  TimeSeriesStore store;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    store.append("g", {}, SeriesKind::kGaugeSeries, i * 100,
+                 static_cast<double>(i));
+  }
+  const auto stats = store.query("g", {}, 60'000, 2000);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->min, 1.0);
+  EXPECT_EQ(stats->max, 20.0);
+  EXPECT_EQ(stats->mean, 10.5);
+  // Nearest-rank p95 of 1..20 is the ceil(0.95*20)=19th value.
+  EXPECT_EQ(stats->p95, 19.0);
+}
+
+TEST(TimeSeriesStore, SumWindowDeltaAggregatesMatchingSeries) {
+  TimeSeriesStore store;
+  store.append("http", {{"code", "200"}}, SeriesKind::kCounterSeries, 0, 0.0);
+  store.append("http", {{"code", "200"}}, SeriesKind::kCounterSeries, 1000,
+               30.0);
+  store.append("http", {{"code", "500"}}, SeriesKind::kCounterSeries, 0, 0.0);
+  store.append("http", {{"code", "500"}}, SeriesKind::kCounterSeries, 1000,
+               12.0);
+  store.append("other", {}, SeriesKind::kCounterSeries, 1000, 99.0);
+  EXPECT_EQ(store.sum_window_delta("http", {}, 60'000, 1000), 42.0);
+  EXPECT_EQ(store.sum_window_delta("http", {{"code", "500"}}, 60'000, 1000),
+            12.0);
+  EXPECT_EQ(store.distinct_label_values("http", "code"),
+            (std::vector<std::string>{"200", "500"}));
+  EXPECT_EQ(store.label_sets("http").size(), 2u);
+  EXPECT_EQ(store.label_sets("http", {{"code", "200"}}).size(), 1u);
+}
+
+TEST(TimeSeriesStore, ToJsonIsByteStable) {
+  TimeSeriesStore store;
+  store.append("cycles", {}, SeriesKind::kCounterSeries, 1000, 1.0);
+  store.append("cycles", {}, SeriesKind::kCounterSeries, 2000, 3.0);
+  store.append("score", {{"region", "metro"}}, SeriesKind::kGaugeSeries, 2000,
+               80.0);
+  const std::string first = store.to_json("", 60'000, 2000, true).dump();
+  const std::string second = store.to_json("", 60'000, 2000, true).dump();
+  EXPECT_EQ(first, second) << "same store + clock: identical bytes";
+  // JsonObject is a sorted map, so the document's keys serialize
+  // alphabetically — the whole golden is reproducible byte-for-byte.
+  EXPECT_EQ(
+      first,
+      "{\"dropped_series\":0,\"now_ms\":2000,\"series\":["
+      "{\"delta\":2,\"first\":1,\"kind\":\"counter\",\"last\":3,"
+      "\"name\":\"cycles\",\"points\":[[1000,1],[2000,3]],"
+      "\"rate_per_s\":2,\"samples\":2},"
+      "{\"first\":80,\"kind\":\"gauge\",\"labels\":{\"region\":\"metro\"},"
+      "\"last\":80,\"max\":80,\"mean\":80,\"min\":80,\"name\":\"score\","
+      "\"p95\":80,\"points\":[[2000,80]],\"samples\":1}],"
+      "\"series_count\":2,\"window_ms\":60000}");
+  // Family filter narrows without disturbing ordering.
+  const auto filtered = store.to_json("score", 60'000, 2000, false);
+  EXPECT_EQ(filtered.get_array("series")->size(), 1u);
+}
+
+}  // namespace
+}  // namespace iqb::obs

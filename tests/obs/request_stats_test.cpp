@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "iqb/obs/export.hpp"
@@ -60,6 +61,101 @@ TEST(RequestStats, CountsByPathAndStatusClassIntoTheRegistry) {
             std::string::npos)
       << exported;
   EXPECT_EQ(stats.total(), 4u);
+}
+
+TEST(RequestStats, QueryStringStripsToTheKnownEndpointLabel) {
+  MetricsRegistry registry;
+  RequestStats::Options options;
+  options.metrics = &registry;
+  options.known_paths = {"/historyz", "/scores"};
+  RequestStats stats(options);
+
+  // A caller-recorded path with its query intact must label as the
+  // known endpoint, not leak a per-query series into "other".
+  stats.record(request("/historyz?series=iqb_region_score&window=60000",
+                       200, 1.0));
+  stats.record(request("/historyz?window=1000", 200, 1.0));
+  stats.record(request("/scores?pretty=1", 200, 1.0));
+  stats.record(request("/unknown?x=1", 404, 1.0));
+
+  const std::string exported = to_prometheus(registry);
+  EXPECT_NE(exported.find("iqb_http_requests_total{path=\"/historyz\"} 2"),
+            std::string::npos)
+      << exported;
+  EXPECT_NE(exported.find("iqb_http_requests_total{path=\"/scores\"} 1"),
+            std::string::npos);
+  EXPECT_NE(exported.find("iqb_http_requests_total{path=\"other\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(exported.find("series="), std::string::npos)
+      << "no query text may reach a label";
+}
+
+TEST(RequestStats, InformationalAndRedirectStatusClasses) {
+  MetricsRegistry registry;
+  RequestStats::Options options;
+  options.metrics = &registry;
+  RequestStats stats(options);
+
+  stats.record(request("/scores", 101, 0.1));  // switching protocols
+  stats.record(request("/scores", 301, 0.1));
+  stats.record(request("/scores", 304, 0.1));
+  stats.record(request("/scores", 999, 0.1));  // out of range
+
+  const std::string exported = to_prometheus(registry);
+  EXPECT_NE(exported.find("iqb_http_responses_total{class=\"1xx\"} 1"),
+            std::string::npos)
+      << exported;
+  EXPECT_NE(exported.find("iqb_http_responses_total{class=\"3xx\"} 2"),
+            std::string::npos);
+  EXPECT_NE(exported.find("iqb_http_responses_total{class=\"invalid\"} 1"),
+            std::string::npos);
+}
+
+TEST(RequestStats, ConcurrentMixedPathsKeepCardinalityBounded) {
+  MetricsRegistry registry;
+  RequestStats::Options options;
+  options.metrics = &registry;
+  options.known_paths = {"/metrics", "/scores"};
+  RequestStats stats(options);
+
+  // An attacker probing distinct random URLs from many connections
+  // must pool into one "other" series per family, never mint series.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int worker = 0; worker < kThreads; ++worker) {
+    workers.emplace_back([&stats, worker] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RequestStats::Record record;
+        record.method = "GET";
+        record.path = "/probe-" + std::to_string(worker) + "-" +
+                      std::to_string(i) + "?q=" + std::to_string(i);
+        record.status = 404;
+        record.duration_ms = 0.1;
+        stats.record(record);
+        RequestStats::Record known;
+        known.method = "GET";
+        known.path = "/scores";
+        known.status = 200;
+        known.duration_ms = 0.1;
+        stats.record(known);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(stats.total(),
+            static_cast<std::uint64_t>(2 * kThreads * kPerThread));
+  const std::string exported = to_prometheus(registry);
+  EXPECT_NE(exported.find("iqb_http_requests_total{path=\"other\"} 400"),
+            std::string::npos)
+      << exported;
+  EXPECT_NE(exported.find("iqb_http_requests_total{path=\"/scores\"} 400"),
+            std::string::npos);
+  EXPECT_EQ(exported.find("/probe-"), std::string::npos);
+  // requests(2) + responses(2 classes) + duration histogram series(2).
+  EXPECT_EQ(registry.series_count(), 6u);
 }
 
 TEST(RequestStats, SlowRequestsArePromotedToWarnWithTraceId) {

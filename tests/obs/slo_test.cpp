@@ -1,0 +1,445 @@
+// SloEngine: declarative specs -> stateful alerts over the history
+// TSDB. The headline test scripts a full Google-style multi-window
+// burn-rate incident on a deterministic timeline and asserts the
+// exact transition sequence (pending -> firing -> resolved, with
+// exact since_ms / cycle / trace stamps) — the PR's acceptance
+// criterion. The rest covers spec parsing (unknown fields are
+// errors), the hold-down state machine, per-series instances,
+// EWMA+MAD anomaly detection, and flap detection.
+#include "iqb/obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "iqb/obs/history.hpp"
+#include "iqb/util/json.hpp"
+
+namespace iqb::obs {
+namespace {
+
+// ---------------------------------------------------------------- parsing
+
+TEST(SloParse, ParsesEveryFieldKind) {
+  auto parsed = util::parse_json(R"({
+    "slos": [
+      {"name": "lat", "type": "burn_rate", "metric": "req_ms",
+       "objective": 0.95, "threshold_ms": 250,
+       "fast_short_ms": 60000, "fast_factor": 10.0,
+       "for_ms": 1000, "resolve_ms": 2000,
+       "labels": {"path": "/scores"}},
+      {"name": "up", "type": "threshold", "metric": "fleet_shard_up",
+       "op": "lt", "bound": 1.0},
+      {"name": "drift", "type": "anomaly", "metric": "score",
+       "ewma_alpha": 0.5, "mad_k": 4.0, "warmup_samples": 4},
+      {"name": "flap", "type": "flap", "metric": "tier",
+       "max_flips": 2, "flap_window_ms": 5000}
+    ]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  auto specs = parse_slo_specs(*parsed);
+  ASSERT_TRUE(specs.ok()) << specs.error().to_string();
+  ASSERT_EQ(specs->size(), 4u);
+  EXPECT_EQ((*specs)[0].type, SloSpec::Type::kBurnRate);
+  EXPECT_EQ((*specs)[0].objective, 0.95);
+  EXPECT_EQ((*specs)[0].fast_short_ms, 60'000u);
+  EXPECT_EQ((*specs)[0].fast_factor, 10.0);
+  EXPECT_EQ((*specs)[0].for_ms, 1000u);
+  EXPECT_EQ((*specs)[0].labels, (LabelSet{{"path", "/scores"}}));
+  EXPECT_EQ((*specs)[1].type, SloSpec::Type::kThreshold);
+  EXPECT_EQ((*specs)[1].op, SloSpec::Op::kLt);
+  EXPECT_EQ((*specs)[2].type, SloSpec::Type::kAnomaly);
+  EXPECT_EQ((*specs)[2].warmup_samples, 4u);
+  EXPECT_EQ((*specs)[3].type, SloSpec::Type::kFlap);
+  EXPECT_EQ((*specs)[3].max_flips, 2u);
+}
+
+TEST(SloParse, RejectsBadSpecs) {
+  const auto parse = [](const std::string& text) {
+    auto document = util::parse_json(text);
+    EXPECT_TRUE(document.ok()) << text;
+    return parse_slo_specs(*document);
+  };
+  // A typo'd field silently matching nothing would be an alerting
+  // hole, so unknown fields are hard errors.
+  EXPECT_FALSE(parse(R"({"slos": [{"name": "x", "type": "threshold",
+    "metric": "m", "bogus_field": 1}]})")
+                   .ok());
+  EXPECT_FALSE(parse(R"({"slos": [{"type": "threshold", "metric": "m"}]})")
+                   .ok());  // name required
+  EXPECT_FALSE(parse(R"({"slos": [{"name": "x", "metric": "m"}]})")
+                   .ok());  // type required
+  EXPECT_FALSE(parse(R"({"slos": [{"name": "x", "type": "threshold"}]})")
+                   .ok());  // metric required
+  EXPECT_FALSE(parse(R"({"slos": [{"name": "x", "type": "nonsense",
+    "metric": "m"}]})")
+                   .ok());
+  EXPECT_FALSE(parse(R"({"slos": [{"name": "x", "type": "burn_rate",
+    "metric": "m", "objective": 1.5}]})")
+                   .ok());  // objective outside (0, 1)
+  EXPECT_FALSE(parse(R"({"slos": [{"name": "x", "type": "threshold",
+    "metric": "m", "op": "le"}]})")
+                   .ok());
+  EXPECT_FALSE(parse(R"({"slos": [{"name": "x", "type": "threshold",
+    "metric": "m", "labels": {"k": 3}}]})")
+                   .ok());  // label values must be strings
+}
+
+TEST(SloParse, LoadsFromFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("iqb_slo_test_" + std::to_string(getpid()) + ".json"))
+          .string();
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(R"({"slos": [{"name": "up", "type": "threshold",
+      "metric": "fleet_shard_up", "op": "lt", "bound": 1.0}]})",
+               f);
+    std::fclose(f);
+  }
+  auto specs = load_slo_file(path);
+  ASSERT_TRUE(specs.ok()) << specs.error().to_string();
+  EXPECT_EQ(specs->size(), 1u);
+  EXPECT_EQ((*specs)[0].name, "up");
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_slo_file(path).ok());  // gone: a load error, not empty
+}
+
+// ------------------------------------------- the burn-rate incident
+
+/// The acceptance-criterion test: a scripted error-rate incident on a
+/// deterministic timeline must reproduce the multi-window burn-rate
+/// firing sequence *exactly* — same transitions, same since_ms, same
+/// cycle and trace stamps, every run.
+TEST(SloEngine, MultiWindowBurnRateFiringSequenceIsDeterministic) {
+  // Request/error counters sampled every 30 s for 13 minutes:
+  //   t <= 300 s          healthy (errors flat)
+  //   300 s < t <= 600 s  outage (every request errors)
+  //   t > 600 s           recovered (errors flat again)
+  TimeSeriesStore store;
+  for (std::uint64_t t = 0; t <= 780; t += 30) {
+    const double total = 100.0 * static_cast<double>(t / 30);
+    const double errors =
+        t <= 300 ? 0.0
+                 : (t <= 600 ? 100.0 * static_cast<double>((t - 300) / 30)
+                             : 1000.0);
+    store.append("req_total", {}, SeriesKind::kCounterSeries, t * 1000, total);
+    store.append("req_errors", {}, SeriesKind::kCounterSeries, t * 1000,
+                 errors);
+  }
+
+  SloSpec spec;
+  spec.type = SloSpec::Type::kBurnRate;
+  spec.name = "error_burn";
+  spec.metric = "req_total";
+  spec.bad_metric = "req_errors";
+  spec.objective = 0.99;  // 1% error budget
+  spec.fast_short_ms = 60'000;   // test-scale stand-ins for 5m/1h
+  spec.fast_long_ms = 300'000;
+  spec.fast_factor = 14.4;
+  spec.slow_short_ms = 120'000;
+  spec.slow_long_ms = 600'000;
+  spec.slow_factor = 1e9;  // slow pair effectively off: isolate the fast pair
+  spec.for_ms = 120'000;
+  spec.resolve_ms = 60'000;
+
+  SloEngine engine({{spec}, 128}, &store);
+
+  // t=300s: the outage has not started; both fast windows are known
+  // and quiet.
+  EXPECT_TRUE(engine.evaluate(300'000, 1, "t1").empty());
+
+  // t=330s: the short window burns at 50x but the long window is
+  // still diluted to 10x — the multi-window guard holds the alert.
+  EXPECT_TRUE(engine.evaluate(330'000, 2, "t2").empty());
+  EXPECT_TRUE(engine.active().empty());
+
+  // t=420s: both windows burn (short 100x, long 40x) -> pending.
+  auto transitions = engine.evaluate(420'000, 3, "t3");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kInactive);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kPending);
+  EXPECT_EQ(transitions[0].alert.name, "error_burn");
+  EXPECT_EQ(transitions[0].alert.since_ms, 420'000u);
+  EXPECT_EQ(transitions[0].alert.cycle, 3u);
+  EXPECT_EQ(transitions[0].alert.trace_id, "t3");
+  EXPECT_NEAR(transitions[0].alert.value, 100.0, 1e-6);
+
+  // t=480s: still burning but only 60s into the 120s hold-down.
+  EXPECT_TRUE(engine.evaluate(480'000, 4, "t4").empty());
+
+  // t=540s: the condition has held for for_ms -> firing.
+  transitions = engine.evaluate(540'000, 5, "t5");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kPending);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kFiring);
+  EXPECT_EQ(transitions[0].alert.since_ms, 540'000u);
+  EXPECT_EQ(transitions[0].alert.cycle, 5u);
+  EXPECT_EQ(transitions[0].alert.trace_id, "t5");
+  {
+    const auto active = engine.active();
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0].state, AlertState::kFiring);
+  }
+
+  // t=720s: errors stopped at 600s; the short window is clean so the
+  // fast pair clears, starting the resolve_ms clock.
+  EXPECT_TRUE(engine.evaluate(720'000, 6, "t6").empty());
+
+  // t=780s: clear for resolve_ms -> resolved.
+  transitions = engine.evaluate(780'000, 7, "t7");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kFiring);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kResolved);
+  EXPECT_EQ(transitions[0].alert.since_ms, 780'000u);
+  EXPECT_EQ(transitions[0].alert.cycle, 7u);
+  EXPECT_EQ(transitions[0].alert.trace_id, "t7");
+  EXPECT_TRUE(engine.active().empty());
+
+  // The full incident is on the recent ring, oldest to newest.
+  const auto recent = engine.recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].alert.state, AlertState::kPending);
+  EXPECT_EQ(recent[1].alert.state, AlertState::kFiring);
+  EXPECT_EQ(recent[2].alert.state, AlertState::kResolved);
+  EXPECT_EQ(engine.evaluations(), 7u);
+}
+
+TEST(SloEngine, BurnRateOverEmptyStoreIsUnknownNotFiring) {
+  TimeSeriesStore store;
+  SloSpec spec;
+  spec.type = SloSpec::Type::kBurnRate;
+  spec.name = "error_burn";
+  spec.metric = "req_total";
+  spec.bad_metric = "req_errors";
+  SloEngine engine({{spec}, 128}, &store);
+  // No data at startup: unknown, never a false page.
+  EXPECT_TRUE(engine.evaluate(1000, 1, "t").empty());
+  EXPECT_TRUE(engine.active().empty());
+}
+
+TEST(SloEngine, BurnRateHistogramModePicksCoveringBucket) {
+  // Histogram mode: good = events <= the tightest bucket covering
+  // threshold_ms. 20 events per step, 10 fast (le=100) and 10 slow
+  // (over 500): with threshold 250 the 250-bucket is the good bound,
+  // bad fraction is 0.5 against a 1% budget -> burn 50x everywhere.
+  TimeSeriesStore store;
+  for (std::uint64_t t = 0; t <= 600; t += 30) {
+    const double steps = static_cast<double>(t / 30);
+    store.append("lat_ms_bucket", {{"le", "100"}}, SeriesKind::kCounterSeries,
+                 t * 1000, 10.0 * steps);
+    store.append("lat_ms_bucket", {{"le", "250"}}, SeriesKind::kCounterSeries,
+                 t * 1000, 10.0 * steps);
+    store.append("lat_ms_bucket", {{"le", "+Inf"}}, SeriesKind::kCounterSeries,
+                 t * 1000, 20.0 * steps);
+    store.append("lat_ms_count", {}, SeriesKind::kCounterSeries, t * 1000,
+                 20.0 * steps);
+  }
+  SloSpec spec;
+  spec.type = SloSpec::Type::kBurnRate;
+  spec.name = "latency_burn";
+  spec.metric = "lat_ms";
+  spec.threshold_ms = 250;
+  spec.objective = 0.99;
+  spec.fast_short_ms = 60'000;
+  spec.fast_long_ms = 300'000;
+  spec.slow_short_ms = 60'000;
+  spec.slow_long_ms = 300'000;
+  SloEngine engine({{spec}, 128}, &store);
+  const auto transitions = engine.evaluate(600'000, 1, "t");
+  ASSERT_EQ(transitions.size(), 1u);  // for_ms=0: fires immediately
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kFiring);
+  EXPECT_NEAR(transitions[0].alert.value, 50.0, 1e-6);
+}
+
+// ------------------------------------------------- threshold + hold-down
+
+SloSpec shard_up_spec() {
+  SloSpec spec;
+  spec.type = SloSpec::Type::kThreshold;
+  spec.name = "shard_unreachable";
+  spec.metric = "fleet_shard_up";
+  spec.op = SloSpec::Op::kLt;
+  spec.bound = 1.0;
+  spec.for_ms = 2000;
+  spec.resolve_ms = 2000;
+  return spec;
+}
+
+TEST(SloEngine, ThresholdTracksEachMatchingSeries) {
+  TimeSeriesStore store;
+  store.append("fleet_shard_up", {{"shard", "a"}}, SeriesKind::kGaugeSeries,
+               1000, 1.0);
+  store.append("fleet_shard_up", {{"shard", "b"}}, SeriesKind::kGaugeSeries,
+               1000, 0.0);
+  SloEngine engine({{shard_up_spec()}, 128}, &store);
+
+  auto transitions = engine.evaluate(1000, 1, "t1");
+  ASSERT_EQ(transitions.size(), 1u) << "only the down shard alerts";
+  EXPECT_EQ(transitions[0].alert.labels, (LabelSet{{"shard", "b"}}));
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kPending);
+
+  // Held down for for_ms -> firing, for shard b only.
+  store.append("fleet_shard_up", {{"shard", "a"}}, SeriesKind::kGaugeSeries,
+               4000, 1.0);
+  store.append("fleet_shard_up", {{"shard", "b"}}, SeriesKind::kGaugeSeries,
+               4000, 0.0);
+  transitions = engine.evaluate(4000, 2, "t2");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kFiring);
+  EXPECT_EQ(transitions[0].alert.labels, (LabelSet{{"shard", "b"}}));
+
+  // Recovery: clear, then resolved after resolve_ms.
+  store.append("fleet_shard_up", {{"shard", "b"}}, SeriesKind::kGaugeSeries,
+               5000, 1.0);
+  EXPECT_TRUE(engine.evaluate(5000, 3, "t3").empty());
+  store.append("fleet_shard_up", {{"shard", "b"}}, SeriesKind::kGaugeSeries,
+               8000, 1.0);
+  transitions = engine.evaluate(8000, 4, "t4");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kFiring);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kResolved);
+}
+
+TEST(SloEngine, PendingThatClearsNeverFires) {
+  TimeSeriesStore store;
+  store.append("fleet_shard_up", {{"shard", "a"}}, SeriesKind::kGaugeSeries,
+               1000, 0.0);
+  SloEngine engine({{shard_up_spec()}, 128}, &store);
+  auto transitions = engine.evaluate(1000, 1, "t1");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kPending);
+
+  // A one-cycle blip clears inside the hold-down: back to inactive,
+  // no page.
+  store.append("fleet_shard_up", {{"shard", "a"}}, SeriesKind::kGaugeSeries,
+               2000, 1.0);
+  transitions = engine.evaluate(2000, 2, "t2");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kPending);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kInactive);
+  EXPECT_TRUE(engine.active().empty());
+}
+
+// -------------------------------------------------------------- anomaly
+
+TEST(SloEngine, AnomalyFiresOnDriftAfterWarmup) {
+  TimeSeriesStore store;
+  SloSpec spec;
+  spec.type = SloSpec::Type::kAnomaly;
+  spec.name = "score_drift";
+  spec.metric = "score";
+  spec.mad_k = 6.0;
+  spec.warmup_samples = 8;
+  SloEngine engine({{spec}, 128}, &store);
+
+  // A stable-but-noisy score: alternating 50/52 so the MAD is
+  // nonzero. Nothing may fire during or after warmup.
+  std::uint64_t t = 0;
+  for (int i = 0; i < 12; ++i) {
+    t += 1000;
+    store.append("score", {}, SeriesKind::kGaugeSeries, t,
+                 i % 2 == 0 ? 50.0 : 52.0);
+    EXPECT_TRUE(engine.evaluate(t, i + 1, "t").empty())
+        << "sample " << i << " is in-family";
+  }
+
+  // A genuine drift: the score jumps far outside the residual band.
+  t += 1000;
+  store.append("score", {}, SeriesKind::kGaugeSeries, t, 90.0);
+  const auto transitions = engine.evaluate(t, 13, "t13");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kFiring);
+  EXPECT_GT(transitions[0].alert.value, 6.0) << "robust z beyond mad_k";
+}
+
+TEST(SloEngine, AnomalyConsumesEachSampleOnce) {
+  TimeSeriesStore store;
+  SloSpec spec;
+  spec.type = SloSpec::Type::kAnomaly;
+  spec.name = "score_drift";
+  spec.metric = "score";
+  spec.warmup_samples = 2;
+  SloEngine engine({{spec}, 128}, &store);
+  store.append("score", {}, SeriesKind::kGaugeSeries, 1000, 50.0);
+  // Cycles outpacing the sampled series must not re-ingest the same
+  // point into the EWMA (which would fake a flat, overconfident
+  // history).
+  for (int cycle = 1; cycle <= 5; ++cycle) {
+    EXPECT_TRUE(engine.evaluate(1000 + cycle, cycle, "t").empty());
+  }
+  store.append("score", {}, SeriesKind::kGaugeSeries, 2000, 51.0);
+  EXPECT_TRUE(engine.evaluate(2000, 6, "t").empty());
+}
+
+// ----------------------------------------------------------------- flap
+
+TEST(SloEngine, FlapFiresOnTierThrash) {
+  TimeSeriesStore store;
+  SloSpec spec;
+  spec.type = SloSpec::Type::kFlap;
+  spec.name = "tier_flap";
+  spec.metric = "tier";
+  spec.max_flips = 3;
+  spec.flap_window_ms = 10'000;
+  SloEngine engine({{spec}, 128}, &store);
+
+  // Steady tier: no flips, no alert.
+  for (std::uint64_t t = 1; t <= 4; ++t) {
+    store.append("tier", {}, SeriesKind::kGaugeSeries, t * 1000, 0.0);
+  }
+  EXPECT_TRUE(engine.evaluate(4000, 1, "t1").empty());
+
+  // A->B->A->B->A thrash inside the window: 4 flips > max 3.
+  for (std::uint64_t t = 5; t <= 9; ++t) {
+    store.append("tier", {}, SeriesKind::kGaugeSeries, t * 1000,
+                 t % 2 == 0 ? 1.0 : 0.0);
+  }
+  const auto transitions = engine.evaluate(9000, 2, "t2");
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].alert.state, AlertState::kFiring);
+  EXPECT_EQ(transitions[0].alert.value, 4.0);
+}
+
+// ------------------------------------------------------------- /alertz
+
+TEST(SloEngine, RecentRingIsBoundedAndJsonByteStable) {
+  TimeSeriesStore store;
+  SloSpec spec = shard_up_spec();
+  spec.for_ms = 0;
+  spec.resolve_ms = 0;
+  SloEngine engine({{spec}, 2}, &store);
+  // Three full flaps = six transitions; the ring keeps the newest 2.
+  for (std::uint64_t flap = 0; flap < 3; ++flap) {
+    const std::uint64_t t = 10'000 * (flap + 1);
+    store.append("fleet_shard_up", {{"shard", "a"}}, SeriesKind::kGaugeSeries,
+                 t, 0.0);
+    engine.evaluate(t, 2 * flap + 1, "t");
+    store.append("fleet_shard_up", {{"shard", "a"}}, SeriesKind::kGaugeSeries,
+                 t + 1000, 1.0);
+    engine.evaluate(t + 1000, 2 * flap + 2, "t");
+  }
+  EXPECT_EQ(engine.recent().size(), 2u);
+
+  const auto document = engine.to_json();
+  EXPECT_EQ(document.dump(), engine.to_json().dump()) << "byte-stable";
+  EXPECT_EQ(document.get_number("specs").value(), 1.0);
+  EXPECT_EQ(document.get_number("evaluations").value(), 6.0);
+  EXPECT_EQ(document.get_array("active")->size(), 0u);
+  const auto recent = document.get_array("recent");
+  ASSERT_EQ(recent->size(), 2u);
+  const auto& last = (*recent)[1];
+  EXPECT_EQ(last.get_string("from").value(), "firing");
+  auto alert = last.get("alert");
+  ASSERT_TRUE(alert.ok());
+  EXPECT_EQ(alert->get_string("state").value(), "resolved");
+  EXPECT_EQ(alert->get_string("name").value(), "shard_unreachable");
+}
+
+}  // namespace
+}  // namespace iqb::obs

@@ -1,0 +1,308 @@
+// iqb_top: a terminal dashboard for an iqbd daemon or fleet
+// coordinator. Polls /historyz (+points), /alertz, /fleetz and
+// /healthz and renders sparkline trends, burn-rate gauges and the
+// active-alert table — the operator-facing face of the barometer.
+//
+// usage: iqb_top --port N [--host H] [--interval-ms N] [--frames N]
+//                [--window MS] [--series FAMILY] [--plain true]
+//   --frames 0 (default) runs until interrupted; --frames 1 renders a
+//   single frame and exits (scriptable / CI smoke).
+//   --plain true suppresses the ANSI clear-screen between frames.
+//
+// Exit codes: 0 ok, 1 usage error, 2 the daemon never answered.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqb/obs/http_client.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/result.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace {
+
+using iqb::obs::HttpClient;
+using iqb::util::JsonValue;
+
+constexpr const char* kUsage =
+    "usage: iqb_top --port N [--host H] [--interval-ms N] [--frames N]\n"
+    "               [--window MS] [--series FAMILY] [--plain true]\n"
+    "polls /historyz /alertz /fleetz /healthz on an iqbd daemon (or\n"
+    "fleet coordinator) and renders sparkline trends, burn-rate\n"
+    "gauges and the active-alert table. --frames 1 prints one frame\n"
+    "and exits.\n";
+
+struct TopOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t interval_ms = 2000;
+  std::uint64_t frames = 0;  ///< 0: until interrupted.
+  std::uint64_t window_ms = 15 * 60 * 1000;
+  std::string series;  ///< Family filter for /historyz ("" = all).
+  bool plain = false;
+};
+
+/// Eight-level unicode sparkline of a point series.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {"\xe2\x96\x81", "\xe2\x96\x82",
+                                  "\xe2\x96\x83", "\xe2\x96\x84",
+                                  "\xe2\x96\x85", "\xe2\x96\x86",
+                                  "\xe2\x96\x87", "\xe2\x96\x88"};
+  if (values.empty()) return "";
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  std::string out;
+  for (double value : values) {
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>(std::lround((value - lo) / (hi - lo) * 7.0));
+      level = std::clamp(level, 0, 7);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+/// Ten-cell bar gauge for a burn rate against its page threshold.
+std::string burn_gauge(double value, double threshold) {
+  const double fraction =
+      threshold > 0.0 ? std::clamp(value / threshold, 0.0, 1.0) : 0.0;
+  const int filled = static_cast<int>(std::lround(fraction * 10.0));
+  std::string out = "[";
+  for (int i = 0; i < 10; ++i) out += i < filled ? "#" : ".";
+  out += "]";
+  return out;
+}
+
+std::string format_double(double value, int decimals) {
+  return iqb::util::format_fixed(value, decimals);
+}
+
+std::optional<JsonValue> fetch_json(const HttpClient& client,
+                                    const TopOptions& options,
+                                    const std::string& path) {
+  auto fetched = client.get(options.host, options.port, path);
+  if (!fetched.ok() || fetched.value().status != 200) return std::nullopt;
+  auto document = iqb::util::parse_json(fetched.value().body);
+  if (!document.ok()) return std::nullopt;
+  return std::move(document).value();
+}
+
+std::string labels_of(const JsonValue& entry) {
+  auto labels = entry.get_object("labels");
+  if (!labels.ok() || labels->empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : *labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=" + (value.is_string() ? value.as_string() : value.dump());
+  }
+  out += "}";
+  return out;
+}
+
+void render_alerts(std::ostream& out, const JsonValue& alertz) {
+  auto active = alertz.get_array("active");
+  const std::size_t count = active.ok() ? active->size() : 0;
+  out << "ALERTS (" << count << " active)\n";
+  if (count == 0) {
+    out << "  all quiet\n";
+    return;
+  }
+  for (const JsonValue& alert : *active) {
+    if (!alert.is_object()) continue;
+    const std::string name = alert.get_string("name").value_or("?");
+    const std::string state = alert.get_string("state").value_or("?");
+    const double value = alert.get_number("value").value_or(0.0);
+    const std::string reason = alert.get_string("reason").value_or("");
+    out << "  " << (state == "firing" ? "!! " : " ~ ") << name
+        << labels_of(alert) << "  " << state << "  value="
+        << format_double(value, 3);
+    if (name.find("burn") != std::string::npos) {
+      out << "  " << burn_gauge(value, 14.4);
+    }
+    if (!reason.empty()) out << "  (" << reason << ")";
+    out << "\n";
+  }
+}
+
+void render_history(std::ostream& out, const JsonValue& historyz) {
+  auto series = historyz.get_array("series");
+  out << "TRENDS (window "
+      << historyz.get_number("window_ms").value_or(0) / 1000.0 << "s, "
+      << (series.ok() ? series->size() : 0) << " series)\n";
+  if (!series.ok()) return;
+  // Sparklines only earn their screen space for series that move;
+  // show gauges first (scores, shard health), cap the list.
+  constexpr std::size_t kMaxRows = 24;
+  std::size_t rows = 0;
+  for (const JsonValue& entry : *series) {
+    if (rows >= kMaxRows) {
+      out << "  ... (" << series->size() - rows << " more; use --series)\n";
+      break;
+    }
+    if (!entry.is_object()) continue;
+    const std::string name = entry.get_string("name").value_or("?");
+    const std::string kind = entry.get_string("kind").value_or("gauge");
+    auto points = entry.get_array("points");
+    std::vector<double> values;
+    if (points.ok()) {
+      for (const JsonValue& pair : *points) {
+        if (pair.is_array() && pair.as_array().size() == 2 &&
+            pair.as_array()[1].is_number()) {
+          values.push_back(pair.as_array()[1].as_number());
+        }
+      }
+    }
+    std::ostringstream row;
+    row << "  " << name << labels_of(entry);
+    if (kind == "counter") {
+      row << "  rate/s=" << format_double(
+          entry.get_number("rate_per_s").value_or(0.0), 3);
+    } else {
+      row << "  last=" << format_double(
+          entry.get_number("last").value_or(0.0), 3)
+          << " p95=" << format_double(
+                 entry.get_number("p95").value_or(0.0), 3);
+    }
+    if (!values.empty()) row << "  " << sparkline(values);
+    out << row.str() << "\n";
+    ++rows;
+  }
+}
+
+void render_fleet(std::ostream& out, const JsonValue& fleetz) {
+  auto shards = fleetz.get_array("shards");
+  if (!shards.ok()) return;
+  out << "FLEET (" << shards->size() << " shards)\n";
+  for (const JsonValue& shard : *shards) {
+    if (!shard.is_object()) continue;
+    const bool up = shard.get_bool("up").value_or(false);
+    out << "  " << (up ? " up " : "DOWN") << "  "
+        << shard.get_string("name").value_or("?") << "  "
+        << shard.get_string("address").value_or("") << "  breaker="
+        << shard.get_string("breaker").value_or("?") << "  cycle="
+        << static_cast<std::int64_t>(
+               shard.get_number("last_cycle").value_or(0))
+        << "\n";
+  }
+}
+
+int run(const TopOptions& options) {
+  HttpClient::Options http;
+  http.connect_timeout_ms = 1000;
+  http.io_timeout_ms = 2000;
+  http.total_deadline_ms = 4000;
+  const HttpClient client(http);
+
+  const std::string history_path =
+      "/historyz?points=true&window=" + std::to_string(options.window_ms) +
+      (options.series.empty() ? "" : "&series=" + options.series);
+
+  bool ever_answered = false;
+  for (std::uint64_t frame = 0;
+       options.frames == 0 || frame < options.frames; ++frame) {
+    if (frame != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.interval_ms));
+    }
+    const auto healthz = fetch_json(client, options, "/healthz");
+    const auto alertz = fetch_json(client, options, "/alertz");
+    const auto historyz = fetch_json(client, options, history_path);
+    const auto fleetz = fetch_json(client, options, "/fleetz");
+
+    std::ostringstream out;
+    out << "iqb_top " << options.host << ":" << options.port;
+    if (healthz) {
+      out << "  version=" << healthz->get_string("version").value_or("?")
+          << " (" << healthz->get_string("git_sha").value_or("?") << ")";
+    } else {
+      out << "  [daemon unreachable]";
+    }
+    out << "\n\n";
+    if (alertz) {
+      render_alerts(out, *alertz);
+      out << "\n";
+    }
+    if (historyz) {
+      render_history(out, *historyz);
+      out << "\n";
+    }
+    if (fleetz) render_fleet(out, *fleetz);
+    if (healthz || alertz || historyz) ever_answered = true;
+
+    if (!options.plain) std::cout << "\x1b[2J\x1b[H";
+    std::cout << out.str() << std::flush;
+  }
+  if (!ever_answered) {
+    std::cerr << "iqb_top: no endpoint answered at " << options.host << ":"
+              << options.port << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TopOptions options;
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& key = tokens[i];
+    if (key == "--help" || key == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (i + 1 >= tokens.size()) {
+      std::cerr << "missing value for " << key << "\n" << kUsage;
+      return 1;
+    }
+    const std::string& value = tokens[++i];
+    const auto parse_number = [&](std::uint64_t& target) {
+      auto parsed = iqb::util::parse_int(value);
+      if (!parsed.ok() || parsed.value() < 0) {
+        std::cerr << "bad " << key << " '" << value << "'\n";
+        return false;
+      }
+      target = static_cast<std::uint64_t>(parsed.value());
+      return true;
+    };
+    if (key == "--host") {
+      options.host = value;
+    } else if (key == "--series") {
+      options.series = value;
+    } else if (key == "--plain") {
+      options.plain = value == "true";
+    } else if (key == "--port") {
+      std::uint64_t port = 0;
+      if (!parse_number(port) || port == 0 || port > 65535) {
+        std::cerr << "bad --port\n";
+        return 1;
+      }
+      options.port = static_cast<std::uint16_t>(port);
+    } else if (key == "--interval-ms") {
+      if (!parse_number(options.interval_ms)) return 1;
+    } else if (key == "--frames") {
+      if (!parse_number(options.frames)) return 1;
+    } else if (key == "--window") {
+      if (!parse_number(options.window_ms)) return 1;
+    } else {
+      std::cerr << "unknown option " << key << "\n" << kUsage;
+      return 1;
+    }
+  }
+  if (options.port == 0) {
+    std::cerr << "--port is required\n" << kUsage;
+    return 1;
+  }
+  return run(options);
+}
