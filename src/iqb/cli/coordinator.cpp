@@ -27,13 +27,17 @@ constexpr const char* kCoordinatorUsage =
     "            [--hedge-ms N] [--connect-timeout-ms N]\n"
     "            [--io-timeout-ms N] [--total-deadline-ms N]\n"
     "            [--telemetry true|false] [--trace-prefix S]\n"
-    "            [--slo-file FILE.json]\n"
+    "            [--slo-file FILE.json] [--state-dir DIR]\n"
+    "            [--checkpoint-keep N] [--node-id S]\n"
     "gathers every shard's /shard/aggregate each cycle, fuses the\n"
     "tables and serves the fleet's /scores exactly like one daemon;\n"
     "failed shards are served from their last-good payload at\n"
     "confidence tier C (/readyz: \"degraded\"); /fleetz shows the\n"
     "per-shard fetch state; /fleet/alertz rolls up shard alerts (a\n"
     "built-in shard_unreachable rule fires after two dark intervals).\n"
+    "with --state-dir the fused snapshot is checkpointed per cycle\n"
+    "and served (stale) across restarts; /checkpointz exposes the\n"
+    "retained generations and accepts shard replicas.\n"
     "exit codes: 0 ok, 1 usage error, 2 startup error\n";
 
 constexpr const char* kPartialCyclesMetric = "fleet_partial_cycles_total";
@@ -123,6 +127,20 @@ util::Result<CoordinatorOptions> parse_coordinator_args(
       auto parsed = parse_u64_option(name, value);
       if (!parsed.ok()) return parsed.error();
       options.total_deadline_ms = parsed.value();
+    } else if (name == "state-dir") {
+      options.state_dir = value;
+    } else if (name == "checkpoint-keep") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.checkpoint_keep =
+          parsed.value() == 0 ? 1 : static_cast<std::size_t>(parsed.value());
+    } else if (name == "node-id") {
+      if (!fleet::valid_node_id(value)) {
+        return util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            "--node-id '" + value + "' must match [A-Za-z0-9_-]{1,64}");
+      }
+      options.node_id = value;
     } else {
       return util::make_error(util::ErrorCode::kInvalidArgument,
                               "unknown option --" + name);
@@ -176,6 +194,15 @@ CoordinatorDaemon::CoordinatorDaemon(CoordinatorOptions options)
           }(),
           &metrics_, options_.telemetry ? &spans_ : nullptr) {
   start_ms_ = now_ms();
+  if (options_.state_dir) {
+    checkpoints_.emplace(*options_.state_dir, options_.checkpoint_keep);
+    fleet::CheckpointExchange::Options exchange;
+    exchange.node_id = options_.node_id;
+    exchange.state_dir = *options_.state_dir;
+    exchange.keep = options_.checkpoint_keep;
+    exchange_ = std::make_unique<fleet::CheckpointExchange>(
+        std::move(exchange), &*checkpoints_);
+  }
   if (options_.telemetry) {
     metrics_.counter(kPartialCyclesMetric, kPartialCyclesHelp);
     metrics_
@@ -256,6 +283,97 @@ util::Result<void> CoordinatorDaemon::ensure_config() {
   return {};
 }
 
+bool CoordinatorDaemon::serving_stale() const {
+  const auto snapshot = server_.latest();
+  return snapshot && snapshot->stale;
+}
+
+util::Result<void> CoordinatorDaemon::recover(std::ostream& err) {
+  recovered_ = true;
+  if (!checkpoints_) return {};
+  if (auto prepared = checkpoints_->prepare(); !prepared.ok()) {
+    return prepared;
+  }
+  auto outcome = checkpoints_->load_newest();
+  if (!outcome.ok()) return outcome.error();
+  for (const auto& rejected : outcome->rejected) {
+    IQB_LOG(kWarn) << "skipping corrupt checkpoint " << rejected.file << ": "
+                   << rejected.reason;
+    err << "skipping corrupt checkpoint " << rejected.file << ": "
+        << rejected.reason << "\n";
+  }
+  if (!outcome->checkpoint) return {};
+
+  // Serve the last fused scores immediately, flagged stale, so a
+  // restarted coordinator answers /scores before any shard does. The
+  // first fresh gather replaces the snapshot and clears the flag.
+  const robust::Checkpoint& checkpoint = *outcome->checkpoint;
+  auto snapshot = std::make_shared<obs::ScoreSnapshot>();
+  snapshot->cycle = checkpoint.cycle;
+  snapshot->trace_id = checkpoint.trace_id;
+  snapshot->scores_json = checkpoint.scores_json;
+  snapshot->tier_c = checkpoint.tier_c;
+  snapshot->tier_c_regions = checkpoint.tier_c_regions;
+  snapshot->stale = true;
+  server_.publish(std::move(snapshot));
+
+  cycles_total_.store(
+      std::max(checkpoint.cycles_attempted, checkpoint.cycle));
+  cycles_failed_.store(checkpoint.cycles_failed);
+  last_checkpoint_cycle_ = checkpoint.cycle;
+  if (options_.telemetry) {
+    metrics_
+        .gauge("iqbd_serving_stale",
+               "1 while serving a recovered checkpoint no fresh cycle has "
+               "replaced")
+        .set(1.0);
+    metrics_
+        .counter("iqbd_checkpoint_recovered_total",
+                 "Successful checkpoint recoveries at startup")
+        .inc();
+  }
+  IQB_LOG(kInfo) << "recovered fused checkpoint: cycle " << checkpoint.cycle
+                 << " (trace " << checkpoint.trace_id
+                 << "); serving stale until the next gather";
+  err << "recovered fused checkpoint: cycle " << checkpoint.cycle
+      << "; serving stale until the next gather\n";
+  return {};
+}
+
+void CoordinatorDaemon::save_checkpoint(const obs::ScoreSnapshot& snapshot,
+                                        std::ostream& err) {
+  if (!checkpoints_) return;
+  robust::Checkpoint checkpoint;
+  checkpoint.cycle = snapshot.cycle;
+  checkpoint.cycles_attempted = cycles_total_.load();
+  checkpoint.cycles_failed = cycles_failed_.load();
+  checkpoint.trace_id = snapshot.trace_id;
+  checkpoint.scores_json = snapshot.scores_json;
+  checkpoint.tier_c = snapshot.tier_c;
+  checkpoint.tier_c_regions = snapshot.tier_c_regions;
+  auto saved = checkpoints_->save(checkpoint);
+  if (!saved.ok()) {
+    // Durability degrades, serving does not: the snapshot publishes
+    // regardless.
+    if (options_.telemetry) {
+      metrics_
+          .counter("iqbd_checkpoint_write_errors_total",
+                   "Checkpoint saves that failed (serving unaffected)")
+          .inc();
+    }
+    IQB_LOG(kWarn) << "checkpoint save failed: " << saved.error().to_string();
+    err << "checkpoint save failed: " << saved.error().to_string() << "\n";
+    return;
+  }
+  last_checkpoint_cycle_ = snapshot.cycle;
+  if (options_.telemetry) {
+    metrics_
+        .counter("iqbd_checkpoint_writes_total",
+                 "Checkpoints persisted after completed cycles")
+        .inc();
+  }
+}
+
 util::Result<void> CoordinatorDaemon::start(std::ostream& err) {
   if (running_) {
     return util::make_error(util::ErrorCode::kInvalidArgument,
@@ -268,6 +386,11 @@ util::Result<void> CoordinatorDaemon::start(std::ostream& err) {
   // the loop thread only sees the ready engine afterwards.
   if (auto alerting = ensure_alerting(err); !alerting.ok()) {
     return alerting.error();
+  }
+  if (!recovered_) {
+    if (auto recovery = recover(err); !recovery.ok()) {
+      return recovery.error();
+    }
   }
   if (auto started = server_.start(); !started.ok()) {
     return started.error();
@@ -394,6 +517,7 @@ bool CoordinatorDaemon::run_cycle(std::ostream& err) {
   snapshot->tier_c_regions = output.tier_c_regions;
   snapshot->aggregate_json = output.aggregate_json;
   const bool tier_c = snapshot->tier_c;
+  save_checkpoint(*snapshot, err);
   server_.publish(std::move(snapshot));
 
   if (options_.telemetry) {
@@ -405,6 +529,11 @@ bool CoordinatorDaemon::run_cycle(std::ostream& err) {
     metrics_
         .gauge("iqb_daemon_ready", "1 once the first cycle has completed")
         .set(1.0);
+    metrics_
+        .gauge("iqbd_serving_stale",
+               "1 while serving a recovered checkpoint no fresh cycle has "
+               "replaced")
+        .set(0.0);
     metrics_
         .gauge("iqb_daemon_tier_c",
                "1 while the latest scores carry confidence tier C")
@@ -446,6 +575,9 @@ void CoordinatorDaemon::loop(std::ostream& err) {
 
 std::optional<obs::HttpResponse> CoordinatorDaemon::route_override(
     const obs::HttpRequest& request) {
+  if (exchange_) {
+    if (auto response = exchange_->handle(request)) return response;
+  }
   if (request.path == "/readyz") return readyz_response();
   if (request.path == "/fleetz") return fleetz_response();
   if (request.path == "/fleet/tracez") return fleet_tracez_response(request);
@@ -498,6 +630,15 @@ obs::HttpResponse CoordinatorDaemon::readyz_response() {
   }
   out.emplace("cycle", static_cast<std::int64_t>(snapshot->cycle));
   out.emplace("trace", snapshot->trace_id);
+  if (snapshot->stale) {
+    // Recovered-checkpoint serving: answer 200 like a single daemon's
+    // /readyz does — restored-last-good is serveable — but say so, so
+    // orchestration can tell it from freshly fused scores.
+    out.emplace("status", "recovered");
+    out.emplace("stale", true);
+    return {200, "application/json",
+            util::JsonValue(std::move(out)).dump() + "\n"};
+  }
   if (snapshot->tier_c) {
     // Same contract as a single daemon: tier C means "serving, but
     // what you read cannot be fully trusted this cycle" — degraded,

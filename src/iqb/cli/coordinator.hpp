@@ -34,6 +34,8 @@
 #include "iqb/core/config.hpp"
 #include "iqb/fleet/coordinator.hpp"
 #include "iqb/fleet/fetcher.hpp"
+#include "iqb/fleet/replication.hpp"
+#include "iqb/robust/checkpoint.hpp"
 #include "iqb/obs/clock.hpp"
 #include "iqb/obs/history.hpp"
 #include "iqb/obs/metrics.hpp"
@@ -79,13 +81,25 @@ struct CoordinatorOptions {
   /// Test seam: time source for history timestamps and SLO evaluation
   /// (null: the process steady clock).
   obs::Clock* clock = nullptr;
+
+  /// Fused-snapshot durability: with --state-dir set, every published
+  /// gather cycle is checkpointed (robust::CheckpointStore framed
+  /// format) and a restarted coordinator serves the last fused scores
+  /// immediately, flagged stale, instead of 503ing until the shards
+  /// answer again. The same dir backs /checkpointz, so shards may also
+  /// replicate *their* checkpoints to the coordinator.
+  std::optional<std::string> state_dir;
+  std::size_t checkpoint_keep = 3;
+  /// Stable name on /checkpointz (must satisfy fleet::valid_node_id).
+  std::string node_id = "iqbc";
 };
 
 /// Parse the argv[1..] tokens following --coordinator
 /// (--shards [name=]host:port,... [--config F] [--port N] [--bind A]
 /// [--interval-ms N] [--poll-ms N] [--max-cycles N] [--hedge-ms N]
 /// [--connect-timeout-ms N] [--io-timeout-ms N] [--total-deadline-ms N]
-/// [--telemetry true|false] [--trace-prefix S]).
+/// [--telemetry true|false] [--trace-prefix S] [--state-dir DIR]
+/// [--checkpoint-keep N] [--node-id S]).
 util::Result<CoordinatorOptions> parse_coordinator_args(
     const std::vector<std::string>& tokens);
 
@@ -134,8 +148,19 @@ class CoordinatorDaemon {
   /// may too, before start()). Returns true if the cycle published.
   bool run_cycle(std::ostream& err);
 
+  /// True while the served snapshot is a recovered checkpoint no
+  /// fresh gather has replaced.
+  bool serving_stale() const;
+
+  /// Publish the newest valid checkpoint (stale) at startup. start()
+  /// calls this once; tests may call it directly before start().
+  util::Result<void> recover(std::ostream& err);
+
  private:
   util::Result<void> ensure_config();
+  /// Persist the published snapshot (no-op without --state-dir).
+  void save_checkpoint(const obs::ScoreSnapshot& snapshot,
+                       std::ostream& err);
   /// Build the SLO engine (built-in + configured specs) on first use.
   util::Result<void> ensure_alerting(std::ostream& err);
   std::uint64_t now_ms() const;
@@ -156,6 +181,11 @@ class CoordinatorDaemon {
 
   obs::MetricsRegistry metrics_;
   std::unique_ptr<fleet::FleetFetcher> fetcher_;
+  // Durability (telemetry-independent): set only with --state-dir.
+  std::optional<robust::CheckpointStore> checkpoints_;
+  std::unique_ptr<fleet::CheckpointExchange> exchange_;
+  bool recovered_ = false;
+  std::uint64_t last_checkpoint_cycle_ = 0;
   // Declared before server_: the server's options lambda wires these
   // sinks into the HTTP layer when telemetry is on.
   obs::SpanRingBuffer spans_;

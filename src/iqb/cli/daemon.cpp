@@ -32,6 +32,8 @@ constexpr const char* kDaemonUsage =
     "            [--cycle-deadline-ms N] [--telemetry true|false]\n"
     "            [--trace-prefix S] [--threads N] [--regions A,B,...]\n"
     "            [--slo-file FILE.json]\n"
+    "            [--replicate-to host:port,...] [--node-id S]\n"
+    "            [--recovery-lag N]\n"
     "serves /metrics /metrics.json /healthz /readyz /tracez /scores\n"
     "/historyz (windowed time-series history) /alertz (SLO alerts;\n"
     "--slo-file adds declarative burn-rate/threshold/anomaly specs)\n"
@@ -40,6 +42,11 @@ constexpr const char* kDaemonUsage =
     "turning this daemon into one shard of a region-partitioned fleet.\n"
     "--state-dir enables crash-safe checkpoints: on restart the newest\n"
     "valid checkpoint is served (flagged stale) until a fresh cycle.\n"
+    "--replicate-to pushes each cycle's checkpoint to the listed peers\n"
+    "(served on /checkpointz) and, on restart, bootstraps from the\n"
+    "freshest peer copy when the local store is empty or trails by\n"
+    "more than --recovery-lag cycles; --node-id names this daemon's\n"
+    "replicas on its peers.\n"
     "exit codes: 0 ok, 1 usage error, 2 startup error\n";
 
 constexpr const char* kCheckpointCorruptMetric =
@@ -50,6 +57,10 @@ constexpr const char* kCheckpointCorruptHelp =
 constexpr const char* kCycleTimeoutsMetric = "iqbd_cycle_timeouts_total";
 constexpr const char* kCycleTimeoutsHelp =
     "Scoring cycles cancelled by the watchdog deadline";
+constexpr const char* kPeerRecoveryMetric = "iqbd_peer_recovery_total";
+constexpr const char* kPeerRecoveryHelp =
+    "Checkpoints adopted from a peer at startup (newest-valid-wins "
+    "chose a remote copy)";
 
 util::Result<std::uint64_t> parse_u64_option(const std::string& key,
                                              const std::string& text) {
@@ -98,6 +109,35 @@ util::Result<DaemonOptions> parse_daemon_args(
       }
     } else if (name == "state-dir") {
       options.state_dir = value;
+    } else if (name == "replicate-to") {
+      std::size_t index = 0;
+      for (const std::string& token : util::split(value, ',')) {
+        if (token.empty()) continue;
+        auto endpoint = fleet::parse_shard_endpoint(token, index);
+        if (!endpoint.ok()) return endpoint.error();
+        // Unnamed peers read as peer<N> in logs and metrics instead of
+        // parse_shard_endpoint's shard<N> default.
+        if (token.find('=') == std::string::npos) {
+          endpoint->name = "peer" + std::to_string(index);
+        }
+        options.replicate_to.push_back(std::move(endpoint).value());
+        ++index;
+      }
+      if (options.replicate_to.empty()) {
+        return util::make_error(util::ErrorCode::kInvalidArgument,
+                                "--replicate-to needs at least one peer");
+      }
+    } else if (name == "node-id") {
+      if (!fleet::valid_node_id(value)) {
+        return util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            "bad --node-id '" + value + "' (want 1-64 chars of [A-Za-z0-9_-])");
+      }
+      options.node_id = value;
+    } else if (name == "recovery-lag") {
+      auto parsed = parse_u64_option(name, value);
+      if (!parsed.ok()) return parsed.error();
+      options.recovery_lag = parsed.value();
     } else if (name == "slo-file") {
       options.slo_file = value;
     } else if (name == "lenient") {
@@ -145,6 +185,10 @@ util::Result<DaemonOptions> parse_daemon_args(
     return util::make_error(util::ErrorCode::kInvalidArgument,
                             "--records is required");
   }
+  if (!options.replicate_to.empty() && !options.state_dir) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "--replicate-to requires --state-dir");
+  }
   return options;
 }
 
@@ -191,6 +235,27 @@ WatchDaemon::WatchDaemon(DaemonOptions options)
   }
   if (options_.state_dir) {
     checkpoints_.emplace(*options_.state_dir, options_.checkpoint_keep);
+    fleet::CheckpointExchange::Options exchange_options;
+    exchange_options.node_id = options_.node_id;
+    exchange_options.state_dir = *options_.state_dir;
+    exchange_options.keep = options_.checkpoint_keep;
+    exchange_ = std::make_unique<fleet::CheckpointExchange>(
+        std::move(exchange_options), &*checkpoints_);
+  }
+  if (!options_.replicate_to.empty() && checkpoints_) {
+    fleet::Replicator::Options replicator_options;
+    replicator_options.node_id = options_.node_id;
+    replicator_options.peers = options_.replicate_to;
+    replicator_options.http = options_.replication_http;
+    replicator_options.retry_sleep_scale =
+        options_.replication_retry_sleep_scale;
+    replicator_ = std::make_unique<fleet::Replicator>(
+        std::move(replicator_options), &*checkpoints_,
+        options_.telemetry ? &metrics_ : nullptr);
+    if (options_.telemetry) {
+      // Eager family registration: visible at zero before any recovery.
+      metrics_.counter(kPeerRecoveryMetric, kPeerRecoveryHelp);
+    }
   }
   if (options_.cycle_deadline_ms != 0) {
     robust::CycleWatchdog::Options watchdog_options;
@@ -286,6 +351,9 @@ util::Result<void> WatchDaemon::ensure_alerting(std::ostream& err) {
 
 std::optional<obs::HttpResponse> WatchDaemon::telemetry_route(
     const obs::HttpRequest& request) const {
+  if (exchange_) {
+    if (auto response = exchange_->handle(request)) return response;
+  }
   if (request.path == "/historyz") {
     return obs::serve_historyz(history_.get(), request, now_ms());
   }
@@ -324,9 +392,36 @@ util::Result<void> WatchDaemon::recover(std::ostream& err) {
   if (options_.telemetry) {
     metrics_.counter(kCheckpointCorruptMetric, kCheckpointCorruptHelp);
   }
-  if (!outcome->checkpoint) return {};
 
-  const robust::Checkpoint& checkpoint = *outcome->checkpoint;
+  // Newest-valid-wins across local + remote: with peers configured,
+  // ask each for its replica of this node and adopt the freshest copy
+  // that beats the local newest by more than recovery_lag — which also
+  // covers the local store being empty or wholly corrupt (cycle 0).
+  std::optional<robust::Checkpoint> best = std::move(outcome->checkpoint);
+  std::string source = "local store";
+  if (!options_.replicate_to.empty()) {
+    const std::uint64_t local_cycle = best ? best->cycle : 0;
+    auto remote = fleet::bootstrap_from_peers(
+        *checkpoints_, local_cycle, options_.recovery_lag, options_.node_id,
+        options_.replicate_to, options_.replication_http);
+    for (const fleet::RejectedCandidate& candidate : remote.rejected) {
+      IQB_LOG(kInfo) << "peer recovery: passed over " << candidate.candidate
+                     << ": " << candidate.reason;
+      err << "peer recovery: passed over " << candidate.candidate << ": "
+          << candidate.reason << "\n";
+    }
+    if (remote.checkpoint) {
+      best = std::move(remote.checkpoint);
+      source = "peer " + remote.source;
+      peer_recoveries_.fetch_add(1);
+      if (options_.telemetry) {
+        metrics_.counter(kPeerRecoveryMetric, kPeerRecoveryHelp).inc();
+      }
+    }
+  }
+  if (!best) return {};
+
+  const robust::Checkpoint& checkpoint = *best;
   auto snapshot = std::make_shared<obs::ScoreSnapshot>();
   snapshot->cycle = checkpoint.cycle;
   snapshot->trace_id = checkpoint.trace_id;
@@ -354,10 +449,10 @@ util::Result<void> WatchDaemon::recover(std::ostream& err) {
         .inc();
   }
   IQB_LOG(kInfo) << "recovered checkpoint: cycle " << checkpoint.cycle
-                 << " (trace " << checkpoint.trace_id
+                 << " (trace " << checkpoint.trace_id << ", from " << source
                  << "); serving stale until the next fresh cycle";
-  err << "recovered checkpoint: cycle " << checkpoint.cycle
-      << "; serving stale until the next fresh cycle\n";
+  err << "recovered checkpoint: cycle " << checkpoint.cycle << " from "
+      << source << "; serving stale until the next fresh cycle\n";
   return {};
 }
 
@@ -628,6 +723,26 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
   const bool tier_c = snapshot->tier_c;
   save_checkpoint(*snapshot, err);
   server_.publish(std::move(snapshot));
+
+  if (replicator_) {
+    // Non-owning alias: replicate() is synchronous, so the stack tracer
+    // outlives every use and replication spans fold into this cycle's
+    // trace tree alongside the scoring spans.
+    const auto outcomes =
+        telemetry ? replicator_->replicate(
+                        std::shared_ptr<obs::Tracer>(std::shared_ptr<void>(),
+                                                     &tracer),
+                        obs::Tracer::kNoSpan)
+                  : replicator_->replicate();
+    for (const auto& outcome : outcomes) {
+      if (!outcome.error.empty()) {
+        IQB_LOG(kWarn) << "replication to " << outcome.peer
+                       << " failed: " << outcome.error;
+        err << "replication to " << outcome.peer
+            << " failed: " << outcome.error << "\n";
+      }
+    }
+  }
 
   if (telemetry) {
     spans_.ingest(tracer, trace_id);

@@ -17,6 +17,15 @@
 // and /readyz flagged stale until the first fresh cycle completes.
 // Without --state-dir the daemon behaves exactly as before.
 //
+// Replication (--replicate-to host:port,...): each completed cycle's
+// checkpoint is pushed to the configured peers by a fleet::Replicator
+// (diff-driven anti-entropy, retry schedule, per-peer breaker), the
+// state dir is served over /checkpointz by a fleet::CheckpointExchange,
+// and on restart a daemon whose local recovery comes up empty — or
+// trails its peers by more than --recovery-lag cycles — bootstraps
+// from the freshest peer copy, newest-valid-wins, counted in
+// iqbd_peer_recovery_total.
+//
 // Self-healing: a robust::CycleWatchdog monitor thread puts a
 // deadline on every cycle; a cycle that overruns is cancelled at its
 // next stage boundary, counted in iqbd_cycle_timeouts_total, and the
@@ -51,6 +60,7 @@
 #include <vector>
 
 #include "iqb/core/config.hpp"
+#include "iqb/fleet/replication.hpp"
 #include "iqb/obs/clock.hpp"
 #include "iqb/obs/history.hpp"
 #include "iqb/obs/metrics.hpp"
@@ -91,6 +101,23 @@ struct DaemonOptions {
   /// daemon).
   std::optional<std::string> state_dir;
   std::size_t checkpoint_keep = 3;  ///< Retained checkpoint generations.
+
+  /// Checkpoint replication (--replicate-to host:port,...): peers this
+  /// daemon pushes each completed cycle's checkpoint to, and bootstraps
+  /// from when local recovery comes up short. Requires --state-dir.
+  std::vector<fleet::ShardEndpoint> replicate_to;
+  /// Stable replication identity (--node-id): the directory name this
+  /// node's frames land under on peers. Must satisfy
+  /// fleet::valid_node_id.
+  std::string node_id = "iqbd";
+  /// Peer-bootstrap threshold (--recovery-lag): a peer's replica is
+  /// adopted at startup only when it leads the local newest checkpoint
+  /// by more than this many cycles (0 = any strictly newer copy wins).
+  std::uint64_t recovery_lag = 0;
+  /// Deadlines for replication pushes and peer bootstrap fetches.
+  obs::HttpClient::Options replication_http;
+  /// Test seam: scale applied to replication retry sleeps.
+  double replication_retry_sleep_scale = 1.0;
 
   /// Per-cycle watchdog deadline; 0 disables the watchdog.
   std::uint64_t cycle_deadline_ms = 60'000;
@@ -180,6 +207,13 @@ class WatchDaemon {
   std::uint64_t checkpoints_rejected() const noexcept {
     return checkpoints_rejected_.load();
   }
+  /// Checkpoints adopted from a peer at startup (newest-valid-wins
+  /// chose a remote copy over the local store).
+  std::uint64_t peer_recoveries() const noexcept {
+    return peer_recoveries_.load();
+  }
+  /// The replication pusher; null unless --replicate-to is configured.
+  fleet::Replicator* replicator() noexcept { return replicator_.get(); }
   /// Cycles cancelled by the watchdog deadline.
   std::uint64_t cycle_timeouts() const noexcept {
     return cycle_timeouts_.load();
@@ -228,12 +262,19 @@ class WatchDaemon {
   obs::TelemetryServer server_;
 
   std::optional<robust::CheckpointStore> checkpoints_;
+  /// Serves /checkpointz (catalog, frames, replica uploads); present
+  /// only with a state dir.
+  std::unique_ptr<fleet::CheckpointExchange> exchange_;
+  /// Pushes checkpoints to peers after each cycle; present only with
+  /// --replicate-to.
+  std::unique_ptr<fleet::Replicator> replicator_;
   std::unique_ptr<robust::CycleWatchdog> watchdog_;
   std::atomic<bool> cancel_cycle_{false};
 
   std::atomic<std::uint64_t> cycles_total_{0};
   std::atomic<std::uint64_t> cycles_failed_{0};
   std::atomic<std::uint64_t> checkpoints_rejected_{0};
+  std::atomic<std::uint64_t> peer_recoveries_{0};
   std::atomic<std::uint64_t> cycle_timeouts_{0};
   std::uint64_t last_checkpoint_cycle_ = 0;  ///< Loop/stop thread only.
   std::optional<std::filesystem::file_time_type> last_mtime_;

@@ -1,0 +1,573 @@
+#include "iqb/fleet/replication.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "iqb/obs/metrics.hpp"
+#include "iqb/util/json.hpp"
+#include "iqb/util/log.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::fleet {
+
+namespace {
+
+constexpr const char* kCheckpointzPath = "/checkpointz";
+constexpr const char* kFrameContentType = "application/octet-stream";
+
+constexpr const char* kPushMetric = "iqbd_replication_push_total";
+constexpr const char* kPushHelp =
+    "Checkpoint frames pushed to peers, by outcome";
+constexpr const char* kLagMetric = "iqbd_replication_lag_cycles";
+constexpr const char* kLagHelp =
+    "Cycles the peer's replica of this node trails the local newest "
+    "checkpoint (0 = fully replicated)";
+constexpr const char* kDenialMetric = "iqbd_replication_breaker_denials_total";
+constexpr const char* kDenialHelp =
+    "Replication sweeps skipped by an open per-peer circuit breaker";
+
+obs::HttpResponse json_error(int status, const std::string& reason) {
+  util::JsonObject out;
+  out.emplace("error", reason);
+  return {status, "application/json",
+          util::JsonValue(std::move(out)).dump() + "\n"};
+}
+
+util::JsonArray entries_to_json(const std::vector<CatalogEntry>& entries) {
+  util::JsonArray out;
+  for (const CatalogEntry& entry : entries) {
+    util::JsonObject e;
+    e.emplace("cycle", static_cast<std::int64_t>(entry.cycle));
+    e.emplace("bytes", static_cast<std::int64_t>(entry.bytes));
+    e.emplace("crc32", entry.crc32_hex);
+    out.emplace_back(std::move(e));
+  }
+  return out;
+}
+
+util::Result<std::vector<CatalogEntry>> entries_from_json(
+    const util::JsonArray& array) {
+  std::vector<CatalogEntry> entries;
+  for (const util::JsonValue& value : array) {
+    CatalogEntry entry;
+    auto cycle = value.get_number("cycle");
+    if (!cycle.ok() || cycle.value() < 1.0) {
+      return util::make_error(util::ErrorCode::kParseError,
+                              "catalog entry missing a positive cycle");
+    }
+    entry.cycle = static_cast<std::uint64_t>(cycle.value());
+    entry.bytes = static_cast<std::uint64_t>(
+        value.get_number("bytes").value_or(0.0));
+    entry.crc32_hex = value.get_string("crc32").value_or("");
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<CatalogEntry> store_entries(const robust::CheckpointStore& store) {
+  auto listed = store.list();
+  if (!listed.ok()) return {};
+  std::vector<CatalogEntry> entries;
+  entries.reserve(listed.value().size());
+  for (const robust::CheckpointStore::Entry& entry : listed.value()) {
+    entries.push_back({entry.cycle, entry.bytes, entry.crc32_hex});
+  }
+  return entries;
+}
+
+/// Cycle ordinal from "/checkpointz/<cycle>", or 0 when malformed.
+std::uint64_t cycle_from_path(const std::string& path) {
+  const std::string prefix = std::string(kCheckpointzPath) + "/";
+  if (path.rfind(prefix, 0) != 0) return 0;
+  const auto parsed = util::parse_int(path.substr(prefix.size()));
+  if (!parsed.ok() || parsed.value() <= 0) return 0;
+  return static_cast<std::uint64_t>(parsed.value());
+}
+
+}  // namespace
+
+bool valid_node_id(std::string_view id) noexcept {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::uint64_t CheckpointCatalog::newest(
+    const std::vector<CatalogEntry>& entries) {
+  std::uint64_t newest = 0;
+  for (const CatalogEntry& entry : entries) {
+    newest = std::max(newest, entry.cycle);
+  }
+  return newest;
+}
+
+std::string render_checkpoint_catalog(const CheckpointCatalog& catalog) {
+  util::JsonObject out;
+  out.emplace("node", catalog.node);
+  out.emplace("own", entries_to_json(catalog.own));
+  util::JsonObject replicas;
+  for (const auto& [source, entries] : catalog.replicas) {
+    replicas.emplace(source, entries_to_json(entries));
+  }
+  out.emplace("replicas", std::move(replicas));
+  return util::JsonValue(std::move(out)).dump() + "\n";
+}
+
+util::Result<CheckpointCatalog> parse_checkpoint_catalog(
+    std::string_view json) {
+  auto parsed = util::parse_json(json);
+  if (!parsed.ok()) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "catalog is not valid JSON: " +
+                                parsed.error().message);
+  }
+  CheckpointCatalog catalog;
+  auto node = parsed->get_string("node");
+  if (!node.ok()) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "catalog missing node");
+  }
+  catalog.node = std::move(node).value();
+  auto own = parsed->get_array("own");
+  if (!own.ok()) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "catalog missing own");
+  }
+  auto own_entries = entries_from_json(own.value());
+  if (!own_entries.ok()) return own_entries.error();
+  catalog.own = std::move(own_entries).value();
+  if (auto replicas = parsed->get_object("replicas"); replicas.ok()) {
+    for (const auto& [source, value] : replicas.value()) {
+      if (!value.is_array()) continue;
+      auto entries = entries_from_json(value.as_array());
+      if (!entries.ok()) return entries.error();
+      catalog.replicas.emplace(source, std::move(entries).value());
+    }
+  }
+  return catalog;
+}
+
+CheckpointExchange::CheckpointExchange(Options options,
+                                       const robust::CheckpointStore* own)
+    : options_(std::move(options)), own_(own) {}
+
+robust::CheckpointStore CheckpointExchange::replica_store(
+    const std::string& source) const {
+  return robust::CheckpointStore(options_.state_dir / "replicas" / source,
+                                 options_.keep);
+}
+
+CheckpointCatalog CheckpointExchange::catalog() const {
+  CheckpointCatalog catalog;
+  catalog.node = options_.node_id;
+  if (own_ != nullptr) catalog.own = store_entries(*own_);
+  std::error_code ec;
+  const std::filesystem::path replicas_dir = options_.state_dir / "replicas";
+  for (const auto& entry :
+       std::filesystem::directory_iterator(replicas_dir, ec)) {
+    const std::string source = entry.path().filename().string();
+    // Only directories a well-formed source could have created; a
+    // stray file (or a dir someone dropped in by hand) is not served.
+    if (!entry.is_directory(ec) || !valid_node_id(source)) continue;
+    catalog.replicas.emplace(source, store_entries(replica_store(source)));
+  }
+  return catalog;
+}
+
+std::optional<obs::HttpResponse> CheckpointExchange::handle(
+    const obs::HttpRequest& request) const {
+  if (request.path != kCheckpointzPath &&
+      request.path.rfind(std::string(kCheckpointzPath) + "/", 0) != 0) {
+    return std::nullopt;
+  }
+  if (request.method == "POST") return handle_post(request);
+  return handle_get(request);
+}
+
+std::optional<obs::HttpResponse> CheckpointExchange::handle_get(
+    const obs::HttpRequest& request) const {
+  if (request.path == kCheckpointzPath) {
+    return obs::HttpResponse{200, "application/json",
+                             render_checkpoint_catalog(catalog())};
+  }
+  const std::uint64_t cycle = cycle_from_path(request.path);
+  if (cycle == 0) {
+    return json_error(400, "bad checkpoint path (want /checkpointz/<cycle>)");
+  }
+  const std::string source = obs::query_param(request.query, "source");
+  util::Result<std::string> frame = [&]() -> util::Result<std::string> {
+    if (source.empty() || source == options_.node_id) {
+      if (own_ == nullptr) {
+        return util::make_error(util::ErrorCode::kNotFound,
+                                "this node persists no own checkpoints");
+      }
+      return own_->read_frame(cycle);
+    }
+    if (!valid_node_id(source)) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "bad source node id");
+    }
+    return replica_store(source).read_frame(cycle);
+  }();
+  if (!frame.ok()) {
+    // A frame that exists but fails decode-verification and one that
+    // was never stored both answer 404: either way this node has no
+    // serveable copy, and the reason says which case it was.
+    return json_error(404, frame.error().message);
+  }
+  obs::HttpResponse response{200, kFrameContentType,
+                             std::move(frame).value()};
+  response.headers.emplace_back("X-IQB-Checkpoint-Cycle",
+                                std::to_string(cycle));
+  return response;
+}
+
+std::optional<obs::HttpResponse> CheckpointExchange::handle_post(
+    const obs::HttpRequest& request) const {
+  const std::uint64_t cycle = cycle_from_path(request.path);
+  if (cycle == 0) {
+    return json_error(400, "bad checkpoint path (want /checkpointz/<cycle>)");
+  }
+  const std::string source = obs::query_param(request.query, "source");
+  if (!valid_node_id(source)) {
+    return json_error(400, "bad or missing source node id");
+  }
+  if (source == options_.node_id) {
+    // A peer claiming to be us would write into a replica dir shadowing
+    // our own identity — confused at best, spoofed at worst.
+    return json_error(409, "source '" + source + "' is this node's own id");
+  }
+  if (request.body.empty()) {
+    return json_error(400, "empty checkpoint frame");
+  }
+  // import_frame re-verifies the frame's magic/version/size/CRC on
+  // this side of the wire before anything touches disk.
+  auto imported = replica_store(source).import_frame(request.body);
+  if (!imported.ok()) {
+    return json_error(400, imported.error().message);
+  }
+  if (imported->cycle != cycle) {
+    return json_error(409, "frame carries cycle " +
+                               std::to_string(imported->cycle) +
+                               " but was posted as " + std::to_string(cycle));
+  }
+  util::JsonObject out;
+  out.emplace("status", "stored");
+  out.emplace("source", source);
+  out.emplace("cycle", static_cast<std::int64_t>(imported->cycle));
+  return obs::HttpResponse{200, "application/json",
+                           util::JsonValue(std::move(out)).dump() + "\n"};
+}
+
+Replicator::Replicator(Options options, const robust::CheckpointStore* store,
+                       obs::MetricsRegistry* metrics)
+    : options_(std::move(options)), store_(store), metrics_(metrics) {
+  peers_.reserve(options_.peers.size());
+  for (const ShardEndpoint& endpoint : options_.peers) {
+    PeerState state;
+    state.endpoint = endpoint;
+    state.breaker = robust::CircuitBreaker(options_.breaker);
+    peers_.push_back(std::move(state));
+  }
+  if (metrics_) {
+    // Eager registration so dashboards see the families (at zero)
+    // before the first push or fault.
+    for (const ShardEndpoint& endpoint : options_.peers) {
+      metrics_->counter(kPushMetric, kPushHelp,
+                        {{"peer", endpoint.name}, {"result", "ok"}});
+      metrics_->gauge(kLagMetric, kLagHelp, {{"peer", endpoint.name}});
+    }
+    metrics_->counter(kDenialMetric, kDenialHelp);
+  }
+}
+
+Replicator::PeerOutcome Replicator::replicate_peer(
+    PeerState& peer, const std::shared_ptr<obs::Tracer>& tracer,
+    std::size_t parent_span) {
+  PeerOutcome outcome;
+  outcome.peer = peer.endpoint.name;
+
+  std::size_t span = obs::Tracer::kNoSpan;
+  if (tracer) {
+    span = tracer->begin_span_at("fleet.replicate", parent_span);
+    tracer->set_attribute(span, "peer", peer.endpoint.name);
+  }
+  auto finish = [&](PeerOutcome result) {
+    if (tracer) {
+      tracer->set_attribute(span, "pushed", std::to_string(result.pushed));
+      tracer->set_attribute(span, "lag", std::to_string(result.lag_cycles));
+      if (!result.error.empty()) {
+        tracer->set_attribute(span, "error", result.error);
+      }
+      tracer->end_span(span);
+    }
+    if (metrics_) {
+      metrics_->gauge(kLagMetric, kLagHelp, {{"peer", peer.endpoint.name}})
+          .set(static_cast<double>(result.lag_cycles));
+    }
+    return result;
+  };
+
+  const std::vector<CatalogEntry> own =
+      store_ ? store_entries(*store_) : std::vector<CatalogEntry>{};
+  const std::uint64_t own_newest = CheckpointCatalog::newest(own);
+  outcome.lag_cycles = own_newest;  // pessimistic until the peer answers
+
+  if (!peer.breaker.allow_request()) {
+    denials_.fetch_add(1);
+    if (metrics_) metrics_->counter(kDenialMetric, kDenialHelp).inc();
+    outcome.error =
+        "circuit breaker open (" +
+        std::string(robust::breaker_state_name(peer.breaker.state())) + ")";
+    return finish(outcome);
+  }
+
+  const obs::HttpClient client(options_.http);
+  robust::RetrySchedule schedule(options_.retry);
+  // One retry budget for the whole sweep: transient failures (5xx,
+  // transport) retry against it; 4xx answers are permanent — the peer
+  // understood us and said no — and never retry.
+  const auto exchange =
+      [&](const std::function<util::Result<obs::HttpClient::Response>()>& op)
+      -> util::Result<obs::HttpClient::Response> {
+    for (;;) {
+      auto result = op();
+      if (result.ok() && result.value().status < 500) return result;
+      const double delay_s = schedule.next_delay_s();
+      if (delay_s < 0.0) return result;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          delay_s * options_.retry_sleep_scale));
+    }
+  };
+
+  std::vector<obs::HttpHeader> headers;
+  if (tracer) {
+    const obs::SpanContext context{tracer->trace_id(), tracer->uid(span)};
+    if (context.valid()) {
+      headers.emplace_back(obs::kTraceparentHeader,
+                           obs::format_traceparent(context));
+    }
+  }
+  auto fetched = exchange([&] {
+    return client.get(peer.endpoint.host, peer.endpoint.port,
+                      kCheckpointzPath, headers);
+  });
+  if (!fetched.ok() || fetched.value().status != 200) {
+    peer.breaker.record_failure();
+    outcome.error = fetched.ok() ? "peer catalog answered HTTP " +
+                                       std::to_string(fetched.value().status)
+                                 : fetched.error().message;
+    return finish(outcome);
+  }
+  auto catalog = parse_checkpoint_catalog(fetched.value().body);
+  if (!catalog.ok()) {
+    peer.breaker.record_failure();
+    outcome.error = catalog.error().message;
+    return finish(outcome);
+  }
+
+  // Diff-driven push: whatever the peer's replica set is missing, send
+  // newest first. The fast path (everything but this cycle's frame)
+  // and anti-entropy catch-up after a partition are the same walk.
+  std::set<std::uint64_t> held;
+  if (const auto it = catalog->replicas.find(options_.node_id);
+      it != catalog->replicas.end()) {
+    for (const CatalogEntry& entry : it->second) held.insert(entry.cycle);
+  }
+  std::vector<std::uint64_t> missing;
+  for (const CatalogEntry& entry : own) {
+    if (held.find(entry.cycle) == held.end()) missing.push_back(entry.cycle);
+  }
+  std::sort(missing.rbegin(), missing.rend());
+  if (missing.size() > options_.max_push_per_sweep) {
+    missing.resize(options_.max_push_per_sweep);
+  }
+
+  std::uint64_t replicated_newest =
+      held.empty() ? 0 : *held.rbegin();
+  for (const std::uint64_t cycle : missing) {
+    auto frame = store_->read_frame(cycle);
+    if (!frame.ok()) {
+      // Local rot discovered while replicating: skip this generation
+      // (its intact neighbours still spread) and say why.
+      IQB_LOG(kWarn) << "replication skipping cycle " << cycle << ": "
+                     << frame.error().message;
+      continue;
+    }
+    std::size_t push_span = obs::Tracer::kNoSpan;
+    std::vector<obs::HttpHeader> push_headers;
+    if (tracer) {
+      push_span = tracer->begin_span_at("fleet.push", span);
+      tracer->set_attribute(push_span, "cycle", std::to_string(cycle));
+      const obs::SpanContext context{tracer->trace_id(),
+                                     tracer->uid(push_span)};
+      if (context.valid()) {
+        push_headers.emplace_back(obs::kTraceparentHeader,
+                                  obs::format_traceparent(context));
+      }
+    }
+    const std::string path = std::string(kCheckpointzPath) + "/" +
+                             std::to_string(cycle) +
+                             "?source=" + options_.node_id;
+    auto pushed = exchange([&] {
+      return client.post(peer.endpoint.host, peer.endpoint.port, path,
+                         frame.value(), kFrameContentType, push_headers);
+    });
+    const bool stored = pushed.ok() && pushed.value().status == 200;
+    if (tracer) {
+      tracer->set_attribute(push_span, "stored", stored ? "true" : "false");
+      tracer->end_span(push_span);
+    }
+    if (!stored) {
+      push_failures_.fetch_add(1);
+      if (metrics_) {
+        metrics_
+            ->counter(kPushMetric, kPushHelp,
+                      {{"peer", peer.endpoint.name}, {"result", "error"}})
+            .inc();
+      }
+      outcome.error = pushed.ok() ? "peer answered HTTP " +
+                                        std::to_string(pushed.value().status)
+                                  : pushed.error().message;
+      break;
+    }
+    pushes_.fetch_add(1);
+    ++outcome.pushed;
+    replicated_newest = std::max(replicated_newest, cycle);
+    if (metrics_) {
+      metrics_
+          ->counter(kPushMetric, kPushHelp,
+                    {{"peer", peer.endpoint.name}, {"result", "ok"}})
+          .inc();
+    }
+  }
+
+  if (outcome.error.empty()) {
+    peer.breaker.record_success();
+  } else {
+    peer.breaker.record_failure();
+  }
+  outcome.lag_cycles =
+      own_newest > replicated_newest ? own_newest - replicated_newest : 0;
+  return finish(outcome);
+}
+
+std::vector<Replicator::PeerOutcome> Replicator::replicate(
+    std::shared_ptr<obs::Tracer> tracer, std::size_t parent_span) {
+  // Sequential sweep: peers are few (replication factor 1-2), each op
+  // is deadline-bounded, and in-order outcomes keep the logs and the
+  // tests deterministic.
+  std::vector<PeerOutcome> outcomes;
+  outcomes.reserve(peers_.size());
+  for (PeerState& peer : peers_) {
+    outcomes.push_back(replicate_peer(peer, tracer, parent_span));
+  }
+  return outcomes;
+}
+
+PeerRecovery bootstrap_from_peers(const robust::CheckpointStore& store,
+                                  std::uint64_t local_cycle,
+                                  std::uint64_t recovery_lag,
+                                  const std::string& node_id,
+                                  const std::vector<ShardEndpoint>& peers,
+                                  const obs::HttpClient::Options& http) {
+  PeerRecovery recovery;
+  const obs::HttpClient client(http);
+
+  struct Candidate {
+    ShardEndpoint peer;
+    std::uint64_t cycle = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (const ShardEndpoint& peer : peers) {
+    auto fetched = client.get(peer.host, peer.port, kCheckpointzPath);
+    if (!fetched.ok()) {
+      recovery.rejected.push_back(
+          {peer.name + " catalog", fetched.error().message});
+      continue;
+    }
+    if (fetched.value().status != 200) {
+      recovery.rejected.push_back(
+          {peer.name + " catalog",
+           "HTTP " + std::to_string(fetched.value().status)});
+      continue;
+    }
+    auto catalog = parse_checkpoint_catalog(fetched.value().body);
+    if (!catalog.ok()) {
+      recovery.rejected.push_back(
+          {peer.name + " catalog", catalog.error().message});
+      continue;
+    }
+    const auto it = catalog->replicas.find(node_id);
+    const std::uint64_t newest =
+        it == catalog->replicas.end()
+            ? 0
+            : CheckpointCatalog::newest(it->second);
+    if (newest == 0) {
+      recovery.rejected.push_back(
+          {peer.name, "holds no replica of '" + node_id + "'"});
+      continue;
+    }
+    // Newest-valid-wins: a remote copy must beat the local newest by
+    // more than the configured lag to be worth adopting (guarded
+    // against unsigned wraparound on absurd lag values).
+    if (newest <= recovery_lag || newest - recovery_lag <= local_cycle) {
+      recovery.rejected.push_back(
+          {peer.name + " cycle " + std::to_string(newest),
+           "not newer than local cycle " + std::to_string(local_cycle) +
+               " + lag " + std::to_string(recovery_lag)});
+      continue;
+    }
+    candidates.push_back({peer, newest});
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.cycle > b.cycle;
+                   });
+  for (const Candidate& candidate : candidates) {
+    const std::string label =
+        candidate.peer.name + " cycle " + std::to_string(candidate.cycle);
+    const std::string path = std::string(kCheckpointzPath) + "/" +
+                             std::to_string(candidate.cycle) +
+                             "?source=" + node_id;
+    auto fetched =
+        client.get(candidate.peer.host, candidate.peer.port, path);
+    if (!fetched.ok()) {
+      recovery.rejected.push_back({label, fetched.error().message});
+      continue;
+    }
+    if (fetched.value().status != 200) {
+      recovery.rejected.push_back(
+          {label, "HTTP " + std::to_string(fetched.value().status)});
+      continue;
+    }
+    // import_frame re-verifies the CRC on this end before the frame
+    // touches the local store; a copy that rotted in flight (or on the
+    // peer) is refused here and the next candidate gets its turn.
+    auto imported = store.import_frame(fetched.value().body);
+    if (!imported.ok()) {
+      recovery.rejected.push_back({label, imported.error().message});
+      continue;
+    }
+    if (imported->cycle != candidate.cycle) {
+      recovery.rejected.push_back(
+          {label, "frame carries cycle " + std::to_string(imported->cycle)});
+      continue;
+    }
+    recovery.checkpoint = std::move(imported).value();
+    recovery.source = candidate.peer.name;
+    return recovery;
+  }
+  return recovery;
+}
+
+}  // namespace iqb::fleet

@@ -1,0 +1,245 @@
+// Fleet checkpoint replication and peer-bootstrap recovery.
+//
+// The scatter-gather fleet tolerates a shard that *restarts* — its
+// local CheckpointStore replays the last good cycle — but not one
+// that loses its state dir (disk wipe, node replacement, bit rot
+// across every retained generation). Replication closes that hole by
+// spreading each shard's checkpoints across its peers, riding on the
+// framed format robust::CheckpointStore already verifies:
+//
+//   * CheckpointExchange serves a daemon's retained checkpoints over
+//     HTTP: `GET /checkpointz` is the catalog (own generations plus
+//     every replica held for peers, each with cycle, byte size and
+//     payload CRC), `GET /checkpointz/<cycle>` is one raw frame —
+//     decode-verified before it leaves, so a rotted file is never
+//     served — and `POST /checkpointz/<cycle>?source=<node>` accepts
+//     a peer's frame into a per-source replica store after this side
+//     re-verifies the frame's own CRC. Replicas live beside (never
+//     inside) the daemon's own generations, one directory per source
+//     node, so a peer can never overwrite local state.
+//
+//   * Replicator runs on the pushing side: after each completed cycle
+//     it reconciles every configured peer against its own catalog and
+//     POSTs whatever the peer is missing, newest first. Because the
+//     sweep is diff-driven rather than "push the latest", the fast
+//     path (peer holds everything but the new frame) and anti-entropy
+//     after a partition (peer missed N frames) are the same code.
+//     Transient failures ride the shared RetrySchedule; a persistently
+//     dead peer trips a per-peer CircuitBreaker and stops consuming
+//     the cycle's time budget until half-open probes readmit it.
+//
+//   * bootstrap_from_peers runs on the recovering side: when local
+//     recovery comes up empty (or trails the fleet by more than
+//     `recovery_lag` cycles) it asks every peer's catalog for the
+//     newest replica of *this* node's state, fetches candidates
+//     newest-first, and imports the first frame that survives CRC
+//     re-verification into the local store. Newest-valid-wins across
+//     local + remote; every rejected candidate carries its reason so
+//     the operator can see *why* a copy was refused.
+//
+// Replication metrics (when a registry is attached):
+// iqbd_replication_push_total{peer,result}, iqbd_replication_lag_cycles
+// {peer} and iqbd_replication_breaker_denials_total; the recovering
+// daemon counts adopted remote checkpoints as iqbd_peer_recovery_total.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iqb/fleet/fetcher.hpp"
+#include "iqb/obs/http_client.hpp"
+#include "iqb/obs/http_server.hpp"
+#include "iqb/obs/trace.hpp"
+#include "iqb/robust/checkpoint.hpp"
+#include "iqb/robust/circuit_breaker.hpp"
+#include "iqb/robust/retry.hpp"
+#include "iqb/util/result.hpp"
+
+namespace iqb::obs {
+class MetricsRegistry;
+}
+
+namespace iqb::fleet {
+
+/// Node ids name replica directories on peers, so they are restricted
+/// to [A-Za-z0-9_-] (1..64 chars): no separators, no dots, nothing a
+/// hostile peer could bend into path traversal.
+bool valid_node_id(std::string_view id) noexcept;
+
+/// One retained generation as advertised on /checkpointz.
+struct CatalogEntry {
+  std::uint64_t cycle = 0;
+  std::uint64_t bytes = 0;
+  std::string crc32_hex;
+};
+
+/// The /checkpointz document: who is answering, what it retains of its
+/// own state, and what it holds for each peer that replicates to it.
+struct CheckpointCatalog {
+  std::string node;
+  std::vector<CatalogEntry> own;  ///< Oldest first.
+  std::map<std::string, std::vector<CatalogEntry>> replicas;
+
+  /// Newest cycle in `entries`-style vectors (0 when empty).
+  static std::uint64_t newest(const std::vector<CatalogEntry>& entries);
+};
+
+std::string render_checkpoint_catalog(const CheckpointCatalog& catalog);
+util::Result<CheckpointCatalog> parse_checkpoint_catalog(
+    std::string_view json);
+
+/// Serves and accepts checkpoint frames for one daemon. Thread-safe:
+/// handle() may run on any HTTP worker; all state is on disk and every
+/// write goes through CheckpointStore's atomic_write.
+class CheckpointExchange {
+ public:
+  struct Options {
+    /// This daemon's stable name; the directory its frames land under
+    /// on peers. Must satisfy valid_node_id.
+    std::string node_id = "iqbd";
+    /// Root state dir. Replicas held for peers live at
+    /// `<state_dir>/replicas/<source>`, parallel to the daemon's own
+    /// checkpoint files.
+    std::filesystem::path state_dir;
+    /// Keep bound for each per-source replica store.
+    std::size_t keep = 3;
+  };
+
+  /// `own` is the daemon's own CheckpointStore (non-owning, may be
+  /// null: the exchange then serves an empty own catalog — a
+  /// coordinator that accepts replicas but persists nothing itself).
+  CheckpointExchange(Options options, const robust::CheckpointStore* own);
+
+  /// Route-override hook: answers every /checkpointz path, returns
+  /// nullopt for anything else.
+  std::optional<obs::HttpResponse> handle(
+      const obs::HttpRequest& request) const;
+
+  /// The catalog served on GET /checkpointz.
+  CheckpointCatalog catalog() const;
+
+  /// The per-source replica store (directory may not exist yet).
+  robust::CheckpointStore replica_store(const std::string& source) const;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  std::optional<obs::HttpResponse> handle_get(
+      const obs::HttpRequest& request) const;
+  std::optional<obs::HttpResponse> handle_post(
+      const obs::HttpRequest& request) const;
+
+  Options options_;
+  const robust::CheckpointStore* own_;
+};
+
+/// Pushes this node's checkpoints to configured peers after each
+/// cycle. One Replicator lives as long as the daemon so breaker state
+/// accumulates across cycles, exactly like FleetFetcher's.
+class Replicator {
+ public:
+  struct Options {
+    std::string node_id = "iqbd";
+    std::vector<ShardEndpoint> peers;
+    obs::HttpClient::Options http;
+    /// Retry budget per peer per sweep (decorrelated jitter).
+    robust::RetryPolicy retry{/*max_attempts=*/2, /*base_delay_s=*/0.05,
+                              /*max_delay_s=*/0.5, /*deadline_s=*/2.0,
+                              /*seed=*/23};
+    robust::CircuitBreakerConfig breaker;
+    /// Scale applied to retry delays before sleeping (tests shrink it).
+    double retry_sleep_scale = 1.0;
+    /// Frames pushed to one peer in one sweep, newest first; bounds a
+    /// post-partition catch-up burst. The next sweep continues.
+    std::size_t max_push_per_sweep = 8;
+  };
+
+  /// Result of one peer's sweep, for logging and /fleetz-style status.
+  struct PeerOutcome {
+    std::string peer;
+    std::size_t pushed = 0;         ///< Frames stored by the peer.
+    std::uint64_t lag_cycles = 0;   ///< Our newest minus peer's copy.
+    std::string error;              ///< Last failure, empty when clean.
+  };
+
+  /// `store` is the daemon's own CheckpointStore (non-owning).
+  Replicator(Options options, const robust::CheckpointStore* store,
+             obs::MetricsRegistry* metrics = nullptr);
+
+  /// One sweep: reconcile every peer against the local catalog and
+  /// push missing frames. Returns one outcome per peer in
+  /// configuration order. A non-null tracer hangs a "fleet.replicate"
+  /// span per peer (and a "fleet.push" child per upload) off
+  /// `parent_span`, each push carrying its span as an explicit
+  /// traceparent so peer-side server spans join this trace.
+  std::vector<PeerOutcome> replicate(
+      std::shared_ptr<obs::Tracer> tracer = nullptr,
+      std::size_t parent_span = obs::Tracer::kNoSpan);
+
+  std::uint64_t pushes_total() const noexcept { return pushes_.load(); }
+  std::uint64_t push_failures_total() const noexcept {
+    return push_failures_.load();
+  }
+  std::uint64_t breaker_denials_total() const noexcept {
+    return denials_.load();
+  }
+
+ private:
+  struct PeerState {
+    ShardEndpoint endpoint;
+    robust::CircuitBreaker breaker;
+  };
+
+  PeerOutcome replicate_peer(PeerState& peer,
+                             const std::shared_ptr<obs::Tracer>& tracer,
+                             std::size_t parent_span);
+
+  Options options_;
+  const robust::CheckpointStore* store_;
+  obs::MetricsRegistry* metrics_;
+  std::vector<PeerState> peers_;
+
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> push_failures_{0};
+  std::atomic<std::uint64_t> denials_{0};
+};
+
+/// Why one recovery candidate was passed over (peer unreachable, bad
+/// catalog, frame failed CRC re-verification, ...).
+struct RejectedCandidate {
+  std::string candidate;  ///< "peer2 cycle 41", "peer1 catalog", ...
+  std::string reason;
+};
+
+/// Outcome of bootstrap_from_peers. `checkpoint` is set only when a
+/// remote copy won: it has already been imported into the local store
+/// (so the next restart recovers locally) and `source` names the peer
+/// it came from.
+struct PeerRecovery {
+  std::optional<robust::Checkpoint> checkpoint;
+  std::string source;
+  std::vector<RejectedCandidate> rejected;
+};
+
+/// Newest-valid-wins bootstrap across local + remote candidates. Asks
+/// every peer's catalog for replicas of `node_id`, keeps candidates
+/// strictly newer than `local_cycle + recovery_lag` (local_cycle 0 =
+/// local recovery found nothing), and tries them newest-first: fetch
+/// the frame, re-verify its CRC, import into `store`. The first
+/// survivor wins; every refused candidate is recorded with its
+/// reason. With no surviving candidate the caller keeps its local
+/// outcome (checkpoint unset).
+PeerRecovery bootstrap_from_peers(const robust::CheckpointStore& store,
+                                  std::uint64_t local_cycle,
+                                  std::uint64_t recovery_lag,
+                                  const std::string& node_id,
+                                  const std::vector<ShardEndpoint>& peers,
+                                  const obs::HttpClient::Options& http);
+
+}  // namespace iqb::fleet

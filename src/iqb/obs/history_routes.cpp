@@ -1,5 +1,6 @@
 #include "iqb/obs/history_routes.hpp"
 
+#include "iqb/util/json.hpp"
 #include "iqb/util/strings.hpp"
 
 namespace iqb::obs {
@@ -8,9 +9,24 @@ namespace {
 
 constexpr std::uint64_t kDefaultWindowMs = 15 * 60 * 1000;
 
+/// A week. Anything above is almost certainly an overflowed or
+/// garbage value, not a query the ring buffers could answer anyway.
+constexpr std::int64_t kMaxWindowMs = 7LL * 24 * 60 * 60 * 1000;
+
 HttpResponse disabled_response() {
   return {503, "application/json",
           "{\"reason\":\"telemetry disabled\",\"status\":\"disabled\"}\n"};
+}
+
+/// 400 with a reason body that names the offending value, so a caller
+/// debugging a dashboard query sees *what* was rejected, not just that
+/// something was.
+HttpResponse bad_param(const std::string& reason) {
+  util::JsonObject out;
+  out.emplace("reason", reason);
+  out.emplace("status", "error");
+  return {400, "application/json",
+          util::JsonValue(std::move(out)).dump() + "\n"};
 }
 
 }  // namespace
@@ -23,16 +39,31 @@ HttpResponse serve_historyz(const TimeSeriesStore* store,
   std::uint64_t window_ms = kDefaultWindowMs;
   if (const std::string window = query_param(request.query, "window");
       !window.empty()) {
-    if (auto parsed = util::parse_int(window);
-        parsed.ok() && parsed.value() > 0) {
-      window_ms = static_cast<std::uint64_t>(parsed.value());
-    } else {
-      return {400, "application/json",
-              "{\"reason\":\"bad window (milliseconds expected)\","
-              "\"status\":\"error\"}\n"};
+    // Strict: full-string integer parse (rejects "1e9", "10abc" and
+    // values that overflow int64), then positivity and a sane upper
+    // bound — a negative or overflowed window must never reach the
+    // unsigned window arithmetic below.
+    const auto parsed = util::parse_int(window);
+    if (!parsed.ok()) {
+      return bad_param("bad window '" + window +
+                       "': not a whole number of milliseconds");
     }
+    if (parsed.value() <= 0) {
+      return bad_param("bad window '" + window + "': must be positive");
+    }
+    if (parsed.value() > kMaxWindowMs) {
+      return bad_param("bad window '" + window + "': exceeds " +
+                       std::to_string(kMaxWindowMs) + " ms (7 days)");
+    }
+    window_ms = static_cast<std::uint64_t>(parsed.value());
   }
-  const bool points = query_param(request.query, "points") == "true";
+  const std::string points_param = query_param(request.query, "points");
+  if (!points_param.empty() && points_param != "true" &&
+      points_param != "false") {
+    return bad_param("bad points '" + points_param +
+                     "': expected true or false");
+  }
+  const bool points = points_param == "true";
   return {200, "application/json",
           store->to_json(series, window_ms, now_ms, points).dump(2) + "\n"};
 }

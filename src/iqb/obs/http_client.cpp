@@ -96,8 +96,27 @@ util::Result<HttpClient::Response> HttpClient::get(
 util::Result<HttpClient::Response> HttpClient::get(
     const std::string& host, std::uint16_t port, const std::string& path,
     const std::vector<HttpHeader>& headers) const {
+  return perform("GET", host, port, path, {}, {}, headers);
+}
+
+util::Result<HttpClient::Response> HttpClient::post(
+    const std::string& host, std::uint16_t port, const std::string& path,
+    std::string_view body, const std::string& content_type,
+    const std::vector<HttpHeader>& headers) const {
+  return perform("POST", host, port, path, body, content_type, headers);
+}
+
+util::Result<HttpClient::Response> HttpClient::perform(
+    const std::string& method, const std::string& host, std::uint16_t port,
+    const std::string& path, std::string_view body,
+    const std::string& content_type,
+    const std::vector<HttpHeader>& headers) const {
   // Validate caller headers before any socket work: a bad header is a
   // caller bug, not a transport failure, and must never hit the wire.
+  if (!valid_header_value(content_type)) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "content type contains CR/LF");
+  }
   bool have_traceparent = false;
   std::string header_block;
   for (const auto& [name, value] : headers) {
@@ -171,9 +190,19 @@ util::Result<HttpClient::Response> HttpClient::get(
     }
   }
 
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                              "\r\n" + header_block +
-                              "Connection: close\r\n\r\n";
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\n" + header_block;
+  if (method == "POST") {
+    // Content-Length framing (no chunking) keeps the server's bounded
+    // body read a single declared-size check.
+    request += "Content-Type: " + (content_type.empty()
+                                       ? std::string("application/octet-stream")
+                                       : content_type) +
+               "\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  request.append(body);
   std::size_t sent = 0;
   while (sent < request.size()) {
     if (!wait_ready(sock.fd, POLLOUT, options_.io_timeout_ms, deadline)) {
@@ -283,17 +312,18 @@ util::Result<HttpClient::Response> HttpClient::get(
     pos = line_end + 2;
   }
 
-  std::string body = raw.substr(header_end + 4);
+  std::string response_body = raw.substr(header_end + 4);
   if (content_length) {
-    if (body.size() < *content_length) {
+    if (response_body.size() < *content_length) {
       return util::make_error(
           util::ErrorCode::kParseError,
-          "connection closed mid-body (" + std::to_string(body.size()) +
-              " of " + std::to_string(*content_length) + " bytes)");
+          "connection closed mid-body (" +
+              std::to_string(response_body.size()) + " of " +
+              std::to_string(*content_length) + " bytes)");
     }
-    body.resize(*content_length);
+    response_body.resize(*content_length);
   }
-  response.body = std::move(body);
+  response.body = std::move(response_body);
   return response;
 }
 

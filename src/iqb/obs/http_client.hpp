@@ -3,7 +3,8 @@
 // The fleet coordinator scatter-gathers shard daemons over localhost/
 // LAN HTTP; nothing in that path needs TLS, redirects, keep-alive or
 // chunked encoding, so — symmetric with obs::HttpServer — we implement
-// exactly the subset the fleet speaks: one GET per connection,
+// exactly the subset the fleet speaks: one request per connection
+// (GET, or a Content-Length POST for checkpoint replication),
 // `Connection: close`, Content-Length or read-to-EOF bodies.
 //
 // What it *does* take seriously is time. Every call is bounded three
@@ -17,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -82,7 +84,24 @@ class HttpClient {
                              const std::string& path,
                              const std::vector<HttpHeader>& headers) const;
 
+  /// Blocking POST of `body` (Content-Length framed, no chunking) with
+  /// the given Content-Type. Same deadlines, header validation and
+  /// traceparent injection as get(); same Result semantics (4xx/5xx
+  /// are successful exchanges). This is the replication upload path:
+  /// a shard pushing a checkpoint frame to a peer's /checkpointz.
+  util::Result<Response> post(const std::string& host, std::uint16_t port,
+                              const std::string& path, std::string_view body,
+                              const std::string& content_type,
+                              const std::vector<HttpHeader>& headers = {}) const;
+
  private:
+  util::Result<Response> perform(const std::string& method,
+                                 const std::string& host, std::uint16_t port,
+                                 const std::string& path,
+                                 std::string_view body,
+                                 const std::string& content_type,
+                                 const std::vector<HttpHeader>& headers) const;
+
   Options options_;
 };
 

@@ -88,9 +88,12 @@ void send_response(int fd, const HttpResponse& response) {
 enum class ReadHeadResult { kOk, kDisconnect, kTooLarge };
 
 /// Read until the end of the header block (CRLFCRLF), bounded by
-/// `max_bytes`. Telemetry requests carry no body, so the headers are
-/// the whole request; a client still streaming past the bound gets
-/// kTooLarge (-> 431) instead of growing our buffer.
+/// `max_bytes`. The bound covers the request line + headers only:
+/// once the blank line is in the buffer we stop reading, so body
+/// bytes that arrived in the same packet sit after it in `head` and
+/// the rest stays in the socket for read_request_body. A client still
+/// streaming headers past the bound gets kTooLarge (-> 431) instead
+/// of growing our buffer.
 ReadHeadResult read_request_head(int fd, std::string& head,
                                  std::size_t max_bytes) {
   char buffer[2048];
@@ -101,6 +104,22 @@ ReadHeadResult read_request_head(int fd, std::string& head,
     if (n <= 0) return ReadHeadResult::kDisconnect;  // timeout/reset/EOF
     head.append(buffer, static_cast<std::size_t>(n));
   }
+}
+
+/// Read the remainder of a Content-Length body whose first bytes may
+/// already sit in `body` (they arrived with the header packet).
+/// Returns false on disconnect/timeout before the declared length.
+bool read_request_body(int fd, std::string& body, std::size_t content_length) {
+  if (body.size() > content_length) body.resize(content_length);
+  char buffer[4096];
+  while (body.size() < content_length) {
+    const std::size_t want =
+        std::min(sizeof(buffer), content_length - body.size());
+    const ssize_t n = ::recv(fd, buffer, want, 0);
+    if (n <= 0) return false;
+    body.append(buffer, static_cast<std::size_t>(n));
+  }
+  return true;
 }
 
 /// Parse "GET /path?query HTTP/1.1" into method + path + query.
@@ -186,6 +205,8 @@ const char* http_status_reason(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 502: return "Bad Gateway";
@@ -411,9 +432,40 @@ void HttpServer::handle_connection(int fd) {
     return;
   }
   parse_request_headers(head, request);
-  if (request.method != "GET" && request.method != "HEAD") {
-    finish({405, "application/json", "{\"error\":\"only GET is supported\"}\n"});
+  if (request.method != "GET" && request.method != "HEAD" &&
+      request.method != "POST") {
+    finish({405, "application/json", "{\"error\":\"method not allowed\"}\n"});
     return;
+  }
+  if (request.method == "POST") {
+    // The body is bounded by its *declared* length, checked before a
+    // single body byte is consumed, so an oversized upload costs one
+    // header read, not max_body_bytes of buffering. A POST with no
+    // Content-Length header carries no body (RFC 9110 §8.6); a header
+    // that is present but unparsable is refused.
+    const std::string declared_header = request.header("content-length");
+    std::size_t content_length = 0;
+    if (!declared_header.empty()) {
+      const auto declared = util::parse_int(declared_header);
+      if (!declared.ok() || declared.value() < 0) {
+        finish({400, "application/json",
+                "{\"error\":\"POST requires a valid Content-Length\"}\n"});
+        return;
+      }
+      content_length = static_cast<std::size_t>(declared.value());
+    }
+    if (content_length > options_.max_body_bytes) {
+      finish({413, "application/json",
+              "{\"error\":\"body exceeds " +
+                  std::to_string(options_.max_body_bytes) + " bytes\"}\n"});
+      return;
+    }
+    request.body = head.substr(head.find("\r\n\r\n") + 4);
+    if (!read_request_body(fd, request.body, content_length)) {
+      finish({400, "application/json",
+              "{\"error\":\"body shorter than Content-Length\"}\n"});
+      return;
+    }
   }
 
   // Context extraction: an inbound traceparent names the caller's

@@ -5,7 +5,9 @@
 // worker threads, `Connection: close` on every response. That is all
 // a scrape endpoint needs — Prometheus opens a fresh connection per
 // scrape — and it keeps the server auditable: no keep-alive state
-// machine, no chunked encoding, no TLS.
+// machine, no chunked encoding, no TLS. GET/HEAD plus Content-Length-
+// bounded POST (for checkpoint replication) are the whole method
+// surface; anything else is 405.
 //
 // Backpressure is explicit: when the pending-connection queue is
 // full the acceptor answers 503 inline and closes, so a scrape storm
@@ -46,6 +48,9 @@ struct HttpRequest {
   std::string query;   ///< Raw query string (no '?'), "" when absent.
   /// Request headers in arrival order, names lowercased.
   std::vector<std::pair<std::string, std::string>> headers;
+  /// POST payload, complete (Content-Length bytes) by the time the
+  /// handler runs; always empty for GET/HEAD.
+  std::string body;
   std::string peer;      ///< Client "ip:port", best effort.
   std::string trace_id;  ///< From traceparent, or server-generated
                          ///< when a span sink is configured; may be
@@ -94,6 +99,11 @@ class HttpServer {
     /// Request-line + header byte bound. A client that sends more
     /// before the blank line gets 431 instead of growing our buffer.
     std::size_t max_request_bytes = 8 * 1024;
+    /// POST body byte bound (declared Content-Length). Larger bodies
+    /// are refused with 413 before any body byte is read; a POST with
+    /// a missing or malformed Content-Length gets 400. Sized for a
+    /// replicated checkpoint frame with headroom.
+    std::size_t max_body_bytes = 16 * 1024 * 1024;
     /// Optional registry for the server's own health counters
     /// (http_accept_errors_total, http_requests_shed_total). Non-
     /// owning; must outlive the server. Null records nothing.

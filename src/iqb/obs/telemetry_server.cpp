@@ -22,15 +22,20 @@ constexpr const char* kIndexBody =
     "  /historyz      windowed time-series history (?series=&window=&points=)\n"
     "  /alertz        active + recent SLO alerts\n"
     "  /scores        latest per-region IQB scores\n"
-    "  /shard/aggregate  serialized aggregate table (fleet scatter-gather)\n";
+    "  /shard/aggregate  serialized aggregate table (fleet scatter-gather)\n"
+    "  /checkpointz   retained checkpoint catalog (replication)\n";
 
 /// Bounded-cardinality path label: known endpoints verbatim,
 /// everything else pooled, so a URL scanner cannot grow the registry.
 const std::string& path_label(const std::string& path) {
   static const std::string other = "other";
+  static const std::string checkpointz = "/checkpointz";
   for (const std::string& candidate : default_telemetry_paths()) {
     if (path == candidate) return candidate;
   }
+  // Per-generation checkpoint fetches ("/checkpointz/42") fold into
+  // the catalog label: still bounded, still attributable.
+  if (path.rfind(checkpointz + "/", 0) == 0) return checkpointz;
   return other;
 }
 
@@ -49,7 +54,7 @@ const std::vector<std::string>& default_telemetry_paths() {
       "/readyz",  "/tracez",   "/requestz",        "/scores",
       "/historyz",             "/alertz",
       "/shard/aggregate",      "/fleetz",          "/fleet/tracez",
-      "/fleet/alertz"};
+      "/fleet/alertz",         "/checkpointz"};
   return paths;
 }
 
@@ -104,6 +109,13 @@ HttpResponse TelemetryServer::handle(const HttpRequest& request) {
 }
 
 HttpResponse TelemetryServer::route(const HttpRequest& request) const {
+  // The HTTP layer admits POST (checkpoint replication uploads ride
+  // on it), but every built-in endpoint here is read-only: a POST
+  // that no route_override claimed is a method error, not a 404.
+  if (request.method == "POST") {
+    return {405, "application/json",
+            json_error("error", "method not allowed")};
+  }
   const std::string& path = request.path;
   if (path == "/") {
     return {200, "text/plain; charset=utf-8", kIndexBody};

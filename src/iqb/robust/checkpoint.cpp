@@ -161,7 +161,16 @@ util::Result<void> CheckpointStore::save(const Checkpoint& checkpoint) const {
 
   // Prune oldest generations beyond the keep bound. Best-effort: a
   // prune failure never fails the save that preserved the new state.
+  auto pruned = prune();
+  (void)pruned;
+  return {};
+}
+
+util::Result<void> CheckpointStore::prune() const {
   std::error_code ec;
+  // A store that was never prepared (or was wiped) holds nothing to
+  // prune; only a directory that exists but cannot be read is an error.
+  if (!std::filesystem::exists(dir_, ec)) return {};
   std::vector<std::filesystem::path> files;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
@@ -171,9 +180,24 @@ util::Result<void> CheckpointStore::save(const Checkpoint& checkpoint) const {
     }
   }
   std::sort(files.begin(), files.end());
+  bool removed = false;
   while (files.size() > keep_) {
     std::filesystem::remove(files.front(), ec);
     files.erase(files.begin());
+    removed = true;
+  }
+  if (ec) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "prune failed in '" + dir_.string() +
+                                "': " + ec.message());
+  }
+  if (removed) {
+    // The unlinks above are directory mutations: without this fsync a
+    // crash mid-prune can roll them back and resurrect a deleted
+    // generation as newest-on-disk, which recovery would then serve.
+    if (auto synced = util::fs::fsync_dir(dir_); !synced.ok()) {
+      return synced.with_context("after pruning checkpoints");
+    }
   }
   return {};
 }
@@ -216,6 +240,85 @@ util::Result<CheckpointStore::LoadOutcome> CheckpointStore::load_newest()
     break;
   }
   return outcome;
+}
+
+util::Result<std::vector<CheckpointStore::Entry>> CheckpointStore::list()
+    const {
+  std::vector<Entry> entries;
+  std::error_code ec;
+  if (!std::filesystem::exists(dir_, ec)) return entries;
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (util::starts_with(name, "checkpoint-") &&
+        util::ends_with(name, kExtension)) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "cannot scan state dir '" + dir_.string() +
+                                "': " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& file : files) {
+    auto data = util::fs::read_file(file);
+    if (!data.ok()) continue;
+    auto decoded = Checkpoint::decode(*data);
+    if (!decoded.ok()) continue;  // load_newest() reports the reason
+    Entry entry;
+    entry.cycle = decoded->cycle;
+    entry.bytes = data->size();
+    // The CRC is the verified header's third field; decode() above
+    // already proved it matches the payload.
+    const std::vector<std::string> fields =
+        util::split(data->substr(0, data->find('\n')), ' ');
+    if (fields.size() == 4) entry.crc32_hex = fields[2];
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+util::Result<std::string> CheckpointStore::read_frame(
+    std::uint64_t cycle) const {
+  auto data = util::fs::read_file(path_for_cycle(cycle));
+  if (!data.ok()) return data;
+  auto decoded = Checkpoint::decode(*data);
+  if (!decoded.ok()) {
+    return util::make_error(decoded.error().code,
+                            "refusing to serve checkpoint " +
+                                std::to_string(cycle) + ": " +
+                                decoded.error().message);
+  }
+  if (decoded->cycle != cycle) {
+    return util::make_error(util::ErrorCode::kParseError,
+                            "checkpoint file for cycle " +
+                                std::to_string(cycle) + " carries cycle " +
+                                std::to_string(decoded->cycle));
+  }
+  return data;
+}
+
+util::Result<Checkpoint> CheckpointStore::import_frame(
+    std::string_view data) const {
+  auto decoded = Checkpoint::decode(data);
+  if (!decoded.ok()) {
+    return util::make_error(decoded.error().code,
+                            "rejecting imported frame: " +
+                                decoded.error().message);
+  }
+  if (auto prepared = prepare(); !prepared.ok()) return prepared.error();
+  auto written =
+      util::fs::atomic_write(path_for_cycle(decoded->cycle), data);
+  if (!written.ok()) {
+    return util::make_error(written.error().code,
+                            "storing imported frame: " +
+                                written.error().message);
+  }
+  auto pruned = prune();
+  (void)pruned;  // best-effort, like save()
+  return decoded;
 }
 
 }  // namespace iqb::robust

@@ -75,6 +75,36 @@ class CheckpointStore {
   /// prune beyond the keep bound.
   util::Result<void> save(const Checkpoint& checkpoint) const;
 
+  /// Remove the oldest generations beyond the keep bound, then fsync
+  /// the directory: unlinks are directory mutations, and without the
+  /// fsync a crash mid-prune can resurrect a deleted file as
+  /// newest-on-disk. save() runs this best-effort; exposed so tests
+  /// (and operators) can prune explicitly and see failures.
+  util::Result<void> prune() const;
+
+  /// One retained generation, as advertised on /checkpointz.
+  struct Entry {
+    std::uint64_t cycle = 0;    ///< Generation ordinal (from the frame).
+    std::uint64_t bytes = 0;    ///< Framed size on disk (header + payload).
+    std::string crc32_hex;      ///< Payload CRC from the verified header.
+  };
+
+  /// Every retained generation that decodes cleanly, oldest first.
+  /// Corrupt files are skipped (load_newest() reports their reasons);
+  /// a missing directory is an empty catalog, not an error.
+  util::Result<std::vector<Entry>> list() const;
+
+  /// Raw framed bytes of `cycle`'s checkpoint, decode-verified before
+  /// returning so a rotted frame is never served to a peer.
+  util::Result<std::string> read_frame(std::uint64_t cycle) const;
+
+  /// Validate `data` as a framed checkpoint (magic, version, size,
+  /// CRC) and persist it under its own cycle ordinal, pruning beyond
+  /// the keep bound. Returns the decoded checkpoint. This is how a
+  /// replica received from a peer enters a store: the frame's own
+  /// integrity header is re-verified on this side of the wire.
+  util::Result<Checkpoint> import_frame(std::string_view data) const;
+
   struct Rejected {
     std::string file;    ///< Filename (not full path).
     std::string reason;  ///< Why decoding refused it.

@@ -59,10 +59,7 @@ bool write_all(int fd, std::string_view data) {
 void sync_parent_dir(const std::filesystem::path& path) {
   std::filesystem::path dir = path.parent_path();
   if (dir.empty()) dir = ".";
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
+  fsync_dir(dir);  // best-effort: result intentionally ignored
 }
 
 }  // namespace
@@ -120,6 +117,20 @@ util::Result<void> atomic_write(const std::filesystem::path& path,
     return error;
   }
   sync_parent_dir(path);
+  return {};
+}
+
+util::Result<void> fsync_dir(const std::filesystem::path& dir) {
+  const std::filesystem::path target = dir.empty() ? "." : dir;
+  const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return io_error("cannot open directory", target);
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return io_error("cannot fsync directory", target);
+  }
   return {};
 }
 

@@ -40,6 +40,13 @@ std::uint32_t crc32_final(std::uint32_t state) noexcept;
 util::Result<void> atomic_write(const std::filesystem::path& path,
                                 std::string_view data);
 
+/// fsync a directory so entry mutations (renames, unlinks) performed
+/// in it are durable. Needed after pruning files: an unlink without a
+/// directory fsync can be rolled back by a crash, resurrecting the
+/// deleted entry. Filesystems that reject O_DIRECTORY fsync report
+/// kIoError; callers treating durability as best-effort may ignore it.
+util::Result<void> fsync_dir(const std::filesystem::path& dir);
+
 /// Read a whole file into a string (binary, no newline translation).
 util::Result<std::string> read_file(const std::filesystem::path& path);
 

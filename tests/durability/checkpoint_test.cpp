@@ -204,6 +204,116 @@ TEST(CheckpointStoreTest, TempLeftoversAreIgnored) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CheckpointStoreTest, ExplicitPruneRemovesBeyondKeepAndReportsOk) {
+  const auto dir = fresh_dir("explicitprune");
+  CheckpointStore store(dir, /*keep=*/1);
+  ASSERT_TRUE(store.prepare().ok());
+  for (std::uint64_t cycle = 1; cycle <= 4; ++cycle) {
+    ASSERT_TRUE(store.save(example_checkpoint(cycle)).ok());
+  }
+  // Regression: prune() must fsync the directory after unlinking and
+  // surface failures instead of silently swallowing them — a crash
+  // mid-prune could otherwise resurrect a deleted file as
+  // newest-on-disk. Success here asserts the happy path end to end.
+  auto pruned = store.prune();
+  ASSERT_TRUE(pruned.ok()) << pruned.error().to_string();
+  EXPECT_FALSE(std::filesystem::exists(store.path_for_cycle(3)));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for_cycle(4)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, PruneOnMissingDirectoryIsNoop) {
+  CheckpointStore store(fresh_dir("prunemissing") / "never-created");
+  auto pruned = store.prune();
+  EXPECT_TRUE(pruned.ok()) << pruned.error().to_string();
+}
+
+TEST(CheckpointStoreTest, ListReportsVerifiedGenerationsOldestFirst) {
+  const auto dir = fresh_dir("list");
+  CheckpointStore store(dir);
+  ASSERT_TRUE(store.prepare().ok());
+  ASSERT_TRUE(store.save(example_checkpoint(2)).ok());
+  ASSERT_TRUE(store.save(example_checkpoint(5)).ok());
+  ASSERT_TRUE(store.save(example_checkpoint(9)).ok());
+  // Rot the middle generation: the catalog must skip it, not lie
+  // about holding a frame it could never serve.
+  std::string rotted = iqb::util::fs::read_file(store.path_for_cycle(5)).value();
+  rotted[rotted.size() - 2] ^= 0x10;
+  write_raw(store.path_for_cycle(5), rotted);
+
+  auto entries = store.list();
+  ASSERT_TRUE(entries.ok()) << entries.error().to_string();
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].cycle, 2u);
+  EXPECT_EQ((*entries)[1].cycle, 9u);
+  const std::string frame = example_checkpoint(9).encode();
+  EXPECT_EQ((*entries)[1].bytes, frame.size());
+  EXPECT_EQ((*entries)[1].crc32_hex.size(), 8u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, ListOnMissingDirectoryIsEmpty) {
+  CheckpointStore store(fresh_dir("listmissing") / "never-created");
+  auto entries = store.list();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(CheckpointStoreTest, ReadFrameServesOnlyVerifiedBytes) {
+  const auto dir = fresh_dir("readframe");
+  CheckpointStore store(dir);
+  ASSERT_TRUE(store.prepare().ok());
+  ASSERT_TRUE(store.save(example_checkpoint(4)).ok());
+
+  auto frame = store.read_frame(4);
+  ASSERT_TRUE(frame.ok()) << frame.error().to_string();
+  EXPECT_EQ(*frame, example_checkpoint(4).encode());
+
+  // A rotted frame must be refused with the decode reason, never
+  // forwarded to a peer.
+  std::string rotted = *frame;
+  rotted[rotted.size() - 1] ^= 0x01;
+  write_raw(store.path_for_cycle(4), rotted);
+  auto refused = store.read_frame(4);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().message.find("refusing to serve"),
+            std::string::npos);
+
+  EXPECT_FALSE(store.read_frame(99).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, ImportFrameReverifiesAndPersists) {
+  const auto dir = fresh_dir("import");
+  CheckpointStore store(dir, /*keep=*/2);
+  ASSERT_TRUE(store.prepare().ok());
+
+  auto imported = store.import_frame(example_checkpoint(11).encode());
+  ASSERT_TRUE(imported.ok()) << imported.error().to_string();
+  EXPECT_EQ(imported->cycle, 11u);
+  EXPECT_TRUE(std::filesystem::exists(store.path_for_cycle(11)));
+  auto outcome = store.load_newest();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->checkpoint.has_value());
+  EXPECT_EQ(outcome->checkpoint->cycle, 11u);
+
+  // CRC re-verification happens on this side of the wire: a frame
+  // flipped in transit is rejected and nothing lands on disk.
+  std::string flipped = example_checkpoint(12).encode();
+  flipped[flipped.size() - 4] ^= 0x02;
+  auto rejected = store.import_frame(flipped);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error().message.find("rejecting imported frame"),
+            std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(store.path_for_cycle(12)));
+
+  // Imports respect the keep bound like saves do.
+  ASSERT_TRUE(store.import_frame(example_checkpoint(13).encode()).ok());
+  ASSERT_TRUE(store.import_frame(example_checkpoint(14).encode()).ok());
+  EXPECT_FALSE(std::filesystem::exists(store.path_for_cycle(11)));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CheckpointStoreTest, FilenamesSortInCycleOrder) {
   CheckpointStore store("/tmp/iqb-unused");
   // Zero-padded names keep lexicographic order == numeric order, which

@@ -301,6 +301,96 @@ TEST_F(DaemonRecoveryTest, CheckpointOffPathScoresBitIdentically) {
   EXPECT_EQ(plain.server().handle({"GET", "/scores"}).headers.size(), 0u);
 }
 
+TEST_F(DaemonRecoveryTest, WipedStateDirBootstrapsFromPeerReplica) {
+  // A "peer" daemon whose /checkpointz will hold our replicas. Its own
+  // scoring loop is irrelevant here — it serves HTTP and stores what
+  // the main daemon pushes.
+  const std::string peer_dir = state_dir_ + "_peer";
+  std::filesystem::remove_all(peer_dir);
+  DaemonOptions peer_options = base_options();
+  peer_options.state_dir = peer_dir;
+  peer_options.node_id = "peerB";
+  peer_options.interval_ms = 60'000;  // one cycle, then idle
+  WatchDaemon peer(peer_options);
+  std::ostringstream peer_err;
+  ASSERT_TRUE(peer.start(peer_err).ok()) << peer_err.str();
+  ASSERT_TRUE(eventually([&] { return peer.cycles_total() >= 1; }));
+
+  DaemonOptions main_options = base_options();
+  main_options.node_id = "mainA";
+  main_options.replicate_to = {{"peerB", "127.0.0.1", peer.port()}};
+  main_options.replication_http.connect_timeout_ms = 500;
+  main_options.replication_http.io_timeout_ms = 1000;
+  main_options.replication_http.total_deadline_ms = 3000;
+  main_options.replication_retry_sleep_scale = 0.0;
+
+  std::string scores_before;
+  std::uint64_t cycle_before = 0;
+  {
+    WatchDaemon main(main_options);
+    std::ostringstream err;
+    ASSERT_NE(main.replicator(), nullptr);
+    ASSERT_TRUE(main.run_cycle(err)) << err.str();
+    ASSERT_TRUE(main.run_cycle(err)) << err.str();
+    scores_before = main.server().latest()->scores_json;
+    cycle_before = main.server().latest()->cycle;
+  }  // crash
+
+  // The wipe: the node comes back with an empty state dir — disk
+  // replaced — and must bootstrap from the peer's replica.
+  std::filesystem::remove_all(state_dir_);
+  WatchDaemon reborn(main_options);
+  std::ostringstream err;
+  ASSERT_TRUE(reborn.recover(err).ok()) << err.str();
+  EXPECT_EQ(reborn.peer_recoveries(), 1u);
+  EXPECT_TRUE(reborn.serving_stale());
+  const auto snapshot = reborn.server().latest();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->scores_json, scores_before);
+  EXPECT_EQ(snapshot->cycle, cycle_before);
+  // Cycle ordinals stay monotone across the wipe: the next fresh
+  // cycle continues from the recovered ordinal, never restarts at 1.
+  ASSERT_TRUE(reborn.run_cycle(err)) << err.str();
+  EXPECT_FALSE(reborn.serving_stale());
+  EXPECT_EQ(reborn.server().latest()->cycle, cycle_before + 1);
+  peer.stop();
+  std::filesystem::remove_all(peer_dir);
+}
+
+TEST_F(DaemonRecoveryTest, RecoveryLagKeepsLocalWhenPeerIsNotFresher) {
+  const std::string peer_dir = state_dir_ + "_lagpeer";
+  std::filesystem::remove_all(peer_dir);
+  DaemonOptions peer_options = base_options();
+  peer_options.state_dir = peer_dir;
+  peer_options.node_id = "peerB";
+  peer_options.interval_ms = 60'000;
+  WatchDaemon peer(peer_options);
+  std::ostringstream peer_err;
+  ASSERT_TRUE(peer.start(peer_err).ok()) << peer_err.str();
+  ASSERT_TRUE(eventually([&] { return peer.cycles_total() >= 1; }));
+
+  DaemonOptions main_options = base_options();
+  main_options.node_id = "mainA";
+  main_options.replicate_to = {{"peerB", "127.0.0.1", peer.port()}};
+  main_options.replication_retry_sleep_scale = 0.0;
+  main_options.recovery_lag = 5;
+  {
+    WatchDaemon main(main_options);
+    std::ostringstream err;
+    ASSERT_TRUE(main.run_cycle(err)) << err.str();
+  }
+  // Local state intact: the peer's copy (same cycle) is within the
+  // tolerated lag, so recovery stays local and counts no peer use.
+  WatchDaemon again(main_options);
+  std::ostringstream err;
+  ASSERT_TRUE(again.recover(err).ok()) << err.str();
+  EXPECT_EQ(again.peer_recoveries(), 0u);
+  ASSERT_NE(again.server().latest(), nullptr);
+  EXPECT_EQ(again.server().latest()->cycle, 1u);
+  peer.stop();
+  std::filesystem::remove_all(peer_dir);
+}
+
 TEST_F(DaemonRecoveryTest, ParseArgsAcceptsDurabilityFlags) {
   auto options = parse_daemon_args({"--records", "r.csv", "--state-dir",
                                     "/tmp/iqb-state", "--cycle-deadline-ms",

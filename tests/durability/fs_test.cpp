@@ -81,5 +81,24 @@ TEST(ReadFileTest, MissingFileIsAnError) {
   EXPECT_FALSE(read_file("/nonexistent/iqb-fs-test").ok());
 }
 
+TEST(FsyncDirTest, SucceedsOnExistingDirectory) {
+  const auto dir = temp_dir();
+  auto synced = fsync_dir(dir);
+  EXPECT_TRUE(synced.ok()) << synced.error().to_string();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FsyncDirTest, EmptyPathMeansCurrentDirectory) {
+  EXPECT_TRUE(fsync_dir("").ok());
+}
+
+TEST(FsyncDirTest, MissingDirectoryIsAnIoError) {
+  auto synced = fsync_dir("/nonexistent/iqb-fsync-dir-test");
+  ASSERT_FALSE(synced.ok());
+  EXPECT_EQ(synced.error().code, ErrorCode::kIoError);
+  EXPECT_NE(synced.error().message.find("cannot open directory"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace iqb::util::fs

@@ -434,6 +434,74 @@ TEST_F(FleetChaosTest, CoordinatorArgsParse) {
   EXPECT_FALSE(parse_coordinator_args(
                    {"--shards", "127.0.0.1:1", "--bogus", "x"})
                    .ok());
+
+  auto durable = parse_coordinator_args(
+      {"--shards", "a=127.0.0.1:9001", "--state-dir", "/tmp/iqbc",
+       "--checkpoint-keep", "5", "--node-id", "coord-1"});
+  ASSERT_TRUE(durable.ok()) << durable.error().to_string();
+  EXPECT_EQ(durable->state_dir.value_or(""), "/tmp/iqbc");
+  EXPECT_EQ(durable->checkpoint_keep, 5u);
+  EXPECT_EQ(durable->node_id, "coord-1");
+  EXPECT_FALSE(parse_coordinator_args({"--shards", "a=127.0.0.1:9001",
+                                       "--node-id", "bad/../id"})
+                   .ok());
+}
+
+TEST_F(FleetChaosTest, RestartedCoordinatorServesRecoveredFusedSnapshot) {
+  const std::string state_dir =
+      (std::filesystem::temp_directory_path() /
+       ("iqb_coord_state_" + std::to_string(getpid())))
+          .string();
+  std::filesystem::remove_all(state_dir);
+
+  WatchDaemon shard_a(shard_options(kShardARegions));
+  WatchDaemon shard_b(shard_options(kShardBRegions));
+  std::ostringstream err;
+  ASSERT_TRUE(shard_a.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_b.run_cycle(err)) << err.str();
+  ASSERT_TRUE(shard_a.server().start().ok());
+  ASSERT_TRUE(shard_b.server().start().ok());
+
+  CoordinatorOptions options =
+      coordinator_options(shard_a.server().port(), shard_b.server().port());
+  options.state_dir = state_dir;
+  std::string fused;
+  {
+    CoordinatorDaemon coordinator(options);
+    ASSERT_TRUE(coordinator.run_cycle(err)) << err.str();
+    fused = coordinator.server().latest()->scores_json;
+    EXPECT_FALSE(coordinator.serving_stale());
+  }  // crash: the state dir survives
+
+  CoordinatorDaemon second(options);
+  ASSERT_TRUE(second.recover(err).ok()) << err.str();
+  EXPECT_TRUE(second.serving_stale());
+  const auto snapshot = second.server().latest();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->stale);
+  EXPECT_EQ(snapshot->cycle, 1u);
+  EXPECT_EQ(snapshot->scores_json, fused)
+      << "the recovered fused document must serve byte-identically";
+
+  // /readyz flags the recovered state; the checkpoint catalog is
+  // served under the coordinator's node id.
+  obs::HttpResponse ready = second.server().handle({"GET", "/readyz"});
+  EXPECT_EQ(ready.status, 200);
+  auto ready_json = util::parse_json(ready.body);
+  ASSERT_TRUE(ready_json.ok());
+  EXPECT_EQ(ready_json->get_string("status").value(), "recovered");
+  EXPECT_TRUE(ready_json->get_bool("stale").value());
+  obs::HttpResponse catalog = second.server().handle({"GET", "/checkpointz"});
+  EXPECT_EQ(catalog.status, 200);
+  EXPECT_NE(catalog.body.find("\"iqbc\""), std::string::npos) << catalog.body;
+
+  // The first fresh gather replaces the stale snapshot and continues
+  // the cycle sequence.
+  ASSERT_TRUE(second.run_cycle(err)) << err.str();
+  EXPECT_FALSE(second.serving_stale());
+  EXPECT_EQ(second.server().latest()->cycle, 2u);
+
+  std::filesystem::remove_all(state_dir);
 }
 
 TEST_F(FleetChaosTest, ShardRegionsFilterRestrictsScoring) {

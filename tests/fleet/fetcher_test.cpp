@@ -335,5 +335,50 @@ TEST(FleetFetcher, BreakerOpensAfterPersistentFailureAndRecovers) {
   shard.stop();
 }
 
+TEST(FleetFetcher, FailedHalfOpenProbeReopensBeforeRecoveryCloses) {
+  FakeShard shard(make_payload(2, "metro_fiber"));
+  ASSERT_TRUE(shard.start());
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_port = shard.port();
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start());
+  proxy.set_mode(ChaosProxy::Mode::kRefuse);
+
+  auto options = fast_options({{"s", "127.0.0.1", proxy.port()}});
+  options.breaker.window_size = 4;
+  options.breaker.min_samples = 2;
+  options.breaker.failure_threshold = 0.5;
+  options.breaker.cooldown_denials = 1;
+  options.breaker.half_open_successes = 1;
+  FleetFetcher fetcher(std::move(options));
+
+  fetcher.fetch_all();  // failures open the breaker
+  EXPECT_EQ(fetcher.status()[0].breaker, robust::BreakerState::kOpen);
+  fetcher.fetch_all();  // denied; cooldown spent => half-open
+  EXPECT_EQ(fetcher.status()[0].breaker, robust::BreakerState::kHalfOpen);
+
+  // The half-open probe goes to the network — and the shard is still
+  // refusing, so the probe fails and the breaker snaps back to open
+  // instead of readmitting a dead peer.
+  const auto before = proxy.connections();
+  fetcher.fetch_all();
+  EXPECT_GT(proxy.connections(), before);
+  EXPECT_EQ(fetcher.status()[0].breaker, robust::BreakerState::kOpen);
+
+  // Second walk of the same ladder, with the fault cleared this time:
+  // cooldown => half-open, successful probe => closed, fresh payload.
+  fetcher.fetch_all();  // denied; cooldown spent => half-open
+  EXPECT_EQ(fetcher.status()[0].breaker, robust::BreakerState::kHalfOpen);
+  proxy.set_mode(ChaosProxy::Mode::kPass);
+  auto views = fetcher.fetch_all();
+  ASSERT_TRUE(views[0].payload.has_value());
+  EXPECT_FALSE(views[0].stale);
+  EXPECT_EQ(views[0].payload->cycle, 2u);
+  EXPECT_EQ(fetcher.status()[0].breaker, robust::BreakerState::kClosed);
+
+  proxy.stop();
+  shard.stop();
+}
+
 }  // namespace
 }  // namespace iqb::fleet

@@ -266,6 +266,42 @@ TEST_F(HttpClientTest, AmbientSpanContextIsInjectedAsTraceparent) {
   echo.stop();
 }
 
+TEST(HttpClientPostTest, PostDeliversBodyWithContentLengthFraming) {
+  HttpServer::Options options;
+  options.port = 0;
+  std::string seen_body;
+  std::string seen_type;
+  HttpServer echo(options, [&](const HttpRequest& request) -> HttpResponse {
+    seen_body = request.body;
+    for (const auto& [name, value] : request.headers) {
+      if (name == "content-type") seen_type = value;
+    }
+    return {200, "text/plain", "accepted " +
+                                   std::to_string(request.body.size())};
+  });
+  ASSERT_TRUE(echo.start().ok());
+
+  const HttpClient client(fast_options());
+  // Binary-safe: a checkpoint frame contains whatever bytes the JSON
+  // payload happens to hold, plus the header's newline.
+  std::string frame = "IQBCKPT 1 00000000 4\n{}";
+  frame.push_back('\0');
+  frame.push_back('x');
+  auto response = client.post("127.0.0.1", echo.port(), "/checkpointz/3",
+                              frame, "application/octet-stream");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "accepted " + std::to_string(frame.size()));
+  EXPECT_EQ(seen_body, frame);
+  EXPECT_EQ(seen_type, "application/octet-stream");
+
+  // CR/LF smuggling via the content type is refused client-side.
+  auto refused = client.post("127.0.0.1", echo.port(), "/x", "b",
+                             "evil\r\nX-Injected: 1");
+  EXPECT_FALSE(refused.ok());
+  echo.stop();
+}
+
 TEST_F(HttpClientTest, ProxyPassModeIsTransparent) {
   ChaosProxy::Options proxy_options;
   proxy_options.upstream_port = server_->port();

@@ -1,0 +1,404 @@
+// fleet replication: /checkpointz exchange semantics (serve, accept,
+// refuse), the diff-driven Replicator push (fast path == anti-entropy
+// catch-up), and newest-valid-wins peer bootstrap including a remote
+// candidate rejected by CRC re-verification.
+#include "iqb/fleet/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iqb/obs/http_client.hpp"
+#include "iqb/obs/http_server.hpp"
+#include "iqb/obs/metrics.hpp"
+#include "iqb/robust/checkpoint.hpp"
+
+namespace iqb::fleet {
+namespace {
+
+robust::Checkpoint example_checkpoint(std::uint64_t cycle) {
+  robust::Checkpoint checkpoint;
+  checkpoint.cycle = cycle;
+  checkpoint.cycles_attempted = cycle;
+  checkpoint.trace_id = "iqbd-" + std::to_string(cycle);
+  checkpoint.scores_json = "{\"cycle\": " + std::to_string(cycle) + "}\n";
+  return checkpoint;
+}
+
+std::filesystem::path fresh_dir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("iqb_repl_test_" + tag + "_" + std::to_string(getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+obs::HttpClient::Options fast_http() {
+  obs::HttpClient::Options options;
+  options.connect_timeout_ms = 300;
+  options.io_timeout_ms = 500;
+  options.total_deadline_ms = 1500;
+  return options;
+}
+
+/// One daemon-shaped peer: a CheckpointStore plus a real HttpServer
+/// that routes /checkpointz through a CheckpointExchange, exactly as
+/// the daemons wire it.
+struct ExchangePeer {
+  ExchangePeer(const std::string& tag, const std::string& node_id)
+      : dir(fresh_dir(tag)), store(dir, /*keep=*/5) {
+    EXPECT_TRUE(store.prepare().ok());
+    CheckpointExchange::Options options;
+    options.node_id = node_id;
+    options.state_dir = dir;
+    options.keep = 5;
+    exchange = std::make_unique<CheckpointExchange>(options, &store);
+    obs::HttpServer::Options http;
+    http.port = 0;
+    server = std::make_unique<obs::HttpServer>(
+        http, [this](const obs::HttpRequest& request) -> obs::HttpResponse {
+          if (auto handled = exchange->handle(request)) return *handled;
+          return {404, "application/json", "{\"status\":\"error\"}\n"};
+        });
+    EXPECT_TRUE(server->start().ok());
+  }
+  ~ExchangePeer() {
+    server->stop();
+    std::filesystem::remove_all(dir);
+  }
+  ShardEndpoint endpoint(const std::string& name) const {
+    return {name, "127.0.0.1", server->port()};
+  }
+
+  std::filesystem::path dir;
+  robust::CheckpointStore store;
+  std::unique_ptr<CheckpointExchange> exchange;
+  std::unique_ptr<obs::HttpServer> server;
+};
+
+TEST(ValidNodeIdTest, AcceptsSafeNamesRejectsTraversal) {
+  EXPECT_TRUE(valid_node_id("iqbd"));
+  EXPECT_TRUE(valid_node_id("shard-3_eu"));
+  EXPECT_TRUE(valid_node_id(std::string(64, 'a')));
+  EXPECT_FALSE(valid_node_id(""));
+  EXPECT_FALSE(valid_node_id(std::string(65, 'a')));
+  EXPECT_FALSE(valid_node_id(".."));
+  EXPECT_FALSE(valid_node_id("a/b"));
+  EXPECT_FALSE(valid_node_id("a.b"));
+  EXPECT_FALSE(valid_node_id("sh ard"));
+}
+
+TEST(CatalogTest, RenderParseRoundTrips) {
+  CheckpointCatalog catalog;
+  catalog.node = "shard0";
+  catalog.own = {{3, 120, "deadbeef"}, {4, 121, "cafef00d"}};
+  catalog.replicas["peer1"] = {{9, 200, "0badc0de"}};
+  auto parsed = parse_checkpoint_catalog(render_checkpoint_catalog(catalog));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->node, "shard0");
+  ASSERT_EQ(parsed->own.size(), 2u);
+  EXPECT_EQ(parsed->own[1].cycle, 4u);
+  EXPECT_EQ(parsed->own[1].bytes, 121u);
+  EXPECT_EQ(parsed->own[1].crc32_hex, "cafef00d");
+  ASSERT_EQ(parsed->replicas.count("peer1"), 1u);
+  EXPECT_EQ(CheckpointCatalog::newest(parsed->replicas["peer1"]), 9u);
+  EXPECT_EQ(CheckpointCatalog::newest({}), 0u);
+}
+
+TEST(CatalogTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_checkpoint_catalog("not json").ok());
+  EXPECT_FALSE(parse_checkpoint_catalog("{}").ok());
+  EXPECT_FALSE(
+      parse_checkpoint_catalog("{\"node\":\"x\",\"own\":[{\"cycle\":0}]}")
+          .ok());
+}
+
+TEST(CheckpointExchangeTest, ServesOwnCatalogAndVerifiedFrames) {
+  ExchangePeer peer("serve", "alpha");
+  ASSERT_TRUE(peer.store.save(example_checkpoint(7)).ok());
+
+  const obs::HttpClient client(fast_http());
+  auto catalog_response =
+      client.get("127.0.0.1", peer.server->port(), "/checkpointz");
+  ASSERT_TRUE(catalog_response.ok()) << catalog_response.error().to_string();
+  ASSERT_EQ(catalog_response->status, 200);
+  auto catalog = parse_checkpoint_catalog(catalog_response->body);
+  ASSERT_TRUE(catalog.ok()) << catalog.error().to_string();
+  EXPECT_EQ(catalog->node, "alpha");
+  EXPECT_EQ(CheckpointCatalog::newest(catalog->own), 7u);
+
+  auto frame = client.get("127.0.0.1", peer.server->port(), "/checkpointz/7");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->status, 200);
+  EXPECT_EQ(frame->body, example_checkpoint(7).encode());
+  EXPECT_EQ(frame->header("X-IQB-Checkpoint-Cycle"), "7");
+
+  // Missing generation and malformed path both refuse with a reason.
+  EXPECT_EQ(client.get("127.0.0.1", peer.server->port(), "/checkpointz/99")
+                ->status,
+            404);
+  EXPECT_EQ(client.get("127.0.0.1", peer.server->port(), "/checkpointz/zero")
+                ->status,
+            400);
+}
+
+TEST(CheckpointExchangeTest, PostStoresReplicaAndRefusesBadFrames) {
+  ExchangePeer peer("post", "alpha");
+  const obs::HttpClient client(fast_http());
+  const std::string frame = example_checkpoint(4).encode();
+
+  auto stored = client.post("127.0.0.1", peer.server->port(),
+                            "/checkpointz/4?source=beta", frame,
+                            "application/octet-stream");
+  ASSERT_TRUE(stored.ok()) << stored.error().to_string();
+  EXPECT_EQ(stored->status, 200);
+  auto replica = peer.exchange->replica_store("beta").load_newest();
+  ASSERT_TRUE(replica.ok());
+  ASSERT_TRUE(replica->checkpoint.has_value());
+  EXPECT_EQ(replica->checkpoint->cycle, 4u);
+  // The stored replica now shows up in the catalog.
+  const auto catalog = peer.exchange->catalog();
+  ASSERT_EQ(catalog.replicas.count("beta"), 1u);
+  EXPECT_EQ(CheckpointCatalog::newest(catalog.replicas.at("beta")), 4u);
+
+  // A frame flipped in transit is re-verified server-side: 400, and
+  // nothing lands on disk.
+  std::string flipped = example_checkpoint(5).encode();
+  flipped[flipped.size() - 3] ^= 0x04;
+  auto refused = client.post("127.0.0.1", peer.server->port(),
+                             "/checkpointz/5?source=beta", flipped,
+                             "application/octet-stream");
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, 400);
+  EXPECT_NE(refused->body.find("rejecting imported frame"),
+            std::string::npos);
+
+  // Frame cycle must match the posted path.
+  EXPECT_EQ(client
+                .post("127.0.0.1", peer.server->port(),
+                      "/checkpointz/6?source=beta", frame,
+                      "application/octet-stream")
+                ->status,
+            409);
+  // A peer claiming this node's own identity is refused.
+  EXPECT_EQ(client
+                .post("127.0.0.1", peer.server->port(),
+                      "/checkpointz/4?source=alpha", frame,
+                      "application/octet-stream")
+                ->status,
+            409);
+  // Path-traversal-shaped source ids never reach the filesystem.
+  EXPECT_EQ(client
+                .post("127.0.0.1", peer.server->port(),
+                      "/checkpointz/4?source=..", frame,
+                      "application/octet-stream")
+                ->status,
+            400);
+  EXPECT_EQ(client
+                .post("127.0.0.1", peer.server->port(),
+                      "/checkpointz/4?source=beta", "",
+                      "application/octet-stream")
+                ->status,
+            400);
+}
+
+TEST(ReplicatorTest, PushesMissingFramesAndCatchesUpAfterPartition) {
+  ExchangePeer source("src", "alpha");
+  ExchangePeer target("dst", "bravo");
+  for (std::uint64_t cycle = 1; cycle <= 3; ++cycle) {
+    ASSERT_TRUE(source.store.save(example_checkpoint(cycle)).ok());
+  }
+
+  obs::MetricsRegistry metrics;
+  Replicator::Options options;
+  options.node_id = "alpha";
+  options.peers = {target.endpoint("bravo")};
+  options.http = fast_http();
+  options.retry_sleep_scale = 0.0;
+  Replicator replicator(options, &source.store, &metrics);
+
+  // First sweep: the peer holds nothing, so every retained generation
+  // crosses — this *is* the anti-entropy path; the fast path is just a
+  // one-element diff.
+  auto outcomes = replicator.replicate();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].error.empty()) << outcomes[0].error;
+  EXPECT_EQ(outcomes[0].pushed, 3u);
+  EXPECT_EQ(outcomes[0].lag_cycles, 0u);
+  EXPECT_EQ(replicator.pushes_total(), 3u);
+  auto replica = target.exchange->replica_store("alpha").load_newest();
+  ASSERT_TRUE(replica.ok());
+  ASSERT_TRUE(replica->checkpoint.has_value());
+  EXPECT_EQ(replica->checkpoint->cycle, 3u);
+
+  // Steady state: nothing missing, nothing pushed.
+  outcomes = replicator.replicate();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].pushed, 0u);
+  EXPECT_EQ(replicator.pushes_total(), 3u);
+
+  // "Partition": two cycles land while the peer was dark; the next
+  // sweep reconciles the diff without any special-casing.
+  ASSERT_TRUE(source.store.save(example_checkpoint(4)).ok());
+  ASSERT_TRUE(source.store.save(example_checkpoint(5)).ok());
+  outcomes = replicator.replicate();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].pushed, 2u);
+  EXPECT_EQ(outcomes[0].lag_cycles, 0u);
+  replica = target.exchange->replica_store("alpha").load_newest();
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(replica->checkpoint->cycle, 5u);
+  EXPECT_EQ(replicator.pushes_total(), 5u);
+  EXPECT_EQ(replicator.push_failures_total(), 0u);
+}
+
+TEST(ReplicatorTest, DeadPeerReportsErrorAndEventuallyTripsBreaker) {
+  ExchangePeer source("deadsrc", "alpha");
+  ASSERT_TRUE(source.store.save(example_checkpoint(1)).ok());
+
+  Replicator::Options options;
+  options.node_id = "alpha";
+  // Port 1 on localhost refuses immediately.
+  options.peers = {{"ghost", "127.0.0.1", 1}};
+  options.http = fast_http();
+  options.retry.max_attempts = 1;
+  options.retry_sleep_scale = 0.0;
+  options.breaker.window_size = 4;
+  options.breaker.min_samples = 2;
+  options.breaker.failure_threshold = 0.5;
+  Replicator replicator(options, &source.store, nullptr);
+
+  auto first = replicator.replicate();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_FALSE(first[0].error.empty());
+  EXPECT_EQ(first[0].pushed, 0u);
+  // The lag is pessimistic while the peer is unreachable.
+  EXPECT_EQ(first[0].lag_cycles, 1u);
+
+  // Keep sweeping: once the failure fraction trips the breaker, sweeps
+  // are denied locally instead of burning the cycle's time budget.
+  for (int i = 0; i < 4; ++i) replicator.replicate();
+  EXPECT_GT(replicator.breaker_denials_total(), 0u);
+}
+
+TEST(BootstrapTest, AdoptsFreshestValidPeerCopyAndImportsLocally) {
+  // peer1 holds an old replica of "me", peer2 the freshest.
+  ExchangePeer peer1("boot1", "peer1");
+  ExchangePeer peer2("boot2", "peer2");
+  ASSERT_TRUE(peer1.exchange->replica_store("me")
+                  .import_frame(example_checkpoint(5).encode())
+                  .ok());
+  ASSERT_TRUE(peer2.exchange->replica_store("me")
+                  .import_frame(example_checkpoint(9).encode())
+                  .ok());
+
+  const auto local_dir = fresh_dir("bootlocal");
+  robust::CheckpointStore local(local_dir);
+  ASSERT_TRUE(local.prepare().ok());
+
+  auto recovery = bootstrap_from_peers(
+      local, /*local_cycle=*/0, /*recovery_lag=*/0, "me",
+      {peer1.endpoint("peer1"), peer2.endpoint("peer2")}, fast_http());
+  ASSERT_TRUE(recovery.checkpoint.has_value());
+  EXPECT_EQ(recovery.checkpoint->cycle, 9u);
+  EXPECT_EQ(recovery.source, "peer2");
+  // The adopted frame was imported: the next restart recovers locally.
+  auto outcome = local.load_newest();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->checkpoint.has_value());
+  EXPECT_EQ(outcome->checkpoint->cycle, 9u);
+  std::filesystem::remove_all(local_dir);
+}
+
+TEST(BootstrapTest, LocalNewerThanEveryPeerWinsAndLagGates) {
+  ExchangePeer peer("bootstale", "peer1");
+  ASSERT_TRUE(peer.exchange->replica_store("me")
+                  .import_frame(example_checkpoint(5).encode())
+                  .ok());
+  const auto local_dir = fresh_dir("bootlag");
+  robust::CheckpointStore local(local_dir);
+  ASSERT_TRUE(local.prepare().ok());
+
+  // Local cycle 7 beats the peer's 5: keep local, record why.
+  auto recovery = bootstrap_from_peers(local, 7, 0, "me",
+                                       {peer.endpoint("peer1")}, fast_http());
+  EXPECT_FALSE(recovery.checkpoint.has_value());
+  ASSERT_EQ(recovery.rejected.size(), 1u);
+  EXPECT_EQ(recovery.rejected[0].candidate, "peer1 cycle 5");
+  EXPECT_NE(recovery.rejected[0].reason.find("not newer than local cycle 7"),
+            std::string::npos);
+
+  // Local 4 with recovery_lag 2: peer's 5 is within tolerated lag.
+  recovery = bootstrap_from_peers(local, 4, 2, "me",
+                                  {peer.endpoint("peer1")}, fast_http());
+  EXPECT_FALSE(recovery.checkpoint.has_value());
+
+  // Local 2 with the same lag: 5 now beats 2 + 2, adopt it.
+  recovery = bootstrap_from_peers(local, 2, 2, "me",
+                                  {peer.endpoint("peer1")}, fast_http());
+  ASSERT_TRUE(recovery.checkpoint.has_value());
+  EXPECT_EQ(recovery.checkpoint->cycle, 5u);
+  std::filesystem::remove_all(local_dir);
+}
+
+TEST(BootstrapTest, CrcRejectedRemoteCandidateFallsThroughWithReason) {
+  // A hostile/rotted peer: its catalog advertises the freshest replica
+  // of "me" (cycle 9) but the frame it serves fails CRC
+  // re-verification. The honest peer's older copy must win.
+  std::string corrupt_frame = example_checkpoint(9).encode();
+  corrupt_frame[corrupt_frame.size() - 2] ^= 0x08;
+  CheckpointCatalog lying_catalog;
+  lying_catalog.node = "liar";
+  lying_catalog.replicas["me"] = {{9, corrupt_frame.size(), "00000000"}};
+  const std::string catalog_body = render_checkpoint_catalog(lying_catalog);
+
+  obs::HttpServer::Options http;
+  http.port = 0;
+  obs::HttpServer liar(
+      http, [&](const obs::HttpRequest& request) -> obs::HttpResponse {
+        if (request.path == "/checkpointz") {
+          return {200, "application/json", catalog_body};
+        }
+        return {200, "application/octet-stream", corrupt_frame};
+      });
+  ASSERT_TRUE(liar.start().ok());
+
+  ExchangePeer honest("boothonest", "peer2");
+  ASSERT_TRUE(honest.exchange->replica_store("me")
+                  .import_frame(example_checkpoint(6).encode())
+                  .ok());
+
+  const auto local_dir = fresh_dir("bootcrc");
+  robust::CheckpointStore local(local_dir);
+  ASSERT_TRUE(local.prepare().ok());
+  auto recovery = bootstrap_from_peers(
+      local, 0, 0, "me",
+      {{"liar", "127.0.0.1", liar.port()}, honest.endpoint("peer2")},
+      fast_http());
+  liar.stop();
+
+  ASSERT_TRUE(recovery.checkpoint.has_value());
+  EXPECT_EQ(recovery.checkpoint->cycle, 6u);
+  EXPECT_EQ(recovery.source, "peer2");
+  bool saw_crc_rejection = false;
+  for (const RejectedCandidate& rejected : recovery.rejected) {
+    if (rejected.candidate == "liar cycle 9" &&
+        rejected.reason.find("rejecting imported frame") !=
+            std::string::npos) {
+      saw_crc_rejection = true;
+    }
+  }
+  EXPECT_TRUE(saw_crc_rejection);
+  // The refused frame never landed in the local store.
+  EXPECT_FALSE(std::filesystem::exists(local.path_for_cycle(9)));
+  std::filesystem::remove_all(local_dir);
+}
+
+}  // namespace
+}  // namespace iqb::fleet

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "iqb/obs/history_routes.hpp"
 #include "iqb/obs/metrics.hpp"
 #include "iqb/util/json.hpp"
 
@@ -167,6 +168,38 @@ TEST(TimeSeriesStore, ToJsonIsByteStable) {
   // Family filter narrows without disturbing ordering.
   const auto filtered = store.to_json("score", 60'000, 2000, false);
   EXPECT_EQ(filtered.get_array("series")->size(), 1u);
+}
+
+TEST(ServeHistoryz, RejectsMalformedWindowAndPointsWith400Reasons) {
+  TimeSeriesStore store;
+  HttpRequest request("GET", "/historyz");
+
+  const auto expect_bad = [&](const std::string& query,
+                              const std::string& reason_fragment) {
+    request.query = query;
+    const HttpResponse response = serve_historyz(&store, request, 5000);
+    EXPECT_EQ(response.status, 400) << query;
+    EXPECT_NE(response.body.find(reason_fragment), std::string::npos)
+        << query << " => " << response.body;
+    EXPECT_NE(response.body.find("\"status\":\"error\""), std::string::npos);
+  };
+
+  // Negative and zero windows must never reach the unsigned window
+  // arithmetic; non-integers and overflow are refused at the parse.
+  expect_bad("window=-5", "must be positive");
+  expect_bad("window=0", "must be positive");
+  expect_bad("window=1e9", "not a whole number");
+  expect_bad("window=10abc", "not a whole number");
+  expect_bad("window=99999999999999999999999", "not a whole number");
+  expect_bad("window=999999999999", "exceeds");
+  expect_bad("points=yes", "expected true or false");
+  expect_bad("points=1", "expected true or false");
+
+  // Valid values still serve.
+  request.query = "window=60000&points=true";
+  EXPECT_EQ(serve_historyz(&store, request, 5000).status, 200);
+  request.query = "";
+  EXPECT_EQ(serve_historyz(&store, request, 5000).status, 200);
 }
 
 }  // namespace

@@ -110,6 +110,104 @@ TEST(HttpServerTest, ExtraResponseHeadersAreEmitted) {
   server.stop();
 }
 
+TEST(HttpServerTest, PostBodyIsDeliveredCompleteToTheHandler) {
+  std::string seen_body;
+  std::string seen_method;
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options, [&](const HttpRequest& request) {
+    seen_method = request.method;
+    seen_body = request.body;
+    return HttpResponse{200, "text/plain", "stored"};
+  });
+  ASSERT_TRUE(server.start().ok());
+  const std::string body = "IQBCKPT 1 00000000 2\n{}";
+  const std::string request =
+      "POST /checkpointz/1 HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Length: " + std::to_string(body.size()) +
+      "\r\nConnection: close\r\n\r\n" + body;
+  const std::string response = raw_request(server.port(), request);
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 ", 0), 0u)
+      << response.substr(0, 60);
+  EXPECT_EQ(seen_method, "POST");
+  EXPECT_EQ(seen_body, body);
+  server.stop();
+}
+
+TEST(HttpServerTest, PostContentLengthMissingMeansEmptyBodyGarbledGets400) {
+  std::string seen_body = "sentinel";
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options, [&](const HttpRequest& request) {
+    seen_body = request.body;
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.start().ok());
+  // No Content-Length header: a body-less POST (RFC 9110 §8.6) — it
+  // reaches the router (which may still answer 405) with body "".
+  const std::string missing =
+      "POST /x HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(raw_request(server.port(), missing).rfind("HTTP/1.1 200 ", 0),
+            0u);
+  EXPECT_EQ(seen_body, "");
+  // A header that is present but unparsable is refused outright.
+  const std::string garbled =
+      "POST /x HTTP/1.1\r\nHost: localhost\r\nContent-Length: banana\r\n"
+      "Connection: close\r\n\r\n";
+  EXPECT_EQ(raw_request(server.port(), garbled).rfind("HTTP/1.1 400 ", 0),
+            0u);
+  server.stop();
+}
+
+TEST(HttpServerTest, PostBeyondMaxBodyBytesGets413) {
+  HttpServer::Options options;
+  options.port = 0;
+  options.max_body_bytes = 64;
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.start().ok());
+  // The declared length alone triggers the refusal — the server never
+  // buffers an oversized body to find out.
+  const std::string request =
+      "POST /x HTTP/1.1\r\nHost: localhost\r\nContent-Length: 65\r\n"
+      "Connection: close\r\n\r\n" + std::string(65, 'z');
+  EXPECT_EQ(raw_request(server.port(), request).rfind("HTTP/1.1 413 ", 0),
+            0u);
+  server.stop();
+}
+
+TEST(HttpServerTest, TruncatedPostBodyGets400) {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.start().ok());
+  // Declares 100 bytes, sends 10, then FIN: the handler must never
+  // see a short body presented as complete.
+  const std::string request =
+      "POST /x HTTP/1.1\r\nHost: localhost\r\nContent-Length: 100\r\n"
+      "Connection: close\r\n\r\n" + std::string(10, 'q');
+  EXPECT_EQ(raw_request(server.port(), request).rfind("HTTP/1.1 400 ", 0),
+            0u);
+  server.stop();
+}
+
+TEST(HttpServerTest, UnsupportedMethodGets405) {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.start().ok());
+  const std::string request =
+      "DELETE /x HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(raw_request(server.port(), request).rfind("HTTP/1.1 405 ", 0),
+            0u);
+  server.stop();
+}
+
 TEST(HttpServerTest, DrainStopsAcceptingAndIsIdempotent) {
   HttpServer server(small_server_options(),
                     [](const HttpRequest&) {

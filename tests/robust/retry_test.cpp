@@ -111,6 +111,48 @@ TEST(RunWithRetry, ExhaustionAnnotatesError) {
   EXPECT_EQ(stats.attempts, 3u);
 }
 
+TEST(RetrySchedule, DecorrelatedJitterStaysWithinPolicyBounds) {
+  // Decorrelated jitter draws uniform(base, prev*3) capped at
+  // max_delay_s: whatever the seed, no emitted delay may undershoot
+  // the base or overshoot the cap.
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    RetryPolicy policy;
+    policy.max_attempts = 16;
+    policy.base_delay_s = 0.05;
+    policy.max_delay_s = 0.8;
+    policy.deadline_s = 1000.0;
+    policy.seed = seed;
+    RetrySchedule schedule(policy);
+    for (;;) {
+      const double delay = schedule.next_delay_s();
+      if (delay < 0.0) break;
+      EXPECT_GE(delay, policy.base_delay_s) << "seed " << seed;
+      EXPECT_LE(delay, policy.max_delay_s) << "seed " << seed;
+    }
+  }
+}
+
+TEST(RetrySchedule, SameSeedReplaysTheSameDelaySequence) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.seed = 99;
+  RetrySchedule a(policy);
+  RetrySchedule b(policy);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_delay_s(), b.next_delay_s()) << "step " << i;
+  }
+  // A different seed must (for this policy) diverge somewhere.
+  policy.seed = 100;
+  RetrySchedule c(policy);
+  RetrySchedule d(RetryPolicy{policy.max_attempts, policy.base_delay_s,
+                              policy.max_delay_s, policy.deadline_s, 99});
+  bool diverged = false;
+  for (int i = 0; i < 7; ++i) {
+    if (c.next_delay_s() != d.next_delay_s()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
 TEST(RunWithRetry, SingleAttemptPolicyNeverRetries) {
   RetryPolicy policy;
   policy.max_attempts = 1;

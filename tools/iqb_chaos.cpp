@@ -15,12 +15,20 @@
 //   4. corruption is contained: a truncated or bit-flipped newest
 //      checkpoint is skipped (the daemon falls back to an older
 //      generation or starts unready) and never crashes the daemon or
-//      serves unparsable scores.
+//      serves unparsable scores;
+//   5. wipe survival (--wipe-every N with --peer-port): every Nth kill
+//      also rm -rf's the state dir — total disk loss. The harness runs
+//      a static replication peer, the main daemon pushes checkpoints
+//      to it (--replicate-to), and after the wipe the reborn daemon
+//      must bootstrap from the peer's replica: /readyz resumes the
+//      pre-wipe cycle ordinal sequence instead of restarting at 1.
 //
 // Exit 0 iff every invariant held across all iterations. This is the
 // tool the CI chaos-smoke job runs; it is also useful interactively:
 //
 //   iqb_chaos --iqbd build/tools/iqbd --records records.csv --iterations 20
+//   iqb_chaos --iqbd build/tools/iqbd --records records.csv \
+//             --peer-port 18991 --wipe-every 3 --iterations 9
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -56,6 +64,8 @@ struct ChaosOptions {
   std::uint64_t interval_ms = 100;
   std::uint64_t seed = 1;
   int corrupt_every = 5;  ///< Corrupt checkpoints every Nth kill; 0: never.
+  int wipe_every = 0;     ///< rm -rf the state dir every Nth kill; 0: never.
+  std::uint16_t peer_port = 0;  ///< Spawn a replication peer; 0: none.
   bool keep_state = false;
   double boot_timeout_s = 20.0;
 };
@@ -64,7 +74,12 @@ constexpr const char* kUsage =
     "usage: iqb_chaos --iqbd PATH --records FILE.csv\n"
     "                 [--state-dir DIR] [--iterations N] [--port N]\n"
     "                 [--interval-ms N] [--seed S] [--corrupt-every N]\n"
+    "                 [--wipe-every N] [--peer-port N]\n"
     "                 [--keep-state true]\n"
+    "--peer-port spawns a second iqbd as a static replication peer and\n"
+    "points the main daemon's --replicate-to at it; --wipe-every N\n"
+    "(requires --peer-port) erases the whole state dir on every Nth\n"
+    "kill and asserts the daemon bootstraps back from the peer.\n"
     "exit codes: 0 all invariants held, 1 usage error, 2 invariant "
     "violated\n";
 
@@ -101,24 +116,27 @@ bool parse_args(int argc, char** argv, ChaosOptions& options) {
       options.seed = static_cast<std::uint64_t>(n);
     } else if (name == "corrupt-every" && as_int(0, 100000, n)) {
       options.corrupt_every = static_cast<int>(n);
+    } else if (name == "wipe-every" && as_int(0, 100000, n)) {
+      options.wipe_every = static_cast<int>(n);
+    } else if (name == "peer-port" && as_int(1, 65535, n)) {
+      options.peer_port = static_cast<std::uint16_t>(n);
     } else {
       return false;
     }
   }
+  if (options.wipe_every > 0 && options.peer_port == 0) {
+    std::cerr << "--wipe-every needs --peer-port: a wiped daemon can only "
+                 "recover from a replica\n";
+    return false;
+  }
   return !options.iqbd_path.empty() && !options.records_path.empty();
 }
 
-/// Spawn iqbd; returns the child pid or -1. The child's stdout/stderr
-/// go to `log_path` (appended) so harness output stays readable.
-pid_t spawn_iqbd(const ChaosOptions& options, const std::string& log_path) {
-  std::vector<std::string> args = {
-      options.iqbd_path,
-      "--records", options.records_path,
-      "--state-dir", options.state_dir,
-      "--port", std::to_string(options.port),
-      "--interval-ms", std::to_string(options.interval_ms),
-      "--poll-ms", "20",
-  };
+/// Spawn an iqbd with the given argv; returns the child pid or -1.
+/// The child's stdout/stderr go to `log_path` (appended) so harness
+/// output stays readable.
+pid_t spawn_daemon(std::vector<std::string> args,
+                   const std::string& log_path) {
   // Flush before fork so the child's freopen cannot re-emit buffered
   // harness output into our (possibly piped) stdout.
   std::cout.flush();
@@ -135,6 +153,41 @@ pid_t spawn_iqbd(const ChaosOptions& options, const std::string& log_path) {
   ::execv(argv[0], argv.data());
   std::perror("execv iqbd");
   _exit(127);
+}
+
+/// Argv for the daemon under test. With a peer configured it pushes
+/// every cycle's checkpoint there and can bootstrap back after a wipe.
+std::vector<std::string> main_daemon_args(const ChaosOptions& options) {
+  std::vector<std::string> args = {
+      options.iqbd_path,
+      "--records", options.records_path,
+      "--state-dir", options.state_dir,
+      "--port", std::to_string(options.port),
+      "--interval-ms", std::to_string(options.interval_ms),
+      "--poll-ms", "20",
+  };
+  if (options.peer_port != 0) {
+    args.insert(args.end(),
+                {"--replicate-to", "127.0.0.1:" + std::to_string(options.peer_port),
+                 "--node-id", "chaos"});
+  }
+  return args;
+}
+
+/// Argv for the static replication peer: it exists to serve
+/// /checkpointz and store the main daemon's replicas, so its own
+/// scoring loop idles on a huge interval.
+std::vector<std::string> peer_daemon_args(const ChaosOptions& options,
+                                          const std::string& peer_dir) {
+  return {
+      options.iqbd_path,
+      "--records", options.records_path,
+      "--state-dir", peer_dir,
+      "--port", std::to_string(options.peer_port),
+      "--interval-ms", "3600000",
+      "--poll-ms", "20",
+      "--node-id", "peer",
+  };
 }
 
 bool process_alive(pid_t pid) {
@@ -245,11 +298,40 @@ int main(int argc, char** argv) {
             .string();
   }
   std::filesystem::create_directories(options.state_dir);
-  const std::string log_path = options.state_dir + "/iqbd-chaos.log";
+  // The log lives beside (not inside) the state dir: --wipe-every
+  // erases the dir wholesale and must not eat the daemon's logs.
+  const std::string log_path = options.state_dir + ".iqbd.log";
+
+  // Static replication peer, spawned once and left running across
+  // every kill of the main daemon.
+  pid_t peer_pid = -1;
+  std::string peer_dir;
+  if (options.peer_port != 0) {
+    peer_dir = options.state_dir + "_peer";
+    std::filesystem::create_directories(peer_dir);
+    peer_pid = spawn_daemon(peer_daemon_args(options, peer_dir),
+                            peer_dir + ".iqbd.log");
+    if (peer_pid < 0) {
+      std::cerr << "fork failed for peer\n";
+      return 2;
+    }
+    const ReadyState peer_ready =
+        poll_readyz(options.peer_port, peer_pid, options.boot_timeout_s, "");
+    if (!peer_ready.ok) {
+      std::cerr << "replication peer never came up on port "
+                << options.peer_port << "\n";
+      kill_hard(peer_pid);
+      return 2;
+    }
+    std::cout << "replication peer serving on 127.0.0.1:"
+              << options.peer_port << "\n";
+  }
 
   iqb::util::Rng rng(options.seed);
   std::uint64_t max_cycle_seen = 0;  ///< Highest persisted-and-served cycle.
   bool corrupted_since_kill = false;
+  bool wiped_since_kill = false;
+  int wipes = 0;
   int violations = 0;
   auto violation = [&](const std::string& what) {
     std::cerr << "INVARIANT VIOLATED: " << what << "\n";
@@ -258,8 +340,9 @@ int main(int argc, char** argv) {
 
   for (int iteration = 1; iteration <= options.iterations; ++iteration) {
     std::cout << "iteration " << iteration << "/" << options.iterations
-              << (corrupted_since_kill ? " (post-corruption)" : "") << "\n";
-    const pid_t pid = spawn_iqbd(options, log_path);
+              << (corrupted_since_kill ? " (post-corruption)" : "")
+              << (wiped_since_kill ? " (post-wipe)" : "") << "\n";
+    const pid_t pid = spawn_daemon(main_daemon_args(options), log_path);
     if (pid < 0) {
       std::cerr << "fork failed\n";
       return 2;
@@ -276,7 +359,7 @@ int main(int argc, char** argv) {
       if (process_alive(pid)) kill_hard(pid);
       break;
     }
-    if (max_cycle_seen > 0 && !corrupted_since_kill &&
+    if (max_cycle_seen > 0 && !corrupted_since_kill && !wiped_since_kill &&
         recovered.cycle < max_cycle_seen) {
       violation("recovered cycle " + std::to_string(recovered.cycle) +
                 " went backwards (previous max " +
@@ -293,9 +376,27 @@ int main(int argc, char** argv) {
       violation("fresh cycle " + std::to_string(fresh.cycle) +
                 " below recovered cycle " + std::to_string(recovered.cycle));
     } else {
+      // Invariant 5: a wiped daemon lost every local byte, so resuming
+      // the ordinal sequence (instead of restarting at cycle 1) proves
+      // it bootstrapped from the peer's replica. The replica may trail
+      // the last served cycle by the one in-flight push the kill raced,
+      // which the first fresh cycle makes up — hence >= max, not >.
+      if (wiped_since_kill && fresh.cycle < max_cycle_seen) {
+        violation("post-wipe cycle " + std::to_string(fresh.cycle) +
+                  " below pre-wipe max " + std::to_string(max_cycle_seen) +
+                  ": peer bootstrap did not happen");
+      } else if (wiped_since_kill) {
+        std::cout << "  wipe survived: resumed at cycle " << fresh.cycle
+                  << " (pre-wipe max " << std::to_string(max_cycle_seen)
+                  << ", recovered from "
+                  << (recovered.status == "recovered" ? "peer replica"
+                                                      : "fresh cycle")
+                  << ")\n";
+      }
       max_cycle_seen = fresh.cycle;
     }
     corrupted_since_kill = false;
+    wiped_since_kill = false;
 
     // Phase 2: let it score a random while, scraping for torn
     // snapshots, then kill -9 mid-cycle.
@@ -313,21 +414,40 @@ int main(int argc, char** argv) {
     }
     kill_hard(pid);
 
-    // Phase 3: occasionally corrupt the newest checkpoint so recovery
-    // exercises the skip-and-fall-back path.
-    if (options.corrupt_every > 0 && iteration % options.corrupt_every == 0 &&
+    // Phase 3a: every Nth kill is a kill-AND-wipe — the disk is gone,
+    // only the peer's replica survives. Wipe and corruption are
+    // mutually exclusive per iteration (nothing left to corrupt).
+    if (options.wipe_every > 0 && iteration % options.wipe_every == 0 &&
         iteration != options.iterations) {
+      std::error_code ec;
+      std::filesystem::remove_all(options.state_dir, ec);
+      std::filesystem::create_directories(options.state_dir);
+      wiped_since_kill = true;
+      ++wipes;
+      std::cout << "  wiped state dir (" << options.state_dir << ")\n";
+    } else if (options.corrupt_every > 0 &&
+               iteration % options.corrupt_every == 0 &&
+               iteration != options.iterations) {
+      // Phase 3b: occasionally corrupt the newest checkpoint so
+      // recovery exercises the skip-and-fall-back path.
       corrupted_since_kill =
           corrupt_newest_checkpoint(options.state_dir, rng);
     }
   }
 
   std::cout << "chaos run complete: " << options.iterations
-            << " kill/restart iterations, max cycle " << max_cycle_seen
+            << " kill/restart iterations, " << wipes
+            << " state wipes, max cycle " << max_cycle_seen
             << ", violations " << violations << "\n";
+  if (peer_pid > 0) kill_hard(peer_pid);
   if (!options.keep_state) {
     std::error_code ec;
     std::filesystem::remove_all(options.state_dir, ec);
+    std::filesystem::remove(log_path, ec);
+    if (!peer_dir.empty()) {
+      std::filesystem::remove_all(peer_dir, ec);
+      std::filesystem::remove(peer_dir + ".iqbd.log", ec);
+    }
   }
   return violations == 0 ? 0 : 2;
 }
