@@ -9,7 +9,9 @@
 #include "iqb/core/pipeline.hpp"
 #include "iqb/core/sensitivity.hpp"
 #include "iqb/core/trend.hpp"
+#include "iqb/datasets/fast_csv.hpp"
 #include "iqb/datasets/io.hpp"
+#include "iqb/datasets/record_io.hpp"
 #include "iqb/measurement/adapters.hpp"
 #include "iqb/measurement/campaign.hpp"
 #include "iqb/measurement/cloudflare_style.hpp"
@@ -38,6 +40,8 @@ constexpr const char* kUsage =
     "  iqbctl aggregate   --records FILE.csv [--config FILE.json]"
     " [--percentile P] [--lenient true] [--threads N]"
     " [--metrics-out FILE.prom|.json] [--trace-out FILE.json]\n"
+    "  iqbctl convert     --records FILE --out FILE.iqbr|FILE.csv"
+    " [--lenient true] [--threads N]\n"
     "  iqbctl config      [--out FILE.json]\n"
     "  iqbctl sensitivity --records FILE.csv --region NAME"
     " [--config FILE.json]\n"
@@ -55,22 +59,27 @@ util::Result<core::IqbConfig> load_config(const Args& args) {
   return core::IqbConfig::paper_defaults();
 }
 
-/// --threads N: execution width for aggregation and scoring. The CLI
-/// defaults to 0 (auto-size to the machine); 1 forces the serial
-/// path. Results are byte-identical at every width. Returns a usage
-/// exit code on a bad value, 0 otherwise.
-int apply_threads(const Args& args, datasets::AggregationPolicy& policy,
-                  std::ostream& err) {
-  policy.threads = 0;
-  if (auto threads = args.get("threads")) {
-    auto value = util::parse_int(*threads);
+/// --threads N: execution width for ingestion, aggregation and
+/// scoring. The CLI defaults to 0 (auto-size to the machine); 1
+/// forces the serial path. Results are byte-identical at every width.
+/// Returns a usage exit code on a bad value, 0 otherwise.
+int parse_threads_flag(const Args& args, std::size_t& threads,
+                       std::ostream& err) {
+  threads = 0;
+  if (auto value_text = args.get("threads")) {
+    auto value = util::parse_int(*value_text);
     if (!value.ok() || value.value() < 0) {
-      err << "bad --threads '" << *threads << "'\n";
+      err << "bad --threads '" << *value_text << "'\n";
       return 1;
     }
-    policy.threads = static_cast<std::size_t>(value.value());
+    threads = static_cast<std::size_t>(value.value());
   }
   return 0;
+}
+
+int apply_threads(const Args& args, datasets::AggregationPolicy& policy,
+                  std::ostream& err) {
+  return parse_threads_flag(args, policy.threads, err);
 }
 
 /// Telemetry for one command invocation: live only when the user gave
@@ -141,8 +150,17 @@ util::Result<LoadedStore> load_records(const Args& args, std::ostream& err,
     return util::make_error(util::ErrorCode::kInvalidArgument,
                             "--records is required");
   }
-  const bool lenient = args.get("lenient").value_or("") == "true";
-  return load_store(*path, lenient, err, telemetry);
+  LoadStoreOptions options;
+  options.lenient = args.get("lenient").value_or("") == "true";
+  options.telemetry = telemetry;
+  // Same flag as aggregation/scoring width; a bad value is reported
+  // (and rejected) by the command's apply_threads, so fall back to
+  // serial parsing here instead of erroring twice.
+  std::ostream null_sink(nullptr);
+  if (parse_threads_flag(args, options.threads, null_sink) != 0) {
+    options.threads = 1;
+  }
+  return load_store(*path, options, err);
 }
 
 /// Send `text` to --out FILE if given, else to `out`. File output is
@@ -255,6 +273,55 @@ int cmd_aggregate(const Args& args, std::ostream& out, std::ostream& err) {
   const int code = emit(args, datasets::aggregates_to_csv(table), out, err);
   const int telemetry_code = write_telemetry(telemetry, err);
   return code != 0 ? code : telemetry_code;
+}
+
+/// convert: re-encode a records file between CSV and the IQBREC
+/// binary format. The input format is sniffed from its leading bytes
+/// (a .iqbr renamed to .csv still converts correctly); the output
+/// format follows the --out extension.
+int cmd_convert(const Args& args, std::ostream& out, std::ostream& err) {
+  auto records_path = args.get("records");
+  auto out_path = args.get("out");
+  if (!records_path || !out_path) {
+    err << "--records and --out are required\n";
+    return 1;
+  }
+  const bool to_iqbr =
+      util::ends_with(*out_path, datasets::kRecordBinaryExtension);
+  if (!to_iqbr && !util::ends_with(*out_path, ".csv")) {
+    err << "--out must end in .iqbr or .csv, got '" << *out_path << "'\n";
+    return 1;
+  }
+  datasets::LoadFileOptions load;
+  if (args.get("lenient").value_or("") != "true") {
+    load.ingest = robust::IngestPolicy::strict();
+    load.retry.max_attempts = 1;
+  }
+  std::size_t threads = 0;
+  if (int code = parse_threads_flag(args, threads, err)) return code;
+  load.threads = threads;
+  robust::Quarantine quarantine;
+  auto outcome =
+      datasets::load_records_file(*records_path, load, nullptr, &quarantine);
+  if (!outcome.ok()) {
+    err << "records error: " << outcome.error().to_string() << "\n";
+    return 2;
+  }
+  if (!quarantine.empty()) {
+    err << "warning: " << quarantine.summary() << "\n";
+  }
+  const auto& records = outcome->records;
+  auto written =
+      to_iqbr ? datasets::write_records_iqbr(*out_path, records)
+              : util::fs::atomic_write(*out_path,
+                                       datasets::records_to_csv(records));
+  if (!written.ok()) {
+    err << "cannot write '" << *out_path
+        << "': " << written.error().message << "\n";
+    return 2;
+  }
+  out << "wrote " << *out_path << " (" << records.size() << " records)\n";
+  return 0;
 }
 
 int cmd_config(const Args& args, std::ostream& out, std::ostream& err) {
@@ -432,6 +499,7 @@ int run_command(const std::vector<std::string>& tokens, std::ostream& out,
   const Args& args = *parsed.args;
   if (args.command == "score") return cmd_score(args, out, err);
   if (args.command == "aggregate") return cmd_aggregate(args, out, err);
+  if (args.command == "convert") return cmd_convert(args, out, err);
   if (args.command == "config") return cmd_config(args, out, err);
   if (args.command == "sensitivity") return cmd_sensitivity(args, out, err);
   if (args.command == "trend") return cmd_trend(args, out, err);

@@ -658,8 +658,11 @@ bool WatchDaemon::run_cycle(std::ostream& err) {
     return false;
   };
 
-  auto loaded = load_store(options_.records_path, options_.lenient, err,
-                           telemetry);
+  LoadStoreOptions load_options;
+  load_options.lenient = options_.lenient;
+  load_options.threads = options_.threads;  // same knob as scoring width
+  load_options.telemetry = telemetry;
+  auto loaded = load_store(options_.records_path, load_options, err);
   if (!loaded.ok()) return fail_cycle(loaded.error().to_string());
   if (cycle_cancelled("ingest", err)) {
     return fail_cycle("cycle deadline exceeded (after ingest)");

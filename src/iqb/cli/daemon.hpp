@@ -145,7 +145,8 @@ struct DaemonOptions {
   /// series and burn-rate windows are fully deterministic.
   obs::Clock* clock = nullptr;
 
-  /// Scoring execution width (AggregationPolicy::threads): 0 = auto
+  /// Ingest-parse and scoring execution width
+  /// (AggregationPolicy::threads and chunked CSV parsing): 0 = auto
   /// (hardware concurrency), 1 = serial, N = that many threads.
   /// Scores are byte-identical at every width.
   std::size_t threads = 0;

@@ -4,46 +4,38 @@
 #include <utility>
 #include <vector>
 
-#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/fast_csv.hpp"
 #include "iqb/obs/telemetry.hpp"
 #include "iqb/robust/circuit_breaker.hpp"
 #include "iqb/robust/quarantine.hpp"
 
 namespace iqb::cli {
 
-util::Result<LoadedStore> load_store(const std::string& path, bool lenient,
-                                     std::ostream& err,
-                                     obs::Telemetry* telemetry) {
+util::Result<LoadedStore> load_store(const std::string& path,
+                                     const LoadStoreOptions& options,
+                                     std::ostream& err) {
   LoadedStore loaded;
-  std::vector<datasets::MeasurementRecord> records;
-  if (lenient || telemetry) {
-    // Fault-tolerant path: malformed rows are quarantined and reported
-    // instead of failing the run; the score carries the consequence.
-    // With telemetry a strict load also goes through here (same parser
-    // and policy as read_records_csv, just the instrumented loader).
-    datasets::LoadOptions options;
-    options.telemetry = telemetry;
-    if (!lenient) {
-      options.ingest = robust::IngestPolicy::strict();
-      options.retry.max_attempts = 1;
-    }
-    robust::CircuitBreaker breaker;
-    obs::wire_breaker(telemetry, path, breaker);
-    robust::Quarantine quarantine;
-    auto outcome = datasets::load_records_csv(path, options, &breaker,
-                                              &quarantine);
-    obs::record_breaker(telemetry, path, breaker);
-    if (!outcome.ok()) return outcome.error();
-    if (!quarantine.empty()) {
-      err << "warning: " << quarantine.summary() << "\n";
-      loaded.health.rows_quarantined = quarantine.count();
-    }
-    records = std::move(outcome).value().records;
-  } else {
-    auto strict = datasets::read_records_csv(path);
-    if (!strict.ok()) return strict.error();
-    records = std::move(strict).value();
+  datasets::LoadFileOptions load;
+  load.telemetry = options.telemetry;
+  load.threads = options.threads;
+  if (!options.lenient) {
+    // Historical strict semantics: first malformed row fails the run,
+    // and a missing file is not worth retrying.
+    load.ingest = robust::IngestPolicy::strict();
+    load.retry.max_attempts = 1;
   }
+  robust::CircuitBreaker breaker;
+  obs::wire_breaker(options.telemetry, path, breaker);
+  robust::Quarantine quarantine;
+  auto outcome = datasets::load_records_file(path, load, &breaker, &quarantine);
+  obs::record_breaker(options.telemetry, path, breaker);
+  if (!outcome.ok()) return outcome.error();
+  if (!quarantine.empty()) {
+    err << "warning: " << quarantine.summary() << "\n";
+    loaded.health.rows_quarantined = quarantine.count();
+  }
+  std::vector<datasets::MeasurementRecord> records =
+      std::move(outcome).value().records;
   const std::size_t skipped = loaded.store.add_all(std::move(records));
   if (skipped > 0) {
     err << "warning: skipped " << skipped << " invalid records\n";
@@ -53,6 +45,15 @@ util::Result<LoadedStore> load_store(const std::string& path, bool lenient,
                             "no usable records in '" + path + "'");
   }
   return loaded;
+}
+
+util::Result<LoadedStore> load_store(const std::string& path, bool lenient,
+                                     std::ostream& err,
+                                     obs::Telemetry* telemetry) {
+  LoadStoreOptions options;
+  options.lenient = lenient;
+  options.telemetry = telemetry;
+  return load_store(path, options, err);
 }
 
 }  // namespace iqb::cli

@@ -3,11 +3,14 @@
 // One function, two behaviors: strict loads fail on the first
 // malformed row (the historical read_records_csv semantics), lenient
 // loads quarantine bad rows and surface them as IngestHealth so the
-// scorer can account for them. With telemetry attached, even strict
-// loads run through the instrumented fault-tolerant loader (same
-// parser, same policy) so rows-read/rejected metrics exist.
+// scorer can account for them. Every load runs through the zero-copy
+// ingestion fast path (datasets::load_records_file): the file is
+// mmap'd, its leading bytes decide CSV vs IQBREC binary, and CSV
+// parsing can fan out over a thread pool while staying byte-identical
+// to the serial legacy reader.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -27,8 +30,21 @@ struct LoadedStore {
   robust::IngestHealth health;
 };
 
-/// Load `path` into a RecordStore. Warnings (quarantined rows, skipped
-/// records) go to `err`; an empty store is an error, not a warning.
+struct LoadStoreOptions {
+  bool lenient = false;
+  /// CSV parse width: 1 = serial, 0 = hardware concurrency.
+  std::size_t threads = 1;
+  obs::Telemetry* telemetry = nullptr;
+};
+
+/// Load `path` (record CSV or IQBREC binary, sniffed by content) into
+/// a RecordStore. Warnings (quarantined rows, skipped records) go to
+/// `err`; an empty store is an error, not a warning.
+util::Result<LoadedStore> load_store(const std::string& path,
+                                     const LoadStoreOptions& options,
+                                     std::ostream& err);
+
+/// Back-compat shim over the options overload.
 util::Result<LoadedStore> load_store(const std::string& path, bool lenient,
                                      std::ostream& err,
                                      obs::Telemetry* telemetry = nullptr);

@@ -1,0 +1,635 @@
+#include "iqb/datasets/fast_csv.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <optional>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "iqb/datasets/record_io.hpp"
+#include "iqb/obs/telemetry.hpp"
+#include "iqb/util/fs.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::datasets {
+
+using util::ErrorCode;
+using util::Result;
+using util::make_error;
+
+namespace {
+
+/// Chunks below this size are not worth a thread handoff.
+constexpr std::size_t kMinChunkBytes = 64 * 1024;
+
+bool all_whitespace(std::string_view text) noexcept {
+  for (char c : text) {
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return false;
+  }
+  return true;
+}
+
+/// Position of the next ',', '\r' or '\n' at or after `pos`. The scan
+/// touches every byte of the document, so it runs sixteen bytes per
+/// step with SSE2 compares where available (baseline on x86-64), else
+/// eight bytes per step with the SWAR zero-byte trick (borrows in
+/// the `x - 0x01..` probe only corrupt bytes above the first true
+/// match on LE, so the first hit is exact).
+std::size_t next_stop(const char* data, std::size_t pos,
+                      std::size_t size) noexcept {
+#if defined(__SSE2__)
+  const __m128i comma = _mm_set1_epi8(',');
+  const __m128i cr = _mm_set1_epi8('\r');
+  const __m128i lf = _mm_set1_epi8('\n');
+  while (pos + 16 <= size) {
+    const __m128i block =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    const __m128i hit =
+        _mm_or_si128(_mm_or_si128(_mm_cmpeq_epi8(block, comma),
+                                  _mm_cmpeq_epi8(block, cr)),
+                     _mm_cmpeq_epi8(block, lf));
+    const unsigned mask =
+        static_cast<unsigned>(_mm_movemask_epi8(hit));
+    if (mask != 0) {
+      return pos + static_cast<std::size_t>(std::countr_zero(mask));
+    }
+    pos += 16;
+  }
+#endif
+  if constexpr (std::endian::native == std::endian::little) {
+    constexpr std::uint64_t kOnes = 0x0101010101010101ULL;
+    constexpr std::uint64_t kHigh = 0x8080808080808080ULL;
+    const auto zero_bytes = [](std::uint64_t x) {
+      return (x - kOnes) & ~x & kHigh;
+    };
+    while (pos + 8 <= size) {
+      std::uint64_t w;
+      std::memcpy(&w, data + pos, 8);
+      const std::uint64_t m = zero_bytes(w ^ (kOnes * ',')) |
+                              zero_bytes(w ^ (kOnes * '\r')) |
+                              zero_bytes(w ^ (kOnes * '\n'));
+      if (m != 0) {
+        return pos + (static_cast<std::size_t>(std::countr_zero(m)) >> 3);
+      }
+      pos += 8;
+    }
+  }
+  while (pos < size) {
+    const char c = data[pos];
+    if (c == ',' || c == '\r' || c == '\n') break;
+    ++pos;
+  }
+  return pos;
+}
+
+/// Scan one quote-free CSV row starting at `pos`. Fields are sliced
+/// into `fields` (up to capacity; the count keeps going regardless so
+/// arity errors report the true width). Advances pos past the row
+/// terminator and bumps `newlines` when a '\n' is consumed — exactly
+/// the line bookkeeping of util::CsvParser, including the lone-'\r'
+/// row ending that terminates a row without advancing the line.
+std::size_t scan_row(std::string_view text, std::size_t& pos,
+                     std::size_t& newlines, std::string_view* fields,
+                     std::size_t capacity) {
+  const char* data = text.data();
+  const std::size_t size = text.size();
+  std::size_t count = 0;
+  while (true) {
+    const std::size_t start = pos;
+    pos = next_stop(data, pos, size);
+    if (count < capacity) {
+      fields[count] = std::string_view(data + start, pos - start);
+    }
+    ++count;
+    if (pos >= size) break;
+    const char c = data[pos];
+    if (c == ',') {
+      ++pos;
+      continue;
+    }
+    if (c == '\r') {
+      ++pos;
+      if (pos < size && data[pos] == '\n') {
+        ++pos;
+        ++newlines;
+      }
+      break;
+    }
+    ++pos;  // '\n'
+    ++newlines;
+    break;
+  }
+  return count;
+}
+
+/// A row the chunk parser could not turn into a record. Positions are
+/// chunk-local; the coordinator rebases them to global row and line
+/// numbers before formatting, so messages match the serial reader
+/// bit-for-bit no matter how the document was split.
+struct RowIssue {
+  std::size_t local_row = 0;  ///< 0-based data row within the chunk.
+  std::size_t local_nl = 0;   ///< Newlines consumed before the row.
+  bool arity = false;         ///< Wrong field count (fatal, like legacy).
+  std::size_t fields = 0;     ///< Actual field count (arity only).
+  std::string detail;         ///< Message suffix after row_label(...).
+};
+
+struct ChunkResult {
+  std::vector<MeasurementRecord> records;
+  std::vector<RowIssue> issues;
+  std::size_t rows = 0;      ///< Data rows seen in this chunk.
+  std::size_t newlines = 0;  ///< '\n' consumed in this chunk.
+  bool last_row_sole_empty = false;
+};
+
+/// util::trim, inlined: it runs five times per row and the fields
+/// almost never carry whitespace, so the common case is two compares.
+inline std::string_view trim_fast(std::string_view s) noexcept {
+  const char* b = s.data();
+  const char* e = b + s.size();
+  while (b < e && (*b == ' ' || *b == '\t' || *b == '\r' || *b == '\n')) ++b;
+  while (e > b &&
+         (e[-1] == ' ' || e[-1] == '\t' || e[-1] == '\r' || e[-1] == '\n')) {
+    --e;
+  }
+  return std::string_view(b, static_cast<std::size_t>(e - b));
+}
+
+constexpr bool is_digit(char c) noexcept {
+  return static_cast<unsigned>(static_cast<unsigned char>(c)) - '0' <= 9u;
+}
+
+constexpr int two_digits(const char* p) noexcept {
+  return (p[0] - '0') * 10 + (p[1] - '0');
+}
+
+bool is_leap(int year) noexcept {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) noexcept {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31,
+                                  30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return kDays[month - 1];
+}
+
+/// Days from the unix epoch, proleptic Gregorian (Howard Hinnant's
+/// algorithm, same as util::Timestamp).
+std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Parse the canonical "YYYY-MM-DD" / "YYYY-MM-DD[T ]HH:MM:SS"
+/// (optional trailing 'Z') shape with in-range fields. Anything else —
+/// surrounding whitespace, signed or padded components, out-of-range
+/// dates — returns false and the caller delegates to
+/// util::Timestamp::parse, which is the semantic (and error-message)
+/// authority. On the canonical shape the two agree by construction.
+bool parse_timestamp_fast(std::string_view s, std::int64_t& unix_seconds) {
+  if (!s.empty() && (s.back() == 'Z' || s.back() == 'z')) s.remove_suffix(1);
+  if (s.size() != 10 && s.size() != 19) return false;
+  if (!is_digit(s[0]) || !is_digit(s[1]) || !is_digit(s[2]) ||
+      !is_digit(s[3]) || s[4] != '-' || !is_digit(s[5]) || !is_digit(s[6]) ||
+      s[7] != '-' || !is_digit(s[8]) || !is_digit(s[9])) {
+    return false;
+  }
+  const int year = two_digits(s.data()) * 100 + two_digits(s.data() + 2);
+  const int month = two_digits(s.data() + 5);
+  const int day = two_digits(s.data() + 8);
+  if (month < 1 || month > 12 || day < 1 || day > days_in_month(year, month)) {
+    return false;
+  }
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+  if (s.size() == 19) {
+    if ((s[10] != 'T' && s[10] != ' ') || s[13] != ':' || s[16] != ':' ||
+        !is_digit(s[11]) || !is_digit(s[12]) || !is_digit(s[14]) ||
+        !is_digit(s[15]) || !is_digit(s[17]) || !is_digit(s[18])) {
+      return false;
+    }
+    hour = two_digits(s.data() + 11);
+    minute = two_digits(s.data() + 14);
+    second = two_digits(s.data() + 17);
+    if (hour > 23 || minute > 59 || second > 59) return false;
+  }
+  unix_seconds = days_from_civil(year, month, day) * 86400 + hour * 3600 +
+                 minute * 60 + second;
+  return true;
+}
+
+/// Parse a plain "digits[.digits]" decimal whose value is exactly
+/// representable as integer-mantissa / power-of-ten with both sides
+/// exact in double (Clinger's fast path: one correctly-rounded IEEE
+/// division gives the same bits std::from_chars would). Signs,
+/// exponents, nan/inf, and long mantissas return false and the caller
+/// delegates to util::parse_double.
+bool parse_double_fast(std::string_view s, double& out) {
+  std::uint64_t mantissa = 0;
+  int digits = 0;
+  int frac = 0;
+  bool dot = false;
+  for (const char c : s) {
+    if (is_digit(c)) {
+      if (++digits > 19) return false;
+      mantissa = mantissa * 10 + static_cast<std::uint64_t>(c - '0');
+      if (dot) ++frac;
+    } else if (c == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  if (digits == 0 || mantissa >= (std::uint64_t{1} << 53)) return false;
+  static constexpr double kPow10[] = {1e0,  1e1,  1e2,  1e3,  1e4,  1e5,
+                                      1e6,  1e7,  1e8,  1e9,  1e10, 1e11,
+                                      1e12, 1e13, 1e14, 1e15, 1e16, 1e17,
+                                      1e18, 1e19, 1e20, 1e21, 1e22};
+  if (frac >= static_cast<int>(std::size(kPow10))) return false;
+  out = static_cast<double>(mantissa) / kPow10[frac];
+  return true;
+}
+
+/// Bind one arity-checked row to a record. On failure returns false
+/// and fills `detail` with the suffix the legacy reader would append
+/// to row_label(row, line).
+bool bind_row(const std::string_view* f, MeasurementRecord& record,
+              std::string& detail) {
+  record.dataset.assign(f[0]);
+  record.region.assign(f[1]);
+  record.isp.assign(f[2]);
+  record.subscriber_id.assign(f[3]);
+  std::int64_t unix_seconds = 0;
+  if (parse_timestamp_fast(f[4], unix_seconds)) {
+    record.timestamp = util::Timestamp(unix_seconds);
+  } else {
+    auto ts = util::Timestamp::parse(f[4]);
+    if (!ts.ok()) {
+      detail = ": " + ts.error().message;
+      return false;
+    }
+    record.timestamp = ts.value();
+  }
+  // One inlined block per metric column (direct member assignment; the
+  // out-of-line set_value switch costs real time at millions of rows
+  // per second). Column order matches kMetricBindings / the header.
+  const auto bind_metric = [&](std::size_t column, auto&& assign) {
+    const std::string_view field = trim_fast(f[column]);
+    if (field.empty()) return true;
+    double value = 0.0;
+    if (!parse_double_fast(field, value)) {
+      auto parsed = util::parse_double(field);
+      if (!parsed.ok()) {
+        detail = " column '" + record_csv_header()[column] +
+                 "': " + parsed.error().message;
+        return false;
+      }
+      value = parsed.value();
+    }
+    assign(value);
+    return true;
+  };
+  if (!bind_metric(5, [&](double v) { record.download = util::Mbps(v); }) ||
+      !bind_metric(6, [&](double v) { record.upload = util::Mbps(v); }) ||
+      !bind_metric(7, [&](double v) { record.latency = util::Millis(v); }) ||
+      !bind_metric(8,
+                   [&](double v) { record.loaded_latency = util::Millis(v); }) ||
+      !bind_metric(9, [&](double v) { record.loss = util::LossRate(v); })) {
+    return false;
+  }
+  if (!record.is_valid()) {
+    detail = ": metric value out of range";
+    return false;
+  }
+  return true;
+}
+
+/// Parse one quote-free chunk of the data region. The chunk starts at
+/// a row boundary and ends at a row boundary (or document end).
+void parse_chunk(std::string_view chunk, std::size_t expected_fields,
+                 ChunkResult& out) {
+  std::size_t pos = 0;
+  std::size_t nl = 0;
+  std::string_view fields[16];
+  // Typical record rows run ~100 bytes; a slight under-reserve costs
+  // one growth step, a large over-reserve would cost real memory.
+  out.records.reserve(chunk.size() / 96);
+  while (pos < chunk.size()) {
+    const std::size_t row_nl = nl;
+    const std::size_t count =
+        scan_row(chunk, pos, nl, fields, std::size(fields));
+    const std::size_t local_row = out.rows++;
+    out.last_row_sole_empty = (count == 1 && fields[0].empty());
+    if (count != expected_fields) {
+      RowIssue issue;
+      issue.local_row = local_row;
+      issue.local_nl = row_nl;
+      issue.arity = true;
+      issue.fields = count;
+      out.issues.push_back(std::move(issue));
+      continue;
+    }
+    MeasurementRecord& record = out.records.emplace_back();
+    std::string detail;
+    if (!bind_row(fields, record, detail)) {
+      out.records.pop_back();
+      RowIssue issue;
+      issue.local_row = local_row;
+      issue.local_nl = row_nl;
+      issue.detail = std::move(detail);
+      out.issues.push_back(std::move(issue));
+    }
+  }
+  out.newlines = nl;
+}
+
+/// Split [0, size) into at most `want` chunks on '\n' boundaries.
+/// Returns chunk end offsets (the last is always `size`).
+std::vector<std::size_t> chunk_boundaries(std::string_view data,
+                                          std::size_t want) {
+  std::vector<std::size_t> ends;
+  if (want <= 1 || data.size() < 2 * kMinChunkBytes) {
+    ends.push_back(data.size());
+    return ends;
+  }
+  want = std::min(want, data.size() / kMinChunkBytes);
+  const std::size_t target = data.size() / want;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c + 1 < want && begin < data.size(); ++c) {
+    std::size_t cut = begin + target;
+    if (cut >= data.size()) break;
+    const char* nl = static_cast<const char*>(
+        std::memchr(data.data() + cut, '\n', data.size() - cut));
+    if (nl == nullptr) break;  // no later boundary: last chunk takes the rest
+    cut = static_cast<std::size_t>(nl - data.data()) + 1;
+    ends.push_back(cut);
+    begin = cut;
+  }
+  ends.push_back(data.size());
+  return ends;
+}
+
+}  // namespace
+
+Result<std::vector<MeasurementRecord>> records_from_csv_fast(
+    std::string_view csv_text) {
+  return records_from_csv_fast(csv_text, FastParseOptions{});
+}
+
+Result<std::vector<MeasurementRecord>> records_from_csv_fast(
+    std::string_view csv_text, const FastParseOptions& options) {
+  if (options.stats) *options.stats = FastParseStats{};
+  if (all_whitespace(csv_text)) {
+    return make_error(ErrorCode::kEmptyInput, "empty CSV document");
+  }
+  // Quoted fields cannot be sliced zero-copy once "" escapes appear;
+  // any quote anywhere sends the whole document through the legacy
+  // state machine, which makes parity trivial for that class of input.
+  if (std::memchr(csv_text.data(), '"', csv_text.size()) != nullptr) {
+    if (options.stats) options.stats->fell_back_to_legacy = true;
+    return records_from_csv(csv_text, options.policy, options.quarantine);
+  }
+
+  const std::vector<std::string>& expected = record_csv_header();
+
+  // Header row: validated once; data binding below is positional.
+  std::size_t pos = 0;
+  std::size_t header_newlines = 0;
+  std::string_view header_fields[16];
+  const std::size_t header_count = scan_row(
+      csv_text, pos, header_newlines, header_fields, std::size(header_fields));
+  bool header_ok = header_count == expected.size();
+  for (std::size_t i = 0; header_ok && i < header_count; ++i) {
+    header_ok = header_fields[i] == expected[i];
+  }
+  if (!header_ok) {
+    // Legacy surfaces arity errors before the header check (parse_csv
+    // validates the whole table first); delegating reproduces both the
+    // ordering and the exact "unexpected record CSV header" message.
+    if (options.stats) options.stats->fell_back_to_legacy = true;
+    return records_from_csv(csv_text, options.policy, options.quarantine);
+  }
+  // Physical line of the first data row: the header starts on line 1
+  // and consumes header_newlines newlines (0 when it ends at EOF or
+  // with a lone '\r').
+  const std::size_t first_data_line = 1 + header_newlines;
+
+  const std::string_view data = csv_text.substr(pos);
+  const std::size_t width = util::ThreadPool::resolve_threads(options.threads);
+  const std::vector<std::size_t> ends = chunk_boundaries(data, width);
+  std::vector<ChunkResult> chunks(ends.size());
+
+  auto parse_one = [&](std::size_t c) {
+    const std::size_t begin = c == 0 ? 0 : ends[c - 1];
+    parse_chunk(data.substr(begin, ends[c] - begin), expected.size(),
+                chunks[c]);
+  };
+  if (chunks.size() == 1) {
+    parse_one(0);
+  } else if (options.pool != nullptr) {
+    options.pool->parallel_for(chunks.size(), parse_one);
+  } else {
+    util::ThreadPool pool(width);
+    pool.parallel_for(chunks.size(), parse_one);
+  }
+
+  // A document-final blank line parses as a sole empty row; the legacy
+  // reader drops it (and only it — a blank line anywhere else is an
+  // arity error). It lives in the last non-empty chunk by construction.
+  for (std::size_t c = chunks.size(); c-- > 0;) {
+    ChunkResult& chunk = chunks[c];
+    if (chunk.rows == 0) continue;
+    if (chunk.last_row_sole_empty) {
+      --chunk.rows;
+      // The dropped row is always that chunk's final issue (an empty
+      // row can never bind to a record).
+      chunk.issues.pop_back();
+    }
+    break;
+  }
+
+  // Rebase chunk-local positions to global row indices and physical
+  // lines (prefix sums over chunk row/newline counts).
+  std::size_t total_rows = 0;
+  std::size_t total_records = 0;
+  for (const ChunkResult& chunk : chunks) {
+    total_rows += chunk.rows;
+    total_records += chunk.records.size();
+  }
+  if (options.stats) {
+    options.stats->rows_total = total_rows;
+    options.stats->chunks = chunks.size();
+  }
+
+  // Arity errors are fatal in both modes, and the legacy reader
+  // reports the first one before looking at row contents (parse_csv
+  // validates the whole table up front). Row numbering there counts
+  // the header as row 0, hence the +1.
+  {
+    std::size_t row_base = 0;
+    std::size_t nl_base = 0;
+    for (const ChunkResult& chunk : chunks) {
+      for (const RowIssue& issue : chunk.issues) {
+        if (!issue.arity) continue;
+        const std::size_t row = row_base + issue.local_row;
+        const std::size_t line = first_data_line + nl_base + issue.local_nl;
+        return make_error(ErrorCode::kParseError,
+                          "CSV row " + std::to_string(row + 1) + " (line " +
+                              std::to_string(line) + ") has " +
+                              std::to_string(issue.fields) +
+                              " fields, expected " +
+                              std::to_string(expected.size()));
+      }
+      row_base += chunk.rows;
+      nl_base += chunk.newlines;
+    }
+  }
+
+  robust::Quarantine local(options.policy.max_stored);
+  robust::Quarantine* quarantine = options.quarantine;
+  if (options.policy.mode == robust::IngestMode::kLenient && !quarantine) {
+    quarantine = &local;
+  }
+
+  std::vector<MeasurementRecord> records;
+  // Serial parses (the common case) steal the chunk's vector outright;
+  // moving 100k records one at a time shows up in profiles.
+  if (chunks.size() == 1) {
+    records = std::move(chunks[0].records);
+  } else {
+    records.reserve(total_records);
+  }
+  std::size_t row_base = 0;
+  std::size_t nl_base = 0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    ChunkResult& chunk = chunks[c];
+    for (const RowIssue& issue : chunk.issues) {
+      const std::size_t row = row_base + issue.local_row;
+      const std::size_t line = first_data_line + nl_base + issue.local_nl;
+      util::Error error = make_error(ErrorCode::kParseError,
+                                     row_label(row, line) + issue.detail);
+      if (options.policy.mode == robust::IngestMode::kStrict) {
+        return error;
+      }
+      quarantine->add("records_csv", row, std::move(error));
+    }
+    if (chunks.size() > 1) {
+      std::move(chunk.records.begin(), chunk.records.end(),
+                std::back_inserter(records));
+    }
+    row_base += chunk.rows;
+    nl_base += chunk.newlines;
+  }
+
+  if (options.policy.mode == robust::IngestMode::kLenient &&
+      quarantine->exceeds(options.policy, total_rows)) {
+    return make_error(
+        ErrorCode::kParseError,
+        "records_csv: quarantined " + std::to_string(quarantine->count()) +
+            "/" + std::to_string(total_rows) +
+            " rows, above max error rate " +
+            util::format_fixed(options.policy.max_error_rate, 2));
+  }
+  return records;
+}
+
+Result<LoadOutcome> load_records_file(const std::string& path,
+                                      const LoadFileOptions& options,
+                                      robust::CircuitBreaker* breaker,
+                                      robust::Quarantine* quarantine) {
+  obs::Telemetry* telemetry = options.telemetry;
+  const obs::LabelSet source_label{{"source", path}};
+  obs::ScopedSpan span(telemetry ? telemetry->tracer : nullptr, "ingest.load");
+  span.set_attribute("source", path);
+
+  if (breaker && !breaker->allow_request()) {
+    obs::add_counter(telemetry, "iqb_ingest_loads_denied_total",
+                     "Loads refused because the source breaker was open",
+                     source_label);
+    return make_error(ErrorCode::kIoError,
+                      "circuit breaker open for '" + path + "'");
+  }
+  robust::RetryStats retry_stats;
+  auto mapped = robust::run_with_retry(
+      options.retry, [&] { return util::fs::MappedFile::open(path); },
+      &retry_stats);
+  obs::add_counter(telemetry, "iqb_ingest_fetch_attempts_total",
+                   "Source fetch attempts (including the first)", source_label,
+                   static_cast<double>(retry_stats.attempts));
+  if (retry_stats.attempts > 1) {
+    obs::add_counter(telemetry, "iqb_robust_retry_attempts_total",
+                     "Retries beyond the first fetch attempt", source_label,
+                     static_cast<double>(retry_stats.attempts - 1));
+  }
+  if (!mapped.ok()) {
+    if (breaker) breaker->record_failure();
+    obs::add_counter(telemetry, "iqb_ingest_fetch_failures_total",
+                     "Source fetches that exhausted their retry policy",
+                     source_label);
+    return mapped.error();
+  }
+
+  robust::Quarantine local(options.ingest.max_stored);
+  robust::Quarantine* sink = quarantine ? quarantine : &local;
+  const std::size_t quarantined_before = sink->count();
+
+  const std::string_view view = mapped->view();
+  auto parse = [&]() -> Result<std::vector<MeasurementRecord>> {
+    // Content sniffing, not extensions: a renamed file still loads
+    // (or is rejected) for what it actually is.
+    if (looks_like_iqbr(view)) return records_from_iqbr(view);
+    const std::string_view body = util::trim(view);
+    if (!body.empty() && (body.front() == '{' || body.front() == '[')) {
+      return make_error(ErrorCode::kParseError,
+                        "looks like JSON, expected record CSV or IQBREC "
+                        "binary");
+    }
+    FastParseOptions parse_options;
+    parse_options.policy = options.ingest;
+    parse_options.quarantine = sink;
+    parse_options.threads = options.threads;
+    parse_options.pool = options.pool;
+    parse_options.stats = options.stats;
+    return records_from_csv_fast(view, parse_options);
+  };
+  auto records = parse().with_context("loading '" + path + "'");
+  if (!records.ok()) {
+    if (breaker) breaker->record_failure();
+    obs::add_counter(telemetry, "iqb_ingest_parse_failures_total",
+                     "Imports rejected outright (bad header or error rate)",
+                     source_label);
+    return records.error();
+  }
+  if (breaker) breaker->record_success();
+
+  LoadOutcome outcome;
+  outcome.records = std::move(records).value();
+  outcome.rows_quarantined = sink->count() - quarantined_before;
+  outcome.attempts = retry_stats.attempts;
+  obs::add_counter(telemetry, "iqb_ingest_rows_read_total",
+                   "Data rows read (accepted + quarantined)", source_label,
+                   static_cast<double>(outcome.records.size() +
+                                       outcome.rows_quarantined));
+  obs::add_counter(telemetry, "iqb_ingest_rows_quarantined_total",
+                   "Data rows diverted to quarantine", source_label,
+                   static_cast<double>(outcome.rows_quarantined));
+  obs::set_gauge(telemetry, "iqb_robust_quarantine_rows",
+                 "Quarantine occupancy after the load", source_label,
+                 static_cast<double>(sink->count()));
+  return outcome;
+}
+
+}  // namespace iqb::datasets

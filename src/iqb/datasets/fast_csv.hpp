@@ -1,0 +1,95 @@
+// Zero-copy ingestion fast path for the record CSV schema.
+//
+// The legacy reader (io.hpp) materializes every field of every row as
+// a std::string before binding; for multi-megabyte measurement dumps
+// that is one allocation per field. This reader maps (or slurps) the
+// file once and walks it as std::string_view slices: fields are bound
+// straight from the mapped bytes via std::from_chars, and only the
+// four identity strings of accepted records are ever copied.
+//
+// Parity contract: for any input, records_from_csv_fast produces the
+// exact records, the exact error message, and the exact quarantine
+// contents (same source, row indices and messages, in the same order)
+// as records_from_csv. The legacy reader stays in the tree as the
+// oracle; tests/ingest/fast_csv_parity_test.cpp holds the two to
+// byte-identical behavior. Documents containing a '"' anywhere fall
+// back to the legacy parser wholesale (quoted fields cannot be sliced
+// zero-copy once "" escapes appear), which keeps the contract trivially.
+//
+// Parallel mode splits the data region at newline boundaries into
+// per-worker chunks, parses each into a private slab, and splices the
+// slabs in chunk order, so the output is byte-identical to the serial
+// path regardless of thread count (see DESIGN.md §16 for the
+// determinism argument).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/record.hpp"
+#include "iqb/robust/quarantine.hpp"
+#include "iqb/util/result.hpp"
+#include "iqb/util/thread_pool.hpp"
+
+namespace iqb::datasets {
+
+/// Observability of one fast parse, for benches and tests.
+struct FastParseStats {
+  std::size_t rows_total = 0;  ///< Data rows seen (trailing blank excluded).
+  std::size_t chunks = 0;      ///< Chunks the data region was split into.
+  bool fell_back_to_legacy = false;  ///< Quoted document → legacy parser.
+};
+
+struct FastParseOptions {
+  robust::IngestPolicy policy = robust::IngestPolicy::strict();
+  /// Lenient-mode sink; when null in lenient mode a local quarantine
+  /// is used (mirrors records_from_csv).
+  robust::Quarantine* quarantine = nullptr;
+  /// Execution width for chunked parsing: 1 = serial, 0 = hardware
+  /// concurrency, N = N-wide (util::ThreadPool::resolve_threads).
+  std::size_t threads = 1;
+  /// Optional pool to reuse across loads (e.g. the daemon's); when
+  /// null and threads != 1 a transient pool is created.
+  util::ThreadPool* pool = nullptr;
+  FastParseStats* stats = nullptr;  ///< Optional, filled on return.
+};
+
+/// Strict parse of record CSV text. Zero-copy equivalent of
+/// records_from_csv(text).
+util::Result<std::vector<MeasurementRecord>> records_from_csv_fast(
+    std::string_view csv_text);
+
+/// Policy-aware parse. Zero-copy equivalent of
+/// records_from_csv(text, policy, quarantine), plus optional chunked
+/// parallelism.
+util::Result<std::vector<MeasurementRecord>> records_from_csv_fast(
+    std::string_view csv_text, const FastParseOptions& options);
+
+/// load_records LoadOptions plus parse parallelism, for the mmap'd
+/// file loader below.
+struct LoadFileOptions {
+  robust::RetryPolicy retry;
+  robust::IngestPolicy ingest = robust::IngestPolicy::lenient();
+  /// Optional metrics/trace sink (non-owning); emits the same
+  /// iqb_ingest_* series as load_records, labeled by path.
+  obs::Telemetry* telemetry = nullptr;
+  std::size_t threads = 1;          ///< See FastParseOptions::threads.
+  util::ThreadPool* pool = nullptr;
+  FastParseStats* stats = nullptr;
+};
+
+/// Fast-path sibling of load_records_csv: maps the file (read()-slurp
+/// fallback inside util::fs::MappedFile), sniffs the leading bytes —
+/// IQBREC magic loads the binary format, a leading '{'/'[' is rejected
+/// as JSON with a clear error, anything else parses as record CSV via
+/// records_from_csv_fast — and reports through the same retry /
+/// circuit-breaker / quarantine / telemetry seams as load_records.
+util::Result<LoadOutcome> load_records_file(
+    const std::string& path, const LoadFileOptions& options = {},
+    robust::CircuitBreaker* breaker = nullptr,
+    robust::Quarantine* quarantine = nullptr);
+
+}  // namespace iqb::datasets

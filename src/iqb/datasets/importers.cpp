@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "iqb/datasets/io.hpp"
 #include "iqb/obs/telemetry.hpp"
 #include "iqb/util/csv.hpp"
 #include "iqb/util/strings.hpp"
@@ -23,7 +24,7 @@ Result<double> field_as_double(const CsvTable& table, std::size_t row,
   auto value = util::parse_double(table.rows[row][column]);
   if (!value.ok()) {
     return make_error(ErrorCode::kParseError,
-                      "row " + std::to_string(row) + " column '" +
+                      row_label(row, table.line_of_row(row)) + " column '" +
                           table.header[column] + "': " +
                           value.error().message);
   }
@@ -31,7 +32,7 @@ Result<double> field_as_double(const CsvTable& table, std::size_t row,
   // either is corrupt, not exotic.
   if (!std::isfinite(value.value())) {
     return make_error(ErrorCode::kParseError,
-                      "row " + std::to_string(row) + " column '" +
+                      row_label(row, table.line_of_row(row)) + " column '" +
                           table.header[column] + "': non-finite value '" +
                           table.rows[row][column] + "'");
   }
@@ -175,7 +176,7 @@ Result<AggregateTable> import_ookla_tiles_csv(std::string_view csv_text,
     if (down.value() < 0.0 || up.value() < 0.0 || latency.value() < 0.0) {
       if (row_fails(policy, quarantine, "ookla_csv", row,
                     make_error(ErrorCode::kParseError,
-                               "row " + std::to_string(row) +
+                               row_label(row, table->line_of_row(row)) +
                                    ": negative measurement value"),
                     &row_error, &tally)) {
         return row_error;
@@ -267,7 +268,7 @@ Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
     auto timestamp = util::Timestamp::parse(table->rows[row][date_column.value()]);
     if (!timestamp.ok()) {
       if (reject(make_error(ErrorCode::kParseError,
-                            "row " + std::to_string(row) + ": " +
+                            row_label(row, table->line_of_row(row)) + ": " +
                                 timestamp.error().message))) {
         return row_error;
       }
@@ -307,7 +308,7 @@ Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
       record.upload = util::Mbps(throughput.value());
     } else {
       if (reject(make_error(ErrorCode::kParseError,
-                            "row " + std::to_string(row) +
+                            row_label(row, table->line_of_row(row)) +
                                 ": direction must be download|upload, got '" +
                                 direction + "'"))) {
         return row_error;
@@ -316,7 +317,7 @@ Result<std::vector<MeasurementRecord>> import_ndt_unified_csv(
     }
     if (!record.is_valid()) {
       if (reject(make_error(ErrorCode::kParseError,
-                            "row " + std::to_string(row) +
+                            row_label(row, table->line_of_row(row)) +
                                 ": metric value out of range"))) {
         return row_error;
       }

@@ -36,8 +36,11 @@ Result<std::optional<double>> parse_optional(const std::string& field) {
   return std::optional<double>{v.value()};
 }
 
-/// Parse one data row of the record schema; row-precise errors.
-Result<MeasurementRecord> parse_record_row(const CsvRow& row, std::size_t i) {
+/// Parse one data row of the record schema; row-precise errors name
+/// both the data-row index and the physical line (0 = line unknown,
+/// for hand-built tables without row_lines).
+Result<MeasurementRecord> parse_record_row(const CsvRow& row, std::size_t i,
+                                           std::size_t line) {
   MeasurementRecord record;
   record.dataset = row[0];
   record.region = row[1];
@@ -46,7 +49,7 @@ Result<MeasurementRecord> parse_record_row(const CsvRow& row, std::size_t i) {
   auto ts = util::Timestamp::parse(row[4]);
   if (!ts.ok()) {
     return make_error(ErrorCode::kParseError,
-                      "row " + std::to_string(i) + ": " + ts.error().message);
+                      row_label(i, line) + ": " + ts.error().message);
   }
   record.timestamp = ts.value();
 
@@ -57,7 +60,7 @@ Result<MeasurementRecord> parse_record_row(const CsvRow& row, std::size_t i) {
     auto value = parse_optional(row[5 + m]);
     if (!value.ok()) {
       return make_error(ErrorCode::kParseError,
-                        "row " + std::to_string(i) + " column '" +
+                        row_label(i, line) + " column '" +
                             kRecordHeader[5 + m] + "': " +
                             value.error().message);
     }
@@ -65,13 +68,20 @@ Result<MeasurementRecord> parse_record_row(const CsvRow& row, std::size_t i) {
   }
   if (!record.is_valid()) {
     return make_error(ErrorCode::kParseError,
-                      "row " + std::to_string(i) +
-                          ": metric value out of range");
+                      row_label(i, line) + ": metric value out of range");
   }
   return record;
 }
 
 }  // namespace
+
+const std::vector<std::string>& record_csv_header() { return kRecordHeader; }
+
+std::string row_label(std::size_t row, std::size_t line) {
+  std::string label = "row " + std::to_string(row);
+  if (line > 0) label += " (line " + std::to_string(line) + ")";
+  return label;
+}
 
 std::string records_to_csv(std::span<const MeasurementRecord> records) {
   CsvTable table;
@@ -116,7 +126,7 @@ Result<std::vector<MeasurementRecord>> records_from_csv(
   std::vector<MeasurementRecord> records;
   records.reserve(table->rows.size());
   for (std::size_t i = 0; i < table->rows.size(); ++i) {
-    auto record = parse_record_row(table->rows[i], i);
+    auto record = parse_record_row(table->rows[i], i, table->line_of_row(i));
     if (!record.ok()) {
       if (policy.mode == robust::IngestMode::kStrict) return record.error();
       quarantine->add("records_csv", i, record.error());

@@ -26,6 +26,16 @@ struct Telemetry;
 
 namespace iqb::datasets {
 
+/// The canonical record CSV header, shared by the legacy table-based
+/// reader and the zero-copy fast reader (fast_csv.hpp).
+const std::vector<std::string>& record_csv_header();
+
+/// "row N" / "row N (line L)" prefix used by every record rejection
+/// reason; line 0 means unknown. Both the legacy and fast readers
+/// format rejections through this so quarantine contents are
+/// byte-identical across paths.
+std::string row_label(std::size_t row, std::size_t line);
+
 /// Records -> CSV text (with header).
 std::string records_to_csv(std::span<const MeasurementRecord> records);
 

@@ -1,0 +1,411 @@
+#include "iqb/datasets/record_io.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "iqb/util/fs.hpp"
+#include "iqb/util/strings.hpp"
+
+namespace iqb::datasets {
+
+using util::ErrorCode;
+using util::Result;
+using util::make_error;
+
+namespace {
+
+constexpr const char* kMagic = "IQBREC";
+
+// --- CRC-32C (Castagnoli, reflected 0x82F63B78) --------------------
+//
+// Framing checksum for .iqbr files. Both implementations below
+// compute the same function, so files written with the hardware path
+// verify with the software path and vice versa; the golden-vector
+// test (crc32c("123456789") == 0xE3069283) pins whichever one the
+// running CPU selects.
+
+/// Slice-by-8 tables: tables[0] is the byte-at-a-time table, and
+/// tables[k] advances a byte through k additional zero bytes.
+using Crc32cTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+const Crc32cTables& crc32c_tables() {
+  static const Crc32cTables tables = [] {
+    Crc32cTables t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::size_t k = 1; k < t.size(); ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+std::uint32_t crc32c_soft(std::uint32_t state, const char* data,
+                          std::size_t n) noexcept {
+  const auto& t = crc32c_tables();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  const auto load_le32 = [](const unsigned char* q) {
+    return static_cast<std::uint32_t>(q[0]) |
+           static_cast<std::uint32_t>(q[1]) << 8 |
+           static_cast<std::uint32_t>(q[2]) << 16 |
+           static_cast<std::uint32_t>(q[3]) << 24;
+  };
+  while (n >= 8) {
+    const std::uint32_t a = state ^ load_le32(p);
+    const std::uint32_t b = load_le32(p + 4);
+    state = t[7][a & 0xFFu] ^ t[6][(a >> 8) & 0xFFu] ^
+            t[5][(a >> 16) & 0xFFu] ^ t[4][a >> 24] ^ t[3][b & 0xFFu] ^
+            t[2][(b >> 8) & 0xFFu] ^ t[1][(b >> 16) & 0xFFu] ^ t[0][b >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    state = t[0][(state ^ *p++) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define IQB_CRC32C_HW 1
+// The build carries no -msse4.2, so the crc32 instruction is emitted
+// only inside this one target-attributed function and only called
+// after the runtime cpuid check below.
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hard(
+    std::uint32_t state, const char* data, std::size_t n) noexcept {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  std::uint64_t s = state;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    s = __builtin_ia32_crc32di(s, word);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t s32 = static_cast<std::uint32_t>(s);
+  while (n-- > 0) {
+    s32 = __builtin_ia32_crc32qi(s32, *p++);
+  }
+  return s32;
+}
+#endif
+
+util::Error reject(const std::string& reason) {
+  return make_error(ErrorCode::kParseError, reason);
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+  return buffer;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.append(bytes, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.append(bytes, 8);
+}
+
+/// Bounds-checked little-endian cursor over the payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool take_u32(std::uint32_t& v) noexcept {
+    if (data_.size() - pos_ < 4) return false;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    if constexpr (std::endian::native == std::endian::big) {
+      v = __builtin_bswap32(v);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool take_u64(std::uint64_t& v) noexcept {
+    if (data_.size() - pos_ < 8) return false;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    if constexpr (std::endian::native == std::endian::big) {
+      v = __builtin_bswap64(v);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool take_u8(std::uint8_t& v) noexcept {
+    if (pos_ >= data_.size()) return false;
+    v = static_cast<std::uint8_t>(static_cast<unsigned char>(data_[pos_++]));
+    return true;
+  }
+
+  /// The fixed-size record prefix (4 string refs, timestamp bits,
+  /// presence mask) under a single bounds check — this is the decode
+  /// hot path, one call per record.
+  bool take_record_header(std::uint32_t refs[4], std::uint64_t& ts_bits,
+                          std::uint8_t& mask) noexcept {
+    constexpr std::size_t kHeaderBytes = 4 * 4 + 8 + 1;
+    if (data_.size() - pos_ < kHeaderBytes) return false;
+    const char* p = data_.data() + pos_;
+    for (int i = 0; i < 4; ++i) {
+      std::memcpy(&refs[i], p + 4 * i, 4);
+      if constexpr (std::endian::native == std::endian::big) {
+        refs[i] = __builtin_bswap32(refs[i]);
+      }
+    }
+    std::memcpy(&ts_bits, p + 16, 8);
+    if constexpr (std::endian::native == std::endian::big) {
+      ts_bits = __builtin_bswap64(ts_bits);
+    }
+    mask = static_cast<std::uint8_t>(static_cast<unsigned char>(p[24]));
+    pos_ += kHeaderBytes;
+    return true;
+  }
+
+  /// `count` contiguous u64s under a single bounds check.
+  bool take_u64_array(std::uint64_t* out, std::size_t count) noexcept {
+    if (data_.size() - pos_ < count * 8) return false;
+    const char* p = data_.data() + pos_;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::memcpy(&out[i], p + 8 * i, 8);
+      if constexpr (std::endian::native == std::endian::big) {
+        out[i] = __builtin_bswap64(out[i]);
+      }
+    }
+    pos_ += count * 8;
+    return true;
+  }
+
+  bool take_bytes(std::size_t n, std::string_view& out) noexcept {
+    if (data_.size() - pos_ < n) return false;
+    out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool looks_like_iqbr(std::string_view prefix) noexcept {
+  const std::string_view magic_space = "IQBREC ";
+  return prefix.substr(0, magic_space.size()) == magic_space;
+}
+
+std::uint32_t iqbr_crc32c(std::string_view data) noexcept {
+  constexpr std::uint32_t kInit = 0xFFFFFFFFu;
+#if defined(IQB_CRC32C_HW)
+  static const bool has_sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  if (has_sse42) {
+    return crc32c_hard(kInit, data.data(), data.size()) ^ 0xFFFFFFFFu;
+  }
+#endif
+  return crc32c_soft(kInit, data.data(), data.size()) ^ 0xFFFFFFFFu;
+}
+
+std::string records_to_iqbr(std::span<const MeasurementRecord> records) {
+  // String table: first occurrence assigns the index, so encoding is
+  // deterministic for a given record order.
+  std::vector<std::string_view> table;
+  std::unordered_map<std::string_view, std::uint32_t> index;
+  auto intern = [&](const std::string& s) -> std::uint32_t {
+    auto [it, inserted] =
+        index.emplace(s, static_cast<std::uint32_t>(table.size()));
+    if (inserted) table.push_back(s);
+    return it->second;
+  };
+
+  std::string body;
+  body.reserve(records.size() * 64);
+  put_u32(body, static_cast<std::uint32_t>(records.size()));
+  // Interning pass first so the table lands before the records.
+  std::string rows;
+  rows.reserve(records.size() * 64);
+  for (const MeasurementRecord& record : records) {
+    put_u32(rows, intern(record.dataset));
+    put_u32(rows, intern(record.region));
+    put_u32(rows, intern(record.isp));
+    put_u32(rows, intern(record.subscriber_id));
+    put_u64(rows, std::bit_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(record.timestamp.unix_seconds())));
+    std::uint8_t mask = 0;
+    for (std::size_t m = 0; m < kAllMetrics.size(); ++m) {
+      if (record.value(kAllMetrics[m])) mask |= static_cast<std::uint8_t>(1u << m);
+    }
+    rows.push_back(static_cast<char>(mask));
+    for (const Metric metric : kAllMetrics) {
+      if (const auto value = record.value(metric)) {
+        // Bit patterns, not text: doubles round-trip exactly.
+        put_u64(rows, std::bit_cast<std::uint64_t>(*value));
+      }
+    }
+  }
+  put_u32(body, static_cast<std::uint32_t>(table.size()));
+  for (const std::string_view entry : table) {
+    put_u32(body, static_cast<std::uint32_t>(entry.size()));
+    body.append(entry);
+  }
+  body += rows;
+
+  std::string out = kMagic;
+  out += ' ';
+  out += std::to_string(kRecordFormatVersion);
+  out += ' ';
+  out += crc_hex(iqbr_crc32c(body));
+  out += ' ';
+  out += std::to_string(body.size());
+  out += '\n';
+  out += body;
+  return out;
+}
+
+Result<std::vector<MeasurementRecord>> records_from_iqbr(
+    std::string_view data) {
+  const std::size_t header_end = data.find('\n');
+  if (header_end == std::string_view::npos) {
+    return reject("missing header line");
+  }
+  const std::string header(data.substr(0, header_end));
+  const std::vector<std::string> fields = util::split(header, ' ');
+  if (fields.size() != 4 || fields[0] != kMagic) {
+    return reject("bad header magic");
+  }
+  auto version = util::parse_int(fields[1]);
+  if (!version.ok() || version.value() < 0) {
+    return reject("bad header version field");
+  }
+  if (static_cast<std::uint32_t>(version.value()) != kRecordFormatVersion) {
+    return reject("unsupported version " + fields[1]);
+  }
+  auto declared_size = util::parse_int(fields[3]);
+  if (!declared_size.ok() || declared_size.value() < 0) {
+    return reject("bad header size field");
+  }
+
+  const std::string_view payload = data.substr(header_end + 1);
+  if (payload.size() < static_cast<std::size_t>(declared_size.value())) {
+    return reject("truncated payload (" + std::to_string(payload.size()) +
+                  " of " + fields[3] + " bytes)");
+  }
+  if (payload.size() > static_cast<std::size_t>(declared_size.value())) {
+    return reject("trailing bytes after payload");
+  }
+  const std::string expected_crc = crc_hex(iqbr_crc32c(payload));
+  if (expected_crc != fields[2]) {
+    return reject("crc mismatch (header " + fields[2] + ", payload " +
+                  expected_crc + ")");
+  }
+
+  Reader reader(payload);
+  std::uint32_t record_count = 0;
+  std::uint32_t table_size = 0;
+  if (!reader.take_u32(record_count) || !reader.take_u32(table_size)) {
+    return reject("payload too short for counts");
+  }
+  std::vector<std::string_view> table;
+  table.reserve(table_size);
+  for (std::uint32_t i = 0; i < table_size; ++i) {
+    std::uint32_t length = 0;
+    std::string_view entry;
+    if (!reader.take_u32(length) || !reader.take_bytes(length, entry)) {
+      return reject("truncated string table (entry " + std::to_string(i) +
+                    " of " + std::to_string(table_size) + ")");
+    }
+    table.push_back(entry);
+  }
+
+  std::vector<MeasurementRecord> records;
+  records.reserve(record_count);
+  const std::size_t table_count = table.size();
+  for (std::uint32_t r = 0; r < record_count; ++r) {
+    auto bad = [&](const std::string& what) {
+      return reject("record " + std::to_string(r) + ": " + what);
+    };
+    std::uint32_t refs[4];
+    std::uint64_t unix_bits = 0;
+    std::uint8_t mask = 0;
+    if (!reader.take_record_header(refs, unix_bits, mask)) {
+      return bad("truncated record header");
+    }
+    for (const std::uint32_t ref : refs) {
+      if (ref >= table_count) {
+        return bad("string index " + std::to_string(ref) +
+                   " out of range (table size " + std::to_string(table_count) +
+                   ")");
+      }
+    }
+    if (mask >> kAllMetrics.size()) {
+      return bad("unknown metric bits in presence mask");
+    }
+    std::uint64_t bits[kAllMetrics.size()];
+    if (!reader.take_u64_array(bits,
+                               static_cast<std::size_t>(std::popcount(mask)))) {
+      return bad("truncated metric values");
+    }
+    MeasurementRecord& record = records.emplace_back();
+    record.dataset.assign(table[refs[0]]);
+    record.region.assign(table[refs[1]]);
+    record.isp.assign(table[refs[2]]);
+    record.subscriber_id.assign(table[refs[3]]);
+    record.timestamp = util::Timestamp(std::bit_cast<std::int64_t>(unix_bits));
+    // Mask bits follow kAllMetrics order; direct member assignment here
+    // keeps the per-record cost flat (set_value is an out-of-line
+    // switch, and this loop decodes millions of records per second).
+    std::size_t next = 0;
+    if (mask & (1u << 0)) {
+      record.download = util::Mbps(std::bit_cast<double>(bits[next++]));
+    }
+    if (mask & (1u << 1)) {
+      record.upload = util::Mbps(std::bit_cast<double>(bits[next++]));
+    }
+    if (mask & (1u << 2)) {
+      record.latency = util::Millis(std::bit_cast<double>(bits[next++]));
+    }
+    if (mask & (1u << 3)) {
+      record.loaded_latency = util::Millis(std::bit_cast<double>(bits[next++]));
+    }
+    if (mask & (1u << 4)) {
+      record.loss = util::LossRate(std::bit_cast<double>(bits[next++]));
+    }
+  }
+  if (!reader.exhausted()) {
+    return reject("trailing bytes after record " +
+                  std::to_string(record_count));
+  }
+  return records;
+}
+
+Result<void> write_records_iqbr(const std::string& path,
+                                std::span<const MeasurementRecord> records) {
+  return util::fs::atomic_write(path, records_to_iqbr(records))
+      .with_context("writing '" + path + "'");
+}
+
+Result<std::vector<MeasurementRecord>> read_records_iqbr(
+    const std::string& path) {
+  auto file = util::fs::MappedFile::open(path);
+  if (!file.ok()) return file.error();
+  return records_from_iqbr(file->view())
+      .with_context("reading '" + path + "'");
+}
+
+}  // namespace iqb::datasets

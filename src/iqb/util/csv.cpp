@@ -1,5 +1,6 @@
 #include "iqb/util/csv.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -13,19 +14,32 @@ class CsvParser {
  public:
   explicit CsvParser(std::string_view text) : text_(text) {}
 
-  Result<std::vector<CsvRow>> parse_all() {
+  struct Parsed {
     std::vector<CsvRow> rows;
+    std::vector<std::size_t> lines;  ///< 1-based start line per row.
+  };
+
+  Result<Parsed> parse_all() {
+    Parsed out;
+    // One row per newline is exact for machine-generated data (quoted
+    // embedded newlines only ever shrink the count).
+    const std::size_t newlines =
+        static_cast<std::size_t>(std::count(text_.begin(), text_.end(), '\n'));
+    out.rows.reserve(newlines + 1);
+    out.lines.reserve(newlines + 1);
     while (pos_ < text_.size()) {
+      out.lines.push_back(line_);
       auto row = parse_row();
       if (!row.ok()) return row.error();
-      rows.push_back(std::move(row).value());
+      out.rows.push_back(std::move(row).value());
     }
-    return rows;
+    return out;
   }
 
  private:
   Result<CsvRow> parse_row() {
     CsvRow row;
+    row.reserve(arity_hint_);
     while (true) {
       auto field = parse_field();
       if (!field.ok()) return field.error();
@@ -38,17 +52,22 @@ class CsvParser {
       }
       if (c == '\r') {
         ++pos_;
-        if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '\n') {
+          ++pos_;
+          ++line_;
+        }
         break;
       }
       if (c == '\n') {
         ++pos_;
+        ++line_;
         break;
       }
       return make_error(ErrorCode::kParseError,
                         "unexpected character after CSV field at offset " +
                             std::to_string(pos_));
     }
+    arity_hint_ = row.size();
     return row;
   }
 
@@ -72,7 +91,22 @@ class CsvParser {
 
   Result<std::string> parse_quoted_field() {
     ++pos_;  // opening quote
+    // Fast path: a quoted field with no embedded "" escape is one
+    // contiguous slice — a single substr instead of char-by-char
+    // accumulation.
+    const std::size_t close = text_.find('"', pos_);
+    if (close == std::string_view::npos) {
+      return make_error(ErrorCode::kParseError, "unterminated quoted CSV field");
+    }
+    if (close + 1 >= text_.size() || text_[close + 1] != '"') {
+      std::string out(text_.substr(pos_, close - pos_));
+      line_ += static_cast<std::size_t>(
+          std::count(out.begin(), out.end(), '\n'));
+      pos_ = close + 1;
+      return out;
+    }
     std::string out;
+    out.reserve(close - pos_ + 16);
     while (true) {
       if (pos_ >= text_.size()) {
         return make_error(ErrorCode::kParseError, "unterminated quoted CSV field");
@@ -86,6 +120,7 @@ class CsvParser {
           break;  // closing quote
         }
       } else {
+        if (c == '\n') ++line_;
         out.push_back(c);
       }
     }
@@ -94,6 +129,8 @@ class CsvParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t line_ = 1;       ///< 1-based physical line at pos_.
+  std::size_t arity_hint_ = 0; ///< Previous row's field count.
 };
 
 bool all_whitespace(std::string_view text) noexcept {
@@ -118,36 +155,44 @@ Result<CsvTable> parse_csv(std::string_view text) {
     return make_error(ErrorCode::kEmptyInput, "empty CSV document");
   }
   CsvParser parser(text);
-  auto rows = parser.parse_all();
-  if (!rows.ok()) return rows.error();
-  auto all = std::move(rows).value();
-  if (all.empty()) {
+  auto parsed = parser.parse_all();
+  if (!parsed.ok()) return parsed.error();
+  auto all = std::move(parsed).value();
+  if (all.rows.empty()) {
     return make_error(ErrorCode::kEmptyInput, "empty CSV document");
   }
   CsvTable table;
-  table.header = std::move(all.front());
-  for (std::size_t i = 1; i < all.size(); ++i) {
+  table.header = std::move(all.rows.front());
+  table.rows.reserve(all.rows.size() - 1);
+  table.row_lines.reserve(all.rows.size() - 1);
+  for (std::size_t i = 1; i < all.rows.size(); ++i) {
     // A sole empty trailing field comes from a trailing newline; skip.
-    if (all[i].size() == 1 && all[i][0].empty() && i == all.size() - 1) continue;
-    if (all[i].size() != table.header.size()) {
+    if (all.rows[i].size() == 1 && all.rows[i][0].empty() &&
+        i == all.rows.size() - 1) {
+      continue;
+    }
+    if (all.rows[i].size() != table.header.size()) {
       return make_error(ErrorCode::kParseError,
-                        "CSV row " + std::to_string(i) + " has " +
-                            std::to_string(all[i].size()) + " fields, expected " +
+                        "CSV row " + std::to_string(i) + " (line " +
+                            std::to_string(all.lines[i]) + ") has " +
+                            std::to_string(all.rows[i].size()) +
+                            " fields, expected " +
                             std::to_string(table.header.size()));
     }
-    table.rows.push_back(std::move(all[i]));
+    table.rows.push_back(std::move(all.rows[i]));
+    table.row_lines.push_back(all.lines[i]);
   }
   return table;
 }
 
 Result<CsvRow> parse_csv_line(std::string_view line) {
   CsvParser parser(line);
-  auto rows = parser.parse_all();
-  if (!rows.ok()) return rows.error();
-  if (rows.value().size() != 1) {
+  auto parsed = parser.parse_all();
+  if (!parsed.ok()) return parsed.error();
+  if (parsed.value().rows.size() != 1) {
     return make_error(ErrorCode::kParseError, "expected exactly one CSV row");
   }
-  return std::move(rows).value().front();
+  return std::move(parsed).value().rows.front();
 }
 
 std::string csv_quote(std::string_view field) {

@@ -22,9 +22,20 @@ using CsvRow = std::vector<std::string>;
 struct CsvTable {
   CsvRow header;
   std::vector<CsvRow> rows;
+  /// 1-based physical line on which each data row starts (quoted
+  /// fields may span lines, so row index and line number diverge).
+  /// Parallel to `rows`; importers use it to report "row N (line L)"
+  /// rejection reasons that an operator can open in an editor.
+  std::vector<std::size_t> row_lines;
 
   /// Index of a header column, or error if absent.
   Result<std::size_t> column_index(std::string_view name) const;
+
+  /// Line for a data-row index, tolerating older callers that built
+  /// the table by hand without filling row_lines (returns 0 = unknown).
+  std::size_t line_of_row(std::size_t row) const noexcept {
+    return row < row_lines.size() ? row_lines[row] : 0;
+  }
 };
 
 /// Parse CSV text. The first row is the header. Rows whose field count

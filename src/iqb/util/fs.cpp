@@ -1,6 +1,7 @@
 #include "iqb/util/fs.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -15,20 +16,31 @@ namespace iqb::util::fs {
 
 namespace {
 
-/// Table for the reflected IEEE polynomial 0xEDB88320, built once.
-const std::array<std::uint32_t, 256>& crc32_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+/// Slice-by-16 tables for the reflected IEEE polynomial 0xEDB88320,
+/// built once. tables[0] is the classic byte-at-a-time table;
+/// tables[k] advances a byte through k additional zero bytes, so
+/// sixteen input bytes fold into the state with sixteen independent
+/// table lookups instead of sixteen dependent byte steps.
+using Crc32Tables = std::array<std::array<std::uint32_t, 256>, 16>;
+
+const Crc32Tables& crc32_tables() {
+  static const Crc32Tables tables = [] {
+    Crc32Tables t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int bit = 0; bit < 8; ++bit) {
         c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::size_t k = 1; k < t.size(); ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
     }
     return t;
   }();
-  return table;
+  return tables;
 }
 
 util::Error io_error(const std::string& what,
@@ -68,10 +80,33 @@ std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
 
 std::uint32_t crc32_update(std::uint32_t state,
                            std::string_view data) noexcept {
-  const auto& table = crc32_table();
-  for (const char ch : data) {
-    state = table[(state ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
-            (state >> 8);
+  const auto& t = crc32_tables();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t n = data.size();
+  // Little-endian u32 loads; compilers fuse the byte ORs into single
+  // loads on LE targets, and the expression is correct on BE.
+  const auto load_le32 = [](const unsigned char* q) {
+    return static_cast<std::uint32_t>(q[0]) |
+           static_cast<std::uint32_t>(q[1]) << 8 |
+           static_cast<std::uint32_t>(q[2]) << 16 |
+           static_cast<std::uint32_t>(q[3]) << 24;
+  };
+  while (n >= 16) {
+    const std::uint32_t a = state ^ load_le32(p);
+    const std::uint32_t b = load_le32(p + 4);
+    const std::uint32_t c = load_le32(p + 8);
+    const std::uint32_t d = load_le32(p + 12);
+    state = t[15][a & 0xFFu] ^ t[14][(a >> 8) & 0xFFu] ^
+            t[13][(a >> 16) & 0xFFu] ^ t[12][a >> 24] ^ t[11][b & 0xFFu] ^
+            t[10][(b >> 8) & 0xFFu] ^ t[9][(b >> 16) & 0xFFu] ^
+            t[8][b >> 24] ^ t[7][c & 0xFFu] ^ t[6][(c >> 8) & 0xFFu] ^
+            t[5][(c >> 16) & 0xFFu] ^ t[4][c >> 24] ^ t[3][d & 0xFFu] ^
+            t[2][(d >> 8) & 0xFFu] ^ t[1][(d >> 16) & 0xFFu] ^ t[0][d >> 24];
+    p += 16;
+    n -= 16;
+  }
+  while (n-- > 0) {
+    state = t[0][(state ^ *p++) & 0xFFu] ^ (state >> 8);
   }
   return state;
 }
@@ -147,6 +182,89 @@ util::Result<std::string> read_file(const std::filesystem::path& path) {
                             "read failed for '" + path.string() + "'");
   }
   return std::move(buffer).str();
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  fallback_ = std::move(other.fallback_);
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+util::Result<MappedFile> MappedFile::open(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return io_error("cannot open", path);
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    util::Error error = io_error("cannot stat", path);
+    ::close(fd);
+    return error;
+  }
+
+  MappedFile file;
+  if (S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      ::close(fd);
+      file.data_ = addr;
+      file.size_ = static_cast<std::size_t>(st.st_size);
+      file.mapped_ = true;
+      return file;
+    }
+    // Fall through to the read() slurp: a filesystem that refuses
+    // mmap still reads fine, and callers only ever see the view.
+  }
+  std::string buffer;
+  if (st.st_size > 0) buffer.reserve(static_cast<std::size_t>(st.st_size));
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      util::Error error = io_error("cannot read", path);
+      ::close(fd);
+      return error;
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  file.fallback_ = std::move(buffer);
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  file.mapped_ = false;
+  return file;
 }
 
 }  // namespace iqb::util::fs

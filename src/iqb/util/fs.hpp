@@ -50,4 +50,42 @@ util::Result<void> fsync_dir(const std::filesystem::path& dir);
 /// Read a whole file into a string (binary, no newline translation).
 util::Result<std::string> read_file(const std::filesystem::path& path);
 
+/// A file's contents as a stable read-only byte range, without the
+/// copy read_file makes. open() prefers mmap (the kernel pages data
+/// in on demand and the ingestion parser slices std::string_views
+/// straight out of the page cache); when mmap is unavailable or fails
+/// (pipes, some network filesystems, zero-length files) it falls back
+/// to a read() slurp into an owned buffer, so callers never branch on
+/// the mechanism. The view stays valid for the lifetime of the object.
+class MappedFile {
+ public:
+  MappedFile() noexcept = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map (or slurp) `path`. kIoError with the OS reason on failure.
+  static util::Result<MappedFile> open(const std::filesystem::path& path);
+
+  /// The file's bytes. Empty view for an empty file.
+  std::string_view view() const noexcept {
+    return {static_cast<const char*>(data_), size_};
+  }
+  std::size_t size() const noexcept { return size_; }
+
+  /// True when the view is an actual mmap (fallback slurps report
+  /// false). Informational — behavior is identical either way.
+  bool is_mapped() const noexcept { return mapped_; }
+
+ private:
+  void reset() noexcept;
+
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;        ///< data_ came from mmap, needs munmap.
+  std::string fallback_;       ///< Owning buffer for the read() path.
+};
+
 }  // namespace iqb::util::fs

@@ -1,0 +1,214 @@
+// The mmap'd file loader: content sniffing (IQBREC vs CSV vs JSON,
+// regardless of extension), clear rejection of damaged binary files,
+// telemetry parity with the legacy instrumented loader, and identical
+// scores whichever path loaded the records.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "iqb/cli/load.hpp"
+#include "iqb/core/pipeline.hpp"
+#include "iqb/datasets/fast_csv.hpp"
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/record_io.hpp"
+#include "iqb/obs/export.hpp"
+#include "iqb/obs/telemetry.hpp"
+#include "iqb/report/render.hpp"
+#include "iqb/util/fs.hpp"
+
+namespace iqb {
+namespace {
+
+const std::string kExampleCsv =
+    std::string(IQB_EXAMPLES_DIR) + "/example_records.csv";
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("iqb_load_file_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  ASSERT_TRUE(out.good());
+}
+
+TEST(LoadRecordsFile, CsvLoadsIdenticallyToLegacyReader) {
+  auto legacy = datasets::read_records_csv(kExampleCsv);
+  ASSERT_TRUE(legacy.ok());
+  datasets::LoadFileOptions options;
+  options.ingest = robust::IngestPolicy::strict();
+  auto fast = datasets::load_records_file(kExampleCsv, options);
+  ASSERT_TRUE(fast.ok()) << fast.error().message;
+  EXPECT_EQ(datasets::records_to_csv(legacy.value()),
+            datasets::records_to_csv(fast->records));
+}
+
+TEST(LoadRecordsFile, IqbrIsDetectedByMagicNotExtension) {
+  TempDir dir;
+  auto records = datasets::read_records_csv(kExampleCsv);
+  ASSERT_TRUE(records.ok());
+  // Deliberately misnamed: the loader must sniff content, not trust
+  // the suffix.
+  const std::string path = dir.file("renamed_binary.csv");
+  ASSERT_TRUE(datasets::write_records_iqbr(path, records.value()).ok());
+  auto loaded = datasets::load_records_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(datasets::records_to_csv(records.value()),
+            datasets::records_to_csv(loaded->records));
+}
+
+TEST(LoadRecordsFile, TruncatedBinaryGivesClearError) {
+  TempDir dir;
+  auto records = datasets::read_records_csv(kExampleCsv);
+  ASSERT_TRUE(records.ok());
+  const std::string blob = datasets::records_to_iqbr(records.value());
+  const std::string path = dir.file("truncated.iqbr");
+  write_file(path, std::string_view(blob).substr(0, blob.size() / 2));
+  datasets::LoadFileOptions options;
+  options.retry.max_attempts = 1;
+  auto loaded = datasets::load_records_file(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("truncated payload"),
+            std::string::npos)
+      << loaded.error().message;
+  EXPECT_NE(loaded.error().message.find(path), std::string::npos);
+}
+
+TEST(LoadRecordsFile, ForeignVersionBinaryGivesClearError) {
+  TempDir dir;
+  auto records = datasets::read_records_csv(kExampleCsv);
+  ASSERT_TRUE(records.ok());
+  std::string blob = datasets::records_to_iqbr(records.value());
+  blob.replace(0, 8, "IQBREC 3");
+  const std::string path = dir.file("future.iqbr");
+  write_file(path, blob);
+  datasets::LoadFileOptions options;
+  options.retry.max_attempts = 1;
+  auto loaded = datasets::load_records_file(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("unsupported version 3"),
+            std::string::npos)
+      << loaded.error().message;
+}
+
+TEST(LoadRecordsFile, JsonInputIsRejectedWithClearError) {
+  TempDir dir;
+  const std::string path = dir.file("aggregates.json");
+  write_file(path, "{\"aggregates\": []}\n");
+  datasets::LoadFileOptions options;
+  options.retry.max_attempts = 1;
+  auto loaded = datasets::load_records_file(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("looks like JSON"), std::string::npos)
+      << loaded.error().message;
+}
+
+TEST(LoadRecordsFile, MissingFileSurfacesIoError) {
+  datasets::LoadFileOptions options;
+  options.retry.max_attempts = 1;
+  auto loaded = datasets::load_records_file("/nonexistent/records.csv", options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, util::ErrorCode::kIoError);
+}
+
+/// The fast loader must emit the same iqb_ingest_* series with the
+/// same values as the legacy instrumented loader for the same file.
+TEST(LoadRecordsFile, TelemetryMatchesLegacyLoader) {
+  obs::MetricsRegistry legacy_metrics;
+  obs::Telemetry legacy_telemetry{&legacy_metrics, nullptr, nullptr, {}};
+  datasets::LoadOptions legacy_options;
+  legacy_options.telemetry = &legacy_telemetry;
+  auto legacy = datasets::load_records_csv(kExampleCsv, legacy_options);
+  ASSERT_TRUE(legacy.ok());
+
+  obs::MetricsRegistry fast_metrics;
+  obs::Telemetry fast_telemetry{&fast_metrics, nullptr, nullptr, {}};
+  datasets::LoadFileOptions fast_options;
+  fast_options.telemetry = &fast_telemetry;
+  auto fast = datasets::load_records_file(kExampleCsv, fast_options);
+  ASSERT_TRUE(fast.ok());
+
+  EXPECT_EQ(legacy->attempts, fast->attempts);
+  EXPECT_EQ(legacy->rows_quarantined, fast->rows_quarantined);
+  EXPECT_EQ(obs::to_prometheus(legacy_metrics),
+            obs::to_prometheus(fast_metrics));
+}
+
+std::string scores_json(const datasets::RecordStore& store) {
+  core::Pipeline pipeline(core::IqbConfig::paper_defaults());
+  const auto output = pipeline.run(store);
+  return report::to_json(output.results).dump(2);
+}
+
+/// The acceptance gate in miniature: legacy CSV, fast serial CSV, fast
+/// chunked CSV and the .iqbr reload must all score byte-identically.
+TEST(LoadRecordsFile, ScoresAreByteIdenticalAcrossAllIngestPaths) {
+  auto legacy = datasets::read_records_csv(kExampleCsv);
+  ASSERT_TRUE(legacy.ok());
+  datasets::RecordStore legacy_store(std::move(legacy).value());
+  const std::string expected = scores_json(legacy_store);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::ostringstream errors;
+    cli::LoadStoreOptions options;
+    options.threads = threads;
+    auto loaded = cli::load_store(kExampleCsv, options, errors);
+    ASSERT_TRUE(loaded.ok()) << errors.str();
+    EXPECT_EQ(expected, scores_json(loaded->store))
+        << "threads=" << threads;
+  }
+
+  TempDir dir;
+  const std::string iqbr = dir.file("example.iqbr");
+  auto records = datasets::read_records_csv(kExampleCsv);
+  ASSERT_TRUE(records.ok());
+  ASSERT_TRUE(datasets::write_records_iqbr(iqbr, records.value()).ok());
+  std::ostringstream errors;
+  auto reloaded = cli::load_store(iqbr, cli::LoadStoreOptions{}, errors);
+  ASSERT_TRUE(reloaded.ok()) << errors.str();
+  EXPECT_EQ(expected, scores_json(reloaded->store));
+}
+
+TEST(LoadStore, QuarantineWarningsAndCountsMatchLegacyBehavior) {
+  TempDir dir;
+  const std::string path = dir.file("dirty.csv");
+  std::string text =
+      "dataset,region,isp,subscriber_id,timestamp,download_mbps,upload_mbps,"
+      "latency_ms,loaded_latency_ms,loss_fraction\n";
+  text += "ndt,metro,isp_a,s1,2025-03-01,100,,20,,0.01\n";
+  text += "ndt,metro,isp_a,s2,not-a-date,100,,20,,0.01\n";
+  text += "ndt,metro,isp_a,s3,2025-03-01,50,,10,,0\n";
+  text += "ndt,metro,isp_a,s4,2025-03-01,60,,11,,0\n";
+  text += "ndt,metro,isp_a,s5,2025-03-01,70,,12,,0\n";
+  write_file(path, text);
+
+  std::ostringstream errors;
+  cli::LoadStoreOptions options;
+  options.lenient = true;
+  auto loaded = cli::load_store(path, options, errors);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->store.size(), 4u);
+  EXPECT_EQ(loaded->health.rows_quarantined, 1u);
+  EXPECT_NE(errors.str().find("row 1 (line 3)"), std::string::npos)
+      << errors.str();
+}
+
+}  // namespace
+}  // namespace iqb

@@ -1,0 +1,197 @@
+// IQBREC framing and payload: bit-exact double round-trips, string
+// table integrity, and rejection of every single-byte corruption the
+// CRC frame is there to catch.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "iqb/datasets/io.hpp"
+#include "iqb/datasets/record_io.hpp"
+#include "iqb/util/rng.hpp"
+
+namespace iqb {
+namespace {
+
+using datasets::MeasurementRecord;
+using datasets::Metric;
+
+std::vector<MeasurementRecord> seeded_records(std::size_t count,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  const char* datasets_pool[] = {"ndt", "ookla", "cloudflare"};
+  const char* regions[] = {"metro", "rural_east", "rural_west"};
+  const char* isps[] = {"isp_a", "isp_b"};
+  std::vector<MeasurementRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    MeasurementRecord record;
+    record.dataset = datasets_pool[rng.uniform_int(0, 2)];
+    record.region = regions[rng.uniform_int(0, 2)];
+    record.isp = isps[rng.uniform_int(0, 1)];
+    record.subscriber_id = "sub_" + std::to_string(rng.uniform_int(0, 99));
+    record.timestamp = util::Timestamp(rng.uniform_int(1700000000, 1800000000));
+    // Irrational-ish values with no exact decimal representation: a
+    // text round-trip would drift, the binary one must not.
+    if (rng.bernoulli(0.9)) record.download = util::Mbps(rng.uniform(0.1, 900.0));
+    if (rng.bernoulli(0.8)) record.upload = util::Mbps(rng.uniform(0.1, 100.0));
+    if (rng.bernoulli(0.7)) record.latency = util::Millis(rng.uniform(1.0, 300.0));
+    if (rng.bernoulli(0.5)) {
+      record.loaded_latency = util::Millis(rng.uniform(1.0, 900.0));
+    }
+    if (rng.bernoulli(0.6)) record.loss = util::LossRate(rng.next_double());
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void expect_bit_identical(const std::vector<MeasurementRecord>& expected,
+                          const std::vector<MeasurementRecord>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& e = expected[i];
+    const auto& a = actual[i];
+    EXPECT_EQ(e.dataset, a.dataset);
+    EXPECT_EQ(e.region, a.region);
+    EXPECT_EQ(e.isp, a.isp);
+    EXPECT_EQ(e.subscriber_id, a.subscriber_id);
+    EXPECT_EQ(e.timestamp.unix_seconds(), a.timestamp.unix_seconds());
+    for (const Metric metric : datasets::kAllMetrics) {
+      const auto ev = e.value(metric);
+      const auto av = a.value(metric);
+      ASSERT_EQ(ev.has_value(), av.has_value());
+      if (ev) {
+        // Bit patterns, not ==: catches -0.0 vs 0.0 and would catch
+        // NaN payload changes.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(*ev),
+                  std::bit_cast<std::uint64_t>(*av));
+      }
+    }
+  }
+}
+
+TEST(RecordIo, RoundTripIsBitExact) {
+  const auto records = seeded_records(500, 42);
+  const std::string blob = datasets::records_to_iqbr(records);
+  auto decoded = datasets::records_from_iqbr(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  expect_bit_identical(records, decoded.value());
+}
+
+TEST(RecordIo, AwkwardDoublesSurviveExactly) {
+  MeasurementRecord record;
+  record.dataset = "ndt";
+  record.region = "r";
+  record.isp = "i";
+  record.subscriber_id = "s";
+  record.timestamp = util::Timestamp(0);
+  record.download = util::Mbps(0.1);  // no exact binary representation
+  record.upload = util::Mbps(std::bit_cast<double>(std::uint64_t{0x3FF0000000000001ULL}));
+  record.latency = util::Millis(5e-324);  // smallest denormal
+  record.loss = util::LossRate(-0.0);
+  auto decoded =
+      datasets::records_from_iqbr(datasets::records_to_iqbr({&record, 1}));
+  ASSERT_TRUE(decoded.ok());
+  expect_bit_identical({record}, decoded.value());
+}
+
+TEST(RecordIo, EmptyRecordSetRoundTrips) {
+  auto decoded = datasets::records_from_iqbr(datasets::records_to_iqbr({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(RecordIo, StringTableDeduplicatesIdentityColumns) {
+  // Realistic identity columns repeat a handful of values thousands of
+  // times; interning stores each once and 4 bytes per reference.
+  auto shared = seeded_records(2000, 7);
+  auto unique = shared;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    unique[i].subscriber_id = "globally_unique_subscriber_identifier_" +
+                              std::to_string(i);
+  }
+  const std::string shared_blob = datasets::records_to_iqbr(shared);
+  const std::string unique_blob = datasets::records_to_iqbr(unique);
+  EXPECT_LT(shared_blob.size() + 50 * 1024, unique_blob.size());
+
+  // And the dedup is lossless either way.
+  auto decoded = datasets::records_from_iqbr(unique_blob);
+  ASSERT_TRUE(decoded.ok());
+  expect_bit_identical(unique, decoded.value());
+}
+
+TEST(RecordIo, Crc32cMatchesPublishedVectors) {
+  // RFC 3720 appendix vectors for CRC-32C (Castagnoli). The frame
+  // checksum has a hardware and a software implementation; whichever
+  // this CPU selects must compute the standard function, or files
+  // would not move between machines.
+  EXPECT_EQ(datasets::iqbr_crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(datasets::iqbr_crc32c(""), 0x00000000u);
+  EXPECT_EQ(datasets::iqbr_crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(RecordIo, EverySingleByteFlipIsDetected) {
+  const auto records = seeded_records(50, 1701);
+  const std::string blob = datasets::records_to_iqbr(records);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::string mutated = blob;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    auto decoded = datasets::records_from_iqbr(mutated);
+    EXPECT_FALSE(decoded.ok()) << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(RecordIo, RejectsBadMagicForeignVersionTruncationAndTrailing) {
+  const auto records = seeded_records(5, 3);
+  const std::string blob = datasets::records_to_iqbr(records);
+
+  auto magic = datasets::records_from_iqbr("IQBCKPT 1 00000000 4\nabcd");
+  ASSERT_FALSE(magic.ok());
+  EXPECT_EQ(magic.error().message, "bad header magic");
+
+  std::string foreign = blob;
+  foreign.replace(0, 8, "IQBREC 9");
+  auto version = datasets::records_from_iqbr(foreign);
+  ASSERT_FALSE(version.ok());
+  EXPECT_EQ(version.error().message, "unsupported version 9");
+
+  auto truncated = datasets::records_from_iqbr(blob.substr(0, blob.size() - 7));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.error().message.find("truncated payload"),
+            std::string::npos);
+
+  auto trailing = datasets::records_from_iqbr(blob + "x");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.error().message, "trailing bytes after payload");
+
+  auto headerless = datasets::records_from_iqbr("IQBREC 1 deadbeef 12");
+  ASSERT_FALSE(headerless.ok());
+  EXPECT_EQ(headerless.error().message, "missing header line");
+}
+
+TEST(RecordIo, LooksLikeIqbrSniffsMagicOnly) {
+  EXPECT_TRUE(datasets::looks_like_iqbr("IQBREC 1 00000000 0\n"));
+  EXPECT_TRUE(datasets::looks_like_iqbr("IQBREC "));
+  EXPECT_FALSE(datasets::looks_like_iqbr("IQBREC"));   // no room for version
+  EXPECT_FALSE(datasets::looks_like_iqbr("IQBCKPT 1"));
+  EXPECT_FALSE(datasets::looks_like_iqbr("dataset,region"));
+  EXPECT_FALSE(datasets::looks_like_iqbr(""));
+}
+
+TEST(RecordIo, FileRoundTripThroughAtomicWrite) {
+  const auto records = seeded_records(100, 9);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iqb_record_io_test.iqbr")
+          .string();
+  ASSERT_TRUE(datasets::write_records_iqbr(path, records).ok());
+  auto loaded = datasets::read_records_iqbr(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  expect_bit_identical(records, loaded.value());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace iqb
